@@ -1,0 +1,111 @@
+//! `AVG` over a numeric attribute.
+
+use crate::aggregate::{Aggregate, Numeric};
+use std::marker::PhantomData;
+
+/// Partial state of an average: running sum and tuple count
+/// ("Average uses 8 bytes, 4 for the sum and 4 for the count", Section 6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AvgState {
+    pub sum: f64,
+    pub count: u64,
+}
+
+/// Averages a numeric attribute over the tuples overlapping each constant
+/// interval; `None` where no tuple overlaps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Avg<T>(PhantomData<T>);
+
+impl<T> Avg<T> {
+    pub const fn new() -> Self {
+        Avg(PhantomData)
+    }
+}
+
+impl<T: Numeric> Aggregate for Avg<T> {
+    type Input = T;
+    type State = AvgState;
+    type Output = Option<f64>;
+
+    fn name(&self) -> &'static str {
+        "AVG"
+    }
+
+    fn empty_state(&self) -> AvgState {
+        AvgState { sum: 0.0, count: 0 }
+    }
+
+    #[inline]
+    fn insert(&self, state: &mut AvgState, value: &T) {
+        state.sum += value.to_f64();
+        state.count += 1;
+    }
+
+    #[inline]
+    fn merge(&self, into: &mut AvgState, from: &AvgState) {
+        into.sum += from.sum;
+        into.count += from.count;
+    }
+
+    fn finish(&self, state: &AvgState) -> Option<f64> {
+        if state.count == 0 {
+            None
+        } else {
+            Some(state.sum / state.count as f64)
+        }
+    }
+
+    fn is_empty_state(&self, state: &AvgState) -> bool {
+        state.count == 0
+    }
+
+    fn state_model_bytes(&self) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_values() {
+        let agg: Avg<i64> = Avg::new();
+        let mut s = agg.empty_state();
+        agg.insert(&mut s, &40_000);
+        agg.insert(&mut s, &45_000);
+        agg.insert(&mut s, &35_000);
+        assert_eq!(agg.finish(&s), Some(40_000.0));
+    }
+
+    #[test]
+    fn empty_average_is_none() {
+        let agg: Avg<i64> = Avg::new();
+        assert_eq!(agg.finish(&agg.empty_state()), None);
+        assert!(agg.is_empty_state(&agg.empty_state()));
+    }
+
+    #[test]
+    fn merge_combines_sums_and_counts() {
+        let agg: Avg<f64> = Avg::new();
+        let mut a = AvgState { sum: 10.0, count: 2 };
+        let b = AvgState { sum: 5.0, count: 1 };
+        agg.merge(&mut a, &b);
+        assert_eq!(a, AvgState { sum: 15.0, count: 3 });
+        assert_eq!(agg.finish(&a), Some(5.0));
+    }
+
+    #[test]
+    fn merge_identity() {
+        let agg: Avg<i64> = Avg::new();
+        let mut a = AvgState { sum: 9.0, count: 3 };
+        agg.merge(&mut a, &agg.empty_state());
+        assert_eq!(a, AvgState { sum: 9.0, count: 3 });
+    }
+
+    #[test]
+    fn paper_memory_model() {
+        let agg: Avg<i64> = Avg::new();
+        assert_eq!(agg.state_model_bytes(), 8);
+    }
+}

@@ -1,0 +1,114 @@
+//! `COUNT(DISTINCT …)` as a mergeable aggregate.
+//!
+//! The paper defers duplicate handling ("We did not consider duplicate
+//! elimination … Our choices depend on the number of tuples in each
+//! interval", Section 7). A set-valued partial state makes the aggregate
+//! itself duplicate-aware: `merge` is set union, so the tree algorithms
+//! work unchanged. The trade-off the paper anticipates is explicit here —
+//! state size grows with the number of distinct values per node, unlike
+//! the 4-byte states of the basic aggregates — and
+//! [`Aggregate::state_model_bytes`] reports a per-element estimate.
+
+use crate::aggregate::Aggregate;
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+/// Counts distinct values among the tuples overlapping each constant
+/// interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountDistinct<T>(PhantomData<T>);
+
+impl<T> CountDistinct<T> {
+    pub const fn new() -> Self {
+        CountDistinct(PhantomData)
+    }
+}
+
+impl<T> Aggregate for CountDistinct<T>
+where
+    T: Ord + Clone + std::fmt::Debug + 'static,
+{
+    type Input = T;
+    type State = BTreeSet<T>;
+    type Output = u64;
+
+    fn name(&self) -> &'static str {
+        "COUNT DISTINCT"
+    }
+
+    fn empty_state(&self) -> BTreeSet<T> {
+        BTreeSet::new()
+    }
+
+    #[inline]
+    fn insert(&self, state: &mut BTreeSet<T>, value: &T) {
+        state.insert(value.clone());
+    }
+
+    fn merge(&self, into: &mut BTreeSet<T>, from: &BTreeSet<T>) {
+        into.extend(from.iter().cloned());
+    }
+
+    fn finish(&self, state: &BTreeSet<T>) -> u64 {
+        state.len() as u64
+    }
+
+    fn is_empty_state(&self, state: &BTreeSet<T>) -> bool {
+        state.is_empty()
+    }
+
+    fn state_model_bytes(&self) -> usize {
+        // Unlike the constant-size states, distinct-counting state grows
+        // per element; charge one word per expected element as a planning
+        // estimate.
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_distinct_values() {
+        let agg: CountDistinct<i64> = CountDistinct::new();
+        let mut s = agg.empty_state();
+        for v in [1, 2, 2, 3, 1] {
+            agg.insert(&mut s, &v);
+        }
+        assert_eq!(agg.finish(&s), 3);
+        assert!(!agg.is_empty_state(&s));
+    }
+
+    #[test]
+    fn merge_is_set_union() {
+        let agg: CountDistinct<&str> = CountDistinct::new();
+        let mut a = agg.empty_state();
+        agg.insert(&mut a, &"x");
+        agg.insert(&mut a, &"y");
+        let mut b = agg.empty_state();
+        agg.insert(&mut b, &"y");
+        agg.insert(&mut b, &"z");
+        agg.merge(&mut a, &b);
+        assert_eq!(agg.finish(&a), 3);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        // Union-based merge tolerates the same value arriving via several
+        // paths — the property that makes DISTINCT safe in the tree.
+        let agg: CountDistinct<i64> = CountDistinct::new();
+        let mut a = agg.empty_state();
+        agg.insert(&mut a, &7);
+        let b = a.clone();
+        agg.merge(&mut a, &b);
+        assert_eq!(agg.finish(&a), 1);
+    }
+
+    #[test]
+    fn empty_state() {
+        let agg: CountDistinct<i64> = CountDistinct::new();
+        assert_eq!(agg.finish(&agg.empty_state()), 0);
+        assert!(agg.is_empty_state(&agg.empty_state()));
+    }
+}

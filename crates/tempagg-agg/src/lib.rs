@@ -1,0 +1,35 @@
+//! # tempagg-agg
+//!
+//! Aggregate functions for temporal aggregation, expressed as commutative
+//! monoids over partial states so they can live at the internal nodes of an
+//! aggregation tree (Kline & Snodgrass, ICDE 1995, Section 5.1).
+//!
+//! The paper's five aggregates — [`Count`], [`Sum`], [`Min`], [`Max`],
+//! [`Avg`] — are provided, plus [`Variance`]/[`StdDev`] as extensions, and
+//! a [`DynAggregate`] layer for queries configured at runtime (the SQL
+//! front end).
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod aggregate;
+mod avg;
+mod count;
+mod distinct;
+mod dynamic;
+mod logic;
+mod min_max;
+mod multi;
+mod sum;
+mod variance;
+
+pub use aggregate::{Aggregate, Numeric};
+pub use avg::{Avg, AvgState};
+pub use count::Count;
+pub use distinct::CountDistinct;
+pub use logic::{BoolAnd, BoolOr};
+pub use dynamic::{AggKind, DynAggregate, DynState};
+pub use min_max::{Max, Min};
+pub use multi::MultiDyn;
+pub use sum::Sum;
+pub use variance::{StdDev, Variance, VarianceKind, VarianceState};

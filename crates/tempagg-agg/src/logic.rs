@@ -1,0 +1,149 @@
+//! Boolean aggregates: `BOOL_AND` (every) and `BOOL_OR` (any).
+//!
+//! Useful temporal questions — "was every sensor healthy at each moment?",
+//! "was *any* alarm active?" — and trivially monoidal, so they slot into
+//! all the paper's algorithms.
+
+use crate::aggregate::Aggregate;
+
+/// `true` over a constant interval iff **every** overlapping tuple's value
+/// is true; `None` where no tuple overlaps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoolAnd;
+
+/// `true` over a constant interval iff **any** overlapping tuple's value
+/// is true; `None` where no tuple overlaps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoolOr;
+
+impl Aggregate for BoolAnd {
+    type Input = bool;
+    type State = Option<bool>;
+    type Output = Option<bool>;
+
+    fn name(&self) -> &'static str {
+        "BOOL_AND"
+    }
+
+    fn empty_state(&self) -> Option<bool> {
+        None
+    }
+
+    #[inline]
+    fn insert(&self, state: &mut Option<bool>, value: &bool) {
+        *state = Some(state.unwrap_or(true) && *value);
+    }
+
+    #[inline]
+    fn merge(&self, into: &mut Option<bool>, from: &Option<bool>) {
+        if let Some(v) = from {
+            self.insert(into, v);
+        }
+    }
+
+    fn finish(&self, state: &Option<bool>) -> Option<bool> {
+        *state
+    }
+
+    fn is_empty_state(&self, state: &Option<bool>) -> bool {
+        state.is_none()
+    }
+
+    fn state_model_bytes(&self) -> usize {
+        1
+    }
+}
+
+impl Aggregate for BoolOr {
+    type Input = bool;
+    type State = Option<bool>;
+    type Output = Option<bool>;
+
+    fn name(&self) -> &'static str {
+        "BOOL_OR"
+    }
+
+    fn empty_state(&self) -> Option<bool> {
+        None
+    }
+
+    #[inline]
+    fn insert(&self, state: &mut Option<bool>, value: &bool) {
+        *state = Some(state.unwrap_or(false) || *value);
+    }
+
+    #[inline]
+    fn merge(&self, into: &mut Option<bool>, from: &Option<bool>) {
+        if let Some(v) = from {
+            self.insert(into, v);
+        }
+    }
+
+    fn finish(&self, state: &Option<bool>) -> Option<bool> {
+        *state
+    }
+
+    fn is_empty_state(&self, state: &Option<bool>) -> bool {
+        state.is_none()
+    }
+
+    fn state_model_bytes(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold<A: Aggregate<Input = bool>>(agg: &A, values: &[bool]) -> A::Output {
+        let mut s = agg.empty_state();
+        for v in values {
+            agg.insert(&mut s, v);
+        }
+        agg.finish(&s)
+    }
+
+    #[test]
+    fn and_semantics() {
+        assert_eq!(fold(&BoolAnd, &[true, true]), Some(true));
+        assert_eq!(fold(&BoolAnd, &[true, false, true]), Some(false));
+        assert_eq!(fold(&BoolAnd, &[]), None);
+    }
+
+    #[test]
+    fn or_semantics() {
+        assert_eq!(fold(&BoolOr, &[false, false]), Some(false));
+        assert_eq!(fold(&BoolOr, &[false, true]), Some(true));
+        assert_eq!(fold(&BoolOr, &[]), None);
+    }
+
+    #[test]
+    fn merge_commutes_and_has_identity() {
+        for agg in [true, false] {
+            // Test both aggregates via a closure over their shared shape.
+            let check = |merge: &dyn Fn(&mut Option<bool>, &Option<bool>)| {
+                for (x, y) in [
+                    (None, Some(true)),
+                    (Some(false), Some(true)),
+                    (Some(true), None),
+                    (None, None),
+                ] {
+                    let mut a = x;
+                    merge(&mut a, &y);
+                    let mut b = y;
+                    merge(&mut b, &x);
+                    assert_eq!(a, b);
+                }
+                let mut s = Some(true);
+                merge(&mut s, &None);
+                assert_eq!(s, Some(true));
+            };
+            if agg {
+                check(&|a, b| BoolAnd.merge(a, b));
+            } else {
+                check(&|a, b| BoolOr.merge(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! `MIN` and `MAX` over an ordered attribute.
+//!
+//! These *select* their value rather than computing one (Section 2), and
+//! only need insertion — the temporal algorithms never delete from a state —
+//! so a plain `Option<T>` extremum suffices.
+
+use crate::aggregate::Aggregate;
+use std::marker::PhantomData;
+
+/// The minimum attribute value among tuples overlapping each constant
+/// interval; `None` where no tuple overlaps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Min<T>(PhantomData<T>);
+
+/// The maximum attribute value among tuples overlapping each constant
+/// interval; `None` where no tuple overlaps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Max<T>(PhantomData<T>);
+
+impl<T> Min<T> {
+    pub const fn new() -> Self {
+        Min(PhantomData)
+    }
+}
+
+impl<T> Max<T> {
+    pub const fn new() -> Self {
+        Max(PhantomData)
+    }
+}
+
+impl<T> Aggregate for Min<T>
+where
+    T: Ord + Clone + std::fmt::Debug + PartialEq + 'static,
+{
+    type Input = T;
+    type State = Option<T>;
+    type Output = Option<T>;
+
+    fn name(&self) -> &'static str {
+        "MIN"
+    }
+
+    fn empty_state(&self) -> Option<T> {
+        None
+    }
+
+    #[inline]
+    fn insert(&self, state: &mut Option<T>, value: &T) {
+        match state {
+            Some(cur) if *cur <= *value => {}
+            _ => *state = Some(value.clone()),
+        }
+    }
+
+    #[inline]
+    fn merge(&self, into: &mut Option<T>, from: &Option<T>) {
+        if let Some(v) = from {
+            self.insert(into, v);
+        }
+    }
+
+    fn finish(&self, state: &Option<T>) -> Option<T> {
+        state.clone()
+    }
+
+    fn is_empty_state(&self, state: &Option<T>) -> bool {
+        state.is_none()
+    }
+
+    fn state_model_bytes(&self) -> usize {
+        4
+    }
+}
+
+impl<T> Aggregate for Max<T>
+where
+    T: Ord + Clone + std::fmt::Debug + PartialEq + 'static,
+{
+    type Input = T;
+    type State = Option<T>;
+    type Output = Option<T>;
+
+    fn name(&self) -> &'static str {
+        "MAX"
+    }
+
+    fn empty_state(&self) -> Option<T> {
+        None
+    }
+
+    #[inline]
+    fn insert(&self, state: &mut Option<T>, value: &T) {
+        match state {
+            Some(cur) if *cur >= *value => {}
+            _ => *state = Some(value.clone()),
+        }
+    }
+
+    #[inline]
+    fn merge(&self, into: &mut Option<T>, from: &Option<T>) {
+        if let Some(v) = from {
+            self.insert(into, v);
+        }
+    }
+
+    fn finish(&self, state: &Option<T>) -> Option<T> {
+        state.clone()
+    }
+
+    fn is_empty_state(&self, state: &Option<T>) -> bool {
+        state.is_none()
+    }
+
+    fn state_model_bytes(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_selects_smallest() {
+        let agg: Min<i64> = Min::new();
+        let mut s = agg.empty_state();
+        agg.insert(&mut s, &45_000);
+        agg.insert(&mut s, &35_000);
+        agg.insert(&mut s, &40_000);
+        assert_eq!(agg.finish(&s), Some(35_000));
+    }
+
+    #[test]
+    fn max_selects_largest() {
+        let agg: Max<i64> = Max::new();
+        let mut s = agg.empty_state();
+        agg.insert(&mut s, &45_000);
+        agg.insert(&mut s, &35_000);
+        assert_eq!(agg.finish(&s), Some(45_000));
+    }
+
+    #[test]
+    fn empty_extremum_is_none() {
+        let min: Min<i64> = Min::new();
+        assert_eq!(min.finish(&min.empty_state()), None);
+        assert!(min.is_empty_state(&None));
+    }
+
+    #[test]
+    fn merge_is_extremum_of_states() {
+        let agg: Min<i64> = Min::new();
+        let mut a = Some(5);
+        agg.merge(&mut a, &Some(3));
+        assert_eq!(a, Some(3));
+        agg.merge(&mut a, &Some(9));
+        assert_eq!(a, Some(3));
+        agg.merge(&mut a, &None);
+        assert_eq!(a, Some(3));
+    }
+
+    #[test]
+    fn merge_commutes() {
+        let agg: Max<i64> = Max::new();
+        for (x, y) in [(Some(1), Some(2)), (None, Some(7)), (Some(3), None)] {
+            let mut a = x;
+            agg.merge(&mut a, &y);
+            let mut b = y;
+            agg.merge(&mut b, &x);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn works_on_strings() {
+        let agg: Min<String> = Min::new();
+        let mut s = agg.empty_state();
+        agg.insert(&mut s, &"Richard".to_owned());
+        agg.insert(&mut s, &"Karen".to_owned());
+        assert_eq!(agg.finish(&s).as_deref(), Some("Karen"));
+    }
+}

@@ -1,0 +1,250 @@
+//! `VARIANCE` and `STDDEV` — extension aggregates beyond the paper's five.
+//!
+//! Included to demonstrate that any commutative-monoid aggregate slots into
+//! the paper's algorithms unchanged. The state is the classic mergeable
+//! `(count, mean, M2)` triple (Chan/Golub/LeVeque parallel variance), whose
+//! `merge` is exactly what internal tree nodes need.
+
+use crate::aggregate::{Aggregate, Numeric};
+use std::marker::PhantomData;
+
+/// Mergeable variance state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VarianceState {
+    pub count: u64,
+    pub mean: f64,
+    /// Sum of squared deviations from the mean.
+    pub m2: f64,
+}
+
+/// Which variance estimator to report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VarianceKind {
+    /// Divide by `n − 1` (SQL `VAR_SAMP`); `None` unless `n ≥ 2`.
+    #[default]
+    Sample,
+    /// Divide by `n` (SQL `VAR_POP`); `None` unless `n ≥ 1`.
+    Population,
+}
+
+/// Variance of a numeric attribute per constant interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Variance<T> {
+    kind: VarianceKind,
+    _marker: PhantomData<T>,
+}
+
+/// Standard deviation of a numeric attribute per constant interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StdDev<T> {
+    inner: Variance<T>,
+}
+
+impl<T> Variance<T> {
+    pub const fn new(kind: VarianceKind) -> Self {
+        Variance {
+            kind,
+            _marker: PhantomData,
+        }
+    }
+
+    pub const fn sample() -> Self {
+        Self::new(VarianceKind::Sample)
+    }
+
+    pub const fn population() -> Self {
+        Self::new(VarianceKind::Population)
+    }
+}
+
+impl<T> StdDev<T> {
+    pub const fn new(kind: VarianceKind) -> Self {
+        StdDev {
+            inner: Variance::new(kind),
+        }
+    }
+
+    pub const fn sample() -> Self {
+        Self::new(VarianceKind::Sample)
+    }
+
+    pub const fn population() -> Self {
+        Self::new(VarianceKind::Population)
+    }
+}
+
+fn variance_of(state: &VarianceState, kind: VarianceKind) -> Option<f64> {
+    match kind {
+        VarianceKind::Sample if state.count >= 2 => Some(state.m2 / (state.count - 1) as f64),
+        VarianceKind::Population if state.count >= 1 => Some(state.m2 / state.count as f64),
+        _ => None,
+    }
+}
+
+impl<T: Numeric> Aggregate for Variance<T> {
+    type Input = T;
+    type State = VarianceState;
+    type Output = Option<f64>;
+
+    fn name(&self) -> &'static str {
+        "VARIANCE"
+    }
+
+    fn empty_state(&self) -> VarianceState {
+        VarianceState {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    #[inline]
+    fn insert(&self, state: &mut VarianceState, value: &T) {
+        // Welford's online update.
+        let x = value.to_f64();
+        state.count += 1;
+        let delta = x - state.mean;
+        state.mean += delta / state.count as f64;
+        state.m2 += delta * (x - state.mean);
+    }
+
+    #[inline]
+    fn merge(&self, into: &mut VarianceState, from: &VarianceState) {
+        if from.count == 0 {
+            return;
+        }
+        if into.count == 0 {
+            *into = *from;
+            return;
+        }
+        let n = (into.count + from.count) as f64;
+        let delta = from.mean - into.mean;
+        let m2 = into.m2
+            + from.m2
+            + delta * delta * (into.count as f64 * from.count as f64) / n;
+        into.mean = (into.mean * into.count as f64 + from.mean * from.count as f64) / n;
+        into.m2 = m2;
+        into.count += from.count;
+    }
+
+    fn finish(&self, state: &VarianceState) -> Option<f64> {
+        variance_of(state, self.kind)
+    }
+
+    fn is_empty_state(&self, state: &VarianceState) -> bool {
+        state.count == 0
+    }
+
+    fn state_model_bytes(&self) -> usize {
+        // Not in the paper; count + mean + M2 at the paper's 4-byte word
+        // size.
+        12
+    }
+}
+
+impl<T: Numeric> Aggregate for StdDev<T> {
+    type Input = T;
+    type State = VarianceState;
+    type Output = Option<f64>;
+
+    fn name(&self) -> &'static str {
+        "STDDEV"
+    }
+
+    fn empty_state(&self) -> VarianceState {
+        self.inner.empty_state()
+    }
+
+    #[inline]
+    fn insert(&self, state: &mut VarianceState, value: &T) {
+        self.inner.insert(state, value);
+    }
+
+    #[inline]
+    fn merge(&self, into: &mut VarianceState, from: &VarianceState) {
+        self.inner.merge(into, from);
+    }
+
+    fn finish(&self, state: &VarianceState) -> Option<f64> {
+        self.inner.finish(state).map(f64::sqrt)
+    }
+
+    fn is_empty_state(&self, state: &VarianceState) -> bool {
+        state.count == 0
+    }
+
+    fn state_model_bytes(&self) -> usize {
+        self.inner.state_model_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold(agg: &Variance<f64>, xs: &[f64]) -> VarianceState {
+        let mut s = agg.empty_state();
+        for x in xs {
+            agg.insert(&mut s, x);
+        }
+        s
+    }
+
+    #[test]
+    fn population_variance_matches_definition() {
+        let agg: Variance<f64> = Variance::population();
+        let s = fold(&agg, &[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let v = agg.finish(&s).unwrap();
+        assert!((v - 4.0).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn sample_variance_needs_two_points() {
+        let agg: Variance<f64> = Variance::sample();
+        let one = fold(&agg, &[3.0]);
+        assert_eq!(agg.finish(&one), None);
+        let two = fold(&agg, &[3.0, 5.0]);
+        assert!((agg.finish(&two).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential_insert() {
+        let agg: Variance<f64> = Variance::population();
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let whole = fold(&agg, &xs);
+        for split in 0..=xs.len() {
+            let mut left = fold(&agg, &xs[..split]);
+            let right = fold(&agg, &xs[split..]);
+            agg.merge(&mut left, &right);
+            assert_eq!(left.count, whole.count);
+            assert!((left.mean - whole.mean).abs() < 1e-9);
+            assert!((left.m2 - whole.m2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stddev_is_sqrt_of_variance() {
+        let agg: StdDev<f64> = StdDev::population();
+        let var: Variance<f64> = Variance::population();
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = agg.empty_state();
+        for x in &xs {
+            agg.insert(&mut s, x);
+        }
+        let sd = agg.finish(&s).unwrap();
+        let v = var.finish(&s).unwrap();
+        assert!((sd - v.sqrt()).abs() < 1e-12);
+        assert_eq!(agg.name(), "STDDEV");
+    }
+
+    #[test]
+    fn empty_state_behaviour() {
+        let agg: Variance<i64> = Variance::sample();
+        let e = agg.empty_state();
+        assert!(agg.is_empty_state(&e));
+        assert_eq!(agg.finish(&e), None);
+        let mut a = e;
+        agg.merge(&mut a, &e);
+        assert!(agg.is_empty_state(&a));
+    }
+}

@@ -1,0 +1,152 @@
+//! Moving-window aggregates over event relations (Section 2's "aggregates
+//! may also be evaluated over event relations").
+//!
+//! A trailing window query — "the aggregate of the events in the last `w`
+//! instants, at every instant" — is exactly a temporal aggregate over the
+//! interval relation where each event holds for its window of influence.
+//! That reduction lets every algorithm in this crate answer event-window
+//! queries; this module packages it.
+
+use crate::agg_tree::AggregationTree;
+use crate::ktree::KOrderedAggregationTree;
+use crate::traits::TemporalAggregator;
+use tempagg_agg::Aggregate;
+use tempagg_core::{Interval, Result, Series, Timestamp};
+
+/// Re-exported so callers need only this module for window queries.
+pub use tempagg_core::WindowAlignment;
+
+/// Compute a moving-window aggregate over `(instant, value)` events.
+///
+/// Each event influences `window` instants per `alignment`; the result is
+/// the aggregate per constant interval over the whole time-line. Events
+/// need not be ordered — the aggregation tree handles any order. When the
+/// events *are* time-ordered and the alignment is `Trailing`, the derived
+/// intervals are sorted too and the k-ordered tree with `k = 1` streams
+/// the computation in constant memory ([`moving_aggregate_sorted`]).
+pub fn moving_aggregate<A: Aggregate>(
+    agg: A,
+    events: &[(Timestamp, A::Input)],
+    window: i64,
+    alignment: WindowAlignment,
+) -> Result<Series<A::Output>>
+where
+    A::Input: Clone,
+{
+    let mut tree = AggregationTree::new(agg);
+    for (at, value) in events {
+        tree.push(influence(*at, window, alignment)?, value.clone())?;
+    }
+    Ok(tree.finish())
+}
+
+/// Streaming variant for time-ordered events with trailing windows: the
+/// derived intervals arrive sorted by start time, so the k-ordered tree
+/// with `k = 1` applies and peak memory stays window-bound.
+pub fn moving_aggregate_sorted<A: Aggregate>(
+    agg: A,
+    events: &[(Timestamp, A::Input)],
+    window: i64,
+) -> Result<Series<A::Output>>
+where
+    A::Input: Clone,
+{
+    let mut tree = KOrderedAggregationTree::new(agg, 1)?;
+    for (at, value) in events {
+        tree.push(influence(*at, window, WindowAlignment::Trailing)?, value.clone())?;
+    }
+    Ok(tree.finish())
+}
+
+/// The interval of instants an event at `at` influences.
+fn influence(at: Timestamp, window: i64, alignment: WindowAlignment) -> Result<Interval> {
+    if window <= 0 {
+        return Err(tempagg_core::TempAggError::InvalidSpan { length: window });
+    }
+    let (start, end) = match alignment {
+        WindowAlignment::Trailing => (at, at + (window - 1)),
+        WindowAlignment::Leading => (at - (window - 1), at),
+        WindowAlignment::Centered => {
+            let back = (window - 1) / 2;
+            (at - back, at + (window - 1 - back))
+        }
+    };
+    Interval::new(start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempagg_agg::{Count, Sum};
+
+    /// Brute-force trailing-window count at one instant.
+    fn brute_count(events: &[(Timestamp, i64)], t: i64, w: i64) -> u64 {
+        events
+            .iter()
+            .filter(|(at, _)| at.get() > t - w && at.get() <= t)
+            .count() as u64
+    }
+
+    #[test]
+    fn trailing_count_matches_brute_force() {
+        let events: Vec<(Timestamp, i64)> = [3i64, 5, 5, 9, 14, 20, 21]
+            .iter()
+            .map(|&t| (Timestamp(t), 1))
+            .collect();
+        let series =
+            moving_aggregate(Count, &count_events(&events), 5, WindowAlignment::Trailing)
+                .unwrap();
+        for t in 0..30 {
+            let expected = brute_count(&events, t, 5);
+            let got = series.value_at(Timestamp(t)).copied().unwrap_or(0);
+            assert_eq!(got, expected, "t = {t}");
+        }
+    }
+
+    fn count_events(events: &[(Timestamp, i64)]) -> Vec<(Timestamp, ())> {
+        events.iter().map(|&(t, _)| (t, ())).collect()
+    }
+
+    #[test]
+    fn sorted_streaming_equals_batch() {
+        let events: Vec<(Timestamp, ())> =
+            (0..200).map(|i| (Timestamp(i * 3), ())).collect();
+        let batch =
+            moving_aggregate(Count, &events, 10, WindowAlignment::Trailing).unwrap();
+        let streamed = moving_aggregate_sorted(Count, &events, 10).unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn moving_sum() {
+        let events = vec![(Timestamp(0), 10i64), (Timestamp(2), 5), (Timestamp(10), 7)];
+        let series =
+            moving_aggregate(Sum::<i64>::new(), &events, 4, WindowAlignment::Trailing).unwrap();
+        assert_eq!(series.value_at(Timestamp(0)), Some(&Some(10)));
+        assert_eq!(series.value_at(Timestamp(3)), Some(&Some(15)));
+        assert_eq!(series.value_at(Timestamp(4)), Some(&Some(5)));
+        assert_eq!(series.value_at(Timestamp(6)), Some(&None));
+        assert_eq!(series.value_at(Timestamp(12)), Some(&Some(7)));
+    }
+
+    #[test]
+    fn alignments_shift_the_series() {
+        let events = vec![(Timestamp(10), ())];
+        let trailing =
+            moving_aggregate(Count, &events, 3, WindowAlignment::Trailing).unwrap();
+        let leading = moving_aggregate(Count, &events, 3, WindowAlignment::Leading).unwrap();
+        let centered =
+            moving_aggregate(Count, &events, 3, WindowAlignment::Centered).unwrap();
+        assert_eq!(trailing.value_at(Timestamp(12)), Some(&1));
+        assert_eq!(leading.value_at(Timestamp(8)), Some(&1));
+        assert_eq!(centered.value_at(Timestamp(9)), Some(&1));
+        assert_eq!(centered.value_at(Timestamp(11)), Some(&1));
+        assert_eq!(centered.value_at(Timestamp(12)), Some(&0));
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(moving_aggregate(Count, &[(Timestamp(0), ())], 0, WindowAlignment::Trailing)
+            .is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! A brute-force reference implementation used to validate the real
+//! algorithms.
+//!
+//! Temporal grouping by instant is *defined* (Section 2) as: partition the
+//! time-line at every instant, compute the aggregate over the tuples
+//! overlapping each instant, and coalesce runs of instants with identical
+//! tuple sets into constant intervals. This module implements that
+//! definition directly — O(n²), no shared code with the algorithms under
+//! test — so every algorithm can be checked against it.
+
+use tempagg_agg::Aggregate;
+use tempagg_core::{Interval, Series, SeriesEntry, Timestamp};
+
+/// Compute the aggregate series over `domain` by explicit constant-interval
+/// enumeration and per-interval scans of all tuples.
+pub fn oracle<A: Aggregate>(
+    agg: &A,
+    domain: Interval,
+    tuples: &[(Interval, A::Input)],
+) -> Series<A::Output> {
+    // Constant-interval boundaries: the domain start, every tuple start,
+    // and the instant after every tuple end (closed-interval semantics).
+    let mut boundaries: Vec<Timestamp> = Vec::with_capacity(2 * tuples.len() + 1);
+    boundaries.push(domain.start());
+    for (iv, _) in tuples {
+        assert!(
+            domain.covers(iv),
+            "oracle tuple {iv} outside domain {domain}"
+        );
+        if iv.start() > domain.start() {
+            boundaries.push(iv.start());
+        }
+        if iv.end() < domain.end() {
+            boundaries.push(iv.end().next());
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    let mut entries: Vec<SeriesEntry<A::Output>> = Vec::with_capacity(boundaries.len());
+    for (i, &start) in boundaries.iter().enumerate() {
+        let end = boundaries
+            .get(i + 1)
+            .map_or(domain.end(), |next| next.prev());
+        let segment = Interval::new(start, end).expect("boundaries are increasing");
+        let mut state = agg.empty_state();
+        for (iv, value) in tuples {
+            if iv.overlaps(&segment) {
+                agg.insert(&mut state, value);
+            }
+        }
+        entries.push(SeriesEntry::new(segment, agg.finish(&state)));
+    }
+    Series::from_entries(entries)
+}
+
+/// The aggregate value at a single instant, by direct scan. Used to
+/// cross-check [`oracle`] itself in property tests.
+pub fn value_at_instant<A: Aggregate>(
+    agg: &A,
+    t: Timestamp,
+    tuples: &[(Interval, A::Input)],
+) -> A::Output {
+    let mut state = agg.empty_state();
+    for (iv, value) in tuples {
+        if iv.contains(t) {
+            agg.insert(&mut state, value);
+        }
+    }
+    agg.finish(&state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempagg_agg::Count;
+
+    #[test]
+    fn oracle_matches_table1() {
+        let tuples = vec![
+            (Interval::from_start(18), ()),
+            (Interval::at(8, 20), ()),
+            (Interval::at(7, 12), ()),
+            (Interval::at(18, 21), ()),
+        ];
+        let s = oracle(&Count, Interval::TIMELINE, &tuples);
+        let rows: Vec<(Interval, u64)> = s.iter().map(|e| (e.interval, e.value)).collect();
+        assert_eq!(
+            rows,
+            vec![
+                (Interval::at(0, 6), 0),
+                (Interval::at(7, 7), 1),
+                (Interval::at(8, 12), 2),
+                (Interval::at(13, 17), 1),
+                (Interval::at(18, 20), 3),
+                (Interval::at(21, 21), 2),
+                (Interval::from_start(22), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn oracle_on_empty_input() {
+        let s = oracle(&Count, Interval::at(0, 9), &[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.entries()[0].interval, Interval::at(0, 9));
+        assert_eq!(s.entries()[0].value, 0);
+    }
+
+    #[test]
+    fn series_values_agree_with_instant_scan() {
+        let tuples = vec![
+            (Interval::at(0, 5), ()),
+            (Interval::at(3, 9), ()),
+            (Interval::at(9, 9), ()),
+        ];
+        let s = oracle(&Count, Interval::at(0, 12), &tuples);
+        for e in &s {
+            for t in [e.interval.start(), e.interval.end()] {
+                assert_eq!(e.value, value_at_instant(&Count, t, &tuples));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn oracle_rejects_out_of_domain() {
+        oracle(&Count, Interval::at(0, 5), &[(Interval::at(3, 9), ())]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Snapshot (conventional) aggregate computation — Section 3.
+//!
+//! The paper builds on Epstein's classic two-step algorithm for scalar
+//! aggregates in snapshot databases: allocate a result tuple holding a
+//! *counter* and a *result attribute*, then fold every qualifying tuple
+//! into both. The counter serves aggregates that need cardinality (COUNT,
+//! AVG) and lets MIN/MAX recognise the first tuple. GROUP BY is handled
+//! with a temporary relation keyed by the grouping value — the technique
+//! Section 4.2 extends with interval keys to obtain the temporal linked
+//! list.
+//!
+//! These routines also answer *timeslice* queries: the temporal aggregate
+//! at one instant is the scalar aggregate of the tuples overlapping it.
+
+use std::collections::BTreeMap;
+use tempagg_agg::Aggregate;
+use tempagg_core::{Interval, Timestamp};
+
+/// Epstein's result tuple: the aggregate output plus the qualifying-tuple
+/// counter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalarResult<O> {
+    pub value: O,
+    /// Number of tuples folded in ("used to count the number of tuples
+    /// that satisfy this aggregate's qualification").
+    pub count: u64,
+}
+
+/// Compute one scalar aggregate over a stream of qualifying values
+/// (Section 3, step 1–2).
+pub fn scalar<A, I>(agg: &A, values: I) -> ScalarResult<A::Output>
+where
+    A: Aggregate,
+    I: IntoIterator<Item = A::Input>,
+{
+    let mut state = agg.empty_state();
+    let mut count = 0u64;
+    for value in values {
+        agg.insert(&mut state, &value);
+        count += 1;
+    }
+    ScalarResult {
+        value: agg.finish(&state),
+        count,
+    }
+}
+
+/// Scalar aggregation with GROUP BY via Epstein's temporary relation: one
+/// `(counter, result)` entry per distinct grouping value, returned in key
+/// order.
+pub fn grouped_scalar<K, A, I>(agg: &A, items: I) -> Vec<(K, ScalarResult<A::Output>)>
+where
+    K: Ord,
+    A: Aggregate,
+    I: IntoIterator<Item = (K, A::Input)>,
+{
+    let mut groups: BTreeMap<K, (A::State, u64)> = BTreeMap::new();
+    for (key, value) in items {
+        let entry = groups
+            .entry(key)
+            .or_insert_with(|| (agg.empty_state(), 0));
+        agg.insert(&mut entry.0, &value);
+        entry.1 += 1;
+    }
+    groups
+        .into_iter()
+        .map(|(k, (state, count))| {
+            (
+                k,
+                ScalarResult {
+                    value: agg.finish(&state),
+                    count,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Timeslice aggregate: the temporal aggregate's value at one instant —
+/// the scalar aggregate of the tuples whose valid time contains `t`.
+///
+/// When only a handful of instants matter, this beats materializing all
+/// constant intervals (the situation where Section 6.3 recommends the
+/// linked list; a timeslice is the degenerate one-instant case).
+pub fn at_instant<'a, A, I>(agg: &A, t: Timestamp, tuples: I) -> ScalarResult<A::Output>
+where
+    A: Aggregate,
+    A::Input: Clone + 'a,
+    I: IntoIterator<Item = &'a (Interval, A::Input)>,
+{
+    scalar(
+        agg,
+        tuples
+            .into_iter()
+            .filter(|(iv, _)| iv.contains(t))
+            .map(|(_, v)| v.clone()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempagg_agg::{Avg, Count, Max, Min, Sum};
+
+    fn employed() -> Vec<(Interval, i64)> {
+        vec![
+            (Interval::from_start(18), 40_000),
+            (Interval::at(8, 20), 45_000),
+            (Interval::at(7, 12), 35_000),
+            (Interval::at(18, 21), 37_000),
+        ]
+    }
+
+    #[test]
+    fn scalar_avg_salary() {
+        // The paper's opening example: AVG(Salary) over all employees.
+        let r = scalar(&Avg::<i64>::new(), employed().iter().map(|&(_, s)| s));
+        assert_eq!(r.count, 4);
+        assert_eq!(r.value, Some((40_000.0 + 45_000.0 + 35_000.0 + 37_000.0) / 4.0));
+    }
+
+    #[test]
+    fn scalar_over_empty_input() {
+        let r = scalar(&Sum::<i64>::new(), std::iter::empty());
+        assert_eq!(r.count, 0);
+        assert_eq!(r.value, None);
+        let r = scalar(&Count, std::iter::empty());
+        assert_eq!(r.value, 0);
+    }
+
+    #[test]
+    fn counter_recognises_first_tuple_for_extrema() {
+        let r = scalar(&Min::<i64>::new(), [5, 3, 9]);
+        assert_eq!(r.value, Some(3));
+        assert_eq!(r.count, 3);
+        let r = scalar(&Max::<i64>::new(), [5]);
+        assert_eq!(r.value, Some(5));
+        assert_eq!(r.count, 1);
+    }
+
+    #[test]
+    fn grouped_scalar_by_department() {
+        // AVG(Salary) GROUP BY Dept, the paper's second example query.
+        let items = [
+            ("Research", 40_000i64),
+            ("Research", 45_000),
+            ("Engineering", 35_000),
+            ("Engineering", 37_000),
+        ];
+        let groups = grouped_scalar(&Avg::<i64>::new(), items);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "Engineering");
+        assert_eq!(groups[0].1.value, Some(36_000.0));
+        assert_eq!(groups[0].1.count, 2);
+        assert_eq!(groups[1].0, "Research");
+        assert_eq!(groups[1].1.value, Some(42_500.0));
+    }
+
+    #[test]
+    fn timeslice_matches_table1() {
+        let tuples: Vec<(Interval, ())> =
+            employed().into_iter().map(|(iv, _)| (iv, ())).collect();
+        for (t, expected) in [(0, 0u64), (7, 1), (10, 2), (15, 1), (19, 3), (21, 2), (30, 1)] {
+            let r = at_instant(&Count, Timestamp(t), &tuples);
+            assert_eq!(r.value, expected, "instant {t}");
+        }
+    }
+
+    #[test]
+    fn timeslice_sum() {
+        let tuples = employed();
+        let r = at_instant(&Sum::<i64>::new(), Timestamp(19), &tuples);
+        assert_eq!(r.value, Some(122_000));
+        assert_eq!(r.count, 3);
+    }
+}

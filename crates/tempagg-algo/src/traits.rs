@@ -1,0 +1,62 @@
+//! The common interface of all temporal aggregation algorithms.
+
+use crate::memory::MemoryStats;
+use tempagg_agg::Aggregate;
+use tempagg_core::{Interval, Result, Series};
+
+/// A single-pass temporal aggregation algorithm computing one aggregate
+/// grouped by instant.
+///
+/// All of the paper's algorithms read the underlying relation once, feeding
+/// each tuple's valid-time interval and extracted attribute value through
+/// [`TemporalAggregator::push`]; [`TemporalAggregator::finish`] then yields
+/// the constant intervals of the result in time order, spanning the
+/// configured domain (empty regions included — filter them with
+/// [`Series::filter_values`] if undesired).
+pub trait TemporalAggregator<A: Aggregate> {
+    /// Short algorithm name for reports and plans.
+    fn algorithm(&self) -> &'static str;
+
+    /// Fold one tuple in.
+    ///
+    /// Errors if the interval lies outside the algorithm's domain, or — for
+    /// the k-ordered aggregation tree — if the tuple provably violates the
+    /// promised k-ordering.
+    fn push(&mut self, interval: Interval, value: A::Input) -> Result<()>;
+
+    /// Complete the computation and emit the result series.
+    fn finish(self) -> Series<A::Output>;
+
+    /// Current/peak state-memory usage under the paper's model.
+    fn memory(&self) -> MemoryStats;
+}
+
+/// Run an aggregator to completion over `(interval, value)` pairs.
+pub fn run<A, G, I>(mut aggregator: G, items: I) -> Result<Series<A::Output>>
+where
+    A: Aggregate,
+    G: TemporalAggregator<A>,
+    I: IntoIterator<Item = (Interval, A::Input)>,
+{
+    for (interval, value) in items {
+        aggregator.push(interval, value)?;
+    }
+    Ok(aggregator.finish())
+}
+
+/// Run an aggregator to completion, also reporting peak memory.
+pub fn run_with_stats<A, G, I>(
+    mut aggregator: G,
+    items: I,
+) -> Result<(Series<A::Output>, MemoryStats)>
+where
+    A: Aggregate,
+    G: TemporalAggregator<A>,
+    I: IntoIterator<Item = (Interval, A::Input)>,
+{
+    for (interval, value) in items {
+        aggregator.push(interval, value)?;
+    }
+    let stats = aggregator.memory();
+    Ok((aggregator.finish(), stats))
+}

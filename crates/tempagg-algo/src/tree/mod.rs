@@ -1,0 +1,6 @@
+//! Internal building blocks shared by the tree-based algorithms.
+
+pub(crate) mod arena;
+pub(crate) mod ops;
+
+pub(crate) use arena::{Arena, NodeId};

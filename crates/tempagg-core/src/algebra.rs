@@ -1,0 +1,443 @@
+//! A small valid-time relational algebra.
+//!
+//! The paper situates temporal aggregation inside a TSQL2 evaluator
+//! (Section 2); these are the companion operators such an evaluator needs
+//! around the aggregation step: timeslice, windowing, selection, projection
+//! (with coalescing — projection can create value-equivalent adjacent
+//! tuples), valid-time natural join (value match **and** overlapping valid
+//! time, result stamped with the intersection), union, and difference
+//! (per-value interval subtraction).
+//!
+//! All operators are pure: they build new relations and leave their inputs
+//! untouched.
+
+use crate::coalesce::coalesce_tuples;
+use crate::error::{Result, TempAggError};
+use crate::interval::Interval;
+use crate::relation::TemporalRelation;
+use crate::schema::{Column, Schema};
+use crate::timestamp::Timestamp;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// The tuples valid at instant `t`, stamped `[t, t]` — TSQL2's timeslice,
+/// the bridge from a temporal relation to a snapshot state.
+pub fn timeslice(relation: &TemporalRelation, t: Timestamp) -> TemporalRelation {
+    let mut out = TemporalRelation::new(relation.schema().clone());
+    for tuple in relation {
+        if tuple.valid().contains(t) {
+            out.push_tuple(tuple.clone().with_valid(Interval::instant(t)))
+                .expect("schema unchanged");
+        }
+    }
+    out
+}
+
+/// Restrict a relation to a window: tuples overlapping it, clipped to it
+/// (the semantics of the SQL layer's `VALID OVERLAPS`).
+pub fn window(relation: &TemporalRelation, window: Interval) -> TemporalRelation {
+    let mut out = TemporalRelation::new(relation.schema().clone());
+    for tuple in relation {
+        if let Some(clipped) = tuple.valid().intersect(&window) {
+            out.push_tuple(tuple.clone().with_valid(clipped))
+                .expect("schema unchanged");
+        }
+    }
+    out
+}
+
+/// Non-temporal selection: keep tuples satisfying the predicate.
+pub fn select(
+    relation: &TemporalRelation,
+    mut pred: impl FnMut(&Tuple) -> bool,
+) -> TemporalRelation {
+    let mut out = TemporalRelation::new(relation.schema().clone());
+    for tuple in relation {
+        if pred(tuple) {
+            out.push_tuple(tuple.clone()).expect("schema unchanged");
+        }
+    }
+    out
+}
+
+/// Project onto named columns, then coalesce: dropping distinguishing
+/// columns can make previously distinct tuples value-equivalent, and
+/// temporal projection must merge their valid times.
+pub fn project(relation: &TemporalRelation, columns: &[&str]) -> Result<TemporalRelation> {
+    let schema = relation.schema();
+    let indices: Vec<usize> = columns
+        .iter()
+        .map(|c| schema.index_of(c))
+        .collect::<Result<_>>()?;
+    let projected_schema = Schema::new(
+        indices
+            .iter()
+            .map(|&i| schema.columns()[i].clone())
+            .collect(),
+    )?;
+    let mut out = TemporalRelation::with_capacity(projected_schema, relation.len());
+    for tuple in relation {
+        out.push(
+            indices.iter().map(|&i| tuple.value(i).clone()).collect(),
+            tuple.valid(),
+        )?;
+    }
+    Ok(coalesce_tuples(&out))
+}
+
+fn check_same_schema(a: &TemporalRelation, b: &TemporalRelation) -> Result<()> {
+    if a.schema().columns() == b.schema().columns() {
+        Ok(())
+    } else {
+        Err(TempAggError::SchemaMismatch {
+            detail: format!(
+                "set operation requires identical schemas: {} vs {}",
+                a.schema(),
+                b.schema()
+            ),
+        })
+    }
+}
+
+/// Valid-time union: value-equivalent tuples from either side merge; the
+/// result is coalesced.
+pub fn union(a: &TemporalRelation, b: &TemporalRelation) -> Result<TemporalRelation> {
+    check_same_schema(a, b)?;
+    let mut out = TemporalRelation::with_capacity(a.schema().clone(), a.len() + b.len());
+    for tuple in a.iter().chain(b.iter()) {
+        out.push_tuple(tuple.clone())?;
+    }
+    Ok(coalesce_tuples(&out))
+}
+
+/// Subtract a set of (sorted, coalesced) intervals from `iv`, yielding the
+/// uncovered parts in time order.
+fn subtract_intervals(iv: Interval, holes: &[Interval]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut cursor = iv.start();
+    for hole in holes {
+        let Some(overlap) = hole.intersect(&iv) else {
+            continue;
+        };
+        if overlap.start() > cursor {
+            out.push(
+                Interval::new(cursor, overlap.start().prev()).expect("cursor precedes overlap"),
+            );
+        }
+        cursor = overlap.end().next();
+        if cursor > iv.end() {
+            return out;
+        }
+    }
+    if cursor <= iv.end() {
+        out.push(Interval::new(cursor, iv.end()).expect("cursor within interval"));
+    }
+    out
+}
+
+/// Valid-time difference `a − b`: each `a`-tuple keeps the parts of its
+/// valid time not covered by any value-equivalent `b`-tuple. A tuple can
+/// split into several output tuples (holes punched by `b`).
+pub fn difference(a: &TemporalRelation, b: &TemporalRelation) -> Result<TemporalRelation> {
+    check_same_schema(a, b)?;
+    // Coalesce both sides so each value's intervals are disjoint & sorted.
+    let a = coalesce_tuples(a);
+    let b = coalesce_tuples(b);
+    let mut out = TemporalRelation::new(a.schema().clone());
+    for tuple in &a {
+        let holes: Vec<Interval> = b
+            .iter()
+            .filter(|other| other.values() == tuple.values())
+            .map(|other| other.valid())
+            .collect();
+        for remainder in subtract_intervals(tuple.valid(), &holes) {
+            out.push_tuple(tuple.clone().with_valid(remainder))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Valid-time equi-join: tuples pair when every named column pair matches
+/// **and** their valid times overlap; the output tuple carries `a`'s
+/// columns followed by `b`'s non-join columns, stamped with the
+/// intersection of the valid times.
+///
+/// `on` lists `(a_column, b_column)` pairs. Column-name collisions in the
+/// output are disambiguated with a `right_` prefix.
+pub fn join(
+    a: &TemporalRelation,
+    b: &TemporalRelation,
+    on: &[(&str, &str)],
+) -> Result<TemporalRelation> {
+    if on.is_empty() {
+        return Err(TempAggError::SchemaMismatch {
+            detail: "join requires at least one column pair".into(),
+        });
+    }
+    let a_schema = a.schema();
+    let b_schema = b.schema();
+    let a_keys: Vec<usize> = on
+        .iter()
+        .map(|(ca, _)| a_schema.index_of(ca))
+        .collect::<Result<_>>()?;
+    let b_keys: Vec<usize> = on
+        .iter()
+        .map(|(_, cb)| b_schema.index_of(cb))
+        .collect::<Result<_>>()?;
+
+    // Output schema: all of a, then b's non-key columns (renamed on
+    // collision).
+    let mut columns: Vec<Column> = a_schema.columns().to_vec();
+    let mut b_carry: Vec<usize> = Vec::new();
+    for (i, col) in b_schema.columns().iter().enumerate() {
+        if b_keys.contains(&i) {
+            continue;
+        }
+        b_carry.push(i);
+        let name = if columns.iter().any(|c| c.name == col.name) {
+            format!("right_{}", col.name)
+        } else {
+            col.name.clone()
+        };
+        columns.push(Column {
+            name,
+            ty: col.ty,
+            nullable: col.nullable,
+        });
+    }
+    let out_schema = Schema::new(columns)?;
+
+    let mut out = TemporalRelation::new(out_schema);
+    for left in a {
+        for right in b {
+            let keys_match = a_keys
+                .iter()
+                .zip(&b_keys)
+                .all(|(&ia, &ib)| left.value(ia) == right.value(ib));
+            if !keys_match {
+                continue;
+            }
+            let Some(valid) = left.valid().intersect(&right.valid()) else {
+                continue;
+            };
+            let mut values: Vec<Value> = left.values().to_vec();
+            values.extend(b_carry.iter().map(|&i| right.value(i).clone()));
+            out.push(values, valid)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn employed() -> TemporalRelation {
+        let schema = Schema::of(&[("name", ValueType::Str), ("salary", ValueType::Int)]);
+        let mut r = TemporalRelation::new(schema);
+        for (n, s, iv) in [
+            ("Richard", 40_000, Interval::from_start(18)),
+            ("Karen", 45_000, Interval::at(8, 20)),
+            ("Nathan", 35_000, Interval::at(7, 12)),
+            ("Nathan", 37_000, Interval::at(18, 21)),
+        ] {
+            r.push(vec![Value::from(n), Value::Int(s)], iv).unwrap();
+        }
+        r
+    }
+
+    fn departments() -> TemporalRelation {
+        let schema = Schema::of(&[("emp", ValueType::Str), ("dept", ValueType::Str)]);
+        let mut r = TemporalRelation::new(schema);
+        for (n, d, iv) in [
+            ("Richard", "Research", Interval::at(18, 30)),
+            ("Karen", "Research", Interval::at(0, 15)),
+            ("Nathan", "Engineering", Interval::at(0, 40)),
+        ] {
+            r.push(vec![Value::from(n), Value::from(d)], iv).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn timeslice_matches_figure_2() {
+        let r = employed();
+        assert_eq!(timeslice(&r, Timestamp(0)).len(), 0);
+        assert_eq!(timeslice(&r, Timestamp(10)).len(), 2);
+        let t19 = timeslice(&r, Timestamp(19));
+        assert_eq!(t19.len(), 3);
+        assert!(t19.intervals().all(|iv| iv == Interval::instant(19)));
+    }
+
+    #[test]
+    fn window_clips() {
+        let w = window(&employed(), Interval::at(10, 19));
+        assert_eq!(w.len(), 4);
+        assert!(w.intervals().all(|iv| Interval::at(10, 19).covers(&iv)));
+        let empty = window(&employed(), Interval::at(0, 5));
+        assert_eq!(empty.len(), 0);
+    }
+
+    #[test]
+    fn select_filters_without_mutation() {
+        let r = employed();
+        let high = select(&r, |t| t.value(1).as_i64().unwrap() >= 40_000);
+        assert_eq!(high.len(), 2);
+        assert_eq!(r.len(), 4, "input untouched");
+    }
+
+    #[test]
+    fn project_coalesces_value_equivalent_tuples() {
+        // Projecting Employed onto `name` makes Nathan's two stints
+        // value-equivalent, but they don't meet ([7,12] and [18,21]) so
+        // they stay separate; Karen/Richard unaffected.
+        let p = project(&employed(), &["name"]).unwrap();
+        assert_eq!(p.schema().len(), 1);
+        assert_eq!(p.len(), 4);
+
+        // With adjacent stints they must merge.
+        let schema = Schema::of(&[("name", ValueType::Str), ("x", ValueType::Int)]);
+        let mut r = TemporalRelation::new(schema);
+        r.push(vec![Value::from("a"), Value::Int(1)], Interval::at(0, 5)).unwrap();
+        r.push(vec![Value::from("a"), Value::Int(2)], Interval::at(6, 9)).unwrap();
+        let p = project(&r, &["name"]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.intervals().next().unwrap(), Interval::at(0, 9));
+    }
+
+    #[test]
+    fn project_unknown_column_errors() {
+        assert!(project(&employed(), &["dept"]).is_err());
+    }
+
+    #[test]
+    fn union_coalesces_across_sides() {
+        let schema = Schema::of(&[("name", ValueType::Str)]);
+        let mut a = TemporalRelation::new(schema.clone());
+        a.push(vec![Value::from("x")], Interval::at(0, 5)).unwrap();
+        let mut b = TemporalRelation::new(schema);
+        b.push(vec![Value::from("x")], Interval::at(6, 10)).unwrap();
+        b.push(vec![Value::from("y")], Interval::at(0, 3)).unwrap();
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(u
+            .iter()
+            .any(|t| t.valid() == Interval::at(0, 10) && t.value(0) == &Value::from("x")));
+    }
+
+    #[test]
+    fn union_requires_same_schema() {
+        assert!(union(&employed(), &departments()).is_err());
+    }
+
+    #[test]
+    fn difference_punches_holes() {
+        let schema = Schema::of(&[("name", ValueType::Str)]);
+        let mut a = TemporalRelation::new(schema.clone());
+        a.push(vec![Value::from("x")], Interval::at(0, 20)).unwrap();
+        let mut b = TemporalRelation::new(schema);
+        b.push(vec![Value::from("x")], Interval::at(5, 8)).unwrap();
+        b.push(vec![Value::from("x")], Interval::at(12, 14)).unwrap();
+        b.push(vec![Value::from("y")], Interval::at(0, 50)).unwrap(); // other value: no effect
+        let d = difference(&a, &b).unwrap();
+        let intervals: Vec<Interval> = d.intervals().collect();
+        assert_eq!(
+            intervals,
+            vec![Interval::at(0, 4), Interval::at(9, 11), Interval::at(15, 20)]
+        );
+    }
+
+    #[test]
+    fn difference_can_erase_entirely() {
+        let schema = Schema::of(&[("name", ValueType::Str)]);
+        let mut a = TemporalRelation::new(schema.clone());
+        a.push(vec![Value::from("x")], Interval::at(5, 9)).unwrap();
+        let mut b = TemporalRelation::new(schema);
+        b.push(vec![Value::from("x")], Interval::at(0, 20)).unwrap();
+        assert_eq!(difference(&a, &b).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn subtract_intervals_edge_cases() {
+        let iv = Interval::at(0, 10);
+        assert_eq!(subtract_intervals(iv, &[]), vec![iv]);
+        assert_eq!(
+            subtract_intervals(iv, &[Interval::at(0, 10)]),
+            Vec::<Interval>::new()
+        );
+        assert_eq!(
+            subtract_intervals(iv, &[Interval::at(0, 4)]),
+            vec![Interval::at(5, 10)]
+        );
+        assert_eq!(
+            subtract_intervals(iv, &[Interval::at(6, 10)]),
+            vec![Interval::at(0, 5)]
+        );
+        assert_eq!(
+            subtract_intervals(iv, &[Interval::at(20, 30)]),
+            vec![iv]
+        );
+    }
+
+    #[test]
+    fn join_intersects_valid_times() {
+        let j = join(&employed(), &departments(), &[("name", "emp")]).unwrap();
+        // Karen: [8,20] ∩ [0,15] = [8,15]; Richard: [18,∞] ∩ [18,30] =
+        // [18,30]; Nathan #1: [7,12] ∩ [0,40]; Nathan #2: [18,21] ∩ [0,40].
+        assert_eq!(j.len(), 4);
+        let karen = j
+            .iter()
+            .find(|t| t.value(0) == &Value::from("Karen"))
+            .unwrap();
+        assert_eq!(karen.valid(), Interval::at(8, 15));
+        assert_eq!(karen.value(2), &Value::from("Research"));
+        assert_eq!(
+            j.schema().columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["name", "salary", "dept"]
+        );
+    }
+
+    #[test]
+    fn join_drops_non_overlapping_pairs() {
+        let schema = Schema::of(&[("k", ValueType::Int)]);
+        let mut a = TemporalRelation::new(schema.clone());
+        a.push(vec![Value::Int(1)], Interval::at(0, 5)).unwrap();
+        let mut b = TemporalRelation::new(schema);
+        b.push(vec![Value::Int(1)], Interval::at(6, 10)).unwrap();
+        let j = join(&a, &b, &[("k", "k")]).unwrap();
+        assert_eq!(j.len(), 0);
+    }
+
+    #[test]
+    fn join_renames_colliding_columns() {
+        let schema = Schema::of(&[("k", ValueType::Int), ("v", ValueType::Int)]);
+        let mut a = TemporalRelation::new(schema.clone());
+        a.push(vec![Value::Int(1), Value::Int(10)], Interval::at(0, 9)).unwrap();
+        let mut b = TemporalRelation::new(schema);
+        b.push(vec![Value::Int(1), Value::Int(20)], Interval::at(5, 14)).unwrap();
+        let j = join(&a, &b, &[("k", "k")]).unwrap();
+        assert_eq!(
+            j.schema().columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["k", "v", "right_v"]
+        );
+        assert_eq!(j.tuples()[0].valid(), Interval::at(5, 9));
+    }
+
+    #[test]
+    fn join_requires_columns() {
+        assert!(join(&employed(), &departments(), &[]).is_err());
+        assert!(join(&employed(), &departments(), &[("nope", "emp")]).is_err());
+    }
+
+    #[test]
+    fn join_then_aggregate_composes() {
+        // Head-count per instant among employees assigned to Research —
+        // algebra feeding the paper's aggregation.
+        let j = join(&employed(), &departments(), &[("name", "emp")]).unwrap();
+        let research = select(&j, |t| t.value(2) == &Value::from("Research"));
+        assert_eq!(research.len(), 2);
+        let lifespan = research.lifespan().unwrap();
+        assert_eq!(lifespan, Interval::at(8, 30));
+    }
+}

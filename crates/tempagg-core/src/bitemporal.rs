@@ -1,0 +1,347 @@
+//! Bitemporal relations: valid time × transaction time.
+//!
+//! The paper's introduction distinguishes "when the tuple was written to
+//! disk (known as *transaction time*), or when the tuple was known to be
+//! valid (known as *valid time*)". This module supplies the bitemporal
+//! store a TSQL2 evaluator keeps underneath valid-time queries: every
+//! version carries both intervals, logical deletion closes the transaction
+//! interval instead of removing data, and [`BitemporalRelation::as_of`]
+//! reconstructs the valid-time relation the database *believed* at any
+//! past transaction instant — so a temporal aggregate can be evaluated "as
+//! of" any point in the database's own history.
+//!
+//! Transaction time also grounds the paper's *retroactively bounded*
+//! relations (Section 5.2): scanning versions in transaction-start order
+//! yields exactly the bounded-lag arrival order the k-ordered aggregation
+//! tree exploits.
+
+use crate::error::{Result, TempAggError};
+use crate::interval::Interval;
+use crate::relation::TemporalRelation;
+use crate::schema::Schema;
+use crate::timestamp::Timestamp;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// One stored version: explicit values, valid time, transaction time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Version {
+    values: Box<[Value]>,
+    valid: Interval,
+    transaction: Interval,
+}
+
+impl Version {
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn valid(&self) -> Interval {
+        self.valid
+    }
+
+    /// `[insertion instant, ∞]` while current; closed on logical deletion.
+    pub fn transaction(&self) -> Interval {
+        self.transaction
+    }
+
+    /// Still part of the current database state?
+    pub fn is_current(&self) -> bool {
+        self.transaction.end().is_forever()
+    }
+}
+
+/// An append-only bitemporal relation.
+///
+/// Transaction time is system-maintained: inserts and deletions must carry
+/// non-decreasing transaction instants (the database clock only moves
+/// forward), which the structure enforces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BitemporalRelation {
+    schema: Arc<Schema>,
+    versions: Vec<Version>,
+    clock: Timestamp,
+}
+
+impl BitemporalRelation {
+    pub fn new(schema: Arc<Schema>) -> BitemporalRelation {
+        BitemporalRelation {
+            schema,
+            versions: Vec::new(),
+            clock: Timestamp::MIN,
+        }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Total stored versions (including logically deleted ones — nothing
+    /// is ever physically removed).
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    pub fn versions(&self) -> &[Version] {
+        &self.versions
+    }
+
+    /// The latest transaction instant seen.
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    fn advance_clock(&mut self, at: Timestamp) -> Result<()> {
+        if at < self.clock {
+            return Err(TempAggError::SchemaMismatch {
+                detail: format!(
+                    "transaction time must not decrease: {at} after {}",
+                    self.clock
+                ),
+            });
+        }
+        self.clock = at;
+        Ok(())
+    }
+
+    /// Record a fact valid over `valid`, entered into the database at
+    /// transaction instant `at`.
+    pub fn insert(
+        &mut self,
+        values: Vec<Value>,
+        valid: Interval,
+        at: impl Into<Timestamp>,
+    ) -> Result<()> {
+        let at = at.into();
+        self.schema.check(&values)?;
+        self.advance_clock(at)?;
+        self.versions.push(Version {
+            values: values.into_boxed_slice(),
+            valid,
+            transaction: Interval::new(at, Timestamp::FOREVER)?,
+        });
+        Ok(())
+    }
+
+    /// Logically delete every *current* version matching the predicate, at
+    /// transaction instant `at`: their transaction intervals close at
+    /// `at − 1`; the versions remain queryable via [`Self::as_of`] for
+    /// instants before `at`. Returns how many versions were closed.
+    pub fn delete_where(
+        &mut self,
+        at: impl Into<Timestamp>,
+        mut pred: impl FnMut(&Version) -> bool,
+    ) -> Result<usize> {
+        let at = at.into();
+        self.advance_clock(at)?;
+        let closed_end = at.prev();
+        let mut closed = 0;
+        for version in &mut self.versions {
+            if version.is_current() && pred(version) {
+                if version.transaction.start() > closed_end {
+                    // Inserted and deleted at the same instant: the version
+                    // was never visible; give it an empty-as-possible
+                    // transaction life of exactly its insertion instant.
+                    version.transaction =
+                        Interval::new(version.transaction.start(), version.transaction.start())?;
+                } else {
+                    version.transaction =
+                        Interval::new(version.transaction.start(), closed_end)?;
+                }
+                closed += 1;
+            }
+        }
+        Ok(closed)
+    }
+
+    /// Correct a fact: logically delete current versions matching `pred`
+    /// and insert the replacement, all at transaction instant `at` — a
+    /// retroactive update when `valid` lies in the past.
+    pub fn update_where(
+        &mut self,
+        at: impl Into<Timestamp>,
+        pred: impl FnMut(&Version) -> bool,
+        values: Vec<Value>,
+        valid: Interval,
+    ) -> Result<usize> {
+        let at = at.into();
+        let closed = self.delete_where(at, pred)?;
+        self.insert(values, valid, at)?;
+        Ok(closed)
+    }
+
+    /// The valid-time relation the database believed at transaction
+    /// instant `tt`: versions whose transaction interval contains `tt`,
+    /// projected to values + valid time.
+    pub fn as_of(&self, tt: impl Into<Timestamp>) -> TemporalRelation {
+        let tt = tt.into();
+        let mut out = TemporalRelation::new(self.schema.clone());
+        for version in &self.versions {
+            if version.transaction.contains(tt) {
+                out.push(version.values.to_vec(), version.valid)
+                    .expect("versions were schema-checked on insert");
+            }
+        }
+        out
+    }
+
+    /// The current valid-time relation (`as_of` the latest clock).
+    pub fn current(&self) -> TemporalRelation {
+        self.as_of(Timestamp::FOREVER)
+    }
+
+    /// All versions in transaction-start order — the arrival order a
+    /// retroactively bounded scan sees (Section 5.2).
+    pub fn by_transaction_order(&self) -> Vec<&Version> {
+        let mut versions: Vec<&Version> = self.versions.iter().collect();
+        versions.sort_by_key(|v| (v.transaction.start(), v.valid.start(), v.valid.end()));
+        versions
+    }
+}
+
+impl fmt::Display for BitemporalRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} VALID INTERVAL × TRANSACTION INTERVAL", self.schema)?;
+        for v in &self.versions {
+            write!(f, "  (")?;
+            for (i, value) in v.values.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{value}")?;
+            }
+            writeln!(f, ") {} ⊗ {}", v.valid, v.transaction)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[("name", ValueType::Str), ("salary", ValueType::Int)])
+    }
+
+    fn karen() -> Vec<Value> {
+        vec![Value::from("Karen"), Value::Int(45_000)]
+    }
+
+    fn nathan(salary: i64) -> Vec<Value> {
+        vec![Value::from("Nathan"), Value::Int(salary)]
+    }
+
+    #[test]
+    fn insert_and_as_of() {
+        let mut r = BitemporalRelation::new(schema());
+        r.insert(karen(), Interval::at(8, 20), 100).unwrap();
+        r.insert(nathan(35_000), Interval::at(7, 12), 105).unwrap();
+        // Before anything was written, the database was empty.
+        assert_eq!(r.as_of(99).len(), 0);
+        // Between the inserts, only Karen was known.
+        assert_eq!(r.as_of(102).len(), 1);
+        // Currently, both.
+        assert_eq!(r.current().len(), 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.clock(), Timestamp(105));
+    }
+
+    #[test]
+    fn logical_deletion_preserves_history() {
+        let mut r = BitemporalRelation::new(schema());
+        r.insert(karen(), Interval::at(8, 20), 100).unwrap();
+        let closed = r
+            .delete_where(200, |v| v.values()[0] == Value::from("Karen"))
+            .unwrap();
+        assert_eq!(closed, 1);
+        // Still visible in the past, gone now.
+        assert_eq!(r.as_of(150).len(), 1);
+        assert_eq!(r.current().len(), 0);
+        // The version is physically retained.
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.versions()[0].transaction(), Interval::at(100, 199));
+        assert!(!r.versions()[0].is_current());
+    }
+
+    #[test]
+    fn retroactive_correction() {
+        // Nathan's salary was recorded wrong; corrected later with the
+        // same valid time.
+        let mut r = BitemporalRelation::new(schema());
+        r.insert(nathan(35_000), Interval::at(7, 12), 100).unwrap();
+        let replaced = r
+            .update_where(
+                300,
+                |v| v.values()[0] == Value::from("Nathan"),
+                nathan(36_000),
+                Interval::at(7, 12),
+            )
+            .unwrap();
+        assert_eq!(replaced, 1);
+        // As believed at tt = 200: the old salary.
+        let old = r.as_of(200);
+        assert_eq!(old.tuples()[0].value(1), &Value::Int(35_000));
+        // Currently: the corrected salary, same valid time.
+        let now = r.current();
+        assert_eq!(now.len(), 1);
+        assert_eq!(now.tuples()[0].value(1), &Value::Int(36_000));
+        assert_eq!(now.tuples()[0].valid(), Interval::at(7, 12));
+    }
+
+    #[test]
+    fn clock_never_runs_backwards() {
+        let mut r = BitemporalRelation::new(schema());
+        r.insert(karen(), Interval::at(0, 5), 100).unwrap();
+        assert!(r.insert(karen(), Interval::at(0, 5), 99).is_err());
+        assert!(r.delete_where(50, |_| true).is_err());
+        // Same instant is fine (several writes in one transaction).
+        assert!(r.insert(karen(), Interval::at(6, 9), 100).is_ok());
+    }
+
+    #[test]
+    fn insert_then_delete_same_instant() {
+        let mut r = BitemporalRelation::new(schema());
+        r.insert(karen(), Interval::at(0, 5), 100).unwrap();
+        r.delete_where(100, |_| true).unwrap();
+        // The version never escaped its insertion instant.
+        assert_eq!(r.versions()[0].transaction(), Interval::at(100, 100));
+        assert_eq!(r.current().len(), 0);
+    }
+
+    #[test]
+    fn transaction_order_is_arrival_order() {
+        let mut r = BitemporalRelation::new(schema());
+        // Facts about the past arrive late but within a bounded lag.
+        r.insert(nathan(1), Interval::at(50, 60), 100).unwrap();
+        r.insert(nathan(2), Interval::at(40, 45), 101).unwrap(); // retro
+        r.insert(nathan(3), Interval::at(70, 80), 102).unwrap();
+        let order: Vec<i64> = r
+            .by_transaction_order()
+            .iter()
+            .map(|v| v.values()[1].as_i64().unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut r = BitemporalRelation::new(schema());
+        assert!(r.insert(vec![Value::Int(1)], Interval::at(0, 1), 0).is_err());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn display_shows_both_dimensions() {
+        let mut r = BitemporalRelation::new(schema());
+        r.insert(karen(), Interval::at(8, 20), 100).unwrap();
+        let text = r.to_string();
+        assert!(text.contains("[8, 20] ⊗ [100, ∞]"), "was: {text}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Relation-level coalescing and duplicate elimination.
+//!
+//! Section 7 of the paper leaves duplicate handling open ("Probably the
+//! best single approach for this problem involves removing the duplicates
+//! before the relation is processed, perhaps by sorting"), which is
+//! precisely what these preprocessing passes implement:
+//!
+//! * [`eliminate_duplicates`] drops exact duplicates — identical explicit
+//!   attributes *and* identical valid time — keeping the first occurrence.
+//! * [`coalesce_tuples`] performs TSQL2 *coalescing*: value-equivalent
+//!   tuples whose valid times overlap or meet are merged into one tuple
+//!   covering the union. A coalesced relation never double-counts a fact
+//!   that was stored as several adjacent rows.
+//!
+//! Both are sort-based, O(n log n), and preserve nothing about storage
+//! order (the result is ordered by value then time) — callers that need a
+//! specific order re-sort afterwards.
+
+use crate::relation::TemporalRelation;
+use crate::tuple::Tuple;
+
+/// Sort key: explicit values, then valid time.
+fn sort_key(t: &Tuple) -> (Vec<crate::value::Value>, crate::timestamp::Timestamp, crate::timestamp::Timestamp) {
+    (
+        t.values().to_vec(),
+        t.valid().start(),
+        t.valid().end(),
+    )
+}
+
+/// Remove tuples that are exact duplicates (same attributes, same valid
+/// interval) of an earlier tuple.
+pub fn eliminate_duplicates(relation: &TemporalRelation) -> TemporalRelation {
+    let mut sorted: Vec<&Tuple> = relation.iter().collect();
+    sorted.sort_by_key(|t| sort_key(t));
+    let mut out = TemporalRelation::with_capacity(relation.schema().clone(), sorted.len());
+    let mut prev: Option<&Tuple> = None;
+    for tuple in sorted {
+        if prev != Some(tuple) {
+            out.push_tuple(tuple.clone())
+                .expect("tuples come from a schema-checked relation");
+        }
+        prev = Some(tuple);
+    }
+    out
+}
+
+/// TSQL2-coalesce a relation: merge value-equivalent tuples whose valid
+/// intervals overlap or meet.
+pub fn coalesce_tuples(relation: &TemporalRelation) -> TemporalRelation {
+    let mut sorted: Vec<&Tuple> = relation.iter().collect();
+    sorted.sort_by_key(|t| sort_key(t));
+    let mut out = TemporalRelation::with_capacity(relation.schema().clone(), sorted.len());
+    let mut pending: Option<Tuple> = None;
+    for tuple in sorted {
+        match pending.take() {
+            None => pending = Some(tuple.clone()),
+            Some(current) => {
+                let same_values = current.values() == tuple.values();
+                let joinable = current.valid().overlaps(&tuple.valid())
+                    || current.valid().meets(&tuple.valid());
+                if same_values && joinable {
+                    let merged = current.valid().hull(&tuple.valid());
+                    pending = Some(current.with_valid(merged));
+                } else {
+                    out.push_tuple(current)
+                        .expect("tuples come from a schema-checked relation");
+                    pending = Some(tuple.clone());
+                }
+            }
+        }
+    }
+    if let Some(current) = pending {
+        out.push_tuple(current)
+            .expect("tuples come from a schema-checked relation");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueType};
+
+    fn relation(rows: &[(&str, i64, i64)]) -> TemporalRelation {
+        let schema = Schema::of(&[("name", ValueType::Str)]);
+        let mut r = TemporalRelation::new(schema);
+        for &(name, s, e) in rows {
+            r.push(vec![Value::from(name)], Interval::at(s, e)).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let r = relation(&[("a", 0, 5), ("a", 0, 5), ("a", 0, 5), ("b", 0, 5)]);
+        let d = eliminate_duplicates(&r);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn near_duplicates_survive_elimination() {
+        // Same value, different interval — not a duplicate.
+        let r = relation(&[("a", 0, 5), ("a", 0, 6)]);
+        assert_eq!(eliminate_duplicates(&r).len(), 2);
+        // Different value, same interval.
+        let r = relation(&[("a", 0, 5), ("b", 0, 5)]);
+        assert_eq!(eliminate_duplicates(&r).len(), 2);
+    }
+
+    #[test]
+    fn coalesce_merges_overlapping_and_meeting() {
+        let r = relation(&[("a", 0, 5), ("a", 3, 9), ("a", 10, 12), ("a", 20, 25)]);
+        let c = coalesce_tuples(&r);
+        // [0,5] ∪ [3,9] overlap; [10,12] meets [0..9]+1; [20,25] is apart.
+        let intervals: Vec<Interval> = c.intervals().collect();
+        assert_eq!(intervals, vec![Interval::at(0, 12), Interval::at(20, 25)]);
+    }
+
+    #[test]
+    fn coalesce_respects_values() {
+        let r = relation(&[("a", 0, 5), ("b", 6, 10)]);
+        let c = coalesce_tuples(&r);
+        assert_eq!(c.len(), 2, "different values never merge");
+    }
+
+    #[test]
+    fn coalesce_absorbs_contained_intervals() {
+        let r = relation(&[("a", 0, 100), ("a", 10, 20), ("a", 30, 40)]);
+        let c = coalesce_tuples(&r);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.intervals().next().unwrap(), Interval::at(0, 100));
+    }
+
+    #[test]
+    fn coalesce_then_count_fixes_double_counting() {
+        // The same employment stored as two adjacent rows must count once
+        // after coalescing.
+        let r = relation(&[("a", 0, 5), ("a", 6, 10)]);
+        let c = coalesce_tuples(&r);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.intervals().next().unwrap(), Interval::at(0, 10));
+    }
+
+    #[test]
+    fn empty_and_singleton_relations() {
+        let r = relation(&[]);
+        assert_eq!(eliminate_duplicates(&r).len(), 0);
+        assert_eq!(coalesce_tuples(&r).len(), 0);
+        let r = relation(&[("a", 1, 2)]);
+        assert_eq!(coalesce_tuples(&r).len(), 1);
+    }
+}

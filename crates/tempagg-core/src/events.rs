@@ -1,0 +1,249 @@
+//! Event (instant-stamped) relations.
+//!
+//! TSQL2 distinguishes interval-stamped *state* relations from
+//! instant-stamped *event* relations, and the paper notes that "aggregates
+//! may also be evaluated over event relations" (Section 2). An event is a
+//! fact true at a single instant; aggregating events per instant is
+//! usually uninteresting (almost every instant has no event), so the
+//! natural queries are *moving-window* aggregates — "how many events in
+//! the last w instants?" — which reduce to interval aggregation by giving
+//! each event a w-instant window of influence.
+
+use crate::error::{Result, TempAggError};
+use crate::interval::Interval;
+use crate::relation::TemporalRelation;
+use crate::schema::Schema;
+use crate::timestamp::Timestamp;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// One instant-stamped fact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    values: Box<[Value]>,
+    at: Timestamp,
+}
+
+impl Event {
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    pub fn at(&self) -> Timestamp {
+        self.at
+    }
+}
+
+/// How an event's window of influence sits relative to the event instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowAlignment {
+    /// The event influences `[at, at + w − 1]`: a *trailing* window query
+    /// at instant `t` sees events in `(t − w, t]`.
+    Trailing,
+    /// The event influences `[at − w + 1, at]`: a *leading* window query
+    /// at `t` sees events in `[t, t + w)`.
+    Leading,
+    /// The event influences `w` instants centred on `at` (rounding the
+    /// extra instant to the future for even `w`).
+    Centered,
+}
+
+/// An instant-stamped relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRelation {
+    schema: Arc<Schema>,
+    events: Vec<Event>,
+}
+
+impl EventRelation {
+    pub fn new(schema: Arc<Schema>) -> EventRelation {
+        EventRelation {
+            schema,
+            events: Vec::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Append an event after schema validation.
+    pub fn push(&mut self, values: Vec<Value>, at: impl Into<Timestamp>) -> Result<()> {
+        self.schema.check(&values)?;
+        self.events.push(Event {
+            values: values.into_boxed_slice(),
+            at: at.into(),
+        });
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Event instants in storage order.
+    pub fn instants(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.events.iter().map(|e| e.at)
+    }
+
+    /// Convert to an interval relation where each event holds for a
+    /// `window`-instant interval placed per `alignment` (clamped to the
+    /// representable time-line). The result feeds any of the temporal
+    /// aggregation algorithms: its per-instant `COUNT` *is* the moving
+    /// window count.
+    pub fn to_intervals(
+        &self,
+        window: i64,
+        alignment: WindowAlignment,
+    ) -> Result<TemporalRelation> {
+        if window <= 0 {
+            return Err(TempAggError::InvalidSpan { length: window });
+        }
+        let mut out = TemporalRelation::with_capacity(self.schema.clone(), self.events.len());
+        for event in &self.events {
+            let (start, end) = match alignment {
+                WindowAlignment::Trailing => (event.at, event.at + (window - 1)),
+                WindowAlignment::Leading => (event.at - (window - 1), event.at),
+                WindowAlignment::Centered => {
+                    let back = (window - 1) / 2;
+                    (event.at - back, event.at + (window - 1 - back))
+                }
+            };
+            out.push(
+                event.values.to_vec(),
+                Interval::new(start.min(end), end.max(start))?,
+            )?;
+        }
+        Ok(out)
+    }
+}
+
+impl<'a> IntoIterator for &'a EventRelation {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl fmt::Display for EventRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} AT INSTANT", self.schema)?;
+        for e in &self.events {
+            write!(f, "  (")?;
+            for (i, v) in e.values.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, ") @ {}", e.at)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn clicks() -> EventRelation {
+        let schema = Schema::of(&[("user", ValueType::Str)]);
+        let mut r = EventRelation::new(schema);
+        for (u, t) in [("a", 5), ("b", 7), ("a", 7), ("c", 20)] {
+            r.push(vec![Value::from(u)], t).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn push_validates_schema() {
+        let mut r = clicks();
+        assert!(r.push(vec![Value::Int(1)], 9).is_err());
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.iter().count(), 4);
+        assert_eq!((&r).into_iter().count(), 4);
+    }
+
+    #[test]
+    fn trailing_windows() {
+        let r = clicks();
+        let ivs: Vec<Interval> = r
+            .to_intervals(3, WindowAlignment::Trailing)
+            .unwrap()
+            .intervals()
+            .collect();
+        assert_eq!(ivs[0], Interval::at(5, 7));
+        assert_eq!(ivs[3], Interval::at(20, 22));
+    }
+
+    #[test]
+    fn leading_and_centered_windows() {
+        let r = clicks();
+        let leading: Vec<Interval> = r
+            .to_intervals(3, WindowAlignment::Leading)
+            .unwrap()
+            .intervals()
+            .collect();
+        assert_eq!(leading[0], Interval::at(3, 5));
+        let centered: Vec<Interval> = r
+            .to_intervals(3, WindowAlignment::Centered)
+            .unwrap()
+            .intervals()
+            .collect();
+        assert_eq!(centered[0], Interval::at(4, 6));
+        // Even window: extra instant to the future.
+        let centered4: Vec<Interval> = r
+            .to_intervals(4, WindowAlignment::Centered)
+            .unwrap()
+            .intervals()
+            .collect();
+        assert_eq!(centered4[0], Interval::at(4, 7));
+    }
+
+    #[test]
+    fn window_one_is_the_event_instant() {
+        let r = clicks();
+        for alignment in [
+            WindowAlignment::Trailing,
+            WindowAlignment::Leading,
+            WindowAlignment::Centered,
+        ] {
+            let ivs: Vec<Interval> = r
+                .to_intervals(1, alignment)
+                .unwrap()
+                .intervals()
+                .collect();
+            assert_eq!(ivs[0], Interval::instant(5), "{alignment:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_windows() {
+        let r = clicks();
+        assert!(r.to_intervals(0, WindowAlignment::Trailing).is_err());
+        assert!(r.to_intervals(-5, WindowAlignment::Trailing).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let text = clicks().to_string();
+        assert!(text.contains("AT INSTANT"));
+        assert!(text.contains("(a) @ 5"));
+    }
+}

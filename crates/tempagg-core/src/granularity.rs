@@ -1,0 +1,173 @@
+//! Granularities and calendar-defined spans.
+//!
+//! TSQL2 partitions the time-line either *by instant* or *by span — a
+//! calendar-defined length of time, such as a year* (Section 2), and
+//! "permits the range and granularity of the timestamps to affect the
+//! allocated size of timestamps" (Section 6). This module provides the
+//! minimal calendar machinery the span-grouping algorithms and the SQL
+//! front end need: a configurable mapping from calendar units to instants.
+//!
+//! The calendar is deliberately simple (fixed-length months and years, no
+//! leap handling): the paper's instants are abstract, and the aggregation
+//! algorithms only ever see instant counts. A production system would
+//! plug a real calendar into [`Calendar::span`].
+
+use crate::error::{Result, TempAggError};
+use std::fmt;
+
+/// Calendar units a span can be expressed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TimeUnit {
+    /// The indivisible unit of the time-line.
+    Instant,
+    Second,
+    Minute,
+    Hour,
+    Day,
+    Week,
+    /// Fixed 30-day month (see module docs).
+    Month,
+    /// Fixed 365-day year (see module docs).
+    Year,
+}
+
+impl TimeUnit {
+    /// Parse a unit name as written in SQL (case-insensitive; singular or
+    /// plural).
+    pub fn parse(name: &str) -> Option<TimeUnit> {
+        let upper = name.to_ascii_uppercase();
+        let singular = upper.strip_suffix('S').unwrap_or(&upper);
+        Some(match singular {
+            "INSTANT" => TimeUnit::Instant,
+            "SECOND" => TimeUnit::Second,
+            "MINUTE" => TimeUnit::Minute,
+            "HOUR" => TimeUnit::Hour,
+            "DAY" => TimeUnit::Day,
+            "WEEK" => TimeUnit::Week,
+            "MONTH" => TimeUnit::Month,
+            "YEAR" => TimeUnit::Year,
+            _ => return None,
+        })
+    }
+
+    /// Length in seconds (1 for `Instant` under the default calendar).
+    fn seconds(self) -> i64 {
+        match self {
+            TimeUnit::Instant => 1, // scaled by the calendar, see below
+            TimeUnit::Second => 1,
+            TimeUnit::Minute => 60,
+            TimeUnit::Hour => 3_600,
+            TimeUnit::Day => 86_400,
+            TimeUnit::Week => 7 * 86_400,
+            TimeUnit::Month => 30 * 86_400,
+            TimeUnit::Year => 365 * 86_400,
+        }
+    }
+}
+
+impl fmt::Display for TimeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TimeUnit::Instant => "INSTANT",
+            TimeUnit::Second => "SECOND",
+            TimeUnit::Minute => "MINUTE",
+            TimeUnit::Hour => "HOUR",
+            TimeUnit::Day => "DAY",
+            TimeUnit::Week => "WEEK",
+            TimeUnit::Month => "MONTH",
+            TimeUnit::Year => "YEAR",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Maps calendar units to instants. The default calendar makes one instant
+/// one second; a coarse-granularity database (e.g. instants are days)
+/// configures `instants_per_second` accordingly via
+/// [`Calendar::with_instant_seconds`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Calendar {
+    /// Seconds per instant (≥ 1).
+    seconds_per_instant: i64,
+}
+
+impl Default for Calendar {
+    fn default() -> Self {
+        Calendar {
+            seconds_per_instant: 1,
+        }
+    }
+}
+
+impl Calendar {
+    /// A calendar whose instants are `seconds` seconds long (e.g. 86 400
+    /// for day-granularity timestamps).
+    pub fn with_instant_seconds(seconds: i64) -> Result<Calendar> {
+        if seconds < 1 {
+            return Err(TempAggError::InvalidSpan { length: seconds });
+        }
+        Ok(Calendar {
+            seconds_per_instant: seconds,
+        })
+    }
+
+    /// Length in instants of `count` units, rounded up to at least one
+    /// instant. Errors when `count` is not positive.
+    pub fn span(&self, count: i64, unit: TimeUnit) -> Result<i64> {
+        if count <= 0 {
+            return Err(TempAggError::InvalidSpan { length: count });
+        }
+        if unit == TimeUnit::Instant {
+            return Ok(count);
+        }
+        let seconds = count.saturating_mul(unit.seconds());
+        Ok((seconds / self.seconds_per_instant).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_unit_names() {
+        assert_eq!(TimeUnit::parse("day"), Some(TimeUnit::Day));
+        assert_eq!(TimeUnit::parse("DAYS"), Some(TimeUnit::Day));
+        assert_eq!(TimeUnit::parse("Week"), Some(TimeUnit::Week));
+        assert_eq!(TimeUnit::parse("instants"), Some(TimeUnit::Instant));
+        assert_eq!(TimeUnit::parse("fortnight"), None);
+    }
+
+    #[test]
+    fn default_calendar_is_second_granularity() {
+        let cal = Calendar::default();
+        assert_eq!(cal.span(1, TimeUnit::Second).unwrap(), 1);
+        assert_eq!(cal.span(2, TimeUnit::Minute).unwrap(), 120);
+        assert_eq!(cal.span(1, TimeUnit::Day).unwrap(), 86_400);
+        assert_eq!(cal.span(1, TimeUnit::Year).unwrap(), 365 * 86_400);
+        assert_eq!(cal.span(7, TimeUnit::Instant).unwrap(), 7);
+    }
+
+    #[test]
+    fn day_granularity_calendar() {
+        let cal = Calendar::with_instant_seconds(86_400).unwrap();
+        assert_eq!(cal.span(1, TimeUnit::Day).unwrap(), 1);
+        assert_eq!(cal.span(1, TimeUnit::Week).unwrap(), 7);
+        assert_eq!(cal.span(1, TimeUnit::Year).unwrap(), 365);
+        // Sub-instant spans round up to one instant.
+        assert_eq!(cal.span(1, TimeUnit::Hour).unwrap(), 1);
+    }
+
+    #[test]
+    fn invalid_configurations() {
+        assert!(Calendar::with_instant_seconds(0).is_err());
+        assert!(Calendar::default().span(0, TimeUnit::Day).is_err());
+        assert!(Calendar::default().span(-3, TimeUnit::Instant).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TimeUnit::Day.to_string(), "DAY");
+        assert_eq!(TimeUnit::Instant.to_string(), "INSTANT");
+    }
+}

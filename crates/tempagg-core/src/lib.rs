@@ -1,0 +1,45 @@
+//! # tempagg-core
+//!
+//! Temporal data model underpinning the reproduction of
+//! *Computing Temporal Aggregates* (Kline & Snodgrass, ICDE 1995):
+//!
+//! * [`Timestamp`] — discrete instants with an origin and a `FOREVER`
+//!   sentinel (the paper's `0` and `∞`);
+//! * [`Interval`] — closed intervals `[start, end]` with the exact split
+//!   semantics the aggregation tree relies on;
+//! * [`Value`], [`Schema`], [`Tuple`], [`TemporalRelation`] — a small
+//!   interval-timestamped relational model;
+//! * [`Series`] — time-ordered aggregate results (constant intervals) with
+//!   TSQL2-style coalescing;
+//! * [`sortedness`] — the paper's *k-order* and *k-ordered-percentage*
+//!   metrics (Section 5.2, Table 2).
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod algebra;
+mod bitemporal;
+pub mod coalesce;
+mod error;
+mod events;
+mod granularity;
+mod interval;
+mod relation;
+mod schema;
+mod series;
+pub mod sortedness;
+mod timestamp;
+mod tuple;
+mod value;
+
+pub use bitemporal::{BitemporalRelation, Version};
+pub use error::{Result, TempAggError};
+pub use events::{Event, EventRelation, WindowAlignment};
+pub use granularity::{Calendar, TimeUnit};
+pub use interval::Interval;
+pub use relation::TemporalRelation;
+pub use schema::{Column, Schema};
+pub use series::{Series, SeriesEntry};
+pub use timestamp::Timestamp;
+pub use tuple::Tuple;
+pub use value::{Value, ValueType};

@@ -1,0 +1,210 @@
+//! Relation schemas.
+
+use crate::error::{Result, TempAggError};
+use crate::value::{Value, ValueType};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ValueType,
+    /// Whether `NULL` is admissible.
+    pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Column {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    pub fn nullable(mut self) -> Column {
+        self.nullable = true;
+        self
+    }
+}
+
+/// The explicit (non-temporal) attributes of a temporal relation.
+///
+/// The valid-time interval is implicit — every tuple of a temporal relation
+/// carries one — mirroring TSQL2, where valid time is not an ordinary
+/// column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns; duplicate names are rejected.
+    pub fn new(columns: Vec<Column>) -> Result<Arc<Schema>> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(TempAggError::SchemaMismatch {
+                    detail: format!("duplicate column name `{}`", c.name),
+                });
+            }
+        }
+        Ok(Arc::new(Schema { columns }))
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, ValueType)]) -> Arc<Schema> {
+        Schema::new(
+            cols.iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .expect("static schema literals must not contain duplicates")
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| TempAggError::UnknownColumn { name: name.into() })
+    }
+
+    /// Index of a column by name, ignoring ASCII case — the lookup SQL
+    /// identifiers need (`COUNT(Name)` must find column `name`). An exact
+    /// match wins over a case-insensitive one.
+    pub fn index_of_ignore_case(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .or_else(|| {
+                self.columns
+                    .iter()
+                    .position(|c| c.name.eq_ignore_ascii_case(name))
+            })
+            .ok_or_else(|| TempAggError::UnknownColumn { name: name.into() })
+    }
+
+    /// Column metadata by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Check one tuple's values against the schema.
+    pub fn check(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(TempAggError::SchemaMismatch {
+                detail: format!(
+                    "expected {} attributes, got {}",
+                    self.columns.len(),
+                    values.len()
+                ),
+            });
+        }
+        for (v, c) in values.iter().zip(&self.columns) {
+            match v.value_type() {
+                None if c.nullable => {}
+                None => {
+                    return Err(TempAggError::SchemaMismatch {
+                        detail: format!("column `{}` is not nullable", c.name),
+                    })
+                }
+                Some(t) if t == c.ty => {}
+                Some(t) => {
+                    return Err(TempAggError::SchemaMismatch {
+                        detail: format!(
+                            "column `{}` expects {} but value has type {}",
+                            c.name, c.ty, t
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+        }
+        write!(f, ", VALID INTERVAL)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employed_schema() -> Arc<Schema> {
+        Schema::of(&[("name", ValueType::Str), ("salary", ValueType::Int)])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = employed_schema();
+        assert_eq!(s.index_of("salary").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("dept"),
+            Err(TempAggError::UnknownColumn { .. })
+        ));
+        assert_eq!(s.column("name").unwrap().ty, ValueType::Str);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = Schema::new(vec![
+            Column::new("a", ValueType::Int),
+            Column::new("a", ValueType::Str),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn check_enforces_arity_and_types() {
+        let s = employed_schema();
+        assert!(s.check(&[Value::from("Richard"), Value::from(40_000)]).is_ok());
+        assert!(s.check(&[Value::from("Richard")]).is_err());
+        assert!(s
+            .check(&[Value::from(40_000), Value::from("Richard")])
+            .is_err());
+    }
+
+    #[test]
+    fn check_enforces_nullability() {
+        let s = Schema::new(vec![
+            Column::new("name", ValueType::Str),
+            Column::new("salary", ValueType::Int).nullable(),
+        ])
+        .unwrap();
+        assert!(s.check(&[Value::from("Nathan"), Value::Null]).is_ok());
+        assert!(s.check(&[Value::Null, Value::from(1)]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_valid_time() {
+        let s = employed_schema();
+        let d = s.to_string();
+        assert!(d.contains("name STRING"));
+        assert!(d.contains("VALID INTERVAL"));
+    }
+}

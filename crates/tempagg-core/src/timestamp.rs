@@ -1,0 +1,199 @@
+//! Discrete time instants.
+//!
+//! The paper models time as a discrete line of *instants* starting at an
+//! origin `0` and extending to `∞` (the greatest representable timestamp,
+//! written `FOREVER` here, following the TSQL2 convention). An instant is the
+//! smallest measurable unit of time in the database; all intervals are closed
+//! and endpoints are instants.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A discrete time instant.
+///
+/// Internally an `i64`; the paper used 32-bit timestamps on a 1995
+/// SPARCstation, but one 64-bit word is the common choice today and
+/// `TSQL2` permits the range and granularity to affect the allocated size.
+/// The special value [`Timestamp::FOREVER`] plays the role of the paper's
+/// `∞`, and [`Timestamp::ORIGIN`] is the paper's `0`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// The origin of the time-line (the paper's `0`).
+    pub const ORIGIN: Timestamp = Timestamp(0);
+    /// The greatest representable instant (the paper's `∞`).
+    pub const FOREVER: Timestamp = Timestamp(i64::MAX);
+    /// The least representable instant. The paper never uses instants before
+    /// the origin, but the model supports them (e.g. for proleptic
+    /// calendars).
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+
+    /// Construct a timestamp from a raw instant number.
+    #[inline]
+    pub const fn new(t: i64) -> Self {
+        Timestamp(t)
+    }
+
+    /// The raw instant number.
+    #[inline]
+    pub const fn get(self) -> i64 {
+        self.0
+    }
+
+    /// The instant immediately after this one, saturating at `FOREVER`.
+    ///
+    /// Used when splitting closed intervals: the right neighbour of a
+    /// constant interval ending at `e` begins at `e.next()`.
+    #[inline]
+    pub const fn next(self) -> Self {
+        Timestamp(self.0.saturating_add(1))
+    }
+
+    /// The instant immediately before this one, saturating at `MIN`.
+    #[inline]
+    pub const fn prev(self) -> Self {
+        Timestamp(self.0.saturating_sub(1))
+    }
+
+    /// `true` iff this is the `FOREVER` sentinel.
+    #[inline]
+    pub const fn is_forever(self) -> bool {
+        self.0 == i64::MAX
+    }
+
+    /// Saturating addition of a span of instants.
+    #[inline]
+    pub const fn saturating_add(self, delta: i64) -> Self {
+        Timestamp(self.0.saturating_add(delta))
+    }
+
+    /// Number of instants from `other` to `self` (may be negative),
+    /// saturating on overflow.
+    #[inline]
+    pub const fn distance_from(self, other: Timestamp) -> i64 {
+        self.0.saturating_sub(other.0)
+    }
+
+    /// The larger of two timestamps.
+    #[inline]
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two timestamps.
+    #[inline]
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<i64> for Timestamp {
+    #[inline]
+    fn from(t: i64) -> Self {
+        Timestamp(t)
+    }
+}
+
+impl From<Timestamp> for i64 {
+    #[inline]
+    fn from(t: Timestamp) -> Self {
+        t.0
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0.saturating_add(rhs))
+    }
+}
+
+impl Sub<i64> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(rhs))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_forever() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_constants() {
+        assert!(Timestamp::MIN < Timestamp::ORIGIN);
+        assert!(Timestamp::ORIGIN < Timestamp::FOREVER);
+        assert_eq!(Timestamp::ORIGIN.get(), 0);
+        assert!(Timestamp::FOREVER.is_forever());
+        assert!(!Timestamp::ORIGIN.is_forever());
+    }
+
+    #[test]
+    fn next_and_prev() {
+        assert_eq!(Timestamp(5).next(), Timestamp(6));
+        assert_eq!(Timestamp(5).prev(), Timestamp(4));
+        // FOREVER saturates: there is no instant after the end of time.
+        assert_eq!(Timestamp::FOREVER.next(), Timestamp::FOREVER);
+        assert_eq!(Timestamp::MIN.prev(), Timestamp::MIN);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Timestamp(10) + 5, Timestamp(15));
+        assert_eq!(Timestamp(10) - 5, Timestamp(5));
+        assert_eq!(Timestamp::FOREVER + 1, Timestamp::FOREVER);
+        assert_eq!(Timestamp::FOREVER.saturating_add(10), Timestamp::FOREVER);
+        assert_eq!(Timestamp(7).distance_from(Timestamp(3)), 4);
+        assert_eq!(Timestamp(3).distance_from(Timestamp(7)), -4);
+    }
+
+    #[test]
+    fn display_forever_as_infinity() {
+        assert_eq!(Timestamp(42).to_string(), "42");
+        assert_eq!(Timestamp::FOREVER.to_string(), "∞");
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = Timestamp(3);
+        let b = Timestamp(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(b), b);
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Timestamp = 17i64.into();
+        assert_eq!(t, Timestamp(17));
+        let raw: i64 = t.into();
+        assert_eq!(raw, 17);
+    }
+}

@@ -1,0 +1,93 @@
+//! Interval-timestamped tuples.
+
+use crate::interval::Interval;
+use crate::value::Value;
+use std::fmt;
+
+/// One fact together with the closed valid-time interval over which it held.
+///
+/// This mirrors the paper's `Employed` relation: explicit attributes
+/// (`name`, `salary`) plus a `[start, end]` valid-time interval.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tuple {
+    values: Box<[Value]>,
+    valid: Interval,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>, valid: Interval) -> Tuple {
+        Tuple {
+            values: values.into_boxed_slice(),
+            valid,
+        }
+    }
+
+    /// Explicit attribute values, in schema order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Attribute by position.
+    #[inline]
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// The valid-time interval.
+    #[inline]
+    pub fn valid(&self) -> Interval {
+        self.valid
+    }
+
+    /// Replace the valid-time interval (used by generators and tests).
+    pub fn with_valid(mut self, valid: Interval) -> Tuple {
+        self.valid = valid;
+        self
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") {}", self.valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let t = Tuple::new(
+            vec![Value::from("Richard"), Value::from(40_000)],
+            Interval::from_start(18),
+        );
+        assert_eq!(t.values().len(), 2);
+        assert_eq!(t.value(0), &Value::from("Richard"));
+        assert_eq!(t.valid(), Interval::from_start(18));
+    }
+
+    #[test]
+    fn with_valid_replaces_interval() {
+        let t = Tuple::new(vec![Value::from(1)], Interval::at(0, 5));
+        let t = t.with_valid(Interval::at(3, 9));
+        assert_eq!(t.valid(), Interval::at(3, 9));
+    }
+
+    #[test]
+    fn display_shows_values_and_interval() {
+        let t = Tuple::new(
+            vec![Value::from("Karen"), Value::from(45_000)],
+            Interval::at(8, 20),
+        );
+        assert_eq!(t.to_string(), "(Karen, 45000) [8, 20]");
+    }
+}

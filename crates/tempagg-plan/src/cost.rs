@@ -1,0 +1,312 @@
+//! An explicit cost model for the three algorithms, and a cost-*based*
+//! planner that ranks candidates numerically.
+//!
+//! Section 6.3 phrases algorithm choice as trade-offs ("depending on the
+//! tradeoff between the cost of increased memory requirements and the cost
+//! of disk access"); the rule-based [`crate::plan`] encodes its
+//! conclusions directly, while this module derives them from first
+//! principles — per-tuple work counts calibrated to the asymptotics the
+//! paper measures:
+//!
+//! * linked list: each tuple scans ~half the current cell list — `Θ(n·c)`;
+//! * aggregation tree: `Θ(n log c)` node visits on random input, but
+//!   `Θ(n²)` on sorted/near-sorted input (the linear-tree worst case);
+//! * k-ordered tree: `Θ(n (log w + g))` for a window of `w` nodes;
+//! * a pre-sort adds `Θ(n log n)` CPU plus one extra relation scan of I/O.
+//!
+//! The two planners agreeing across the paper's scenarios is itself a
+//! reproduction check (`tests in this module`).
+
+use crate::planner::{AlgorithmChoice, Plan, PlannerConfig};
+use crate::stats::{OrderingKnowledge, RelationStats};
+use tempagg_algo::memory::model_node_bytes;
+
+/// Relative cost weights. The defaults make one in-memory node visit the
+/// unit; I/O is charged per tuple per scan, heavily weighted as disk I/O
+/// is ~10⁴ node visits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cost of touching one tree node or list cell.
+    pub node_visit: f64,
+    /// Cost of reading one tuple from storage, per scan.
+    pub io_per_tuple: f64,
+    /// CPU cost multiplier for comparison-sorting one tuple (× log₂ n).
+    pub sort_per_tuple: f64,
+    /// Cost charged per byte of peak algorithm state (models memory
+    /// pressure; 0 when memory is free).
+    pub per_state_byte: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            node_visit: 1.0,
+            io_per_tuple: 50.0,
+            sort_per_tuple: 2.0,
+            per_state_byte: 0.0,
+        }
+    }
+}
+
+/// A scored candidate plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostEstimate {
+    pub choice: AlgorithmChoice,
+    pub cpu: f64,
+    pub io: f64,
+    pub state_bytes: usize,
+}
+
+impl CostEstimate {
+    /// Total weighted cost.
+    pub fn total(&self, model: &CostModel) -> f64 {
+        self.cpu + self.io + self.state_bytes as f64 * model.per_state_byte
+    }
+}
+
+fn log2(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// Is the relation's ordering effectively sorted for tree-degeneration
+/// purposes?
+fn near_sorted(stats: &RelationStats) -> bool {
+    matches!(
+        stats.ordering,
+        OrderingKnowledge::Sorted
+            | OrderingKnowledge::KOrdered { .. }
+            | OrderingKnowledge::RetroactivelyBounded { .. }
+    )
+}
+
+/// Estimate the cost of one candidate.
+pub fn estimate(
+    choice: AlgorithmChoice,
+    stats: &RelationStats,
+    model: &CostModel,
+    state_model_bytes: usize,
+) -> CostEstimate {
+    let n = stats.tuple_count.max(1) as f64;
+    let cells = stats.unique_timestamps_or_default().max(1) as f64;
+    let node_bytes = model_node_bytes(state_model_bytes);
+    let scan_io = n * model.io_per_tuple;
+
+    let (cpu, io, state_nodes) = match choice {
+        AlgorithmChoice::LinkedList => {
+            // Result-size cap from the query, if declared.
+            let effective_cells = stats
+                .expected_result_intervals
+                .map_or(cells, |r| r as f64)
+                .max(1.0);
+            (n * effective_cells / 2.0 * model.node_visit, scan_io, effective_cells as usize + 1)
+        }
+        AlgorithmChoice::AggregationTree => {
+            let nodes = 2.0 * cells + 1.0;
+            let cpu = if near_sorted(stats) {
+                // Linear tree: the i-th insert walks ~i nodes.
+                n * n / 2.0 * model.node_visit
+            } else {
+                n * log2(nodes) * model.node_visit
+            };
+            (cpu, scan_io, nodes as usize)
+        }
+        AlgorithmChoice::KOrderedTree { k, presort } => {
+            let window_nodes = (4 * (2 * k + 1) + 1) as f64
+                + stats.long_lived_fraction * n * 2.0;
+            let mut cpu = n * (log2(window_nodes) + 2.0) * model.node_visit;
+            let mut io = scan_io;
+            if presort {
+                cpu += n * log2(n) * model.sort_per_tuple;
+                io += scan_io; // write + re-read of the sorted run
+            }
+            (cpu, io, window_nodes as usize)
+        }
+    };
+    CostEstimate {
+        choice,
+        cpu,
+        io,
+        state_bytes: state_nodes * node_bytes,
+    }
+}
+
+/// Enumerate the sensible candidates for a relation.
+fn candidates(stats: &RelationStats) -> Vec<AlgorithmChoice> {
+    let mut out = vec![
+        AlgorithmChoice::LinkedList,
+        AlgorithmChoice::AggregationTree,
+        AlgorithmChoice::KOrderedTree { k: 1, presort: true },
+    ];
+    match stats.ordering {
+        OrderingKnowledge::Sorted => {
+            out.push(AlgorithmChoice::KOrderedTree { k: 1, presort: false })
+        }
+        OrderingKnowledge::KOrdered { k }
+        | OrderingKnowledge::RetroactivelyBounded { equivalent_k: k } => {
+            out.push(AlgorithmChoice::KOrderedTree { k: k.max(1), presort: false })
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Pick the cheapest candidate under the cost model, honouring the memory
+/// budget. Returns a [`Plan`] whose rationale records the scores.
+pub fn plan_by_cost(
+    stats: &RelationStats,
+    config: &PlannerConfig,
+    model: &CostModel,
+    state_model_bytes: usize,
+) -> Plan {
+    let mut scored: Vec<CostEstimate> = candidates(stats)
+        .into_iter()
+        .map(|c| estimate(c, stats, model, state_model_bytes))
+        .filter(|e| {
+            config
+                .memory_budget_bytes
+                .map_or(true, |budget| e.state_bytes <= budget)
+        })
+        .collect();
+    // The linked list always fits some budget; if everything got filtered,
+    // fall back to the smallest-state candidate.
+    if scored.is_empty() {
+        scored = candidates(stats)
+            .into_iter()
+            .map(|c| estimate(c, stats, model, state_model_bytes))
+            .collect();
+        scored.sort_by_key(|e| e.state_bytes);
+        scored.truncate(1);
+    }
+    scored.sort_by(|a, b| {
+        a.total(model)
+            .partial_cmp(&b.total(model))
+            .expect("costs are finite")
+    });
+    let best = scored[0].clone();
+    let rationale = scored
+        .iter()
+        .map(|e| {
+            format!(
+                "{}: cpu {:.0}, io {:.0}, state {} B, total {:.0}",
+                e.choice.name(),
+                e.cpu,
+                e.io,
+                e.state_bytes,
+                e.total(model)
+            )
+        })
+        .collect();
+    Plan {
+        choice: best.choice,
+        estimated_state_bytes: best.state_bytes,
+        rationale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan;
+    use crate::stats::RelationStats;
+
+    fn stats(n: usize, ordering: OrderingKnowledge) -> RelationStats {
+        RelationStats::unknown(n).with_ordering(ordering)
+    }
+
+    fn cost_choice(stats: &RelationStats) -> AlgorithmChoice {
+        plan_by_cost(stats, &PlannerConfig::default(), &CostModel::default(), 4).choice
+    }
+
+    #[test]
+    fn agrees_with_rules_on_random_input() {
+        let s = stats(10_000, OrderingKnowledge::Unordered);
+        assert_eq!(cost_choice(&s), AlgorithmChoice::AggregationTree);
+        assert_eq!(plan(&s, &PlannerConfig::default(), 4).choice, cost_choice(&s));
+    }
+
+    #[test]
+    fn agrees_with_rules_on_sorted_input() {
+        let s = stats(10_000, OrderingKnowledge::Sorted);
+        assert_eq!(
+            cost_choice(&s),
+            AlgorithmChoice::KOrderedTree { k: 1, presort: false }
+        );
+        assert_eq!(plan(&s, &PlannerConfig::default(), 4).choice, cost_choice(&s));
+    }
+
+    #[test]
+    fn agrees_with_rules_on_k_ordered_input() {
+        let s = stats(10_000, OrderingKnowledge::KOrdered { k: 40 });
+        assert_eq!(
+            cost_choice(&s),
+            AlgorithmChoice::KOrderedTree { k: 40, presort: false }
+        );
+    }
+
+    #[test]
+    fn tiny_results_favour_the_linked_list() {
+        let s = stats(100_000, OrderingKnowledge::Unordered).with_expected_result_intervals(12);
+        assert_eq!(cost_choice(&s), AlgorithmChoice::LinkedList);
+    }
+
+    #[test]
+    fn sorted_input_never_gets_the_plain_tree() {
+        // The n² estimate must dominate every realistic alternative.
+        for n in [1_000usize, 10_000, 100_000] {
+            let s = stats(n, OrderingKnowledge::Sorted);
+            assert_ne!(cost_choice(&s), AlgorithmChoice::AggregationTree, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn memory_budget_excludes_the_tree() {
+        let s = stats(10_000, OrderingKnowledge::Unordered);
+        let config = PlannerConfig {
+            memory_budget_bytes: Some(10_000),
+            ..Default::default()
+        };
+        let p = plan_by_cost(&s, &config, &CostModel::default(), 4);
+        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: true });
+        assert!(p.estimated_state_bytes <= 10_000);
+    }
+
+    #[test]
+    fn charging_for_memory_prefers_the_ktree() {
+        // With memory expensive enough, sort + stream beats the tree even
+        // on random input — Section 6.3's trade-off, numerically.
+        let s = stats(100_000, OrderingKnowledge::Unordered);
+        let expensive = CostModel {
+            per_state_byte: 10.0,
+            ..Default::default()
+        };
+        let p = plan_by_cost(&s, &PlannerConfig::default(), &expensive, 4);
+        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: true });
+    }
+
+    #[test]
+    fn long_lived_fraction_inflates_ktree_state() {
+        let mut s = stats(10_000, OrderingKnowledge::Sorted);
+        let lean = estimate(
+            AlgorithmChoice::KOrderedTree { k: 1, presort: false },
+            &s,
+            &CostModel::default(),
+            4,
+        );
+        s.long_lived_fraction = 0.8;
+        let heavy = estimate(
+            AlgorithmChoice::KOrderedTree { k: 1, presort: false },
+            &s,
+            &CostModel::default(),
+            4,
+        );
+        assert!(heavy.state_bytes > 100 * lean.state_bytes);
+    }
+
+    #[test]
+    fn rationale_lists_all_scored_candidates() {
+        let s = stats(10_000, OrderingKnowledge::Sorted);
+        let p = plan_by_cost(&s, &PlannerConfig::default(), &CostModel::default(), 4);
+        assert!(p.rationale.len() >= 3);
+        assert!(p.rationale[0].contains("total"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Plan execution: drive the chosen algorithm over a relation.
+
+use crate::planner::{plan, AlgorithmChoice, Plan, PlannerConfig};
+use crate::stats::RelationStats;
+use std::time::{Duration, Instant};
+use tempagg_agg::Aggregate;
+use tempagg_algo::{
+    AggregationTree, KOrderedAggregationTree, LinkedListAggregate, MemoryStats,
+    TemporalAggregator,
+};
+use tempagg_core::{Interval, Result, Series, TemporalRelation, Tuple};
+
+/// What happened during execution, for reporting and regression checks.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// The concrete algorithm that ran.
+    pub algorithm: &'static str,
+    /// Input tuples consumed.
+    pub tuples: usize,
+    /// Constant intervals produced.
+    pub result_rows: usize,
+    /// Wall-clock time of the scan + finish (excludes planning).
+    pub elapsed: Duration,
+    /// Peak state memory.
+    pub memory: MemoryStats,
+    /// Whether the plan sorted the input first.
+    pub presorted: bool,
+}
+
+fn drive<A, G, F>(
+    mut aggregator: G,
+    relation: &TemporalRelation,
+    extract: &F,
+) -> Result<(Series<A::Output>, MemoryStats, &'static str)>
+where
+    A: Aggregate,
+    G: TemporalAggregator<A>,
+    F: Fn(&Tuple) -> A::Input,
+{
+    for tuple in relation {
+        aggregator.push(tuple.valid(), extract(tuple))?;
+    }
+    let memory = aggregator.memory();
+    let name = aggregator.algorithm();
+    Ok((aggregator.finish(), memory, name))
+}
+
+/// Execute a plan over `relation`, computing `agg` of `extract(tuple)` per
+/// constant interval of `domain`.
+pub fn execute<A, F>(
+    the_plan: &Plan,
+    agg: A,
+    relation: &TemporalRelation,
+    extract: F,
+    domain: Interval,
+) -> Result<(Series<A::Output>, ExecutionReport)>
+where
+    A: Aggregate,
+    F: Fn(&Tuple) -> A::Input,
+{
+    let started = Instant::now();
+    let mut presorted = false;
+    let (series, memory, algorithm) = match the_plan.choice {
+        AlgorithmChoice::LinkedList => drive(
+            LinkedListAggregate::with_domain(agg, domain),
+            relation,
+            &extract,
+        )?,
+        AlgorithmChoice::AggregationTree => drive(
+            AggregationTree::with_domain(agg, domain),
+            relation,
+            &extract,
+        )?,
+        AlgorithmChoice::KOrderedTree { k, presort } => {
+            let aggregator = KOrderedAggregationTree::with_domain(agg, k, domain)?;
+            if presort {
+                presorted = true;
+                let sorted = relation.sorted_by_time();
+                drive(aggregator, &sorted, &extract)?
+            } else {
+                drive(aggregator, relation, &extract)?
+            }
+        }
+    };
+    let report = ExecutionReport {
+        algorithm,
+        tuples: relation.len(),
+        result_rows: series.len(),
+        elapsed: started.elapsed(),
+        memory,
+        presorted,
+    };
+    Ok((series, report))
+}
+
+/// One-call evaluation: measure statistics, plan per Section 6.3, execute.
+/// Returns the result plus the plan and the execution report.
+pub fn evaluate_auto<A, F>(
+    agg: A,
+    relation: &TemporalRelation,
+    extract: F,
+    config: &PlannerConfig,
+    domain: Interval,
+) -> Result<(Series<A::Output>, Plan, ExecutionReport)>
+where
+    A: Aggregate,
+    F: Fn(&Tuple) -> A::Input,
+{
+    let stats = RelationStats::analyze(relation);
+    let the_plan = plan(&stats, config, agg.state_model_bytes());
+    let (series, report) = execute(&the_plan, agg, relation, extract, domain)?;
+    Ok((series, the_plan, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OrderingKnowledge;
+    use tempagg_agg::{Count, Sum};
+    use tempagg_algo::oracle::oracle;
+    use tempagg_workload::employed::{employed_relation, table1_expected};
+    use tempagg_workload::{generate, WorkloadConfig};
+
+    #[test]
+    fn every_choice_computes_table1() {
+        let relation = employed_relation();
+        let choices = [
+            AlgorithmChoice::LinkedList,
+            AlgorithmChoice::AggregationTree,
+            AlgorithmChoice::KOrderedTree { k: 4, presort: false },
+            AlgorithmChoice::KOrderedTree { k: 1, presort: true },
+        ];
+        for choice in choices {
+            let p = Plan {
+                choice,
+                estimated_state_bytes: 0,
+                rationale: vec![],
+            };
+            let (series, report) =
+                execute(&p, Count, &relation, |_| (), Interval::TIMELINE).unwrap();
+            let rows: Vec<(Interval, u64)> =
+                series.iter().map(|e| (e.interval, e.value)).collect();
+            assert_eq!(rows, table1_expected(), "choice {choice:?}");
+            assert_eq!(report.tuples, 4);
+            assert_eq!(report.result_rows, 7);
+        }
+    }
+
+    #[test]
+    fn auto_on_random_relation_picks_tree_and_matches_oracle() {
+        let relation = generate(&WorkloadConfig::random(512));
+        let (series, plan, report) = evaluate_auto(
+            Count,
+            &relation,
+            |_| (),
+            &PlannerConfig::default(),
+            Interval::TIMELINE,
+        )
+        .unwrap();
+        assert_eq!(plan.choice, AlgorithmChoice::AggregationTree);
+        assert_eq!(report.algorithm, "aggregation-tree");
+        let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
+        assert_eq!(series, oracle(&Count, Interval::TIMELINE, &tuples));
+    }
+
+    #[test]
+    fn auto_on_sorted_relation_picks_k1() {
+        let relation = generate(&WorkloadConfig::sorted(512));
+        let (series, plan, report) = evaluate_auto(
+            Count,
+            &relation,
+            |_| (),
+            &PlannerConfig::default(),
+            Interval::TIMELINE,
+        )
+        .unwrap();
+        assert_eq!(plan.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: false });
+        assert!(report.memory.peak_nodes < 64);
+        let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
+        assert_eq!(series, oracle(&Count, Interval::TIMELINE, &tuples));
+    }
+
+    #[test]
+    fn auto_on_k_ordered_relation_uses_measured_k() {
+        let relation = generate(&WorkloadConfig::k_ordered(2048, 16, 0.08));
+        let (series, plan, _) = evaluate_auto(
+            Count,
+            &relation,
+            |_| (),
+            &PlannerConfig::default(),
+            Interval::TIMELINE,
+        )
+        .unwrap();
+        match plan.choice {
+            AlgorithmChoice::KOrderedTree { k, presort: false } => assert!(k <= 16),
+            other => panic!("expected k-ordered tree, got {other:?}"),
+        }
+        let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
+        assert_eq!(series, oracle(&Count, Interval::TIMELINE, &tuples));
+    }
+
+    #[test]
+    fn presort_handles_unordered_input_under_budget() {
+        let relation = generate(&WorkloadConfig::random(512));
+        let stats = RelationStats::analyze(&relation).with_ordering(OrderingKnowledge::Unordered);
+        let config = PlannerConfig {
+            memory_budget_bytes: Some(1024),
+            ..Default::default()
+        };
+        let p = plan(&stats, &config, 4);
+        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: true });
+        let (series, report) =
+            execute(&p, Count, &relation, |_| (), Interval::TIMELINE).unwrap();
+        assert!(report.presorted);
+        assert!(report.memory.peak_model_bytes() <= 1024);
+        let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
+        assert_eq!(series, oracle(&Count, Interval::TIMELINE, &tuples));
+    }
+
+    #[test]
+    fn sum_through_the_executor() {
+        let relation = employed_relation();
+        let salary_idx = relation.schema().index_of("salary").unwrap();
+        let p = Plan {
+            choice: AlgorithmChoice::AggregationTree,
+            estimated_state_bytes: 0,
+            rationale: vec![],
+        };
+        let (series, _) = execute(
+            &p,
+            Sum::<i64>::new(),
+            &relation,
+            |t| t.value(salary_idx).as_i64().unwrap(),
+            Interval::TIMELINE,
+        )
+        .unwrap();
+        // Over [18, 20]: 40K + 45K + 37K.
+        assert_eq!(series.entries()[4].value, Some(122_000));
+    }
+}

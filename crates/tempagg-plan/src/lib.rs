@@ -1,0 +1,25 @@
+//! # tempagg-plan
+//!
+//! Query planning for temporal aggregates, reproducing the optimizer
+//! strategy of Section 6.3 of *Computing Temporal Aggregates* (Kline &
+//! Snodgrass, ICDE 1995): choose between the linked list, the aggregation
+//! tree, and the k-ordered aggregation tree from the relation's size,
+//! sortedness (or a retroactively-bounded declaration), long-lived-tuple
+//! fraction, expected result size, and the memory-vs-I/O trade-off — then
+//! execute the chosen plan.
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod cost;
+mod executor;
+mod planner;
+mod stats;
+
+pub use cost::{estimate, plan_by_cost, CostEstimate, CostModel};
+pub use executor::{evaluate_auto, execute, ExecutionReport};
+pub use planner::{
+    estimate_ktree_nodes, estimate_list_cells, estimate_tree_nodes, plan, AlgorithmChoice, Plan,
+    PlannerConfig,
+};
+pub use stats::{OrderingKnowledge, RelationStats};

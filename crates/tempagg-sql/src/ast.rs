@@ -1,0 +1,173 @@
+//! Abstract syntax of the mini-TSQL2 dialect.
+//!
+//! The grammar covers the aggregate queries the paper discusses:
+//!
+//! ```text
+//! query      := SELECT agg (',' agg)* FROM ident [alias]
+//!               [WHERE condition (AND condition)*]
+//!               [GROUP BY group_item (',' group_item)*] [';']
+//! agg        := ident '(' (ident | '*') ')'
+//! condition  := ident cmp literal
+//!             | VALID OVERLAPS '[' int ',' (int | FOREVER) ']'
+//! group_item := ident | INSTANT | SPAN int
+//! ```
+//!
+//! Temporal grouping by instant is the TSQL2 default and needs no syntax;
+//! `GROUP BY SPAN n` selects span grouping; `GROUP BY col` adds value
+//! grouping on top of the temporal grouping.
+
+use tempagg_agg::AggKind;
+use tempagg_core::{Interval, Value, ValueType};
+
+/// One aggregate in the select list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggExpr {
+    pub kind: AggKind,
+    /// `None` for `COUNT(*)`.
+    pub column: Option<String>,
+}
+
+impl AggExpr {
+    /// Display name, e.g. `SUM(salary)` or `COUNT(DISTINCT name)`.
+    pub fn label(&self) -> String {
+        match (&self.kind, &self.column) {
+            (AggKind::CountDistinct, Some(c)) => format!("COUNT(DISTINCT {c})"),
+            (_, Some(c)) => format!("{}({})", self.kind.name(), c),
+            (_, None) => "COUNT(*)".to_owned(),
+        }
+    }
+}
+
+/// Comparison operators in WHERE conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CompareOp {
+    /// Apply to two values under the total order of [`Value`].
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        let ord = left.total_cmp(right);
+        match self {
+            CompareOp::Eq => ord.is_eq(),
+            CompareOp::NotEq => ord.is_ne(),
+            CompareOp::Lt => ord.is_lt(),
+            CompareOp::LtEq => ord.is_le(),
+            CompareOp::Gt => ord.is_gt(),
+            CompareOp::GtEq => ord.is_ge(),
+        }
+    }
+}
+
+/// One `column op literal` condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Condition {
+    pub column: String,
+    pub op: CompareOp,
+    pub value: Value,
+}
+
+/// Temporal grouping mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TemporalGrouping {
+    /// Per-instant grouping, coalesced into constant intervals (the TSQL2
+    /// default and the paper's focus).
+    #[default]
+    Instant,
+    /// Fixed-length spans.
+    Span(i64),
+}
+
+/// A non-aggregate selection: `SELECT * | col, … FROM r [WHERE …]`,
+/// returning the qualifying tuples with their valid time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlainSelect {
+    /// Projected columns; `None` is `*`.
+    pub columns: Option<Vec<String>>,
+    pub relation: String,
+    pub alias: Option<String>,
+    pub conditions: Vec<Condition>,
+    pub valid_window: Option<Interval>,
+}
+
+/// A complete SQL statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// An aggregate query (the paper's subject).
+    Query(Query),
+    /// A plain tuple selection.
+    Select(PlainSelect),
+    /// `CREATE TABLE name (col TYPE, …)` — valid time is implicit.
+    CreateTable {
+        name: String,
+        columns: Vec<(String, ValueType)>,
+    },
+    /// `INSERT INTO name VALUES (v, …) VALID [a, b], …`.
+    Insert {
+        relation: String,
+        rows: Vec<(Vec<Value>, Interval)>,
+    },
+}
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// `EXPLAIN SELECT …`: plan only, do not execute.
+    pub explain: bool,
+    /// `SELECT SNAPSHOT …`: a non-temporal (scalar) result over the whole
+    /// qualifying tuple set, per TSQL2 (the paper's Section 3 aggregates).
+    pub snapshot: bool,
+    pub aggregates: Vec<AggExpr>,
+    pub relation: String,
+    /// Optional tuple variable (parsed and ignored, as in `FROM Employed E`).
+    pub alias: Option<String>,
+    pub conditions: Vec<Condition>,
+    /// `VALID OVERLAPS [a, b]` window restricting the result's time-line.
+    pub valid_window: Option<Interval>,
+    /// Value-grouping column, if any.
+    pub group_column: Option<String>,
+    pub temporal_grouping: TemporalGrouping,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        let a = AggExpr {
+            kind: AggKind::Sum,
+            column: Some("salary".into()),
+        };
+        assert_eq!(a.label(), "SUM(salary)");
+        let c = AggExpr {
+            kind: AggKind::CountStar,
+            column: None,
+        };
+        assert_eq!(c.label(), "COUNT(*)");
+    }
+
+    #[test]
+    fn compare_ops() {
+        let two = Value::Int(2);
+        let three = Value::Int(3);
+        assert!(CompareOp::Lt.eval(&two, &three));
+        assert!(CompareOp::LtEq.eval(&two, &two));
+        assert!(CompareOp::NotEq.eval(&two, &three));
+        assert!(CompareOp::Eq.eval(&two, &two));
+        assert!(CompareOp::Gt.eval(&three, &two));
+        assert!(CompareOp::GtEq.eval(&three, &three));
+        // Mixed numerics compare numerically.
+        assert!(CompareOp::Eq.eval(&Value::Int(2), &Value::Float(2.0)));
+    }
+
+    #[test]
+    fn default_temporal_grouping_is_instant() {
+        assert_eq!(TemporalGrouping::default(), TemporalGrouping::Instant);
+    }
+}

@@ -1,0 +1,85 @@
+//! A tiny in-memory catalog of named temporal relations.
+
+use std::collections::BTreeMap;
+use tempagg_core::{Result, TempAggError, TemporalRelation};
+
+/// Named relations available to queries.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    relations: BTreeMap<String, TemporalRelation>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a relation under a name. Lookup is
+    /// case-insensitive, as SQL identifiers are.
+    pub fn register(&mut self, name: impl Into<String>, relation: TemporalRelation) {
+        self.relations
+            .insert(name.into().to_ascii_lowercase(), relation);
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Result<&TemporalRelation> {
+        self.relations
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| TempAggError::UnknownRelation { name: name.into() })
+    }
+
+    /// Look up a relation mutably (for INSERT).
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut TemporalRelation> {
+        self.relations
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| TempAggError::UnknownRelation { name: name.into() })
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn deregister(&mut self, name: &str) -> Option<TemporalRelation> {
+        self.relations.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempagg_workload::employed::employed_relation;
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.register("Employed", employed_relation());
+        assert!(c.get("employed").is_ok());
+        assert!(c.get("EMPLOYED").is_ok());
+        assert!(matches!(
+            c.get("missing"),
+            Err(TempAggError::UnknownRelation { .. })
+        ));
+        assert_eq!(c.names(), vec!["employed"]);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn deregister() {
+        let mut c = Catalog::new();
+        c.register("r", employed_relation());
+        assert!(c.deregister("R").is_some());
+        assert!(c.deregister("r").is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,664 @@
+//! Binding and execution of parsed queries.
+//!
+//! Each aggregate in the select list is computed separately (Section 3's
+//! scalar-aggregate strategy) over the same filtered tuple set; since every
+//! aggregate sees the same tuples, their constant intervals coincide and
+//! the series zip into rows losslessly. Instant-grouped queries go through
+//! the Section 6.3 planner; `GROUP BY SPAN n` uses the span-grouping
+//! bucket algorithm; `GROUP BY col` partitions first and evaluates per
+//! group (Section 4.1's "aggregation sets").
+
+use crate::ast::{Query, TemporalGrouping};
+use crate::catalog::Catalog;
+use crate::parser::parse;
+use std::collections::BTreeMap;
+use std::fmt;
+use tempagg_agg::{Aggregate, DynAggregate, MultiDyn};
+use tempagg_core::{
+    Interval, Result, Series, TempAggError, TemporalRelation, Tuple, Value,
+};
+use tempagg_plan::{execute as execute_plan, plan, Plan, PlannerConfig, RelationStats};
+use tempagg_algo::{SpanGrouper, TemporalAggregator};
+
+/// One row of a query result: optional group key, a valid-time interval,
+/// and one value per aggregate in the select list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultRow {
+    pub group: Option<Value>,
+    pub valid: Interval,
+    pub values: Vec<Value>,
+}
+
+/// A query result: a (temporal) relation of aggregate values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResult {
+    /// Name of the grouping column, if the query had one.
+    pub group_column: Option<String>,
+    /// Display labels of the aggregates, e.g. `["COUNT(Name)"]`.
+    pub agg_labels: Vec<String>,
+    /// Rows in (group, time) order, coalesced by valid time.
+    pub rows: Vec<ResultRow>,
+    /// The plan chosen for instant-grouped evaluation (`None` for span
+    /// grouping, which is bucket-based).
+    pub plan: Option<Plan>,
+    /// `true` for `EXPLAIN` queries: `rows` is empty and `plan` describes
+    /// what would run.
+    pub explain_only: bool,
+    /// `true` for `SELECT SNAPSHOT` queries: one scalar row (per group),
+    /// no meaningful valid-time column.
+    pub snapshot: bool,
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.explain_only {
+            return match &self.plan {
+                Some(plan) => write!(f, "{plan}"),
+                None => writeln!(f, "algorithm: span-grouping (bucket array)"),
+            };
+        }
+        // Collect all cells as strings, then align columns.
+        let mut header: Vec<String> = Vec::new();
+        if let Some(g) = &self.group_column {
+            header.push(g.clone());
+        }
+        if !self.snapshot {
+            header.push("VALID".to_owned());
+        }
+        header.extend(self.agg_labels.iter().cloned());
+
+        let mut table: Vec<Vec<String>> = vec![header];
+        for row in &self.rows {
+            let mut cells = Vec::new();
+            if self.group_column.is_some() {
+                cells.push(row.group.as_ref().map_or(String::new(), Value::to_string));
+            }
+            if !self.snapshot {
+                cells.push(row.valid.to_string());
+            }
+            cells.extend(row.values.iter().map(Value::to_string));
+            table.push(cells);
+        }
+        let widths: Vec<usize> = (0..table[0].len())
+            .map(|c| table.iter().map(|r| r[c].chars().count()).max().unwrap_or(0))
+            .collect();
+        for (i, row) in table.iter().enumerate() {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[c])?;
+            }
+            writeln!(f)?;
+            if i == 0 {
+                writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse and execute a query against a catalog with default planner
+/// settings.
+pub fn execute_str(catalog: &Catalog, sql: &str) -> Result<QueryResult> {
+    execute_query(catalog, &parse(sql)?, &PlannerConfig::default())
+}
+
+/// Execute a parsed query.
+pub fn execute_query(
+    catalog: &Catalog,
+    query: &Query,
+    config: &PlannerConfig,
+) -> Result<QueryResult> {
+    let relation = catalog.get(&query.relation)?;
+    let schema = relation.schema().clone();
+
+    // Bind: resolve and type-check conditions and aggregates up front.
+    let mut bound_conditions = Vec::with_capacity(query.conditions.len());
+    for cond in &query.conditions {
+        bound_conditions.push((schema.index_of_ignore_case(&cond.column)?, cond.op, cond.value.clone()));
+    }
+    let mut bound_aggs: Vec<(DynAggregate, Option<usize>, String)> =
+        Vec::with_capacity(query.aggregates.len());
+    for agg in &query.aggregates {
+        let (idx, ty) = match &agg.column {
+            Some(col) => {
+                let i = schema.index_of_ignore_case(col)?;
+                (Some(i), schema.columns()[i].ty)
+            }
+            None => (None, tempagg_core::ValueType::Int),
+        };
+        bound_aggs.push((DynAggregate::new(agg.kind, ty)?, idx, agg.label()));
+    }
+    let group_idx = query
+        .group_column
+        .as_deref()
+        .map(|c| schema.index_of_ignore_case(c))
+        .transpose()?;
+
+    // Filter: WHERE conditions plus the VALID window (tuples are clipped to
+    // the window; the result time-line is the window).
+    let domain = query.valid_window.unwrap_or(Interval::TIMELINE);
+    let mut filtered = TemporalRelation::new(schema.clone());
+    'tuples: for tuple in relation {
+        for (idx, op, value) in &bound_conditions {
+            if !op.eval(tuple.value(*idx), value) {
+                continue 'tuples;
+            }
+        }
+        let Some(clipped) = tuple.valid().intersect(&domain) else {
+            continue;
+        };
+        filtered.push_tuple(tuple.clone().with_valid(clipped))?;
+    }
+
+    // Group: partition into aggregation sets if requested.
+    let groups: Vec<(Option<Value>, TemporalRelation)> = match group_idx {
+        None => vec![(None, filtered)],
+        Some(idx) => {
+            let mut map: BTreeMap<Value, TemporalRelation> = BTreeMap::new();
+            for tuple in &filtered {
+                map.entry(tuple.value(idx).clone())
+                    .or_insert_with(|| TemporalRelation::new(schema.clone()))
+                    .push_tuple(tuple.clone())?;
+            }
+            map.into_iter().map(|(k, v)| (Some(k), v)).collect()
+        }
+    };
+
+    // SNAPSHOT: scalar aggregates over each group's full tuple set
+    // (Section 3 semantics) — no temporal grouping at all.
+    if query.snapshot {
+        let mut rows = Vec::new();
+        for (key, group_rel) in &groups {
+            let mut values = Vec::with_capacity(bound_aggs.len());
+            for (agg, idx, _) in &bound_aggs {
+                let extract = make_extractor(*idx);
+                let mut state = agg.empty_state();
+                for tuple in group_rel {
+                    agg.insert(&mut state, &extract(tuple));
+                }
+                values.push(agg.finish(&state));
+            }
+            rows.push(ResultRow {
+                group: key.clone(),
+                valid: domain,
+                values,
+            });
+        }
+        return Ok(QueryResult {
+            group_column: query.group_column.clone(),
+            agg_labels: bound_aggs.into_iter().map(|(_, _, l)| l).collect(),
+            rows,
+            plan: None,
+            explain_only: false,
+            snapshot: true,
+        });
+    }
+
+    // All aggregates of the query run in ONE pass per group via a product
+    // aggregate (the paper computes them separately — Section 3 — but the
+    // product of monoids is a monoid, and the constant intervals coincide,
+    // so a single tree construction serves every select-list entry).
+    let multi = MultiDyn::new(bound_aggs.iter().map(|(a, _, _)| *a).collect());
+    let extract_indices: Vec<Option<usize>> =
+        bound_aggs.iter().map(|(_, idx, _)| *idx).collect();
+    let extract_all = |tuple: &Tuple| -> Vec<Value> {
+        extract_indices
+            .iter()
+            .map(|idx| make_extractor(*idx)(tuple))
+            .collect()
+    };
+
+    match query.temporal_grouping {
+        TemporalGrouping::Instant => {
+            // Plan once from the whole filtered input (the groups share its
+            // ordering characteristics), then evaluate per group.
+            let representative = groups
+                .iter()
+                .map(|(_, r)| r)
+                .max_by_key(|r| r.len())
+                .cloned()
+                .unwrap_or_else(|| TemporalRelation::new(schema.clone()));
+            let stats = RelationStats::analyze(&representative);
+            let the_plan = plan(&stats, config, multi.state_model_bytes().max(4));
+            if query.explain {
+                return Ok(QueryResult {
+                    group_column: query.group_column.clone(),
+                    agg_labels: bound_aggs.into_iter().map(|(_, _, l)| l).collect(),
+                    rows: Vec::new(),
+                    plan: Some(the_plan),
+                    explain_only: true,
+                    snapshot: false,
+                });
+            }
+
+            let mut rows = Vec::new();
+            for (key, group_rel) in &groups {
+                let (series, _report) =
+                    execute_plan(&the_plan, multi.clone(), group_rel, &extract_all, domain)?;
+                append_series_rows(key.clone(), series, true, &mut rows);
+            }
+            Ok(QueryResult {
+                group_column: query.group_column.clone(),
+                agg_labels: bound_aggs.into_iter().map(|(_, _, l)| l).collect(),
+                rows,
+                plan: Some(the_plan),
+                explain_only: false,
+                snapshot: false,
+            })
+        }
+        TemporalGrouping::Span(len) => {
+            if query.explain {
+                return Ok(QueryResult {
+                    group_column: query.group_column.clone(),
+                    agg_labels: bound_aggs.into_iter().map(|(_, _, l)| l).collect(),
+                    rows: Vec::new(),
+                    plan: None,
+                    explain_only: true,
+                    snapshot: false,
+                });
+            }
+            // Spans need a bounded window: the VALID clause, or the
+            // relation's lifespan.
+            let window = match query.valid_window {
+                Some(w) if !w.end().is_forever() => w,
+                Some(_) | None => {
+                    let hull = groups
+                        .iter()
+                        .filter_map(|(_, r)| r.lifespan())
+                        .reduce(|a, b| a.hull(&b))
+                        .ok_or(TempAggError::InvalidSpan { length: len })?;
+                    if hull.end().is_forever() {
+                        return Err(TempAggError::InvalidSpan { length: len });
+                    }
+                    hull
+                }
+            };
+            let mut rows = Vec::new();
+            for (key, group_rel) in &groups {
+                let mut grouper = SpanGrouper::new(multi.clone(), window, len)?;
+                for tuple in group_rel {
+                    grouper.push(tuple.valid(), extract_all(tuple))?;
+                }
+                // One row per span: fixed calendar partitions are not
+                // coalesced even when adjacent values repeat.
+                append_series_rows(key.clone(), grouper.finish(), false, &mut rows);
+            }
+            Ok(QueryResult {
+                group_column: query.group_column.clone(),
+                agg_labels: bound_aggs.into_iter().map(|(_, _, l)| l).collect(),
+                rows,
+                plan: None,
+                explain_only: false,
+                snapshot: false,
+            })
+        }
+    }
+}
+
+/// Build the tuple→input projection for one aggregate.
+fn make_extractor(idx: Option<usize>) -> impl Fn(&Tuple) -> Value {
+    move |tuple: &Tuple| match idx {
+        Some(i) => tuple.value(i).clone(),
+        // COUNT(*): any non-null marker.
+        None => Value::Bool(true),
+    }
+}
+
+/// Convert a product-aggregate series into result rows, coalescing
+/// adjacent rows whose values are all equal when `coalesce` is set
+/// (TSQL2's coalesced results).
+fn append_series_rows(
+    group: Option<Value>,
+    series: Series<Vec<Value>>,
+    coalesce: bool,
+    out: &mut Vec<ResultRow>,
+) {
+    for entry in series {
+        match out.last_mut() {
+            Some(prev)
+                if coalesce
+                    && prev.group == group
+                    && prev.valid.meets(&entry.interval)
+                    && prev.values == entry.value =>
+            {
+                prev.valid = prev.valid.hull(&entry.interval);
+            }
+            _ => out.push(ResultRow {
+                group: group.clone(),
+                valid: entry.interval,
+                values: entry.value,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempagg_workload::employed::{employed_relation, table1_expected};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("Employed", employed_relation());
+        c
+    }
+
+    #[test]
+    fn the_papers_query_reproduces_table1() {
+        let result = execute_str(&catalog(), "SELECT COUNT(Name) FROM Employed E").unwrap();
+        let rows: Vec<(Interval, i64)> = result
+            .rows
+            .iter()
+            .map(|r| (r.valid, r.values[0].as_i64().unwrap()))
+            .collect();
+        let expected: Vec<(Interval, i64)> = table1_expected()
+            .into_iter()
+            .map(|(iv, v)| (iv, v as i64))
+            .collect();
+        assert_eq!(rows, expected);
+        assert_eq!(result.agg_labels, vec!["COUNT(Name)"]);
+    }
+
+    #[test]
+    fn multiple_aggregates_zip() {
+        let result = execute_str(
+            &catalog(),
+            "SELECT COUNT(name), SUM(salary), AVG(salary) FROM Employed",
+        )
+        .unwrap();
+        // Over [18, 20]: 3 employees totalling 122K.
+        let row = result
+            .rows
+            .iter()
+            .find(|r| r.valid == Interval::at(18, 20))
+            .unwrap();
+        assert_eq!(row.values[0], Value::Int(3));
+        assert_eq!(row.values[1], Value::Int(122_000));
+        assert_eq!(row.values[2], Value::Float(122_000.0 / 3.0));
+    }
+
+    #[test]
+    fn where_clause_filters() {
+        let result = execute_str(
+            &catalog(),
+            "SELECT COUNT(name) FROM Employed WHERE salary >= 40000",
+        )
+        .unwrap();
+        // Only Richard [18, ∞] and Karen [8, 20] qualify.
+        let rows: Vec<(Interval, i64)> = result
+            .rows
+            .iter()
+            .map(|r| (r.valid, r.values[0].as_i64().unwrap()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                (Interval::at(0, 7), 0),
+                (Interval::at(8, 17), 1),
+                (Interval::at(18, 20), 2),
+                (Interval::from_start(21), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn valid_window_restricts_and_clips() {
+        let result = execute_str(
+            &catalog(),
+            "SELECT COUNT(name) FROM Employed WHERE VALID OVERLAPS [10, 19]",
+        )
+        .unwrap();
+        let rows: Vec<(Interval, i64)> = result
+            .rows
+            .iter()
+            .map(|r| (r.valid, r.values[0].as_i64().unwrap()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                (Interval::at(10, 12), 2),
+                (Interval::at(13, 17), 1),
+                (Interval::at(18, 19), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_name_gives_per_person_timelines() {
+        let result =
+            execute_str(&catalog(), "SELECT COUNT(name) FROM Employed GROUP BY name").unwrap();
+        assert_eq!(result.group_column.as_deref(), Some("name"));
+        let nathan: Vec<&ResultRow> = result
+            .rows
+            .iter()
+            .filter(|r| r.group == Some(Value::from("Nathan")))
+            .collect();
+        // Nathan: employed [7, 12] and [18, 21], gap in between.
+        let count_at = |t: i64| {
+            nathan
+                .iter()
+                .find(|r| r.valid.contains(tempagg_core::Timestamp(t)))
+                .map(|r| r.values[0].as_i64().unwrap())
+        };
+        assert_eq!(count_at(10), Some(1));
+        assert_eq!(count_at(15), Some(0));
+        assert_eq!(count_at(20), Some(1));
+        assert_eq!(count_at(25), Some(0));
+    }
+
+    #[test]
+    fn span_grouping_buckets() {
+        let result = execute_str(
+            &catalog(),
+            "SELECT COUNT(name) FROM Employed WHERE VALID OVERLAPS [0, 29] GROUP BY SPAN 10",
+        )
+        .unwrap();
+        let rows: Vec<(Interval, i64)> = result
+            .rows
+            .iter()
+            .map(|r| (r.valid, r.values[0].as_i64().unwrap()))
+            .collect();
+        // [0,9]: Karen + Nathan(35K); [10,19]: Karen, Nathan(35K),
+        // Richard, Nathan(37K); [20,29]: Karen, Richard, Nathan(37K).
+        assert_eq!(
+            rows,
+            vec![
+                (Interval::at(0, 9), 2),
+                (Interval::at(10, 19), 4),
+                (Interval::at(20, 29), 3),
+            ]
+        );
+        assert!(result.plan.is_none());
+    }
+
+    #[test]
+    fn span_grouping_without_window_uses_lifespan() {
+        let mut c = Catalog::new();
+        let mut r = employed_relation();
+        // Make the lifespan bounded by replacing the open-ended tuples.
+        r.retain(|t| !t.valid().end().is_forever());
+        c.register("bounded", r);
+        let result =
+            execute_str(&c, "SELECT COUNT(name) FROM bounded GROUP BY SPAN 5").unwrap();
+        // Lifespan [7, 21] → buckets [7,11], [12,16], [17,21].
+        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.rows[0].valid, Interval::at(7, 11));
+    }
+
+    #[test]
+    fn span_grouping_with_unbounded_lifespan_errors() {
+        let err = execute_str(&catalog(), "SELECT COUNT(name) FROM Employed GROUP BY SPAN 5")
+            .unwrap_err();
+        assert!(matches!(err, TempAggError::InvalidSpan { .. }));
+    }
+
+    #[test]
+    fn count_star_counts_everything() {
+        let result = execute_str(&catalog(), "SELECT COUNT(*) FROM Employed").unwrap();
+        let max = result
+            .rows
+            .iter()
+            .map(|r| r.values[0].as_i64().unwrap())
+            .max();
+        assert_eq!(max, Some(3));
+    }
+
+    #[test]
+    fn coalescing_merges_equal_adjacent_rows() {
+        // MIN(salary) over Employed: [8, 12] has min 35K (Karen 45K, Nathan
+        // 35K); [13, 17] has 45K; but COUNT changes at 7/8 while MIN stays
+        // 35K across [7, 12] — with only MIN selected, [7, 7] and [8, 12]
+        // coalesce.
+        let result = execute_str(&catalog(), "SELECT MIN(salary) FROM Employed").unwrap();
+        let rows: Vec<(Interval, Value)> = result
+            .rows
+            .iter()
+            .map(|r| (r.valid, r.values[0].clone()))
+            .collect();
+        assert!(rows.contains(&(Interval::at(7, 12), Value::Int(35_000))));
+    }
+
+    #[test]
+    fn explain_returns_plan_without_rows() {
+        let result = execute_str(&catalog(), "EXPLAIN SELECT COUNT(Name) FROM Employed").unwrap();
+        assert!(result.explain_only);
+        assert!(result.rows.is_empty());
+        let plan = result.plan.as_ref().expect("instant queries plan");
+        let text = result.to_string();
+        assert!(text.contains(plan.choice.name()), "explain was:\n{text}");
+    }
+
+    #[test]
+    fn explain_span_grouping() {
+        let result = execute_str(
+            &catalog(),
+            "EXPLAIN SELECT COUNT(*) FROM Employed WHERE VALID OVERLAPS [0, 29] GROUP BY SPAN 10",
+        )
+        .unwrap();
+        assert!(result.explain_only);
+        assert!(result.plan.is_none());
+        assert!(result.to_string().contains("span-grouping"));
+    }
+
+    #[test]
+    fn span_with_calendar_units() {
+        // Default calendar: 1 instant = 1 second, so SPAN 10 SECONDS = 10.
+        let with_unit = execute_str(
+            &catalog(),
+            "SELECT COUNT(name) FROM Employed WHERE VALID OVERLAPS [0, 29] GROUP BY SPAN 10 SECONDS",
+        )
+        .unwrap();
+        let bare = execute_str(
+            &catalog(),
+            "SELECT COUNT(name) FROM Employed WHERE VALID OVERLAPS [0, 29] GROUP BY SPAN 10",
+        )
+        .unwrap();
+        assert_eq!(with_unit.rows, bare.rows);
+        // MINUTE spans are 60 instants: one bucket covers [0, 29] clipped.
+        let minutes = execute_str(
+            &catalog(),
+            "SELECT COUNT(name) FROM Employed WHERE VALID OVERLAPS [0, 29] GROUP BY SPAN 1 MINUTE",
+        )
+        .unwrap();
+        assert_eq!(minutes.rows.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_query_returns_one_scalar_row() {
+        // The paper's opening example: AVG(Salary) over all employees,
+        // as a non-temporal (snapshot) result.
+        let result = execute_str(&catalog(), "SELECT SNAPSHOT AVG(salary), COUNT(*) FROM Employed")
+            .unwrap();
+        assert!(result.snapshot);
+        assert_eq!(result.rows.len(), 1);
+        let avg = result.rows[0].values[0].as_f64().unwrap();
+        assert!((avg - (40_000.0 + 45_000.0 + 35_000.0 + 37_000.0) / 4.0).abs() < 1e-9);
+        assert_eq!(result.rows[0].values[1], Value::Int(4));
+        // No VALID column in the rendering.
+        assert!(!result.to_string().contains("VALID"));
+    }
+
+    #[test]
+    fn snapshot_with_group_by() {
+        let result = execute_str(&catalog(), "SELECT SNAPSHOT COUNT(salary) FROM Employed GROUP BY name")
+            .unwrap();
+        assert_eq!(result.rows.len(), 3); // Karen, Nathan, Richard
+        let nathan = result
+            .rows
+            .iter()
+            .find(|r| r.group == Some(Value::from("Nathan")))
+            .unwrap();
+        assert_eq!(nathan.values[0], Value::Int(2));
+    }
+
+    #[test]
+    fn count_distinct_over_time() {
+        // Distinct names per constant interval: Nathan's two stints count
+        // once wherever they overlap other people.
+        let result =
+            execute_str(&catalog(), "SELECT COUNT(DISTINCT name), COUNT(name) FROM Employed")
+                .unwrap();
+        let at = |t: i64| {
+            result
+                .rows
+                .iter()
+                .find(|r| r.valid.contains(tempagg_core::Timestamp(t)))
+                .map(|r| (r.values[0].as_i64().unwrap(), r.values[1].as_i64().unwrap()))
+                .unwrap()
+        };
+        assert_eq!(at(10), (2, 2));
+        assert_eq!(at(19), (3, 3)); // Richard, Karen, Nathan
+        assert_eq!(result.agg_labels[0], "COUNT(DISTINCT name)");
+    }
+
+    #[test]
+    fn snapshot_rejects_span_grouping() {
+        assert!(execute_str(&catalog(), "SELECT SNAPSHOT COUNT(*) FROM Employed GROUP BY SPAN 5")
+            .is_err());
+    }
+
+    #[test]
+    fn binding_errors() {
+        assert!(matches!(
+            execute_str(&catalog(), "SELECT COUNT(nope) FROM Employed"),
+            Err(TempAggError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            execute_str(&catalog(), "SELECT SUM(name) FROM Employed"),
+            Err(TempAggError::TypeError { .. })
+        ));
+        assert!(matches!(
+            execute_str(&catalog(), "SELECT COUNT(name) FROM nonexistent"),
+            Err(TempAggError::UnknownRelation { .. })
+        ));
+        assert!(matches!(
+            execute_str(&catalog(), "SELECT COUNT(name) FROM Employed WHERE nope = 1"),
+            Err(TempAggError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn display_renders_a_table() {
+        let result = execute_str(&catalog(), "SELECT COUNT(Name) FROM Employed").unwrap();
+        let text = result.to_string();
+        assert!(text.contains("VALID"));
+        assert!(text.contains("COUNT(Name)"));
+        assert!(text.contains("[18, 20]"));
+        assert!(text.lines().count() >= 9, "table was:\n{text}");
+    }
+
+    #[test]
+    fn empty_filter_result_is_all_empty_intervals() {
+        let result = execute_str(
+            &catalog(),
+            "SELECT COUNT(name) FROM Employed WHERE salary > 99999999",
+        )
+        .unwrap();
+        // One coalesced row covering the whole time-line with count 0.
+        assert_eq!(result.rows.len(), 1);
+        assert_eq!(result.rows[0].valid, Interval::TIMELINE);
+        assert_eq!(result.rows[0].values[0], Value::Int(0));
+    }
+}

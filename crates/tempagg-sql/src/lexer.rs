@@ -1,0 +1,313 @@
+//! Hand-rolled lexer for the mini-TSQL2 dialect.
+
+use crate::token::{Keyword, Spanned, Token};
+use tempagg_core::{Result, TempAggError};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+/// Tokenise a query string. Errors carry 1-based line/column positions.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut lexer = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        column: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        out.push(tok);
+    }
+    Ok(out)
+}
+
+impl<'a> Lexer<'a> {
+    fn error(&self, detail: impl Into<String>) -> TempAggError {
+        TempAggError::Sql {
+            line: self.line,
+            column: self.column,
+            detail: detail.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // SQL `--` line comment.
+                Some(b'-') if self.src.get(self.pos + 1) == Some(&b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Spanned>> {
+        self.skip_whitespace_and_comments()?;
+        let (line, column) = (self.line, self.column);
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
+        let token = match c {
+            b',' => {
+                self.bump();
+                Token::Comma
+            }
+            b'(' => {
+                self.bump();
+                Token::LParen
+            }
+            b')' => {
+                self.bump();
+                Token::RParen
+            }
+            b'[' => {
+                self.bump();
+                Token::LBracket
+            }
+            b']' => {
+                self.bump();
+                Token::RBracket
+            }
+            b'*' => {
+                self.bump();
+                Token::Star
+            }
+            b';' => {
+                self.bump();
+                Token::Semicolon
+            }
+            b'=' => {
+                self.bump();
+                Token::Eq
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::NotEq
+                } else {
+                    return Err(self.error("expected `=` after `!`"));
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Token::LtEq
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        Token::NotEq
+                    }
+                    _ => Token::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::GtEq
+                } else {
+                    Token::Gt
+                }
+            }
+            b'\'' => self.lex_string()?,
+            b'0'..=b'9' => self.lex_number(false)?,
+            b'-' => self.lex_number(true)?,
+            c if c.is_ascii_alphabetic() || c == b'_' => self.lex_word(),
+            other => {
+                return Err(self.error(format!("unexpected character `{}`", other as char)))
+            }
+        };
+        Ok(Some(Spanned {
+            token,
+            line,
+            column,
+        }))
+    }
+
+    fn lex_string(&mut self) -> Result<Token> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // Doubled quote is an escaped quote.
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(Token::Str(s));
+                    }
+                }
+                Some(c) => s.push(c as char),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, negative: bool) -> Result<Token> {
+        let mut text = String::new();
+        if negative {
+            self.bump();
+            text.push('-');
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digits after `-`"));
+            }
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' | b'_' => {
+                    if c != b'_' {
+                        text.push(c as char);
+                    }
+                    self.bump();
+                }
+                b'.' if !is_float && matches!(self.src.get(self.pos + 1), Some(b'0'..=b'9')) => {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|e| self.error(format!("bad float literal: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|e| self.error(format!("bad integer literal: {e}")))
+        }
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                word.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::parse(&word) {
+            Some(k) => Token::Keyword(k),
+            None => Token::Ident(word),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_the_papers_query() {
+        let t = toks("SELECT COUNT(Name) FROM Employed E");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("COUNT".into()),
+                Token::LParen,
+                Token::Ident("Name".into()),
+                Token::RParen,
+                Token::Keyword(Keyword::From),
+                Token::Ident("Employed".into()),
+                Token::Ident("E".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_literals() {
+        let t = toks("salary >= 40000 AND name <> 'O''Brien' AND r < 1.5");
+        assert!(t.contains(&Token::GtEq));
+        assert!(t.contains(&Token::NotEq));
+        assert!(t.contains(&Token::Str("O'Brien".into())));
+        assert!(t.contains(&Token::Float(1.5)));
+        assert!(t.contains(&Token::Int(40_000)));
+    }
+
+    #[test]
+    fn lexes_brackets_and_negative_numbers() {
+        let t = toks("VALID OVERLAPS [0, -5]");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Valid),
+                Token::Keyword(Keyword::Overlaps),
+                Token::LBracket,
+                Token::Int(0),
+                Token::Comma,
+                Token::Int(-5),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_positions() {
+        let spanned = lex("SELECT -- the aggregate\n  x").unwrap();
+        assert_eq!(spanned.len(), 2);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[1].column, 3);
+    }
+
+    #[test]
+    fn numeric_underscores() {
+        assert_eq!(toks("1_000_000"), vec![Token::Int(1_000_000)]);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = lex("SELECT @").unwrap_err();
+        match err {
+            TempAggError::Sql { line, column, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(column, 8);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex("- x").is_err());
+    }
+}

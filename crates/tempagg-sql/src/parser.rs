@@ -1,0 +1,505 @@
+//! Recursive-descent parser for the mini-TSQL2 dialect.
+
+use crate::ast::{AggExpr, CompareOp, Condition, PlainSelect, Query, Statement, TemporalGrouping};
+use crate::lexer::lex;
+use crate::token::{Keyword, Spanned, Token};
+use tempagg_agg::AggKind;
+use tempagg_core::{Calendar, Interval, Result, TempAggError, TimeUnit, Timestamp, Value, ValueType};
+
+/// Parse one aggregate query with the default (second-granularity)
+/// calendar. Errors on DDL/DML; use [`parse_statement`] for those.
+pub fn parse(src: &str) -> Result<Query> {
+    parse_with_calendar(src, &Calendar::default())
+}
+
+/// Parse one aggregate query, resolving calendar-unit spans
+/// (`GROUP BY SPAN 7 DAY`) against the given calendar.
+pub fn parse_with_calendar(src: &str, calendar: &Calendar) -> Result<Query> {
+    match parse_statement_with_calendar(src, calendar)? {
+        Statement::Query(query) => Ok(query),
+        _ => Err(TempAggError::Sql {
+            line: 1,
+            column: 1,
+            detail: "expected an aggregate query".into(),
+        }),
+    }
+}
+
+/// Parse any statement (aggregate query, plain SELECT, CREATE TABLE,
+/// INSERT) with the default calendar.
+pub fn parse_statement(src: &str) -> Result<Statement> {
+    parse_statement_with_calendar(src, &Calendar::default())
+}
+
+/// Parse any statement against the given calendar.
+pub fn parse_statement_with_calendar(src: &str, calendar: &Calendar) -> Result<Statement> {
+    let tokens = lex(src)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        calendar: *calendar,
+    };
+    let statement = parser.statement()?;
+    parser.expect_end()?;
+    Ok(statement)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    calendar: Calendar,
+}
+
+impl Parser {
+    fn error_at(&self, detail: impl Into<String>) -> TempAggError {
+        let (line, column) = self
+            .tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or((1, 1), |s| (s.line, s.column));
+        TempAggError::Sql {
+            line,
+            column,
+            detail: detail.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        self.eat(&Token::Keyword(kw))
+    }
+
+    fn expect(&mut self, token: Token) -> Result<()> {
+        if self.eat(&token) {
+            Ok(())
+        } else {
+            Err(self.error_at(format!(
+                "expected `{token}`, found {}",
+                self.peek().map_or("end of input".to_owned(), |t| format!("`{t}`"))
+            )))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
+        self.expect(Token::Keyword(kw))
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => {
+                self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                Err(self.error_at(format!("expected {what}")))
+            }
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<i64> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(v),
+            other => {
+                self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                Err(self.error_at(format!("expected {what}")))
+            }
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        self.eat(&Token::Semicolon);
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error_at("unexpected trailing input"))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(Token::Keyword(Keyword::Create)) => self.create_table(),
+            Some(Token::Keyword(Keyword::Insert)) => self.insert(),
+            _ => {
+                let explain = self.eat_keyword(Keyword::Explain);
+                self.expect_keyword(Keyword::Select)?;
+                // TSQL2's `SELECT SNAPSHOT` requests a non-temporal result.
+                let snapshot = self.eat_keyword(Keyword::Snapshot);
+                // Aggregate select lists start with `name(`; everything
+                // else (`*` or bare columns) is a plain selection.
+                let is_aggregate = matches!(
+                    (self.peek(), self.tokens.get(self.pos + 1).map(|s| &s.token)),
+                    (Some(Token::Ident(_)), Some(Token::LParen))
+                );
+                if is_aggregate {
+                    Ok(Statement::Query(self.query_after_select(explain, snapshot)?))
+                } else if explain {
+                    Err(self.error_at("EXPLAIN applies to aggregate queries only"))
+                } else if snapshot {
+                    Err(self.error_at("SNAPSHOT applies to aggregate queries only"))
+                } else {
+                    self.plain_select_after_select().map(Statement::Select)
+                }
+            }
+        }
+    }
+
+    /// `FROM rel [alias]`.
+    fn parse_from(&mut self) -> Result<(String, Option<String>)> {
+        self.expect_keyword(Keyword::From)?;
+        let relation = self.ident("relation name")?;
+        let alias = match self.peek() {
+            Some(Token::Ident(_)) => Some(self.ident("alias")?),
+            _ => None,
+        };
+        Ok((relation, alias))
+    }
+
+    /// `[WHERE condition (AND condition)*]`, separating VALID windows.
+    fn where_clause(&mut self) -> Result<(Vec<Condition>, Option<Interval>)> {
+        let mut conditions = Vec::new();
+        let mut valid_window = None;
+        if self.eat_keyword(Keyword::Where) {
+            loop {
+                if self.eat_keyword(Keyword::Valid) {
+                    self.expect_keyword(Keyword::Overlaps)?;
+                    valid_window = Some(self.interval_literal()?);
+                } else {
+                    conditions.push(self.condition()?);
+                }
+                if !self.eat_keyword(Keyword::And) {
+                    break;
+                }
+            }
+        }
+        Ok((conditions, valid_window))
+    }
+
+    fn plain_select_after_select(&mut self) -> Result<PlainSelect> {
+        let columns = if self.eat(&Token::Star) {
+            None
+        } else {
+            let mut cols = vec![self.ident("column name")?];
+            while self.eat(&Token::Comma) {
+                cols.push(self.ident("column name")?);
+            }
+            Some(cols)
+        };
+        let (relation, alias) = self.parse_from()?;
+        let (conditions, valid_window) = self.where_clause()?;
+        Ok(PlainSelect {
+            columns,
+            relation,
+            alias,
+            conditions,
+            valid_window,
+        })
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_keyword(Keyword::Create)?;
+        self.expect_keyword(Keyword::Table)?;
+        let name = self.ident("table name")?;
+        self.expect(Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            let ty_name = self.ident("column type")?;
+            let ty = match ty_name.to_ascii_uppercase().as_str() {
+                "INT" | "INTEGER" | "BIGINT" => ValueType::Int,
+                "FLOAT" | "REAL" | "DOUBLE" => ValueType::Float,
+                "STRING" | "TEXT" | "VARCHAR" | "CHAR" => ValueType::Str,
+                "BOOL" | "BOOLEAN" => ValueType::Bool,
+                other => {
+                    self.pos -= 1;
+                    return Err(self.error_at(format!("unknown column type `{other}`")));
+                }
+            };
+            columns.push((col, ty));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_keyword(Keyword::Insert)?;
+        self.expect_keyword(Keyword::Into)?;
+        let relation = self.ident("relation name")?;
+        self.expect_keyword(Keyword::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(Token::LParen)?;
+            let mut values = vec![self.literal()?];
+            while self.eat(&Token::Comma) {
+                values.push(self.literal()?);
+            }
+            self.expect(Token::RParen)?;
+            self.expect_keyword(Keyword::Valid)?;
+            let valid = self.interval_literal()?;
+            rows.push((values, valid));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { relation, rows })
+    }
+
+    fn query_after_select(&mut self, explain: bool, snapshot: bool) -> Result<Query> {
+        let mut aggregates = vec![self.agg_expr()?];
+        while self.eat(&Token::Comma) {
+            aggregates.push(self.agg_expr()?);
+        }
+        let (relation, alias) = self.parse_from()?;
+        let (conditions, valid_window) = self.where_clause()?;
+
+        let mut group_column = None;
+        let mut temporal_grouping = TemporalGrouping::Instant;
+        if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                if self.eat_keyword(Keyword::Instant) {
+                    temporal_grouping = TemporalGrouping::Instant;
+                } else if self.eat_keyword(Keyword::Span) {
+                    let count = self.int("span length")?;
+                    let len = match self.peek() {
+                        Some(Token::Ident(word)) if TimeUnit::parse(word).is_some() => {
+                            let unit = TimeUnit::parse(word).expect("just checked");
+                            self.pos += 1;
+                            self.calendar.span(count, unit)?
+                        }
+                        _ => count,
+                    };
+                    temporal_grouping = TemporalGrouping::Span(len);
+                } else {
+                    let col = self.ident("grouping column, INSTANT, or SPAN <n>")?;
+                    if group_column.replace(col).is_some() {
+                        return Err(self.error_at("at most one grouping column is supported"));
+                    }
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if snapshot && !matches!(temporal_grouping, TemporalGrouping::Instant) {
+            return Err(self.error_at("SNAPSHOT queries cannot use SPAN grouping"));
+        }
+        Ok(Query {
+            explain,
+            snapshot,
+            aggregates,
+            relation,
+            alias,
+            conditions,
+            valid_window,
+            group_column,
+            temporal_grouping,
+        })
+    }
+
+    fn agg_expr(&mut self) -> Result<AggExpr> {
+        let name = self.ident("aggregate function name")?;
+        let Some(kind) = AggKind::parse(&name) else {
+            self.pos -= 1;
+            return Err(self.error_at(format!("unknown aggregate function `{name}`")));
+        };
+        self.expect(Token::LParen)?;
+        if self.eat_keyword(Keyword::Distinct) {
+            if kind != AggKind::Count {
+                self.pos -= 1;
+                return Err(self.error_at(format!("DISTINCT is only valid in COUNT, not {name}")));
+            }
+            let column = self.ident("column name")?;
+            self.expect(Token::RParen)?;
+            return Ok(AggExpr {
+                kind: AggKind::CountDistinct,
+                column: Some(column),
+            });
+        }
+        let expr = if self.eat(&Token::Star) {
+            if kind != AggKind::Count {
+                self.pos -= 1;
+                return Err(self.error_at(format!("`*` is only valid in COUNT, not {name}")));
+            }
+            AggExpr {
+                kind: AggKind::CountStar,
+                column: None,
+            }
+        } else {
+            let column = self.ident("column name")?;
+            AggExpr {
+                kind,
+                column: Some(column),
+            }
+        };
+        self.expect(Token::RParen)?;
+        Ok(expr)
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let column = self.ident("column name in condition")?;
+        let op = match self.bump() {
+            Some(Token::Eq) => CompareOp::Eq,
+            Some(Token::NotEq) => CompareOp::NotEq,
+            Some(Token::Lt) => CompareOp::Lt,
+            Some(Token::LtEq) => CompareOp::LtEq,
+            Some(Token::Gt) => CompareOp::Gt,
+            Some(Token::GtEq) => CompareOp::GtEq,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error_at("expected comparison operator"));
+            }
+        };
+        let value = self.literal()?;
+        Ok(Condition { column, op, value })
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Value::Int(v)),
+            Some(Token::Float(v)) => Ok(Value::Float(v)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Keyword(Keyword::True)) => Ok(Value::Bool(true)),
+            Some(Token::Keyword(Keyword::False)) => Ok(Value::Bool(false)),
+            Some(Token::Keyword(Keyword::Null)) => Ok(Value::Null),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error_at("expected literal value"))
+            }
+        }
+    }
+
+    /// `[ start , end | FOREVER ]`
+    fn interval_literal(&mut self) -> Result<Interval> {
+        self.expect(Token::LBracket)?;
+        let start = self.int("interval start")?;
+        self.expect(Token::Comma)?;
+        let end = if self.eat_keyword(Keyword::Forever) {
+            Timestamp::FOREVER
+        } else {
+            Timestamp::new(self.int("interval end or FOREVER")?)
+        };
+        self.expect(Token::RBracket)?;
+        Interval::new(start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_query() {
+        let q = parse("SELECT COUNT(Name) FROM Employed E").unwrap();
+        assert_eq!(q.aggregates.len(), 1);
+        assert_eq!(q.aggregates[0].kind, AggKind::Count);
+        assert_eq!(q.aggregates[0].column.as_deref(), Some("Name"));
+        assert_eq!(q.relation, "Employed");
+        assert_eq!(q.alias.as_deref(), Some("E"));
+        assert_eq!(q.temporal_grouping, TemporalGrouping::Instant);
+        assert!(q.group_column.is_none());
+    }
+
+    #[test]
+    fn parses_group_by_department() {
+        let q = parse("SELECT AVG(Salary) FROM Employed GROUP BY Dept").unwrap();
+        assert_eq!(q.group_column.as_deref(), Some("Dept"));
+        assert_eq!(q.temporal_grouping, TemporalGrouping::Instant);
+    }
+
+    #[test]
+    fn parses_span_grouping() {
+        let q = parse("SELECT COUNT(*) FROM r GROUP BY SPAN 1000").unwrap();
+        assert_eq!(q.temporal_grouping, TemporalGrouping::Span(1000));
+        assert_eq!(q.aggregates[0].kind, AggKind::CountStar);
+    }
+
+    #[test]
+    fn parses_group_by_column_and_span() {
+        let q = parse("SELECT SUM(x) FROM r GROUP BY dept, SPAN 500").unwrap();
+        assert_eq!(q.group_column.as_deref(), Some("dept"));
+        assert_eq!(q.temporal_grouping, TemporalGrouping::Span(500));
+    }
+
+    #[test]
+    fn parses_where_conditions_and_valid_window() {
+        let q = parse(
+            "SELECT MIN(salary), MAX(salary) FROM Employed \
+             WHERE salary >= 36000 AND name <> 'Karen' AND VALID OVERLAPS [0, 100]",
+        )
+        .unwrap();
+        assert_eq!(q.aggregates.len(), 2);
+        assert_eq!(q.conditions.len(), 2);
+        assert_eq!(q.conditions[0].op, CompareOp::GtEq);
+        assert_eq!(q.valid_window, Some(Interval::at(0, 100)));
+    }
+
+    #[test]
+    fn parses_forever_window() {
+        let q = parse("SELECT COUNT(x) FROM r WHERE VALID OVERLAPS [18, FOREVER]").unwrap();
+        assert_eq!(q.valid_window, Some(Interval::from_start(18)));
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse("SELECT COUNT(x) FROM r;").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "COUNT(x) FROM r",
+            "SELECT COUNT(x)",
+            "SELECT COUNT x FROM r",
+            "SELECT MEDIAN(x) FROM r",
+            "SELECT SUM(*) FROM r",
+            "SELECT COUNT(x) FROM r WHERE",
+            "SELECT COUNT(x) FROM r WHERE x >",
+            "SELECT COUNT(x) FROM r GROUP BY",
+            "SELECT COUNT(x) FROM r GROUP BY a, b",
+            "SELECT COUNT(x) FROM r extra tokens here",
+            "SELECT COUNT(x) FROM r WHERE VALID OVERLAPS [5, 3]",
+            "SELECT COUNT(x) FROM r GROUP BY SPAN",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn error_positions_point_at_the_problem() {
+        let err = parse("SELECT COUNT(x) FROM r GROUP BY SPAN oops").unwrap_err();
+        match err {
+            TempAggError::Sql { column, .. } => assert!(column >= 38, "column = {column}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_vs_count_column() {
+        let star = parse("SELECT COUNT(*) FROM r").unwrap();
+        assert_eq!(star.aggregates[0].kind, AggKind::CountStar);
+        let col = parse("SELECT COUNT(c) FROM r").unwrap();
+        assert_eq!(col.aggregates[0].kind, AggKind::Count);
+    }
+}

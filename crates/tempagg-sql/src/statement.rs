@@ -1,0 +1,302 @@
+//! Execution of non-aggregate statements: CREATE TABLE, INSERT, and plain
+//! SELECT. Aggregate queries delegate to [`crate::execute_query`].
+
+use crate::ast::{PlainSelect, Statement};
+use crate::catalog::Catalog;
+use crate::exec::{execute_query, QueryResult};
+use crate::parser::parse_statement;
+use std::fmt;
+use tempagg_core::{Interval, Result, Schema, TempAggError, Value};
+use tempagg_plan::PlannerConfig;
+
+/// A plain-SELECT result: projected attribute values plus valid time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TupleTable {
+    pub columns: Vec<String>,
+    pub rows: Vec<(Vec<Value>, Interval)>,
+}
+
+impl fmt::Display for TupleTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut header: Vec<String> = self.columns.clone();
+        header.push("VALID".to_owned());
+        let mut table = vec![header];
+        for (values, valid) in &self.rows {
+            let mut cells: Vec<String> = values.iter().map(Value::to_string).collect();
+            cells.push(valid.to_string());
+            table.push(cells);
+        }
+        let widths: Vec<usize> = (0..table[0].len())
+            .map(|c| table.iter().map(|r| r[c].chars().count()).max().unwrap_or(0))
+            .collect();
+        for (i, row) in table.iter().enumerate() {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[c])?;
+            }
+            writeln!(f)?;
+            if i == 0 {
+                writeln!(
+                    f,
+                    "{}",
+                    "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The result of executing one statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StatementOutput {
+    /// Aggregate-query result (or EXPLAIN).
+    Rows(QueryResult),
+    /// Plain-SELECT result.
+    Tuples(TupleTable),
+    /// `CREATE TABLE` succeeded.
+    Created { name: String },
+    /// `INSERT` succeeded.
+    Inserted { relation: String, count: usize },
+}
+
+impl fmt::Display for StatementOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatementOutput::Rows(result) => write!(f, "{result}"),
+            StatementOutput::Tuples(table) => write!(f, "{table}"),
+            StatementOutput::Created { name } => writeln!(f, "created table {name}"),
+            StatementOutput::Inserted { relation, count } => {
+                writeln!(f, "inserted {count} tuple(s) into {relation}")
+            }
+        }
+    }
+}
+
+/// Parse and execute one statement, with default planner settings.
+pub fn execute_statement(catalog: &mut Catalog, sql: &str) -> Result<StatementOutput> {
+    execute_parsed_statement(catalog, &parse_statement(sql)?, &PlannerConfig::default())
+}
+
+/// Execute a parsed statement.
+pub fn execute_parsed_statement(
+    catalog: &mut Catalog,
+    statement: &Statement,
+    config: &PlannerConfig,
+) -> Result<StatementOutput> {
+    match statement {
+        Statement::Query(query) => {
+            execute_query(catalog, query, config).map(StatementOutput::Rows)
+        }
+        Statement::Select(select) => plain_select(catalog, select).map(StatementOutput::Tuples),
+        Statement::CreateTable { name, columns } => {
+            if catalog.get(name).is_ok() {
+                return Err(TempAggError::Sql {
+                    line: 1,
+                    column: 1,
+                    detail: format!("relation `{name}` already exists"),
+                });
+            }
+            let schema = Schema::new(
+                columns
+                    .iter()
+                    .map(|(n, t)| tempagg_core::Column::new(n.clone(), *t))
+                    .collect(),
+            )?;
+            catalog.register(name.clone(), tempagg_core::TemporalRelation::new(schema));
+            Ok(StatementOutput::Created { name: name.clone() })
+        }
+        Statement::Insert { relation, rows } => {
+            let rel = catalog.get_mut(relation)?;
+            // Validate every row before mutating, so a failed INSERT is
+            // atomic.
+            for (values, _) in rows {
+                rel.schema().check(values)?;
+            }
+            for (values, valid) in rows {
+                rel.push(values.clone(), *valid)?;
+            }
+            Ok(StatementOutput::Inserted {
+                relation: relation.clone(),
+                count: rows.len(),
+            })
+        }
+    }
+}
+
+fn plain_select(catalog: &Catalog, select: &PlainSelect) -> Result<TupleTable> {
+    let relation = catalog.get(&select.relation)?;
+    let schema = relation.schema();
+
+    let projection: Vec<(String, usize)> = match &select.columns {
+        None => schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), i))
+            .collect(),
+        Some(cols) => cols
+            .iter()
+            .map(|c| Ok((c.clone(), schema.index_of_ignore_case(c)?)))
+            .collect::<Result<_>>()?,
+    };
+    let bound_conditions: Vec<(usize, crate::ast::CompareOp, Value)> = select
+        .conditions
+        .iter()
+        .map(|c| Ok((schema.index_of_ignore_case(&c.column)?, c.op, c.value.clone())))
+        .collect::<Result<_>>()?;
+
+    let mut rows = Vec::new();
+    'tuples: for tuple in relation {
+        for (idx, op, value) in &bound_conditions {
+            if !op.eval(tuple.value(*idx), value) {
+                continue 'tuples;
+            }
+        }
+        let valid = match select.valid_window {
+            Some(window) => match tuple.valid().intersect(&window) {
+                Some(clipped) => clipped,
+                None => continue,
+            },
+            None => tuple.valid(),
+        };
+        rows.push((
+            projection.iter().map(|(_, i)| tuple.value(*i).clone()).collect(),
+            valid,
+        ));
+    }
+    Ok(TupleTable {
+        columns: projection.into_iter().map(|(n, _)| n).collect(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempagg_workload::employed::employed_relation;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("Employed", employed_relation());
+        c
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut c = Catalog::new();
+        let out = execute_statement(&mut c, "CREATE TABLE staff (name STRING, salary INT)")
+            .unwrap();
+        assert_eq!(out, StatementOutput::Created { name: "staff".into() });
+
+        let out = execute_statement(
+            &mut c,
+            "INSERT INTO staff VALUES ('Richard', 40000) VALID [18, FOREVER], \
+             ('Karen', 45000) VALID [8, 20]",
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            StatementOutput::Inserted { relation: "staff".into(), count: 2 }
+        );
+
+        let out = execute_statement(&mut c, "SELECT * FROM staff WHERE salary >= 45000").unwrap();
+        match out {
+            StatementOutput::Tuples(table) => {
+                assert_eq!(table.columns, vec!["name", "salary"]);
+                assert_eq!(table.rows.len(), 1);
+                assert_eq!(table.rows[0].0[0], Value::from("Karen"));
+                assert_eq!(table.rows[0].1, Interval::at(8, 20));
+            }
+            other => panic!("expected tuples, got {other:?}"),
+        }
+
+        // And the aggregate path works over the freshly built relation.
+        let out = execute_statement(&mut c, "SELECT COUNT(name) FROM staff").unwrap();
+        match out {
+            StatementOutput::Rows(result) => assert!(!result.rows.is_empty()),
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_rejects_duplicates_and_bad_types() {
+        let mut c = Catalog::new();
+        execute_statement(&mut c, "CREATE TABLE t (x INT)").unwrap();
+        assert!(execute_statement(&mut c, "CREATE TABLE t (y INT)").is_err());
+        assert!(execute_statement(&mut c, "CREATE TABLE u (x BLOB)").is_err());
+        assert!(execute_statement(&mut c, "CREATE TABLE v (x INT, x INT)").is_err());
+    }
+
+    #[test]
+    fn insert_is_atomic_on_type_errors() {
+        let mut c = Catalog::new();
+        execute_statement(&mut c, "CREATE TABLE t (x INT)").unwrap();
+        // Second row has the wrong type; nothing must be inserted.
+        let err = execute_statement(
+            &mut c,
+            "INSERT INTO t VALUES (1) VALID [0, 5], ('oops') VALID [6, 9]",
+        );
+        assert!(err.is_err());
+        match execute_statement(&mut c, "SELECT * FROM t").unwrap() {
+            StatementOutput::Tuples(table) => assert!(table.rows.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_select_projects_and_clips() {
+        let mut c = catalog();
+        let out = execute_statement(
+            &mut c,
+            "SELECT name FROM Employed WHERE VALID OVERLAPS [0, 15]",
+        )
+        .unwrap();
+        match out {
+            StatementOutput::Tuples(table) => {
+                assert_eq!(table.columns, vec!["name"]);
+                // Karen [8,20]→[8,15] and Nathan [7,12] qualify.
+                assert_eq!(table.rows.len(), 2);
+                assert!(table
+                    .rows
+                    .iter()
+                    .any(|(v, iv)| v[0] == Value::from("Karen") && *iv == Interval::at(8, 15)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star_includes_all_columns() {
+        let mut c = catalog();
+        match execute_statement(&mut c, "SELECT * FROM Employed").unwrap() {
+            StatementOutput::Tuples(table) => {
+                assert_eq!(table.columns, vec!["name", "salary"]);
+                assert_eq!(table.rows.len(), 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut c = catalog();
+        let out = execute_statement(&mut c, "SELECT * FROM Employed").unwrap();
+        let text = out.to_string();
+        assert!(text.contains("VALID"));
+        assert!(text.contains("Richard"));
+        let out = execute_statement(&mut c, "CREATE TABLE z (x INT)").unwrap();
+        assert!(out.to_string().contains("created table z"));
+    }
+
+    #[test]
+    fn errors_bubble_up() {
+        let mut c = Catalog::new();
+        assert!(execute_statement(&mut c, "INSERT INTO missing VALUES (1) VALID [0, 1]").is_err());
+        assert!(execute_statement(&mut c, "SELECT * FROM missing").is_err());
+        assert!(execute_statement(&mut c, "SELECT nope FROM missing").is_err());
+        assert!(execute_statement(&mut c, "EXPLAIN SELECT * FROM missing").is_err());
+    }
+}

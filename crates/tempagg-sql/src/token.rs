@@ -1,0 +1,136 @@
+//! Tokens of the mini-TSQL2 dialect.
+
+use std::fmt;
+
+/// Keywords recognised by the lexer (case-insensitive in source text).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keyword {
+    Explain,
+    Create,
+    Table,
+    Insert,
+    Into,
+    Values,
+    Distinct,
+    Snapshot,
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    And,
+    Instant,
+    Span,
+    Valid,
+    Overlaps,
+    Forever,
+    True,
+    False,
+    Null,
+}
+
+impl Keyword {
+    pub fn parse(word: &str) -> Option<Keyword> {
+        Some(match word.to_ascii_uppercase().as_str() {
+            "EXPLAIN" => Keyword::Explain,
+            "CREATE" => Keyword::Create,
+            "TABLE" => Keyword::Table,
+            "INSERT" => Keyword::Insert,
+            "INTO" => Keyword::Into,
+            "VALUES" => Keyword::Values,
+            "DISTINCT" => Keyword::Distinct,
+            "SNAPSHOT" => Keyword::Snapshot,
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "AND" => Keyword::And,
+            "INSTANT" => Keyword::Instant,
+            "SPAN" => Keyword::Span,
+            "VALID" => Keyword::Valid,
+            "OVERLAPS" => Keyword::Overlaps,
+            "FOREVER" => Keyword::Forever,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "NULL" => Keyword::Null,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    Keyword(Keyword),
+    /// Identifier (relation, column, or aggregate-function name).
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Star,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+/// A token plus its source position (1-based), for error messages.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub line: u32,
+    pub column: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(Keyword::parse("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::parse("GrOuP"), Some(Keyword::Group));
+        assert_eq!(Keyword::parse("salary"), None);
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(Token::Str("x".into()).to_string(), "'x'");
+        assert_eq!(Token::NotEq.to_string(), "<>");
+        assert_eq!(Token::Keyword(Keyword::Select).to_string(), "Select");
+    }
+}

@@ -1,0 +1,216 @@
+//! Property test: printing any statement AST and re-parsing it yields the
+//! same AST (`parse ∘ print = id`).
+
+use proptest::prelude::*;
+use tempagg_agg::AggKind;
+use tempagg_core::{Interval, Timestamp, Value, ValueType};
+use tempagg_sql::ast::{
+    AggExpr, CompareOp, Condition, PlainSelect, Query, Statement, TemporalGrouping,
+};
+use tempagg_sql::parse_statement;
+
+/// Identifiers that re-lex as plain identifiers: lowercase start, short,
+/// and not colliding with keywords / aggregate names / unit names / type
+/// names.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,7}".prop_filter("reserved word", |s| {
+        let upper = s.to_ascii_uppercase();
+        tempagg_sql::Keyword::parse(s).is_none()
+            && AggKind::parse(s).is_none()
+            && tempagg_core::TimeUnit::parse(s).is_none()
+            && !matches!(
+                upper.as_str(),
+                "INT" | "INTEGER" | "BIGINT" | "FLOAT" | "REAL" | "DOUBLE" | "STRING" | "TEXT"
+                    | "VARCHAR" | "CHAR" | "BOOL" | "BOOLEAN"
+            )
+    })
+}
+
+/// Literals that survive print → lex → parse exactly.
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1_000_000i64..1_000_000, 0u8..100)
+            .prop_map(|(i, frac)| Value::Float(i as f64 + frac as f64 / 100.0)),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+        Just(Value::Null),
+    ]
+}
+
+fn compare_op() -> impl Strategy<Value = CompareOp> {
+    prop_oneof![
+        Just(CompareOp::Eq),
+        Just(CompareOp::NotEq),
+        Just(CompareOp::Lt),
+        Just(CompareOp::LtEq),
+        Just(CompareOp::Gt),
+        Just(CompareOp::GtEq),
+    ]
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    (ident(), compare_op(), literal()).prop_map(|(column, op, value)| Condition {
+        column,
+        op,
+        value,
+    })
+}
+
+fn interval() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        (-10_000i64..10_000, 0i64..5_000)
+            .prop_map(|(s, len)| Interval::at(s, s + len)),
+        (-10_000i64..10_000).prop_map(Interval::from_start),
+    ]
+}
+
+fn agg_expr() -> impl Strategy<Value = AggExpr> {
+    prop_oneof![
+        Just(AggExpr {
+            kind: AggKind::CountStar,
+            column: None
+        }),
+        (
+            prop_oneof![
+                Just(AggKind::Count),
+                Just(AggKind::CountDistinct),
+                Just(AggKind::Sum),
+                Just(AggKind::Min),
+                Just(AggKind::Max),
+                Just(AggKind::Avg),
+                Just(AggKind::Variance),
+                Just(AggKind::StdDev),
+            ],
+            ident()
+        )
+            .prop_map(|(kind, col)| AggExpr {
+                kind,
+                column: Some(col)
+            }),
+    ]
+}
+
+fn temporal_grouping() -> impl Strategy<Value = TemporalGrouping> {
+    prop_oneof![
+        Just(TemporalGrouping::Instant),
+        (1i64..100_000).prop_map(TemporalGrouping::Span),
+    ]
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        proptest::collection::vec(agg_expr(), 1..4),
+        ident(),
+        proptest::option::of(ident()),
+        proptest::collection::vec(condition(), 0..3),
+        proptest::option::of(interval()),
+        proptest::option::of(ident()),
+        temporal_grouping(),
+    )
+        .prop_map(
+            |(explain, snapshot, aggregates, relation, alias, conditions, valid_window, group_column, tg)| {
+                // SNAPSHOT forbids SPAN grouping; keep generated queries valid.
+                let snapshot = snapshot && tg == TemporalGrouping::Instant;
+                Query {
+                    explain,
+                    snapshot,
+                    aggregates,
+                    relation,
+                    alias,
+                    conditions,
+                    valid_window,
+                    group_column,
+                    temporal_grouping: tg,
+                }
+            },
+        )
+}
+
+fn plain_select() -> impl Strategy<Value = PlainSelect> {
+    (
+        proptest::option::of(proptest::collection::vec(ident(), 1..4)),
+        ident(),
+        proptest::option::of(ident()),
+        proptest::collection::vec(condition(), 0..3),
+        proptest::option::of(interval()),
+    )
+        .prop_map(|(columns, relation, alias, conditions, valid_window)| PlainSelect {
+            columns,
+            relation,
+            alias,
+            conditions,
+            valid_window,
+        })
+}
+
+fn statement() -> impl Strategy<Value = Statement> {
+    let create = (
+        ident(),
+        proptest::collection::vec(
+            (
+                ident(),
+                prop_oneof![
+                    Just(ValueType::Int),
+                    Just(ValueType::Float),
+                    Just(ValueType::Str),
+                    Just(ValueType::Bool)
+                ],
+            ),
+            1..5,
+        ),
+    )
+        .prop_filter("duplicate column names", |(_, cols)| {
+            let mut names: Vec<&String> = cols.iter().map(|(n, _)| n).collect();
+            names.sort();
+            names.dedup();
+            names.len() == cols.len()
+        })
+        .prop_map(|(name, columns)| Statement::CreateTable { name, columns });
+
+    let insert = (
+        ident(),
+        proptest::collection::vec(
+            (proptest::collection::vec(literal(), 1..4), interval()),
+            1..4,
+        ),
+    )
+        .prop_map(|(relation, rows)| Statement::Insert { relation, rows });
+
+    prop_oneof![
+        query().prop_map(Statement::Query),
+        plain_select().prop_map(Statement::Select),
+        create,
+        insert,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn print_then_parse_is_identity(stmt in statement()) {
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to parse: {e}"));
+        prop_assert_eq!(stmt, reparsed, "printed: `{}`", printed);
+    }
+
+    #[test]
+    fn printing_is_stable(stmt in statement()) {
+        // print ∘ parse ∘ print = print.
+        let once = stmt.to_string();
+        let twice = parse_statement(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn forever_window_prints_as_keyword() {
+    let stmt = parse_statement("SELECT COUNT(x) FROM r WHERE VALID OVERLAPS [5, FOREVER]")
+        .unwrap();
+    assert!(stmt.to_string().contains("FOREVER"));
+    let _ = Timestamp::FOREVER; // silence unused import paths in some cfgs
+}

@@ -1,0 +1,87 @@
+//! The paper's running example: the `Employed` relation (Figure 1) and the
+//! expected result of `SELECT COUNT(Name) FROM Employed` (Table 1).
+
+use std::sync::Arc;
+use tempagg_core::{Interval, Schema, TemporalRelation, Value, ValueType};
+
+/// Schema of `Employed(name, salary)` with valid time.
+pub fn employed_schema() -> Arc<Schema> {
+    Schema::of(&[("name", ValueType::Str), ("salary", ValueType::Int)])
+}
+
+/// The four tuples of Figure 1, in the paper's (unordered) storage order:
+///
+/// | name    | salary | valid     |
+/// |---------|--------|-----------|
+/// | Richard | 40K    | `[18, ∞]` |
+/// | Karen   | 45K    | `[8, 20]` |
+/// | Nathan  | 35K    | `[7, 12]` |
+/// | Nathan  | 37K    | `[18, 21]`|
+///
+/// (Nathan "was not employed during times [13, 17]".)
+pub fn employed_tuples() -> Vec<(&'static str, i64, Interval)> {
+    vec![
+        ("Richard", 40_000, Interval::from_start(18)),
+        ("Karen", 45_000, Interval::at(8, 20)),
+        ("Nathan", 35_000, Interval::at(7, 12)),
+        ("Nathan", 37_000, Interval::at(18, 21)),
+    ]
+}
+
+/// The `Employed` relation as a [`TemporalRelation`].
+pub fn employed_relation() -> TemporalRelation {
+    let mut r = TemporalRelation::new(employed_schema());
+    for (name, salary, valid) in employed_tuples() {
+        r.push(vec![Value::from(name), Value::Int(salary)], valid)
+            .expect("example tuples match the schema");
+    }
+    r
+}
+
+/// Table 1: the constant intervals of `COUNT(Name)` over `Employed`,
+/// including the leading empty interval `[0, 6]` (the seven constant
+/// intervals induced by the relation's six unique timestamps).
+pub fn table1_expected() -> Vec<(Interval, u64)> {
+    vec![
+        (Interval::at(0, 6), 0),
+        (Interval::at(7, 7), 1),
+        (Interval::at(8, 12), 2),
+        (Interval::at(13, 17), 1),
+        (Interval::at(18, 20), 3),
+        (Interval::at(21, 21), 2),
+        (Interval::from_start(22), 1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_matches_figure_1() {
+        let r = employed_relation();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.tuples()[0].value(0), &Value::from("Richard"));
+        assert_eq!(r.tuples()[1].valid(), Interval::at(8, 20));
+        // Six unique timestamps → seven constant intervals (Figure 2).
+        let mut ts: Vec<i64> = Vec::new();
+        for iv in r.intervals() {
+            ts.push(iv.start().get());
+            ts.push(iv.end().get());
+        }
+        ts.sort_unstable();
+        ts.dedup();
+        assert_eq!(ts.len(), 7); // 7, 8, 12, 18, 20, 21, ∞ — ∞ is the domain edge
+    }
+
+    #[test]
+    fn table1_covers_the_timeline() {
+        let rows = table1_expected();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].0.start(), tempagg_core::Timestamp::ORIGIN);
+        assert!(rows.last().unwrap().0.end().is_forever());
+        for w in rows.windows(2) {
+            assert!(w[0].0.meets(&w[1].0), "{} should meet {}", w[0].0, w[1].0);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # tempagg-workload
+//!
+//! Workload generation reproducing the empirical study of *Computing
+//! Temporal Aggregates* (Kline & Snodgrass, ICDE 1995, Section 6):
+//! relations of 1K–64K tuples over a 1M-instant lifespan, with configurable
+//! percentages of long-lived tuples and random / sorted / k-ordered /
+//! retroactively-bounded storage orders — plus the paper's `Employed`
+//! example relation (Figure 1 / Table 1).
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod config;
+pub mod employed;
+mod generator;
+pub mod perturb;
+pub mod storage;
+
+pub use config::{TupleOrder, WorkloadConfig};
+pub use generator::{count_stream, generate, salary_stream, workload_schema};

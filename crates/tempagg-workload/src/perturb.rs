@@ -1,0 +1,169 @@
+//! Ordering perturbations: k-ordered layouts and bounded-arrival orders.
+//!
+//! "We generated a sorted relation, and then altered it according to
+//! various k-ordered and k-ordered-percentages" (Section 6). A disjoint
+//! swap of two tuples `k` apart displaces both by exactly `k`, adding `2k`
+//! to the displacement sum, so hitting a target k-ordered-percentage `p`
+//! takes `p·n/2` disjoint swaps (the paper's own Table 2 examples are built
+//! from such swaps).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use tempagg_core::TemporalRelation;
+
+/// Perturb a *sorted* relation into a k-ordered one with approximately the
+/// requested k-ordered-percentage, using random disjoint distance-`k`
+/// swaps. Deterministic in `seed`.
+///
+/// The achieved percentage is within one swap (`2k / (k·n) = 2/n`) of the
+/// largest multiple of `2/n` below `percentage`, capped by how many
+/// disjoint swaps fit.
+pub fn make_k_ordered(relation: &mut TemporalRelation, k: usize, percentage: f64, seed: u64) {
+    let n = relation.len();
+    if k == 0 || n <= k || percentage <= 0.0 {
+        return;
+    }
+    let wanted_swaps = ((percentage * n as f64) / 2.0).round() as usize;
+    if wanted_swaps == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut used = vec![false; n];
+    let mut done = 0;
+    // Rejection-sample disjoint positions; give up after enough misses so
+    // dense targets still terminate.
+    let mut attempts = 0usize;
+    let max_attempts = 64 * wanted_swaps + 1024;
+    while done < wanted_swaps && attempts < max_attempts {
+        attempts += 1;
+        let i = rng.random_range(0..n - k);
+        let j = i + k;
+        if used[i] || used[j] {
+            continue;
+        }
+        used[i] = true;
+        used[j] = true;
+        perm.swap(i, j);
+        done += 1;
+    }
+    relation.permute(&perm);
+}
+
+/// Shuffle a relation uniformly at random (used by the paper's future-work
+/// "randomize the pages before building the aggregation tree" ablation).
+pub fn shuffle(relation: &mut TemporalRelation, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = relation.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    relation.permute(&perm);
+}
+
+/// Reorder a relation by simulated *bounded-lag arrival*: each tuple's
+/// transaction time is `valid.start + U[0, max_delay]`, and storage order
+/// follows transaction time (stable for ties). This realises a
+/// retroactively bounded relation (Jensen & Snodgrass 1994), the realistic
+/// scenario the paper approximates with k-ordering.
+pub fn order_by_bounded_arrival(relation: &mut TemporalRelation, max_delay: i64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sort by valid time first so arrival = start + delay is meaningful.
+    relation.sort_by_time();
+    let arrivals: Vec<i64> = relation
+        .intervals()
+        .map(|iv| iv.start().get() + if max_delay > 0 { rng.random_range(0..=max_delay) } else { 0 })
+        .collect();
+    let mut perm: Vec<usize> = (0..relation.len()).collect();
+    perm.sort_by_key(|&i| arrivals[i]);
+    relation.permute(&perm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tempagg_core::{sortedness, Interval, Schema, TemporalRelation, Value, ValueType};
+
+    fn sorted_relation(n: usize) -> TemporalRelation {
+        let schema: Arc<Schema> = Schema::of(&[("x", ValueType::Int)]);
+        let mut r = TemporalRelation::new(schema);
+        for i in 0..n {
+            let s = i as i64 * 10;
+            r.push(vec![Value::Int(i as i64)], Interval::at(s, s + 5))
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn hits_target_percentage() {
+        let mut r = sorted_relation(10_000);
+        make_k_ordered(&mut r, 100, 0.02, 42);
+        let ivs: Vec<Interval> = r.intervals().collect();
+        assert!(sortedness::k_order(&ivs) <= 100);
+        let pct = sortedness::k_ordered_percentage(&ivs, 100);
+        assert!((pct - 0.02).abs() < 0.002, "pct = {pct}");
+    }
+
+    #[test]
+    fn zero_percentage_is_identity() {
+        let mut r = sorted_relation(100);
+        let before = r.clone();
+        make_k_ordered(&mut r, 10, 0.0, 42);
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = sorted_relation(500);
+        let mut b = sorted_relation(500);
+        make_k_ordered(&mut a, 5, 0.1, 7);
+        make_k_ordered(&mut b, 5, 0.1, 7);
+        assert_eq!(a, b);
+        let mut c = sorted_relation(500);
+        make_k_ordered(&mut c, 5, 0.1, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn maximal_percentage_with_small_relation() {
+        // Paper example: 6 tuples, k = 3, percentage 1 needs swaps 1↔4,
+        // 2↔5, 3↔6. Random disjoint swapping can't always reach 1.0, but
+        // must get close without exceeding k.
+        let mut r = sorted_relation(512);
+        make_k_ordered(&mut r, 4, 0.9, 3);
+        let ivs: Vec<Interval> = r.intervals().collect();
+        assert!(sortedness::k_order(&ivs) <= 4);
+        let pct = sortedness::k_ordered_percentage(&ivs, 4);
+        assert!(pct > 0.5, "pct = {pct}");
+    }
+
+    #[test]
+    fn shuffle_destroys_order() {
+        let mut r = sorted_relation(1000);
+        shuffle(&mut r, 99);
+        let ivs: Vec<Interval> = r.intervals().collect();
+        assert!(!sortedness::is_time_ordered(&ivs));
+        assert!(sortedness::k_order(&ivs) > 100);
+    }
+
+    #[test]
+    fn zero_delay_arrival_is_sorted() {
+        let mut r = sorted_relation(200);
+        shuffle(&mut r, 1);
+        order_by_bounded_arrival(&mut r, 0, 5);
+        let ivs: Vec<Interval> = r.intervals().collect();
+        assert!(sortedness::is_time_ordered(&ivs));
+    }
+
+    #[test]
+    fn bounded_arrival_bounds_disorder() {
+        let mut r = sorted_relation(1000);
+        // Delay up to 3 tuple gaps (30 instants at 10-instant spacing).
+        order_by_bounded_arrival(&mut r, 30, 5);
+        let ivs: Vec<Interval> = r.intervals().collect();
+        let k = sortedness::k_order(&ivs);
+        assert!(k <= 4, "k = {k} should be bounded by delay/spacing + 1");
+    }
+}

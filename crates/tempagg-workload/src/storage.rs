@@ -1,0 +1,312 @@
+//! Fixed-width paged storage for temporal relations.
+//!
+//! The paper's measurements assume 128-byte tuples scanned sequentially
+//! from disk, and its Section 7 proposes an I/O-free fix for the
+//! aggregation tree's sorted-input worst case: *"the relation's pages
+//! [are] randomized when they are read … performed on each group of pages
+//! read into memory, and therefore would not affect the I/O time."*
+//!
+//! This module provides that substrate: a binary page file of 128-byte
+//! records (name, salary, start, end, inert padding — the paper's layout),
+//! a sequential scanner, and a scanner that shuffles records *within each
+//! group of pages* as they are read, leaving the I/O order untouched.
+//!
+//! The format is deliberately simple (little-endian, fixed-width, no
+//! compression); it models the paper's storage, not a production heap
+//! file.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use tempagg_core::{Interval, TemporalRelation, Tuple, Value};
+
+/// Bytes per stored tuple — the paper's 128-byte records.
+pub const RECORD_BYTES: usize = 128;
+/// Bytes per page (64 records).
+pub const PAGE_BYTES: usize = 8_192;
+/// Records per page.
+pub const RECORDS_PER_PAGE: usize = PAGE_BYTES / RECORD_BYTES;
+
+const NAME_BYTES: usize = 16; // 1 length byte + up to 15 name bytes
+const MAGIC: &[u8; 8] = b"TAGGREL1";
+
+/// Write a `(name, salary)` relation to a page file.
+///
+/// The schema must have a string column named `name` and an integer column
+/// named `salary` (the workload generator's layout). Names longer than 15
+/// bytes are truncated — like the paper's 6-byte `name` field, the format
+/// is fixed-width.
+pub fn write_relation(relation: &TemporalRelation, path: &Path) -> io::Result<()> {
+    let name_idx = relation
+        .schema()
+        .index_of("name")
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let salary_idx = relation
+        .schema()
+        .index_of("salary")
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(MAGIC)?;
+    out.write_all(&(relation.len() as u64).to_le_bytes())?;
+
+    let mut record = [0u8; RECORD_BYTES];
+    for tuple in relation {
+        record.fill(0);
+        let name = tuple.value(name_idx).as_str().unwrap_or("");
+        let bytes = name.as_bytes();
+        let len = bytes.len().min(NAME_BYTES - 1);
+        record[0] = len as u8;
+        record[1..1 + len].copy_from_slice(&bytes[..len]);
+        let salary = tuple.value(salary_idx).as_i64().unwrap_or(0);
+        record[NAME_BYTES..NAME_BYTES + 8].copy_from_slice(&salary.to_le_bytes());
+        record[NAME_BYTES + 8..NAME_BYTES + 16]
+            .copy_from_slice(&tuple.valid().start().get().to_le_bytes());
+        record[NAME_BYTES + 16..NAME_BYTES + 24]
+            .copy_from_slice(&tuple.valid().end().get().to_le_bytes());
+        out.write_all(&record)?;
+    }
+    out.flush()
+}
+
+fn decode(record: &[u8; RECORD_BYTES]) -> io::Result<Tuple> {
+    let len = record[0] as usize;
+    if len >= NAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "corrupt record: name length out of range",
+        ));
+    }
+    let name = std::str::from_utf8(&record[1..1 + len])
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        .to_owned();
+    let read_i64 = |offset: usize| {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&record[offset..offset + 8]);
+        i64::from_le_bytes(buf)
+    };
+    let salary = read_i64(NAME_BYTES);
+    let start = read_i64(NAME_BYTES + 8);
+    let end = read_i64(NAME_BYTES + 16);
+    let valid = Interval::new(start, end)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(Tuple::new(vec![Value::Str(name), Value::Int(salary)], valid))
+}
+
+/// A sequential scanner over a page file.
+#[derive(Debug)]
+pub struct Scan {
+    reader: BufReader<File>,
+    remaining: u64,
+}
+
+impl Scan {
+    /// Open a page file for scanning.
+    pub fn open(path: &Path) -> io::Result<Scan> {
+        let mut reader = BufReader::with_capacity(PAGE_BYTES, File::open(path)?);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a temporal-aggregates page file",
+            ));
+        }
+        let mut count = [0u8; 8];
+        reader.read_exact(&mut count)?;
+        Ok(Scan {
+            reader,
+            remaining: u64::from_le_bytes(count),
+        })
+    }
+
+    /// Tuples left to read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl Iterator for Scan {
+    type Item = io::Result<Tuple>;
+
+    fn next(&mut self) -> Option<io::Result<Tuple>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let mut record = [0u8; RECORD_BYTES];
+        if let Err(e) = self.reader.read_exact(&mut record) {
+            self.remaining = 0;
+            return Some(Err(e));
+        }
+        self.remaining -= 1;
+        Some(decode(&record))
+    }
+}
+
+/// Scan a page file, shuffling records *within each group of
+/// `group_pages` pages* as they arrive — the paper's Section 7
+/// randomization, which defeats the aggregation tree's sorted-input worst
+/// case without changing which pages are read when.
+///
+/// Yields the same multiset of tuples as [`Scan`], deterministically in
+/// `seed`.
+pub fn scan_with_page_shuffle(
+    path: &Path,
+    group_pages: usize,
+    seed: u64,
+) -> io::Result<impl Iterator<Item = io::Result<Tuple>>> {
+    let scan = Scan::open(path)?;
+    let group_records = group_pages.max(1) * RECORDS_PER_PAGE;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut source = scan.peekable();
+
+    let iter = std::iter::from_fn(move || -> Option<Vec<io::Result<Tuple>>> {
+        source.peek()?;
+        let mut group: Vec<io::Result<Tuple>> = Vec::with_capacity(group_records);
+        for _ in 0..group_records {
+            match source.next() {
+                Some(item) => group.push(item),
+                None => break,
+            }
+        }
+        group.shuffle(&mut rng);
+        Some(group)
+    })
+    .flatten();
+    Ok(iter)
+}
+
+/// Read a whole page file back into a relation (sequential order).
+pub fn read_relation(path: &Path) -> io::Result<TemporalRelation> {
+    let schema = crate::workload_schema(false);
+    let mut relation = TemporalRelation::new(schema);
+    for tuple in Scan::open(path)? {
+        relation
+            .push_tuple(tuple?)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    }
+    Ok(relation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, WorkloadConfig};
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tempagg-storage-{tag}-{}.rel", std::process::id()));
+        p
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_the_relation() {
+        let relation = generate(&WorkloadConfig::random(500).with_seed(5));
+        let path = temp_path("roundtrip");
+        let _cleanup = Cleanup(path.clone());
+        write_relation(&relation, &path).unwrap();
+        let back = read_relation(&path).unwrap();
+        assert_eq!(back.len(), relation.len());
+        for (a, b) in relation.iter().zip(back.iter()) {
+            assert_eq!(a.valid(), b.valid());
+            assert_eq!(a.value(0), b.value(0));
+            assert_eq!(a.value(1), b.value(1));
+        }
+    }
+
+    #[test]
+    fn file_size_matches_the_papers_record_model() {
+        let relation = generate(&WorkloadConfig::random(100));
+        let path = temp_path("size");
+        let _cleanup = Cleanup(path.clone());
+        write_relation(&relation, &path).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len() as usize;
+        assert_eq!(len, 16 + 100 * RECORD_BYTES); // header + records
+    }
+
+    #[test]
+    fn scan_is_streaming_and_counts_down() {
+        let relation = generate(&WorkloadConfig::random(10));
+        let path = temp_path("scan");
+        let _cleanup = Cleanup(path.clone());
+        write_relation(&relation, &path).unwrap();
+        let mut scan = Scan::open(&path).unwrap();
+        assert_eq!(scan.remaining(), 10);
+        scan.next().unwrap().unwrap();
+        assert_eq!(scan.remaining(), 9);
+        assert_eq!(scan.count(), 9);
+    }
+
+    #[test]
+    fn page_shuffle_preserves_multiset_and_locality() {
+        let relation = generate(&WorkloadConfig::sorted(RECORDS_PER_PAGE * 4));
+        let path = temp_path("shuffle");
+        let _cleanup = Cleanup(path.clone());
+        write_relation(&relation, &path).unwrap();
+
+        let shuffled: Vec<Tuple> = scan_with_page_shuffle(&path, 1, 7)
+            .unwrap()
+            .map(|t| t.unwrap())
+            .collect();
+        assert_eq!(shuffled.len(), relation.len());
+
+        // Same multiset of intervals...
+        let mut a: Vec<_> = relation.intervals().collect();
+        let mut b: Vec<_> = shuffled.iter().map(|t| t.valid()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+
+        // ...but no longer sorted...
+        let order: Vec<_> = shuffled.iter().map(|t| t.valid()).collect();
+        assert!(!tempagg_core::sortedness::is_time_ordered(&order));
+
+        // ...while each record stays within its page group (I/O order is
+        // untouched): every tuple from group g keeps a start time in
+        // group g's range of the sorted input.
+        let originals: Vec<_> = relation.intervals().collect();
+        for (i, tuple) in shuffled.iter().enumerate() {
+            let group = i / RECORDS_PER_PAGE;
+            let range = &originals[group * RECORDS_PER_PAGE..(group + 1) * RECORDS_PER_PAGE];
+            assert!(
+                range.contains(&tuple.valid()),
+                "record {i} escaped its page group"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_in_seed() {
+        let relation = generate(&WorkloadConfig::sorted(200));
+        let path = temp_path("seed");
+        let _cleanup = Cleanup(path.clone());
+        write_relation(&relation, &path).unwrap();
+        let run = |seed| -> Vec<Interval> {
+            scan_with_page_shuffle(&path, 1, seed)
+                .unwrap()
+                .map(|t| t.unwrap().valid())
+                .collect()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let path = temp_path("bogus");
+        let _cleanup = Cleanup(path.clone());
+        std::fs::write(&path, b"definitely not a page file").unwrap();
+        assert!(Scan::open(&path).is_err());
+    }
+}

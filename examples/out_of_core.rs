@@ -1,0 +1,87 @@
+//! Limited-memory and on-disk evaluation — the paper's Section 5.1 / 7
+//! sketches, end to end.
+//!
+//! 1. Writes a *sorted* relation to a 128-byte-record page file (the
+//!    paper's storage layout).
+//! 2. Scans it three ways into an aggregation tree:
+//!    * sequentially (sorted input — the tree's O(n²) worst case);
+//!    * with records shuffled *within each page group* as they are read —
+//!      "randomize the pages when they are read to avoid linearizing the
+//!      aggregation tree … would not affect the I/O time";
+//!    * through the region-paged tree, which bounds peak tree memory.
+//!
+//! Run with: `cargo run --release --example out_of_core`
+
+use std::time::Instant;
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::workload::{generate, storage, WorkloadConfig};
+
+fn main() -> std::io::Result<()> {
+    let n = 16_384;
+    let relation = generate(&WorkloadConfig::sorted(n));
+    let mut path = std::env::temp_dir();
+    path.push(format!("tempagg-out-of-core-{}.rel", std::process::id()));
+    storage::write_relation(&relation, &path)?;
+    println!(
+        "wrote {} tuples ({} bytes, {}-byte records) to {}",
+        n,
+        std::fs::metadata(&path)?.len(),
+        storage::RECORD_BYTES,
+        path.display()
+    );
+
+    // 1. Sequential scan of sorted data: the tree linearizes.
+    let started = Instant::now();
+    let mut tree = AggregationTree::new(Count);
+    for tuple in storage::Scan::open(&path)? {
+        let tuple = tuple?;
+        tree.push(tuple.valid(), ()).expect("tuples fit the timeline");
+    }
+    let sequential_peak = tree.memory().peak_model_bytes();
+    let rows = tree.finish().len();
+    println!(
+        "\nsequential scan  → aggregation tree: {:>10.3?}  ({rows} rows, peak {sequential_peak} B)",
+        started.elapsed()
+    );
+
+    // 2. Page-group shuffle: same I/O order, randomized insertion order.
+    let started = Instant::now();
+    let mut tree = AggregationTree::new(Count);
+    for tuple in storage::scan_with_page_shuffle(&path, 8, 42)? {
+        let tuple = tuple?;
+        tree.push(tuple.valid(), ()).expect("tuples fit the timeline");
+    }
+    let shuffled_peak = tree.memory().peak_model_bytes();
+    let rows = tree.finish().len();
+    println!(
+        "page-shuffled    → aggregation tree: {:>10.3?}  ({rows} rows, peak {shuffled_peak} B)",
+        started.elapsed()
+    );
+
+    // 3. Region-paged tree: bounded peak memory regardless of input.
+    let lifespan = relation.lifespan().expect("non-empty relation");
+    let started = Instant::now();
+    let mut paged = PagedAggregationTree::new(Count, lifespan, 32).expect("bounded lifespan");
+    for tuple in storage::Scan::open(&path)? {
+        let tuple = tuple?;
+        paged.push(tuple.valid(), ()).expect("tuples fit the lifespan");
+    }
+    let (series, stats) = paged.finish_with_stats();
+    println!(
+        "sequential scan  → paged tree (32 regions): {:>4.3?}  ({} rows, peak {} B)",
+        started.elapsed(),
+        series.len(),
+        stats.peak_model_bytes()
+    );
+    println!(
+        "(the paged tree aggregates over the bounded lifespan {lifespan}, so it omits \
+         the two empty [0,…]/[…,∞] edge intervals the unbounded runs report)"
+    );
+
+    println!(
+        "\nSame results, three cost profiles: the shuffle fixes the sorted-input \
+         blow-up without touching I/O order, and paging caps tree memory."
+    );
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Event-relation analytics: moving windows and distinct counting.
+//!
+//! Page-view *events* (instant-stamped) become interval relations via
+//! windows of influence, and the paper's algorithms answer classic
+//! analytics questions: requests per minute at every moment, concurrently
+//! active users (distinct!), and per-session aggregation.
+//!
+//! Run with: `cargo run --example web_analytics`
+
+use temporal_aggregates::agg::CountDistinct;
+use temporal_aggregates::algo::moving::{moving_aggregate_sorted, WindowAlignment};
+use temporal_aggregates::core::EventRelation;
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::{Schema, ValueType};
+
+fn main() -> temporal_aggregates::Result<()> {
+    // ── Synthesize a click stream: (user, at), time in seconds. ─────────
+    let schema = Schema::of(&[("user", ValueType::Int)]);
+    let mut clicks = EventRelation::new(schema);
+    let mut t = 0i64;
+    for i in 0..2_000i64 {
+        // Bursty arrivals: a burst every ~5 minutes.
+        t += 1 + (i % 7) + if i % 120 == 0 { 240 } else { 0 };
+        let user = (i * 31) % 40; // 40 users
+        clicks.push(vec![Value::Int(user)], t)?;
+    }
+    println!("{} click events over {} seconds", clicks.len(), t);
+
+    // ── Requests in the trailing 60 s, at every instant, streamed. ──────
+    let events: Vec<(Timestamp, ())> = clicks.instants().map(|at| (at, ())).collect();
+    let rpm = moving_aggregate_sorted(Count, &events, 60)?;
+    let peak = rpm
+        .iter()
+        .max_by_key(|e| e.value)
+        .expect("non-empty series");
+    println!(
+        "peak load: {} requests in the trailing minute, during {}",
+        peak.value, peak.interval
+    );
+    let busy_fraction = rpm.weighted_integral(Interval::at(0, t), |&c| Some((c > 10) as i64 as f64))
+        / t as f64;
+    println!("time with >10 req/min: {:.1}%", 100.0 * busy_fraction);
+
+    // ── Concurrently active users: distinct users in a 5-minute window. ──
+    // Each click keeps its user "active" for 300 s; COUNT(DISTINCT user)
+    // per constant interval is the concurrency curve.
+    let sessions = clicks.to_intervals(300, WindowAlignment::Trailing)?;
+    let mut tree = AggregationTree::new(CountDistinct::<i64>::new());
+    for tuple in &sessions {
+        tree.push(tuple.valid(), tuple.value(0).as_i64().unwrap())?;
+    }
+    let active = tree.finish();
+    let peak_users = active.iter().map(|e| e.value).max().unwrap();
+    println!("peak concurrently-active users (5-minute window): {peak_users}");
+    let mean_users = active
+        .time_weighted_mean(Interval::at(0, t), |&u| Some(u as f64))
+        .unwrap();
+    println!("time-weighted mean active users: {mean_users:.1}");
+
+    // ── Same question through SQL over the derived interval relation. ───
+    let mut catalog = Catalog::new();
+    catalog.register("sessions", sessions);
+    let result = execute_str(
+        &catalog,
+        "SELECT SNAPSHOT COUNT(DISTINCT user), COUNT(*) FROM sessions",
+    )?;
+    println!("\nsnapshot over the whole log:\n{result}");
+    Ok(())
+}

@@ -1,0 +1,245 @@
+//! Property-based agreement tests: every algorithm must produce exactly
+//! the series defined by the brute-force oracle, for arbitrary tuple sets
+//! and for the paper's generated workloads.
+
+use proptest::prelude::*;
+use temporal_aggregates::algo::oracle::oracle;
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::run;
+use temporal_aggregates::workload::{count_stream, generate, TupleOrder, WorkloadConfig};
+
+/// Arbitrary closed intervals over a small timeline (dense overlaps).
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0i64..200, 0i64..60).prop_map(|(start, len)| Interval::at(start, start + len))
+}
+
+fn tuples_strategy() -> impl Strategy<Value = Vec<(Interval, i64)>> {
+    proptest::collection::vec((interval_strategy(), -100i64..100), 0..40)
+}
+
+fn run_all_count(tuples: &[(Interval, i64)]) -> Vec<(&'static str, Series<u64>)> {
+    let items = || tuples.iter().map(|&(iv, _)| (iv, ()));
+    let n = tuples.len().max(1);
+    vec![
+        ("linked-list", run(LinkedListAggregate::new(Count), items()).unwrap()),
+        ("aggregation-tree", run(AggregationTree::new(Count), items()).unwrap()),
+        (
+            "k-ordered-tree(k=n)",
+            run(KOrderedAggregationTree::new(Count, n).unwrap(), items()).unwrap(),
+        ),
+        ("two-scan", run(TwoScanAggregate::new(Count), items()).unwrap()),
+        ("balanced", run(BalancedAggregationTree::new(Count), items()).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_algorithms_match_the_oracle_for_count(tuples in tuples_strategy()) {
+        let count_tuples: Vec<(Interval, ())> =
+            tuples.iter().map(|&(iv, _)| (iv, ())).collect();
+        let expected = oracle(&Count, Interval::TIMELINE, &count_tuples);
+        for (name, series) in run_all_count(&tuples) {
+            prop_assert_eq!(&series, &expected, "algorithm {} diverged", name);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_match_the_oracle_for_sum(tuples in tuples_strategy()) {
+        let expected = oracle(&Sum::<i64>::new(), Interval::TIMELINE, &tuples);
+        let items = || tuples.iter().copied();
+        let n = tuples.len().max(1);
+        let results = vec![
+            run(LinkedListAggregate::new(Sum::<i64>::new()), items()).unwrap(),
+            run(AggregationTree::new(Sum::<i64>::new()), items()).unwrap(),
+            run(KOrderedAggregationTree::new(Sum::<i64>::new(), n).unwrap(), items()).unwrap(),
+            run(TwoScanAggregate::new(Sum::<i64>::new()), items()).unwrap(),
+            run(BalancedAggregationTree::new(Sum::<i64>::new()), items()).unwrap(),
+        ];
+        for series in results {
+            prop_assert_eq!(&series, &expected);
+        }
+    }
+
+    #[test]
+    fn min_max_avg_match_the_oracle_on_the_tree(tuples in tuples_strategy()) {
+        let min_expected = oracle(&Min::<i64>::new(), Interval::TIMELINE, &tuples);
+        let max_expected = oracle(&Max::<i64>::new(), Interval::TIMELINE, &tuples);
+        prop_assert_eq!(
+            run(AggregationTree::new(Min::<i64>::new()), tuples.iter().copied()).unwrap(),
+            min_expected
+        );
+        prop_assert_eq!(
+            run(AggregationTree::new(Max::<i64>::new()), tuples.iter().copied()).unwrap(),
+            max_expected
+        );
+        // AVG: compare with tolerance (floating point path order differs).
+        let avg_expected = oracle(&Avg::<i64>::new(), Interval::TIMELINE, &tuples);
+        let avg_actual =
+            run(AggregationTree::new(Avg::<i64>::new()), tuples.iter().copied()).unwrap();
+        prop_assert_eq!(avg_actual.len(), avg_expected.len());
+        for (a, b) in avg_actual.iter().zip(avg_expected.iter()) {
+            prop_assert_eq!(a.interval, b.interval);
+            match (a.value, b.value) {
+                (None, None) => {}
+                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+                other => prop_assert!(false, "mismatch {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn result_series_partitions_the_domain(tuples in tuples_strategy()) {
+        let count_tuples: Vec<(Interval, ())> =
+            tuples.iter().map(|&(iv, _)| (iv, ())).collect();
+        let series = run(
+            AggregationTree::new(Count),
+            count_tuples.iter().copied()
+        ).unwrap();
+        // First entry starts at the domain start, last ends at ∞, and
+        // consecutive entries meet exactly.
+        prop_assert_eq!(series.entries()[0].interval.start(), Timestamp::ORIGIN);
+        prop_assert!(series.entries().last().unwrap().interval.end().is_forever());
+        for w in series.entries().windows(2) {
+            prop_assert!(w[0].interval.meets(&w[1].interval));
+        }
+        // Consecutive constant intervals come from different tuple sets, so
+        // after coalescing equal-count neighbours we can only shrink.
+        let len = series.len();
+        prop_assert!(series.coalesce().len() <= len);
+    }
+
+    #[test]
+    fn paged_tree_matches_oracle_for_any_region_count(
+        tuples in tuples_strategy(),
+        regions in 1usize..40,
+    ) {
+        let domain = Interval::at(0, 299);
+        let clipped: Vec<(Interval, ())> = tuples
+            .iter()
+            .filter_map(|&(iv, _)| iv.intersect(&domain).map(|c| (c, ())))
+            .collect();
+        let expected = oracle(&Count, domain, &clipped);
+        let paged = run(
+            PagedAggregationTree::new(Count, domain, regions).unwrap(),
+            clipped.iter().copied(),
+        )
+        .unwrap();
+        prop_assert_eq!(paged, expected, "regions = {}", regions);
+    }
+
+    #[test]
+    fn ktree_accepts_any_k_at_least_the_measured_k(
+        tuples in tuples_strategy(),
+        extra in 0usize..5,
+    ) {
+        let ivs: Vec<Interval> = tuples.iter().map(|&(iv, _)| iv).collect();
+        let measured = temporal_aggregates::sortedness::k_order(&ivs);
+        let k = (measured + extra).max(1);
+        let count_tuples: Vec<(Interval, ())> =
+            tuples.iter().map(|&(iv, _)| (iv, ())).collect();
+        let expected = oracle(&Count, Interval::TIMELINE, &count_tuples);
+        let got = run(
+            KOrderedAggregationTree::new(Count, k).unwrap(),
+            count_tuples.iter().copied(),
+        )
+        .unwrap();
+        prop_assert_eq!(got, expected, "measured k = {}, used k = {}", measured, k);
+    }
+
+    #[test]
+    fn ktree_streaming_equals_batch(tuples in tuples_strategy()) {
+        // Sort, then stream with k = 1.
+        let mut sorted: Vec<(Interval, ())> =
+            tuples.iter().map(|&(iv, _)| (iv, ())).collect();
+        sorted.sort_by_key(|(iv, ())| (iv.start(), iv.end()));
+        let expected = oracle(&Count, Interval::TIMELINE, &sorted);
+
+        let mut tree = KOrderedAggregationTree::new(Count, 1).unwrap();
+        let mut streamed = Vec::new();
+        for &(iv, ()) in &sorted {
+            tree.push(iv, ()).unwrap();
+            streamed.extend(tree.drain_ready());
+        }
+        streamed.extend(tree.finish().into_entries());
+        prop_assert_eq!(Series::from_entries(streamed), expected);
+    }
+}
+
+#[test]
+fn agreement_on_paper_workloads() {
+    // The paper's workload shapes: each combination of order × long-lived
+    // percentage, all algorithms vs the oracle (small n keeps the oracle
+    // tractable).
+    let orders = [
+        TupleOrder::Random,
+        TupleOrder::Sorted,
+        TupleOrder::KOrdered { k: 8, percentage: 0.1 },
+        TupleOrder::RetroactivelyBounded { max_delay: 5_000 },
+    ];
+    for order in orders {
+        for pct in [0u8, 40, 80] {
+            let config = WorkloadConfig {
+                tuples: 300,
+                order,
+                long_lived_pct: pct,
+                seed: 42,
+                ..Default::default()
+            };
+            let relation = generate(&config);
+            let tuples = count_stream(&relation);
+            let expected = oracle(&Count, Interval::TIMELINE, &tuples);
+
+            let items = || tuples.iter().copied();
+            assert_eq!(
+                run(LinkedListAggregate::new(Count), items()).unwrap(),
+                expected,
+                "linked list on {order:?}/{pct}%"
+            );
+            assert_eq!(
+                run(AggregationTree::new(Count), items()).unwrap(),
+                expected,
+                "tree on {order:?}/{pct}%"
+            );
+            let ivs: Vec<Interval> = relation.intervals().collect();
+            let k = temporal_aggregates::sortedness::k_order(&ivs).max(1);
+            assert_eq!(
+                run(KOrderedAggregationTree::new(Count, k).unwrap(), items()).unwrap(),
+                expected,
+                "k-tree(k={k}) on {order:?}/{pct}%"
+            );
+            assert_eq!(
+                run(BalancedAggregationTree::new(Count), items()).unwrap(),
+                expected,
+                "balanced on {order:?}/{pct}%"
+            );
+        }
+    }
+}
+
+#[test]
+fn grouped_aggregation_matches_filtered_runs() {
+    // GROUP BY key must equal running the algorithm on each key's subset.
+    let relation = generate(&WorkloadConfig::random(400).with_seed(9));
+    let name_idx = relation.schema().index_of("name").unwrap();
+
+    let mut grouped = GroupedAggregate::new(|| AggregationTree::new(Count));
+    for t in &relation {
+        grouped
+            .push(t.value(name_idx).clone(), t.valid(), ())
+            .unwrap();
+    }
+    let results = grouped.finish();
+    assert!(results.len() > 1);
+
+    for (key, series) in results {
+        let subset: Vec<(Interval, ())> = relation
+            .iter()
+            .filter(|t| t.value(name_idx) == &key)
+            .map(|t| (t.valid(), ()))
+            .collect();
+        let expected = oracle(&Count, Interval::TIMELINE, &subset);
+        assert_eq!(series, expected, "group {key}");
+    }
+}

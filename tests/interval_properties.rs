@@ -1,0 +1,219 @@
+//! Property tests for the temporal data model's algebraic laws — the
+//! invariants every algorithm in the workspace leans on.
+
+use proptest::prelude::*;
+use temporal_aggregates::core::coalesce;
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::sortedness;
+use temporal_aggregates::{Schema, SeriesEntry, ValueType};
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (-500i64..500, 0i64..300).prop_map(|(s, len)| Interval::at(s, s + len))
+}
+
+fn timestamp_strategy() -> impl Strategy<Value = Timestamp> {
+    (-1000i64..1000).prop_map(Timestamp::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn overlaps_is_symmetric(a in interval_strategy(), b in interval_strategy()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn covers_implies_overlaps(a in interval_strategy(), b in interval_strategy()) {
+        if a.covers(&b) {
+            prop_assert!(a.overlaps(&b));
+            prop_assert!(a.duration() >= b.duration());
+        }
+    }
+
+    #[test]
+    fn intersect_agrees_with_overlaps(a in interval_strategy(), b in interval_strategy()) {
+        match a.intersect(&b) {
+            Some(i) => {
+                prop_assert!(a.overlaps(&b));
+                prop_assert!(a.covers(&i));
+                prop_assert!(b.covers(&i));
+                // Intersection is the largest common sub-interval.
+                prop_assert_eq!(i.start(), a.start().max(b.start()));
+                prop_assert_eq!(i.end(), a.end().min(b.end()));
+            }
+            None => prop_assert!(!a.overlaps(&b)),
+        }
+    }
+
+    #[test]
+    fn intersect_commutes(a in interval_strategy(), b in interval_strategy()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn hull_contains_both_and_is_minimal(a in interval_strategy(), b in interval_strategy()) {
+        let h = a.hull(&b);
+        prop_assert!(h.covers(&a));
+        prop_assert!(h.covers(&b));
+        prop_assert!(h.start() == a.start() || h.start() == b.start());
+        prop_assert!(h.end() == a.end() || h.end() == b.end());
+    }
+
+    #[test]
+    fn splits_partition_exactly(iv in interval_strategy(), t in timestamp_strategy()) {
+        if let Some((left, right)) = iv.split_before(t) {
+            prop_assert!(left.meets(&right));
+            prop_assert_eq!(left.hull(&right), iv);
+            prop_assert_eq!(right.start(), t);
+            prop_assert_eq!(
+                left.duration() + right.duration(),
+                iv.duration()
+            );
+        }
+        if let Some((left, right)) = iv.split_after(t) {
+            prop_assert!(left.meets(&right));
+            prop_assert_eq!(left.hull(&right), iv);
+            prop_assert_eq!(left.end(), t);
+        }
+    }
+
+    #[test]
+    fn contains_matches_interval_of_one(iv in interval_strategy(), t in timestamp_strategy()) {
+        prop_assert_eq!(iv.contains(t), iv.overlaps(&Interval::instant(t)));
+    }
+
+    #[test]
+    fn coalesce_is_idempotent_and_order_preserving(
+        values in proptest::collection::vec(0u64..3, 0..30)
+    ) {
+        // Build a contiguous series with small values so adjacent equals
+        // are common.
+        let mut entries = Vec::new();
+        let mut start = 0i64;
+        for (i, v) in values.iter().enumerate() {
+            let len = 1 + (i as i64 % 3);
+            entries.push(SeriesEntry::new(Interval::at(start, start + len), *v));
+            start += len + 1;
+        }
+        let series = Series::from_entries(entries);
+        let once = series.clone().coalesce();
+        let twice = once.clone().coalesce();
+        prop_assert_eq!(&once, &twice, "coalesce must be idempotent");
+        // No two adjacent (meeting) entries share a value afterwards.
+        for w in once.entries().windows(2) {
+            if w[0].interval.meets(&w[1].interval) {
+                prop_assert_ne!(&w[0].value, &w[1].value);
+            }
+        }
+        // value_at is preserved at every original boundary instant.
+        for e in series.entries() {
+            prop_assert_eq!(
+                series.value_at(e.interval.start()),
+                once.value_at(e.interval.start())
+            );
+        }
+    }
+
+    #[test]
+    fn zip_with_preserves_time_structure(
+        xs in proptest::collection::vec((0i64..50, 1i64..20, 0u64..10), 1..10),
+        ys in proptest::collection::vec((0i64..50, 1i64..20, 0u64..10), 1..10),
+    ) {
+        fn build(parts: &[(i64, i64, u64)]) -> Series<u64> {
+            let mut entries = Vec::new();
+            let mut cursor = 0i64;
+            for &(gap, len, v) in parts {
+                let start = cursor + gap;
+                entries.push(SeriesEntry::new(Interval::at(start, start + len), v));
+                cursor = start + len + 1;
+            }
+            Series::from_entries(entries)
+        }
+        let a = build(&xs);
+        let b = build(&ys);
+        let z = a.zip_with(&b, |&x, &y| (x, y));
+        // Every zipped entry agrees with point lookups in both inputs.
+        for e in z.entries() {
+            for t in [e.interval.start(), e.interval.end()] {
+                prop_assert_eq!(a.value_at(t), Some(&e.value.0));
+                prop_assert_eq!(b.value_at(t), Some(&e.value.1));
+            }
+        }
+        // Zip is symmetric up to value order.
+        let zr = b.zip_with(&a, |&y, &x| (x, y));
+        prop_assert_eq!(z, zr);
+    }
+
+    #[test]
+    fn sortedness_invariants(starts in proptest::collection::vec(-100i64..100, 0..60)) {
+        let ivs: Vec<Interval> =
+            starts.iter().map(|&s| Interval::at(s, s + 10)).collect();
+        let k = sortedness::k_order(&ivs);
+        // k_order is 0 iff time-ordered.
+        prop_assert_eq!(k == 0, sortedness::is_time_ordered(&ivs));
+        // Every relation of n tuples is at worst (n-1)-ordered.
+        if !ivs.is_empty() {
+            prop_assert!(k < ivs.len());
+        }
+        // Percentage is within [0, 1] at the measured k.
+        let pct = sortedness::k_ordered_percentage(&ivs, k.max(1));
+        prop_assert!((0.0..=1.0).contains(&pct), "pct = {}", pct);
+        // Sorting zeroes the metrics.
+        let mut sorted = ivs.clone();
+        sorted.sort_by_key(|iv| (iv.start(), iv.end()));
+        prop_assert_eq!(sortedness::k_order(&sorted), 0);
+    }
+
+    #[test]
+    fn tuple_coalescing_preserves_instant_truth(
+        rows in proptest::collection::vec((0u8..3, 0i64..60, 0i64..20), 0..25)
+    ) {
+        // A fact (name) is true at instant t iff some tuple with that name
+        // covers t — coalescing must not change that, and must remove all
+        // mergeable pairs.
+        let schema = Schema::of(&[("name", ValueType::Str)]);
+        let mut relation = TemporalRelation::new(schema);
+        for &(who, start, len) in &rows {
+            let name = ["a", "b", "c"][who as usize];
+            relation
+                .push(vec![Value::from(name)], Interval::at(start, start + len))
+                .unwrap();
+        }
+        let coalesced = coalesce::coalesce_tuples(&relation);
+        let deduped = coalesce::eliminate_duplicates(&relation);
+        prop_assert!(coalesced.len() <= deduped.len());
+        prop_assert!(deduped.len() <= relation.len());
+
+        let truth = |rel: &TemporalRelation, name: &str, t: i64| {
+            rel.iter().any(|tuple| {
+                tuple.value(0).as_str() == Some(name) && tuple.valid().contains(Timestamp(t))
+            })
+        };
+        for t in 0..80 {
+            for name in ["a", "b", "c"] {
+                prop_assert_eq!(
+                    truth(&relation, name, t),
+                    truth(&coalesced, name, t),
+                    "name {} at t = {}", name, t
+                );
+                prop_assert_eq!(truth(&relation, name, t), truth(&deduped, name, t));
+            }
+        }
+        // Coalescing is idempotent.
+        let again = coalesce::coalesce_tuples(&coalesced);
+        prop_assert_eq!(again.len(), coalesced.len());
+        // And no value-equivalent mergeable pair survives.
+        for (i, x) in coalesced.iter().enumerate() {
+            for y in coalesced.iter().skip(i + 1) {
+                if x.values() == y.values() {
+                    prop_assert!(
+                        !x.valid().overlaps(&y.valid()) && !x.valid().meets(&y.valid())
+                            && !y.valid().meets(&x.valid()),
+                        "unmerged pair {} and {}", x.valid(), y.valid()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Experiment E-F9 (structure-level): the Section 6.2 memory relationships
+//! must hold — these are the qualitative claims behind Figure 9.
+
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::run_with_stats;
+use temporal_aggregates::workload::{count_stream, generate, WorkloadConfig};
+
+fn peak(
+    aggregator: impl TemporalAggregator<Count>,
+    tuples: &[(Interval, ())],
+) -> usize {
+    let (_series, stats) = run_with_stats(aggregator, tuples.iter().copied()).unwrap();
+    stats.peak_nodes
+}
+
+#[test]
+fn tree_uses_about_twice_the_list_nodes() {
+    // "each unique timestamp adds two nodes to the aggregation tree and
+    // only one in the case of the linked list algorithm" (Section 7).
+    let relation = generate(&WorkloadConfig::random(2_000));
+    let tuples = count_stream(&relation);
+    let tree_peak = peak(AggregationTree::new(Count), &tuples);
+    let list_peak = peak(LinkedListAggregate::new(Count), &tuples);
+    let ratio = tree_peak as f64 / list_peak as f64;
+    assert!(
+        (1.8..=2.2).contains(&ratio),
+        "tree/list node ratio {ratio} (tree {tree_peak}, list {list_peak})"
+    );
+}
+
+#[test]
+fn ktree_memory_is_tiny_on_sorted_short_lived_input() {
+    // Figure 9: the k-ordered tree's curve is orders of magnitude below
+    // the full tree's for sorted relations without long-lived tuples.
+    let relation = generate(&WorkloadConfig::sorted(8_000));
+    let tuples = count_stream(&relation);
+    let full = peak(AggregationTree::new(Count), &tuples);
+    let k1 = peak(KOrderedAggregationTree::new(Count, 1).unwrap(), &tuples);
+    assert!(
+        k1 * 50 < full,
+        "k=1 peak {k1} should be ≪ full tree peak {full}"
+    );
+}
+
+#[test]
+fn ktree_memory_grows_with_k() {
+    // Section 6.2: "the most important factor was the value of k".
+    let relation = generate(&WorkloadConfig::sorted(8_000));
+    let tuples = count_stream(&relation);
+    let peaks: Vec<usize> = [4usize, 40, 400]
+        .iter()
+        .map(|&k| peak(KOrderedAggregationTree::new(Count, k).unwrap(), &tuples))
+        .collect();
+    assert!(
+        peaks[0] < peaks[1] && peaks[1] < peaks[2],
+        "peaks by k: {peaks:?}"
+    );
+}
+
+#[test]
+fn long_lived_tuples_hurt_only_the_ktree() {
+    // Section 6.2: "the results are much worse for the k-ordered tree
+    // algorithms; the memory requirements for the linked list and
+    // aggregation tree algorithms are totally unaffected".
+    let short = generate(&WorkloadConfig::sorted(4_000).with_seed(1));
+    let long = generate(
+        &WorkloadConfig::sorted(4_000)
+            .with_seed(1)
+            .with_long_lived_pct(80),
+    );
+    let short_tuples = count_stream(&short);
+    let long_tuples = count_stream(&long);
+
+    let ktree_short = peak(KOrderedAggregationTree::new(Count, 1).unwrap(), &short_tuples);
+    let ktree_long = peak(KOrderedAggregationTree::new(Count, 1).unwrap(), &long_tuples);
+    assert!(
+        ktree_long > 10 * ktree_short,
+        "k-tree should blow up with long-lived tuples: {ktree_short} → {ktree_long}"
+    );
+
+    // The full tree and list peaks track unique timestamps, which don't
+    // change materially with tuple length.
+    let tree_short = peak(AggregationTree::new(Count), &short_tuples) as f64;
+    let tree_long = peak(AggregationTree::new(Count), &long_tuples) as f64;
+    assert!(
+        (tree_long / tree_short - 1.0).abs() < 0.05,
+        "tree peak should be unaffected: {tree_short} vs {tree_long}"
+    );
+    let list_short = peak(LinkedListAggregate::new(Count), &short_tuples) as f64;
+    let list_long = peak(LinkedListAggregate::new(Count), &long_tuples) as f64;
+    assert!(
+        (list_long / list_short - 1.0).abs() < 0.05,
+        "list peak should be unaffected: {list_short} vs {list_long}"
+    );
+}
+
+#[test]
+fn sixteen_byte_node_model() {
+    // Section 6.2: both tree algorithms and the list use 16 bytes per node
+    // for COUNT.
+    let relation = generate(&WorkloadConfig::random(100));
+    let tuples = count_stream(&relation);
+    let (_s, tree_stats) =
+        run_with_stats(AggregationTree::new(Count), tuples.iter().copied()).unwrap();
+    assert_eq!(tree_stats.node_model_bytes, 16);
+    let (_s, list_stats) =
+        run_with_stats(LinkedListAggregate::new(Count), tuples.iter().copied()).unwrap();
+    assert_eq!(list_stats.node_model_bytes, 16);
+    let mut sorted_tuples = tuples.clone();
+    sorted_tuples.sort_by_key(|(iv, ())| (iv.start(), iv.end()));
+    let (_s, ktree_stats) = run_with_stats(
+        KOrderedAggregationTree::new(Count, 4).unwrap(),
+        sorted_tuples.iter().copied(),
+    )
+    .unwrap();
+    assert_eq!(ktree_stats.node_model_bytes, 16);
+    // AVG needs 8-byte states → 20-byte nodes.
+    let salary: Vec<(Interval, i64)> = relation.intervals().map(|iv| (iv, 1)).collect();
+    let (_s, avg_stats) =
+        run_with_stats(AggregationTree::new(Avg::<i64>::new()), salary).unwrap();
+    assert_eq!(avg_stats.node_model_bytes, 20);
+}
+
+#[test]
+fn memory_scales_linearly_with_relation_size_for_tree_and_list() {
+    // Figure 9's straight lines on log-log axes.
+    let mut tree_peaks = Vec::new();
+    let mut list_peaks = Vec::new();
+    for n in [1_000usize, 2_000, 4_000] {
+        let relation = generate(&WorkloadConfig::random(n));
+        let tuples = count_stream(&relation);
+        tree_peaks.push(peak(AggregationTree::new(Count), &tuples) as f64);
+        list_peaks.push(peak(LinkedListAggregate::new(Count), &tuples) as f64);
+    }
+    for peaks in [&tree_peaks, &list_peaks] {
+        let r1 = peaks[1] / peaks[0];
+        let r2 = peaks[2] / peaks[1];
+        assert!((1.9..=2.1).contains(&r1), "doubling ratio {r1}");
+        assert!((1.9..=2.1).contains(&r2), "doubling ratio {r2}");
+    }
+}
+
+#[test]
+fn k_ordered_percentage_affects_time_not_memory() {
+    // Section 6.2: "the ordering of the tuples affects the shape of the
+    // tree (and thus the evaluation time), but not the actual number of
+    // nodes" — for the *full* tree. (For the k-tree it changes GC timing
+    // only slightly.)
+    let base = WorkloadConfig::k_ordered(4_000, 100, 0.02).with_seed(17);
+    let more_disorder = WorkloadConfig::k_ordered(4_000, 100, 0.14).with_seed(17);
+    let t1 = count_stream(&generate(&base));
+    let t2 = count_stream(&generate(&more_disorder));
+    let p1 = peak(AggregationTree::new(Count), &t1);
+    let p2 = peak(AggregationTree::new(Count), &t2);
+    // Same tuples, same unique timestamps → identical node counts.
+    assert_eq!(p1, p2);
+}

@@ -1,0 +1,134 @@
+//! Robustness: hostile inputs must produce errors, never panics, and the
+//! public API must uphold its documented failure modes.
+
+use proptest::prelude::*;
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::workload::employed::employed_relation;
+use temporal_aggregates::TempAggError;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The SQL pipeline must never panic on arbitrary input strings —
+    /// lexer, parser, and executor all return errors instead.
+    #[test]
+    fn sql_never_panics_on_garbage(input in ".{0,80}") {
+        let mut catalog = Catalog::new();
+        catalog.register("employed", employed_relation());
+        let _ = temporal_aggregates::sql::execute_statement(&mut catalog, &input);
+    }
+
+    /// Near-SQL garbage (keyword soup) must also be handled gracefully.
+    #[test]
+    fn sql_never_panics_on_keyword_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+                Just("BY"), Just("SPAN"), Just("VALID"), Just("OVERLAPS"),
+                Just("COUNT"), Just("("), Just(")"), Just("*"), Just(","),
+                Just("employed"), Just("name"), Just("42"), Just("'x'"),
+                Just("["), Just("]"), Just("AND"), Just("="), Just("EXPLAIN"),
+                Just("SNAPSHOT"), Just("DISTINCT"), Just("INSERT"),
+                Just("INTO"), Just("VALUES"), Just("CREATE"), Just("TABLE"),
+            ],
+            0..15,
+        )
+    ) {
+        let sql = words.join(" ");
+        let mut catalog = Catalog::new();
+        catalog.register("employed", employed_relation());
+        let _ = temporal_aggregates::sql::execute_statement(&mut catalog, &sql);
+    }
+
+    /// Interval constructors validate rather than wrap or panic.
+    #[test]
+    fn interval_new_validates(a in any::<i64>(), b in any::<i64>()) {
+        match Interval::new(a, b) {
+            Ok(iv) => {
+                prop_assert!(a <= b);
+                prop_assert_eq!(iv.start().get(), a);
+                prop_assert_eq!(iv.end().get(), b);
+            }
+            Err(TempAggError::InvalidInterval { .. }) => prop_assert!(a > b),
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn algorithms_reject_out_of_domain_without_state_damage() {
+    let domain = Interval::at(100, 200);
+    let mut tree = AggregationTree::with_domain(Count, domain);
+    tree.push(Interval::at(100, 150), ()).unwrap();
+    // A rejected push must not corrupt the tree.
+    assert!(tree.push(Interval::at(0, 300), ()).is_err());
+    assert!(tree.push(Interval::at(150, 201), ()).is_err());
+    let series = tree.finish();
+    assert_eq!(series.len(), 2);
+    assert_eq!(series.entries()[0].value, 1);
+}
+
+#[test]
+fn ktree_violation_leaves_consistent_state() {
+    let mut tree = KOrderedAggregationTree::new(Count, 1).unwrap();
+    for i in 0..50 {
+        tree.push(Interval::at(i * 100, i * 100 + 10), ()).unwrap();
+    }
+    // A violating push errors...
+    assert!(matches!(
+        tree.push(Interval::at(0, 5), ()),
+        Err(TempAggError::KOrderViolation { .. })
+    ));
+    // ...but the tree still finishes correctly for what it accepted.
+    let series = tree.finish();
+    assert_eq!(
+        series.iter().map(|e| e.value).filter(|&v| v == 1).count(),
+        50
+    );
+}
+
+#[test]
+fn planner_handles_degenerate_stats() {
+    // Zero tuples, absurd budgets: always a usable plan, never a panic.
+    for n in [0usize, 1] {
+        for budget in [Some(0usize), Some(1), None] {
+            let stats = RelationStats::unknown(n);
+            let config = PlannerConfig {
+                memory_budget_bytes: budget,
+                ..Default::default()
+            };
+            let p = plan(&stats, &config, 4);
+            let _ = p.to_string();
+        }
+    }
+}
+
+#[test]
+fn empty_relation_through_every_path() {
+    let mut catalog = Catalog::new();
+    catalog.register("empty", {
+        let schema = temporal_aggregates::Schema::of(&[(
+            "x",
+            temporal_aggregates::ValueType::Int,
+        )]);
+        TemporalRelation::new(schema)
+    });
+    // Aggregate query over an empty relation: one empty constant interval.
+    let result = execute_str(&catalog, "SELECT COUNT(x) FROM empty").unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(result.rows[0].values[0], Value::Int(0));
+    // Snapshot over empty: one row of NULL/0.
+    let result = execute_str(&catalog, "SELECT SNAPSHOT COUNT(x), SUM(x) FROM empty").unwrap();
+    assert_eq!(result.rows[0].values[0], Value::Int(0));
+    assert!(result.rows[0].values[1].is_null());
+    // Plain select: no rows.
+    match temporal_aggregates::sql::execute_statement(
+        &mut catalog,
+        "SELECT * FROM empty",
+    )
+    .unwrap()
+    {
+        temporal_aggregates::sql::StatementOutput::Tuples(t) => assert!(t.rows.is_empty()),
+        other => panic!("unexpected {other:?}"),
+    }
+}

@@ -1,0 +1,220 @@
+//! End-to-end SQL tests on generated workloads: the SQL answer must equal
+//! the answer computed by driving the algorithm layer directly.
+
+use temporal_aggregates::algo::oracle::oracle;
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::QueryResult;
+use temporal_aggregates::workload::{generate, WorkloadConfig};
+
+fn catalog_with(name: &str, relation: TemporalRelation) -> Catalog {
+    let mut c = Catalog::new();
+    c.register(name, relation);
+    c
+}
+
+/// Flatten a SQL result (no grouping) into `(interval, value)` rows.
+fn sql_rows(result: &QueryResult) -> Vec<(Interval, Value)> {
+    result
+        .rows
+        .iter()
+        .map(|r| (r.valid, r.values[0].clone()))
+        .collect()
+}
+
+#[test]
+fn sql_count_equals_direct_computation_on_random_workload() {
+    let relation = generate(&WorkloadConfig::random(500).with_seed(3));
+    let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
+    let expected = oracle(&Count, Interval::TIMELINE, &tuples)
+        .map(|v| Value::Int(v as i64))
+        .coalesce();
+
+    let catalog = catalog_with("r", relation);
+    let result = execute_str(&catalog, "SELECT COUNT(*) FROM r").unwrap();
+    let expected_rows: Vec<(Interval, Value)> = expected
+        .iter()
+        .map(|e| (e.interval, e.value.clone()))
+        .collect();
+    assert_eq!(sql_rows(&result), expected_rows);
+}
+
+#[test]
+fn sql_sum_equals_direct_computation() {
+    let relation = generate(&WorkloadConfig::sorted(400).with_seed(5));
+    let salary_idx = relation.schema().index_of("salary").unwrap();
+    let tuples: Vec<(Interval, i64)> = relation
+        .iter()
+        .map(|t| (t.valid(), t.value(salary_idx).as_i64().unwrap()))
+        .collect();
+    let expected = oracle(&Sum::<i64>::new(), Interval::TIMELINE, &tuples)
+        .map(|v| v.map_or(Value::Null, Value::Int))
+        .coalesce();
+
+    let catalog = catalog_with("r", relation);
+    let result = execute_str(&catalog, "SELECT SUM(salary) FROM r").unwrap();
+    let expected_rows: Vec<(Interval, Value)> = expected
+        .iter()
+        .map(|e| (e.interval, e.value.clone()))
+        .collect();
+    assert_eq!(sql_rows(&result), expected_rows);
+}
+
+#[test]
+fn sql_where_equals_prefiltered_direct_computation() {
+    let relation = generate(&WorkloadConfig::random(500).with_seed(8));
+    let salary_idx = relation.schema().index_of("salary").unwrap();
+    let tuples: Vec<(Interval, ())> = relation
+        .iter()
+        .filter(|t| t.value(salary_idx).as_i64().unwrap() >= 60_000)
+        .map(|t| (t.valid(), ()))
+        .collect();
+    let expected = oracle(&Count, Interval::TIMELINE, &tuples)
+        .map(|v| Value::Int(v as i64))
+        .coalesce();
+
+    let catalog = catalog_with("r", relation);
+    let result =
+        execute_str(&catalog, "SELECT COUNT(name) FROM r WHERE salary >= 60000").unwrap();
+    let expected_rows: Vec<(Interval, Value)> = expected
+        .iter()
+        .map(|e| (e.interval, e.value.clone()))
+        .collect();
+    assert_eq!(sql_rows(&result), expected_rows);
+}
+
+#[test]
+fn sql_group_by_partitions_correctly() {
+    let relation = generate(&WorkloadConfig::random(300).with_seed(13));
+    let name_idx = relation.schema().index_of("name").unwrap();
+    let catalog = catalog_with("r", relation.clone());
+    let result = execute_str(&catalog, "SELECT COUNT(name) FROM r GROUP BY name").unwrap();
+
+    // For each group in the SQL result, re-compute directly.
+    let mut groups: Vec<Value> = result.rows.iter().filter_map(|r| r.group.clone()).collect();
+    groups.sort();
+    groups.dedup();
+    assert!(groups.len() >= 2);
+
+    for key in groups {
+        let subset: Vec<(Interval, ())> = relation
+            .iter()
+            .filter(|t| t.value(name_idx) == &key)
+            .map(|t| (t.valid(), ()))
+            .collect();
+        let expected = oracle(&Count, Interval::TIMELINE, &subset)
+            .map(|v| Value::Int(v as i64))
+            .coalesce();
+        let got: Vec<(Interval, Value)> = result
+            .rows
+            .iter()
+            .filter(|r| r.group.as_ref() == Some(&key))
+            .map(|r| (r.valid, r.values[0].clone()))
+            .collect();
+        let expected_rows: Vec<(Interval, Value)> = expected
+            .iter()
+            .map(|e| (e.interval, e.value.clone()))
+            .collect();
+        assert_eq!(got, expected_rows, "group {key}");
+    }
+}
+
+#[test]
+fn sql_valid_window_equals_clipped_direct_computation() {
+    let relation = generate(&WorkloadConfig::random(400).with_seed(21));
+    let window = Interval::at(100_000, 500_000);
+    let tuples: Vec<(Interval, ())> = relation
+        .intervals()
+        .filter_map(|iv| iv.intersect(&window))
+        .map(|iv| (iv, ()))
+        .collect();
+    let expected = oracle(&Count, window, &tuples)
+        .map(|v| Value::Int(v as i64))
+        .coalesce();
+
+    let catalog = catalog_with("r", relation);
+    let result = execute_str(
+        &catalog,
+        "SELECT COUNT(*) FROM r WHERE VALID OVERLAPS [100000, 500000]",
+    )
+    .unwrap();
+    let expected_rows: Vec<(Interval, Value)> = expected
+        .iter()
+        .map(|e| (e.interval, e.value.clone()))
+        .collect();
+    assert_eq!(sql_rows(&result), expected_rows);
+    // Every row stays inside the window.
+    assert!(result.rows.iter().all(|r| window.covers(&r.valid)));
+}
+
+#[test]
+fn sql_planner_reacts_to_input_order() {
+    let sorted = generate(&WorkloadConfig::sorted(1_000));
+    let random = generate(&WorkloadConfig::random(1_000));
+    let c1 = catalog_with("r", sorted);
+    let c2 = catalog_with("r", random);
+    let q = "SELECT COUNT(*) FROM r";
+    let p1 = execute_str(&c1, q).unwrap().plan.unwrap();
+    let p2 = execute_str(&c2, q).unwrap().plan.unwrap();
+    assert_eq!(p1.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: false });
+    assert_eq!(p2.choice, AlgorithmChoice::AggregationTree);
+}
+
+#[test]
+fn sql_multi_aggregate_columns_are_consistent() {
+    let relation = generate(&WorkloadConfig::random(200).with_seed(2));
+    let catalog = catalog_with("r", relation);
+    let result = execute_str(
+        &catalog,
+        "SELECT COUNT(salary), MIN(salary), MAX(salary), AVG(salary) FROM r",
+    )
+    .unwrap();
+    for row in &result.rows {
+        let count = row.values[0].as_i64().unwrap();
+        if count == 0 {
+            assert!(row.values[1].is_null());
+            assert!(row.values[2].is_null());
+            assert!(row.values[3].is_null());
+        } else {
+            let min = row.values[1].as_i64().unwrap();
+            let max = row.values[2].as_i64().unwrap();
+            let avg = row.values[3].as_f64().unwrap();
+            assert!(min <= max);
+            assert!(min as f64 <= avg && avg <= max as f64);
+        }
+    }
+}
+
+#[test]
+fn sql_span_total_equals_instant_weighted_check() {
+    // Sanity link between span and instant grouping: a span bucket's count
+    // must be at least the max instant count within it and at most the
+    // total number of overlapping tuples.
+    let relation = generate(&WorkloadConfig::random(200).with_seed(33).with_lifespan(100_000));
+    let catalog = catalog_with("r", relation.clone());
+    let spans = execute_str(
+        &catalog,
+        "SELECT COUNT(*) FROM r WHERE VALID OVERLAPS [0, 99999] GROUP BY SPAN 10000",
+    )
+    .unwrap();
+    let instants = execute_str(
+        &catalog,
+        "SELECT COUNT(*) FROM r WHERE VALID OVERLAPS [0, 99999]",
+    )
+    .unwrap();
+    assert_eq!(spans.rows.len(), 10);
+    for span_row in &spans.rows {
+        let span_count = span_row.values[0].as_i64().unwrap();
+        let max_instant = instants
+            .rows
+            .iter()
+            .filter(|r| r.valid.overlaps(&span_row.valid))
+            .map(|r| r.values[0].as_i64().unwrap())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            span_count >= max_instant,
+            "span {} count {span_count} < max instant count {max_instant}",
+            span_row.valid
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Larger-scale cross-validation: the algorithms must agree with each
+//! other (pairwise, no oracle — the oracle is quadratic) on
+//! workload-generator output at sizes past anything the unit tests use,
+//! and determinism must hold end to end.
+
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::run;
+use temporal_aggregates::workload::{count_stream, generate, TupleOrder, WorkloadConfig};
+
+#[test]
+fn tree_equals_list_and_balanced_at_scale() {
+    let relation = generate(&WorkloadConfig::random(20_000).with_seed(77));
+    let tuples = count_stream(&relation);
+    let tree = run(AggregationTree::new(Count), tuples.iter().copied()).unwrap();
+    let balanced = run(BalancedAggregationTree::new(Count), tuples.iter().copied()).unwrap();
+    assert_eq!(tree, balanced);
+    // ~2 constant intervals per tuple on mostly-unique timestamps.
+    assert!(tree.len() > 30_000, "rows = {}", tree.len());
+    let list = run(LinkedListAggregate::new(Count), tuples.iter().copied()).unwrap();
+    assert_eq!(tree, list);
+}
+
+#[test]
+fn ktree_equals_tree_at_scale_with_gc_active() {
+    let relation = generate(
+        &WorkloadConfig::k_ordered(20_000, 40, 0.08)
+            .with_seed(78)
+            .with_long_lived_pct(40),
+    );
+    let tuples = count_stream(&relation);
+    let tree = run(AggregationTree::new(Count), tuples.iter().copied()).unwrap();
+    let (ktree, stats) = temporal_aggregates::run_with_stats(
+        KOrderedAggregationTree::new(Count, 40).unwrap(),
+        tuples.iter().copied(),
+    )
+    .unwrap();
+    assert_eq!(tree, ktree);
+    // GC must actually have been collecting: the windowed tree's peak is
+    // far below the full tree's ~2 nodes/tuple.
+    assert!(
+        stats.peak_nodes < 2 * tuples.len() / 2,
+        "peak {} suggests GC never ran",
+        stats.peak_nodes
+    );
+}
+
+#[test]
+fn paged_tree_equals_plain_at_scale() {
+    let relation = generate(&WorkloadConfig::random(20_000).with_seed(79));
+    let domain = Interval::at(0, 999_999);
+    let tuples = count_stream(&relation);
+    let plain = run(
+        AggregationTree::with_domain(Count, domain),
+        tuples.iter().copied(),
+    )
+    .unwrap();
+    let paged = run(
+        PagedAggregationTree::new(Count, domain, 64).unwrap(),
+        tuples.iter().copied(),
+    )
+    .unwrap();
+    assert_eq!(plain, paged);
+}
+
+#[test]
+fn streaming_sorted_run_is_memory_flat() {
+    // 50K sorted short-lived tuples through the k = 1 tree: peak nodes
+    // must stay bounded by the window plus the overlap density (~25
+    // concurrent tuples here), independent of n.
+    let relation = generate(&WorkloadConfig::sorted(50_000).with_seed(80));
+    let mut tree = KOrderedAggregationTree::new(Count, 1).unwrap();
+    let mut emitted = 0usize;
+    let mut peak = 0usize;
+    for (iv, ()) in count_stream(&relation) {
+        tree.push(iv, ()).unwrap();
+        peak = peak.max(tree.node_count());
+        emitted += tree.drain_ready().len();
+    }
+    let tail = tree.finish();
+    assert!(peak < 512, "peak live nodes {peak}");
+    assert!(emitted > 90_000, "streamed rows {emitted}");
+    assert!(tail.len() < 512, "tail rows {}", tail.len());
+}
+
+#[test]
+fn generator_is_deterministic_end_to_end() {
+    let config = WorkloadConfig {
+        tuples: 10_000,
+        order: TupleOrder::KOrdered { k: 100, percentage: 0.08 },
+        long_lived_pct: 40,
+        seed: 4242,
+        ..Default::default()
+    };
+    let a = run(
+        AggregationTree::new(Count),
+        count_stream(&generate(&config)),
+    )
+    .unwrap();
+    let b = run(
+        AggregationTree::new(Count),
+        count_stream(&generate(&config)),
+    )
+    .unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sql_at_scale_is_consistent_across_planner_paths() {
+    // The same query over the same data, forced down different algorithms
+    // via planner configs, must agree.
+    let relation = generate(&WorkloadConfig::random(10_000).with_seed(81));
+    let mut catalog = Catalog::new();
+    catalog.register("r", relation);
+    let q = temporal_aggregates::sql::parse(
+        "SELECT COUNT(name), SUM(salary) FROM r WHERE VALID OVERLAPS [0, 500000]",
+    )
+    .unwrap();
+    let rich = temporal_aggregates::sql::execute_query(
+        &catalog,
+        &q,
+        &PlannerConfig::default(),
+    )
+    .unwrap();
+    let tight = temporal_aggregates::sql::execute_query(
+        &catalog,
+        &q,
+        &PlannerConfig {
+            memory_budget_bytes: Some(4 * 1024),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_ne!(
+        rich.plan.as_ref().unwrap().choice,
+        tight.plan.as_ref().unwrap().choice,
+        "configs should pick different algorithms"
+    );
+    assert_eq!(rich.rows, tight.rows);
+}

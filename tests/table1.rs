@@ -1,0 +1,121 @@
+//! Experiment E-T1: every algorithm and the SQL path must reproduce
+//! Table 1 of the paper — `SELECT COUNT(Name) FROM Employed` over the
+//! Figure 1 relation.
+
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::workload::employed::{
+    employed_relation, employed_tuples, table1_expected,
+};
+
+fn rows_of(series: Series<u64>) -> Vec<(Interval, u64)> {
+    series.iter().map(|e| (e.interval, e.value)).collect()
+}
+
+fn feed<G: TemporalAggregator<Count>>(mut aggregator: G) -> Series<u64> {
+    for (_, _, valid) in employed_tuples() {
+        aggregator.push(valid, ()).expect("example tuples fit the domain");
+    }
+    aggregator.finish()
+}
+
+#[test]
+fn linked_list_reproduces_table1() {
+    assert_eq!(rows_of(feed(LinkedListAggregate::new(Count))), table1_expected());
+}
+
+#[test]
+fn aggregation_tree_reproduces_table1() {
+    assert_eq!(rows_of(feed(AggregationTree::new(Count))), table1_expected());
+}
+
+#[test]
+fn k_ordered_tree_reproduces_table1() {
+    // The Employed relation as printed is 2-ordered (Richard's tuple is
+    // early); any k ≥ 2 must work.
+    for k in [2, 4, 10] {
+        let t = KOrderedAggregationTree::new(Count, k).unwrap();
+        assert_eq!(rows_of(feed(t)), table1_expected(), "k = {k}");
+    }
+}
+
+#[test]
+fn k1_tree_reproduces_table1_after_sorting() {
+    let mut tuples = employed_tuples();
+    tuples.sort_by_key(|&(_, _, iv)| (iv.start(), iv.end()));
+    let mut t = KOrderedAggregationTree::new(Count, 1).unwrap();
+    for (_, _, valid) in tuples {
+        t.push(valid, ()).unwrap();
+    }
+    assert_eq!(rows_of(t.finish()), table1_expected());
+}
+
+#[test]
+fn two_scan_reproduces_table1() {
+    assert_eq!(rows_of(feed(TwoScanAggregate::new(Count))), table1_expected());
+}
+
+#[test]
+fn balanced_tree_reproduces_table1() {
+    assert_eq!(rows_of(feed(BalancedAggregationTree::new(Count))), table1_expected());
+}
+
+#[test]
+fn sql_reproduces_table1() {
+    let mut catalog = Catalog::new();
+    catalog.register("Employed", employed_relation());
+    let result = execute_str(&catalog, "SELECT COUNT(Name) FROM Employed E").unwrap();
+    let rows: Vec<(Interval, i64)> = result
+        .rows
+        .iter()
+        .map(|r| (r.valid, r.values[0].as_i64().unwrap()))
+        .collect();
+    let expected: Vec<(Interval, i64)> = table1_expected()
+        .into_iter()
+        .map(|(iv, v)| (iv, v as i64))
+        .collect();
+    assert_eq!(rows, expected);
+}
+
+#[test]
+fn auto_planner_reproduces_table1() {
+    let relation = employed_relation();
+    let (series, _plan, _report) = evaluate_auto(
+        Count,
+        &relation,
+        |_| (),
+        &PlannerConfig::default(),
+        Interval::TIMELINE,
+    )
+    .unwrap();
+    assert_eq!(rows_of(series), table1_expected());
+}
+
+#[test]
+fn all_aggregates_agree_on_constant_interval_boundaries() {
+    // Different aggregates over the same relation induce the same constant
+    // intervals — the boundaries come from the tuples, not the aggregate.
+    let salary_series = {
+        let mut t = AggregationTree::new(Sum::<i64>::new());
+        for (_, salary, valid) in employed_tuples() {
+            t.push(valid, salary).unwrap();
+        }
+        t.finish()
+    };
+    let count_series = feed(AggregationTree::new(Count));
+    let sum_ivs: Vec<Interval> = salary_series.iter().map(|e| e.interval).collect();
+    let count_ivs: Vec<Interval> = count_series.iter().map(|e| e.interval).collect();
+    assert_eq!(sum_ivs, count_ivs);
+}
+
+#[test]
+fn table1_values_at_spot_instants() {
+    // Cross-check Figure 2's narrative at specific instants.
+    let series = feed(AggregationTree::new(Count));
+    assert_eq!(series.value_at(Timestamp(0)), Some(&0));
+    assert_eq!(series.value_at(Timestamp(7)), Some(&1));
+    assert_eq!(series.value_at(Timestamp(10)), Some(&2));
+    assert_eq!(series.value_at(Timestamp(15)), Some(&1)); // Nathan's gap
+    assert_eq!(series.value_at(Timestamp(19)), Some(&3));
+    assert_eq!(series.value_at(Timestamp(21)), Some(&2));
+    assert_eq!(series.value_at(Timestamp(1_000_000)), Some(&1)); // Richard forever
+}

@@ -1,0 +1,107 @@
+//! Experiment E-T2: the k-ordered-percentage examples of Table 2
+//! (n = 10000, k = 100), both from the paper's stated displacement
+//! distributions and from actually-constructed permutations.
+
+use temporal_aggregates::sortedness::{
+    displacement_histogram, k_order, k_ordered_percentage, k_ordered_percentage_from_histogram,
+};
+use temporal_aggregates::Interval;
+
+const N: usize = 10_000;
+const K: usize = 100;
+
+fn intervals_from_order(starts: &[i64]) -> Vec<Interval> {
+    starts.iter().map(|&s| Interval::at(s, s + 1)).collect()
+}
+
+fn sorted_starts() -> Vec<i64> {
+    (0..N as i64).collect()
+}
+
+#[test]
+fn row1_sorted_is_zero() {
+    let ivs = intervals_from_order(&sorted_starts());
+    assert_eq!(k_ordered_percentage(&ivs, K), 0.0);
+}
+
+#[test]
+fn row2_two_tuples_swapped_100_apart() {
+    let mut starts = sorted_starts();
+    starts.swap(1234, 1334);
+    let ivs = intervals_from_order(&starts);
+    let pct = k_ordered_percentage(&ivs, K);
+    assert!((pct - 0.0002).abs() < 1e-12, "pct = {pct}");
+    assert_eq!(k_order(&ivs), 100);
+}
+
+#[test]
+fn row3_twenty_tuples_100_out_of_order() {
+    let mut starts = sorted_starts();
+    for s in 0..10 {
+        starts.swap(s * 700, s * 700 + 100);
+    }
+    let ivs = intervals_from_order(&starts);
+    let pct = k_ordered_percentage(&ivs, K);
+    assert!((pct - 0.002).abs() < 1e-12, "pct = {pct}");
+}
+
+#[test]
+fn row4_one_tuple_at_each_distance() {
+    // Stated as a displacement distribution: nᵢ = 1 for i = 1..=100.
+    let mut hist = vec![0usize; K + 1];
+    for slot in hist.iter_mut().skip(1) {
+        *slot = 1;
+    }
+    let pct = k_ordered_percentage_from_histogram(&hist, K, N);
+    assert!((pct - 0.00505).abs() < 1e-12, "pct = {pct}");
+}
+
+#[test]
+fn row5_ten_tuples_at_each_distance() {
+    // nᵢ = 10 for i = 1..=100.
+    let mut hist = vec![0usize; K + 1];
+    for slot in hist.iter_mut().skip(1) {
+        *slot = 10;
+    }
+    let pct = k_ordered_percentage_from_histogram(&hist, K, N);
+    assert!((pct - 0.0505).abs() < 1e-12, "pct = {pct}");
+}
+
+#[test]
+fn histogram_route_equals_direct_route() {
+    let mut starts = sorted_starts();
+    for s in 0..25 {
+        starts.swap(s * 397, s * 397 + 60);
+    }
+    let ivs = intervals_from_order(&starts);
+    let direct = k_ordered_percentage(&ivs, K);
+    let hist = displacement_histogram(&ivs);
+    let via_hist = k_ordered_percentage_from_histogram(&hist, K, N);
+    assert!((direct - via_hist).abs() < 1e-12);
+}
+
+#[test]
+fn paper_section52_six_tuple_example() {
+    // "For a relation with 6 tuples, with k = 3, if we swap tuples 1 with
+    // 4, 2 with 5, and 3 with 6, we have a k-ordered-percentage of 1."
+    let ivs = intervals_from_order(&[3, 4, 5, 0, 1, 2]);
+    assert_eq!(k_order(&ivs), 3);
+    let pct = k_ordered_percentage(&ivs, 3);
+    assert!((pct - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn generated_workloads_hit_requested_percentages() {
+    // The paper's test values (Table 3): 0.02, 0.08, 0.14.
+    use temporal_aggregates::workload::{generate, WorkloadConfig};
+    for &target in &[0.02, 0.08, 0.14] {
+        let r = generate(&WorkloadConfig::k_ordered(N, K, target).with_seed(11));
+        let ivs: Vec<Interval> = r.intervals().collect();
+        assert!(k_order(&ivs) <= K);
+        let pct = k_ordered_percentage(&ivs, K);
+        assert!(
+            (pct - target).abs() < 0.01,
+            "target {target}, achieved {pct}"
+        );
+    }
+}
