@@ -51,6 +51,7 @@ impl<T: Numeric> Aggregate for Avg<T> {
         if state.count == 0 {
             None
         } else {
+            // lint: allow(no-as-cast): tuple counts are far below 2^53, so the u64 → f64 divisor is exact
             Some(state.sum / state.count as f64)
         }
     }

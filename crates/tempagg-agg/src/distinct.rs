@@ -50,6 +50,7 @@ where
     }
 
     fn finish(&self, state: &BTreeSet<T>) -> u64 {
+        // lint: allow(no-as-cast): usize → u64 is lossless on every supported target
         state.len() as u64
     }
 

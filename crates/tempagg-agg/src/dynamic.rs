@@ -222,6 +222,7 @@ impl Aggregate for DynAggregate {
                 let var: Variance<f64> = Variance::sample();
                 var.merge(a, b);
             }
+            // lint: allow(no-unwrap): every state of one DynAggregate is built by that aggregate, so the kinds always match
             (into, from) => unreachable!(
                 "mismatched dynamic aggregate states: {into:?} vs {from:?} \
                  (states must come from the same DynAggregate)"
@@ -231,7 +232,9 @@ impl Aggregate for DynAggregate {
 
     fn finish(&self, state: &DynState) -> Value {
         match state {
+            // lint: allow(no-as-cast): a count of tuples never approaches i64::MAX
             DynState::Count(c) => Value::Int(*c as i64),
+            // lint: allow(no-as-cast): a distinct-set size never approaches i64::MAX
             DynState::Distinct(set) => Value::Int(set.len() as i64),
             DynState::SumInt(s) => s.map_or(Value::Null, Value::Int),
             DynState::SumFloat(s) => s.map_or(Value::Null, Value::Float),
@@ -240,6 +243,7 @@ impl Aggregate for DynAggregate {
                 if a.count == 0 {
                     Value::Null
                 } else {
+                    // lint: allow(no-as-cast): tuple counts are far below 2^53, so the u64 → f64 divisor is exact
                     Value::Float(a.sum / a.count as f64)
                 }
             }

@@ -75,7 +75,9 @@ impl<T> StdDev<T> {
 
 fn variance_of(state: &VarianceState, kind: VarianceKind) -> Option<f64> {
     match kind {
+        // lint: allow(no-as-cast): tuple counts are far below 2^53, so the u64 → f64 divisor is exact
         VarianceKind::Sample if state.count >= 2 => Some(state.m2 / (state.count - 1) as f64),
+        // lint: allow(no-as-cast): same exact-divisor argument as the sample case
         VarianceKind::Population if state.count >= 1 => Some(state.m2 / state.count as f64),
         _ => None,
     }
@@ -104,6 +106,7 @@ impl<T: Numeric> Aggregate for Variance<T> {
         let x = value.to_f64();
         state.count += 1;
         let delta = x - state.mean;
+        // lint: allow(no-as-cast): tuple counts are far below 2^53, so the u64 → f64 divisor is exact
         state.mean += delta / state.count as f64;
         state.m2 += delta * (x - state.mean);
     }
@@ -117,11 +120,14 @@ impl<T: Numeric> Aggregate for Variance<T> {
             *into = *from;
             return;
         }
+        // lint: allow(no-as-cast): Chan's parallel-merge formula runs on exact f64 images of small counts
         let n = (into.count + from.count) as f64;
         let delta = from.mean - into.mean;
         let m2 = into.m2
             + from.m2
+            // lint: allow(no-as-cast): same exact-image argument as `n`
             + delta * delta * (into.count as f64 * from.count as f64) / n;
+        // lint: allow(no-as-cast): same exact-image argument as `n`
         into.mean = (into.mean * into.count as f64 + from.mean * from.count as f64) / n;
         into.m2 = m2;
         into.count += from.count;

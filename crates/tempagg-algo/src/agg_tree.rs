@@ -57,6 +57,10 @@ pub struct AggregationTree<A: Aggregate> {
     root: NodeId,
     domain: Interval,
     tuples: usize,
+    /// Every pushed interval with a singleton state of its value, replayed
+    /// against the tree's output at `finish` (path-sum conservation).
+    #[cfg(feature = "validate")]
+    recorded: Vec<(Interval, A::State)>,
 }
 
 impl<A: Aggregate> AggregationTree<A> {
@@ -77,6 +81,8 @@ impl<A: Aggregate> AggregationTree<A> {
             root,
             domain,
             tuples: 0,
+            #[cfg(feature = "validate")]
+            recorded: Vec::new(),
         }
     }
 
@@ -122,6 +128,10 @@ impl<A: Aggregate> TemporalAggregator<A> for AggregationTree<A> {
         "aggregation-tree"
     }
 
+    fn domain(&self) -> Interval {
+        self.domain
+    }
+
     fn push(&mut self, interval: Interval, value: A::Input) -> Result<()> {
         if !self.domain.covers(&interval) {
             return Err(TempAggError::OutOfDomain {
@@ -129,13 +139,30 @@ impl<A: Aggregate> TemporalAggregator<A> for AggregationTree<A> {
                 domain: (self.domain.start(), self.domain.end()),
             });
         }
-        ops::insert(&mut self.arena, &self.agg, self.root, self.domain, interval, &value);
+        ops::insert(&mut self.arena, &self.agg, self.root, self.domain, interval, &value)?;
         self.tuples += 1;
+        #[cfg(feature = "validate")]
+        {
+            let mut singleton = self.agg.empty_state();
+            self.agg.insert(&mut singleton, &value);
+            self.recorded.push((interval, singleton));
+        }
         Ok(())
     }
 
     fn finish(self) -> Series<A::Output> {
-        ops::emit_series(&self.arena, &self.agg, self.root, self.domain)
+        let series = ops::emit_series(&self.arena, &self.agg, self.root, self.domain);
+        #[cfg(feature = "validate")]
+        if self.recorded.len() <= crate::validate::ORACLE_CAP {
+            crate::validate::assert_matches_replay(
+                &self.agg,
+                self.domain,
+                &self.recorded,
+                &series,
+                "aggregation-tree",
+            );
+        }
+        series
     }
 
     fn memory(&self) -> MemoryStats {

@@ -88,6 +88,10 @@ impl<A: Aggregate> TemporalAggregator<A> for BalancedAggregationTree<A> {
         "balanced-aggregation-tree"
     }
 
+    fn domain(&self) -> Interval {
+        self.domain
+    }
+
     fn push(&mut self, interval: Interval, value: A::Input) -> Result<()> {
         if !self.domain.covers(&interval) {
             return Err(TempAggError::OutOfDomain {
@@ -121,10 +125,20 @@ impl<A: Aggregate> TemporalAggregator<A> for BalancedAggregationTree<A> {
         // Pass 2: covering insertions; every endpoint is an existing
         // boundary, so no leaf ever splits and each insert is O(depth).
         for (iv, value) in &self.buffered {
-            ops::insert(&mut arena, &self.agg, root, self.domain, *iv, value);
+            ops::insert(&mut arena, &self.agg, root, self.domain, *iv, value)
+                // lint: allow(no-unwrap): pass 1 registered both endpoints as boundaries, so insert cannot hit a malformed split
+                .expect("pass 1 registered every endpoint as a boundary");
         }
 
-        ops::emit_series(&arena, &self.agg, root, self.domain)
+        let series = ops::emit_series(&arena, &self.agg, root, self.domain);
+        #[cfg(feature = "validate")]
+        if self.buffered.len() <= crate::validate::ORACLE_CAP {
+            assert!(
+                series == crate::oracle::oracle(&self.agg, self.domain, &self.buffered),
+                "validate[balanced-aggregation-tree]: series disagrees with the oracle"
+            );
+        }
+        series
     }
 
     fn memory(&self) -> MemoryStats {

@@ -117,6 +117,7 @@ where
                 })
                 .collect();
             for handle in handles {
+                // lint: allow(no-unwrap): a worker panic is already a crash; re-raising it here keeps the backtrace
                 for (i, k, series) in handle.join().expect("group worker panicked") {
                     indexed[i] = Some((k, series));
                 }
@@ -124,6 +125,7 @@ where
         });
         indexed
             .into_iter()
+            // lint: allow(no-unwrap): the scope above joined every worker, so each slot was filled exactly once
             .map(|slot| slot.expect("every group finished"))
             .collect()
     }

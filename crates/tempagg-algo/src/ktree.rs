@@ -63,6 +63,12 @@ pub struct KOrderedAggregationTree<A: Aggregate> {
     /// Finalized constant intervals not yet drained.
     ready: Vec<SeriesEntry<A::Output>>,
     tuples: usize,
+    /// Start of the first constant interval not yet handed out by
+    /// `drain_ready`; every drained batch must tile exactly
+    /// `[drained_through, frontier)`, so nothing is emitted twice or
+    /// resurrected after garbage collection.
+    #[cfg(feature = "validate")]
+    drained_through: Timestamp,
 }
 
 impl<A: Aggregate> KOrderedAggregationTree<A> {
@@ -91,6 +97,8 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
             window: VecDeque::with_capacity(2 * k + 2),
             ready: Vec::new(),
             tuples: 0,
+            #[cfg(feature = "validate")]
+            drained_through: domain.start(),
         })
     }
 
@@ -116,8 +124,22 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
 
     /// Constant intervals finalized by garbage collection and not yet
     /// drained. Draining is optional — results also surface via `finish`.
+    ///
+    /// Under the `validate` feature every non-empty batch is checked to
+    /// tile `[previously drained, frontier)` exactly: batches are
+    /// contiguous, monotonically forward, and never repeat an already
+    /// drained constant interval.
     pub fn drain_ready(&mut self) -> Vec<SeriesEntry<A::Output>> {
-        std::mem::take(&mut self.ready)
+        let batch = std::mem::take(&mut self.ready);
+        #[cfg(feature = "validate")]
+        if !batch.is_empty() {
+            let window = Interval::new(self.drained_through, self.frontier.prev())
+                // lint: allow(no-unwrap): validate-only check; a malformed drain window is exactly the bug it reports
+                .expect("drained constant intervals precede the frontier");
+            crate::validate::assert_series_tiles(&batch, window, "k-ordered drain_ready");
+            self.drained_through = self.frontier;
+        }
+        batch
     }
 
     /// Number of finalized-but-undrained entries.
@@ -128,6 +150,7 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
     /// The extent still covered by the in-memory tree.
     fn live_range(&self) -> Interval {
         Interval::new(self.frontier, self.domain.end())
+            // lint: allow(no-unwrap): gc only ever advances the frontier to split + 1 with split < domain end
             .expect("frontier never passes the domain end")
     }
 
@@ -140,7 +163,10 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
     /// pushed down into that child, preserving path sums), and the walk
     /// continues from the replacement. Only the earliest consecutive part
     /// of the tree is collected, so no hole can appear.
-    fn gc(&mut self, threshold: Timestamp) {
+    ///
+    /// Errors only if the frontier bookkeeping regressed
+    /// ([`TempAggError::Internal`] — a bug, not bad input).
+    fn gc(&mut self, threshold: Timestamp) -> Result<()> {
         // Path state accumulated from ancestors we have *descended through*
         // (they remain in the tree and remain ancestors of anything we
         // emit below them).
@@ -158,8 +184,12 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
                 // Whole left subtree [frontier, split] is final.
                 let mut emit_acc = acc.clone();
                 self.agg.merge(&mut emit_acc, &self.arena.get(cur).state);
-                let emitted_range = Interval::new(self.frontier, split)
-                    .expect("left subtree extent is non-empty");
+                let emitted_range = Interval::new(self.frontier, split).map_err(|_| {
+                    TempAggError::internal(format!(
+                        "gc frontier regressed: frontier {} passed collectable split {split}",
+                        self.frontier
+                    ))
+                })?;
                 ops::emit(&self.arena, &self.agg, left, emitted_range, emit_acc, &mut self.ready);
                 self.arena.free_subtree(left);
                 // `cur` goes away: push its state down into the surviving
@@ -183,12 +213,17 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
                 cur = left;
             }
         }
+        Ok(())
     }
 }
 
 impl<A: Aggregate> TemporalAggregator<A> for KOrderedAggregationTree<A> {
     fn algorithm(&self) -> &'static str {
         "k-ordered-aggregation-tree"
+    }
+
+    fn domain(&self) -> Interval {
+        self.domain
     }
 
     fn push(&mut self, interval: Interval, value: A::Input) -> Result<()> {
@@ -208,15 +243,16 @@ impl<A: Aggregate> TemporalAggregator<A> for KOrderedAggregationTree<A> {
             });
         }
         let live_range = self.live_range();
-        ops::insert(&mut self.arena, &self.agg, self.root, live_range, interval, &value);
+        ops::insert(&mut self.arena, &self.agg, self.root, live_range, interval, &value)?;
         self.tuples += 1;
         // After processing a tuple, look back at the start time of the
         // tuple 2k + 1 positions earlier; constant intervals ending before
-        // it are final.
+        // it are final. The length check makes the window non-empty here.
         if self.window.len() == 2 * self.k + 1 {
-            let threshold = *self.window.front().expect("window is non-empty");
-            self.gc(threshold);
-            self.window.pop_front();
+            if let Some(&threshold) = self.window.front() {
+                self.gc(threshold)?;
+                self.window.pop_front();
+            }
         }
         self.window.push_back(interval.start());
         Ok(())
@@ -231,6 +267,13 @@ impl<A: Aggregate> TemporalAggregator<A> for KOrderedAggregationTree<A> {
             self.agg.empty_state(),
             &mut self.ready,
         );
+        #[cfg(feature = "validate")]
+        {
+            let expected = Interval::new(self.drained_through, self.domain.end())
+                // lint: allow(no-unwrap): validate-only check; drained_through never passes the domain end
+                .expect("undrained tail is a well-formed interval");
+            crate::validate::assert_series_tiles(&self.ready, expected, "k-ordered finish");
+        }
         Series::from_entries(self.ready)
     }
 

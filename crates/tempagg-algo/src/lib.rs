@@ -17,7 +17,9 @@
 //!
 //! All algorithms implement [`TemporalAggregator`] and produce a
 //! [`tempagg_core::Series`] of constant intervals. The [`oracle`] module
-//! holds an O(n²) executable specification used to validate them.
+//! holds an O(n²) executable specification used to validate them, and the
+//! `validate` cargo feature compiles in structural invariant checkers (see
+//! the `validate` module) that every algorithm runs as it executes.
 
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
@@ -36,6 +38,8 @@ mod span_group;
 mod traits;
 mod tree;
 mod two_scan;
+#[cfg(feature = "validate")]
+pub mod validate;
 
 pub use agg_tree::AggregationTree;
 pub use balanced::BalancedAggregationTree;

@@ -123,6 +123,10 @@ impl<A: Aggregate> TemporalAggregator<A> for LinkedListAggregate<A> {
         "linked-list"
     }
 
+    fn domain(&self) -> Interval {
+        self.domain
+    }
+
     fn push(&mut self, interval: Interval, value: A::Input) -> Result<()> {
         if !self.domain.covers(&interval) {
             return Err(TempAggError::OutOfDomain {
@@ -137,7 +141,12 @@ impl<A: Aggregate> TemporalAggregator<A> for LinkedListAggregate<A> {
             .cells
             .iter()
             .position(|c| c.interval.contains(interval.start()))
-            .expect("list cells partition the domain");
+            .ok_or_else(|| {
+                TempAggError::internal(format!(
+                    "no list cell contains {} — the cells no longer partition the domain",
+                    interval.start()
+                ))
+            })?;
         idx = self.ensure_start_boundary(idx, interval.start());
         // Update every wholly-covered element until the one containing the
         // end time, splitting it if the end falls inside.

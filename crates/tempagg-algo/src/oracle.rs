@@ -42,6 +42,7 @@ pub fn oracle<A: Aggregate>(
         let end = boundaries
             .get(i + 1)
             .map_or(domain.end(), |next| next.prev());
+        // lint: allow(no-unwrap): boundaries are sorted and deduplicated, so start <= end by construction
         let segment = Interval::new(start, end).expect("boundaries are increasing");
         let mut state = agg.empty_state();
         for (iv, value) in tuples {

@@ -55,13 +55,13 @@ where
     /// Errors if the domain is unbounded, `regions` is zero, or there are
     /// more regions than instants.
     pub fn new(agg: A, domain: Interval, regions: usize) -> Result<Self> {
-        if domain.end().is_forever() || regions == 0 || (regions as i64) > domain.duration() {
-            return Err(TempAggError::InvalidSpan {
-                length: regions as i64,
-            });
+        let regions_i64 = i64::try_from(regions).unwrap_or(i64::MAX);
+        if domain.end().is_forever() || regions == 0 || regions_i64 > domain.duration() {
+            return Err(TempAggError::InvalidSpan { length: regions_i64 });
         }
-        let region_len = (domain.duration() + regions as i64 - 1) / regions as i64;
+        let region_len = (domain.duration() + regions_i64 - 1) / regions_i64;
         // The rounded-up length may need fewer regions to cover the domain.
+        // lint: allow(no-as-cast): the quotient is positive and no larger than the requested region count
         let actual = ((domain.duration() + region_len - 1) / region_len) as usize;
         Ok(PagedAggregationTree {
             agg,
@@ -98,12 +98,15 @@ where
     }
 
     fn region_interval(&self, i: usize) -> Interval {
+        // lint: allow(no-as-cast): region indices are derived from an i64 region count, so they convert back losslessly
         let start = self.domain.start() + (i as i64 * self.region_len);
         let end = (start + (self.region_len - 1)).min(self.domain.end());
+        // lint: allow(no-unwrap): every region starts inside the bounded domain and ends no earlier than it starts
         Interval::new(start, end).expect("regions are well-formed")
     }
 
     fn region_of(&self, t: Timestamp) -> usize {
+        // lint: allow(no-as-cast): t lies inside the bounded domain, so the quotient is a non-negative region index
         (t.distance_from(self.domain.start()) / self.region_len) as usize
     }
 }
@@ -136,6 +139,7 @@ where
             let region_iv = self.region_interval(region);
             let mut tree = AggregationTree::with_domain(self.agg.clone(), region_iv);
             for (iv, value) in self.buffers[region].drain(..) {
+                // lint: allow(no-unwrap): push only rejects out-of-domain tuples and every buffered tuple was clipped to this region
                 tree.push(iv, value).expect("clipped tuples fit their region");
             }
             peak = peak.max(tree.memory().peak_nodes);
@@ -174,6 +178,10 @@ where
         "paged-aggregation-tree"
     }
 
+    fn domain(&self) -> Interval {
+        self.domain
+    }
+
     fn push(&mut self, interval: Interval, value: A::Input) -> Result<()> {
         if !self.domain.covers(&interval) {
             return Err(TempAggError::OutOfDomain {
@@ -185,9 +193,12 @@ where
         let last = self.region_of(interval.end());
         for region in first..=last {
             let region_iv = self.region_interval(region);
-            let clipped = interval
-                .intersect(&region_iv)
-                .expect("regions first..=last all overlap the tuple");
+            let clipped = interval.intersect(&region_iv).ok_or_else(|| {
+                TempAggError::internal(format!(
+                    "tuple {interval} does not overlap region {region} ({region_iv}) \
+                     despite lying between its first and last regions"
+                ))
+            })?;
             // Record whether the tuple's own endpoints land on region
             // edges — those boundaries are real constant-interval breaks.
             if clipped.start() == interval.start() && clipped.start() == region_iv.start() {

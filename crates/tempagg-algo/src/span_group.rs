@@ -36,6 +36,7 @@ impl<A: Aggregate> SpanGrouper<A> {
         if window.end().is_forever() {
             return Err(TempAggError::InvalidSpan { length: span_length });
         }
+        // lint: allow(no-as-cast): the quotient is positive (bounded window, positive span) and a bucket count always fits usize
         let n = ((window.duration() + span_length - 1) / span_length) as usize;
         let buckets = (0..n).map(|_| agg.empty_state()).collect();
         Ok(SpanGrouper {
@@ -65,8 +66,10 @@ impl<A: Aggregate> SpanGrouper<A> {
 
     /// The span interval of bucket `i`.
     fn bucket_interval(&self, i: usize) -> Interval {
+        // lint: allow(no-as-cast): bucket indices are derived from an i64 span count, so they convert back losslessly
         let start = self.window.start() + (i as i64 * self.span);
         let end = (start + (self.span - 1)).min(self.window.end());
+        // lint: allow(no-unwrap): every bucket starts inside the window and ends no earlier than it starts
         Interval::new(start, end).expect("bucket bounds are valid")
     }
 }
@@ -74,6 +77,10 @@ impl<A: Aggregate> SpanGrouper<A> {
 impl<A: Aggregate> TemporalAggregator<A> for SpanGrouper<A> {
     fn algorithm(&self) -> &'static str {
         "span-grouping"
+    }
+
+    fn domain(&self) -> Interval {
+        self.window
     }
 
     /// Fold a tuple into every span it overlaps. Unlike the instant-grouped
@@ -84,7 +91,9 @@ impl<A: Aggregate> TemporalAggregator<A> for SpanGrouper<A> {
         let Some(clipped) = interval.intersect(&self.window) else {
             return Ok(());
         };
+        // lint: allow(no-as-cast): clipped lies inside the bounded window, so both quotients are non-negative bucket indices
         let lo = (clipped.start().distance_from(self.window.start()) / self.span) as usize;
+        // lint: allow(no-as-cast): same bounded-window argument as `lo`
         let hi = (clipped.end().distance_from(self.window.start()) / self.span) as usize;
         for bucket in &mut self.buckets[lo..=hi] {
             self.agg.insert(bucket, &value);

@@ -17,6 +17,13 @@ pub trait TemporalAggregator<A: Aggregate> {
     /// Short algorithm name for reports and plans.
     fn algorithm(&self) -> &'static str;
 
+    /// The domain the algorithm was configured with: the result series of
+    /// [`TemporalAggregator::finish`] exactly tiles this interval. The
+    /// `validate` feature's coverage checkers key off this hook, which is
+    /// why every algorithm gets them for free through [`run`] /
+    /// [`run_with_stats`].
+    fn domain(&self) -> Interval;
+
     /// Fold one tuple in.
     ///
     /// Errors if the interval lies outside the algorithm's domain, or — for
@@ -32,6 +39,9 @@ pub trait TemporalAggregator<A: Aggregate> {
 }
 
 /// Run an aggregator to completion over `(interval, value)` pairs.
+///
+/// Under the `validate` feature the emitted series is checked to exactly
+/// tile [`TemporalAggregator::domain`].
 pub fn run<A, G, I>(mut aggregator: G, items: I) -> Result<Series<A::Output>>
 where
     A: Aggregate,
@@ -41,10 +51,18 @@ where
     for (interval, value) in items {
         aggregator.push(interval, value)?;
     }
-    Ok(aggregator.finish())
+    #[cfg(feature = "validate")]
+    let (domain, name) = (aggregator.domain(), aggregator.algorithm());
+    let series = aggregator.finish();
+    #[cfg(feature = "validate")]
+    crate::validate::assert_series_tiles(series.entries(), domain, name);
+    Ok(series)
 }
 
 /// Run an aggregator to completion, also reporting peak memory.
+///
+/// Under the `validate` feature the emitted series is checked to exactly
+/// tile [`TemporalAggregator::domain`].
 pub fn run_with_stats<A, G, I>(
     mut aggregator: G,
     items: I,
@@ -58,5 +76,10 @@ where
         aggregator.push(interval, value)?;
     }
     let stats = aggregator.memory();
-    Ok((aggregator.finish(), stats))
+    #[cfg(feature = "validate")]
+    let (domain, name) = (aggregator.domain(), aggregator.algorithm());
+    let series = aggregator.finish();
+    #[cfg(feature = "validate")]
+    crate::validate::assert_series_tiles(series.entries(), domain, name);
+    Ok((series, stats))
 }

@@ -23,6 +23,7 @@ impl NodeId {
 
     #[inline]
     fn index(self) -> usize {
+        // lint: allow(no-as-cast): u32 → usize is lossless on every supported target
         self.0 as usize
     }
 }
@@ -96,6 +97,7 @@ impl<S> Arena<S> {
             self.nodes[id.index()] = node;
             id
         } else {
+            // lint: allow(no-unwrap): 4 billion nodes is past any workload this crate models; aborting beats corrupting ids
             let id = NodeId(u32::try_from(self.nodes.len()).expect("arena exceeds u32 indices"));
             self.nodes.push(node);
             id

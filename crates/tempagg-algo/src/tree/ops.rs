@@ -8,14 +8,17 @@
 
 use super::arena::{Arena, NodeId};
 use tempagg_agg::Aggregate;
-use tempagg_core::{Interval, Series, SeriesEntry, Timestamp};
+use tempagg_core::{Interval, Result, Series, SeriesEntry, TempAggError, Timestamp};
 
 /// Insert a tuple's interval and value into the subtree rooted at `root`
 /// (which covers `range`), splitting leaves at the tuple's start and end
 /// times as needed (Section 5.1).
 ///
 /// Requires `range.covers(interval)`; callers validate against their
-/// domain first.
+/// domain first. Errors only if a tree invariant has been violated
+/// ([`TempAggError::Internal`]), which indicates a bug rather than bad
+/// input. Under the `validate` feature the updated subtree's shape and the
+/// insertion's exact-cover property are checked before returning.
 pub fn insert<A: Aggregate>(
     arena: &mut Arena<A::State>,
     agg: &A,
@@ -23,34 +26,44 @@ pub fn insert<A: Aggregate>(
     range: Interval,
     interval: Interval,
     value: &A::Input,
-) {
+) -> Result<()> {
     debug_assert!(range.covers(&interval));
+    #[cfg(feature = "validate")]
+    let mut covered: Vec<Interval> = Vec::new();
     // (node, node's extent); only nodes overlapping `interval` are pushed.
     let mut stack: Vec<(NodeId, Interval)> = vec![(root, range)];
-    while let Some((id, range)) = stack.pop() {
-        if interval.covers(&range) {
+    while let Some((id, node_range)) = stack.pop() {
+        if interval.covers(&node_range) {
             // The tuple spans this whole node: record it here and do not
             // descend — the key saving over per-leaf updates.
             agg.insert(&mut arena.get_mut(id).state, value);
+            #[cfg(feature = "validate")]
+            covered.push(node_range);
             continue;
         }
         if arena.get(id).is_leaf() {
             // Partial overlap with a constant interval: split it in two at
             // whichever tuple endpoint falls strictly inside, then
             // reprocess this node as an internal one.
-            let (split, halves) = if interval.start() > range.start() {
+            let (split, halves) = if interval.start() > node_range.start() {
                 (
                     interval.start().prev(),
-                    range
-                        .split_before(interval.start())
-                        .expect("start lies strictly inside the leaf"),
+                    node_range.split_before(interval.start()).ok_or_else(|| {
+                        TempAggError::internal(format!(
+                            "tuple start {} does not lie strictly inside leaf {node_range}",
+                            interval.start()
+                        ))
+                    })?,
                 )
             } else {
                 (
                     interval.end(),
-                    range
-                        .split_after(interval.end())
-                        .expect("end lies strictly inside the leaf"),
+                    node_range.split_after(interval.end()).ok_or_else(|| {
+                        TempAggError::internal(format!(
+                            "tuple end {} does not lie strictly inside leaf {node_range}",
+                            interval.end()
+                        ))
+                    })?,
                 )
             };
             debug_assert_eq!(halves.0.end(), split);
@@ -63,21 +76,36 @@ pub fn insert<A: Aggregate>(
             node.split = split;
             node.left = left;
             node.right = right;
-            stack.push((id, range));
+            stack.push((id, node_range));
             continue;
         }
         let node = arena.get(id);
         let (split, left, right) = (node.split, node.left, node.right);
         if interval.start() <= split {
-            stack.push((left, Interval::new(range.start(), split).expect("valid split")));
+            let child = Interval::new(node_range.start(), split).map_err(|_| {
+                TempAggError::internal(format!(
+                    "split {split} precedes its node's extent {node_range}"
+                ))
+            })?;
+            stack.push((left, child));
         }
         if interval.end() > split {
-            stack.push((
-                right,
-                Interval::new(split.next(), range.end()).expect("valid split"),
-            ));
+            let child = Interval::new(split.next(), node_range.end()).map_err(|_| {
+                TempAggError::internal(format!(
+                    "split {split} passes its node's extent {node_range}"
+                ))
+            })?;
+            stack.push((right, child));
         }
     }
+    #[cfg(feature = "validate")]
+    {
+        crate::validate::assert_exact_cover(interval, &mut covered, "tree-insert");
+        if arena.live() <= crate::validate::SHAPE_CAP {
+            crate::validate::assert_tree_shape(arena, root, range, "tree-insert");
+        }
+    }
+    Ok(())
 }
 
 /// Depth-first, time-ordered emission of a subtree's constant intervals,
@@ -102,11 +130,13 @@ pub fn emit<A: Aggregate>(
             // LIFO: push right first so the left (earlier) half pops first.
             stack.push((
                 node.right,
+                // lint: allow(no-unwrap): split ordering is enforced by insert and re-checked by the validate feature's tree-shape walk
                 Interval::new(node.split.next(), range.end()).expect("valid split"),
                 acc.clone(),
             ));
             stack.push((
                 node.left,
+                // lint: allow(no-unwrap): same split-ordering invariant as the right child
                 Interval::new(range.start(), node.split).expect("valid split"),
                 acc,
             ));
@@ -138,10 +168,12 @@ pub fn leaf_intervals<S>(arena: &Arena<S>, root: NodeId, range: Interval) -> Vec
         } else {
             stack.push((
                 node.right,
+                // lint: allow(no-unwrap): split ordering is enforced by insert; diagnostics walk the same tree
                 Interval::new(node.split.next(), range.end()).expect("valid split"),
             ));
             stack.push((
                 node.left,
+                // lint: allow(no-unwrap): same split-ordering invariant as the right child
                 Interval::new(range.start(), node.split).expect("valid split"),
             ));
         }
@@ -189,11 +221,13 @@ pub fn render<S: std::fmt::Debug>(arena: &Arena<S>, root: NodeId, range: Interva
             let _ = writeln!(out, "{} split {} state {:?}", range, node.split, node.state);
             stack.push((
                 node.right,
+                // lint: allow(no-unwrap): split ordering is enforced by insert; rendering walks the same tree
                 Interval::new(node.split.next(), range.end()).expect("valid split"),
                 indent + 1,
             ));
             stack.push((
                 node.left,
+                // lint: allow(no-unwrap): same split-ordering invariant as the right child
                 Interval::new(range.start(), node.split).expect("valid split"),
                 indent + 1,
             ));
@@ -224,7 +258,7 @@ mod tests {
     fn insert_figure3_first_tuple() {
         // Figure 3.b: inserting [18, ∞] into the initial tree [0, ∞].
         let (mut arena, root) = new_tree();
-        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::from_start(18), &());
+        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::from_start(18), &()).unwrap();
         let leaves = leaf_intervals(&arena, root, Interval::TIMELINE);
         assert_eq!(leaves, vec![Interval::at(0, 17), Interval::from_start(18)]);
         // The covered half carries the count.
@@ -237,7 +271,7 @@ mod tests {
     #[test]
     fn insert_fully_covering_updates_root_only() {
         let (mut arena, root) = new_tree();
-        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::TIMELINE, &());
+        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::TIMELINE, &()).unwrap();
         assert_eq!(arena.live(), 1, "no split needed");
         let s = emit_series(&arena, &Count, root, Interval::TIMELINE);
         assert_eq!(s.len(), 1);
@@ -247,7 +281,7 @@ mod tests {
     #[test]
     fn insert_interior_interval_splits_twice() {
         let (mut arena, root) = new_tree();
-        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::at(8, 20), &());
+        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::at(8, 20), &()).unwrap();
         let leaves = leaf_intervals(&arena, root, Interval::TIMELINE);
         assert_eq!(
             leaves,
@@ -264,7 +298,7 @@ mod tests {
     fn depth_and_render() {
         let (mut arena, root) = new_tree();
         assert_eq!(depth(&arena, root), 1);
-        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::from_start(18), &());
+        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::from_start(18), &()).unwrap();
         assert_eq!(depth(&arena, root), 2);
         let r = render(&arena, root, Interval::TIMELINE);
         assert!(r.contains("[0, ∞] split 17"), "render was:\n{r}");

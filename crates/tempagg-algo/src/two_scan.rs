@@ -62,6 +62,10 @@ impl<A: Aggregate> TemporalAggregator<A> for TwoScanAggregate<A> {
         "two-scan"
     }
 
+    fn domain(&self) -> Interval {
+        self.domain
+    }
+
     fn push(&mut self, interval: Interval, value: A::Input) -> Result<()> {
         if !self.domain.covers(&interval) {
             return Err(TempAggError::OutOfDomain {
@@ -96,6 +100,7 @@ impl<A: Aggregate> TemporalAggregator<A> for TwoScanAggregate<A> {
                     .get(i + 1)
                     .map_or(self.domain.end(), |next| next.prev());
                 (
+                    // lint: allow(no-unwrap): boundaries are sorted and deduplicated, so start <= end by construction
                     Interval::new(start, end).expect("boundaries are increasing"),
                     self.agg.empty_state(),
                 )

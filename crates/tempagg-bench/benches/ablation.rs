@@ -1,26 +1,16 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out and the
 //! paper's Section 7 future-work items.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
+use tempagg_bench::timing::Group;
 use tempagg_bench::{count_tuples, run_count, AlgoConfig};
 use tempagg_core::Interval;
 use tempagg_workload::{generate, perturb, WorkloadConfig};
 
-fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_secs(1));
-}
-
 /// Sorted input is the unbalanced tree's worst case. The paper proposes
 /// two escapes: randomize the input before inserting ("randomize the
 /// pages"), or balance the tree. Compare all of them and the k = 1 stream.
-fn sorted_input_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_sorted_input");
-    configure(&mut group);
+fn sorted_input_strategies() {
+    let group = Group::new("ablation_sorted_input");
     let n = 4_096;
     let sorted_tuples = count_tuples(&WorkloadConfig::sorted(n));
     let shuffled_tuples = {
@@ -32,66 +22,53 @@ fn sorted_input_strategies(c: &mut Criterion) {
             .collect::<Vec<(Interval, ())>>()
     };
 
-    group.bench_function("unbalanced tree, sorted input (worst case)", |b| {
-        b.iter(|| black_box(run_count(AlgoConfig::AggregationTree, black_box(&sorted_tuples))))
+    group.bench("unbalanced tree, sorted input (worst case)", || {
+        run_count(AlgoConfig::AggregationTree, &sorted_tuples)
     });
-    group.bench_function("unbalanced tree, shuffled input", |b| {
-        b.iter(|| {
-            black_box(run_count(AlgoConfig::AggregationTree, black_box(&shuffled_tuples)))
-        })
+    group.bench("unbalanced tree, shuffled input", || {
+        run_count(AlgoConfig::AggregationTree, &shuffled_tuples)
     });
-    group.bench_function("balanced tree, sorted input", |b| {
-        b.iter(|| black_box(run_count(AlgoConfig::Balanced, black_box(&sorted_tuples))))
+    group.bench("balanced tree, sorted input", || {
+        run_count(AlgoConfig::Balanced, &sorted_tuples)
     });
-    group.bench_function("ktree k=1, sorted input", |b| {
-        b.iter(|| black_box(run_count(AlgoConfig::KTreeSorted, black_box(&sorted_tuples))))
+    group.bench("ktree k=1, sorted input", || {
+        run_count(AlgoConfig::KTreeSorted, &sorted_tuples)
     });
-    group.finish();
 }
 
 /// One scan vs two: the paper's linked list against Tuma's two-scan
 /// approach on the same unordered input.
-fn one_scan_vs_two(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_scans");
-    configure(&mut group);
+fn one_scan_vs_two() {
+    let group = Group::new("ablation_scans");
     for n in [1_024usize, 4_096] {
         let tuples = count_tuples(&WorkloadConfig::random(n));
-        group.bench_with_input(BenchmarkId::new("linked list (1 scan)", n), &n, |b, _| {
-            b.iter(|| black_box(run_count(AlgoConfig::LinkedList, black_box(&tuples))))
+        group.bench(&format!("linked list (1 scan) / {n}"), || {
+            run_count(AlgoConfig::LinkedList, &tuples)
         });
-        group.bench_with_input(BenchmarkId::new("two-scan (Tuma)", n), &n, |b, _| {
-            b.iter(|| black_box(run_count(AlgoConfig::TwoScan, black_box(&tuples))))
+        group.bench(&format!("two-scan (Tuma) / {n}"), || {
+            run_count(AlgoConfig::TwoScan, &tuples)
         });
     }
-    group.finish();
 }
 
 /// Long-lived tuples: the aggregation tree *improves* (bushier right
 /// spine) while the k-tree degrades — the paper's Section 6.1 paradox.
-fn long_lived_paradox(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_long_lived");
-    configure(&mut group);
+fn long_lived_paradox() {
+    let group = Group::new("ablation_long_lived");
     let n = 4_096;
     for pct in [0u8, 80] {
         let sorted = count_tuples(&WorkloadConfig::sorted(n).with_long_lived_pct(pct));
-        group.bench_with_input(
-            BenchmarkId::new("aggregation tree, sorted", pct),
-            &pct,
-            |b, _| {
-                b.iter(|| black_box(run_count(AlgoConfig::AggregationTree, black_box(&sorted))))
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("ktree k=1, sorted", pct), &pct, |b, _| {
-            b.iter(|| black_box(run_count(AlgoConfig::KTreeSorted, black_box(&sorted))))
+        group.bench(&format!("aggregation tree, sorted / {pct}%ll"), || {
+            run_count(AlgoConfig::AggregationTree, &sorted)
+        });
+        group.bench(&format!("ktree k=1, sorted / {pct}%ll"), || {
+            run_count(AlgoConfig::KTreeSorted, &sorted)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    sorted_input_strategies,
-    one_scan_vs_two,
-    long_lived_paradox
-);
-criterion_main!(benches);
+fn main() {
+    sorted_input_strategies();
+    one_scan_vs_two();
+    long_lived_paradox();
+}

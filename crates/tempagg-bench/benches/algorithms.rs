@@ -1,100 +1,72 @@
 //! Per-algorithm micro-benchmarks on the paper's workload shapes.
 //!
-//! These are the Criterion companions to the `harness` binary; sizes are
-//! kept moderate so `cargo bench` finishes quickly. For the full paper
-//! sweeps (to 64K tuples) run `cargo run --release -p tempagg-bench --bin
+//! These are the quick companions to the `harness` binary; sizes are kept
+//! moderate so `cargo bench` finishes quickly. For the full paper sweeps
+//! (to 64K tuples) run `cargo run --release -p tempagg-bench --bin
 //! harness -- all`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-use std::time::Duration;
+use tempagg_bench::timing::Group;
 use tempagg_bench::{count_tuples, run_count, AlgoConfig};
 use tempagg_workload::{TupleOrder, WorkloadConfig};
 
-fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
-}
-
 /// All algorithms over a randomly ordered 4K relation (Figure 6's regime).
-fn bench_random_order(c: &mut Criterion) {
-    let mut group = c.benchmark_group("random_order_4k");
-    configure(&mut group);
+fn bench_random_order() {
+    let group = Group::new("random_order_4k");
     let tuples = count_tuples(&WorkloadConfig::random(4_096));
-    group.throughput(Throughput::Elements(tuples.len() as u64));
     for config in [
         AlgoConfig::LinkedList,
         AlgoConfig::AggregationTree,
         AlgoConfig::TwoScan,
         AlgoConfig::Balanced,
     ] {
-        group.bench_function(config.label(), |b| {
-            b.iter(|| black_box(run_count(config, black_box(&tuples))))
-        });
+        group.bench(&config.label(), || run_count(config, &tuples));
     }
-    group.finish();
 }
 
 /// All applicable algorithms over a sorted 4K relation (Figure 7's regime).
-fn bench_sorted_order(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sorted_order_4k");
-    configure(&mut group);
+fn bench_sorted_order() {
+    let group = Group::new("sorted_order_4k");
     let tuples = count_tuples(&WorkloadConfig::sorted(4_096));
-    group.throughput(Throughput::Elements(tuples.len() as u64));
     for config in [
         AlgoConfig::LinkedList,
         AlgoConfig::AggregationTree, // worst case: linear tree
         AlgoConfig::KTreeSorted,
         AlgoConfig::Balanced,
     ] {
-        group.bench_function(config.label(), |b| {
-            b.iter(|| black_box(run_count(config, black_box(&tuples))))
-        });
+        group.bench(&config.label(), || run_count(config, &tuples));
     }
-    group.finish();
 }
 
 /// The k-ordered tree across k, on matching k-ordered inputs.
-fn bench_ktree_by_k(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ktree_by_k_4k");
-    configure(&mut group);
+fn bench_ktree_by_k() {
+    let group = Group::new("ktree_by_k_4k");
     for k in [4usize, 40, 400] {
         let tuples = count_tuples(&WorkloadConfig {
             tuples: 4_096,
             order: TupleOrder::KOrdered { k, percentage: 0.08 },
             ..Default::default()
         });
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| black_box(run_count(AlgoConfig::KTree { k }, black_box(&tuples))))
+        group.bench(&format!("k = {k}"), || {
+            run_count(AlgoConfig::KTree { k }, &tuples)
         });
     }
-    group.finish();
 }
 
 /// Scaling of the aggregation tree on random input (the paper's preferred
 /// unordered configuration).
-fn bench_tree_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aggregation_tree_scaling");
-    configure(&mut group);
+fn bench_tree_scaling() {
+    let group = Group::new("aggregation_tree_scaling");
     for n in [1_024usize, 4_096, 16_384] {
         let tuples = count_tuples(&WorkloadConfig::random(n));
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                black_box(run_count(AlgoConfig::AggregationTree, black_box(&tuples)))
-            })
+        group.bench(&format!("n = {n}"), || {
+            run_count(AlgoConfig::AggregationTree, &tuples)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_random_order,
-    bench_sorted_order,
-    bench_ktree_by_k,
-    bench_tree_scaling
-);
-criterion_main!(benches);
+fn main() {
+    bench_random_order();
+    bench_sorted_order();
+    bench_ktree_by_k();
+    bench_tree_scaling();
+}

@@ -1,31 +1,21 @@
-//! Criterion versions of the paper's Figures 6–8 at reduced scale.
+//! Quick-run versions of the paper's Figures 6–8 at reduced scale.
 //!
 //! Each group corresponds to one figure; within a group, one benchmark per
 //! (algorithm, size) series point. Sizes stop at 8K so the quadratic
-//! configurations stay inside Criterion's time budget; the `harness`
-//! binary sweeps the full 1K–64K range.
+//! configurations stay inside the time budget; the `harness` binary sweeps
+//! the full 1K–64K range.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
+use tempagg_bench::timing::Group;
 use tempagg_bench::{count_tuples, run_count, workload_for, AlgoConfig};
 use tempagg_workload::{TupleOrder, WorkloadConfig};
 
 const SIZES: &[usize] = &[1_024, 4_096, 8_192];
 const K_PCT: f64 = 0.08;
 
-fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_secs(1));
-}
-
 /// Figure 6: unordered relations, linked list vs aggregation tree,
 /// 0% / 80% long-lived tuples.
-fn fig6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_unordered");
-    configure(&mut group);
+fn fig6() {
+    let group = Group::new("fig6_unordered");
     for &n in SIZES {
         for pct in [0u8, 80] {
             let tuples = count_tuples(&WorkloadConfig {
@@ -35,19 +25,16 @@ fn fig6(c: &mut Criterion) {
                 ..Default::default()
             });
             for config in [AlgoConfig::LinkedList, AlgoConfig::AggregationTree] {
-                let id = BenchmarkId::new(format!("{} {pct}%ll", config.label()), n);
-                group.bench_with_input(id, &n, |b, _| {
-                    b.iter(|| black_box(run_count(config, black_box(&tuples))))
+                group.bench(&format!("{} {pct}%ll / {n}", config.label()), || {
+                    run_count(config, &tuples)
                 });
             }
         }
     }
-    group.finish();
 }
 
-fn ordered_figure(c: &mut Criterion, name: &str, long_pct: u8) {
-    let mut group = c.benchmark_group(name);
-    configure(&mut group);
+fn ordered_figure(name: &'static str, long_pct: u8) {
+    let group = Group::new(name);
     let configs = [
         AlgoConfig::LinkedList,
         AlgoConfig::AggregationTree,
@@ -59,24 +46,25 @@ fn ordered_figure(c: &mut Criterion, name: &str, long_pct: u8) {
     for &n in SIZES {
         for config in configs {
             let tuples = count_tuples(&workload_for(config, n, long_pct, K_PCT, 1));
-            let id = BenchmarkId::new(config.label(), n);
-            group.bench_with_input(id, &n, |b, _| {
-                b.iter(|| black_box(run_count(config, black_box(&tuples))))
+            group.bench(&format!("{} / {n}", config.label()), || {
+                run_count(config, &tuples)
             });
         }
     }
-    group.finish();
 }
 
 /// Figure 7: ordered relations, no long-lived tuples.
-fn fig7(c: &mut Criterion) {
-    ordered_figure(c, "fig7_ordered_no_long_lived", 0);
+fn fig7() {
+    ordered_figure("fig7_ordered_no_long_lived", 0);
 }
 
 /// Figure 8: ordered relations, 80% long-lived tuples.
-fn fig8(c: &mut Criterion) {
-    ordered_figure(c, "fig8_ordered_80pct_long_lived", 80);
+fn fig8() {
+    ordered_figure("fig8_ordered_80pct_long_lived", 80);
 }
 
-criterion_group!(benches, fig6, fig7, fig8);
-criterion_main!(benches);
+fn main() {
+    fig6();
+    fig7();
+    fig8();
+}

@@ -160,6 +160,7 @@ fn table1() {
     let mut tree = tempagg_algo::AggregationTree::new(tempagg_agg::Count);
     use tempagg_algo::TemporalAggregator;
     for (_, _, iv) in employed_tuples() {
+        // lint: allow(no-unwrap): fixed Table 1 fixture on the unbounded timeline cannot be out of domain
         tree.push(iv, ()).expect("Employed tuples fit the timeline");
     }
     let series = tree.finish();
@@ -177,6 +178,7 @@ fn table1() {
     let mut catalog = tempagg_sql::Catalog::new();
     catalog.register("Employed", employed_relation());
     let result = tempagg_sql::execute_str(&catalog, "SELECT COUNT(Name) FROM Employed E")
+        // lint: allow(no-unwrap): the harness demos a hard-coded query; a parse failure should abort loudly
         .expect("the paper's query parses and runs");
     println!("\nSQL front end:\n\n{result}");
 }
@@ -389,6 +391,7 @@ fn aggregate_kinds(options: &Options) {
                 let mut tree = AggregationTree::new(agg.clone());
                 let started = Instant::now();
                 for &(iv, v) in tuples {
+                    // lint: allow(no-unwrap): generator output always lies on the unbounded timeline
                     tree.push(iv, to_input(v)).expect("tuples fit the timeline");
                 }
                 let bytes = tree.memory().peak_model_bytes();
@@ -402,9 +405,11 @@ fn aggregate_kinds(options: &Options) {
     }
 
     let relation = generate(&WorkloadConfig::random(n).with_seed(1));
+    // lint: allow(no-unwrap): the workload generator always emits a salary column
     let salary_idx = relation.schema().index_of("salary").expect("salary column");
     let tuples: Vec<(Interval, i64)> = relation
         .iter()
+        // lint: allow(no-unwrap): generated salaries are always integers
         .map(|t| (t.valid(), t.value(salary_idx).as_i64().expect("int salary")))
         .collect();
 
@@ -496,8 +501,10 @@ fn ablation(options: &Options) {
             Interval::at(0, 999_999),
             span,
         )
+        // lint: allow(no-unwrap): the window and span are hard-coded valid benchmark parameters
         .expect("bounded window");
         for &(iv, ()) in &tuples {
+            // lint: allow(no-unwrap): SpanGrouper::push clips and never errors
             grouper.push(iv, ()).expect("in-window");
         }
         let memory = grouper.memory();
@@ -526,8 +533,10 @@ fn ablation(options: &Options) {
         let started = std::time::Instant::now();
         let mut paged =
             tempagg_algo::PagedAggregationTree::new(tempagg_agg::Count, domain, regions)
+                // lint: allow(no-unwrap): the benchmark domain and region counts are hard-coded valid parameters
                 .expect("bounded domain");
         for &(iv, ()) in &tuples {
+            // lint: allow(no-unwrap): tuples are generated inside the hard-coded lifespan
             paged.push(iv, ()).expect("tuples fit the lifespan");
         }
         let buffered = paged.buffered_entries();

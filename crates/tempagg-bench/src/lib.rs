@@ -1,11 +1,13 @@
 //! # tempagg-bench
 //!
 //! Shared machinery for the figure-regeneration harness (`harness` binary)
-//! and the Criterion micro-benchmarks: named algorithm configurations,
-//! timed single runs, and multi-seed medians.
+//! and the timing micro-benchmarks under `benches/`: named algorithm
+//! configurations, timed single runs, and multi-seed medians.
 
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+
+pub mod timing;
 
 use std::time::{Duration, Instant};
 use tempagg_agg::Count;
@@ -65,6 +67,7 @@ pub fn run_count(config: AlgoConfig, tuples: &[(Interval, ())]) -> RunMeasuremen
         for &(iv, ()) in tuples {
             aggregator
                 .push(iv, ())
+                // lint: allow(no-unwrap): measurement must abort on a misconfigured scenario, not skew timings with handling
                 .expect("benchmark tuples fit the configuration");
         }
         let memory = aggregator.memory();
@@ -79,9 +82,11 @@ pub fn run_count(config: AlgoConfig, tuples: &[(Interval, ())]) -> RunMeasuremen
         AlgoConfig::LinkedList => drive(LinkedListAggregate::new(Count), tuples),
         AlgoConfig::AggregationTree => drive(AggregationTree::new(Count), tuples),
         AlgoConfig::KTree { k } => {
+            // lint: allow(no-unwrap): scenario configs only carry k >= 1
             drive(KOrderedAggregationTree::new(Count, k).expect("k >= 1"), tuples)
         }
         AlgoConfig::KTreeSorted => {
+            // lint: allow(no-unwrap): k = 1 always satisfies the constructor
             drive(KOrderedAggregationTree::new(Count, 1).expect("k = 1 is valid"), tuples)
         }
         AlgoConfig::TwoScan => drive(TwoScanAggregate::new(Count), tuples),

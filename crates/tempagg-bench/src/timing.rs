@@ -1,0 +1,113 @@
+//! A minimal, dependency-free timing harness for the `benches/` targets.
+//!
+//! Mirrors the shape of a Criterion benchmark group — named groups, labeled
+//! benchmarks, warm-up then measured samples — at a fraction of the
+//! machinery: each benchmark runs a short warm-up, then `samples` timed
+//! iterations, and prints min / median / mean wall-clock times. Run with
+//! `cargo bench -p tempagg-bench` (each bench target is a plain `main`).
+
+use std::time::{Duration, Instant};
+
+/// One named group of benchmarks; prints a header on creation and aligned
+/// result rows as benchmarks complete.
+#[derive(Debug)]
+pub struct Group {
+    name: &'static str,
+    warm_up: Duration,
+    samples: usize,
+}
+
+impl Group {
+    pub fn new(name: &'static str) -> Group {
+        println!("\n== {name} ==");
+        Group {
+            name,
+            warm_up: Duration::from_millis(200),
+            samples: 10,
+        }
+    }
+
+    /// Number of measured iterations per benchmark (default 10).
+    pub fn samples(mut self, n: usize) -> Group {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before measurement (default 200 ms).
+    pub fn warm_up(mut self, d: Duration) -> Group {
+        self.warm_up = d;
+        self
+    }
+
+    /// Time `f`, printing one result row. The closure's return value is
+    /// consumed with a black-box sink so the work is not optimized away.
+    pub fn bench<T>(&self, label: &str, mut f: impl FnMut() -> T) {
+        // Warm-up: run until the budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "  {label:<44} min {:>11} | median {:>11} | mean {:>11}",
+            fmt(min),
+            fmt(median),
+            fmt(mean)
+        );
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", d.as_secs_f64() * 1e6)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.3} s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let g = Group::new("timing-self-test")
+            .samples(3)
+            .warm_up(Duration::from_millis(1));
+        let mut calls = 0u32;
+        g.bench("noop", || calls += 1);
+        // Warm-up at least once plus 3 samples.
+        assert!(calls >= 4);
+        assert_eq!(g.name(), "timing-self-test");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt(Duration::from_secs(2)).ends_with('s'));
+    }
+}

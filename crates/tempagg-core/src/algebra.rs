@@ -27,6 +27,7 @@ pub fn timeslice(relation: &TemporalRelation, t: Timestamp) -> TemporalRelation 
     for tuple in relation {
         if tuple.valid().contains(t) {
             out.push_tuple(tuple.clone().with_valid(Interval::instant(t)))
+                // lint: allow(no-unwrap): the output relation reuses the input's schema verbatim
                 .expect("schema unchanged");
         }
     }
@@ -40,6 +41,7 @@ pub fn window(relation: &TemporalRelation, window: Interval) -> TemporalRelation
     for tuple in relation {
         if let Some(clipped) = tuple.valid().intersect(&window) {
             out.push_tuple(tuple.clone().with_valid(clipped))
+                // lint: allow(no-unwrap): the output relation reuses the input's schema verbatim
                 .expect("schema unchanged");
         }
     }
@@ -54,6 +56,7 @@ pub fn select(
     let mut out = TemporalRelation::new(relation.schema().clone());
     for tuple in relation {
         if pred(tuple) {
+            // lint: allow(no-unwrap): the output relation reuses the input's schema verbatim
             out.push_tuple(tuple.clone()).expect("schema unchanged");
         }
     }
@@ -121,6 +124,7 @@ fn subtract_intervals(iv: Interval, holes: &[Interval]) -> Vec<Interval> {
         };
         if overlap.start() > cursor {
             out.push(
+                // lint: allow(no-unwrap): the branch condition overlap.start() > cursor makes the bounds ordered
                 Interval::new(cursor, overlap.start().prev()).expect("cursor precedes overlap"),
             );
         }
@@ -130,6 +134,7 @@ fn subtract_intervals(iv: Interval, holes: &[Interval]) -> Vec<Interval> {
         }
     }
     if cursor <= iv.end() {
+        // lint: allow(no-unwrap): guarded by cursor <= iv.end() directly above
         out.push(Interval::new(cursor, iv.end()).expect("cursor within interval"));
     }
     out

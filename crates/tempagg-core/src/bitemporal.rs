@@ -184,6 +184,7 @@ impl BitemporalRelation {
         for version in &self.versions {
             if version.transaction.contains(tt) {
                 out.push(version.values.to_vec(), version.valid)
+                    // lint: allow(no-unwrap): every stored version passed the same schema check when inserted
                     .expect("versions were schema-checked on insert");
             }
         }

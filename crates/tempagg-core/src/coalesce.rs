@@ -38,6 +38,7 @@ pub fn eliminate_duplicates(relation: &TemporalRelation) -> TemporalRelation {
     for tuple in sorted {
         if prev != Some(tuple) {
             out.push_tuple(tuple.clone())
+                // lint: allow(no-unwrap): the tuple was schema-checked when its source relation accepted it
                 .expect("tuples come from a schema-checked relation");
         }
         prev = Some(tuple);
@@ -64,6 +65,7 @@ pub fn coalesce_tuples(relation: &TemporalRelation) -> TemporalRelation {
                     pending = Some(current.with_valid(merged));
                 } else {
                     out.push_tuple(current)
+                        // lint: allow(no-unwrap): the tuple was schema-checked when its source relation accepted it
                         .expect("tuples come from a schema-checked relation");
                     pending = Some(tuple.clone());
                 }
@@ -72,6 +74,7 @@ pub fn coalesce_tuples(relation: &TemporalRelation) -> TemporalRelation {
     }
     if let Some(current) = pending {
         out.push_tuple(current)
+            // lint: allow(no-unwrap): the tuple was schema-checked when its source relation accepted it
             .expect("tuples come from a schema-checked relation");
     }
     out

@@ -41,6 +41,18 @@ pub enum TempAggError {
     Sql { line: u32, column: u32, detail: String },
     /// A catalog lookup failed.
     UnknownRelation { name: String },
+    /// An internal invariant did not hold. Seeing this error is a bug in
+    /// the algorithms, not in the caller's input; it exists so defensive
+    /// checks in library code can surface corruption as a `Result` instead
+    /// of panicking mid-scan.
+    Internal { detail: String },
+}
+
+impl TempAggError {
+    /// Shorthand for [`TempAggError::Internal`].
+    pub fn internal(detail: impl Into<String>) -> TempAggError {
+        TempAggError::Internal { detail: detail.into() }
+    }
 }
 
 impl fmt::Display for TempAggError {
@@ -80,6 +92,9 @@ impl fmt::Display for TempAggError {
             TempAggError::UnknownRelation { name } => {
                 write!(f, "unknown relation `{name}`")
             }
+            TempAggError::Internal { detail } => {
+                write!(f, "internal invariant violated (this is a bug): {detail}")
+            }
         }
     }
 }
@@ -113,6 +128,10 @@ mod tests {
             detail: "expected FROM".into(),
         };
         assert!(e.to_string().contains("1:8"));
+
+        let e = TempAggError::internal("frontier regressed");
+        assert!(e.to_string().contains("bug"));
+        assert!(e.to_string().contains("frontier regressed"));
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl Interval {
     #[inline]
     #[track_caller]
     pub fn at(start: i64, end: i64) -> Interval {
+        // lint: allow(no-unwrap): `at` is the documented panicking literal constructor; fallible callers use `new`
         Interval::new(start, end).expect("interval literal must have start <= end")
     }
 

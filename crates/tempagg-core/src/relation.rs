@@ -126,6 +126,7 @@ impl TemporalRelation {
         let mut slots: Vec<Option<Tuple>> = old.into_iter().map(Some).collect();
         self.tuples = perm
             .iter()
+            // lint: allow(no-unwrap): `perm` is a sort permutation of 0..len, so every slot is taken exactly once
             .map(|&p| slots[p].take().expect("permutation is injective"))
             .collect();
     }

@@ -59,6 +59,7 @@ impl Schema {
                 .map(|(n, t)| Column::new(*n, *t))
                 .collect::<Vec<_>>(),
         )
+        // lint: allow(no-unwrap): compile-time schema literals are reviewed by hand; duplicates are programmer error
         .expect("static schema literals must not contain duplicates")
     }
 

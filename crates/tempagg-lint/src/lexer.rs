@@ -1,0 +1,384 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! repo-specific lint rules.
+//!
+//! It distinguishes identifiers, punctuation, literals (string, raw string,
+//! byte string, char, number), lifetimes, and comments, and records the line
+//! number of every token. It deliberately does *not* parse: the rules work
+//! on the token stream plus light structural cues (brace depth, attribute
+//! spans) which the lexer exposes.
+
+/// What kind of token was lexed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `as`, ...).
+    Ident,
+    /// Any single punctuation character (`.`, `(`, `{`, `!`, ...).
+    Punct,
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// Numeric literal (`42`, `0x1F`, `1.5e3`, `2u64`).
+    Number,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// `// ...` line comment or `/* ... */` block comment (nesting handled).
+    Comment,
+}
+
+/// One lexed token. `text` borrows from the source.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl<'a> Token<'a> {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.chars().next() == Some(c)
+    }
+}
+
+/// Lex `src` into tokens, keeping comments (rules use them for
+/// `lint: allow` suppressions). Unterminated constructs are tolerated —
+/// the lexer always terminates and simply ends the token at end-of-file.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment(start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment(start, line);
+                }
+                b'"' => self.take_string(start, line),
+                b'r' | b'b' if self.starts_raw_or_byte_literal() => {
+                    self.take_prefixed_literal(start, line);
+                }
+                b'\'' => self.take_char_or_lifetime(start, line),
+                b'0'..=b'9' => self.take_number(start, line),
+                _ if is_ident_start(b) => self.take_ident(start, line),
+                _ => {
+                    self.pos += 1;
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    fn bump_counting_newlines(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn take_line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Comment, start, line);
+    }
+
+    fn take_block_comment(&mut self, start: usize, line: u32) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_counting_newlines();
+            }
+        }
+        self.push(TokenKind::Comment, start, line);
+    }
+
+    fn take_string(&mut self, start: usize, line: u32) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() {
+                        self.bump_counting_newlines();
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump_counting_newlines(),
+            }
+        }
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    /// `r"..."`, `r#"..."#`, `b"..."`, `br##"..."##`, or plain identifiers
+    /// starting with `r`/`b` — this predicate decides which.
+    fn starts_raw_or_byte_literal(&self) -> bool {
+        let mut i = 1;
+        if self.bytes[self.pos] == b'b' && self.peek(i) == Some(b'r') {
+            i += 1;
+        }
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        matches!(self.peek(i), Some(b'"')) || (i == 1 && self.peek(1) == Some(b'\''))
+    }
+
+    fn take_prefixed_literal(&mut self, start: usize, line: u32) {
+        if self.bytes[self.pos] == b'b' && self.peek(1) == Some(b'\'') {
+            // Byte char literal b'x'.
+            self.pos += 1;
+            self.take_char_body();
+            self.push(TokenKind::Literal, start, line);
+            return;
+        }
+        if self.bytes[self.pos] == b'b' && self.peek(1) == Some(b'"') {
+            // Byte string b"..." — escape-aware, unlike raw strings.
+            self.pos += 1;
+            self.take_string(start, line);
+            return;
+        }
+        // Skip the r/b/br prefix.
+        self.pos += 1;
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b'r' {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            // Not actually a literal (e.g. `r#macro` raw identifier); treat
+            // the prefix as an identifier and continue from here.
+            self.take_ident(start, line);
+            return;
+        }
+        self.pos += 1; // opening quote
+        'scan: while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                // A close requires `"` followed by exactly `hashes` hashes.
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    break 'scan;
+                }
+            }
+            self.bump_counting_newlines();
+        }
+        self.push(TokenKind::Literal, start, line);
+    }
+
+    fn take_char_body(&mut self) {
+        // self.pos is at the opening quote.
+        self.pos += 1;
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 2;
+        } else if self.pos < self.bytes.len() {
+            self.bump_counting_newlines();
+        }
+        // Multi-byte chars: scan to the closing quote (bounded).
+        let mut guard = 0;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' && guard < 8 {
+            self.pos += 1;
+            guard += 1;
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    fn take_char_or_lifetime(&mut self, start: usize, line: u32) {
+        // `'a` / `'static` (lifetime) vs `'x'` (char literal): a lifetime is
+        // a quote, an ident, and *no* closing quote.
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = match (next, after) {
+            (Some(n), Some(a)) => is_ident_start(n) && a != b'\'',
+            (Some(n), None) => is_ident_start(n),
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos += 1;
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Lifetime, start, line);
+        } else {
+            self.take_char_body();
+            self.push(TokenKind::Literal, start, line);
+        }
+    }
+
+    fn take_number(&mut self, start: usize, line: u32) {
+        // Numbers including type suffixes, underscores, hex/oct/bin, floats
+        // and exponents. `1.method()` must not swallow the dot: only treat
+        // `.` as part of the number when followed by a digit.
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else if b == b'.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                self.pos += 1;
+            } else if (b == b'+' || b == b'-')
+                && matches!(self.bytes[self.pos - 1], b'e' | b'E')
+                && !self.src[start..self.pos].starts_with("0x")
+                && !self.src[start..self.pos].starts_with("0X")
+            {
+                // Exponent sign (1e-3). Hex literals (0xE-1) stay split.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, start, line);
+    }
+
+    fn take_ident(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = kinds("fn main() { x.unwrap(); }");
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap")));
+        assert!(toks.contains(&(TokenKind::Punct, "(")));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = kinds(r#"let s = "calls unwrap() inside";"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Literal));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; x.unwrap()"###);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+        let lit = toks.iter().find(|(k, _)| *k == TokenKind::Literal).unwrap();
+        assert!(lit.1.contains("quote"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* nested */ still comment */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert_eq!(toks[1], (TokenKind::Ident, "ident"));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let toks = kinds("1.max(2); 1.5e-3; 0xFF_u64");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "max"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && *t == "1.5e-3"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && *t == "0xFF_u64"));
+    }
+
+    #[test]
+    fn comments_survive_with_text() {
+        let toks = lex("x(); // lint: allow justified\ny();");
+        let c = toks.iter().find(|t| t.kind == TokenKind::Comment).unwrap();
+        assert!(c.text.contains("lint: allow"));
+        assert_eq!(c.line, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! `tempagg-lint` — the workspace's own static-analysis pass.
+//!
+//! Run as `cargo run -p tempagg-lint` from anywhere in the workspace (or
+//! pass an explicit root: `cargo run -p tempagg-lint -- path/to/tree`).
+//! Walks every crate's `src/` tree plus the root crate's `src/`, lexes each
+//! file with a hand-rolled lexer, and enforces the rules in [`rules`]:
+//!
+//! * `no-unwrap` — no `.unwrap()` / `.expect()` / `panic!` family in
+//!   non-test library code
+//! * `no-raw-i64-arith` — raw timestamp arithmetic only inside
+//!   `tempagg-core`
+//! * `no-as-cast` — no `as` casts in `tempagg-algo` / `tempagg-agg`
+//! * `forbid-unsafe` — `#![forbid(unsafe_code)]` in every crate root
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 I/O failure. Diagnostics are
+//! `path:line: rule: message`, one per line, sorted by path.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("tempagg-lint: cannot locate workspace root: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // `src/` directly under the workspace root is the facade package; when
+    // the argument is a single crate subtree instead, its basename is the
+    // crate whose rules apply (so e.g. tempagg-core keeps its arithmetic
+    // privileges when linted alone).
+    let root_pkg = if root.join("crates").is_dir() {
+        "temporal-aggregates".to_string()
+    } else {
+        root.file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("temporal-aggregates")
+            .to_string()
+    };
+
+    let mut files = Vec::new();
+    if let Err(e) = collect_lintable_files(&root, &mut files) {
+        eprintln!("tempagg-lint: {e}");
+        return ExitCode::from(2);
+    }
+    files.sort();
+
+    let mut violations = 0usize;
+    let mut scanned = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("tempagg-lint: {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        scanned += 1;
+        let ctx = rules::FileContext {
+            crate_name: crate_of(&root, &root_pkg, file),
+            is_crate_root: is_crate_root(file),
+        };
+        let tokens = lexer::lex(&src);
+        for v in rules::check_file(ctx, &tokens) {
+            let rel = file.strip_prefix(&root).unwrap_or(file);
+            println!("{}:{}: {}: {}", rel.display(), v.line, v.rule, v.message);
+            violations += 1;
+        }
+    }
+
+    if violations > 0 {
+        eprintln!(
+            "tempagg-lint: {violations} violation(s) in {scanned} file(s) — \
+             fix, or justify with `// lint: allow(<rule>): <why>`"
+        );
+        ExitCode::from(1)
+    } else {
+        eprintln!("tempagg-lint: clean ({scanned} files)");
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: an explicit CLI argument, else two levels above this
+/// crate's manifest (`crates/tempagg-lint` → repo root).
+fn workspace_root() -> Result<PathBuf, String> {
+    if let Some(arg) = std::env::args().nth(1) {
+        let p = PathBuf::from(arg);
+        if !p.is_dir() {
+            return Err(format!("{} is not a directory", p.display()));
+        }
+        return Ok(p);
+    }
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .map_err(|_| "CARGO_MANIFEST_DIR unset and no root argument given".to_string())?;
+    Path::new(&manifest)
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| format!("{manifest} has no grandparent"))
+}
+
+/// Every `.rs` file under a `src/` tree of the root package or a member
+/// crate. `tests/`, `benches/`, and `examples/` trees are exempt by
+/// design: the rules target *library* code. A root without a `crates/`
+/// directory is fine — that is how a single crate subtree is linted.
+fn collect_lintable_files(root: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    walk_src(&root.join("src"), out)?;
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        if out.is_empty() {
+            return Err(format!("no src/ or crates/ under {}", root.display()));
+        }
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(&crates)
+        .map_err(|e| format!("{}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", crates.display()))?;
+        if entry.path().is_dir() {
+            walk_src(&entry.path().join("src"), out)?;
+        }
+    }
+    Ok(())
+}
+
+fn walk_src(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+        if path.is_dir() {
+            walk_src(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Crate name from the path: `crates/<name>/src/...` → `<name>`; anything
+/// else (the root package's `src/`, or a single-crate root) belongs to
+/// `root_pkg`.
+fn crate_of<'a>(root: &Path, root_pkg: &'a str, file: &'a Path) -> &'a str {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let mut parts = rel.components();
+    match parts.next().and_then(|c| c.as_os_str().to_str()) {
+        Some("crates") => parts
+            .next()
+            .and_then(|c| c.as_os_str().to_str())
+            .unwrap_or("unknown"),
+        _ => root_pkg,
+    }
+}
+
+fn is_crate_root(file: &Path) -> bool {
+    let name = file.file_name().and_then(|n| n.to_str());
+    let parent_is_src = file
+        .parent()
+        .and_then(|p| p.file_name())
+        .and_then(|n| n.to_str())
+        == Some("src");
+    parent_is_src && matches!(name, Some("lib.rs" | "main.rs"))
+}

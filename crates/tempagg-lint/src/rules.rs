@@ -1,0 +1,482 @@
+//! The repo-specific lint rules, evaluated over the token stream of one
+//! source file.
+//!
+//! Rules:
+//!
+//! * `no-unwrap` — no `.unwrap()` / `.expect(...)` / `panic!` family in
+//!   non-test library code. Suppress a deliberate site with a
+//!   `// lint: allow(no-unwrap): <justification>` comment on the same or
+//!   the preceding line; the justification must be non-empty.
+//! * `no-raw-i64-arith` — outside `tempagg-core`, the raw `i64` inside a
+//!   `Timestamp` (read via `.get()`) must not take part in arithmetic;
+//!   use the `Timestamp` / `Interval` methods so the closed-interval,
+//!   saturating discipline stays in one crate.
+//! * `no-as-cast` — no `as` casts in `tempagg-algo` / `tempagg-agg`
+//!   (silent truncation/sign-loss corrupts aggregates); use `From` /
+//!   `try_from`, or justify with an allow comment.
+//! * `forbid-unsafe` — every crate root must carry
+//!   `#![forbid(unsafe_code)]`.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Per-file facts the rules need beyond the tokens.
+#[derive(Clone, Copy, Debug)]
+pub struct FileContext<'a> {
+    /// Crate the file belongs to (e.g. `tempagg-algo`).
+    pub crate_name: &'a str,
+    /// `true` for `src/lib.rs` / `src/main.rs` (drives `forbid-unsafe`).
+    pub is_crate_root: bool,
+}
+
+/// Crates whose algorithms must not use `as` casts.
+const NO_CAST_CRATES: &[&str] = &["tempagg-algo", "tempagg-agg"];
+
+/// The only crate allowed to do raw arithmetic on timestamp `i64`s.
+const TIME_ARITH_CRATE: &str = "tempagg-core";
+
+/// Panicking macros covered by `no-unwrap`.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run every applicable rule over one file's tokens.
+pub fn check_file(ctx: FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let code: Vec<&Token<'_>> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let in_test = test_spans(&code);
+    let allows = AllowComments::collect(tokens);
+
+    no_unwrap(&code, &in_test, &allows, &mut out);
+    if ctx.crate_name != TIME_ARITH_CRATE {
+        no_raw_i64_arith(&code, &in_test, &allows, &mut out);
+    }
+    if NO_CAST_CRATES.contains(&ctx.crate_name) {
+        no_as_cast(&code, &in_test, &allows, &mut out);
+    }
+    if ctx.is_crate_root {
+        forbid_unsafe(&code, &mut out);
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// `lint: allow` suppression comments, indexed by the lines they cover.
+struct AllowComments {
+    /// (line, optional rule name, has-justification).
+    entries: Vec<(u32, Option<String>, bool)>,
+}
+
+impl AllowComments {
+    fn collect(tokens: &[Token<'_>]) -> AllowComments {
+        let mut entries = Vec::new();
+        for t in tokens {
+            if t.kind != TokenKind::Comment {
+                continue;
+            }
+            let Some(idx) = t.text.find("lint: allow") else {
+                continue;
+            };
+            let rest = &t.text[idx + "lint: allow".len()..];
+            let (rule, after) = if let Some(stripped) = rest.strip_prefix('(') {
+                match stripped.split_once(')') {
+                    Some((name, tail)) => (Some(name.trim().to_string()), tail),
+                    None => (None, rest),
+                }
+            } else {
+                (None, rest)
+            };
+            let justification = after
+                .trim_start()
+                .strip_prefix(':')
+                .map(str::trim)
+                .is_some_and(|j| !j.is_empty());
+            // A multi-line block comment covers its last line too.
+            let end_line = t.line + t.text.matches('\n').count() as u32;
+            entries.push((end_line, rule, justification));
+        }
+        AllowComments { entries }
+    }
+
+    /// Is `line` suppressed for `rule` (same line or the line above)?
+    /// Returns `Some(justified)` when an allow comment applies.
+    fn applies(&self, rule: &str, line: u32) -> Option<bool> {
+        self.entries
+            .iter()
+            .filter(|(l, r, _)| {
+                (*l == line || l + 1 == line) && r.as_deref().map_or(true, |r| r == rule)
+            })
+            .map(|(_, _, justified)| *justified)
+            .max()
+    }
+}
+
+/// Push `violation` unless an allow comment suppresses it; an allow comment
+/// *without* a justification is itself reported.
+fn report(
+    allows: &AllowComments,
+    out: &mut Vec<Violation>,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) {
+    match allows.applies(rule, line) {
+        Some(true) => {}
+        Some(false) => out.push(Violation {
+            rule,
+            line,
+            message: format!(
+                "`lint: allow` without a justification — write `// lint: allow({rule}): <why>`"
+            ),
+        }),
+        None => out.push(Violation { rule, line, message }),
+    }
+}
+
+/// Mark the token spans inside `#[cfg(test)]`-gated items. Returns one flag
+/// per code token.
+fn test_spans(code: &[&Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if is_cfg_test_attr(code, i) {
+            // Skip past the attribute, then mark until the end of the item:
+            // either a `;` before any `{`, or the matching `}` of the first
+            // `{` opened.
+            let mut j = i + 7; // length of `# [ cfg ( test ) ]`
+            let mut depth = 0usize;
+            let mut opened = false;
+            while j < code.len() {
+                mask[j] = true;
+                if code[j].is_punct('{') {
+                    depth += 1;
+                    opened = true;
+                } else if code[j].is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        break;
+                    }
+                } else if code[j].is_punct(';') && !opened {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+fn is_cfg_test_attr(code: &[&Token<'_>], i: usize) -> bool {
+    code.len() >= i + 7
+        && code[i].is_punct('#')
+        && code[i + 1].is_punct('[')
+        && code[i + 2].is_ident("cfg")
+        && code[i + 3].is_punct('(')
+        && code[i + 4].is_ident("test")
+        && code[i + 5].is_punct(')')
+        && code[i + 6].is_punct(']')
+}
+
+fn no_unwrap(
+    code: &[&Token<'_>],
+    in_test: &[bool],
+    allows: &AllowComments,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` method calls.
+        if (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('('))
+        {
+            report(
+                allows,
+                out,
+                "no-unwrap",
+                t.line,
+                format!("`.{}()` in library code — return a `Result` instead", t.text),
+            );
+        }
+        // `panic!` family macros.
+        if PANIC_MACROS.contains(&t.text)
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('!'))
+        {
+            report(
+                allows,
+                out,
+                "no-unwrap",
+                t.line,
+                format!("`{}!` in library code — return a `Result` instead", t.text),
+            );
+        }
+    }
+}
+
+/// Arithmetic operator characters that turn a raw `.get()` read into raw
+/// timestamp arithmetic.
+fn is_arith(t: &Token<'_>) -> bool {
+    t.kind == TokenKind::Punct && matches!(t.text.chars().next(), Some('+' | '-' | '*' | '/' | '%'))
+}
+
+fn no_raw_i64_arith(
+    code: &[&Token<'_>],
+    in_test: &[bool],
+    allows: &AllowComments,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        // Match `. get ( )`, or the `pub` field read `. 0` (a lone `0`
+        // after a dot is tuple-field access — float literals like `1.0`
+        // lex as a single Number token and never hit this).
+        let is_get_call = code[i].is_ident("get")
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && matches!(code.get(i + 1), Some(t) if t.is_punct('('))
+            && matches!(code.get(i + 2), Some(t) if t.is_punct(')'));
+        let is_field_read = code[i].kind == TokenKind::Number
+            && code[i].text == "0"
+            && i > 0
+            && code[i - 1].is_punct('.');
+        if !is_get_call && !is_field_read {
+            continue;
+        }
+        // Index just past the whole read expression (`x.get()` or `x.0`).
+        let end = if is_get_call { i + 3 } else { i + 1 };
+        // `x.get() + ...` / `x.0 + ...` — operator immediately after.
+        let after = code.get(end).copied().filter(|t| is_arith(t));
+        // `... + x.get()` / `... + x.0` — operator immediately before a
+        // simple receiver.
+        let before = (i >= 3)
+            .then(|| {
+                let recv = code[i - 2];
+                let op = code[i - 3];
+                (recv.kind == TokenKind::Ident && is_arith(op)).then_some(op)
+            })
+            .flatten();
+        if after.is_some() || before.is_some() {
+            report(
+                allows,
+                out,
+                "no-raw-i64-arith",
+                code[i].line,
+                "raw i64 arithmetic on a timestamp — use Timestamp/Interval methods \
+                 so closed-interval discipline stays in tempagg-core"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn no_as_cast(
+    code: &[&Token<'_>],
+    in_test: &[bool],
+    allows: &AllowComments,
+    out: &mut Vec<Violation>,
+) {
+    let mut in_use = false;
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.is_ident("use") || t.is_ident("extern") {
+            in_use = true;
+        }
+        if in_use {
+            if t.is_punct(';') {
+                in_use = false;
+            }
+            continue;
+        }
+        if in_test[i] {
+            continue;
+        }
+        if t.is_ident("as") {
+            report(
+                allows,
+                out,
+                "no-as-cast",
+                t.line,
+                "`as` cast in an algorithm crate — use From/try_from, or justify \
+                 with `// lint: allow(no-as-cast): <why>`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn forbid_unsafe(code: &[&Token<'_>], out: &mut Vec<Violation>) {
+    let found = code.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    });
+    if !found {
+        out.push(Violation {
+            rule: "forbid-unsafe",
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(crate_name: &str, is_root: bool, src: &str) -> Vec<Violation> {
+        let tokens = lex(src);
+        check_file(
+            FileContext {
+                crate_name,
+                is_crate_root: is_root,
+            },
+            &tokens,
+        )
+    }
+
+    fn rules(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_and_panic() {
+        let vs = check(
+            "tempagg-plan",
+            false,
+            "fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"boom\"); unreachable!() }",
+        );
+        assert_eq!(rules(&vs), vec!["no-unwrap"; 4]);
+    }
+
+    #[test]
+    fn allow_comment_with_justification_suppresses() {
+        let src = "fn f() {\n    // lint: allow(no-unwrap): constructor documents the panic\n    x.unwrap();\n}";
+        assert!(check("tempagg-plan", false, src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_same_line_suppresses() {
+        let src = "fn f() { x.unwrap() } // lint: allow(no-unwrap): bootstrap only";
+        assert!(check("tempagg-plan", false, src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_violation() {
+        let src = "fn f() { x.unwrap() } // lint: allow(no-unwrap)";
+        let vs = check("tempagg-plan", false, src);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "fn f() { x.unwrap() } // lint: allow(no-as-cast): misdirected";
+        let vs = check("tempagg-plan", false, src);
+        assert_eq!(rules(&vs), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); y.expect(\"e\"); }\n}";
+        assert!(check("tempagg-plan", false, src).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_mod_is_linted_again() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); } }\nfn lib() { b.unwrap(); }";
+        let vs = check("tempagg-plan", false, src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_is_ignored() {
+        let src = "fn f() { let s = \"x.unwrap()\"; } // mentions .unwrap() freely";
+        assert!(check("tempagg-plan", false, src).is_empty());
+    }
+
+    #[test]
+    fn non_call_unwrap_ident_is_ignored() {
+        // A field or path named `unwrap` without a call is not a violation.
+        let src = "fn f() { let unwrap = 3; let _ = unwrap; }";
+        assert!(check("tempagg-plan", false, src).is_empty());
+    }
+
+    #[test]
+    fn raw_i64_arith_flagged_outside_core() {
+        let vs = check("tempagg-workload", false, "fn f() { let x = t.get() + 1; }");
+        assert_eq!(rules(&vs), vec!["no-raw-i64-arith"]);
+        let vs = check("tempagg-workload", false, "fn f() { let x = 1 + t.get(); }");
+        assert_eq!(rules(&vs), vec!["no-raw-i64-arith"]);
+    }
+
+    #[test]
+    fn raw_i64_field_access_arith_flagged_outside_core() {
+        // `Timestamp.0` is `pub`, so the field read is as much a bypass as
+        // `.get()` and gets the same treatment.
+        let vs = check("tempagg-algo", false, "fn f() { let x = t.0 + 1; }");
+        assert_eq!(rules(&vs), vec!["no-raw-i64-arith"]);
+        let vs = check("tempagg-algo", false, "fn f() { let x = 1 + t.0; }");
+        assert_eq!(rules(&vs), vec!["no-raw-i64-arith"]);
+        // Float literals are one token; a bare `.0` read without
+        // arithmetic is also fine.
+        assert!(check("tempagg-algo", false, "fn f() { let x = 2.0 + y; }").is_empty());
+        assert!(check("tempagg-algo", false, "fn f() { let x = t.0; }").is_empty());
+    }
+
+    #[test]
+    fn raw_i64_arith_allowed_in_core_and_comparisons_everywhere() {
+        assert!(check("tempagg-core", false, "fn f() { let x = t.get() + 1; }").is_empty());
+        assert!(check("tempagg-plan", false, "fn f() { if a.get() < b.get() {} }").is_empty());
+        // `get` with arguments (slice/map lookup) is not a timestamp read.
+        assert!(check("tempagg-plan", false, "fn f() { v.get(i + 1); }").is_empty());
+    }
+
+    #[test]
+    fn as_cast_flagged_only_in_algo_and_agg() {
+        let vs = check("tempagg-algo", false, "fn f() { let x = n as u64; }");
+        assert_eq!(rules(&vs), vec!["no-as-cast"]);
+        assert!(check("tempagg-sql", false, "fn f() { let x = n as u64; }").is_empty());
+    }
+
+    #[test]
+    fn use_as_rename_is_not_a_cast() {
+        let src = "use std::collections::HashMap as Map;\nfn f() { let m: Map<u8, u8>; }";
+        assert!(check("tempagg-algo", false, src).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_required_in_crate_roots() {
+        let vs = check("tempagg-core", true, "pub mod x;");
+        assert_eq!(rules(&vs), vec!["forbid-unsafe"]);
+        assert!(check("tempagg-core", true, "#![forbid(unsafe_code)]\npub mod x;").is_empty());
+        // Non-root files do not need the attribute.
+        assert!(check("tempagg-core", false, "pub fn f() {}").is_empty());
+    }
+}

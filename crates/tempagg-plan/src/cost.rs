@@ -180,6 +180,7 @@ pub fn plan_by_cost(
     scored.sort_by(|a, b| {
         a.total(model)
             .partial_cmp(&b.total(model))
+            // lint: allow(no-unwrap): cost formulas are sums and products of finite non-negative terms, never NaN
             .expect("costs are finite")
     });
     let best = scored[0].clone();

@@ -89,7 +89,7 @@ impl Parser {
         self.eat(&Token::Keyword(kw))
     }
 
-    fn expect(&mut self, token: Token) -> Result<()> {
+    fn expect_token(&mut self, token: Token) -> Result<()> {
         if self.eat(&token) {
             Ok(())
         } else {
@@ -101,7 +101,7 @@ impl Parser {
     }
 
     fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
-        self.expect(Token::Keyword(kw))
+        self.expect_token(Token::Keyword(kw))
     }
 
     fn ident(&mut self, what: &str) -> Result<String> {
@@ -217,7 +217,7 @@ impl Parser {
         self.expect_keyword(Keyword::Create)?;
         self.expect_keyword(Keyword::Table)?;
         let name = self.ident("table name")?;
-        self.expect(Token::LParen)?;
+        self.expect_token(Token::LParen)?;
         let mut columns = Vec::new();
         loop {
             let col = self.ident("column name")?;
@@ -237,7 +237,7 @@ impl Parser {
                 break;
             }
         }
-        self.expect(Token::RParen)?;
+        self.expect_token(Token::RParen)?;
         Ok(Statement::CreateTable { name, columns })
     }
 
@@ -248,12 +248,12 @@ impl Parser {
         self.expect_keyword(Keyword::Values)?;
         let mut rows = Vec::new();
         loop {
-            self.expect(Token::LParen)?;
+            self.expect_token(Token::LParen)?;
             let mut values = vec![self.literal()?];
             while self.eat(&Token::Comma) {
                 values.push(self.literal()?);
             }
-            self.expect(Token::RParen)?;
+            self.expect_token(Token::RParen)?;
             self.expect_keyword(Keyword::Valid)?;
             let valid = self.interval_literal()?;
             rows.push((values, valid));
@@ -281,13 +281,16 @@ impl Parser {
                     temporal_grouping = TemporalGrouping::Instant;
                 } else if self.eat_keyword(Keyword::Span) {
                     let count = self.int("span length")?;
-                    let len = match self.peek() {
-                        Some(Token::Ident(word)) if TimeUnit::parse(word).is_some() => {
-                            let unit = TimeUnit::parse(word).expect("just checked");
+                    let unit = match self.peek() {
+                        Some(Token::Ident(word)) => TimeUnit::parse(word),
+                        _ => None,
+                    };
+                    let len = match unit {
+                        Some(unit) => {
                             self.pos += 1;
                             self.calendar.span(count, unit)?
                         }
-                        _ => count,
+                        None => count,
                     };
                     temporal_grouping = TemporalGrouping::Span(len);
                 } else {
@@ -324,14 +327,14 @@ impl Parser {
             self.pos -= 1;
             return Err(self.error_at(format!("unknown aggregate function `{name}`")));
         };
-        self.expect(Token::LParen)?;
+        self.expect_token(Token::LParen)?;
         if self.eat_keyword(Keyword::Distinct) {
             if kind != AggKind::Count {
                 self.pos -= 1;
                 return Err(self.error_at(format!("DISTINCT is only valid in COUNT, not {name}")));
             }
             let column = self.ident("column name")?;
-            self.expect(Token::RParen)?;
+            self.expect_token(Token::RParen)?;
             return Ok(AggExpr {
                 kind: AggKind::CountDistinct,
                 column: Some(column),
@@ -353,7 +356,7 @@ impl Parser {
                 column: Some(column),
             }
         };
-        self.expect(Token::RParen)?;
+        self.expect_token(Token::RParen)?;
         Ok(expr)
     }
 
@@ -392,15 +395,15 @@ impl Parser {
 
     /// `[ start , end | FOREVER ]`
     fn interval_literal(&mut self) -> Result<Interval> {
-        self.expect(Token::LBracket)?;
+        self.expect_token(Token::LBracket)?;
         let start = self.int("interval start")?;
-        self.expect(Token::Comma)?;
+        self.expect_token(Token::Comma)?;
         let end = if self.eat_keyword(Keyword::Forever) {
             Timestamp::FOREVER
         } else {
             Timestamp::new(self.int("interval end or FOREVER")?)
         };
-        self.expect(Token::RBracket)?;
+        self.expect_token(Token::RBracket)?;
         Interval::new(start, end)
     }
 }

@@ -1,209 +1,217 @@
-//! Property test: printing any statement AST and re-parsing it yields the
-//! same AST (`parse ∘ print = id`).
+//! Randomized round-trip test: printing any statement AST and re-parsing it
+//! yields the same AST (`parse ∘ print = id`). ASTs are generated with the
+//! workspace's deterministic [`StdRng`], seeded per case.
 
-use proptest::prelude::*;
 use tempagg_agg::AggKind;
 use tempagg_core::{Interval, Timestamp, Value, ValueType};
 use tempagg_sql::ast::{
     AggExpr, CompareOp, Condition, PlainSelect, Query, Statement, TemporalGrouping,
 };
 use tempagg_sql::parse_statement;
+use tempagg_workload::rng::StdRng;
+
+const CASES: u64 = 512;
 
 /// Identifiers that re-lex as plain identifiers: lowercase start, short,
 /// and not colliding with keywords / aggregate names / unit names / type
 /// names.
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,7}".prop_filter("reserved word", |s| {
+fn ident(rng: &mut StdRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    loop {
+        let len = rng.random_range(0usize..8);
+        let mut s = String::new();
+        s.push(FIRST[rng.random_range(0usize..FIRST.len())] as char);
+        for _ in 0..len {
+            s.push(REST[rng.random_range(0usize..REST.len())] as char);
+        }
         let upper = s.to_ascii_uppercase();
-        tempagg_sql::Keyword::parse(s).is_none()
-            && AggKind::parse(s).is_none()
-            && tempagg_core::TimeUnit::parse(s).is_none()
-            && !matches!(
+        let reserved = tempagg_sql::Keyword::parse(&s).is_some()
+            || AggKind::parse(&s).is_some()
+            || tempagg_core::TimeUnit::parse(&s).is_some()
+            || matches!(
                 upper.as_str(),
                 "INT" | "INTEGER" | "BIGINT" | "FLOAT" | "REAL" | "DOUBLE" | "STRING" | "TEXT"
                     | "VARCHAR" | "CHAR" | "BOOL" | "BOOLEAN"
-            )
-    })
+            );
+        if !reserved {
+            return s;
+        }
+    }
 }
 
 /// Literals that survive print → lex → parse exactly.
-fn literal() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (-1_000_000i64..1_000_000).prop_map(Value::Int),
-        (-1_000_000i64..1_000_000, 0u8..100)
-            .prop_map(|(i, frac)| Value::Float(i as f64 + frac as f64 / 100.0)),
-        "[a-zA-Z0-9 ']{0,12}".prop_map(Value::Str),
-        any::<bool>().prop_map(Value::Bool),
-        Just(Value::Null),
-    ]
+fn literal(rng: &mut StdRng) -> Value {
+    const STR_POOL: &[u8] = b"abcXYZ019 '";
+    match rng.random_range(0usize..5) {
+        0 => Value::Int(rng.random_range(-1_000_000i64..1_000_000)),
+        1 => {
+            let i = rng.random_range(-1_000_000i64..1_000_000);
+            let frac = rng.random_range(0i64..100);
+            Value::Float(i as f64 + frac as f64 / 100.0)
+        }
+        2 => {
+            let len = rng.random_range(0usize..=12);
+            Value::Str(
+                (0..len)
+                    .map(|_| STR_POOL[rng.random_range(0usize..STR_POOL.len())] as char)
+                    .collect(),
+            )
+        }
+        3 => Value::Bool(rng.random_bool(0.5)),
+        _ => Value::Null,
+    }
 }
 
-fn compare_op() -> impl Strategy<Value = CompareOp> {
-    prop_oneof![
-        Just(CompareOp::Eq),
-        Just(CompareOp::NotEq),
-        Just(CompareOp::Lt),
-        Just(CompareOp::LtEq),
-        Just(CompareOp::Gt),
-        Just(CompareOp::GtEq),
-    ]
+fn compare_op(rng: &mut StdRng) -> CompareOp {
+    match rng.random_range(0usize..6) {
+        0 => CompareOp::Eq,
+        1 => CompareOp::NotEq,
+        2 => CompareOp::Lt,
+        3 => CompareOp::LtEq,
+        4 => CompareOp::Gt,
+        _ => CompareOp::GtEq,
+    }
 }
 
-fn condition() -> impl Strategy<Value = Condition> {
-    (ident(), compare_op(), literal()).prop_map(|(column, op, value)| Condition {
-        column,
-        op,
-        value,
-    })
+fn condition(rng: &mut StdRng) -> Condition {
+    Condition {
+        column: ident(rng),
+        op: compare_op(rng),
+        value: literal(rng),
+    }
 }
 
-fn interval() -> impl Strategy<Value = Interval> {
-    prop_oneof![
-        (-10_000i64..10_000, 0i64..5_000)
-            .prop_map(|(s, len)| Interval::at(s, s + len)),
-        (-10_000i64..10_000).prop_map(Interval::from_start),
-    ]
+fn interval(rng: &mut StdRng) -> Interval {
+    if rng.random_bool(0.5) {
+        let s = rng.random_range(-10_000i64..10_000);
+        let len = rng.random_range(0i64..5_000);
+        Interval::at(s, s + len)
+    } else {
+        Interval::from_start(rng.random_range(-10_000i64..10_000))
+    }
 }
 
-fn agg_expr() -> impl Strategy<Value = AggExpr> {
-    prop_oneof![
-        Just(AggExpr {
+fn agg_expr(rng: &mut StdRng) -> AggExpr {
+    const KINDS: &[AggKind] = &[
+        AggKind::Count,
+        AggKind::CountDistinct,
+        AggKind::Sum,
+        AggKind::Min,
+        AggKind::Max,
+        AggKind::Avg,
+        AggKind::Variance,
+        AggKind::StdDev,
+    ];
+    if rng.random_bool(0.2) {
+        AggExpr {
             kind: AggKind::CountStar,
-            column: None
-        }),
-        (
-            prop_oneof![
-                Just(AggKind::Count),
-                Just(AggKind::CountDistinct),
-                Just(AggKind::Sum),
-                Just(AggKind::Min),
-                Just(AggKind::Max),
-                Just(AggKind::Avg),
-                Just(AggKind::Variance),
-                Just(AggKind::StdDev),
-            ],
-            ident()
-        )
-            .prop_map(|(kind, col)| AggExpr {
-                kind,
-                column: Some(col)
-            }),
-    ]
+            column: None,
+        }
+    } else {
+        AggExpr {
+            kind: KINDS[rng.random_range(0usize..KINDS.len())],
+            column: Some(ident(rng)),
+        }
+    }
 }
 
-fn temporal_grouping() -> impl Strategy<Value = TemporalGrouping> {
-    prop_oneof![
-        Just(TemporalGrouping::Instant),
-        (1i64..100_000).prop_map(TemporalGrouping::Span),
-    ]
+fn temporal_grouping(rng: &mut StdRng) -> TemporalGrouping {
+    if rng.random_bool(0.5) {
+        TemporalGrouping::Instant
+    } else {
+        TemporalGrouping::Span(rng.random_range(1i64..100_000))
+    }
 }
 
-fn query() -> impl Strategy<Value = Query> {
-    (
-        any::<bool>(),
-        any::<bool>(),
-        proptest::collection::vec(agg_expr(), 1..4),
-        ident(),
-        proptest::option::of(ident()),
-        proptest::collection::vec(condition(), 0..3),
-        proptest::option::of(interval()),
-        proptest::option::of(ident()),
-        temporal_grouping(),
-    )
-        .prop_map(
-            |(explain, snapshot, aggregates, relation, alias, conditions, valid_window, group_column, tg)| {
-                // SNAPSHOT forbids SPAN grouping; keep generated queries valid.
-                let snapshot = snapshot && tg == TemporalGrouping::Instant;
-                Query {
-                    explain,
-                    snapshot,
-                    aggregates,
-                    relation,
-                    alias,
-                    conditions,
-                    valid_window,
-                    group_column,
-                    temporal_grouping: tg,
-                }
-            },
-        )
+fn maybe<T>(rng: &mut StdRng, f: impl FnOnce(&mut StdRng) -> T) -> Option<T> {
+    rng.random_bool(0.5).then(|| f(rng))
 }
 
-fn plain_select() -> impl Strategy<Value = PlainSelect> {
-    (
-        proptest::option::of(proptest::collection::vec(ident(), 1..4)),
-        ident(),
-        proptest::option::of(ident()),
-        proptest::collection::vec(condition(), 0..3),
-        proptest::option::of(interval()),
-    )
-        .prop_map(|(columns, relation, alias, conditions, valid_window)| PlainSelect {
-            columns,
-            relation,
-            alias,
-            conditions,
-            valid_window,
-        })
+fn vec_of<T>(rng: &mut StdRng, lo: usize, hi: usize, f: impl Fn(&mut StdRng) -> T) -> Vec<T> {
+    let n = rng.random_range(lo..hi);
+    (0..n).map(|_| f(rng)).collect()
 }
 
-fn statement() -> impl Strategy<Value = Statement> {
-    let create = (
-        ident(),
-        proptest::collection::vec(
-            (
-                ident(),
-                prop_oneof![
-                    Just(ValueType::Int),
-                    Just(ValueType::Float),
-                    Just(ValueType::Str),
-                    Just(ValueType::Bool)
-                ],
-            ),
-            1..5,
-        ),
-    )
-        .prop_filter("duplicate column names", |(_, cols)| {
-            let mut names: Vec<&String> = cols.iter().map(|(n, _)| n).collect();
+fn query(rng: &mut StdRng) -> Query {
+    let tg = temporal_grouping(rng);
+    // SNAPSHOT forbids SPAN grouping; keep generated queries valid.
+    let snapshot = rng.random_bool(0.5) && tg == TemporalGrouping::Instant;
+    Query {
+        explain: rng.random_bool(0.5),
+        snapshot,
+        aggregates: vec_of(rng, 1, 4, agg_expr),
+        relation: ident(rng),
+        alias: maybe(rng, ident),
+        conditions: vec_of(rng, 0, 3, condition),
+        valid_window: maybe(rng, interval),
+        group_column: maybe(rng, ident),
+        temporal_grouping: tg,
+    }
+}
+
+fn plain_select(rng: &mut StdRng) -> PlainSelect {
+    PlainSelect {
+        columns: maybe(rng, |rng| vec_of(rng, 1, 4, ident)),
+        relation: ident(rng),
+        alias: maybe(rng, ident),
+        conditions: vec_of(rng, 0, 3, condition),
+        valid_window: maybe(rng, interval),
+    }
+}
+
+fn statement(rng: &mut StdRng) -> Statement {
+    const TYPES: &[ValueType] = &[
+        ValueType::Int,
+        ValueType::Float,
+        ValueType::Str,
+        ValueType::Bool,
+    ];
+    match rng.random_range(0usize..4) {
+        0 => Statement::Query(query(rng)),
+        1 => Statement::Select(plain_select(rng)),
+        2 => loop {
+            let columns = vec_of(rng, 1, 5, |rng| {
+                (ident(rng), TYPES[rng.random_range(0usize..TYPES.len())])
+            });
+            let mut names: Vec<&String> = columns.iter().map(|(n, _)| n).collect();
             names.sort();
             names.dedup();
-            names.len() == cols.len()
-        })
-        .prop_map(|(name, columns)| Statement::CreateTable { name, columns });
-
-    let insert = (
-        ident(),
-        proptest::collection::vec(
-            (proptest::collection::vec(literal(), 1..4), interval()),
-            1..4,
-        ),
-    )
-        .prop_map(|(relation, rows)| Statement::Insert { relation, rows });
-
-    prop_oneof![
-        query().prop_map(Statement::Query),
-        plain_select().prop_map(Statement::Select),
-        create,
-        insert,
-    ]
+            if names.len() == columns.len() {
+                break Statement::CreateTable {
+                    name: ident(rng),
+                    columns,
+                };
+            }
+        },
+        _ => Statement::Insert {
+            relation: ident(rng),
+            rows: vec_of(rng, 1, 4, |rng| (vec_of(rng, 1, 4, literal), interval(rng))),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn print_then_parse_is_identity(stmt in statement()) {
+#[test]
+fn print_then_parse_is_identity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x4141_0000 + case);
+        let stmt = statement(&mut rng);
         let printed = stmt.to_string();
         let reparsed = parse_statement(&printed)
-            .unwrap_or_else(|e| panic!("`{printed}` failed to parse: {e}"));
-        prop_assert_eq!(stmt, reparsed, "printed: `{}`", printed);
+            .unwrap_or_else(|e| panic!("`{printed}` failed to parse (case {case}): {e}"));
+        assert_eq!(stmt, reparsed, "printed: `{printed}` (case {case})");
     }
+}
 
-    #[test]
-    fn printing_is_stable(stmt in statement()) {
-        // print ∘ parse ∘ print = print.
+#[test]
+fn printing_is_stable() {
+    // print ∘ parse ∘ print = print.
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5757_0000 + case);
+        let stmt = statement(&mut rng);
         let once = stmt.to_string();
         let twice = parse_statement(&once).unwrap().to_string();
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
     }
 }
 

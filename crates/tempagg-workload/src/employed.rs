@@ -33,6 +33,7 @@ pub fn employed_relation() -> TemporalRelation {
     let mut r = TemporalRelation::new(employed_schema());
     for (name, salary, valid) in employed_tuples() {
         r.push(vec![Value::from(name), Value::Int(salary)], valid)
+            // lint: allow(no-unwrap): the fixture rows are written against the fixture schema two lines up
             .expect("example tuples match the schema");
     }
     r

@@ -9,8 +9,7 @@
 
 use crate::config::{TupleOrder, WorkloadConfig};
 use crate::perturb;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::StdRng;
 use std::sync::Arc;
 use tempagg_core::{Interval, Schema, TemporalRelation, Value, ValueType};
 
@@ -41,6 +40,7 @@ fn generate_interval(rng: &mut StdRng, config: &WorkloadConfig, long_lived: bool
     loop {
         let start = rng.random_range(0..lifespan);
         let length = if long_lived {
+            // lint: allow(no-raw-i64-arith): long_length_frac is an (f64, f64) fraction pair, not a timestamp
             let lo = (config.long_length_frac.0 * lifespan as f64) as i64;
             let hi = (config.long_length_frac.1 * lifespan as f64) as i64;
             rng.random_range(lo..=hi.max(lo))
@@ -52,6 +52,7 @@ fn generate_interval(rng: &mut StdRng, config: &WorkloadConfig, long_lived: bool
         // paper does (rather than clamping, which would skew the
         // distribution of end times).
         if end < lifespan {
+            // lint: allow(no-unwrap): end = start + (length - 1) with length >= 1, so the bounds are ordered
             return Interval::new(start, end).expect("length >= 1");
         }
     }
@@ -65,6 +66,7 @@ fn generate_interval(rng: &mut StdRng, config: &WorkloadConfig, long_lived: bool
 pub fn generate(config: &WorkloadConfig) -> TemporalRelation {
     config
         .validate()
+        // lint: allow(no-unwrap): generate is the documented panicking front end; fallible callers use validate()
         .unwrap_or_else(|e| panic!("invalid workload config: {e}"));
     let mut rng = StdRng::seed_from_u64(config.seed);
     let schema = workload_schema(config.payload_bytes > 0);
@@ -82,6 +84,7 @@ pub fn generate(config: &WorkloadConfig) -> TemporalRelation {
         }
         relation
             .push(values, interval)
+            // lint: allow(no-unwrap): the generator builds each row from the schema it just constructed
             .expect("generated tuples match the schema");
     }
 
@@ -108,12 +111,14 @@ pub fn salary_stream(relation: &TemporalRelation) -> Vec<(Interval, i64)> {
     let idx = relation
         .schema()
         .index_of("salary")
+        // lint: allow(no-unwrap): every generator schema includes a salary column
         .expect("workload relations have a salary column");
     relation
         .iter()
         .map(|t| {
             (
                 t.valid(),
+                // lint: allow(no-unwrap): generated salaries are always Value::Int
                 t.value(idx).as_i64().expect("salary is an integer"),
             )
         })

@@ -14,6 +14,7 @@ mod config;
 pub mod employed;
 mod generator;
 pub mod perturb;
+pub mod rng;
 pub mod storage;
 
 pub use config::{TupleOrder, WorkloadConfig};

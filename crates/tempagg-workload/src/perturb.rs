@@ -7,9 +7,7 @@
 //! takes `p·n/2` disjoint swaps (the paper's own Table 2 examples are built
 //! from such swaps).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use crate::rng::{SliceRandom, StdRng};
 use tempagg_core::TemporalRelation;
 
 /// Perturb a *sorted* relation into a k-ordered one with approximately the
@@ -72,6 +70,7 @@ pub fn order_by_bounded_arrival(relation: &mut TemporalRelation, max_delay: i64,
     relation.sort_by_time();
     let arrivals: Vec<i64> = relation
         .intervals()
+        // lint: allow(no-raw-i64-arith): arrival order is a synthetic sort key, not a point on the modeled time-line
         .map(|iv| iv.start().get() + if max_delay > 0 { rng.random_range(0..=max_delay) } else { 0 })
         .collect();
     let mut perm: Vec<usize> = (0..relation.len()).collect();

@@ -15,9 +15,7 @@
 //! compression); it models the paper's storage, not a production heap
 //! file.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use crate::rng::{SliceRandom, StdRng};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full correctness gate: build, tests, invariant-validated tests, lint.
+# Run from the workspace root. Any failing step fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (default features)"
+cargo test -q --workspace
+
+echo "==> cargo test --features validate (structural invariant validators)"
+cargo test -q --workspace --features validate
+
+echo "==> tempagg-lint"
+cargo run -q -p tempagg-lint
+
+echo "check.sh: all gates passed"

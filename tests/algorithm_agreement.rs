@@ -1,20 +1,32 @@
-//! Property-based agreement tests: every algorithm must produce exactly
-//! the series defined by the brute-force oracle, for arbitrary tuple sets
-//! and for the paper's generated workloads.
+//! Agreement tests: every algorithm must produce exactly the series defined
+//! by the brute-force oracle, for randomized tuple sets and for the paper's
+//! generated workloads.
+//!
+//! Inputs are drawn from the workspace's own deterministic [`StdRng`]
+//! (seeded per test), so failures reproduce exactly; shrinkers are replaced
+//! by printing the offending case number and seed in the assert message.
 
-use proptest::prelude::*;
 use temporal_aggregates::algo::oracle::oracle;
 use temporal_aggregates::prelude::*;
 use temporal_aggregates::run;
+use temporal_aggregates::workload::rng::StdRng;
 use temporal_aggregates::workload::{count_stream, generate, TupleOrder, WorkloadConfig};
 
+const CASES: u64 = 256;
+
 /// Arbitrary closed intervals over a small timeline (dense overlaps).
-fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (0i64..200, 0i64..60).prop_map(|(start, len)| Interval::at(start, start + len))
+fn random_interval(rng: &mut StdRng) -> Interval {
+    let start = rng.random_range(0i64..200);
+    let len = rng.random_range(0i64..60);
+    Interval::at(start, start + len)
 }
 
-fn tuples_strategy() -> impl Strategy<Value = Vec<(Interval, i64)>> {
-    proptest::collection::vec((interval_strategy(), -100i64..100), 0..40)
+/// 0..40 interval/value tuples.
+fn random_tuples(rng: &mut StdRng) -> Vec<(Interval, i64)> {
+    let n = rng.random_range(0usize..40);
+    (0..n)
+        .map(|_| (random_interval(rng), rng.random_range(-100i64..100)))
+        .collect()
 }
 
 fn run_all_count(tuples: &[(Interval, i64)]) -> Vec<(&'static str, Series<u64>)> {
@@ -32,21 +44,24 @@ fn run_all_count(tuples: &[(Interval, i64)]) -> Vec<(&'static str, Series<u64>)>
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn all_algorithms_match_the_oracle_for_count(tuples in tuples_strategy()) {
-        let count_tuples: Vec<(Interval, ())> =
-            tuples.iter().map(|&(iv, _)| (iv, ())).collect();
+#[test]
+fn all_algorithms_match_the_oracle_for_count() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0_0000 + case);
+        let tuples = random_tuples(&mut rng);
+        let count_tuples: Vec<(Interval, ())> = tuples.iter().map(|&(iv, _)| (iv, ())).collect();
         let expected = oracle(&Count, Interval::TIMELINE, &count_tuples);
         for (name, series) in run_all_count(&tuples) {
-            prop_assert_eq!(&series, &expected, "algorithm {} diverged", name);
+            assert_eq!(series, expected, "algorithm {name} diverged on case {case}");
         }
     }
+}
 
-    #[test]
-    fn all_algorithms_match_the_oracle_for_sum(tuples in tuples_strategy()) {
+#[test]
+fn all_algorithms_match_the_oracle_for_sum() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x50_0000 + case);
+        let tuples = random_tuples(&mut rng);
         let expected = oracle(&Sum::<i64>::new(), Interval::TIMELINE, &tuples);
         let items = || tuples.iter().copied();
         let n = tuples.len().max(1);
@@ -58,63 +73,73 @@ proptest! {
             run(BalancedAggregationTree::new(Sum::<i64>::new()), items()).unwrap(),
         ];
         for series in results {
-            prop_assert_eq!(&series, &expected);
+            assert_eq!(series, expected, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn min_max_avg_match_the_oracle_on_the_tree(tuples in tuples_strategy()) {
+#[test]
+fn min_max_avg_match_the_oracle_on_the_tree() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3A_0000 + case);
+        let tuples = random_tuples(&mut rng);
         let min_expected = oracle(&Min::<i64>::new(), Interval::TIMELINE, &tuples);
         let max_expected = oracle(&Max::<i64>::new(), Interval::TIMELINE, &tuples);
-        prop_assert_eq!(
+        assert_eq!(
             run(AggregationTree::new(Min::<i64>::new()), tuples.iter().copied()).unwrap(),
-            min_expected
+            min_expected,
+            "case {case}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             run(AggregationTree::new(Max::<i64>::new()), tuples.iter().copied()).unwrap(),
-            max_expected
+            max_expected,
+            "case {case}"
         );
         // AVG: compare with tolerance (floating point path order differs).
         let avg_expected = oracle(&Avg::<i64>::new(), Interval::TIMELINE, &tuples);
         let avg_actual =
             run(AggregationTree::new(Avg::<i64>::new()), tuples.iter().copied()).unwrap();
-        prop_assert_eq!(avg_actual.len(), avg_expected.len());
+        assert_eq!(avg_actual.len(), avg_expected.len(), "case {case}");
         for (a, b) in avg_actual.iter().zip(avg_expected.iter()) {
-            prop_assert_eq!(a.interval, b.interval);
+            assert_eq!(a.interval, b.interval, "case {case}");
             match (a.value, b.value) {
                 (None, None) => {}
-                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
-                other => prop_assert!(false, "mismatch {:?}", other),
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "case {case}"),
+                other => panic!("mismatch {other:?} on case {case}"),
             }
         }
     }
+}
 
-    #[test]
-    fn result_series_partitions_the_domain(tuples in tuples_strategy()) {
-        let count_tuples: Vec<(Interval, ())> =
-            tuples.iter().map(|&(iv, _)| (iv, ())).collect();
-        let series = run(
-            AggregationTree::new(Count),
-            count_tuples.iter().copied()
-        ).unwrap();
+#[test]
+fn result_series_partitions_the_domain() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD0_0000 + case);
+        let count_tuples: Vec<(Interval, ())> = random_tuples(&mut rng)
+            .iter()
+            .map(|&(iv, _)| (iv, ()))
+            .collect();
+        let series = run(AggregationTree::new(Count), count_tuples.iter().copied()).unwrap();
         // First entry starts at the domain start, last ends at ∞, and
         // consecutive entries meet exactly.
-        prop_assert_eq!(series.entries()[0].interval.start(), Timestamp::ORIGIN);
-        prop_assert!(series.entries().last().unwrap().interval.end().is_forever());
+        assert_eq!(series.entries()[0].interval.start(), Timestamp::ORIGIN);
+        assert!(series.entries().last().unwrap().interval.end().is_forever());
         for w in series.entries().windows(2) {
-            prop_assert!(w[0].interval.meets(&w[1].interval));
+            assert!(w[0].interval.meets(&w[1].interval), "case {case}");
         }
         // Consecutive constant intervals come from different tuple sets, so
         // after coalescing equal-count neighbours we can only shrink.
         let len = series.len();
-        prop_assert!(series.coalesce().len() <= len);
+        assert!(series.coalesce().len() <= len, "case {case}");
     }
+}
 
-    #[test]
-    fn paged_tree_matches_oracle_for_any_region_count(
-        tuples in tuples_strategy(),
-        regions in 1usize..40,
-    ) {
+#[test]
+fn paged_tree_matches_oracle_for_any_region_count() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9A_0000 + case);
+        let tuples = random_tuples(&mut rng);
+        let regions = rng.random_range(1usize..40);
         let domain = Interval::at(0, 299);
         let clipped: Vec<(Interval, ())> = tuples
             .iter()
@@ -126,33 +151,39 @@ proptest! {
             clipped.iter().copied(),
         )
         .unwrap();
-        prop_assert_eq!(paged, expected, "regions = {}", regions);
+        assert_eq!(paged, expected, "regions = {regions}, case {case}");
     }
+}
 
-    #[test]
-    fn ktree_accepts_any_k_at_least_the_measured_k(
-        tuples in tuples_strategy(),
-        extra in 0usize..5,
-    ) {
+#[test]
+fn ktree_accepts_any_k_at_least_the_measured_k() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1B_0000 + case);
+        let tuples = random_tuples(&mut rng);
+        let extra = rng.random_range(0usize..5);
         let ivs: Vec<Interval> = tuples.iter().map(|&(iv, _)| iv).collect();
         let measured = temporal_aggregates::sortedness::k_order(&ivs);
         let k = (measured + extra).max(1);
-        let count_tuples: Vec<(Interval, ())> =
-            tuples.iter().map(|&(iv, _)| (iv, ())).collect();
+        let count_tuples: Vec<(Interval, ())> = tuples.iter().map(|&(iv, _)| (iv, ())).collect();
         let expected = oracle(&Count, Interval::TIMELINE, &count_tuples);
         let got = run(
             KOrderedAggregationTree::new(Count, k).unwrap(),
             count_tuples.iter().copied(),
         )
         .unwrap();
-        prop_assert_eq!(got, expected, "measured k = {}, used k = {}", measured, k);
+        assert_eq!(got, expected, "measured k = {measured}, used k = {k}, case {case}");
     }
+}
 
-    #[test]
-    fn ktree_streaming_equals_batch(tuples in tuples_strategy()) {
+#[test]
+fn ktree_streaming_equals_batch() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57_0000 + case);
         // Sort, then stream with k = 1.
-        let mut sorted: Vec<(Interval, ())> =
-            tuples.iter().map(|&(iv, _)| (iv, ())).collect();
+        let mut sorted: Vec<(Interval, ())> = random_tuples(&mut rng)
+            .iter()
+            .map(|&(iv, _)| (iv, ()))
+            .collect();
         sorted.sort_by_key(|(iv, ())| (iv.start(), iv.end()));
         let expected = oracle(&Count, Interval::TIMELINE, &sorted);
 
@@ -163,7 +194,7 @@ proptest! {
             streamed.extend(tree.drain_ready());
         }
         streamed.extend(tree.finish().into_entries());
-        prop_assert_eq!(Series::from_entries(streamed), expected);
+        assert_eq!(Series::from_entries(streamed), expected, "case {case}");
     }
 }
 

@@ -1,94 +1,140 @@
-//! Property tests for the temporal data model's algebraic laws — the
-//! invariants every algorithm in the workspace leans on.
+//! Randomized tests for the temporal data model's algebraic laws — the
+//! invariants every algorithm in the workspace leans on. Cases are drawn
+//! from the workspace's deterministic [`StdRng`], seeded per test.
 
-use proptest::prelude::*;
 use temporal_aggregates::core::coalesce;
 use temporal_aggregates::prelude::*;
 use temporal_aggregates::sortedness;
+use temporal_aggregates::workload::rng::StdRng;
 use temporal_aggregates::{Schema, SeriesEntry, ValueType};
 
-fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (-500i64..500, 0i64..300).prop_map(|(s, len)| Interval::at(s, s + len))
+const CASES: u64 = 512;
+
+fn random_interval(rng: &mut StdRng) -> Interval {
+    let s = rng.random_range(-500i64..500);
+    let len = rng.random_range(0i64..300);
+    Interval::at(s, s + len)
 }
 
-fn timestamp_strategy() -> impl Strategy<Value = Timestamp> {
-    (-1000i64..1000).prop_map(Timestamp::new)
+fn random_timestamp(rng: &mut StdRng) -> Timestamp {
+    Timestamp::new(rng.random_range(-1000i64..1000))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn overlaps_is_symmetric(a in interval_strategy(), b in interval_strategy()) {
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+#[test]
+fn overlaps_is_symmetric() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0E_0000 + case);
+        let (a, b) = (random_interval(&mut rng), random_interval(&mut rng));
+        assert_eq!(a.overlaps(&b), b.overlaps(&a), "case {case}");
     }
+}
 
-    #[test]
-    fn covers_implies_overlaps(a in interval_strategy(), b in interval_strategy()) {
+#[test]
+fn covers_implies_overlaps() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0C_0000 + case);
+        // Nudge towards actual covers pairs: b is derived from a half the
+        // time, else independent.
+        let a = random_interval(&mut rng);
+        let b = if rng.random_bool(0.5) {
+            let s = rng.random_range(a.start().get()..=a.end().get());
+            let e = rng.random_range(s..=a.end().get());
+            Interval::at(s, e)
+        } else {
+            random_interval(&mut rng)
+        };
         if a.covers(&b) {
-            prop_assert!(a.overlaps(&b));
-            prop_assert!(a.duration() >= b.duration());
+            assert!(a.overlaps(&b), "case {case}");
+            assert!(a.duration() >= b.duration(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn intersect_agrees_with_overlaps(a in interval_strategy(), b in interval_strategy()) {
+#[test]
+fn intersect_agrees_with_overlaps() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x11_0000 + case);
+        let (a, b) = (random_interval(&mut rng), random_interval(&mut rng));
         match a.intersect(&b) {
             Some(i) => {
-                prop_assert!(a.overlaps(&b));
-                prop_assert!(a.covers(&i));
-                prop_assert!(b.covers(&i));
+                assert!(a.overlaps(&b), "case {case}");
+                assert!(a.covers(&i), "case {case}");
+                assert!(b.covers(&i), "case {case}");
                 // Intersection is the largest common sub-interval.
-                prop_assert_eq!(i.start(), a.start().max(b.start()));
-                prop_assert_eq!(i.end(), a.end().min(b.end()));
+                assert_eq!(i.start(), a.start().max(b.start()), "case {case}");
+                assert_eq!(i.end(), a.end().min(b.end()), "case {case}");
             }
-            None => prop_assert!(!a.overlaps(&b)),
+            None => assert!(!a.overlaps(&b), "case {case}"),
         }
     }
+}
 
-    #[test]
-    fn intersect_commutes(a in interval_strategy(), b in interval_strategy()) {
-        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+#[test]
+fn intersect_commutes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1C_0000 + case);
+        let (a, b) = (random_interval(&mut rng), random_interval(&mut rng));
+        assert_eq!(a.intersect(&b), b.intersect(&a), "case {case}");
     }
+}
 
-    #[test]
-    fn hull_contains_both_and_is_minimal(a in interval_strategy(), b in interval_strategy()) {
+#[test]
+fn hull_contains_both_and_is_minimal() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x40_0000 + case);
+        let (a, b) = (random_interval(&mut rng), random_interval(&mut rng));
         let h = a.hull(&b);
-        prop_assert!(h.covers(&a));
-        prop_assert!(h.covers(&b));
-        prop_assert!(h.start() == a.start() || h.start() == b.start());
-        prop_assert!(h.end() == a.end() || h.end() == b.end());
+        assert!(h.covers(&a), "case {case}");
+        assert!(h.covers(&b), "case {case}");
+        assert!(h.start() == a.start() || h.start() == b.start(), "case {case}");
+        assert!(h.end() == a.end() || h.end() == b.end(), "case {case}");
     }
+}
 
-    #[test]
-    fn splits_partition_exactly(iv in interval_strategy(), t in timestamp_strategy()) {
+#[test]
+fn splits_partition_exactly() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x59_0000 + case);
+        let iv = random_interval(&mut rng);
+        // Half the cases pick a point inside the interval so the split
+        // actually happens.
+        let t = if rng.random_bool(0.5) {
+            Timestamp::new(rng.random_range(iv.start().get()..=iv.end().get()))
+        } else {
+            random_timestamp(&mut rng)
+        };
         if let Some((left, right)) = iv.split_before(t) {
-            prop_assert!(left.meets(&right));
-            prop_assert_eq!(left.hull(&right), iv);
-            prop_assert_eq!(right.start(), t);
-            prop_assert_eq!(
-                left.duration() + right.duration(),
-                iv.duration()
-            );
+            assert!(left.meets(&right), "case {case}");
+            assert_eq!(left.hull(&right), iv, "case {case}");
+            assert_eq!(right.start(), t, "case {case}");
+            assert_eq!(left.duration() + right.duration(), iv.duration(), "case {case}");
         }
         if let Some((left, right)) = iv.split_after(t) {
-            prop_assert!(left.meets(&right));
-            prop_assert_eq!(left.hull(&right), iv);
-            prop_assert_eq!(left.end(), t);
+            assert!(left.meets(&right), "case {case}");
+            assert_eq!(left.hull(&right), iv, "case {case}");
+            assert_eq!(left.end(), t, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn contains_matches_interval_of_one(iv in interval_strategy(), t in timestamp_strategy()) {
-        prop_assert_eq!(iv.contains(t), iv.overlaps(&Interval::instant(t)));
+#[test]
+fn contains_matches_interval_of_one() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0_0000 + case);
+        let iv = random_interval(&mut rng);
+        let t = random_timestamp(&mut rng);
+        assert_eq!(iv.contains(t), iv.overlaps(&Interval::instant(t)), "case {case}");
     }
+}
 
-    #[test]
-    fn coalesce_is_idempotent_and_order_preserving(
-        values in proptest::collection::vec(0u64..3, 0..30)
-    ) {
+#[test]
+fn coalesce_is_idempotent_and_order_preserving() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC0A1 + case);
         // Build a contiguous series with small values so adjacent equals
         // are common.
+        let n = rng.random_range(0usize..30);
+        let values: Vec<u64> = (0..n).map(|_| rng.random_range(0u64..3)).collect();
         let mut entries = Vec::new();
         let mut start = 0i64;
         for (i, v) in values.iter().enumerate() {
@@ -99,91 +145,116 @@ proptest! {
         let series = Series::from_entries(entries);
         let once = series.clone().coalesce();
         let twice = once.clone().coalesce();
-        prop_assert_eq!(&once, &twice, "coalesce must be idempotent");
+        assert_eq!(once, twice, "coalesce must be idempotent (case {case})");
         // No two adjacent (meeting) entries share a value afterwards.
         for w in once.entries().windows(2) {
             if w[0].interval.meets(&w[1].interval) {
-                prop_assert_ne!(&w[0].value, &w[1].value);
+                assert_ne!(w[0].value, w[1].value, "case {case}");
             }
         }
         // value_at is preserved at every original boundary instant.
         for e in series.entries() {
-            prop_assert_eq!(
+            assert_eq!(
                 series.value_at(e.interval.start()),
-                once.value_at(e.interval.start())
+                once.value_at(e.interval.start()),
+                "case {case}"
             );
         }
     }
+}
 
-    #[test]
-    fn zip_with_preserves_time_structure(
-        xs in proptest::collection::vec((0i64..50, 1i64..20, 0u64..10), 1..10),
-        ys in proptest::collection::vec((0i64..50, 1i64..20, 0u64..10), 1..10),
-    ) {
-        fn build(parts: &[(i64, i64, u64)]) -> Series<u64> {
-            let mut entries = Vec::new();
-            let mut cursor = 0i64;
-            for &(gap, len, v) in parts {
-                let start = cursor + gap;
-                entries.push(SeriesEntry::new(Interval::at(start, start + len), v));
-                cursor = start + len + 1;
-            }
-            Series::from_entries(entries)
+#[test]
+fn zip_with_preserves_time_structure() {
+    fn build(parts: &[(i64, i64, u64)]) -> Series<u64> {
+        let mut entries = Vec::new();
+        let mut cursor = 0i64;
+        for &(gap, len, v) in parts {
+            let start = cursor + gap;
+            entries.push(SeriesEntry::new(Interval::at(start, start + len), v));
+            cursor = start + len + 1;
         }
-        let a = build(&xs);
-        let b = build(&ys);
+        Series::from_entries(entries)
+    }
+    fn random_parts(rng: &mut StdRng) -> Vec<(i64, i64, u64)> {
+        let n = rng.random_range(1usize..10);
+        (0..n)
+            .map(|_| {
+                (
+                    rng.random_range(0i64..50),
+                    rng.random_range(1i64..20),
+                    rng.random_range(0u64..10),
+                )
+            })
+            .collect()
+    }
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x21_0000 + case);
+        let a = build(&random_parts(&mut rng));
+        let b = build(&random_parts(&mut rng));
         let z = a.zip_with(&b, |&x, &y| (x, y));
         // Every zipped entry agrees with point lookups in both inputs.
         for e in z.entries() {
             for t in [e.interval.start(), e.interval.end()] {
-                prop_assert_eq!(a.value_at(t), Some(&e.value.0));
-                prop_assert_eq!(b.value_at(t), Some(&e.value.1));
+                assert_eq!(a.value_at(t), Some(&e.value.0), "case {case}");
+                assert_eq!(b.value_at(t), Some(&e.value.1), "case {case}");
             }
         }
         // Zip is symmetric up to value order.
         let zr = b.zip_with(&a, |&y, &x| (x, y));
-        prop_assert_eq!(z, zr);
+        assert_eq!(z, zr, "case {case}");
     }
+}
 
-    #[test]
-    fn sortedness_invariants(starts in proptest::collection::vec(-100i64..100, 0..60)) {
-        let ivs: Vec<Interval> =
-            starts.iter().map(|&s| Interval::at(s, s + 10)).collect();
+#[test]
+fn sortedness_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x50_0000 + case);
+        let n = rng.random_range(0usize..60);
+        let ivs: Vec<Interval> = (0..n)
+            .map(|_| {
+                let s = rng.random_range(-100i64..100);
+                Interval::at(s, s + 10)
+            })
+            .collect();
         let k = sortedness::k_order(&ivs);
         // k_order is 0 iff time-ordered.
-        prop_assert_eq!(k == 0, sortedness::is_time_ordered(&ivs));
+        assert_eq!(k == 0, sortedness::is_time_ordered(&ivs), "case {case}");
         // Every relation of n tuples is at worst (n-1)-ordered.
         if !ivs.is_empty() {
-            prop_assert!(k < ivs.len());
+            assert!(k < ivs.len(), "case {case}");
         }
         // Percentage is within [0, 1] at the measured k.
         let pct = sortedness::k_ordered_percentage(&ivs, k.max(1));
-        prop_assert!((0.0..=1.0).contains(&pct), "pct = {}", pct);
+        assert!((0.0..=1.0).contains(&pct), "pct = {pct} (case {case})");
         // Sorting zeroes the metrics.
         let mut sorted = ivs.clone();
         sorted.sort_by_key(|iv| (iv.start(), iv.end()));
-        prop_assert_eq!(sortedness::k_order(&sorted), 0);
+        assert_eq!(sortedness::k_order(&sorted), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn tuple_coalescing_preserves_instant_truth(
-        rows in proptest::collection::vec((0u8..3, 0i64..60, 0i64..20), 0..25)
-    ) {
-        // A fact (name) is true at instant t iff some tuple with that name
-        // covers t — coalescing must not change that, and must remove all
-        // mergeable pairs.
+#[test]
+fn tuple_coalescing_preserves_instant_truth() {
+    // A fact (name) is true at instant t iff some tuple with that name
+    // covers t — coalescing must not change that, and must remove all
+    // mergeable pairs. (Fewer cases: each does an 80×3 truth-table sweep.)
+    for case in 0..CASES / 4 {
+        let mut rng = StdRng::seed_from_u64(0x7C_0000 + case);
         let schema = Schema::of(&[("name", ValueType::Str)]);
         let mut relation = TemporalRelation::new(schema);
-        for &(who, start, len) in &rows {
-            let name = ["a", "b", "c"][who as usize];
+        let rows = rng.random_range(0usize..25);
+        for _ in 0..rows {
+            let name = ["a", "b", "c"][rng.random_range(0usize..3)];
+            let start = rng.random_range(0i64..60);
+            let len = rng.random_range(0i64..20);
             relation
                 .push(vec![Value::from(name)], Interval::at(start, start + len))
                 .unwrap();
         }
         let coalesced = coalesce::coalesce_tuples(&relation);
         let deduped = coalesce::eliminate_duplicates(&relation);
-        prop_assert!(coalesced.len() <= deduped.len());
-        prop_assert!(deduped.len() <= relation.len());
+        assert!(coalesced.len() <= deduped.len(), "case {case}");
+        assert!(deduped.len() <= relation.len(), "case {case}");
 
         let truth = |rel: &TemporalRelation, name: &str, t: i64| {
             rel.iter().any(|tuple| {
@@ -192,25 +263,28 @@ proptest! {
         };
         for t in 0..80 {
             for name in ["a", "b", "c"] {
-                prop_assert_eq!(
+                assert_eq!(
                     truth(&relation, name, t),
                     truth(&coalesced, name, t),
-                    "name {} at t = {}", name, t
+                    "name {name} at t = {t} (case {case})"
                 );
-                prop_assert_eq!(truth(&relation, name, t), truth(&deduped, name, t));
+                assert_eq!(truth(&relation, name, t), truth(&deduped, name, t), "case {case}");
             }
         }
         // Coalescing is idempotent.
         let again = coalesce::coalesce_tuples(&coalesced);
-        prop_assert_eq!(again.len(), coalesced.len());
+        assert_eq!(again.len(), coalesced.len(), "case {case}");
         // And no value-equivalent mergeable pair survives.
         for (i, x) in coalesced.iter().enumerate() {
             for y in coalesced.iter().skip(i + 1) {
                 if x.values() == y.values() {
-                    prop_assert!(
-                        !x.valid().overlaps(&y.valid()) && !x.valid().meets(&y.valid())
+                    assert!(
+                        !x.valid().overlaps(&y.valid())
+                            && !x.valid().meets(&y.valid())
                             && !y.valid().meets(&x.valid()),
-                        "unmerged pair {} and {}", x.valid(), y.valid()
+                        "unmerged pair {} and {} (case {case})",
+                        x.valid(),
+                        y.valid()
                     );
                 }
             }

@@ -1,0 +1,125 @@
+//! Edge cases of the k-ordered aggregation tree's streaming contract:
+//! configuration errors, empty input, duplicate start times landing exactly
+//! on the gc threshold, and the guarantee that `drain_ready` and `finish`
+//! between them emit every constant interval exactly once.
+
+use temporal_aggregates::algo::oracle::oracle;
+use temporal_aggregates::core::{SeriesEntry, TempAggError};
+use temporal_aggregates::prelude::*;
+
+#[test]
+fn k_zero_is_a_configuration_error() {
+    let err = KOrderedAggregationTree::new(Count, 0).unwrap_err();
+    assert!(matches!(err, TempAggError::InvalidK { k: 0 }));
+    let err = KOrderedAggregationTree::with_domain(Count, 0, Interval::at(0, 99)).unwrap_err();
+    assert!(matches!(err, TempAggError::InvalidK { k: 0 }));
+}
+
+#[test]
+fn empty_relation_emits_one_empty_interval_and_nothing_to_drain() {
+    let mut tree = KOrderedAggregationTree::with_domain(Count, 1, Interval::at(10, 50)).unwrap();
+    assert!(tree.drain_ready().is_empty());
+    assert_eq!(tree.ready_len(), 0);
+    let series = tree.finish();
+    assert_eq!(series.len(), 1);
+    assert_eq!(series.entries()[0].interval, Interval::at(10, 50));
+    assert_eq!(series.entries()[0].value, 0);
+}
+
+#[test]
+fn duplicate_start_times_at_the_gc_threshold() {
+    // With k = 1 the gc threshold is the start time of the tuple 2k + 1 = 3
+    // positions back. Runs of equal start times make the threshold collide
+    // with starts still being inserted; the collected prefix always ends
+    // strictly before the threshold, so these inserts stay legal and the
+    // result must still match the oracle.
+    let tuples: Vec<(Interval, ())> = vec![
+        (Interval::at(10, 14), ()),
+        (Interval::at(10, 30), ()),
+        (Interval::at(10, 12), ()),
+        (Interval::at(10, 19), ()), // threshold becomes 10 here
+        (Interval::at(10, 25), ()), // and again — starts equal the threshold
+        (Interval::at(20, 24), ()),
+        (Interval::at(20, 21), ()),
+        (Interval::at(31, 33), ()),
+    ];
+    let mut tree = KOrderedAggregationTree::new(Count, 1).unwrap();
+    for &(iv, ()) in &tuples {
+        tree.push(iv, ()).unwrap();
+    }
+    assert_eq!(tree.finish(), oracle(&Count, Interval::TIMELINE, &tuples));
+}
+
+#[test]
+fn duplicate_starts_behind_the_frontier_are_rejected() {
+    // Push increasing runs until gc provably advanced the frontier, then
+    // replay a start from the emitted region: that is a k-order violation,
+    // not a panic or a silent wrong answer.
+    let mut tree = KOrderedAggregationTree::new(Count, 1).unwrap();
+    for i in 0..10 {
+        tree.push(Interval::at(i * 100, i * 100 + 50), ()).unwrap();
+    }
+    let err = tree.push(Interval::at(0, 5), ()).unwrap_err();
+    assert!(matches!(err, TempAggError::KOrderViolation { .. }));
+}
+
+#[test]
+fn drain_plus_finish_covers_the_domain_exactly_once() {
+    let tuples: Vec<(Interval, ())> = (0..200)
+        .map(|i| (Interval::at(i * 10, i * 10 + 17), ()))
+        .collect();
+    let mut tree = KOrderedAggregationTree::new(Count, 1).unwrap();
+    let mut streamed: Vec<SeriesEntry<u64>> = Vec::new();
+    for &(iv, ()) in &tuples {
+        tree.push(iv, ()).unwrap();
+        streamed.extend(tree.drain_ready());
+    }
+    assert!(!streamed.is_empty(), "gc should have finalized intervals");
+    let tail = tree.finish();
+
+    // The streamed prefix and the finish tail partition the domain: no
+    // gap, no overlap, no constant interval emitted by both.
+    let last_streamed = streamed.last().unwrap().interval;
+    let first_tail = tail.entries()[0].interval;
+    assert!(
+        last_streamed.meets(&first_tail),
+        "streamed prefix ends at {last_streamed}, tail starts at {first_tail}"
+    );
+    let mut all = streamed;
+    all.extend(tail.into_entries());
+    for w in all.windows(2) {
+        assert!(
+            w[0].interval.meets(&w[1].interval),
+            "{} and {} overlap or leave a gap",
+            w[0].interval,
+            w[1].interval
+        );
+    }
+    assert_eq!(all[0].interval.start(), Timestamp(0));
+    assert!(all.last().unwrap().interval.end().is_forever());
+    assert_eq!(
+        Series::from_entries(all),
+        oracle(&Count, Interval::TIMELINE, &tuples)
+    );
+}
+
+#[test]
+fn draining_every_push_equals_never_draining() {
+    let tuples: Vec<(Interval, i64)> = (0..150)
+        .map(|i| (Interval::at(i * 5, i * 5 + 11), i))
+        .collect();
+
+    let mut eager = KOrderedAggregationTree::new(Sum::<i64>::new(), 2).unwrap();
+    let mut streamed = Vec::new();
+    for &(iv, v) in &tuples {
+        eager.push(iv, v).unwrap();
+        streamed.extend(eager.drain_ready());
+    }
+    streamed.extend(eager.finish().into_entries());
+
+    let mut lazy = KOrderedAggregationTree::new(Sum::<i64>::new(), 2).unwrap();
+    for &(iv, v) in &tuples {
+        lazy.push(iv, v).unwrap();
+    }
+    assert_eq!(Series::from_entries(streamed), lazy.finish());
+}
