@@ -89,10 +89,19 @@ mod tests {
     #[test]
     fn merge_combines_sums_and_counts() {
         let agg: Avg<f64> = Avg::new();
-        let mut a = AvgState { sum: 10.0, count: 2 };
+        let mut a = AvgState {
+            sum: 10.0,
+            count: 2,
+        };
         let b = AvgState { sum: 5.0, count: 1 };
         agg.merge(&mut a, &b);
-        assert_eq!(a, AvgState { sum: 15.0, count: 3 });
+        assert_eq!(
+            a,
+            AvgState {
+                sum: 15.0,
+                count: 3
+            }
+        );
         assert_eq!(agg.finish(&a), Some(5.0));
     }
 

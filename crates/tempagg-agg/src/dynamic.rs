@@ -297,7 +297,10 @@ mod tests {
     fn count_skips_nulls_count_star_does_not() {
         let vals = [Value::Int(1), Value::Null, Value::Int(3)];
         assert_eq!(run(AggKind::Count, ValueType::Int, &vals), Value::Int(2));
-        assert_eq!(run(AggKind::CountStar, ValueType::Int, &vals), Value::Int(3));
+        assert_eq!(
+            run(AggKind::CountStar, ValueType::Int, &vals),
+            Value::Int(3)
+        );
     }
 
     #[test]
@@ -309,14 +312,27 @@ mod tests {
     #[test]
     fn sum_float() {
         let vals = [Value::Float(1.5), Value::Float(2.5)];
-        assert_eq!(run(AggKind::Sum, ValueType::Float, &vals), Value::Float(4.0));
+        assert_eq!(
+            run(AggKind::Sum, ValueType::Float, &vals),
+            Value::Float(4.0)
+        );
     }
 
     #[test]
     fn min_max_on_strings() {
-        let vals = [Value::from("Richard"), Value::from("Karen"), Value::from("Nathan")];
-        assert_eq!(run(AggKind::Min, ValueType::Str, &vals), Value::from("Karen"));
-        assert_eq!(run(AggKind::Max, ValueType::Str, &vals), Value::from("Richard"));
+        let vals = [
+            Value::from("Richard"),
+            Value::from("Karen"),
+            Value::from("Nathan"),
+        ];
+        assert_eq!(
+            run(AggKind::Min, ValueType::Str, &vals),
+            Value::from("Karen")
+        );
+        assert_eq!(
+            run(AggKind::Max, ValueType::Str, &vals),
+            Value::from("Richard")
+        );
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub use aggregate::{Aggregate, Numeric};
 pub use avg::{Avg, AvgState};
 pub use count::Count;
 pub use distinct::CountDistinct;
-pub use logic::{BoolAnd, BoolOr};
 pub use dynamic::{AggKind, DynAggregate, DynState};
+pub use logic::{BoolAnd, BoolOr};
 pub use min_max::{Max, Min};
 pub use multi::MultiDyn;
 pub use sum::Sum;

@@ -132,7 +132,10 @@ impl Aggregate for MultiDyn {
     }
 
     fn empty_state(&self) -> Vec<DynState> {
-        self.members.iter().map(|m| m.empty_state()).collect()
+        self.members
+            .iter()
+            .map(super::aggregate::Aggregate::empty_state)
+            .collect()
     }
 
     #[inline]
@@ -166,7 +169,10 @@ impl Aggregate for MultiDyn {
     }
 
     fn state_model_bytes(&self) -> usize {
-        self.members.iter().map(|m| m.state_model_bytes()).sum()
+        self.members
+            .iter()
+            .map(super::aggregate::Aggregate::state_model_bytes)
+            .sum()
     }
 }
 

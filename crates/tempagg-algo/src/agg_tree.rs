@@ -139,13 +139,63 @@ impl<A: Aggregate> TemporalAggregator<A> for AggregationTree<A> {
                 domain: (self.domain.start(), self.domain.end()),
             });
         }
-        ops::insert(&mut self.arena, &self.agg, self.root, self.domain, interval, &value)?;
+        ops::insert(
+            &mut self.arena,
+            &self.agg,
+            self.root,
+            self.domain,
+            interval,
+            &value,
+        )?;
         self.tuples += 1;
         #[cfg(feature = "validate")]
         {
             let mut singleton = self.agg.empty_state();
             self.agg.insert(&mut singleton, &value);
             self.recorded.push((interval, singleton));
+        }
+        Ok(())
+    }
+
+    /// Batched insert: the SoA timestamp columns are scanned first so the
+    /// whole batch is domain-checked (and rejected atomically) without
+    /// touching the values, and the node arena is grown once for the worst
+    /// case — each tuple splits at most two constant intervals, adding at
+    /// most four nodes — instead of re-allocating mid-batch.
+    fn push_batch(&mut self, chunk: &tempagg_core::Chunk<A::Input>) -> Result<()>
+    where
+        A::Input: Clone,
+    {
+        for i in 0..chunk.len() {
+            let Some(interval) = chunk.interval(i) else {
+                return Err(TempAggError::internal("chunk columns out of step"));
+            };
+            if !self.domain.covers(&interval) {
+                return Err(TempAggError::OutOfDomain {
+                    tuple: (interval.start(), interval.end()),
+                    domain: (self.domain.start(), self.domain.end()),
+                });
+            }
+        }
+        self.arena.reserve(chunk.len().saturating_mul(4));
+        #[cfg(feature = "validate")]
+        self.recorded.reserve(chunk.len());
+        for (interval, value) in chunk {
+            ops::insert(
+                &mut self.arena,
+                &self.agg,
+                self.root,
+                self.domain,
+                interval,
+                value,
+            )?;
+            self.tuples += 1;
+            #[cfg(feature = "validate")]
+            {
+                let mut singleton = self.agg.empty_state();
+                self.agg.insert(&mut singleton, value);
+                self.recorded.push((interval, singleton));
+            }
         }
         Ok(())
     }
@@ -303,7 +353,11 @@ mod tests {
         t.push(Interval::at(10, 20), ()).unwrap();
         let n = t.node_count();
         t.push(Interval::at(10, 20), ()).unwrap();
-        assert_eq!(t.node_count(), n, "identical interval reuses existing splits");
+        assert_eq!(
+            t.node_count(),
+            n,
+            "identical interval reuses existing splits"
+        );
         let s = t.finish();
         assert_eq!(s.entries()[1].interval, Interval::at(10, 20));
         assert_eq!(s.entries()[1].value, 2);
@@ -373,7 +427,10 @@ mod tests {
         assert_eq!(m.peak_nodes, 13);
         assert_eq!(m.node_model_bytes, 16);
         assert_eq!(m.peak_model_bytes(), 13 * 16);
-        assert_eq!(TemporalAggregator::<Count>::algorithm(&t), "aggregation-tree");
+        assert_eq!(
+            TemporalAggregator::<Count>::algorithm(&t),
+            "aggregation-tree"
+        );
     }
 
     #[test]

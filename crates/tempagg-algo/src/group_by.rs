@@ -92,49 +92,14 @@ where
         A::Output: Send,
     {
         let groups: Vec<(K, G)> = self.groups.into_iter().collect();
-        let threads = threads.max(1).min(groups.len().max(1));
-        if threads <= 1 || groups.len() <= 1 {
-            return groups.into_iter().map(|(k, g)| (k, g.finish())).collect();
-        }
-        // Deal groups round-robin into per-thread batches, then reassemble
-        // in key order by index.
-        let mut indexed: Vec<Option<(K, Series<A::Output>)>> =
-            (0..groups.len()).map(|_| None).collect();
-        let mut batches: Vec<Vec<(usize, K, G)>> = (0..threads).map(|_| Vec::new()).collect();
-        for (i, (k, g)) in groups.into_iter().enumerate() {
-            batches[i % threads].push((i, k, g));
-        }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = batches
-                .into_iter()
-                .map(|batch| {
-                    scope.spawn(move || {
-                        batch
-                            .into_iter()
-                            .map(|(i, k, g)| (i, k, g.finish()))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                // lint: allow(no-unwrap): a worker panic is already a crash; re-raising it here keeps the backtrace
-                for (i, k, series) in handle.join().expect("group worker panicked") {
-                    indexed[i] = Some((k, series));
-                }
-            }
-        });
-        indexed
-            .into_iter()
-            // lint: allow(no-unwrap): the scope above joined every worker, so each slot was filled exactly once
-            .map(|slot| slot.expect("every group finished"))
-            .collect()
+        crate::parallel::scoped_map(groups, threads, |(k, g)| (k, g.finish()))
     }
 
     /// Combined memory across groups.
     pub fn memory(&self) -> MemoryStats {
         self.groups
             .values()
-            .map(|g| g.memory())
+            .map(super::traits::TemporalAggregator::memory)
             .fold(MemoryStats::default(), |acc, m| acc.combine(&m))
     }
 }

@@ -190,13 +190,21 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
                         self.frontier
                     ))
                 })?;
-                ops::emit(&self.arena, &self.agg, left, emitted_range, emit_acc, &mut self.ready);
+                ops::emit(
+                    &self.arena,
+                    &self.agg,
+                    left,
+                    emitted_range,
+                    emit_acc,
+                    &mut self.ready,
+                );
                 self.arena.free_subtree(left);
                 // `cur` goes away: push its state down into the surviving
                 // right child so every path through that child still sums
                 // the same.
                 let cur_state = self.arena.get(cur).state.clone();
-                self.agg.merge(&mut self.arena.get_mut(right).state, &cur_state);
+                self.agg
+                    .merge(&mut self.arena.get_mut(right).state, &cur_state);
                 match parent {
                     None => self.root = right,
                     Some(p) => self.arena.get_mut(p).left = right,
@@ -243,7 +251,14 @@ impl<A: Aggregate> TemporalAggregator<A> for KOrderedAggregationTree<A> {
             });
         }
         let live_range = self.live_range();
-        ops::insert(&mut self.arena, &self.agg, self.root, live_range, interval, &value)?;
+        ops::insert(
+            &mut self.arena,
+            &self.agg,
+            self.root,
+            live_range,
+            interval,
+            &value,
+        )?;
         self.tuples += 1;
         // After processing a tuple, look back at the start time of the
         // tuple 2k + 1 positions earlier; constant intervals ending before
@@ -427,7 +442,10 @@ mod tests {
             let expected = oracle(&Count, Interval::TIMELINE, &tuples);
             assert_eq!(t.finish(), expected, "k = {k}");
         }
-        assert!(peaks[0] < peaks[1] && peaks[1] < peaks[2], "peaks = {peaks:?}");
+        assert!(
+            peaks[0] < peaks[1] && peaks[1] < peaks[2],
+            "peaks = {peaks:?}"
+        );
     }
 
     #[test]

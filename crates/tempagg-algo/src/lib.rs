@@ -33,6 +33,7 @@ pub mod memory;
 pub mod moving;
 pub mod oracle;
 mod paged;
+pub mod parallel;
 pub mod snapshot;
 mod span_group;
 mod traits;
@@ -48,6 +49,7 @@ pub use ktree::KOrderedAggregationTree;
 pub use linked_list::LinkedListAggregate;
 pub use memory::MemoryStats;
 pub use paged::PagedAggregationTree;
+pub use parallel::{scoped_map, PartitionReport, PartitionedAggregator};
 pub use span_group::SpanGrouper;
 pub use traits::{run, run_with_stats, TemporalAggregator};
 pub use two_scan::TwoScanAggregate;

@@ -53,7 +53,10 @@ where
 {
     let mut tree = KOrderedAggregationTree::new(agg, 1)?;
     for (at, value) in events {
-        tree.push(influence(*at, window, WindowAlignment::Trailing)?, value.clone())?;
+        tree.push(
+            influence(*at, window, WindowAlignment::Trailing)?,
+            value.clone(),
+        )?;
     }
     Ok(tree.finish())
 }
@@ -94,8 +97,7 @@ mod tests {
             .map(|&t| (Timestamp(t), 1))
             .collect();
         let series =
-            moving_aggregate(Count, &count_events(&events), 5, WindowAlignment::Trailing)
-                .unwrap();
+            moving_aggregate(Count, &count_events(&events), 5, WindowAlignment::Trailing).unwrap();
         for t in 0..30 {
             let expected = brute_count(&events, t, 5);
             let got = series.value_at(Timestamp(t)).copied().unwrap_or(0);
@@ -109,10 +111,8 @@ mod tests {
 
     #[test]
     fn sorted_streaming_equals_batch() {
-        let events: Vec<(Timestamp, ())> =
-            (0..200).map(|i| (Timestamp(i * 3), ())).collect();
-        let batch =
-            moving_aggregate(Count, &events, 10, WindowAlignment::Trailing).unwrap();
+        let events: Vec<(Timestamp, ())> = (0..200).map(|i| (Timestamp(i * 3), ())).collect();
+        let batch = moving_aggregate(Count, &events, 10, WindowAlignment::Trailing).unwrap();
         let streamed = moving_aggregate_sorted(Count, &events, 10).unwrap();
         assert_eq!(batch, streamed);
     }
@@ -132,11 +132,9 @@ mod tests {
     #[test]
     fn alignments_shift_the_series() {
         let events = vec![(Timestamp(10), ())];
-        let trailing =
-            moving_aggregate(Count, &events, 3, WindowAlignment::Trailing).unwrap();
+        let trailing = moving_aggregate(Count, &events, 3, WindowAlignment::Trailing).unwrap();
         let leading = moving_aggregate(Count, &events, 3, WindowAlignment::Leading).unwrap();
-        let centered =
-            moving_aggregate(Count, &events, 3, WindowAlignment::Centered).unwrap();
+        let centered = moving_aggregate(Count, &events, 3, WindowAlignment::Centered).unwrap();
         assert_eq!(trailing.value_at(Timestamp(12)), Some(&1));
         assert_eq!(leading.value_at(Timestamp(8)), Some(&1));
         assert_eq!(centered.value_at(Timestamp(9)), Some(&1));
@@ -146,7 +144,8 @@ mod tests {
 
     #[test]
     fn zero_window_rejected() {
-        assert!(moving_aggregate(Count, &[(Timestamp(0), ())], 0, WindowAlignment::Trailing)
-            .is_err());
+        assert!(
+            moving_aggregate(Count, &[(Timestamp(0), ())], 0, WindowAlignment::Trailing).is_err()
+        );
     }
 }

@@ -57,7 +57,9 @@ where
     pub fn new(agg: A, domain: Interval, regions: usize) -> Result<Self> {
         let regions_i64 = i64::try_from(regions).unwrap_or(i64::MAX);
         if domain.end().is_forever() || regions == 0 || regions_i64 > domain.duration() {
-            return Err(TempAggError::InvalidSpan { length: regions_i64 });
+            return Err(TempAggError::InvalidSpan {
+                length: regions_i64,
+            });
         }
         let region_len = (domain.duration() + regions_i64 - 1) / regions_i64;
         // The rounded-up length may need fewer regions to cover the domain.
@@ -139,8 +141,9 @@ where
             let region_iv = self.region_interval(region);
             let mut tree = AggregationTree::with_domain(self.agg.clone(), region_iv);
             for (iv, value) in self.buffers[region].drain(..) {
-                // lint: allow(no-unwrap): push only rejects out-of-domain tuples and every buffered tuple was clipped to this region
-                tree.push(iv, value).expect("clipped tuples fit their region");
+                tree.push(iv, value)
+                    // lint: allow(no-unwrap): push only rejects out-of-domain tuples and every buffered tuple was clipped to this region
+                    .expect("clipped tuples fit their region");
             }
             peak = peak.max(tree.memory().peak_nodes);
             let series = tree.finish();
@@ -151,9 +154,7 @@ where
                 let boundary_real = self.boundary_start_real[region]
                     || (region > 0 && self.boundary_end_real[region - 1]);
                 match out.last_mut() {
-                    Some(prev)
-                        if !boundary_real && prev.interval.meets(&first_entry.interval) =>
-                    {
+                    Some(prev) if !boundary_real && prev.interval.meets(&first_entry.interval) => {
                         debug_assert!(
                             prev.value == first_entry.value,
                             "identical tuple sets must yield identical values"
@@ -250,10 +251,7 @@ mod tests {
         Interval::at(0, 9_999)
     }
 
-    fn run_paged(
-        regions: usize,
-        tuples: &[(Interval, ())],
-    ) -> (Series<u64>, usize, MemoryStats) {
+    fn run_paged(regions: usize, tuples: &[(Interval, ())]) -> (Series<u64>, usize, MemoryStats) {
         let mut paged = PagedAggregationTree::new(Count, bounded(), regions).unwrap();
         for &(iv, ()) in tuples {
             paged.push(iv, ()).unwrap();
@@ -332,7 +330,10 @@ mod tests {
             peaks.push(stats.peak_nodes);
         }
         assert_eq!(peaks[0], full_peak, "1 region ≡ the plain tree");
-        assert!(peaks[2] < peaks[1] && peaks[1] < peaks[0], "peaks = {peaks:?}");
+        assert!(
+            peaks[2] < peaks[1] && peaks[1] < peaks[0],
+            "peaks = {peaks:?}"
+        );
         assert!(
             peaks[2] * 4 < full_peak,
             "16 regions should cut peak memory well below {full_peak}, got {}",
@@ -361,7 +362,10 @@ mod tests {
         for &(iv, v) in &tuples {
             paged.push(iv, v).unwrap();
         }
-        assert_eq!(paged.finish(), oracle(&Sum::<i64>::new(), bounded(), &tuples));
+        assert_eq!(
+            paged.finish(),
+            oracle(&Sum::<i64>::new(), bounded(), &tuples)
+        );
     }
 
     #[test]

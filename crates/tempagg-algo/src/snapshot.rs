@@ -56,9 +56,7 @@ where
 {
     let mut groups: BTreeMap<K, (A::State, u64)> = BTreeMap::new();
     for (key, value) in items {
-        let entry = groups
-            .entry(key)
-            .or_insert_with(|| (agg.empty_state(), 0));
+        let entry = groups.entry(key).or_insert_with(|| (agg.empty_state(), 0));
         agg.insert(&mut entry.0, &value);
         entry.1 += 1;
     }
@@ -116,7 +114,10 @@ mod tests {
         // The paper's opening example: AVG(Salary) over all employees.
         let r = scalar(&Avg::<i64>::new(), employed().iter().map(|&(_, s)| s));
         assert_eq!(r.count, 4);
-        assert_eq!(r.value, Some((40_000.0 + 45_000.0 + 35_000.0 + 37_000.0) / 4.0));
+        assert_eq!(
+            r.value,
+            Some((40_000.0 + 45_000.0 + 35_000.0 + 37_000.0) / 4.0)
+        );
     }
 
     #[test]
@@ -158,9 +159,16 @@ mod tests {
 
     #[test]
     fn timeslice_matches_table1() {
-        let tuples: Vec<(Interval, ())> =
-            employed().into_iter().map(|(iv, _)| (iv, ())).collect();
-        for (t, expected) in [(0, 0u64), (7, 1), (10, 2), (15, 1), (19, 3), (21, 2), (30, 1)] {
+        let tuples: Vec<(Interval, ())> = employed().into_iter().map(|(iv, _)| (iv, ())).collect();
+        for (t, expected) in [
+            (0, 0u64),
+            (7, 1),
+            (10, 2),
+            (15, 1),
+            (19, 3),
+            (21, 2),
+            (30, 1),
+        ] {
             let r = at_instant(&Count, Timestamp(t), &tuples);
             assert_eq!(r.value, expected, "instant {t}");
         }

@@ -31,10 +31,14 @@ impl<A: Aggregate> SpanGrouper<A> {
     /// `[t, ∞]` would need infinitely many buckets.
     pub fn new(agg: A, window: Interval, span_length: i64) -> Result<Self> {
         if span_length <= 0 {
-            return Err(TempAggError::InvalidSpan { length: span_length });
+            return Err(TempAggError::InvalidSpan {
+                length: span_length,
+            });
         }
         if window.end().is_forever() {
-            return Err(TempAggError::InvalidSpan { length: span_length });
+            return Err(TempAggError::InvalidSpan {
+                length: span_length,
+            });
         }
         // lint: allow(no-as-cast): the quotient is positive (bounded window, positive span) and a bucket count always fits usize
         let n = ((window.duration() + span_length - 1) / span_length) as usize;

@@ -2,7 +2,7 @@
 
 use crate::memory::MemoryStats;
 use tempagg_agg::Aggregate;
-use tempagg_core::{Interval, Result, Series};
+use tempagg_core::{Chunk, Interval, Result, Series};
 
 /// A single-pass temporal aggregation algorithm computing one aggregate
 /// grouped by instant.
@@ -30,6 +30,24 @@ pub trait TemporalAggregator<A: Aggregate> {
     /// the k-ordered aggregation tree — if the tuple provably violates the
     /// promised k-ordering.
     fn push(&mut self, interval: Interval, value: A::Input) -> Result<()>;
+
+    /// Fold a whole [`Chunk`] of tuples in.
+    ///
+    /// The default is a per-tuple loop over [`TemporalAggregator::push`];
+    /// algorithms override it where a batch enables something a lone tuple
+    /// cannot — the linked list switches its head scan for a binary search
+    /// across the batch, and the partitioned combinator fans the chunk out
+    /// to one worker per sub-domain. Executors feed chunks whenever the
+    /// input is batched, so overrides are on the hot path.
+    fn push_batch(&mut self, chunk: &Chunk<A::Input>) -> Result<()>
+    where
+        A::Input: Clone,
+    {
+        for (interval, value) in chunk {
+            self.push(interval, value.clone())?;
+        }
+        Ok(())
+    }
 
     /// Complete the computation and emit the result series.
     fn finish(self) -> Series<A::Output>;

@@ -80,6 +80,14 @@ impl<S> Arena<S> {
         }
     }
 
+    /// Pre-grow the slab for `additional` more live nodes, so a batch of
+    /// insertions does not re-allocate mid-way.
+    pub fn reserve(&mut self, additional: usize) {
+        let projected = self.live + additional;
+        self.nodes
+            .reserve(projected.saturating_sub(self.nodes.len()));
+    }
+
     /// Allocate a leaf with the given state.
     pub fn alloc_leaf(&mut self, state: S) -> NodeId {
         self.alloc(Node {

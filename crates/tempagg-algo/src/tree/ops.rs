@@ -258,7 +258,15 @@ mod tests {
     fn insert_figure3_first_tuple() {
         // Figure 3.b: inserting [18, ∞] into the initial tree [0, ∞].
         let (mut arena, root) = new_tree();
-        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::from_start(18), &()).unwrap();
+        insert(
+            &mut arena,
+            &Count,
+            root,
+            Interval::TIMELINE,
+            Interval::from_start(18),
+            &(),
+        )
+        .unwrap();
         let leaves = leaf_intervals(&arena, root, Interval::TIMELINE);
         assert_eq!(leaves, vec![Interval::at(0, 17), Interval::from_start(18)]);
         // The covered half carries the count.
@@ -271,7 +279,15 @@ mod tests {
     #[test]
     fn insert_fully_covering_updates_root_only() {
         let (mut arena, root) = new_tree();
-        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::TIMELINE, &()).unwrap();
+        insert(
+            &mut arena,
+            &Count,
+            root,
+            Interval::TIMELINE,
+            Interval::TIMELINE,
+            &(),
+        )
+        .unwrap();
         assert_eq!(arena.live(), 1, "no split needed");
         let s = emit_series(&arena, &Count, root, Interval::TIMELINE);
         assert_eq!(s.len(), 1);
@@ -281,11 +297,23 @@ mod tests {
     #[test]
     fn insert_interior_interval_splits_twice() {
         let (mut arena, root) = new_tree();
-        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::at(8, 20), &()).unwrap();
+        insert(
+            &mut arena,
+            &Count,
+            root,
+            Interval::TIMELINE,
+            Interval::at(8, 20),
+            &(),
+        )
+        .unwrap();
         let leaves = leaf_intervals(&arena, root, Interval::TIMELINE);
         assert_eq!(
             leaves,
-            vec![Interval::at(0, 7), Interval::at(8, 20), Interval::from_start(21)]
+            vec![
+                Interval::at(0, 7),
+                Interval::at(8, 20),
+                Interval::from_start(21)
+            ]
         );
         let s = emit_series(&arena, &Count, root, Interval::TIMELINE);
         let values: Vec<u64> = s.iter().map(|e| e.value).collect();
@@ -298,7 +326,15 @@ mod tests {
     fn depth_and_render() {
         let (mut arena, root) = new_tree();
         assert_eq!(depth(&arena, root), 1);
-        insert(&mut arena, &Count, root, Interval::TIMELINE, Interval::from_start(18), &()).unwrap();
+        insert(
+            &mut arena,
+            &Count,
+            root,
+            Interval::TIMELINE,
+            Interval::from_start(18),
+            &(),
+        )
+        .unwrap();
         assert_eq!(depth(&arena, root), 2);
         let r = render(&arena, root, Interval::TIMELINE);
         assert!(r.contains("[0, ∞] split 17"), "render was:\n{r}");

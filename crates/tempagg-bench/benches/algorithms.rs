@@ -43,7 +43,10 @@ fn bench_ktree_by_k() {
     for k in [4usize, 40, 400] {
         let tuples = count_tuples(&WorkloadConfig {
             tuples: 4_096,
-            order: TupleOrder::KOrdered { k, percentage: 0.08 },
+            order: TupleOrder::KOrdered {
+                k,
+                percentage: 0.08,
+            },
             ..Default::default()
         });
         group.bench(&format!("k = {k}"), || {

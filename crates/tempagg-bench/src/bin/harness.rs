@@ -11,6 +11,7 @@
 //! harness fig9                   # Figure 9: memory, no long-lived
 //! harness fig9 --long-lived 80   # §6.2: memory with long-lived tuples
 //! harness ablation               # §7 future-work ablations
+//! harness pipeline               # serial vs domain-partitioned execution
 //!
 //! options: --max <tuples>  (default 65536; the paper's 64K)
 //!          --seeds <n>     (default 3; paper used several seeds)
@@ -18,13 +19,19 @@
 //!          --quick         (≡ --max 8192 --seeds 1)
 //! ```
 //!
+//! Every report line is printed and also saved to
+//! `target/harness_output.txt`; the `pipeline` experiment additionally
+//! emits machine-readable timings to `target/BENCH_pipeline.json`.
+//!
 //! Absolute numbers will differ from the paper's 1995 SPARCstation, but the
 //! *shape* — who wins, by what factor, where crossovers sit — is the
 //! reproduction target (see EXPERIMENTS.md).
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use tempagg_bench::{
-    count_tuples, median_over_seeds, run_count, secs, size_sweep, AlgoConfig,
+    count_tuples, median_over_seeds, run_count, run_count_partitioned, secs, size_sweep,
+    AlgoConfig, RunMeasurement,
 };
 use tempagg_core::sortedness;
 use tempagg_core::Interval;
@@ -48,6 +55,53 @@ impl Default for Options {
             long_lived_override: None,
         }
     }
+}
+
+/// Tees every report line to stdout and to an in-memory transcript that
+/// [`Sink::write_report`] saves under `target/` at exit — the repository
+/// tree stays clean (`harness_output.txt` is no longer committed).
+struct Sink {
+    transcript: String,
+}
+
+impl Sink {
+    fn new() -> Self {
+        Sink {
+            transcript: String::new(),
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        println!("{text}");
+        self.transcript.push_str(text);
+        self.transcript.push('\n');
+    }
+
+    fn write_report(&self) -> std::io::Result<PathBuf> {
+        let path = target_dir()?.join("harness_output.txt");
+        std::fs::write(&path, &self.transcript)?;
+        Ok(path)
+    }
+}
+
+macro_rules! emit {
+    ($sink:expr, $($arg:tt)*) => { $sink.line(&format!($($arg)*)) };
+}
+
+/// The workspace `target/` directory: next to this crate's workspace root
+/// when that still exists, else relative to the working directory.
+fn target_dir() -> std::io::Result<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("target"), |root| root.join("target"));
+    let dir = if dir.is_dir() {
+        dir
+    } else {
+        PathBuf::from("target")
+    };
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
 fn main() {
@@ -94,45 +148,52 @@ fn main() {
     }
 
     let started = Instant::now();
+    let mut sink = Sink::new();
     match command.as_deref().unwrap_or("all") {
-        "table1" => table1(),
-        "table2" => table2(),
-        "fig6" => fig6(&options),
-        "fig7" => fig7(&options),
-        "fig8" => fig8(&options),
-        "fig9" => fig9(&options),
-        "ablation" => ablation(&options),
-        "aggkinds" => aggregate_kinds(&options),
+        "table1" => table1(&mut sink),
+        "table2" => table2(&mut sink),
+        "fig6" => fig6(&options, &mut sink),
+        "fig7" => fig7(&options, &mut sink),
+        "fig8" => fig8(&options, &mut sink),
+        "fig9" => fig9(&options, &mut sink),
+        "ablation" => ablation(&options, &mut sink),
+        "aggkinds" => aggregate_kinds(&options, &mut sink),
+        "pipeline" => pipeline(&options, &mut sink),
         "all" => {
-            table1();
-            table2();
-            fig6(&options);
-            fig7(&options);
-            fig8(&options);
-            fig9(&options);
+            table1(&mut sink);
+            table2(&mut sink);
+            fig6(&options, &mut sink);
+            fig7(&options, &mut sink);
+            fig8(&options, &mut sink);
+            fig9(&options, &mut sink);
             let mut with_long = options;
             with_long.long_lived_override = Some(80);
-            fig9(&with_long);
-            ablation(&options);
-            aggregate_kinds(&options);
+            fig9(&with_long, &mut sink);
+            ablation(&options, &mut sink);
+            aggregate_kinds(&options, &mut sink);
+            pipeline(&options, &mut sink);
         }
         other => usage(&format!("unknown command `{other}`")),
     }
-    eprintln!("\n[harness finished in {:.1?}]", started.elapsed());
+    match sink.write_report() {
+        Ok(path) => eprintln!("\n[report saved to {}]", path.display()),
+        Err(e) => eprintln!("\n[could not save report under target/: {e}]"),
+    }
+    eprintln!("[harness finished in {:.1?}]", started.elapsed());
 }
 
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: harness [table1|table2|fig6|fig7|fig8|fig9|ablation|all] \
+        "usage: harness [table1|table2|fig6|fig7|fig8|fig9|ablation|aggkinds|pipeline|all] \
          [--max N] [--seeds N] [--kpct F] [--long-lived P] [--quick]"
     );
     std::process::exit(2)
 }
 
 /// Print one aligned table.
-fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
-    println!("\n### {title}\n");
+fn print_table(sink: &mut Sink, title: &str, header: &[String], rows: &[Vec<String>]) {
+    emit!(sink, "\n### {title}\n");
     let mut all = Vec::with_capacity(rows.len() + 1);
     all.push(header.to_vec());
     all.extend(rows.iter().cloned());
@@ -145,18 +206,21 @@ fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
             .enumerate()
             .map(|(c, cell)| format!("{cell:<width$}", width = widths[c]))
             .collect();
-        println!("| {} |", cells.join(" | "));
+        emit!(sink, "| {} |", cells.join(" | "));
         if i == 0 {
             let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-            println!("|-{}-|", dashes.join("-|-"));
+            emit!(sink, "|-{}-|", dashes.join("-|-"));
         }
     }
 }
 
 // ───────────────────────────── Table 1 ─────────────────────────────
 
-fn table1() {
-    println!("\n== Table 1: SELECT COUNT(Name) FROM Employed (grouped by instant) ==");
+fn table1(sink: &mut Sink) {
+    emit!(
+        sink,
+        "\n== Table 1: SELECT COUNT(Name) FROM Employed (grouped by instant) =="
+    );
     let mut tree = tempagg_algo::AggregationTree::new(tempagg_agg::Count);
     use tempagg_algo::TemporalAggregator;
     for (_, _, iv) in employed_tuples() {
@@ -169,6 +233,7 @@ fn table1() {
         .map(|e| vec![e.interval.to_string(), e.value.to_string()])
         .collect();
     print_table(
+        sink,
         "Constant intervals (aggregation tree; all algorithms agree)",
         &["valid".into(), "COUNT".into()],
         &rows,
@@ -180,13 +245,16 @@ fn table1() {
     let result = tempagg_sql::execute_str(&catalog, "SELECT COUNT(Name) FROM Employed E")
         // lint: allow(no-unwrap): the harness demos a hard-coded query; a parse failure should abort loudly
         .expect("the paper's query parses and runs");
-    println!("\nSQL front end:\n\n{result}");
+    emit!(sink, "\nSQL front end:\n\n{result}");
 }
 
 // ───────────────────────────── Table 2 ─────────────────────────────
 
-fn table2() {
-    println!("\n== Table 2: k-ordered-percentages (n = 10000, k = 100) ==");
+fn table2(sink: &mut Sink) {
+    emit!(
+        sink,
+        "\n== Table 2: k-ordered-percentages (n = 10000, k = 100) =="
+    );
     let n = 10_000usize;
     let k = 100usize;
     let sorted: Vec<i64> = (0..n as i64).collect();
@@ -244,6 +312,7 @@ fn table2() {
         ),
     ]);
     print_table(
+        sink,
         "k-ordered-percentage examples",
         &["scenario".into(), "paper".into(), "measured".into()],
         &rows,
@@ -252,8 +321,9 @@ fn table2() {
 
 // ───────────────────────────── Figure 6 ─────────────────────────────
 
-fn fig6(options: &Options) {
-    println!(
+fn fig6(options: &Options, sink: &mut Sink) {
+    emit!(
+        sink,
         "\n== Figure 6: query evaluation time, UNORDERED relations \
          (seconds, median of {} seeds) ==",
         options.seeds
@@ -287,17 +357,22 @@ fn fig6(options: &Options) {
         }
         rows.push(row);
     }
-    print_table("time (s) on randomly ordered relations", &header, &rows);
+    print_table(
+        sink,
+        "time (s) on randomly ordered relations",
+        &header,
+        &rows,
+    );
 }
 
 // ──────────────────────────── Figures 7–8 ───────────────────────────
 
-fn fig7(options: &Options) {
-    time_on_ordered_relations(options, 0, "Figure 7", "no long-lived tuples");
+fn fig7(options: &Options, sink: &mut Sink) {
+    time_on_ordered_relations(options, sink, 0, "Figure 7", "no long-lived tuples");
 }
 
-fn fig8(options: &Options) {
-    time_on_ordered_relations(options, 80, "Figure 8", "80% long-lived tuples");
+fn fig8(options: &Options, sink: &mut Sink) {
+    time_on_ordered_relations(options, sink, 80, "Figure 8", "80% long-lived tuples");
 }
 
 fn fig7_configs() -> Vec<AlgoConfig> {
@@ -311,24 +386,29 @@ fn fig7_configs() -> Vec<AlgoConfig> {
     ]
 }
 
-fn time_on_ordered_relations(options: &Options, long_pct: u8, figure: &str, label: &str) {
-    println!(
+fn time_on_ordered_relations(
+    options: &Options,
+    sink: &mut Sink,
+    long_pct: u8,
+    figure: &str,
+    label: &str,
+) {
+    emit!(
+        sink,
         "\n== {figure}: query evaluation time, ORDERED relations, {label} \
          (seconds, median of {} seeds) ==",
         options.seeds
     );
     let configs = fig7_configs();
     let mut header = vec!["tuples".to_owned()];
-    header.extend(configs.iter().map(|c| c.label()));
+    header.extend(configs.iter().map(AlgoConfig::label));
     let mut rows = Vec::new();
     for n in size_sweep(options.max_tuples) {
         let mut row = vec![n.to_string()];
         for &config in &configs {
             let m = median_over_seeds(
                 config,
-                |seed| {
-                    tempagg_bench::workload_for(config, n, long_pct, options.k_pct, seed)
-                },
+                |seed| tempagg_bench::workload_for(config, n, long_pct, options.k_pct, seed),
                 options.seeds,
             );
             row.push(secs(m.elapsed));
@@ -336,6 +416,7 @@ fn time_on_ordered_relations(options: &Options, long_pct: u8, figure: &str, labe
         rows.push(row);
     }
     print_table(
+        sink,
         &format!("time (s) on ordered relations, {label}"),
         &header,
         &rows,
@@ -344,15 +425,16 @@ fn time_on_ordered_relations(options: &Options, long_pct: u8, figure: &str, labe
 
 // ───────────────────────────── Figure 9 ─────────────────────────────
 
-fn fig9(options: &Options) {
+fn fig9(options: &Options, sink: &mut Sink) {
     let long_pct = options.long_lived_override.unwrap_or(0);
-    println!(
+    emit!(
+        sink,
         "\n== Figure 9: peak algorithm state (bytes, 16 B/node model), \
          {long_pct}% long-lived tuples =="
     );
     let configs = fig7_configs();
     let mut header = vec!["tuples".to_owned()];
-    header.extend(configs.iter().map(|c| c.label()));
+    header.extend(configs.iter().map(AlgoConfig::label));
     let mut rows = Vec::new();
     for n in size_sweep(options.max_tuples) {
         let mut row = vec![n.to_string()];
@@ -363,7 +445,7 @@ fn fig9(options: &Options) {
         }
         rows.push(row);
     }
-    print_table("peak state bytes", &header, &rows);
+    print_table(sink, "peak state bytes", &header, &rows);
 }
 
 // ─────────────────────────── Aggregate kinds ────────────────────────
@@ -372,13 +454,15 @@ fn fig9(options: &Options) {
 /// did not materially alter the results" — as a measurement: each of the
 /// paper's five aggregates (plus extensions) over the same random relation
 /// and algorithm.
-fn aggregate_kinds(options: &Options) {
+fn aggregate_kinds(options: &Options, sink: &mut Sink) {
     use tempagg_agg::{Aggregate, Avg, Count, CountDistinct, Max, Min, Sum};
     use tempagg_algo::{AggregationTree, TemporalAggregator};
 
     let n = options.max_tuples.min(16_384);
-    println!("
-== Aggregate choice (Section 6 methodology): {n} random tuples, aggregation tree ==");
+    emit!(
+        sink,
+        "\n== Aggregate choice (Section 6 methodology): {n} random tuples, aggregation tree =="
+    );
 
     fn time_one<A: Aggregate + Clone>(
         agg: A,
@@ -426,18 +510,132 @@ fn aggregate_kinds(options: &Options) {
     let (t, b) = time_one(Avg::<i64>::new(), &tuples, |v| v, seeds);
     rows.push(vec!["AVG".into(), secs(t), b.to_string()]);
     let (t, b) = time_one(CountDistinct::<i64>::new(), &tuples, |v| v % 64, seeds);
-    rows.push(vec!["COUNT DISTINCT (64 values)".into(), secs(t), b.to_string()]);
+    rows.push(vec![
+        "COUNT DISTINCT (64 values)".into(),
+        secs(t),
+        b.to_string(),
+    ]);
     print_table(
+        sink,
         "per-aggregate time and peak model bytes (same tuples, same tree)",
         &["aggregate".into(), "time (s)".into(), "peak bytes".into()],
         &rows,
     );
 }
 
+// ──────────────────────────── Pipeline ──────────────────────────────
+
+/// Serial vs domain-partitioned execution of the same algorithm over the
+/// same random relation, emitting `target/BENCH_pipeline.json`. Even on a
+/// single core the partitioned linked list wins algorithmically: each
+/// partition walks a list of ~`cells / P` nodes instead of one list of
+/// `cells`, so total work drops from `Θ(n · cells)` towards
+/// `Θ(n · cells / P)`.
+fn pipeline(options: &Options, sink: &mut Sink) {
+    let n = options.max_tuples.min(16_384);
+    let seeds = options.seeds;
+    emit!(
+        sink,
+        "\n== Pipeline: serial vs domain-partitioned execution, \
+         {n} random tuples (seconds, median of {seeds} seeds) =="
+    );
+
+    let partition_counts = [2usize, 4, 8];
+    let configs = [AlgoConfig::LinkedList, AlgoConfig::AggregationTree];
+    let make = |seed| WorkloadConfig {
+        tuples: n,
+        long_lived_pct: 0,
+        order: TupleOrder::Random,
+        seed,
+        ..Default::default()
+    };
+
+    fn median(runs: &mut [RunMeasurement]) -> RunMeasurement {
+        runs.sort_by_key(|m| m.elapsed);
+        runs[runs.len() / 2]
+    }
+
+    let mut header = vec!["algorithm".to_owned(), "serial".to_owned()];
+    for p in partition_counts {
+        header.push(format!("P={p}"));
+        header.push(format!("speedup P={p}"));
+    }
+    let mut rows = Vec::new();
+    let mut json_results = Vec::new();
+    for config in configs {
+        // Serial and every partition count run over the *same* relation
+        // within each seed, so row counts must agree seed by seed; the
+        // reported time per mode is the median across seeds.
+        let mut serial_runs: Vec<RunMeasurement> = Vec::new();
+        let mut part_runs: Vec<Vec<RunMeasurement>> = vec![Vec::new(); partition_counts.len()];
+        for s in 0..seeds {
+            let tuples = count_tuples(&make(s + 1));
+            let serial = run_count(config, &tuples);
+            for (slot, &p) in part_runs.iter_mut().zip(&partition_counts) {
+                let m = run_count_partitioned(config, &tuples, p);
+                assert_eq!(
+                    m.result_rows,
+                    serial.result_rows,
+                    "partitioned {} (P = {p}, seed {}) produced a different row count",
+                    config.label(),
+                    s + 1
+                );
+                slot.push(m);
+            }
+            serial_runs.push(serial);
+        }
+        let serial = median(&mut serial_runs);
+        let serial_secs = serial.elapsed.as_secs_f64();
+        json_results.push(format!(
+            "    {{\"algorithm\": \"{}\", \"partitions\": 1, \"seconds\": {:.6}, \
+             \"result_rows\": {}, \"speedup\": 1.0}}",
+            config.label(),
+            serial_secs,
+            serial.result_rows
+        ));
+        let mut row = vec![config.label(), secs(serial.elapsed)];
+        for (slot, &p) in part_runs.iter_mut().zip(&partition_counts) {
+            let m = median(slot);
+            let speedup = serial_secs / m.elapsed.as_secs_f64().max(f64::EPSILON);
+            row.push(secs(m.elapsed));
+            row.push(format!("{speedup:.2}x"));
+            json_results.push(format!(
+                "    {{\"algorithm\": \"{}\", \"partitions\": {p}, \"seconds\": {:.6}, \
+                 \"result_rows\": {}, \"speedup\": {:.3}}}",
+                config.label(),
+                m.elapsed.as_secs_f64(),
+                m.result_rows,
+                speedup
+            ));
+        }
+        rows.push(row);
+    }
+    print_table(
+        sink,
+        "serial vs partitioned time (result rows verified identical)",
+        &header,
+        &rows,
+    );
+
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        "{{\n  \"experiment\": \"pipeline\",\n  \"tuples\": {n},\n  \"seeds\": {seeds},\n  \
+         \"threads_available\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_results.join(",\n")
+    );
+    match target_dir().and_then(|dir| {
+        let path = dir.join("BENCH_pipeline.json");
+        std::fs::write(&path, &json).map(|()| path)
+    }) {
+        Ok(path) => emit!(sink, "\n[pipeline timings written to {}]", path.display()),
+        Err(e) => emit!(sink, "\n[could not write BENCH_pipeline.json: {e}]"),
+    }
+}
+
 // ───────────────────────────── Ablations ────────────────────────────
 
-fn ablation(options: &Options) {
-    println!("\n== Section 7 future-work ablations ==");
+fn ablation(options: &Options, sink: &mut Sink) {
+    emit!(sink, "\n== Section 7 future-work ablations ==");
     let seeds = options.seeds;
     let n = options.max_tuples.min(16_384);
 
@@ -466,8 +664,7 @@ fn ablation(options: &Options) {
                 if let Some(shuffle_seed) = prep {
                     perturb::shuffle(&mut relation, shuffle_seed);
                 }
-                let tuples: Vec<(Interval, ())> =
-                    relation.intervals().map(|iv| (iv, ())).collect();
+                let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
                 run_count(config, &tuples)
             })
             .collect();
@@ -480,6 +677,7 @@ fn ablation(options: &Options) {
         ]);
     }
     print_table(
+        sink,
         &format!("sorted input, n = {n}: time & memory by strategy"),
         &["strategy".into(), "time (s)".into(), "peak bytes".into()],
         &rows,
@@ -496,13 +694,10 @@ fn ablation(options: &Options) {
     ]];
     for span in [100_000i64, 10_000, 1_000] {
         use tempagg_algo::TemporalAggregator;
-        let mut grouper = tempagg_algo::SpanGrouper::new(
-            tempagg_agg::Count,
-            Interval::at(0, 999_999),
-            span,
-        )
-        // lint: allow(no-unwrap): the window and span are hard-coded valid benchmark parameters
-        .expect("bounded window");
+        let mut grouper =
+            tempagg_algo::SpanGrouper::new(tempagg_agg::Count, Interval::at(0, 999_999), span)
+                // lint: allow(no-unwrap): the window and span are hard-coded valid benchmark parameters
+                .expect("bounded window");
         for &(iv, ()) in &tuples {
             // lint: allow(no-unwrap): SpanGrouper::push clips and never errors
             grouper.push(iv, ()).expect("in-window");
@@ -516,8 +711,13 @@ fn ablation(options: &Options) {
         ]);
     }
     print_table(
+        sink,
         &format!("instant vs span grouping, n = {n} random tuples"),
-        &["grouping".into(), "result rows".into(), "state bytes".into()],
+        &[
+            "grouping".into(),
+            "result rows".into(),
+            "state bytes".into(),
+        ],
         &rows,
     );
 
@@ -550,6 +750,7 @@ fn ablation(options: &Options) {
         ]);
     }
     print_table(
+        sink,
         &format!("limited-memory (paged) aggregation tree, n = {n} random tuples"),
         &[
             "strategy".into(),

@@ -153,7 +153,7 @@ pub fn difference(a: &TemporalRelation, b: &TemporalRelation) -> Result<Temporal
         let holes: Vec<Interval> = b
             .iter()
             .filter(|other| other.values() == tuple.values())
-            .map(|other| other.valid())
+            .map(super::tuple::Tuple::valid)
             .collect();
         for remainder in subtract_intervals(tuple.valid(), &holes) {
             out.push_tuple(tuple.clone().with_valid(remainder))?;
@@ -304,8 +304,10 @@ mod tests {
         // With adjacent stints they must merge.
         let schema = Schema::of(&[("name", ValueType::Str), ("x", ValueType::Int)]);
         let mut r = TemporalRelation::new(schema);
-        r.push(vec![Value::from("a"), Value::Int(1)], Interval::at(0, 5)).unwrap();
-        r.push(vec![Value::from("a"), Value::Int(2)], Interval::at(6, 9)).unwrap();
+        r.push(vec![Value::from("a"), Value::Int(1)], Interval::at(0, 5))
+            .unwrap();
+        r.push(vec![Value::from("a"), Value::Int(2)], Interval::at(6, 9))
+            .unwrap();
         let p = project(&r, &["name"]).unwrap();
         assert_eq!(p.len(), 1);
         assert_eq!(p.intervals().next().unwrap(), Interval::at(0, 9));
@@ -343,13 +345,18 @@ mod tests {
         a.push(vec![Value::from("x")], Interval::at(0, 20)).unwrap();
         let mut b = TemporalRelation::new(schema);
         b.push(vec![Value::from("x")], Interval::at(5, 8)).unwrap();
-        b.push(vec![Value::from("x")], Interval::at(12, 14)).unwrap();
+        b.push(vec![Value::from("x")], Interval::at(12, 14))
+            .unwrap();
         b.push(vec![Value::from("y")], Interval::at(0, 50)).unwrap(); // other value: no effect
         let d = difference(&a, &b).unwrap();
         let intervals: Vec<Interval> = d.intervals().collect();
         assert_eq!(
             intervals,
-            vec![Interval::at(0, 4), Interval::at(9, 11), Interval::at(15, 20)]
+            vec![
+                Interval::at(0, 4),
+                Interval::at(9, 11),
+                Interval::at(15, 20)
+            ]
         );
     }
 
@@ -379,10 +386,7 @@ mod tests {
             subtract_intervals(iv, &[Interval::at(6, 10)]),
             vec![Interval::at(0, 5)]
         );
-        assert_eq!(
-            subtract_intervals(iv, &[Interval::at(20, 30)]),
-            vec![iv]
-        );
+        assert_eq!(subtract_intervals(iv, &[Interval::at(20, 30)]), vec![iv]);
     }
 
     #[test]
@@ -398,7 +402,11 @@ mod tests {
         assert_eq!(karen.valid(), Interval::at(8, 15));
         assert_eq!(karen.value(2), &Value::from("Research"));
         assert_eq!(
-            j.schema().columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            j.schema()
+                .columns()
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["name", "salary", "dept"]
         );
     }
@@ -418,12 +426,18 @@ mod tests {
     fn join_renames_colliding_columns() {
         let schema = Schema::of(&[("k", ValueType::Int), ("v", ValueType::Int)]);
         let mut a = TemporalRelation::new(schema.clone());
-        a.push(vec![Value::Int(1), Value::Int(10)], Interval::at(0, 9)).unwrap();
+        a.push(vec![Value::Int(1), Value::Int(10)], Interval::at(0, 9))
+            .unwrap();
         let mut b = TemporalRelation::new(schema);
-        b.push(vec![Value::Int(1), Value::Int(20)], Interval::at(5, 14)).unwrap();
+        b.push(vec![Value::Int(1), Value::Int(20)], Interval::at(5, 14))
+            .unwrap();
         let j = join(&a, &b, &[("k", "k")]).unwrap();
         assert_eq!(
-            j.schema().columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            j.schema()
+                .columns()
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["k", "v", "right_v"]
         );
         assert_eq!(j.tuples()[0].valid(), Interval::at(5, 9));

@@ -150,8 +150,7 @@ impl BitemporalRelation {
                     version.transaction =
                         Interval::new(version.transaction.start(), version.transaction.start())?;
                 } else {
-                    version.transaction =
-                        Interval::new(version.transaction.start(), closed_end)?;
+                    version.transaction = Interval::new(version.transaction.start(), closed_end)?;
                 }
                 closed += 1;
             }
@@ -334,7 +333,9 @@ mod tests {
     #[test]
     fn schema_violations_rejected() {
         let mut r = BitemporalRelation::new(schema());
-        assert!(r.insert(vec![Value::Int(1)], Interval::at(0, 1), 0).is_err());
+        assert!(r
+            .insert(vec![Value::Int(1)], Interval::at(0, 1), 0)
+            .is_err());
         assert!(r.is_empty());
     }
 

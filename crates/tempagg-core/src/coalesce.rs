@@ -20,12 +20,14 @@ use crate::relation::TemporalRelation;
 use crate::tuple::Tuple;
 
 /// Sort key: explicit values, then valid time.
-fn sort_key(t: &Tuple) -> (Vec<crate::value::Value>, crate::timestamp::Timestamp, crate::timestamp::Timestamp) {
-    (
-        t.values().to_vec(),
-        t.valid().start(),
-        t.valid().end(),
-    )
+fn sort_key(
+    t: &Tuple,
+) -> (
+    Vec<crate::value::Value>,
+    crate::timestamp::Timestamp,
+    crate::timestamp::Timestamp,
+) {
+    (t.values().to_vec(), t.valid().start(), t.valid().end())
 }
 
 /// Remove tuples that are exact duplicates (same attributes, same valid

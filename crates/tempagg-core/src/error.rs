@@ -35,10 +35,19 @@ pub enum TempAggError {
     TypeError { detail: String },
     /// The span length for span grouping must be positive.
     InvalidSpan { length: i64 },
+    /// A bounded [`Chunk`](crate::Chunk) was pushed past its capacity.
+    ChunkFull { capacity: usize },
+    /// A domain partitioning was not a proper cut of the domain: seams
+    /// must be strictly increasing interior start-points.
+    InvalidPartitioning { detail: String },
     /// `k` must be at least 1 for the k-ordered aggregation tree.
     InvalidK { k: usize },
     /// SQL front-end errors (lexing, parsing, binding).
-    Sql { line: u32, column: u32, detail: String },
+    Sql {
+        line: u32,
+        column: u32,
+        detail: String,
+    },
     /// A catalog lookup failed.
     UnknownRelation { name: String },
     /// An internal invariant did not hold. Seeing this error is a bug in
@@ -51,7 +60,9 @@ pub enum TempAggError {
 impl TempAggError {
     /// Shorthand for [`TempAggError::Internal`].
     pub fn internal(detail: impl Into<String>) -> TempAggError {
-        TempAggError::Internal { detail: detail.into() }
+        TempAggError::Internal {
+            detail: detail.into(),
+        }
     }
 }
 
@@ -83,10 +94,26 @@ impl fmt::Display for TempAggError {
             TempAggError::InvalidSpan { length } => {
                 write!(f, "span length must be positive, got {length}")
             }
-            TempAggError::InvalidK { k } => {
-                write!(f, "k must be at least 1 for the k-ordered aggregation tree, got {k}")
+            TempAggError::ChunkFull { capacity } => {
+                write!(
+                    f,
+                    "chunk is full (capacity {capacity}); drain and clear it first"
+                )
             }
-            TempAggError::Sql { line, column, detail } => {
+            TempAggError::InvalidPartitioning { detail } => {
+                write!(f, "invalid domain partitioning: {detail}")
+            }
+            TempAggError::InvalidK { k } => {
+                write!(
+                    f,
+                    "k must be at least 1 for the k-ordered aggregation tree, got {k}"
+                )
+            }
+            TempAggError::Sql {
+                line,
+                column,
+                detail,
+            } => {
                 write!(f, "SQL error at {line}:{column}: {detail}")
             }
             TempAggError::UnknownRelation { name } => {

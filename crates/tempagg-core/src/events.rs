@@ -224,11 +224,7 @@ mod tests {
             WindowAlignment::Leading,
             WindowAlignment::Centered,
         ] {
-            let ivs: Vec<Interval> = r
-                .to_intervals(1, alignment)
-                .unwrap()
-                .intervals()
-                .collect();
+            let ivs: Vec<Interval> = r.to_intervals(1, alignment).unwrap().intervals().collect();
             assert_eq!(ivs[0], Interval::instant(5), "{alignment:?}");
         }
     }

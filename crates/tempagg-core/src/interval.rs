@@ -162,6 +162,32 @@ impl Interval {
         }
     }
 
+    /// Up to `parts − 1` strictly increasing interior start-points that
+    /// cut the interval into `parts` runs of near-equal length.
+    ///
+    /// Each returned timestamp `s` is the first instant of the next run:
+    /// cutting `[lo, hi]` at seams `s₁ < s₂ < …` yields sub-intervals
+    /// `[lo, s₁−1], [s₁, s₂−1], …, [sₖ, hi]`. Fewer than `parts − 1`
+    /// seams are returned when the interval is too short, and none at all
+    /// for an unbounded interval (there is no meaningful even cut of
+    /// `[lo, ∞]`) — callers partitioning an unbounded domain should cut
+    /// at seams drawn from a bounded hull of the data instead.
+    pub fn even_seams(&self, parts: usize) -> Vec<Timestamp> {
+        if parts <= 1 || self.end.is_forever() {
+            return Vec::new();
+        }
+        let span = self.duration() as i128;
+        let mut out = Vec::with_capacity(parts - 1);
+        for i in 1..parts {
+            let offset = (span * i as i128 / parts as i128) as i64;
+            let s = self.start.saturating_add(offset);
+            if s > self.start && s <= self.end && out.last() != Some(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
     /// Split at an *end* boundary `e`: `[lo, hi] → ([lo, e], [e+1, hi])`.
     ///
     /// Returns `None` when `e < lo` or `e ≥ hi`. This is the split the
@@ -200,6 +226,31 @@ impl fmt::Debug for Interval {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn even_seams_cut_into_equal_runs() {
+        // [0, 99] into 4 runs: seams at 25, 50, 75.
+        let seams = Interval::at(0, 99).even_seams(4);
+        assert_eq!(seams, vec![Timestamp(25), Timestamp(50), Timestamp(75)]);
+        // One part or zero parts: no cut.
+        assert!(Interval::at(0, 99).even_seams(1).is_empty());
+        assert!(Interval::at(0, 99).even_seams(0).is_empty());
+    }
+
+    #[test]
+    fn even_seams_short_intervals_dedup() {
+        // A 2-instant interval can be cut at most once.
+        let seams = Interval::at(10, 11).even_seams(8);
+        assert_eq!(seams, vec![Timestamp(11)]);
+        // A single instant cannot be cut at all.
+        assert!(Interval::at(10, 10).even_seams(8).is_empty());
+    }
+
+    #[test]
+    fn even_seams_unbounded_returns_none() {
+        assert!(Interval::TIMELINE.even_seams(4).is_empty());
+        assert!(Interval::from_start(100).even_seams(2).is_empty());
+    }
 
     #[test]
     fn construction_validates() {

@@ -19,6 +19,7 @@
 
 pub mod algebra;
 mod bitemporal;
+mod chunk;
 pub mod coalesce;
 mod error;
 mod events;
@@ -33,6 +34,7 @@ mod tuple;
 mod value;
 
 pub use bitemporal::{BitemporalRelation, Version};
+pub use chunk::{Chunk, ChunkIter, DEFAULT_CHUNK_CAPACITY};
 pub use error::{Result, TempAggError};
 pub use events::{Event, EventRelation, WindowAlignment};
 pub use granularity::{Calendar, TimeUnit};

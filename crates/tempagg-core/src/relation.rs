@@ -73,7 +73,7 @@ impl TemporalRelation {
     /// The valid-time intervals in storage order. The sortedness metrics and
     /// all aggregation algorithms operate on this projection.
     pub fn intervals(&self) -> impl Iterator<Item = Interval> + '_ {
-        self.tuples.iter().map(|t| t.valid())
+        self.tuples.iter().map(super::tuple::Tuple::valid)
     }
 
     /// Smallest interval covering every tuple's valid time, or `None` when
@@ -82,7 +82,7 @@ impl TemporalRelation {
     pub fn lifespan(&self) -> Option<Interval> {
         self.tuples
             .iter()
-            .map(|t| t.valid())
+            .map(super::tuple::Tuple::valid)
             .reduce(|a, b| a.hull(&b))
     }
 

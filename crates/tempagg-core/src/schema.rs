@@ -183,7 +183,9 @@ mod tests {
     #[test]
     fn check_enforces_arity_and_types() {
         let s = employed_schema();
-        assert!(s.check(&[Value::from("Richard"), Value::from(40_000)]).is_ok());
+        assert!(s
+            .check(&[Value::from("Richard"), Value::from(40_000)])
+            .is_ok());
         assert!(s.check(&[Value::from("Richard")]).is_err());
         assert!(s
             .check(&[Value::from(40_000), Value::from("Richard")])

@@ -90,11 +90,7 @@ pub fn k_ordered_percentage(intervals: &[Interval], k: usize) -> f64 {
 /// in the Table 2 examples (`histogram[i]` = number of tuples `i` out of
 /// order; index 0 is ignored by the sum).
 pub fn k_ordered_percentage_from_histogram(histogram: &[usize], k: usize, n: usize) -> f64 {
-    let sum: usize = histogram
-        .iter()
-        .enumerate()
-        .map(|(i, &ni)| i * ni)
-        .sum();
+    let sum: usize = histogram.iter().enumerate().map(|(i, &ni)| i * ni).sum();
     percentage_from_displacement_sum(sum, k, n)
 }
 
@@ -130,7 +126,11 @@ pub fn analyze(intervals: &[Interval]) -> SortednessReport {
         n,
         k_order: k,
         percentage_at_k_order: percentage_from_displacement_sum(sum, k, n),
-        fraction_displaced: if n == 0 { 0.0 } else { displaced as f64 / n as f64 },
+        fraction_displaced: if n == 0 {
+            0.0
+        } else {
+            displaced as f64 / n as f64
+        },
     }
 }
 

@@ -222,7 +222,10 @@ mod tests {
         // total_cmp gives NaN a definite position instead of poisoning MIN/MAX.
         assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
         assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
     }
 

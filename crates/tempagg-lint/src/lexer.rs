@@ -39,7 +39,7 @@ impl<'a> Token<'a> {
     }
 
     pub fn is_punct(&self, c: char) -> bool {
-        self.kind == TokenKind::Punct && self.text.chars().next() == Some(c)
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
     }
 }
 
@@ -274,9 +274,10 @@ impl<'a> Lexer<'a> {
         self.pos += 1;
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
-            if b.is_ascii_alphanumeric() || b == b'_' {
-                self.pos += 1;
-            } else if b == b'.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+            if b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()))
+            {
                 self.pos += 1;
             } else if (b == b'+' || b == b'-')
                 && matches!(self.bytes[self.pos - 1], b'e' | b'E')
@@ -326,14 +327,18 @@ mod tests {
     #[test]
     fn strings_are_opaque() {
         let toks = kinds(r#"let s = "calls unwrap() inside";"#);
-        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
         assert!(toks.iter().any(|(k, _)| *k == TokenKind::Literal));
     }
 
     #[test]
     fn raw_strings_with_hashes() {
         let toks = kinds(r###"let s = r#"quote " inside"#; x.unwrap()"###);
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
         let lit = toks.iter().find(|(k, _)| *k == TokenKind::Literal).unwrap();
         assert!(lit.1.contains("quote"));
     }
@@ -342,11 +347,15 @@ mod tests {
     fn lifetimes_vs_chars() {
         let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
         assert_eq!(
-            toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
             2
         );
         assert_eq!(
-            toks.iter().filter(|(k, _)| *k == TokenKind::Literal).count(),
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
             2
         );
     }
@@ -369,9 +378,15 @@ mod tests {
     #[test]
     fn numbers_do_not_eat_method_calls() {
         let toks = kinds("1.max(2); 1.5e-3; 0xFF_u64");
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "max"));
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && *t == "1.5e-3"));
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && *t == "0xFF_u64"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "max"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "1.5e-3"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "0xFF_u64"));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! * `no-raw-i64-arith` — raw timestamp arithmetic only inside
 //!   `tempagg-core`
 //! * `no-as-cast` — no `as` casts in `tempagg-algo` / `tempagg-agg`
+//! * `no-raw-thread` — `std::thread` spawning only in
+//!   `tempagg-algo/src/parallel.rs`
 //! * `forbid-unsafe` — `#![forbid(unsafe_code)]` in every crate root
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 I/O failure. Diagnostics are
@@ -63,9 +65,12 @@ fn main() -> ExitCode {
             }
         };
         scanned += 1;
+        let crate_name = crate_of(&root, &root_pkg, file);
         let ctx = rules::FileContext {
-            crate_name: crate_of(&root, &root_pkg, file),
+            crate_name,
             is_crate_root: is_crate_root(file),
+            is_thread_hub: crate_name == "tempagg-algo"
+                && file.ends_with(Path::new("src").join("parallel.rs")),
         };
         let tokens = lexer::lex(&src);
         for v in rules::check_file(ctx, &tokens) {
@@ -119,8 +124,7 @@ fn collect_lintable_files(root: &Path, out: &mut Vec<PathBuf>) -> Result<(), Str
         }
         return Ok(());
     }
-    let entries = std::fs::read_dir(&crates)
-        .map_err(|e| format!("{}: {e}", crates.display()))?;
+    let entries = std::fs::read_dir(&crates).map_err(|e| format!("{}: {e}", crates.display()))?;
     for entry in entries {
         let entry = entry.map_err(|e| format!("{}: {e}", crates.display()))?;
         if entry.path().is_dir() {

@@ -14,6 +14,11 @@
 //! * `no-as-cast` — no `as` casts in `tempagg-algo` / `tempagg-agg`
 //!   (silent truncation/sign-loss corrupts aggregates); use `From` /
 //!   `try_from`, or justify with an allow comment.
+//! * `no-raw-thread` — `thread::spawn` / `thread::scope` /
+//!   `thread::Builder` only inside `tempagg-algo/src/parallel.rs`, the
+//!   workspace's one parallel primitive; everything else goes through
+//!   `scoped_map` / `PartitionedAggregator` so worker panics, ordering,
+//!   and thread caps are handled in a single audited place.
 //! * `forbid-unsafe` — every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
 
@@ -34,6 +39,9 @@ pub struct FileContext<'a> {
     pub crate_name: &'a str,
     /// `true` for `src/lib.rs` / `src/main.rs` (drives `forbid-unsafe`).
     pub is_crate_root: bool,
+    /// `true` only for `tempagg-algo/src/parallel.rs`, the one file
+    /// allowed to touch `std::thread` directly (drives `no-raw-thread`).
+    pub is_thread_hub: bool,
 }
 
 /// Crates whose algorithms must not use `as` casts.
@@ -61,6 +69,9 @@ pub fn check_file(ctx: FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> 
     }
     if NO_CAST_CRATES.contains(&ctx.crate_name) {
         no_as_cast(&code, &in_test, &allows, &mut out);
+    }
+    if !ctx.is_thread_hub {
+        no_raw_thread(&code, &in_test, &allows, &mut out);
     }
     if ctx.is_crate_root {
         forbid_unsafe(&code, &mut out);
@@ -137,7 +148,11 @@ fn report(
                 "`lint: allow` without a justification — write `// lint: allow({rule}): <why>`"
             ),
         }),
-        None => out.push(Violation { rule, line, message }),
+        None => out.push(Violation {
+            rule,
+            line,
+            message,
+        }),
     }
 }
 
@@ -213,13 +228,14 @@ fn no_unwrap(
                 out,
                 "no-unwrap",
                 t.line,
-                format!("`.{}()` in library code — return a `Result` instead", t.text),
+                format!(
+                    "`.{}()` in library code — return a `Result` instead",
+                    t.text
+                ),
             );
         }
         // `panic!` family macros.
-        if PANIC_MACROS.contains(&t.text)
-            && matches!(code.get(i + 1), Some(n) if n.is_punct('!'))
-        {
+        if PANIC_MACROS.contains(&t.text) && matches!(code.get(i + 1), Some(n) if n.is_punct('!')) {
             report(
                 allows,
                 out,
@@ -324,6 +340,41 @@ fn no_as_cast(
     }
 }
 
+/// `thread::` members that create OS threads.
+const THREAD_SPAWNERS: &[&str] = &["spawn", "scope", "Builder"];
+
+fn no_raw_thread(
+    code: &[&Token<'_>],
+    in_test: &[bool],
+    allows: &AllowComments,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        // `thread :: spawn` / `thread :: scope` / `thread :: Builder`
+        // (`::` lexes as two `:` puncts). Reads like
+        // `thread::available_parallelism` stay legal everywhere.
+        let is_spawn_path = code[i].is_ident("thread")
+            && matches!(code.get(i + 1), Some(t) if t.is_punct(':'))
+            && matches!(code.get(i + 2), Some(t) if t.is_punct(':'))
+            && matches!(code.get(i + 3), Some(t) if t.kind == TokenKind::Ident
+                && THREAD_SPAWNERS.contains(&t.text));
+        if is_spawn_path {
+            report(
+                allows,
+                out,
+                "no-raw-thread",
+                code[i].line,
+                "raw std::thread use outside tempagg-algo/src/parallel.rs — \
+                 go through scoped_map / PartitionedAggregator instead"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 fn forbid_unsafe(code: &[&Token<'_>], out: &mut Vec<Violation>) {
     let found = code.windows(8).any(|w| {
         w[0].is_punct('#')
@@ -355,6 +406,7 @@ mod tests {
             FileContext {
                 crate_name,
                 is_crate_root: is_root,
+                is_thread_hub: false,
             },
             &tokens,
         )
@@ -469,6 +521,47 @@ mod tests {
     fn use_as_rename_is_not_a_cast() {
         let src = "use std::collections::HashMap as Map;\nfn f() { let m: Map<u8, u8>; }";
         assert!(check("tempagg-algo", false, src).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_spawn_flagged_outside_the_hub() {
+        for call in [
+            "std::thread::spawn(f)",
+            "thread::scope(|s| {})",
+            "thread::Builder::new()",
+        ] {
+            let vs = check("tempagg-algo", false, &format!("fn f() {{ {call}; }}"));
+            assert_eq!(rules(&vs), vec!["no-raw-thread"], "for `{call}`");
+        }
+    }
+
+    #[test]
+    fn thread_hub_file_may_spawn() {
+        let tokens = lex("fn f() { std::thread::scope(|s| {}); }");
+        let vs = check_file(
+            FileContext {
+                crate_name: "tempagg-algo",
+                is_crate_root: false,
+                is_thread_hub: true,
+            },
+            &tokens,
+        );
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn non_spawning_thread_reads_are_legal() {
+        let src = "fn f() { let n = std::thread::available_parallelism(); }";
+        assert!(check("tempagg-plan", false, src).is_empty());
+        // Tests may spawn freely.
+        let src = "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(f); } }";
+        assert!(check("tempagg-plan", false, src).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_allow_comment_suppresses() {
+        let src = "fn f() {\n    // lint: allow(no-raw-thread): one-shot timer, no result plumbing needed\n    std::thread::spawn(f);\n}";
+        assert!(check("tempagg-sql", false, src).is_empty());
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct CostModel {
     /// Cost charged per byte of peak algorithm state (models memory
     /// pressure; 0 when memory is free).
     pub per_state_byte: f64,
+    /// Fixed cost (in node-visit units) of each domain partition in the
+    /// parallel pipeline: worker setup, tuple clipping, and seam
+    /// stitching. Gates [`CostModel::choose_parallelism`].
+    pub partition_overhead: f64,
 }
 
 impl Default for CostModel {
@@ -44,7 +48,25 @@ impl Default for CostModel {
             io_per_tuple: 50.0,
             sort_per_tuple: 2.0,
             per_state_byte: 0.0,
+            partition_overhead: 5_000.0,
         }
+    }
+}
+
+impl CostModel {
+    /// The degree of parallelism that minimises `serial_cpu / p +
+    /// p · partition_overhead` over `1 ≤ p ≤ max_partitions` — i.e. an
+    /// even domain split is only worth its per-partition overhead when the
+    /// CPU saved exceeds it. Returns 1 when no split pays off.
+    pub fn choose_parallelism(&self, serial_cpu: f64, max_partitions: usize) -> usize {
+        let mut best = (1usize, serial_cpu);
+        for p in 2..=max_partitions.max(1) {
+            let cost = serial_cpu / p as f64 + p as f64 * self.partition_overhead;
+            if cost < best.1 {
+                best = (p, cost);
+            }
+        }
+        best.0
     }
 }
 
@@ -98,7 +120,11 @@ pub fn estimate(
                 .expected_result_intervals
                 .map_or(cells, |r| r as f64)
                 .max(1.0);
-            (n * effective_cells / 2.0 * model.node_visit, scan_io, effective_cells as usize + 1)
+            (
+                n * effective_cells / 2.0 * model.node_visit,
+                scan_io,
+                effective_cells as usize + 1,
+            )
         }
         AlgorithmChoice::AggregationTree => {
             let nodes = 2.0 * cells + 1.0;
@@ -111,8 +137,7 @@ pub fn estimate(
             (cpu, scan_io, nodes as usize)
         }
         AlgorithmChoice::KOrderedTree { k, presort } => {
-            let window_nodes = (4 * (2 * k + 1) + 1) as f64
-                + stats.long_lived_fraction * n * 2.0;
+            let window_nodes = (4 * (2 * k + 1) + 1) as f64 + stats.long_lived_fraction * n * 2.0;
             let mut cpu = n * (log2(window_nodes) + 2.0) * model.node_visit;
             let mut io = scan_io;
             if presort {
@@ -135,15 +160,22 @@ fn candidates(stats: &RelationStats) -> Vec<AlgorithmChoice> {
     let mut out = vec![
         AlgorithmChoice::LinkedList,
         AlgorithmChoice::AggregationTree,
-        AlgorithmChoice::KOrderedTree { k: 1, presort: true },
+        AlgorithmChoice::KOrderedTree {
+            k: 1,
+            presort: true,
+        },
     ];
     match stats.ordering {
-        OrderingKnowledge::Sorted => {
-            out.push(AlgorithmChoice::KOrderedTree { k: 1, presort: false })
-        }
+        OrderingKnowledge::Sorted => out.push(AlgorithmChoice::KOrderedTree {
+            k: 1,
+            presort: false,
+        }),
         OrderingKnowledge::KOrdered { k }
         | OrderingKnowledge::RetroactivelyBounded { equivalent_k: k } => {
-            out.push(AlgorithmChoice::KOrderedTree { k: k.max(1), presort: false })
+            out.push(AlgorithmChoice::KOrderedTree {
+                k: k.max(1),
+                presort: false,
+            });
         }
         _ => {}
     }
@@ -184,7 +216,7 @@ pub fn plan_by_cost(
             .expect("costs are finite")
     });
     let best = scored[0].clone();
-    let rationale = scored
+    let mut rationale: Vec<String> = scored
         .iter()
         .map(|e| {
             format!(
@@ -197,8 +229,20 @@ pub fn plan_by_cost(
             )
         })
         .collect();
+    // Degree of parallelism: the configured (or machine) worker count is
+    // an upper bound; the overhead model decides how much of it pays off.
+    let max_p = crate::planner::choose_parallelism(stats, config);
+    let parallelism = model.choose_parallelism(best.cpu, max_p);
+    if parallelism > 1 {
+        rationale.push(format!(
+            "splitting the domain {parallelism} ways trades {:.0} cpu for {:.0} partition overhead",
+            best.cpu - best.cpu / parallelism as f64,
+            parallelism as f64 * model.partition_overhead
+        ));
+    }
     Plan {
         choice: best.choice,
+        parallelism,
         estimated_state_bytes: best.state_bytes,
         rationale,
     }
@@ -222,7 +266,10 @@ mod tests {
     fn agrees_with_rules_on_random_input() {
         let s = stats(10_000, OrderingKnowledge::Unordered);
         assert_eq!(cost_choice(&s), AlgorithmChoice::AggregationTree);
-        assert_eq!(plan(&s, &PlannerConfig::default(), 4).choice, cost_choice(&s));
+        assert_eq!(
+            plan(&s, &PlannerConfig::default(), 4).choice,
+            cost_choice(&s)
+        );
     }
 
     #[test]
@@ -230,9 +277,15 @@ mod tests {
         let s = stats(10_000, OrderingKnowledge::Sorted);
         assert_eq!(
             cost_choice(&s),
-            AlgorithmChoice::KOrderedTree { k: 1, presort: false }
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: false
+            }
         );
-        assert_eq!(plan(&s, &PlannerConfig::default(), 4).choice, cost_choice(&s));
+        assert_eq!(
+            plan(&s, &PlannerConfig::default(), 4).choice,
+            cost_choice(&s)
+        );
     }
 
     #[test]
@@ -240,7 +293,10 @@ mod tests {
         let s = stats(10_000, OrderingKnowledge::KOrdered { k: 40 });
         assert_eq!(
             cost_choice(&s),
-            AlgorithmChoice::KOrderedTree { k: 40, presort: false }
+            AlgorithmChoice::KOrderedTree {
+                k: 40,
+                presort: false
+            }
         );
     }
 
@@ -267,7 +323,13 @@ mod tests {
             ..Default::default()
         };
         let p = plan_by_cost(&s, &config, &CostModel::default(), 4);
-        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: true });
+        assert_eq!(
+            p.choice,
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: true
+            }
+        );
         assert!(p.estimated_state_bytes <= 10_000);
     }
 
@@ -281,26 +343,72 @@ mod tests {
             ..Default::default()
         };
         let p = plan_by_cost(&s, &PlannerConfig::default(), &expensive, 4);
-        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: true });
+        assert_eq!(
+            p.choice,
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: true
+            }
+        );
     }
 
     #[test]
     fn long_lived_fraction_inflates_ktree_state() {
         let mut s = stats(10_000, OrderingKnowledge::Sorted);
         let lean = estimate(
-            AlgorithmChoice::KOrderedTree { k: 1, presort: false },
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: false,
+            },
             &s,
             &CostModel::default(),
             4,
         );
         s.long_lived_fraction = 0.8;
         let heavy = estimate(
-            AlgorithmChoice::KOrderedTree { k: 1, presort: false },
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: false,
+            },
             &s,
             &CostModel::default(),
             4,
         );
         assert!(heavy.state_bytes > 100 * lean.state_bytes);
+    }
+
+    #[test]
+    fn parallelism_pays_only_on_big_inputs() {
+        let model = CostModel::default();
+        // 1 000 node visits: any split costs more in overhead than it saves.
+        assert_eq!(model.choose_parallelism(1_000.0, 8), 1);
+        // 10 M node visits: splitting is clearly worth it.
+        assert!(model.choose_parallelism(10_000_000.0, 8) > 1);
+        // Never exceeds the cap.
+        assert!(model.choose_parallelism(10_000_000.0, 3) <= 3);
+        assert_eq!(model.choose_parallelism(10_000_000.0, 1), 1);
+    }
+
+    #[test]
+    fn plan_by_cost_prescribes_parallelism_when_forced() {
+        let s = stats(100_000, OrderingKnowledge::Unordered);
+        let config = PlannerConfig {
+            parallelism: Some(4),
+            parallel_min_tuples: 0,
+            ..Default::default()
+        };
+        let p = plan_by_cost(&s, &config, &CostModel::default(), 4);
+        assert_eq!(p.parallelism, 4);
+        assert!(p.rationale.iter().any(|r| r.contains("partition overhead")));
+        // Forcing serial always wins.
+        let serial = PlannerConfig {
+            parallelism: Some(1),
+            ..config
+        };
+        assert_eq!(
+            plan_by_cost(&s, &serial, &CostModel::default(), 4).parallelism,
+            1
+        );
     }
 
     #[test]

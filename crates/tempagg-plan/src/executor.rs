@@ -1,14 +1,26 @@
 //! Plan execution: drive the chosen algorithm over a relation.
+//!
+//! Tuples are fed in [`Chunk`]s of [`DEFAULT_CHUNK_CAPACITY`] through
+//! [`TemporalAggregator::push_batch`], so every algorithm gets its batch
+//! fast path (the linked list's binary-search insert, the tree's arena
+//! reservation). When the plan prescribes `parallelism > 1`, the domain is
+//! cut at seams drawn from the hull of the relation's tuple *start* times
+//! (finite even when the domain or tuple ends are unbounded) and each
+//! sub-domain runs its own inner aggregator on a scoped worker via
+//! [`PartitionedAggregator`]; the stitched result is byte-identical to the
+//! serial run.
 
 use crate::planner::{plan, AlgorithmChoice, Plan, PlannerConfig};
 use crate::stats::RelationStats;
 use std::time::{Duration, Instant};
 use tempagg_agg::Aggregate;
 use tempagg_algo::{
-    AggregationTree, KOrderedAggregationTree, LinkedListAggregate, MemoryStats,
-    TemporalAggregator,
+    AggregationTree, KOrderedAggregationTree, LinkedListAggregate, MemoryStats, PartitionReport,
+    PartitionedAggregator, TemporalAggregator,
 };
-use tempagg_core::{Interval, Result, Series, TemporalRelation, Tuple};
+use tempagg_core::{
+    Chunk, Interval, Result, Series, TemporalRelation, Timestamp, Tuple, DEFAULT_CHUNK_CAPACITY,
+};
 
 /// What happened during execution, for reporting and regression checks.
 #[derive(Clone, Debug)]
@@ -21,10 +33,38 @@ pub struct ExecutionReport {
     pub result_rows: usize,
     /// Wall-clock time of the scan + finish (excludes planning).
     pub elapsed: Duration,
-    /// Peak state memory.
+    /// Peak state memory (summed across partitions when parallel).
     pub memory: MemoryStats,
     /// Whether the plan sorted the input first.
     pub presorted: bool,
+    /// Domain partitions that actually ran (1 = serial; the plan's ask is
+    /// capped by how many seams the data supports).
+    pub parallelism: usize,
+    /// Per-partition routing counts, worker busy time, and memory.
+    /// Empty for a serial run.
+    pub partitions: Vec<PartitionReport>,
+}
+
+/// Feed the whole relation through `push_batch` in bounded chunks.
+fn feed<A, G, F>(aggregator: &mut G, relation: &TemporalRelation, extract: &F) -> Result<()>
+where
+    A: Aggregate,
+    A::Input: Clone,
+    G: TemporalAggregator<A>,
+    F: Fn(&Tuple) -> A::Input,
+{
+    let mut chunk: Chunk<A::Input> = Chunk::with_capacity(DEFAULT_CHUNK_CAPACITY);
+    for tuple in relation {
+        if chunk.is_full() {
+            aggregator.push_batch(&chunk)?;
+            chunk.clear();
+        }
+        chunk.push(tuple.valid(), extract(tuple))?;
+    }
+    if !chunk.is_empty() {
+        aggregator.push_batch(&chunk)?;
+    }
+    Ok(())
 }
 
 fn drive<A, G, F>(
@@ -34,19 +74,72 @@ fn drive<A, G, F>(
 ) -> Result<(Series<A::Output>, MemoryStats, &'static str)>
 where
     A: Aggregate,
+    A::Input: Clone,
     G: TemporalAggregator<A>,
     F: Fn(&Tuple) -> A::Input,
 {
-    for tuple in relation {
-        aggregator.push(tuple.valid(), extract(tuple))?;
-    }
+    feed(&mut aggregator, relation, extract)?;
     let memory = aggregator.memory();
     let name = aggregator.algorithm();
     Ok((aggregator.finish(), memory, name))
 }
 
+fn drive_partitioned<A, G, F>(
+    mut aggregator: PartitionedAggregator<A, G>,
+    relation: &TemporalRelation,
+    extract: &F,
+) -> Result<(Series<A::Output>, MemoryStats, Vec<PartitionReport>)>
+where
+    A: Aggregate,
+    A::Input: Clone + Send + Sync,
+    A::Output: PartialEq + Send,
+    G: TemporalAggregator<A> + Send,
+    F: Fn(&Tuple) -> A::Input,
+{
+    feed(&mut aggregator, relation, extract)?;
+    let memory = aggregator.memory();
+    let partitions = aggregator.partition_reports();
+    Ok((aggregator.finish(), memory, partitions))
+}
+
+fn partitioned_name(choice: AlgorithmChoice) -> &'static str {
+    match choice {
+        AlgorithmChoice::LinkedList => "partitioned linked-list",
+        AlgorithmChoice::AggregationTree => "partitioned aggregation-tree",
+        AlgorithmChoice::KOrderedTree { presort: true, .. } => "partitioned sort + k-ordered-tree",
+        AlgorithmChoice::KOrderedTree { presort: false, .. } => "partitioned k-ordered-tree",
+    }
+}
+
+/// Seams cutting `domain` into up to `parallelism` pieces, drawn from the
+/// even split of the hull of tuple *start* times — always finite, so an
+/// unbounded domain (the usual `[0, ∞]` time-line) still partitions as
+/// long as the data itself is bounded. Returns no seams (serial) when the
+/// relation is empty, all starts coincide, or `parallelism ≤ 1`.
+fn data_seams(relation: &TemporalRelation, domain: Interval, parallelism: usize) -> Vec<Timestamp> {
+    if parallelism <= 1 {
+        return Vec::new();
+    }
+    let mut starts = relation.intervals().map(|iv| iv.start());
+    let Some(first) = starts.next() else {
+        return Vec::new();
+    };
+    let (lo, hi) = starts.fold((first, first), |(lo, hi), s| (lo.min(s), hi.max(s)));
+    // Clamp into the domain so every seam is interior to it.
+    let lo = lo.max(domain.start());
+    let hi = hi.min(domain.end());
+    match Interval::new(lo, hi) {
+        Ok(hull) => hull.even_seams(parallelism),
+        Err(_) => Vec::new(),
+    }
+}
+
 /// Execute a plan over `relation`, computing `agg` of `extract(tuple)` per
 /// constant interval of `domain`.
+///
+/// `the_plan.parallelism > 1` routes through the domain-partitioned
+/// pipeline; its output is byte-identical to the serial run of the same
+/// algorithm (seam-aware stitching, see [`PartitionedAggregator`]).
 pub fn execute<A, F>(
     the_plan: &Plan,
     agg: A,
@@ -55,32 +148,78 @@ pub fn execute<A, F>(
     domain: Interval,
 ) -> Result<(Series<A::Output>, ExecutionReport)>
 where
-    A: Aggregate,
+    A: Aggregate + Clone + Send,
+    A::State: Send,
+    A::Input: Clone + Send + Sync,
+    A::Output: PartialEq + Send,
     F: Fn(&Tuple) -> A::Input,
 {
     let started = Instant::now();
     let mut presorted = false;
-    let (series, memory, algorithm) = match the_plan.choice {
-        AlgorithmChoice::LinkedList => drive(
-            LinkedListAggregate::with_domain(agg, domain),
-            relation,
-            &extract,
-        )?,
-        AlgorithmChoice::AggregationTree => drive(
-            AggregationTree::with_domain(agg, domain),
-            relation,
-            &extract,
-        )?,
-        AlgorithmChoice::KOrderedTree { k, presort } => {
-            let aggregator = KOrderedAggregationTree::with_domain(agg, k, domain)?;
-            if presort {
-                presorted = true;
-                let sorted = relation.sorted_by_time();
-                drive(aggregator, &sorted, &extract)?
-            } else {
-                drive(aggregator, relation, &extract)?
+    let seams = data_seams(relation, domain, the_plan.parallelism);
+    let parallelism = seams.len() + 1;
+
+    let (series, memory, algorithm, partitions) = if parallelism > 1 {
+        let (series, memory, partitions) = match the_plan.choice {
+            AlgorithmChoice::LinkedList => {
+                let par = PartitionedAggregator::with_seams(domain, seams, |sub| {
+                    LinkedListAggregate::with_domain(agg.clone(), sub)
+                })?;
+                drive_partitioned(par, relation, &extract)?
             }
-        }
+            AlgorithmChoice::AggregationTree => {
+                let par = PartitionedAggregator::with_seams(domain, seams, |sub| {
+                    AggregationTree::with_domain(agg.clone(), sub)
+                })?;
+                drive_partitioned(par, relation, &extract)?
+            }
+            AlgorithmChoice::KOrderedTree { k, presort } => {
+                // Probe once so an invalid k errors before partitions build.
+                KOrderedAggregationTree::with_domain(agg.clone(), k, domain)?;
+                let par = PartitionedAggregator::with_seams(domain, seams, |sub| {
+                    KOrderedAggregationTree::with_domain(agg.clone(), k, sub)
+                        // lint: allow(no-unwrap): k was validated by the probe construction just above
+                        .expect("k validated above")
+                })?;
+                if presort {
+                    presorted = true;
+                    let sorted = relation.sorted_by_time();
+                    drive_partitioned(par, &sorted, &extract)?
+                } else {
+                    drive_partitioned(par, relation, &extract)?
+                }
+            }
+        };
+        (
+            series,
+            memory,
+            partitioned_name(the_plan.choice),
+            partitions,
+        )
+    } else {
+        let (series, memory, name) = match the_plan.choice {
+            AlgorithmChoice::LinkedList => drive(
+                LinkedListAggregate::with_domain(agg, domain),
+                relation,
+                &extract,
+            )?,
+            AlgorithmChoice::AggregationTree => drive(
+                AggregationTree::with_domain(agg, domain),
+                relation,
+                &extract,
+            )?,
+            AlgorithmChoice::KOrderedTree { k, presort } => {
+                let aggregator = KOrderedAggregationTree::with_domain(agg, k, domain)?;
+                if presort {
+                    presorted = true;
+                    let sorted = relation.sorted_by_time();
+                    drive(aggregator, &sorted, &extract)?
+                } else {
+                    drive(aggregator, relation, &extract)?
+                }
+            }
+        };
+        (series, memory, name, Vec::new())
     };
     let report = ExecutionReport {
         algorithm,
@@ -89,6 +228,8 @@ where
         elapsed: started.elapsed(),
         memory,
         presorted,
+        parallelism,
+        partitions,
     };
     Ok((series, report))
 }
@@ -103,7 +244,10 @@ pub fn evaluate_auto<A, F>(
     domain: Interval,
 ) -> Result<(Series<A::Output>, Plan, ExecutionReport)>
 where
-    A: Aggregate,
+    A: Aggregate + Clone + Send,
+    A::State: Send,
+    A::Input: Clone + Send + Sync,
+    A::Output: PartialEq + Send,
     F: Fn(&Tuple) -> A::Input,
 {
     let stats = RelationStats::analyze(relation);
@@ -121,29 +265,110 @@ mod tests {
     use tempagg_workload::employed::{employed_relation, table1_expected};
     use tempagg_workload::{generate, WorkloadConfig};
 
+    fn serial_plan(choice: AlgorithmChoice) -> Plan {
+        Plan {
+            choice,
+            parallelism: 1,
+            estimated_state_bytes: 0,
+            rationale: vec![],
+        }
+    }
+
     #[test]
     fn every_choice_computes_table1() {
         let relation = employed_relation();
         let choices = [
             AlgorithmChoice::LinkedList,
             AlgorithmChoice::AggregationTree,
-            AlgorithmChoice::KOrderedTree { k: 4, presort: false },
-            AlgorithmChoice::KOrderedTree { k: 1, presort: true },
+            AlgorithmChoice::KOrderedTree {
+                k: 4,
+                presort: false,
+            },
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: true,
+            },
         ];
         for choice in choices {
-            let p = Plan {
-                choice,
-                estimated_state_bytes: 0,
-                rationale: vec![],
-            };
+            let p = serial_plan(choice);
             let (series, report) =
                 execute(&p, Count, &relation, |_| (), Interval::TIMELINE).unwrap();
-            let rows: Vec<(Interval, u64)> =
-                series.iter().map(|e| (e.interval, e.value)).collect();
+            let rows: Vec<(Interval, u64)> = series.iter().map(|e| (e.interval, e.value)).collect();
             assert_eq!(rows, table1_expected(), "choice {choice:?}");
             assert_eq!(report.tuples, 4);
             assert_eq!(report.result_rows, 7);
+            assert_eq!(report.parallelism, 1);
+            assert!(report.partitions.is_empty());
         }
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial() {
+        let relation = generate(&WorkloadConfig::random(2048));
+        let choices = [
+            AlgorithmChoice::LinkedList,
+            AlgorithmChoice::AggregationTree,
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: true,
+            },
+        ];
+        for choice in choices {
+            let serial = execute(
+                &serial_plan(choice),
+                Count,
+                &relation,
+                |_| (),
+                Interval::TIMELINE,
+            )
+            .unwrap()
+            .0;
+            for parallelism in [2usize, 3, 8] {
+                let p = Plan {
+                    parallelism,
+                    ..serial_plan(choice)
+                };
+                let (series, report) =
+                    execute(&p, Count, &relation, |_| (), Interval::TIMELINE).unwrap();
+                assert_eq!(series, serial, "choice {choice:?} × {parallelism}");
+                assert_eq!(report.parallelism, parallelism);
+                assert_eq!(report.partitions.len(), parallelism);
+                assert!(report.algorithm.starts_with("partitioned"));
+                let routed: usize = report.partitions.iter().map(|p| p.tuples).sum();
+                assert!(routed >= relation.len(), "clipped copies ≥ tuples");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ask_is_capped_by_the_data() {
+        // An empty relation has no start hull: the pipeline stays serial
+        // however much parallelism the plan asks for.
+        let relation = TemporalRelation::new(employed_relation().schema().clone());
+        let p = Plan {
+            parallelism: 8,
+            ..serial_plan(AlgorithmChoice::AggregationTree)
+        };
+        let (series, report) = execute(&p, Count, &relation, |_| (), Interval::TIMELINE).unwrap();
+        assert_eq!(report.parallelism, 1);
+        assert!(report.partitions.is_empty());
+        assert_eq!(series.len(), 1);
+    }
+
+    #[test]
+    fn auto_with_forced_parallelism_matches_oracle() {
+        let relation = generate(&WorkloadConfig::random(1024));
+        let config = PlannerConfig {
+            parallelism: Some(4),
+            parallel_min_tuples: 0,
+            ..Default::default()
+        };
+        let (series, the_plan, report) =
+            evaluate_auto(Count, &relation, |_| (), &config, Interval::TIMELINE).unwrap();
+        assert_eq!(the_plan.parallelism, 4);
+        assert!(report.parallelism > 1);
+        let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
+        assert_eq!(series, oracle(&Count, Interval::TIMELINE, &tuples));
     }
 
     #[test]
@@ -158,6 +383,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plan.choice, AlgorithmChoice::AggregationTree);
+        // 512 tuples sit under the parallel threshold: serial execution.
+        assert_eq!(plan.parallelism, 1);
         assert_eq!(report.algorithm, "aggregation-tree");
         let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
         assert_eq!(series, oracle(&Count, Interval::TIMELINE, &tuples));
@@ -174,7 +401,13 @@ mod tests {
             Interval::TIMELINE,
         )
         .unwrap();
-        assert_eq!(plan.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: false });
+        assert_eq!(
+            plan.choice,
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: false
+            }
+        );
         assert!(report.memory.peak_nodes < 64);
         let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
         assert_eq!(series, oracle(&Count, Interval::TIMELINE, &tuples));
@@ -208,9 +441,14 @@ mod tests {
             ..Default::default()
         };
         let p = plan(&stats, &config, 4);
-        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: true });
-        let (series, report) =
-            execute(&p, Count, &relation, |_| (), Interval::TIMELINE).unwrap();
+        assert_eq!(
+            p.choice,
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: true
+            }
+        );
+        let (series, report) = execute(&p, Count, &relation, |_| (), Interval::TIMELINE).unwrap();
         assert!(report.presorted);
         assert!(report.memory.peak_model_bytes() <= 1024);
         let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
@@ -221,11 +459,7 @@ mod tests {
     fn sum_through_the_executor() {
         let relation = employed_relation();
         let salary_idx = relation.schema().index_of("salary").unwrap();
-        let p = Plan {
-            choice: AlgorithmChoice::AggregationTree,
-            estimated_state_bytes: 0,
-            rationale: vec![],
-        };
+        let p = serial_plan(AlgorithmChoice::AggregationTree);
         let (series, _) = execute(
             &p,
             Sum::<i64>::new(),

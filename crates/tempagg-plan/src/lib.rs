@@ -19,7 +19,8 @@ mod stats;
 pub use cost::{estimate, plan_by_cost, CostEstimate, CostModel};
 pub use executor::{evaluate_auto, execute, ExecutionReport};
 pub use planner::{
-    estimate_ktree_nodes, estimate_list_cells, estimate_tree_nodes, plan, AlgorithmChoice, Plan,
-    PlannerConfig,
+    choose_parallelism, estimate_ktree_nodes, estimate_list_cells, estimate_tree_nodes, plan,
+    AlgorithmChoice, Plan, PlannerConfig,
 };
 pub use stats::{OrderingKnowledge, RelationStats};
+pub use tempagg_algo::PartitionReport;

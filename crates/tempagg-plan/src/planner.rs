@@ -15,8 +15,8 @@
 //!   k-ordered tree with k = 1** (the paper's "simplest strategy").
 
 use crate::stats::{OrderingKnowledge, RelationStats};
-use tempagg_algo::memory::model_node_bytes;
 use std::fmt;
+use tempagg_algo::memory::model_node_bytes;
 
 /// The algorithm (and preprocessing) a plan prescribes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,7 +24,10 @@ pub enum AlgorithmChoice {
     LinkedList,
     AggregationTree,
     /// `presort`: sort the relation by time first (k is then 1).
-    KOrderedTree { k: usize, presort: bool },
+    KOrderedTree {
+        k: usize,
+        presort: bool,
+    },
 }
 
 impl AlgorithmChoice {
@@ -53,6 +56,14 @@ pub struct PlannerConfig {
     /// Measured k values above `tuple_count / this` are treated as
     /// effectively unordered (a huge window would buy nothing).
     pub k_usefulness_divisor: usize,
+    /// Degree of parallelism for the partitioned pipeline: `None` asks the
+    /// machine (`std::thread::available_parallelism`), `Some(1)` forces a
+    /// serial plan, `Some(p)` forces up to `p` domain partitions.
+    pub parallelism: Option<usize>,
+    /// Relations smaller than this stay serial regardless of
+    /// [`parallelism`](Self::parallelism) being available: partition setup
+    /// and seam stitching cost more than they save on small inputs.
+    pub parallel_min_tuples: usize,
 }
 
 impl Default for PlannerConfig {
@@ -62,7 +73,24 @@ impl Default for PlannerConfig {
             memory_cheaper_than_io: true,
             small_result_threshold: 64,
             k_usefulness_divisor: 8,
+            parallelism: None,
+            parallel_min_tuples: 8192,
         }
+    }
+}
+
+/// The degree of parallelism a plan should prescribe: the configured (or
+/// machine-reported) worker count, except that small relations stay serial
+/// (`1`). This is the rule-based counterpart of
+/// [`CostModel::choose_parallelism`](crate::CostModel::choose_parallelism).
+pub fn choose_parallelism(stats: &RelationStats, config: &PlannerConfig) -> usize {
+    let available = config.parallelism.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    if available <= 1 || stats.tuple_count < config.parallel_min_tuples {
+        1
+    } else {
+        available
     }
 }
 
@@ -70,6 +98,8 @@ impl Default for PlannerConfig {
 #[derive(Clone, Debug, PartialEq)]
 pub struct Plan {
     pub choice: AlgorithmChoice,
+    /// Domain partitions to run in parallel (1 = serial execution).
+    pub parallelism: usize,
     /// Estimated peak state bytes under the paper's 16-byte-node model.
     pub estimated_state_bytes: usize,
     /// Human-readable EXPLAIN lines.
@@ -81,6 +111,9 @@ impl fmt::Display for Plan {
         writeln!(f, "algorithm: {}", self.choice.name())?;
         if let AlgorithmChoice::KOrderedTree { k, presort } = self.choice {
             writeln!(f, "  k = {k}, presort = {presort}")?;
+        }
+        if self.parallelism > 1 {
+            writeln!(f, "  parallelism = {}", self.parallelism)?;
         }
         writeln!(f, "  estimated state: {} bytes", self.estimated_state_bytes)?;
         for line in &self.rationale {
@@ -101,8 +134,7 @@ pub fn estimate_tree_nodes(stats: &RelationStats) -> usize {
 /// nodes linger — Section 6.2).
 pub fn estimate_ktree_nodes(stats: &RelationStats, k: usize) -> usize {
     let window_nodes = 4 * (2 * k + 1) + 1;
-    let long_lived_extra =
-        (stats.long_lived_fraction * stats.tuple_count as f64) as usize * 2;
+    let long_lived_extra = (stats.long_lived_fraction * stats.tuple_count as f64) as usize * 2;
     window_nodes + long_lived_extra
 }
 
@@ -127,6 +159,14 @@ pub fn estimate_list_cells(stats: &RelationStats) -> usize {
 pub fn plan(stats: &RelationStats, config: &PlannerConfig, state_model_bytes: usize) -> Plan {
     let node_bytes = model_node_bytes(state_model_bytes);
     let mut rationale = Vec::new();
+    let parallelism = choose_parallelism(stats, config);
+    if parallelism > 1 {
+        rationale.push(format!(
+            "{} tuples ≥ the parallel threshold of {}: partition the domain \
+             {parallelism} ways and stitch at the seams",
+            stats.tuple_count, config.parallel_min_tuples
+        ));
+    }
 
     // Rule 1: tiny results → linked list.
     if let Some(result_n) = stats.expected_result_intervals {
@@ -137,6 +177,7 @@ pub fn plan(stats: &RelationStats, config: &PlannerConfig, state_model_bytes: us
                 config.small_result_threshold
             ));
             return Plan {
+                parallelism,
                 choice: AlgorithmChoice::LinkedList,
                 estimated_state_bytes: (result_n + 1) * node_bytes,
                 rationale,
@@ -153,7 +194,11 @@ pub fn plan(stats: &RelationStats, config: &PlannerConfig, state_model_bytes: us
                     .into(),
             );
             return Plan {
-                choice: AlgorithmChoice::KOrderedTree { k: 1, presort: false },
+                parallelism,
+                choice: AlgorithmChoice::KOrderedTree {
+                    k: 1,
+                    presort: false,
+                },
                 estimated_state_bytes: estimate_ktree_nodes(stats, 1) * node_bytes,
                 rationale,
             };
@@ -164,7 +209,11 @@ pub fn plan(stats: &RelationStats, config: &PlannerConfig, state_model_bytes: us
                  k-ordered aggregation tree applies directly, no sorting required"
             ));
             return Plan {
-                choice: AlgorithmChoice::KOrderedTree { k: equivalent_k.max(1), presort: false },
+                parallelism,
+                choice: AlgorithmChoice::KOrderedTree {
+                    k: equivalent_k.max(1),
+                    presort: false,
+                },
                 estimated_state_bytes: estimate_ktree_nodes(stats, equivalent_k.max(1))
                     * node_bytes,
                 rationale,
@@ -178,7 +227,11 @@ pub fn plan(stats: &RelationStats, config: &PlannerConfig, state_model_bytes: us
                  garbage-collects everything outside a 2k+1 window"
             ));
             return Plan {
-                choice: AlgorithmChoice::KOrderedTree { k: k.max(1), presort: false },
+                parallelism,
+                choice: AlgorithmChoice::KOrderedTree {
+                    k: k.max(1),
+                    presort: false,
+                },
                 estimated_state_bytes: estimate_ktree_nodes(stats, k.max(1)) * node_bytes,
                 rationale,
             };
@@ -204,6 +257,7 @@ pub fn plan(stats: &RelationStats, config: &PlannerConfig, state_model_bytes: us
              fit the budget: random insertion order keeps the tree balanced"
         ));
         Plan {
+            parallelism,
             choice: AlgorithmChoice::AggregationTree,
             estimated_state_bytes: tree_bytes,
             rationale,
@@ -224,7 +278,11 @@ pub fn plan(stats: &RelationStats, config: &PlannerConfig, state_model_bytes: us
                 .into(),
         );
         Plan {
-            choice: AlgorithmChoice::KOrderedTree { k: 1, presort: true },
+            parallelism,
+            choice: AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: true,
+            },
             estimated_state_bytes: estimate_ktree_nodes(stats, 1) * node_bytes,
             rationale,
         }
@@ -242,19 +300,38 @@ mod tests {
 
     #[test]
     fn sorted_relation_gets_k1_tree() {
-        let p = plan(&stats(10_000, OrderingKnowledge::Sorted), &PlannerConfig::default(), 4);
-        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: false });
+        let p = plan(
+            &stats(10_000, OrderingKnowledge::Sorted),
+            &PlannerConfig::default(),
+            4,
+        );
+        assert_eq!(
+            p.choice,
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: false
+            }
+        );
         assert!(p.estimated_state_bytes < 1024);
     }
 
     #[test]
     fn retro_bounded_avoids_sorting() {
         let p = plan(
-            &stats(10_000, OrderingKnowledge::RetroactivelyBounded { equivalent_k: 16 }),
+            &stats(
+                10_000,
+                OrderingKnowledge::RetroactivelyBounded { equivalent_k: 16 },
+            ),
             &PlannerConfig::default(),
             4,
         );
-        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 16, presort: false });
+        assert_eq!(
+            p.choice,
+            AlgorithmChoice::KOrderedTree {
+                k: 16,
+                presort: false
+            }
+        );
         assert!(p.rationale[0].contains("no sorting required"));
     }
 
@@ -265,7 +342,13 @@ mod tests {
             &PlannerConfig::default(),
             4,
         );
-        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 40, presort: false });
+        assert_eq!(
+            p.choice,
+            AlgorithmChoice::KOrderedTree {
+                k: 40,
+                presort: false
+            }
+        );
     }
 
     #[test]
@@ -297,7 +380,13 @@ mod tests {
             ..Default::default()
         };
         let p = plan(&stats(10_000, OrderingKnowledge::Unordered), &config, 4);
-        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: true });
+        assert_eq!(
+            p.choice,
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: true
+            }
+        );
         assert!(p.rationale.iter().any(|r| r.contains("over the budget")));
     }
 
@@ -308,7 +397,13 @@ mod tests {
             ..Default::default()
         };
         let p = plan(&stats(10_000, OrderingKnowledge::Unknown), &config, 4);
-        assert_eq!(p.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: true });
+        assert_eq!(
+            p.choice,
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: true
+            }
+        );
     }
 
     #[test]
@@ -327,7 +422,11 @@ mod tests {
 
     #[test]
     fn explain_output_is_readable() {
-        let p = plan(&stats(10_000, OrderingKnowledge::Sorted), &PlannerConfig::default(), 4);
+        let p = plan(
+            &stats(10_000, OrderingKnowledge::Sorted),
+            &PlannerConfig::default(),
+            4,
+        );
         let text = p.to_string();
         assert!(text.contains("algorithm: k-ordered-tree"));
         assert!(text.contains("k = 1"));

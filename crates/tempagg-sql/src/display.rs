@@ -114,9 +114,7 @@ impl fmt::Display for Query {
             (None, TemporalGrouping::Instant) => {}
             (Some(col), TemporalGrouping::Instant) => write!(f, " GROUP BY {col}")?,
             (None, TemporalGrouping::Span(n)) => write!(f, " GROUP BY SPAN {n}")?,
-            (Some(col), TemporalGrouping::Span(n)) => {
-                write!(f, " GROUP BY {col}, SPAN {n}")?
-            }
+            (Some(col), TemporalGrouping::Span(n)) => write!(f, " GROUP BY {col}, SPAN {n}")?,
         }
         Ok(())
     }

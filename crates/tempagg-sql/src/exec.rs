@@ -14,11 +14,12 @@ use crate::parser::parse;
 use std::collections::BTreeMap;
 use std::fmt;
 use tempagg_agg::{Aggregate, DynAggregate, MultiDyn};
+use tempagg_algo::{SpanGrouper, TemporalAggregator};
 use tempagg_core::{
-    Interval, Result, Series, TempAggError, TemporalRelation, Tuple, Value,
+    Chunk, Interval, Result, Series, TempAggError, TemporalRelation, Tuple, Value,
+    DEFAULT_CHUNK_CAPACITY,
 };
 use tempagg_plan::{execute as execute_plan, plan, Plan, PlannerConfig, RelationStats};
-use tempagg_algo::{SpanGrouper, TemporalAggregator};
 
 /// One row of a query result: optional group key, a valid-time interval,
 /// and one value per aggregate in the select list.
@@ -80,7 +81,13 @@ impl fmt::Display for QueryResult {
             table.push(cells);
         }
         let widths: Vec<usize> = (0..table[0].len())
-            .map(|c| table.iter().map(|r| r[c].chars().count()).max().unwrap_or(0))
+            .map(|c| {
+                table
+                    .iter()
+                    .map(|r| r[c].chars().count())
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         for (i, row) in table.iter().enumerate() {
             for (c, cell) in row.iter().enumerate() {
@@ -91,7 +98,11 @@ impl fmt::Display for QueryResult {
             }
             writeln!(f)?;
             if i == 0 {
-                writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+                writeln!(
+                    f,
+                    "{}",
+                    "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+                )?;
             }
         }
         Ok(())
@@ -116,7 +127,11 @@ pub fn execute_query(
     // Bind: resolve and type-check conditions and aggregates up front.
     let mut bound_conditions = Vec::with_capacity(query.conditions.len());
     for cond in &query.conditions {
-        bound_conditions.push((schema.index_of_ignore_case(&cond.column)?, cond.op, cond.value.clone()));
+        bound_conditions.push((
+            schema.index_of_ignore_case(&cond.column)?,
+            cond.op,
+            cond.value.clone(),
+        ));
     }
     let mut bound_aggs: Vec<(DynAggregate, Option<usize>, String)> =
         Vec::with_capacity(query.aggregates.len());
@@ -201,8 +216,7 @@ pub fn execute_query(
     // product of monoids is a monoid, and the constant intervals coincide,
     // so a single tree construction serves every select-list entry).
     let multi = MultiDyn::new(bound_aggs.iter().map(|(a, _, _)| *a).collect());
-    let extract_indices: Vec<Option<usize>> =
-        bound_aggs.iter().map(|(_, idx, _)| *idx).collect();
+    let extract_indices: Vec<Option<usize>> = bound_aggs.iter().map(|(_, idx, _)| *idx).collect();
     let extract_all = |tuple: &Tuple| -> Vec<Value> {
         extract_indices
             .iter()
@@ -278,8 +292,18 @@ pub fn execute_query(
             let mut rows = Vec::new();
             for (key, group_rel) in &groups {
                 let mut grouper = SpanGrouper::new(multi.clone(), window, len)?;
+                // Feed in bounded chunks through the batch pipeline, like
+                // the instant-grouped executor path.
+                let mut chunk: Chunk<Vec<Value>> = Chunk::with_capacity(DEFAULT_CHUNK_CAPACITY);
                 for tuple in group_rel {
-                    grouper.push(tuple.valid(), extract_all(tuple))?;
+                    if chunk.is_full() {
+                        grouper.push_batch(&chunk)?;
+                        chunk.clear();
+                    }
+                    chunk.push(tuple.valid(), extract_all(tuple))?;
+                }
+                if !chunk.is_empty() {
+                    grouper.push_batch(&chunk)?;
                 }
                 // One row per span: fixed calendar partitions are not
                 // coalesced even when adjacent values repeat.
@@ -480,8 +504,7 @@ mod tests {
         // Make the lifespan bounded by replacing the open-ended tuples.
         r.retain(|t| !t.valid().end().is_forever());
         c.register("bounded", r);
-        let result =
-            execute_str(&c, "SELECT COUNT(name) FROM bounded GROUP BY SPAN 5").unwrap();
+        let result = execute_str(&c, "SELECT COUNT(name) FROM bounded GROUP BY SPAN 5").unwrap();
         // Lifespan [7, 21] → buckets [7,11], [12,16], [17,21].
         assert_eq!(result.rows.len(), 3);
         assert_eq!(result.rows[0].valid, Interval::at(7, 11));
@@ -489,8 +512,11 @@ mod tests {
 
     #[test]
     fn span_grouping_with_unbounded_lifespan_errors() {
-        let err = execute_str(&catalog(), "SELECT COUNT(name) FROM Employed GROUP BY SPAN 5")
-            .unwrap_err();
+        let err = execute_str(
+            &catalog(),
+            "SELECT COUNT(name) FROM Employed GROUP BY SPAN 5",
+        )
+        .unwrap_err();
         assert!(matches!(err, TempAggError::InvalidSpan { .. }));
     }
 
@@ -518,6 +544,23 @@ mod tests {
             .map(|r| (r.valid, r.values[0].clone()))
             .collect();
         assert!(rows.contains(&(Interval::at(7, 12), Value::Int(35_000))));
+    }
+
+    #[test]
+    fn forced_parallel_config_returns_identical_rows() {
+        let c = catalog();
+        let sql = "SELECT COUNT(Name), SUM(salary) FROM Employed";
+        let serial = execute_str(&c, sql).unwrap();
+        let config = PlannerConfig {
+            parallelism: Some(3),
+            parallel_min_tuples: 0,
+            ..Default::default()
+        };
+        let parallel = execute_query(&c, &parse(sql).unwrap(), &config).unwrap();
+        assert_eq!(parallel.rows, serial.rows);
+        let plan = parallel.plan.as_ref().unwrap();
+        assert_eq!(plan.parallelism, 3);
+        assert!(plan.to_string().contains("parallelism = 3"));
     }
 
     #[test]
@@ -569,8 +612,11 @@ mod tests {
     fn snapshot_query_returns_one_scalar_row() {
         // The paper's opening example: AVG(Salary) over all employees,
         // as a non-temporal (snapshot) result.
-        let result = execute_str(&catalog(), "SELECT SNAPSHOT AVG(salary), COUNT(*) FROM Employed")
-            .unwrap();
+        let result = execute_str(
+            &catalog(),
+            "SELECT SNAPSHOT AVG(salary), COUNT(*) FROM Employed",
+        )
+        .unwrap();
         assert!(result.snapshot);
         assert_eq!(result.rows.len(), 1);
         let avg = result.rows[0].values[0].as_f64().unwrap();
@@ -582,8 +628,11 @@ mod tests {
 
     #[test]
     fn snapshot_with_group_by() {
-        let result = execute_str(&catalog(), "SELECT SNAPSHOT COUNT(salary) FROM Employed GROUP BY name")
-            .unwrap();
+        let result = execute_str(
+            &catalog(),
+            "SELECT SNAPSHOT COUNT(salary) FROM Employed GROUP BY name",
+        )
+        .unwrap();
         assert_eq!(result.rows.len(), 3); // Karen, Nathan, Richard
         let nathan = result
             .rows
@@ -597,9 +646,11 @@ mod tests {
     fn count_distinct_over_time() {
         // Distinct names per constant interval: Nathan's two stints count
         // once wherever they overlap other people.
-        let result =
-            execute_str(&catalog(), "SELECT COUNT(DISTINCT name), COUNT(name) FROM Employed")
-                .unwrap();
+        let result = execute_str(
+            &catalog(),
+            "SELECT COUNT(DISTINCT name), COUNT(name) FROM Employed",
+        )
+        .unwrap();
         let at = |t: i64| {
             result
                 .rows
@@ -615,8 +666,11 @@ mod tests {
 
     #[test]
     fn snapshot_rejects_span_grouping() {
-        assert!(execute_str(&catalog(), "SELECT SNAPSHOT COUNT(*) FROM Employed GROUP BY SPAN 5")
-            .is_err());
+        assert!(execute_str(
+            &catalog(),
+            "SELECT SNAPSHOT COUNT(*) FROM Employed GROUP BY SPAN 5"
+        )
+        .is_err());
     }
 
     #[test]
@@ -634,7 +688,10 @@ mod tests {
             Err(TempAggError::UnknownRelation { .. })
         ));
         assert!(matches!(
-            execute_str(&catalog(), "SELECT COUNT(name) FROM Employed WHERE nope = 1"),
+            execute_str(
+                &catalog(),
+                "SELECT COUNT(name) FROM Employed WHERE nope = 1"
+            ),
             Err(TempAggError::UnknownColumn { .. })
         ));
     }

@@ -145,9 +145,7 @@ impl<'a> Lexer<'a> {
             b'0'..=b'9' => self.lex_number(false)?,
             b'-' => self.lex_number(true)?,
             c if c.is_ascii_alphabetic() || c == b'_' => self.lex_word(),
-            other => {
-                return Err(self.error(format!("unexpected character `{}`", other as char)))
-            }
+            other => return Err(self.error(format!("unexpected character `{}`", other as char))),
         };
         Ok(Some(Spanned {
             token,

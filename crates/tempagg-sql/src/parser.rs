@@ -4,7 +4,9 @@ use crate::ast::{AggExpr, CompareOp, Condition, PlainSelect, Query, Statement, T
 use crate::lexer::lex;
 use crate::token::{Keyword, Spanned, Token};
 use tempagg_agg::AggKind;
-use tempagg_core::{Calendar, Interval, Result, TempAggError, TimeUnit, Timestamp, Value, ValueType};
+use tempagg_core::{
+    Calendar, Interval, Result, TempAggError, TimeUnit, Timestamp, Value, ValueType,
+};
 
 /// Parse one aggregate query with the default (second-granularity)
 /// calendar. Errors on DDL/DML; use [`parse_statement`] for those.
@@ -95,7 +97,8 @@ impl Parser {
         } else {
             Err(self.error_at(format!(
                 "expected `{token}`, found {}",
-                self.peek().map_or("end of input".to_owned(), |t| format!("`{t}`"))
+                self.peek()
+                    .map_or("end of input".to_owned(), |t| format!("`{t}`"))
             )))
         }
     }
@@ -149,7 +152,9 @@ impl Parser {
                     (Some(Token::Ident(_)), Some(Token::LParen))
                 );
                 if is_aggregate {
-                    Ok(Statement::Query(self.query_after_select(explain, snapshot)?))
+                    Ok(Statement::Query(
+                        self.query_after_select(explain, snapshot)?,
+                    ))
                 } else if explain {
                     Err(self.error_at("EXPLAIN applies to aggregate queries only"))
                 } else if snapshot {

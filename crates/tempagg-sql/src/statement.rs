@@ -27,7 +27,13 @@ impl fmt::Display for TupleTable {
             table.push(cells);
         }
         let widths: Vec<usize> = (0..table[0].len())
-            .map(|c| table.iter().map(|r| r[c].chars().count()).max().unwrap_or(0))
+            .map(|c| {
+                table
+                    .iter()
+                    .map(|r| r[c].chars().count())
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         for (i, row) in table.iter().enumerate() {
             for (c, cell) in row.iter().enumerate() {
@@ -87,9 +93,7 @@ pub fn execute_parsed_statement(
     config: &PlannerConfig,
 ) -> Result<StatementOutput> {
     match statement {
-        Statement::Query(query) => {
-            execute_query(catalog, query, config).map(StatementOutput::Rows)
-        }
+        Statement::Query(query) => execute_query(catalog, query, config).map(StatementOutput::Rows),
         Statement::Select(select) => plain_select(catalog, select).map(StatementOutput::Tuples),
         Statement::CreateTable { name, columns } => {
             if catalog.get(name).is_ok() {
@@ -145,7 +149,13 @@ fn plain_select(catalog: &Catalog, select: &PlainSelect) -> Result<TupleTable> {
     let bound_conditions: Vec<(usize, crate::ast::CompareOp, Value)> = select
         .conditions
         .iter()
-        .map(|c| Ok((schema.index_of_ignore_case(&c.column)?, c.op, c.value.clone())))
+        .map(|c| {
+            Ok((
+                schema.index_of_ignore_case(&c.column)?,
+                c.op,
+                c.value.clone(),
+            ))
+        })
         .collect::<Result<_>>()?;
 
     let mut rows = Vec::new();
@@ -163,7 +173,10 @@ fn plain_select(catalog: &Catalog, select: &PlainSelect) -> Result<TupleTable> {
             None => tuple.valid(),
         };
         rows.push((
-            projection.iter().map(|(_, i)| tuple.value(*i).clone()).collect(),
+            projection
+                .iter()
+                .map(|(_, i)| tuple.value(*i).clone())
+                .collect(),
             valid,
         ));
     }
@@ -187,9 +200,14 @@ mod tests {
     #[test]
     fn create_insert_select_roundtrip() {
         let mut c = Catalog::new();
-        let out = execute_statement(&mut c, "CREATE TABLE staff (name STRING, salary INT)")
-            .unwrap();
-        assert_eq!(out, StatementOutput::Created { name: "staff".into() });
+        let out =
+            execute_statement(&mut c, "CREATE TABLE staff (name STRING, salary INT)").unwrap();
+        assert_eq!(
+            out,
+            StatementOutput::Created {
+                name: "staff".into()
+            }
+        );
 
         let out = execute_statement(
             &mut c,
@@ -199,7 +217,10 @@ mod tests {
         .unwrap();
         assert_eq!(
             out,
-            StatementOutput::Inserted { relation: "staff".into(), count: 2 }
+            StatementOutput::Inserted {
+                relation: "staff".into(),
+                count: 2
+            }
         );
 
         let out = execute_statement(&mut c, "SELECT * FROM staff WHERE salary >= 45000").unwrap();

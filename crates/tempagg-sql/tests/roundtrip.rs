@@ -31,8 +31,18 @@ fn ident(rng: &mut StdRng) -> String {
             || tempagg_core::TimeUnit::parse(&s).is_some()
             || matches!(
                 upper.as_str(),
-                "INT" | "INTEGER" | "BIGINT" | "FLOAT" | "REAL" | "DOUBLE" | "STRING" | "TEXT"
-                    | "VARCHAR" | "CHAR" | "BOOL" | "BOOLEAN"
+                "INT"
+                    | "INTEGER"
+                    | "BIGINT"
+                    | "FLOAT"
+                    | "REAL"
+                    | "DOUBLE"
+                    | "STRING"
+                    | "TEXT"
+                    | "VARCHAR"
+                    | "CHAR"
+                    | "BOOL"
+                    | "BOOLEAN"
             );
         if !reserved {
             return s;
@@ -217,8 +227,7 @@ fn printing_is_stable() {
 
 #[test]
 fn forever_window_prints_as_keyword() {
-    let stmt = parse_statement("SELECT COUNT(x) FROM r WHERE VALID OVERLAPS [5, FOREVER]")
-        .unwrap();
+    let stmt = parse_statement("SELECT COUNT(x) FROM r WHERE VALID OVERLAPS [5, FOREVER]").unwrap();
     assert!(stmt.to_string().contains("FOREVER"));
     let _ = Timestamp::FOREVER; // silence unused import paths in some cfgs
 }

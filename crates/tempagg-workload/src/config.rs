@@ -114,7 +114,10 @@ impl WorkloadConfig {
     /// Validate parameter sanity.
     pub fn validate(&self) -> Result<(), String> {
         if self.lifespan < 2 {
-            return Err(format!("lifespan must be at least 2, got {}", self.lifespan));
+            return Err(format!(
+                "lifespan must be at least 2, got {}",
+                self.lifespan
+            ));
         }
         if self.long_lived_pct > 100 {
             return Err(format!(
@@ -127,14 +130,19 @@ impl WorkloadConfig {
         }
         let (lo, hi) = self.long_length_frac;
         if !(0.0 < lo && lo <= hi && hi <= 1.0) {
-            return Err(format!("invalid long_length_frac {:?}", self.long_length_frac));
+            return Err(format!(
+                "invalid long_length_frac {:?}",
+                self.long_length_frac
+            ));
         }
         if let TupleOrder::KOrdered { k, percentage } = self.order {
             if k == 0 {
                 return Err("k must be at least 1".into());
             }
             if !(0.0..=1.0).contains(&percentage) {
-                return Err(format!("k-ordered percentage must be in [0, 1], got {percentage}"));
+                return Err(format!(
+                    "k-ordered percentage must be in [0, 1], got {percentage}"
+                ));
             }
         }
         if let TupleOrder::RetroactivelyBounded { max_delay } = self.order {

@@ -201,7 +201,10 @@ mod tests {
         let r = generate(&WorkloadConfig::k_ordered(4096, k, target));
         let ivs: Vec<Interval> = r.intervals().collect();
         let observed_k = sortedness::k_order(&ivs);
-        assert!(observed_k <= k, "k_order {observed_k} exceeds requested {k}");
+        assert!(
+            observed_k <= k,
+            "k_order {observed_k} exceeds requested {k}"
+        );
         let pct = sortedness::k_ordered_percentage(&ivs, k);
         assert!(
             (pct - target).abs() < 0.02,

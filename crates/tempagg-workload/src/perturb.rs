@@ -70,8 +70,15 @@ pub fn order_by_bounded_arrival(relation: &mut TemporalRelation, max_delay: i64,
     relation.sort_by_time();
     let arrivals: Vec<i64> = relation
         .intervals()
-        // lint: allow(no-raw-i64-arith): arrival order is a synthetic sort key, not a point on the modeled time-line
-        .map(|iv| iv.start().get() + if max_delay > 0 { rng.random_range(0..=max_delay) } else { 0 })
+        .map(|iv| {
+            // lint: allow(no-raw-i64-arith): arrival order is a synthetic sort key, not a point on the modeled time-line
+            iv.start().get()
+                + if max_delay > 0 {
+                    rng.random_range(0..=max_delay)
+                } else {
+                    0
+                }
+        })
         .collect();
     let mut perm: Vec<usize> = (0..relation.len()).collect();
     perm.sort_by_key(|&i| arrivals[i]);

@@ -91,7 +91,10 @@ fn decode(record: &[u8; RECORD_BYTES]) -> io::Result<Tuple> {
     let end = read_i64(NAME_BYTES + 16);
     let valid = Interval::new(start, end)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    Ok(Tuple::new(vec![Value::Str(name), Value::Int(salary)], valid))
+    Ok(Tuple::new(
+        vec![Value::Str(name), Value::Int(salary)],
+        valid,
+    ))
 }
 
 /// A sequential scanner over a page file.
@@ -261,13 +264,13 @@ mod tests {
 
         // Same multiset of intervals...
         let mut a: Vec<_> = relation.intervals().collect();
-        let mut b: Vec<_> = shuffled.iter().map(|t| t.valid()).collect();
+        let mut b: Vec<_> = shuffled.iter().map(tempagg_core::Tuple::valid).collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);
 
         // ...but no longer sorted...
-        let order: Vec<_> = shuffled.iter().map(|t| t.valid()).collect();
+        let order: Vec<_> = shuffled.iter().map(tempagg_core::Tuple::valid).collect();
         assert!(!tempagg_core::sortedness::is_time_ordered(&order));
 
         // ...while each record stays within its page group (I/O order is

@@ -88,7 +88,11 @@ fn main() -> temporal_aggregates::Result<()> {
         Interval::TIMELINE,
     )?;
     for e in series.iter().filter(|e| e.value.is_some()) {
-        println!("  {:<12} payroll {}", e.interval.to_string(), e.value.unwrap());
+        println!(
+            "  {:<12} payroll {}",
+            e.interval.to_string(),
+            e.value.unwrap()
+        );
     }
     println!(
         "\n({} rows from `{}` in {:?})",

@@ -35,7 +35,8 @@ fn main() -> std::io::Result<()> {
     let mut tree = AggregationTree::new(Count);
     for tuple in storage::Scan::open(&path)? {
         let tuple = tuple?;
-        tree.push(tuple.valid(), ()).expect("tuples fit the timeline");
+        tree.push(tuple.valid(), ())
+            .expect("tuples fit the timeline");
     }
     let sequential_peak = tree.memory().peak_model_bytes();
     let rows = tree.finish().len();
@@ -49,7 +50,8 @@ fn main() -> std::io::Result<()> {
     let mut tree = AggregationTree::new(Count);
     for tuple in storage::scan_with_page_shuffle(&path, 8, 42)? {
         let tuple = tuple?;
-        tree.push(tuple.valid(), ()).expect("tuples fit the timeline");
+        tree.push(tuple.valid(), ())
+            .expect("tuples fit the timeline");
     }
     let shuffled_peak = tree.memory().peak_model_bytes();
     let rows = tree.finish().len();
@@ -64,7 +66,9 @@ fn main() -> std::io::Result<()> {
     let mut paged = PagedAggregationTree::new(Count, lifespan, 32).expect("bounded lifespan");
     for tuple in storage::Scan::open(&path)? {
         let tuple = tuple?;
-        paged.push(tuple.valid(), ()).expect("tuples fit the lifespan");
+        paged
+            .push(tuple.valid(), ())
+            .expect("tuples fit the lifespan");
     }
     let (series, stats) = paged.finish_with_stats();
     println!(

@@ -11,14 +11,8 @@ use temporal_aggregates::workload::{generate, TupleOrder, WorkloadConfig};
 
 fn show(label: &str, relation: &TemporalRelation, config: &PlannerConfig) {
     println!("── {label} ({} tuples) ──", relation.len());
-    let (series, plan, report) = evaluate_auto(
-        Count,
-        relation,
-        |_| (),
-        config,
-        Interval::TIMELINE,
-    )
-    .expect("evaluation succeeds");
+    let (series, plan, report) = evaluate_auto(Count, relation, |_| (), config, Interval::TIMELINE)
+        .expect("evaluation succeeds");
     print!("{plan}");
     println!(
         "executed: {} in {:?}; peak state {} nodes = {} bytes; {} constant intervals\n",
@@ -48,7 +42,11 @@ fn main() {
         order: TupleOrder::RetroactivelyBounded { max_delay: 2_000 },
         ..Default::default()
     });
-    show("retroactively bounded arrival (≤ 2000-instant lag)", &retro, &config);
+    show(
+        "retroactively bounded arrival (≤ 2000-instant lag)",
+        &retro,
+        &config,
+    );
 
     // The same unordered relation under a tight memory budget: the planner
     // switches from the aggregation tree to sort + k-ordered tree.

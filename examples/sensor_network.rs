@@ -9,10 +9,10 @@
 //!
 //! Run with: `cargo run --example sensor_network`
 
+use std::sync::Arc;
 use temporal_aggregates::prelude::*;
 use temporal_aggregates::workload::perturb;
 use temporal_aggregates::{Schema, ValueType};
-use std::sync::Arc;
 
 /// Synthesize readings: each sensor reports every ~60 s, each reading valid
 /// until the next one.
@@ -55,10 +55,7 @@ fn main() -> temporal_aggregates::Result<()> {
     // Stream MAX temperature per constant interval with a window of
     // k = measured_k — no sort, bounded memory.
     let temp_idx = relation.schema().index_of("celsius")?;
-    let mut tree = KOrderedAggregationTree::new(
-        Max::<OrderedTemp>::new(),
-        measured_k.max(1),
-    )?;
+    let mut tree = KOrderedAggregationTree::new(Max::<OrderedTemp>::new(), measured_k.max(1))?;
     let mut streamed_rows = 0usize;
     let mut hottest: Option<(Interval, f64)> = None;
     let mut peak_nodes = 0usize;

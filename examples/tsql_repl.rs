@@ -61,11 +61,7 @@ fn main() {
             "\\d" => {
                 for name in catalog.names() {
                     let r = catalog.get(name).expect("listed name exists");
-                    println!(
-                        "  {name}: {} tuples, schema {}",
-                        r.len(),
-                        r.schema()
-                    );
+                    println!("  {name}: {} tuples, schema {}", r.len(), r.schema());
                 }
                 continue;
             }

@@ -37,8 +37,8 @@ fn main() -> temporal_aggregates::Result<()> {
         "peak load: {} requests in the trailing minute, during {}",
         peak.value, peak.interval
     );
-    let busy_fraction = rpm.weighted_integral(Interval::at(0, t), |&c| Some((c > 10) as i64 as f64))
-        / t as f64;
+    let busy_fraction =
+        rpm.weighted_integral(Interval::at(0, t), |&c| Some((c > 10) as i64 as f64)) / t as f64;
     println!("time with >10 req/min: {:.1}%", 100.0 * busy_fraction);
 
     // ── Concurrently active users: distinct users in a 5-minute window. ──

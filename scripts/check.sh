@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# The full correctness gate: build, tests, invariant-validated tests, lint.
-# Run from the workspace root. Any failing step fails the gate.
+# The full correctness gate: format, clippy, build, tests,
+# invariant-validated tests, lint. Run from the workspace root. Any failing
+# step fails the gate; the cheap static checks run first so a style or
+# clippy failure is reported before the release build spends minutes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release --workspace

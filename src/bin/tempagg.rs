@@ -53,7 +53,10 @@ fn main() -> ExitCode {
 fn emit(text: impl std::fmt::Display) {
     use std::io::Write;
     let mut stdout = io::stdout();
-    if write!(stdout, "{text}").and_then(|()| stdout.flush()).is_err() {
+    if write!(stdout, "{text}")
+        .and_then(|()| stdout.flush())
+        .is_err()
+    {
         std::process::exit(0);
     }
 }
@@ -151,7 +154,9 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         config.long_lived_pct = pct.parse().map_err(|e| format!("bad --long-lived: {e}"))?;
     }
     if let Some(lifespan) = flag(&flags, "lifespan") {
-        config.lifespan = lifespan.parse().map_err(|e| format!("bad --lifespan: {e}"))?;
+        config.lifespan = lifespan
+            .parse()
+            .map_err(|e| format!("bad --lifespan: {e}"))?;
     }
     if let Some(seed) = flag(&flags, "seed") {
         config.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
@@ -197,7 +202,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         "long-lived fraction:  {:.1}%",
         100.0 * stats.long_lived_fraction
     ));
-    emit_line(format_args!("\n{}", plan(&stats, &PlannerConfig::default(), 4)));
+    emit_line(format_args!(
+        "\n{}",
+        plan(&stats, &PlannerConfig::default(), 4)
+    ));
     Ok(())
 }
 
@@ -224,7 +232,10 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
         "employed",
         temporal_aggregates::workload::employed::employed_relation(),
     );
-    println!("tempagg repl — relations: {:?} (\\q to quit)", catalog.names());
+    println!(
+        "tempagg repl — relations: {:?} (\\q to quit)",
+        catalog.names()
+    );
     let stdin = io::stdin();
     loop {
         print!("tempagg> ");
@@ -257,4 +268,3 @@ fn cmd_repl(args: &[String]) -> Result<(), String> {
     }
     Ok(())
 }
-

@@ -97,21 +97,22 @@ pub mod sortedness {
 
 // Curated top-level re-exports.
 pub use tempagg_agg::{
-    AggKind, Aggregate, Avg, BoolAnd, BoolOr, Count, CountDistinct, DynAggregate, Max, Min,
-    StdDev, Sum, Variance,
+    AggKind, Aggregate, Avg, BoolAnd, BoolOr, Count, CountDistinct, DynAggregate, Max, Min, StdDev,
+    Sum, Variance,
 };
 pub use tempagg_algo::{
-    run, run_with_stats, AggregationTree, BalancedAggregationTree, GroupedAggregate,
-    KOrderedAggregationTree, LinkedListAggregate, MemoryStats, PagedAggregationTree, SpanGrouper,
-    TemporalAggregator, TwoScanAggregate,
+    run, run_with_stats, scoped_map, AggregationTree, BalancedAggregationTree, GroupedAggregate,
+    KOrderedAggregationTree, LinkedListAggregate, MemoryStats, PagedAggregationTree,
+    PartitionReport, PartitionedAggregator, SpanGrouper, TemporalAggregator, TwoScanAggregate,
 };
 pub use tempagg_core::{
-    BitemporalRelation, Calendar, EventRelation, Interval, Result, Schema, Series, SeriesEntry, TempAggError,
-    TemporalRelation, TimeUnit, Timestamp, Tuple, Value, ValueType, WindowAlignment,
+    BitemporalRelation, Calendar, Chunk, EventRelation, Interval, Result, Schema, Series,
+    SeriesEntry, TempAggError, TemporalRelation, TimeUnit, Timestamp, Tuple, Value, ValueType,
+    WindowAlignment, DEFAULT_CHUNK_CAPACITY,
 };
 pub use tempagg_plan::{
-    evaluate_auto, execute, plan, plan_by_cost, AlgorithmChoice, CostModel, ExecutionReport,
-    OrderingKnowledge, Plan, PlannerConfig, RelationStats,
+    choose_parallelism, evaluate_auto, execute, plan, plan_by_cost, AlgorithmChoice, CostModel,
+    ExecutionReport, OrderingKnowledge, Plan, PlannerConfig, RelationStats,
 };
 pub use tempagg_sql::{execute_str, Catalog, QueryResult};
 
@@ -119,10 +120,10 @@ pub use tempagg_sql::{execute_str, Catalog, QueryResult};
 pub mod prelude {
     pub use crate::{
         evaluate_auto, execute_str, plan, Aggregate, AggregationTree, AlgorithmChoice, Avg,
-        BalancedAggregationTree, Catalog, Count, GroupedAggregate, Interval,
+        BalancedAggregationTree, Catalog, Chunk, Count, GroupedAggregate, Interval,
         KOrderedAggregationTree, LinkedListAggregate, Max, MemoryStats, Min, OrderingKnowledge,
-        PagedAggregationTree, PlannerConfig, RelationStats, Series, SpanGrouper, Sum,
-        TemporalAggregator, TemporalRelation, Timestamp, TwoScanAggregate, Value,
+        PagedAggregationTree, PartitionedAggregator, PlannerConfig, RelationStats, Series,
+        SpanGrouper, Sum, TemporalAggregator, TemporalRelation, Timestamp, TwoScanAggregate, Value,
     };
 }
 

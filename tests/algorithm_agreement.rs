@@ -33,14 +33,26 @@ fn run_all_count(tuples: &[(Interval, i64)]) -> Vec<(&'static str, Series<u64>)>
     let items = || tuples.iter().map(|&(iv, _)| (iv, ()));
     let n = tuples.len().max(1);
     vec![
-        ("linked-list", run(LinkedListAggregate::new(Count), items()).unwrap()),
-        ("aggregation-tree", run(AggregationTree::new(Count), items()).unwrap()),
+        (
+            "linked-list",
+            run(LinkedListAggregate::new(Count), items()).unwrap(),
+        ),
+        (
+            "aggregation-tree",
+            run(AggregationTree::new(Count), items()).unwrap(),
+        ),
         (
             "k-ordered-tree(k=n)",
             run(KOrderedAggregationTree::new(Count, n).unwrap(), items()).unwrap(),
         ),
-        ("two-scan", run(TwoScanAggregate::new(Count), items()).unwrap()),
-        ("balanced", run(BalancedAggregationTree::new(Count), items()).unwrap()),
+        (
+            "two-scan",
+            run(TwoScanAggregate::new(Count), items()).unwrap(),
+        ),
+        (
+            "balanced",
+            run(BalancedAggregationTree::new(Count), items()).unwrap(),
+        ),
     ]
 }
 
@@ -68,7 +80,11 @@ fn all_algorithms_match_the_oracle_for_sum() {
         let results = vec![
             run(LinkedListAggregate::new(Sum::<i64>::new()), items()).unwrap(),
             run(AggregationTree::new(Sum::<i64>::new()), items()).unwrap(),
-            run(KOrderedAggregationTree::new(Sum::<i64>::new(), n).unwrap(), items()).unwrap(),
+            run(
+                KOrderedAggregationTree::new(Sum::<i64>::new(), n).unwrap(),
+                items(),
+            )
+            .unwrap(),
             run(TwoScanAggregate::new(Sum::<i64>::new()), items()).unwrap(),
             run(BalancedAggregationTree::new(Sum::<i64>::new()), items()).unwrap(),
         ];
@@ -86,19 +102,30 @@ fn min_max_avg_match_the_oracle_on_the_tree() {
         let min_expected = oracle(&Min::<i64>::new(), Interval::TIMELINE, &tuples);
         let max_expected = oracle(&Max::<i64>::new(), Interval::TIMELINE, &tuples);
         assert_eq!(
-            run(AggregationTree::new(Min::<i64>::new()), tuples.iter().copied()).unwrap(),
+            run(
+                AggregationTree::new(Min::<i64>::new()),
+                tuples.iter().copied()
+            )
+            .unwrap(),
             min_expected,
             "case {case}"
         );
         assert_eq!(
-            run(AggregationTree::new(Max::<i64>::new()), tuples.iter().copied()).unwrap(),
+            run(
+                AggregationTree::new(Max::<i64>::new()),
+                tuples.iter().copied()
+            )
+            .unwrap(),
             max_expected,
             "case {case}"
         );
         // AVG: compare with tolerance (floating point path order differs).
         let avg_expected = oracle(&Avg::<i64>::new(), Interval::TIMELINE, &tuples);
-        let avg_actual =
-            run(AggregationTree::new(Avg::<i64>::new()), tuples.iter().copied()).unwrap();
+        let avg_actual = run(
+            AggregationTree::new(Avg::<i64>::new()),
+            tuples.iter().copied(),
+        )
+        .unwrap();
         assert_eq!(avg_actual.len(), avg_expected.len(), "case {case}");
         for (a, b) in avg_actual.iter().zip(avg_expected.iter()) {
             assert_eq!(a.interval, b.interval, "case {case}");
@@ -171,7 +198,10 @@ fn ktree_accepts_any_k_at_least_the_measured_k() {
             count_tuples.iter().copied(),
         )
         .unwrap();
-        assert_eq!(got, expected, "measured k = {measured}, used k = {k}, case {case}");
+        assert_eq!(
+            got, expected,
+            "measured k = {measured}, used k = {k}, case {case}"
+        );
     }
 }
 
@@ -206,7 +236,10 @@ fn agreement_on_paper_workloads() {
     let orders = [
         TupleOrder::Random,
         TupleOrder::Sorted,
-        TupleOrder::KOrdered { k: 8, percentage: 0.1 },
+        TupleOrder::KOrdered {
+            k: 8,
+            percentage: 0.1,
+        },
         TupleOrder::RetroactivelyBounded { max_delay: 5_000 },
     ];
     for order in orders {

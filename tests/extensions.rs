@@ -17,7 +17,11 @@ fn algebra_pipeline_feeds_aggregation() {
     let employed = employed_relation();
     let schema = Schema::of(&[("emp", ValueType::Str), ("dept", ValueType::Str)]);
     let mut departments = TemporalRelation::new(schema);
-    for (n, d) in [("Richard", "Research"), ("Karen", "Research"), ("Nathan", "Engineering")] {
+    for (n, d) in [
+        ("Richard", "Research"),
+        ("Karen", "Research"),
+        ("Nathan", "Engineering"),
+    ] {
         departments
             .push(vec![Value::from(n), Value::from(d)], Interval::TIMELINE)
             .unwrap();
@@ -41,8 +45,8 @@ fn algebra_pipeline_feeds_aggregation() {
 fn timeslice_equals_series_value_at() {
     let relation = generate(&WorkloadConfig::random(300).with_seed(4));
     let tuples: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
-    let series = temporal_aggregates::run(AggregationTree::new(Count), tuples.iter().copied())
-        .unwrap();
+    let series =
+        temporal_aggregates::run(AggregationTree::new(Count), tuples.iter().copied()).unwrap();
     for t in [0i64, 1_000, 250_000, 999_999] {
         let slice = algebra::timeslice(&relation, Timestamp(t));
         assert_eq!(
@@ -69,9 +73,12 @@ fn union_difference_inverse_on_disjoint_windows() {
     .unwrap();
     let series_b = temporal_aggregates::run(
         AggregationTree::new(Count),
-        algebra::window(&algebra::union(&early, &early).unwrap(), Interval::at(0, 400_000))
-            .intervals()
-            .map(|iv| (iv, ())),
+        algebra::window(
+            &algebra::union(&early, &early).unwrap(),
+            Interval::at(0, 400_000),
+        )
+        .intervals()
+        .map(|iv| (iv, ())),
     )
     .unwrap();
     assert_eq!(series_a, series_b);
@@ -154,8 +161,7 @@ fn cost_planner_and_rule_planner_agree_on_generated_workloads() {
         let relation = generate(&config);
         let stats = RelationStats::analyze(&relation);
         let rule = plan(&stats, &PlannerConfig::default(), 4).choice;
-        let cost = plan_by_cost(&stats, &PlannerConfig::default(), &CostModel::default(), 4)
-            .choice;
+        let cost = plan_by_cost(&stats, &PlannerConfig::default(), &CostModel::default(), 4).choice;
         assert_eq!(rule, cost, "workload {label}");
     }
 }
@@ -179,7 +185,9 @@ fn weighted_series_composes_with_aggregation() {
     // Karen 8..=20 (13) + Nathan 7..=12 (6) + Richard 18..=29 (12) +
     // Nathan 18..=21 (4) = 35 tuple-instants.
     assert_eq!(total_instants, 35.0);
-    let mean = series.time_weighted_mean(window, |&c| Some(c as f64)).unwrap();
+    let mean = series
+        .time_weighted_mean(window, |&c| Some(c as f64))
+        .unwrap();
     assert!((mean - 35.0 / 30.0).abs() < 1e-12);
 }
 
@@ -189,14 +197,30 @@ fn aggregate_as_of_transaction_time() {
     // after they become valid, with one retroactive correction.
     let schema = Schema::of(&[("name", ValueType::Str), ("salary", ValueType::Int)]);
     let mut db = BitemporalRelation::new(schema);
-    db.insert(vec![Value::from("Nathan"), Value::Int(35_000)], Interval::at(7, 12), 8)
-        .unwrap();
-    db.insert(vec![Value::from("Karen"), Value::Int(45_000)], Interval::at(8, 20), 9)
-        .unwrap();
-    db.insert(vec![Value::from("Richard"), Value::Int(40_000)], Interval::from_start(18), 19)
-        .unwrap();
-    db.insert(vec![Value::from("Nathan"), Value::Int(37_000)], Interval::at(18, 21), 19)
-        .unwrap();
+    db.insert(
+        vec![Value::from("Nathan"), Value::Int(35_000)],
+        Interval::at(7, 12),
+        8,
+    )
+    .unwrap();
+    db.insert(
+        vec![Value::from("Karen"), Value::Int(45_000)],
+        Interval::at(8, 20),
+        9,
+    )
+    .unwrap();
+    db.insert(
+        vec![Value::from("Richard"), Value::Int(40_000)],
+        Interval::from_start(18),
+        19,
+    )
+    .unwrap();
+    db.insert(
+        vec![Value::from("Nathan"), Value::Int(37_000)],
+        Interval::at(18, 21),
+        19,
+    )
+    .unwrap();
     // Later it turns out Karen left at 15, not 20.
     db.update_where(
         30,

@@ -86,7 +86,10 @@ fn hull_contains_both_and_is_minimal() {
         let h = a.hull(&b);
         assert!(h.covers(&a), "case {case}");
         assert!(h.covers(&b), "case {case}");
-        assert!(h.start() == a.start() || h.start() == b.start(), "case {case}");
+        assert!(
+            h.start() == a.start() || h.start() == b.start(),
+            "case {case}"
+        );
         assert!(h.end() == a.end() || h.end() == b.end(), "case {case}");
     }
 }
@@ -107,7 +110,11 @@ fn splits_partition_exactly() {
             assert!(left.meets(&right), "case {case}");
             assert_eq!(left.hull(&right), iv, "case {case}");
             assert_eq!(right.start(), t, "case {case}");
-            assert_eq!(left.duration() + right.duration(), iv.duration(), "case {case}");
+            assert_eq!(
+                left.duration() + right.duration(),
+                iv.duration(),
+                "case {case}"
+            );
         }
         if let Some((left, right)) = iv.split_after(t) {
             assert!(left.meets(&right), "case {case}");
@@ -123,7 +130,11 @@ fn contains_matches_interval_of_one() {
         let mut rng = StdRng::seed_from_u64(0xC0_0000 + case);
         let iv = random_interval(&mut rng);
         let t = random_timestamp(&mut rng);
-        assert_eq!(iv.contains(t), iv.overlaps(&Interval::instant(t)), "case {case}");
+        assert_eq!(
+            iv.contains(t),
+            iv.overlaps(&Interval::instant(t)),
+            "case {case}"
+        );
     }
 }
 
@@ -268,7 +279,11 @@ fn tuple_coalescing_preserves_instant_truth() {
                     truth(&coalesced, name, t),
                     "name {name} at t = {t} (case {case})"
                 );
-                assert_eq!(truth(&relation, name, t), truth(&deduped, name, t), "case {case}");
+                assert_eq!(
+                    truth(&relation, name, t),
+                    truth(&deduped, name, t),
+                    "case {case}"
+                );
             }
         }
         // Coalescing is idempotent.

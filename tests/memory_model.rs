@@ -5,10 +5,7 @@ use temporal_aggregates::prelude::*;
 use temporal_aggregates::run_with_stats;
 use temporal_aggregates::workload::{count_stream, generate, WorkloadConfig};
 
-fn peak(
-    aggregator: impl TemporalAggregator<Count>,
-    tuples: &[(Interval, ())],
-) -> usize {
+fn peak(aggregator: impl TemporalAggregator<Count>, tuples: &[(Interval, ())]) -> usize {
     let (_series, stats) = run_with_stats(aggregator, tuples.iter().copied()).unwrap();
     stats.peak_nodes
 }
@@ -71,8 +68,14 @@ fn long_lived_tuples_hurt_only_the_ktree() {
     let short_tuples = count_stream(&short);
     let long_tuples = count_stream(&long);
 
-    let ktree_short = peak(KOrderedAggregationTree::new(Count, 1).unwrap(), &short_tuples);
-    let ktree_long = peak(KOrderedAggregationTree::new(Count, 1).unwrap(), &long_tuples);
+    let ktree_short = peak(
+        KOrderedAggregationTree::new(Count, 1).unwrap(),
+        &short_tuples,
+    );
+    let ktree_long = peak(
+        KOrderedAggregationTree::new(Count, 1).unwrap(),
+        &long_tuples,
+    );
     assert!(
         ktree_long > 10 * ktree_short,
         "k-tree should blow up with long-lived tuples: {ktree_short} → {ktree_long}"
@@ -116,8 +119,7 @@ fn sixteen_byte_node_model() {
     assert_eq!(ktree_stats.node_model_bytes, 16);
     // AVG needs 8-byte states → 20-byte nodes.
     let salary: Vec<(Interval, i64)> = relation.intervals().map(|iv| (iv, 1)).collect();
-    let (_s, avg_stats) =
-        run_with_stats(AggregationTree::new(Avg::<i64>::new()), salary).unwrap();
+    let (_s, avg_stats) = run_with_stats(AggregationTree::new(Avg::<i64>::new()), salary).unwrap();
     assert_eq!(avg_stats.node_model_bytes, 20);
 }
 

@@ -1,0 +1,185 @@
+//! Serial vs partitioned agreement for the parallel execution pipeline.
+//!
+//! The contract under test: a [`PartitionedAggregator`] over any seam set
+//! produces output **byte-identical** to a serial run of the same inner
+//! algorithm over the whole domain — artificial seam boundaries are merged
+//! away, real tuple boundaries are kept, for every aggregate. Inputs are
+//! drawn from the workspace's deterministic [`StdRng`] (seeded per case),
+//! so failures reproduce exactly from the case number in the assert
+//! message. Run with `--features validate` to additionally assert the
+//! structural tiling invariant inside every `finish`.
+
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::workload::rng::StdRng;
+
+const CASES: u64 = 64;
+const PARTITIONS: [usize; 4] = [1, 2, 3, 8];
+const DOMAIN: Interval = Interval::TIMELINE;
+
+/// Random tuples over `[0, width]`, sometimes clustered into a narrow band
+/// so that most partitions of a wide domain stay empty.
+fn random_tuples(rng: &mut StdRng, width: i64) -> Vec<(Interval, i64)> {
+    let n = rng.random_range(0usize..48);
+    let (band_lo, band_hi) = if rng.random_range(0u64..4) == 0 {
+        // Clustered: everything lands in the first tenth of the domain.
+        (0, (width / 10).max(1))
+    } else {
+        (0, width)
+    };
+    (0..n)
+        .map(|_| {
+            let start = rng.random_range(band_lo..band_hi);
+            let len = rng.random_range(0i64..(width / 4).max(1));
+            let iv = Interval::at(start, (start + len).min(width));
+            (iv, rng.random_range(-1_000i64..1_000))
+        })
+        .collect()
+}
+
+/// Feed `tuples` through the batch pipeline in small chunks.
+fn feed_chunked<A, G>(target: &mut G, tuples: &[(Interval, A::Input)])
+where
+    A: Aggregate,
+    A::Input: Clone,
+    G: TemporalAggregator<A>,
+{
+    let mut chunk: Chunk<A::Input> = Chunk::with_capacity(16);
+    for (iv, v) in tuples {
+        if chunk.is_full() {
+            target.push_batch(&chunk).unwrap();
+            chunk.clear();
+        }
+        chunk.push(*iv, v.clone()).unwrap();
+    }
+    if !chunk.is_empty() {
+        target.push_batch(&chunk).unwrap();
+    }
+}
+
+/// Assert serial == partitioned for one aggregate across all partition
+/// counts, with the aggregation tree as the inner algorithm.
+fn assert_agreement<A>(agg: A, tuples: &[(Interval, A::Input)], label: &str, case: u64)
+where
+    A: Aggregate + Clone + Send,
+    A::State: Send,
+    A::Input: Clone + Send + Sync,
+    A::Output: PartialEq + std::fmt::Debug + Send,
+{
+    let mut serial = AggregationTree::with_domain(agg.clone(), DOMAIN);
+    for (iv, v) in tuples {
+        serial.push(*iv, v.clone()).unwrap();
+    }
+    let expected = serial.finish();
+
+    // The unbounded TIMELINE domain is cut at seams drawn from the data's
+    // start hull — the same scheme the plan executor uses.
+    let hull_end = tuples
+        .iter()
+        .map(|(iv, _)| iv.start())
+        .max()
+        .unwrap_or(Timestamp(1));
+    let hull = Interval::new(DOMAIN.start(), hull_end.max(Timestamp(1))).unwrap();
+    for partitions in PARTITIONS {
+        let seams = hull.even_seams(partitions);
+        let mut par = PartitionedAggregator::with_seams(DOMAIN, seams, |sub| {
+            AggregationTree::with_domain(agg.clone(), sub)
+        })
+        .unwrap();
+        feed_chunked(&mut par, tuples);
+        assert_eq!(
+            par.finish(),
+            expected,
+            "{label}: partitioned (P = {partitions}) diverged from serial on case {case}"
+        );
+    }
+}
+
+#[test]
+fn all_five_aggregates_agree_across_partition_counts() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9A_2700 + case);
+        let tuples = random_tuples(&mut rng, 500);
+        let unit: Vec<(Interval, ())> = tuples.iter().map(|&(iv, _)| (iv, ())).collect();
+        assert_agreement(Count, &unit, "COUNT", case);
+        assert_agreement(Sum::<i64>::new(), &tuples, "SUM", case);
+        assert_agreement(Min::<i64>::new(), &tuples, "MIN", case);
+        assert_agreement(Max::<i64>::new(), &tuples, "MAX", case);
+        assert_agreement(Avg::<i64>::new(), &tuples, "AVG", case);
+    }
+}
+
+#[test]
+fn tuples_landing_exactly_on_seams_agree() {
+    // Seams of [0, 500] at P = 8 land on multiples of 62/63; place tuples
+    // that start exactly at, end exactly before, and straddle each seam.
+    let hull = Interval::at(0, 500);
+    for partitions in [2usize, 3, 8] {
+        let seams = hull.even_seams(partitions);
+        let mut tuples: Vec<(Interval, i64)> = Vec::new();
+        for (i, s) in seams.iter().enumerate() {
+            let at = s.get();
+            tuples.push((Interval::at(at, at + 10), i as i64)); // starts at seam
+            tuples.push((Interval::at(at - 10, at - 1), 7)); // ends just before
+            tuples.push((Interval::at(at - 5, at + 5), -3)); // straddles
+        }
+        let mut serial = AggregationTree::with_domain(Sum::<i64>::new(), DOMAIN);
+        for (iv, v) in &tuples {
+            serial.push(*iv, *v).unwrap();
+        }
+        let mut par = PartitionedAggregator::with_seams(DOMAIN, seams, |sub| {
+            AggregationTree::with_domain(Sum::<i64>::new(), sub)
+        })
+        .unwrap();
+        feed_chunked(&mut par, &tuples);
+        assert_eq!(par.finish(), serial.finish(), "P = {partitions}");
+    }
+}
+
+#[test]
+fn empty_partitions_stitch_back_into_one_entry() {
+    // All data in [0, 30]; seams at 100 and 200 leave two empty
+    // partitions whose single empty entries must merge with their
+    // neighbours exactly as the serial output demands.
+    let seams = vec![Timestamp(100), Timestamp(200)];
+    let tuples = [(Interval::at(0, 30), 5i64)];
+    let mut serial = AggregationTree::with_domain(Sum::<i64>::new(), DOMAIN);
+    let mut par = PartitionedAggregator::with_seams(DOMAIN, seams, |sub| {
+        AggregationTree::with_domain(Sum::<i64>::new(), sub)
+    })
+    .unwrap();
+    for (iv, v) in tuples {
+        serial.push(iv, v).unwrap();
+        par.push(iv, v).unwrap();
+    }
+    let expected = serial.finish();
+    let got = par.finish();
+    assert_eq!(got, expected);
+    // The empty tail is ONE entry spanning both empty partitions.
+    assert_eq!(got.len(), 2);
+}
+
+#[test]
+fn linked_list_inner_agrees_too() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x11_5700 + case);
+        let tuples = random_tuples(&mut rng, 300);
+        let mut serial = LinkedListAggregate::with_domain(Sum::<i64>::new(), DOMAIN);
+        for (iv, v) in &tuples {
+            serial.push(*iv, *v).unwrap();
+        }
+        let hull = Interval::at(0, 300);
+        for partitions in PARTITIONS {
+            let mut par =
+                PartitionedAggregator::with_seams(DOMAIN, hull.even_seams(partitions), |sub| {
+                    LinkedListAggregate::with_domain(Sum::<i64>::new(), sub)
+                })
+                .unwrap();
+            feed_chunked(&mut par, &tuples);
+            assert_eq!(
+                par.finish(),
+                serial.clone().finish(),
+                "linked-list inner, P = {partitions}, case {case}"
+            );
+        }
+    }
+}

@@ -3,8 +3,8 @@
 
 use temporal_aggregates::algo::oracle::oracle;
 use temporal_aggregates::prelude::*;
-use temporal_aggregates::QueryResult;
 use temporal_aggregates::workload::{generate, WorkloadConfig};
+use temporal_aggregates::QueryResult;
 
 fn catalog_with(name: &str, relation: TemporalRelation) -> Catalog {
     let mut c = Catalog::new();
@@ -73,8 +73,7 @@ fn sql_where_equals_prefiltered_direct_computation() {
         .coalesce();
 
     let catalog = catalog_with("r", relation);
-    let result =
-        execute_str(&catalog, "SELECT COUNT(name) FROM r WHERE salary >= 60000").unwrap();
+    let result = execute_str(&catalog, "SELECT COUNT(name) FROM r WHERE salary >= 60000").unwrap();
     let expected_rows: Vec<(Interval, Value)> = expected
         .iter()
         .map(|e| (e.interval, e.value.clone()))
@@ -155,7 +154,13 @@ fn sql_planner_reacts_to_input_order() {
     let q = "SELECT COUNT(*) FROM r";
     let p1 = execute_str(&c1, q).unwrap().plan.unwrap();
     let p2 = execute_str(&c2, q).unwrap().plan.unwrap();
-    assert_eq!(p1.choice, AlgorithmChoice::KOrderedTree { k: 1, presort: false });
+    assert_eq!(
+        p1.choice,
+        AlgorithmChoice::KOrderedTree {
+            k: 1,
+            presort: false
+        }
+    );
     assert_eq!(p2.choice, AlgorithmChoice::AggregationTree);
 }
 
@@ -189,7 +194,11 @@ fn sql_span_total_equals_instant_weighted_check() {
     // Sanity link between span and instant grouping: a span bucket's count
     // must be at least the max instant count within it and at most the
     // total number of overlapping tuples.
-    let relation = generate(&WorkloadConfig::random(200).with_seed(33).with_lifespan(100_000));
+    let relation = generate(
+        &WorkloadConfig::random(200)
+            .with_seed(33)
+            .with_lifespan(100_000),
+    );
     let catalog = catalog_with("r", relation.clone());
     let spans = execute_str(
         &catalog,

@@ -86,7 +86,10 @@ fn streaming_sorted_run_is_memory_flat() {
 fn generator_is_deterministic_end_to_end() {
     let config = WorkloadConfig {
         tuples: 10_000,
-        order: TupleOrder::KOrdered { k: 100, percentage: 0.08 },
+        order: TupleOrder::KOrdered {
+            k: 100,
+            percentage: 0.08,
+        },
         long_lived_pct: 40,
         seed: 4242,
         ..Default::default()
@@ -115,12 +118,8 @@ fn sql_at_scale_is_consistent_across_planner_paths() {
         "SELECT COUNT(name), SUM(salary) FROM r WHERE VALID OVERLAPS [0, 500000]",
     )
     .unwrap();
-    let rich = temporal_aggregates::sql::execute_query(
-        &catalog,
-        &q,
-        &PlannerConfig::default(),
-    )
-    .unwrap();
+    let rich =
+        temporal_aggregates::sql::execute_query(&catalog, &q, &PlannerConfig::default()).unwrap();
     let tight = temporal_aggregates::sql::execute_query(
         &catalog,
         &q,

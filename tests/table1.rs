@@ -13,19 +13,27 @@ fn rows_of(series: Series<u64>) -> Vec<(Interval, u64)> {
 
 fn feed<G: TemporalAggregator<Count>>(mut aggregator: G) -> Series<u64> {
     for (_, _, valid) in employed_tuples() {
-        aggregator.push(valid, ()).expect("example tuples fit the domain");
+        aggregator
+            .push(valid, ())
+            .expect("example tuples fit the domain");
     }
     aggregator.finish()
 }
 
 #[test]
 fn linked_list_reproduces_table1() {
-    assert_eq!(rows_of(feed(LinkedListAggregate::new(Count))), table1_expected());
+    assert_eq!(
+        rows_of(feed(LinkedListAggregate::new(Count))),
+        table1_expected()
+    );
 }
 
 #[test]
 fn aggregation_tree_reproduces_table1() {
-    assert_eq!(rows_of(feed(AggregationTree::new(Count))), table1_expected());
+    assert_eq!(
+        rows_of(feed(AggregationTree::new(Count))),
+        table1_expected()
+    );
 }
 
 #[test]
@@ -51,12 +59,18 @@ fn k1_tree_reproduces_table1_after_sorting() {
 
 #[test]
 fn two_scan_reproduces_table1() {
-    assert_eq!(rows_of(feed(TwoScanAggregate::new(Count))), table1_expected());
+    assert_eq!(
+        rows_of(feed(TwoScanAggregate::new(Count))),
+        table1_expected()
+    );
 }
 
 #[test]
 fn balanced_tree_reproduces_table1() {
-    assert_eq!(rows_of(feed(BalancedAggregationTree::new(Count))), table1_expected());
+    assert_eq!(
+        rows_of(feed(BalancedAggregationTree::new(Count))),
+        table1_expected()
+    );
 }
 
 #[test]
