@@ -59,15 +59,25 @@ pub trait Aggregate {
 /// without risking wrap-around UB in long-running scans.
 pub trait Numeric: Copy + std::fmt::Debug + PartialEq + 'static {
     const ZERO: Self;
+    /// Whether `saturating_sub` exactly inverts `saturating_add` away from
+    /// the saturation rails — true for integers, false for floats, where
+    /// rounding makes retraction approximate. Drives sweep-class selection.
+    const EXACT_RETRACT: bool;
     fn saturating_add(self, other: Self) -> Self;
+    fn saturating_sub(self, other: Self) -> Self;
     fn to_f64(self) -> f64;
 }
 
 impl Numeric for i64 {
     const ZERO: Self = 0;
+    const EXACT_RETRACT: bool = true;
     #[inline]
     fn saturating_add(self, other: Self) -> Self {
         i64::saturating_add(self, other)
+    }
+    #[inline]
+    fn saturating_sub(self, other: Self) -> Self {
+        i64::saturating_sub(self, other)
     }
     #[inline]
     fn to_f64(self) -> f64 {
@@ -78,9 +88,14 @@ impl Numeric for i64 {
 
 impl Numeric for f64 {
     const ZERO: Self = 0.0;
+    const EXACT_RETRACT: bool = false;
     #[inline]
     fn saturating_add(self, other: Self) -> Self {
         self + other
+    }
+    #[inline]
+    fn saturating_sub(self, other: Self) -> Self {
+        self - other
     }
     #[inline]
     fn to_f64(self) -> f64 {
@@ -96,14 +111,19 @@ mod tests {
     fn numeric_i64_saturates() {
         assert_eq!(Numeric::saturating_add(i64::MAX, 1), i64::MAX);
         assert_eq!(Numeric::saturating_add(2i64, 3), 5);
+        assert_eq!(Numeric::saturating_sub(i64::MIN, 1), i64::MIN);
+        assert_eq!(Numeric::saturating_sub(5i64, 3), 2);
         assert_eq!(5i64.to_f64(), 5.0);
         assert_eq!(i64::ZERO, 0);
+        const _: () = assert!(<i64 as Numeric>::EXACT_RETRACT);
     }
 
     #[test]
     fn numeric_f64() {
         assert_eq!(Numeric::saturating_add(1.5f64, 2.0), 3.5);
+        assert_eq!(Numeric::saturating_sub(3.5f64, 2.0), 1.5);
         assert_eq!(f64::ZERO, 0.0);
         assert_eq!(2.5f64.to_f64(), 2.5);
+        const _: () = assert!(!<f64 as Numeric>::EXACT_RETRACT);
     }
 }

@@ -107,6 +107,11 @@ impl DynAggregate {
         self.kind
     }
 
+    /// The column type this aggregate was configured for.
+    pub fn input_type(&self) -> ValueType {
+        self.input
+    }
+
     fn numeric(value: &Value) -> Option<f64> {
         value.as_f64()
     }

@@ -12,6 +12,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod active;
 mod aggregate;
 mod avg;
 mod count;
@@ -23,6 +24,7 @@ mod multi;
 mod sum;
 mod variance;
 
+pub use active::{BoolCounts, DynActive, SweepAggregate, SweepClass};
 pub use aggregate::{Aggregate, Numeric};
 pub use avg::{Avg, AvgState};
 pub use count::Count;

@@ -117,6 +117,11 @@ impl MultiDyn {
         self.members.len()
     }
 
+    /// The member aggregates, in declaration order.
+    pub fn members(&self) -> &[DynAggregate] {
+        &self.members
+    }
+
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()
     }

@@ -9,6 +9,7 @@
 //! | [`LinkedListAggregate`] | §4.2 | few constant intervals in the result |
 //! | [`AggregationTree`] | §5.1 | unordered relations, memory plentiful |
 //! | [`KOrderedAggregationTree`] | §5.3 | sorted / k-ordered / retroactively bounded relations |
+//! | [`SweepAggregator`] | — (Piatov/Colley, see PAPERS.md) | large unsorted batches, invertible aggregates |
 //! | [`TwoScanAggregate`] | §4.1 | baseline (Tuma's prior implementation) |
 //! | [`BalancedAggregationTree`] | §7 (future work) | order-insensitive, buffered |
 //! | [`PagedAggregationTree`] | §5.1 (limited memory) | memory-bounded, region-at-a-time |
@@ -36,6 +37,7 @@ mod paged;
 pub mod parallel;
 pub mod snapshot;
 mod span_group;
+mod sweep;
 mod traits;
 mod tree;
 mod two_scan;
@@ -51,5 +53,6 @@ pub use memory::MemoryStats;
 pub use paged::PagedAggregationTree;
 pub use parallel::{scoped_map, PartitionReport, PartitionedAggregator};
 pub use span_group::SpanGrouper;
+pub use sweep::SweepAggregator;
 pub use traits::{run, run_with_stats, TemporalAggregator};
 pub use two_scan::TwoScanAggregate;

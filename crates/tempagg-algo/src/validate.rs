@@ -144,7 +144,7 @@ pub fn assert_series_tiles<T>(entries: &[SeriesEntry<T>], expected: Interval, al
 /// for a single covering insertion: the tuple contributes to every instant
 /// of its interval exactly once.
 pub(crate) fn assert_exact_cover(tuple: Interval, covered: &mut Vec<Interval>, context: &str) {
-    covered.sort_by_key(Interval::start);
+    covered.sort_unstable_by_key(Interval::start);
     assert!(
         !covered.is_empty(),
         "validate[{context}]: insertion of {tuple} recorded the tuple on no node"

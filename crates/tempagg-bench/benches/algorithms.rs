@@ -4,10 +4,16 @@
 //! moderate so `cargo bench` finishes quickly. For the full paper sweeps
 //! (to 64K tuples) run `cargo run --release -p tempagg-bench --bin
 //! harness -- all`.
+//!
+//! `cargo bench --bench algorithms -- --test` runs a smoke pass: the sweep
+//! matrix only, at its smallest size with one sample — the form
+//! `scripts/check.sh` uses to keep this target from rotting.
 
+use tempagg_agg::{Min, Sum};
 use tempagg_bench::timing::Group;
-use tempagg_bench::{count_tuples, run_count, AlgoConfig};
-use tempagg_workload::{TupleOrder, WorkloadConfig};
+use tempagg_bench::{count_tuples, run_agg, run_count, AlgoConfig};
+use tempagg_core::Interval;
+use tempagg_workload::{generate, TupleOrder, WorkloadConfig};
 
 /// All algorithms over a randomly ordered 4K relation (Figure 6's regime).
 fn bench_random_order() {
@@ -67,9 +73,104 @@ fn bench_tree_scaling() {
     }
 }
 
+/// The sweep matrix: endpoint sweep vs linked list vs aggregation tree vs
+/// k-tree at n ∈ {1e3, 1e4, 1e5} × sortedness k ∈ {0, 16, random} ×
+/// {COUNT, SUM, MIN}. Quadratic configurations are skipped at the largest
+/// size with a printed note — no silent caps.
+fn bench_sweep_matrix(smoke: bool) {
+    let sizes: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    for &n in sizes {
+        for (k_label, order) in [
+            ("k=0 (sorted)", TupleOrder::Sorted),
+            (
+                "k=16",
+                TupleOrder::KOrdered {
+                    k: 16,
+                    percentage: 0.08,
+                },
+            ),
+            ("k=random", TupleOrder::Random),
+        ] {
+            let group_name: &'static str =
+                Box::leak(format!("sweep_matrix n={n} {k_label}").into_boxed_str());
+            let group = if smoke {
+                Group::new(group_name)
+                    .samples(1)
+                    .warm_up(std::time::Duration::from_millis(1))
+            } else {
+                Group::new(group_name)
+                    .samples(3)
+                    .warm_up(std::time::Duration::from_millis(20))
+            };
+            let relation = generate(&WorkloadConfig {
+                tuples: n,
+                order,
+                seed: 1,
+                ..Default::default()
+            });
+            let salary_idx = relation.schema().index_of("salary").expect("salary column");
+            let unit: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
+            let values: Vec<(Interval, i64)> = relation
+                .iter()
+                .map(|t| (t.valid(), t.value(salary_idx).as_i64().expect("int salary")))
+                .collect();
+
+            let mut configs = vec![AlgoConfig::Sweep];
+            // The linked list walks Θ(n·cells) on every ordering and the
+            // plain tree degenerates to Θ(n²) on (near-)sorted input:
+            // both would take tens of seconds per sample at n = 1e5.
+            if n < 100_000 {
+                configs.push(AlgoConfig::LinkedList);
+            } else {
+                println!(
+                    "  [skipping {} at n = {n}: Θ(n·cells) scan]",
+                    AlgoConfig::LinkedList.label()
+                );
+            }
+            let tree_degenerates = n >= 100_000 && !matches!(order, TupleOrder::Random);
+            if tree_degenerates {
+                println!(
+                    "  [skipping {} at n = {n} on near-sorted input: Θ(n²) linear tree]",
+                    AlgoConfig::AggregationTree.label()
+                );
+            } else {
+                configs.push(AlgoConfig::AggregationTree);
+            }
+            match order {
+                TupleOrder::Sorted => configs.push(AlgoConfig::KTreeSorted),
+                TupleOrder::KOrdered { .. } => configs.push(AlgoConfig::KTree { k: 16 }),
+                // No k bound on random input: the k-tree cannot stream it.
+                _ => {}
+            }
+
+            for config in configs {
+                group.bench(&format!("{} / COUNT", config.label()), || {
+                    run_count(config, &unit)
+                });
+                group.bench(&format!("{} / SUM", config.label()), || {
+                    run_agg(config, Sum::<i64>::new(), &values)
+                });
+                group.bench(&format!("{} / MIN", config.label()), || {
+                    run_agg(config, Min::<i64>::new(), &values)
+                });
+            }
+        }
+    }
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    if smoke {
+        bench_sweep_matrix(true);
+        return;
+    }
     bench_random_order();
     bench_sorted_order();
     bench_ktree_by_k();
     bench_tree_scaling();
+    bench_sweep_matrix(false);
 }

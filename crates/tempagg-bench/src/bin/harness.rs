@@ -12,6 +12,8 @@
 //! harness fig9 --long-lived 80   # §6.2: memory with long-lived tuples
 //! harness ablation               # §7 future-work ablations
 //! harness pipeline               # serial vs domain-partitioned execution
+//! harness sweep                  # endpoint sweep vs list/tree/k-tree
+//! harness calibrate              # measure per-unit costs for the planner
 //!
 //! options: --max <tuples>  (default 65536; the paper's 64K)
 //!          --seeds <n>     (default 3; paper used several seeds)
@@ -21,7 +23,11 @@
 //!
 //! Every report line is printed and also saved to
 //! `target/harness_output.txt`; the `pipeline` experiment additionally
-//! emits machine-readable timings to `target/BENCH_pipeline.json`.
+//! emits machine-readable timings to `target/BENCH_pipeline.json`, the
+//! `sweep` experiment writes `BENCH_sweep.json` to the *repo root* (a
+//! tracked perf-trajectory artifact) as well as `target/`, and
+//! `calibrate` rewrites the repo root's committed `calibration.json`
+//! profile ([`tempagg_plan::Calibration`]) for the current host.
 //!
 //! Absolute numbers will differ from the paper's 1995 SPARCstation, but the
 //! *shape* — who wins, by what factor, where crossovers sit — is the
@@ -30,7 +36,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use tempagg_bench::{
-    count_tuples, median_over_seeds, run_count, run_count_partitioned, secs, size_sweep,
+    count_tuples, median_over_seeds, run_agg, run_count, run_count_partitioned, secs, size_sweep,
     AlgoConfig, RunMeasurement,
 };
 use tempagg_core::sortedness;
@@ -104,6 +110,21 @@ fn target_dir() -> std::io::Result<PathBuf> {
     Ok(dir)
 }
 
+/// The repository root (for the *tracked* artifacts: `BENCH_sweep.json`
+/// and `calibration.json`), falling back to the working directory when the
+/// workspace no longer exists around the binary.
+fn repo_root() -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+    if root.is_dir() {
+        root
+    } else {
+        PathBuf::from(".")
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command: Option<String> = None;
@@ -159,6 +180,8 @@ fn main() {
         "ablation" => ablation(&options, &mut sink),
         "aggkinds" => aggregate_kinds(&options, &mut sink),
         "pipeline" => pipeline(&options, &mut sink),
+        "sweep" => sweep_bench(&options, &mut sink),
+        "calibrate" => calibrate(&options, &mut sink),
         "all" => {
             table1(&mut sink);
             table2(&mut sink);
@@ -172,6 +195,8 @@ fn main() {
             ablation(&options, &mut sink);
             aggregate_kinds(&options, &mut sink);
             pipeline(&options, &mut sink);
+            sweep_bench(&options, &mut sink);
+            calibrate(&options, &mut sink);
         }
         other => usage(&format!("unknown command `{other}`")),
     }
@@ -185,8 +210,8 @@ fn main() {
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: harness [table1|table2|fig6|fig7|fig8|fig9|ablation|aggkinds|pipeline|all] \
-         [--max N] [--seeds N] [--kpct F] [--long-lived P] [--quick]"
+        "usage: harness [table1|table2|fig6|fig7|fig8|fig9|ablation|aggkinds|pipeline|sweep|\
+         calibrate|all] [--max N] [--seeds N] [--kpct F] [--long-lived P] [--quick]"
     );
     std::process::exit(2)
 }
@@ -761,4 +786,262 @@ fn ablation(options: &Options, sink: &mut Sink) {
         ],
         &rows,
     );
+}
+
+// ─────────────────────────── Endpoint sweep ─────────────────────────
+
+/// The committed perf trajectory: the columnar endpoint sweep against the
+/// paper's algorithms, single-threaded, writing `BENCH_sweep.json` to the
+/// repo root (tracked) and to `target/`. The acceptance point is
+/// n = 100 000 random tuples, COUNT and SUM.
+fn sweep_bench(options: &Options, sink: &mut Sink) {
+    use tempagg_agg::Sum;
+
+    // n = 1e5 is the tracked acceptance point; `--max` / `--quick`
+    // override it for exploratory runs.
+    let n = if options.max_tuples == 65_536 {
+        100_000
+    } else {
+        options.max_tuples
+    };
+    emit!(
+        sink,
+        "\n== Endpoint sweep vs list / tree / k-tree: n = {n}, single-threaded =="
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json: Vec<String> = Vec::new();
+    let record = |rows: &mut Vec<Vec<String>>,
+                  json: &mut Vec<String>,
+                  algo: String,
+                  aggregate: &str,
+                  k: &str,
+                  m: RunMeasurement|
+     -> f64 {
+        let elapsed = m.elapsed.as_secs_f64();
+        let ns_per_tuple = m.elapsed.as_nanos() as f64 / n as f64;
+        rows.push(vec![
+            algo.clone(),
+            aggregate.to_owned(),
+            k.to_owned(),
+            secs(m.elapsed),
+            format!("{ns_per_tuple:.1}"),
+            m.memory.peak_model_bytes().to_string(),
+            m.result_rows.to_string(),
+        ]);
+        json.push(format!(
+            "    {{\"algo\": \"{algo}\", \"aggregate\": \"{aggregate}\", \"n\": {n}, \
+             \"k\": \"{k}\", \"seconds\": {elapsed:.6}, \"ns_per_tuple\": {ns_per_tuple:.2}, \
+             \"peak_model_bytes\": {}, \"result_rows\": {}}}",
+            m.memory.peak_model_bytes(),
+            m.result_rows
+        ));
+        elapsed
+    };
+
+    // Random input (the acceptance scenario), COUNT and SUM.
+    let relation = generate(&WorkloadConfig::random(n).with_seed(1));
+    // lint: allow(no-unwrap): the workload generator always emits a salary column
+    let salary_idx = relation.schema().index_of("salary").expect("salary column");
+    let unit: Vec<(Interval, ())> = relation.intervals().map(|iv| (iv, ())).collect();
+    let sums: Vec<(Interval, i64)> = relation
+        .iter()
+        // lint: allow(no-unwrap): generated salaries are always integers
+        .map(|t| (t.valid(), t.value(salary_idx).as_i64().expect("int salary")))
+        .collect();
+    let mut speedups: Vec<String> = Vec::new();
+    for (aggregate, runner) in [
+        (
+            "COUNT",
+            Box::new(|c: AlgoConfig| run_count(c, &unit))
+                as Box<dyn Fn(AlgoConfig) -> RunMeasurement>,
+        ),
+        (
+            "SUM",
+            Box::new(|c: AlgoConfig| run_agg(c, Sum::<i64>::new(), &sums)),
+        ),
+    ] {
+        let sweep = runner(AlgoConfig::Sweep);
+        let sweep_secs = record(
+            &mut rows,
+            &mut json,
+            AlgoConfig::Sweep.label(),
+            aggregate,
+            "random",
+            sweep,
+        );
+        for config in [AlgoConfig::LinkedList, AlgoConfig::AggregationTree] {
+            let m = runner(config);
+            assert_eq!(
+                m.result_rows,
+                sweep.result_rows,
+                "{} and the sweep disagree on {aggregate} row counts",
+                config.label()
+            );
+            let rival_secs = record(&mut rows, &mut json, config.label(), aggregate, "random", m);
+            speedups.push(format!(
+                "sweep vs {} ({aggregate}, random): {:.1}x",
+                config.label(),
+                rival_secs / sweep_secs.max(f64::EPSILON)
+            ));
+        }
+    }
+
+    // Sorted and k-ordered input: the sweep against the streaming k-tree.
+    for (k_label, config, workload) in [
+        (
+            "0",
+            AlgoConfig::KTreeSorted,
+            WorkloadConfig {
+                tuples: n,
+                order: TupleOrder::Sorted,
+                seed: 1,
+                ..Default::default()
+            },
+        ),
+        (
+            "16",
+            AlgoConfig::KTree { k: 16 },
+            tempagg_bench::workload_for(AlgoConfig::KTree { k: 16 }, n, 0, options.k_pct, 1),
+        ),
+    ] {
+        let tuples = count_tuples(&workload);
+        let sweep = run_count(AlgoConfig::Sweep, &tuples);
+        record(
+            &mut rows,
+            &mut json,
+            AlgoConfig::Sweep.label(),
+            "COUNT",
+            k_label,
+            sweep,
+        );
+        let m = run_count(config, &tuples);
+        assert_eq!(m.result_rows, sweep.result_rows);
+        record(&mut rows, &mut json, config.label(), "COUNT", k_label, m);
+    }
+
+    print_table(
+        sink,
+        "endpoint sweep vs rivals (k = disorder bound; \"random\" = unordered)",
+        &[
+            "algorithm".into(),
+            "aggregate".into(),
+            "k".into(),
+            "time (s)".into(),
+            "ns/tuple".into(),
+            "peak bytes".into(),
+            "result rows".into(),
+        ],
+        &rows,
+    );
+    for line in &speedups {
+        emit!(sink, "{line}");
+    }
+
+    let payload = format!(
+        "{{\n  \"experiment\": \"sweep\",\n  \"n\": {n},\n  \"threads\": 1,\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        json.join(",\n")
+    );
+    let root_path = repo_root().join("BENCH_sweep.json");
+    match std::fs::write(&root_path, &payload) {
+        Ok(()) => emit!(sink, "\n[sweep timings written to {}]", root_path.display()),
+        Err(e) => emit!(sink, "\n[could not write {}: {e}]", root_path.display()),
+    }
+    if let Ok(dir) = target_dir() {
+        let _ = std::fs::write(dir.join("BENCH_sweep.json"), &payload);
+    }
+}
+
+// ──────────────────────────── Calibration ───────────────────────────
+
+/// Measure the cost model's per-unit nanosecond constants on this host and
+/// rewrite the repo root's `calibration.json` profile. Each algorithm runs
+/// a workload whose unit count the model predicts in closed form; the
+/// measured wall-clock divided by that count is the per-unit cost.
+fn calibrate(options: &Options, sink: &mut Sink) {
+    use tempagg_plan::Calibration;
+
+    emit!(
+        sink,
+        "\n== Calibrate: measured per-unit costs (ns) for the planner's cost model =="
+    );
+    let seeds = options.seeds;
+    let nanos = |m: &RunMeasurement| m.elapsed.as_nanos() as f64;
+
+    // Linked list: Θ(n·cells/2) cell visits — kept small because that
+    // product grows quadratically on random input.
+    let n_list = 4_096usize;
+    let m = median_over_seeds(
+        AlgoConfig::LinkedList,
+        |seed| WorkloadConfig::random(n_list).with_seed(seed),
+        seeds,
+    );
+    let list_cell_ns = nanos(&m) / (n_list as f64 * m.result_rows.max(1) as f64 / 2.0);
+
+    // Aggregation tree: Θ(n·log₂(2·cells+1)) node visits on random input.
+    let n = options.max_tuples.min(65_536);
+    let m = median_over_seeds(
+        AlgoConfig::AggregationTree,
+        |seed| WorkloadConfig::random(n).with_seed(seed),
+        seeds,
+    );
+    let tree_node_ns = nanos(&m) / (n as f64 * (2.0 * m.result_rows.max(1) as f64 + 1.0).log2());
+
+    // k-ordered tree: Θ(n·(log₂ w + 2)) visits in a w = 4(2k+1)+1 window.
+    let k = 16usize;
+    let m = median_over_seeds(
+        AlgoConfig::KTree { k },
+        |seed| tempagg_bench::workload_for(AlgoConfig::KTree { k }, n, 0, options.k_pct, seed),
+        seeds,
+    );
+    let window = (4 * (2 * k + 1) + 1) as f64;
+    let ktree_node_ns = nanos(&m) / (n as f64 * (window.log2() + 2.0));
+
+    // Sweep: T(e) = e·log₂(e)·sort + e·event has two unknowns — measure
+    // two sizes and solve the 2×2 system, clamping away timer noise.
+    let (n1, n2) = (16_384usize, 131_072usize);
+    let t1 = nanos(&median_over_seeds(
+        AlgoConfig::Sweep,
+        |seed| WorkloadConfig::random(n1).with_seed(seed),
+        seeds,
+    ));
+    let t2 = nanos(&median_over_seeds(
+        AlgoConfig::Sweep,
+        |seed| WorkloadConfig::random(n2).with_seed(seed),
+        seeds,
+    ));
+    let (e1, e2) = ((2 * n1) as f64, (2 * n2) as f64);
+    let (a1, a2) = (e1 * e1.log2(), e2 * e2.log2());
+    let sweep_sort_ns = clamp_positive((t1 * e2 - t2 * e1) / (a1 * e2 - a2 * e1));
+    let sweep_event_ns = clamp_positive((t2 - a2 * sweep_sort_ns) / e2);
+
+    let cal = Calibration {
+        list_cell_ns: clamp_positive(list_cell_ns),
+        tree_node_ns: clamp_positive(tree_node_ns),
+        ktree_node_ns: clamp_positive(ktree_node_ns),
+        sweep_sort_ns,
+        sweep_event_ns,
+    };
+    emit!(sink, "\n{}", cal.emit().trim_end());
+
+    let path = repo_root().join("calibration.json");
+    match std::fs::write(&path, cal.emit()) {
+        Ok(()) => emit!(
+            sink,
+            "\n[calibration profile written to {}]",
+            path.display()
+        ),
+        Err(e) => emit!(sink, "\n[could not write {}: {e}]", path.display()),
+    }
+}
+
+/// Timer noise (or a degenerate 2×2 solve) can push a measured per-unit
+/// cost to zero or below; the planner requires strictly positive constants.
+fn clamp_positive(x: f64) -> f64 {
+    if x.is_finite() && x > 0.05 {
+        x
+    } else {
+        0.05
+    }
 }

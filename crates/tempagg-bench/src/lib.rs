@@ -10,10 +10,10 @@
 pub mod timing;
 
 use std::time::{Duration, Instant};
-use tempagg_agg::Count;
+use tempagg_agg::{Count, SweepAggregate};
 use tempagg_algo::{
     AggregationTree, BalancedAggregationTree, KOrderedAggregationTree, LinkedListAggregate,
-    MemoryStats, PartitionedAggregator, TemporalAggregator, TwoScanAggregate,
+    MemoryStats, PartitionedAggregator, SweepAggregator, TemporalAggregator, TwoScanAggregate,
 };
 use tempagg_core::{Chunk, Interval, Timestamp, DEFAULT_CHUNK_CAPACITY};
 use tempagg_workload::{generate, TupleOrder, WorkloadConfig};
@@ -33,6 +33,8 @@ pub enum AlgoConfig {
     TwoScan,
     /// Balanced aggregation tree (future-work ablation).
     Balanced,
+    /// Columnar endpoint sweep (beyond the paper).
+    Sweep,
 }
 
 impl AlgoConfig {
@@ -44,6 +46,7 @@ impl AlgoConfig {
             AlgoConfig::KTreeSorted => "Ktree sorted K=1".into(),
             AlgoConfig::TwoScan => "Two-scan (Tuma)".into(),
             AlgoConfig::Balanced => "Balanced Tree".into(),
+            AlgoConfig::Sweep => "Endpoint Sweep".into(),
         }
     }
 }
@@ -56,17 +59,27 @@ pub struct RunMeasurement {
     pub result_rows: usize,
 }
 
-/// Run `COUNT` with the given configuration over `(interval, ())` tuples,
-/// timing the scan + finish.
-pub fn run_count(config: AlgoConfig, tuples: &[(Interval, ())]) -> RunMeasurement {
-    fn drive<G: TemporalAggregator<Count>>(
+/// Run any [`SweepAggregate`] with the given configuration over
+/// `(interval, input)` tuples, timing the scan + finish. The
+/// `SweepAggregate` bound (every aggregate in the workspace carries it)
+/// lets the same entry point drive the endpoint sweep alongside the
+/// paper's tree- and list-based algorithms.
+pub fn run_agg<A>(config: AlgoConfig, agg: A, tuples: &[(Interval, A::Input)]) -> RunMeasurement
+where
+    A: SweepAggregate,
+    A::Input: Clone,
+{
+    fn drive<A: SweepAggregate, G: TemporalAggregator<A>>(
         mut aggregator: G,
-        tuples: &[(Interval, ())],
-    ) -> RunMeasurement {
+        tuples: &[(Interval, A::Input)],
+    ) -> RunMeasurement
+    where
+        A::Input: Clone,
+    {
         let started = Instant::now();
-        for &(iv, ()) in tuples {
+        for (iv, v) in tuples {
             aggregator
-                .push(iv, ())
+                .push(*iv, v.clone())
                 // lint: allow(no-unwrap): measurement must abort on a misconfigured scenario, not skew timings with handling
                 .expect("benchmark tuples fit the configuration");
         }
@@ -79,21 +92,28 @@ pub fn run_count(config: AlgoConfig, tuples: &[(Interval, ())]) -> RunMeasuremen
         }
     }
     match config {
-        AlgoConfig::LinkedList => drive(LinkedListAggregate::new(Count), tuples),
-        AlgoConfig::AggregationTree => drive(AggregationTree::new(Count), tuples),
+        AlgoConfig::LinkedList => drive(LinkedListAggregate::new(agg), tuples),
+        AlgoConfig::AggregationTree => drive(AggregationTree::new(agg), tuples),
         AlgoConfig::KTree { k } => drive(
             // lint: allow(no-unwrap): scenario configs only carry k >= 1
-            KOrderedAggregationTree::new(Count, k).expect("k >= 1"),
+            KOrderedAggregationTree::new(agg, k).expect("k >= 1"),
             tuples,
         ),
         AlgoConfig::KTreeSorted => drive(
             // lint: allow(no-unwrap): k = 1 always satisfies the constructor
-            KOrderedAggregationTree::new(Count, 1).expect("k = 1 is valid"),
+            KOrderedAggregationTree::new(agg, 1).expect("k = 1 is valid"),
             tuples,
         ),
-        AlgoConfig::TwoScan => drive(TwoScanAggregate::new(Count), tuples),
-        AlgoConfig::Balanced => drive(BalancedAggregationTree::new(Count), tuples),
+        AlgoConfig::TwoScan => drive(TwoScanAggregate::new(agg), tuples),
+        AlgoConfig::Balanced => drive(BalancedAggregationTree::new(agg), tuples),
+        AlgoConfig::Sweep => drive(SweepAggregator::new(agg), tuples),
     }
+}
+
+/// Run `COUNT` with the given configuration over `(interval, ())` tuples,
+/// timing the scan + finish.
+pub fn run_count(config: AlgoConfig, tuples: &[(Interval, ())]) -> RunMeasurement {
+    run_agg(config, Count, tuples)
 }
 
 /// Run `COUNT` through a [`PartitionedAggregator`] cut into `partitions`
@@ -155,6 +175,11 @@ pub fn run_count_partitioned(
         ),
         AlgoConfig::AggregationTree => drive(
             |sub| AggregationTree::with_domain(Count, sub),
+            seams,
+            tuples,
+        ),
+        AlgoConfig::Sweep => drive(
+            |sub| SweepAggregator::with_domain(Count, sub),
             seams,
             tuples,
         ),
@@ -258,6 +283,7 @@ mod tests {
             AlgoConfig::KTreeSorted,
             AlgoConfig::TwoScan,
             AlgoConfig::Balanced,
+            AlgoConfig::Sweep,
         ] {
             let m = run_count(config, &tuples);
             assert!(m.result_rows > 100, "{config:?} rows {}", m.result_rows);
@@ -280,6 +306,7 @@ mod tests {
             AlgoConfig::KTreeSorted,
             AlgoConfig::TwoScan,
             AlgoConfig::Balanced,
+            AlgoConfig::Sweep,
         ]
         .iter()
         .map(|&c| run_count(c, &tuples).result_rows)
@@ -290,7 +317,11 @@ mod tests {
     #[test]
     fn partitioned_run_matches_serial_rows() {
         let tuples = count_tuples(&WorkloadConfig::random(512).with_seed(2));
-        for config in [AlgoConfig::LinkedList, AlgoConfig::AggregationTree] {
+        for config in [
+            AlgoConfig::LinkedList,
+            AlgoConfig::AggregationTree,
+            AlgoConfig::Sweep,
+        ] {
             let serial = run_count(config, &tuples);
             for partitions in [2usize, 4, 8] {
                 let par = run_count_partitioned(config, &tuples, partitions);
@@ -319,5 +350,32 @@ mod tests {
     fn labels() {
         assert_eq!(AlgoConfig::KTree { k: 40 }.label(), "Ktree K=40");
         assert_eq!(AlgoConfig::KTreeSorted.label(), "Ktree sorted K=1");
+        assert_eq!(AlgoConfig::Sweep.label(), "Endpoint Sweep");
+    }
+
+    #[test]
+    fn run_agg_drives_value_aggregates_through_every_config() {
+        let relation = generate(&WorkloadConfig::random(256).with_seed(9));
+        // lint: allow(no-unwrap): the workload generator always emits a salary column
+        let idx = relation.schema().index_of("salary").expect("salary column");
+        let tuples: Vec<(Interval, i64)> = relation
+            .iter()
+            // lint: allow(no-unwrap): generated salaries are always integers
+            .map(|t| (t.valid(), t.value(idx).as_i64().expect("int salary")))
+            .collect();
+        let rows: Vec<usize> = [
+            AlgoConfig::LinkedList,
+            AlgoConfig::AggregationTree,
+            AlgoConfig::TwoScan,
+            AlgoConfig::Balanced,
+            AlgoConfig::Sweep,
+        ]
+        .iter()
+        .map(|&c| run_agg(c, tempagg_agg::Sum::<i64>::new(), &tuples).result_rows)
+        .collect();
+        assert!(rows[0] > 100);
+        assert!(rows.windows(2).all(|w| w[0] == w[1]), "rows {rows:?}");
+        let m = run_agg(AlgoConfig::Sweep, tempagg_agg::Min::<i64>::new(), &tuples);
+        assert_eq!(m.result_rows, rows[0]);
     }
 }

@@ -199,6 +199,7 @@ impl BitemporalRelation {
     /// retroactively bounded scan sees (Section 5.2).
     pub fn by_transaction_order(&self) -> Vec<&Version> {
         let mut versions: Vec<&Version> = self.versions.iter().collect();
+        // lint: allow(no-stable-sort): key-equal versions must keep insertion (arrival) order
         versions.sort_by_key(|v| (v.transaction.start(), v.valid.start(), v.valid.end()));
         versions
     }

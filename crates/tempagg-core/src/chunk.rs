@@ -126,6 +126,34 @@ impl<V> Chunk<V> {
         let max_end = self.ends.iter().max()?;
         Interval::new(*min_start, *max_end).ok()
     }
+
+    /// Append all three columns onto caller-owned run buffers — the
+    /// columnar ingest path for sweep-style consumers that accumulate
+    /// `(start, end, value)` runs across many chunks without going through
+    /// per-tuple pushes.
+    pub fn append_columns_to(
+        &self,
+        starts: &mut Vec<Timestamp>,
+        ends: &mut Vec<Timestamp>,
+        values: &mut Vec<V>,
+    ) where
+        V: Clone,
+    {
+        starts.extend_from_slice(&self.starts);
+        ends.extend_from_slice(&self.ends);
+        values.extend_from_slice(&self.values);
+    }
+
+    /// The first buffered interval not covered by `domain`, if any — the
+    /// whole-batch domain check batch consumers run before ingesting any
+    /// column.
+    pub fn first_outside(&self, domain: Interval) -> Option<Interval> {
+        self.starts
+            .iter()
+            .zip(&self.ends)
+            .find(|(s, e)| **s < domain.start() || **e > domain.end())
+            .and_then(|(s, e)| Interval::new(*s, *e).ok())
+    }
 }
 
 impl<V> Default for Chunk<V> {
@@ -225,6 +253,37 @@ mod tests {
         c.push(Interval::at(2, 4), 0).unwrap();
         c.push(Interval::at(11, 30), 0).unwrap();
         assert_eq!(c.extent(), Some(Interval::at(2, 30)));
+    }
+
+    #[test]
+    fn append_columns_concatenates_runs() {
+        let mut a: Chunk<i64> = Chunk::with_capacity(4);
+        a.push(Interval::at(0, 5), 1).unwrap();
+        a.push(Interval::at(3, 9), 2).unwrap();
+        let mut b: Chunk<i64> = Chunk::with_capacity(4);
+        b.push(Interval::at(7, 8), 3).unwrap();
+        let (mut starts, mut ends, mut values) = (Vec::new(), Vec::new(), Vec::new());
+        a.append_columns_to(&mut starts, &mut ends, &mut values);
+        b.append_columns_to(&mut starts, &mut ends, &mut values);
+        assert_eq!(starts, vec![Timestamp(0), Timestamp(3), Timestamp(7)]);
+        assert_eq!(ends, vec![Timestamp(5), Timestamp(9), Timestamp(8)]);
+        assert_eq!(values, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn first_outside_finds_domain_violations() {
+        let mut c: Chunk<u8> = Chunk::with_capacity(4);
+        c.push(Interval::at(5, 10), 0).unwrap();
+        c.push(Interval::at(2, 7), 0).unwrap();
+        assert_eq!(c.first_outside(Interval::at(0, 20)), None);
+        assert_eq!(
+            c.first_outside(Interval::at(3, 20)),
+            Some(Interval::at(2, 7))
+        );
+        assert_eq!(
+            c.first_outside(Interval::at(0, 9)),
+            Some(Interval::at(5, 10))
+        );
     }
 
     #[test]

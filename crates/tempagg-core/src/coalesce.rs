@@ -34,7 +34,7 @@ fn sort_key(
 /// interval) of an earlier tuple.
 pub fn eliminate_duplicates(relation: &TemporalRelation) -> TemporalRelation {
     let mut sorted: Vec<&Tuple> = relation.iter().collect();
-    sorted.sort_by_key(|t| sort_key(t));
+    sorted.sort_unstable_by_key(|t| sort_key(t));
     let mut out = TemporalRelation::with_capacity(relation.schema().clone(), sorted.len());
     let mut prev: Option<&Tuple> = None;
     for tuple in sorted {
@@ -52,7 +52,7 @@ pub fn eliminate_duplicates(relation: &TemporalRelation) -> TemporalRelation {
 /// intervals overlap or meet.
 pub fn coalesce_tuples(relation: &TemporalRelation) -> TemporalRelation {
     let mut sorted: Vec<&Tuple> = relation.iter().collect();
-    sorted.sort_by_key(|t| sort_key(t));
+    sorted.sort_unstable_by_key(|t| sort_key(t));
     let mut out = TemporalRelation::with_capacity(relation.schema().clone(), sorted.len());
     let mut pending: Option<Tuple> = None;
     for tuple in sorted {

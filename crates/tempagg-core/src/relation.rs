@@ -92,6 +92,7 @@ impl TemporalRelation {
     /// storage order.
     pub fn sort_by_time(&mut self) {
         self.tuples
+            // lint: allow(no-stable-sort): documented API contract — equal intervals preserve storage order
             .sort_by_key(|t| (t.valid().start(), t.valid().end()));
     }
 

@@ -34,6 +34,7 @@ use crate::interval::Interval;
 /// assignment among equal keys.
 pub fn sorted_positions(intervals: &[Interval]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..intervals.len()).collect();
+    // lint: allow(no-stable-sort): stability gives equal intervals zero displacement (minimal assignment)
     idx.sort_by_key(|&i| (intervals[i].start(), intervals[i].end()));
     let mut pos = vec![0usize; intervals.len()];
     for (sorted_pos, &storage_pos) in idx.iter().enumerate() {

@@ -19,6 +19,10 @@
 //!   workspace's one parallel primitive; everything else goes through
 //!   `scoped_map` / `PartitionedAggregator` so worker panics, ordering,
 //!   and thread caps are handled in a single audited place.
+//! * `no-stable-sort` — no `.sort()` / `.sort_by(` / `.sort_by_key(` in
+//!   `tempagg-algo` / `tempagg-core` hot paths: a stable sort allocates a
+//!   merge buffer of half the slice; use `sort_unstable*` unless tie
+//!   order is semantic, and then justify with an allow comment.
 //! * `forbid-unsafe` — every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
 
@@ -47,6 +51,12 @@ pub struct FileContext<'a> {
 /// Crates whose algorithms must not use `as` casts.
 const NO_CAST_CRATES: &[&str] = &["tempagg-algo", "tempagg-agg"];
 
+/// Crates whose hot paths must sort with `sort_unstable*`.
+const NO_STABLE_SORT_CRATES: &[&str] = &["tempagg-algo", "tempagg-core"];
+
+/// The allocating stable-sort methods covered by `no-stable-sort`.
+const STABLE_SORTS: &[&str] = &["sort", "sort_by", "sort_by_key"];
+
 /// The only crate allowed to do raw arithmetic on timestamp `i64`s.
 const TIME_ARITH_CRATE: &str = "tempagg-core";
 
@@ -69,6 +79,9 @@ pub fn check_file(ctx: FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> 
     }
     if NO_CAST_CRATES.contains(&ctx.crate_name) {
         no_as_cast(&code, &in_test, &allows, &mut out);
+    }
+    if NO_STABLE_SORT_CRATES.contains(&ctx.crate_name) {
+        no_stable_sort(&code, &in_test, &allows, &mut out);
     }
     if !ctx.is_thread_hub {
         no_raw_thread(&code, &in_test, &allows, &mut out);
@@ -340,6 +353,43 @@ fn no_as_cast(
     }
 }
 
+fn no_stable_sort(
+    code: &[&Token<'_>],
+    in_test: &[bool],
+    allows: &AllowComments,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = code[i];
+        if t.kind != TokenKind::Ident || !STABLE_SORTS.contains(&t.text) {
+            continue;
+        }
+        // `.sort(` / `.sort_by(` / `.sort_by_key(` method calls only;
+        // idents named `sort` (locals, paths) stay legal.
+        if i > 0
+            && code[i - 1].is_punct('.')
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('('))
+        {
+            let unstable = format!("sort_unstable{}", &t.text["sort".len()..]);
+            report(
+                allows,
+                out,
+                "no-stable-sort",
+                t.line,
+                format!(
+                    "`.{}(` on a hot path allocates a stable-sort merge buffer — use \
+                     `.{unstable}(`, or justify tie-order stability with \
+                     `// lint: allow(no-stable-sort): <why>`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
 /// `thread::` members that create OS threads.
 const THREAD_SPAWNERS: &[&str] = &["spawn", "scope", "Builder"];
 
@@ -562,6 +612,44 @@ mod tests {
     fn raw_thread_allow_comment_suppresses() {
         let src = "fn f() {\n    // lint: allow(no-raw-thread): one-shot timer, no result plumbing needed\n    std::thread::spawn(f);\n}";
         assert!(check("tempagg-sql", false, src).is_empty());
+    }
+
+    #[test]
+    fn stable_sort_flagged_in_algo_and_core() {
+        for call in ["v.sort()", "v.sort_by(cmp)", "v.sort_by_key(key)"] {
+            for krate in ["tempagg-algo", "tempagg-core"] {
+                let vs = check(krate, false, &format!("fn f() {{ {call}; }}"));
+                assert_eq!(
+                    rules(&vs),
+                    vec!["no-stable-sort"],
+                    "for `{call}` in {krate}"
+                );
+                assert!(vs[0].message.contains("sort_unstable"), "for `{call}`");
+            }
+        }
+    }
+
+    #[test]
+    fn unstable_sort_and_other_crates_are_legal() {
+        assert!(check("tempagg-algo", false, "fn f() { v.sort_unstable(); }").is_empty());
+        assert!(check(
+            "tempagg-algo",
+            false,
+            "fn f() { v.sort_unstable_by_key(k); }"
+        )
+        .is_empty());
+        // The rule only gates the hot-path crates.
+        assert!(check("tempagg-bench", false, "fn f() { v.sort(); }").is_empty());
+        // An ident named `sort` without a method call is not a violation.
+        assert!(check("tempagg-core", false, "fn f() { let sort = 1; g(sort); }").is_empty());
+    }
+
+    #[test]
+    fn stable_sort_allow_comment_and_tests_are_exempt() {
+        let src = "fn f() {\n    // lint: allow(no-stable-sort): ties must keep storage order\n    v.sort_by_key(k);\n}";
+        assert!(check("tempagg-core", false, src).is_empty());
+        let src = "#[cfg(test)]\nmod tests { fn t() { v.sort(); } }";
+        assert!(check("tempagg-algo", false, src).is_empty());
     }
 
     #[test]

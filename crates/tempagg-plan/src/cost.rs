@@ -1,36 +1,70 @@
-//! An explicit cost model for the three algorithms, and a cost-*based*
-//! planner that ranks candidates numerically.
+//! An explicit cost model for the algorithms, and cost-*based* planners
+//! that rank candidates numerically.
 //!
 //! Section 6.3 phrases algorithm choice as trade-offs ("depending on the
 //! tradeoff between the cost of increased memory requirements and the cost
 //! of disk access"); the rule-based [`crate::plan`] encodes its
 //! conclusions directly, while this module derives them from first
-//! principles — per-tuple work counts calibrated to the asymptotics the
+//! principles — per-unit work counts calibrated to the asymptotics the
 //! paper measures:
 //!
 //! * linked list: each tuple scans ~half the current cell list — `Θ(n·c)`;
 //! * aggregation tree: `Θ(n log c)` node visits on random input, but
 //!   `Θ(n²)` on sorted/near-sorted input (the linear-tree worst case);
 //! * k-ordered tree: `Θ(n (log w + g))` for a window of `w` nodes;
+//! * endpoint sweep: one `Θ(e log e)` unstable sort of `e = 2n` events
+//!   plus a branch-light linear merge scan;
 //! * a pre-sort adds `Θ(n log n)` CPU plus one extra relation scan of I/O.
 //!
-//! The two planners agreeing across the paper's scenarios is itself a
-//! reproduction check (`tests in this module`).
+//! The constant in front of each asymptotic term is *calibrated*: the
+//! `tempagg-bench` harness' `calibrate` command measures per-unit
+//! nanosecond costs on the host and emits a [`Calibration`] profile
+//! (`calibration.json` at the repo root holds committed defaults);
+//! [`CostModel::calibrated`] normalises those into tree-node-visit units.
+//!
+//! Two planner entry points share the ranking machinery:
+//!
+//! * [`plan_by_cost`] scores only the paper's three algorithms, so that
+//!   its agreement with the rule-based [`crate::plan`] across the paper's
+//!   scenarios remains a reproduction check;
+//! * [`choose_algorithm`] adds the endpoint-sweep kernel as a fourth
+//!   candidate, gated on the aggregate's [`SweepClass`] (floating-point
+//!   retraction is inexact, so `Approximate` aggregates never sweep).
 
 use crate::planner::{AlgorithmChoice, Plan, PlannerConfig};
 use crate::stats::{OrderingKnowledge, RelationStats};
-use tempagg_algo::memory::model_node_bytes;
+use tempagg_agg::SweepClass;
+use tempagg_algo::memory::{model_node_bytes, MODEL_POINTER_BYTES};
 
-/// Relative cost weights. The defaults make one in-memory node visit the
-/// unit; I/O is charged per tuple per scan, heavily weighted as disk I/O
-/// is ~10⁴ node visits.
+/// Relative cost weights. One aggregation-tree node visit is the unit;
+/// the per-algorithm constants are the calibrated ratios of each
+/// algorithm's per-unit work to that unit (see [`CostModel::calibrated`]).
+/// I/O is charged per tuple per scan, heavily weighted as disk I/O is
+/// orders of magnitude above any in-memory unit.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
-    /// Cost of touching one tree node or list cell.
-    pub node_visit: f64,
+    /// Cost of touching one linked-list cell (sequential scan: cheaper
+    /// than a tree descent step).
+    pub list_cell_visit: f64,
+    /// Cost of touching one aggregation-tree node — the unit (1.0).
+    pub tree_node_visit: f64,
+    /// Cost of touching one k-ordered-tree node (the 2k+1 window stays
+    /// cache-resident, so visits are cheaper than cold tree descents).
+    pub ktree_node_visit: f64,
+    /// Sort cost per endpoint event per `log₂ e` (the sweep's dominant
+    /// term: one `sort_unstable` over `e = 2n` events).
+    pub sweep_sort_per_event: f64,
+    /// Cost of applying one endpoint event in the sweep's merge scan
+    /// (delta add/subtract for `SweepClass::Delta` aggregates).
+    pub sweep_event_visit: f64,
+    /// Multiplier on [`sweep_event_visit`](Self::sweep_event_visit) for
+    /// `SweepClass::Ordered` aggregates, whose active set is a sorted
+    /// multiset rather than a running delta.
+    pub ordered_active_multiplier: f64,
     /// Cost of reading one tuple from storage, per scan.
     pub io_per_tuple: f64,
-    /// CPU cost multiplier for comparison-sorting one tuple (× log₂ n).
+    /// CPU cost multiplier for comparison-sorting one *tuple* in a
+    /// presort (× log₂ n; tuples are wider than the sweep's bare events).
     pub sort_per_tuple: f64,
     /// Cost charged per byte of peak algorithm state (models memory
     /// pressure; 0 when memory is free).
@@ -43,17 +77,136 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
+        CostModel::calibrated(&Calibration::default())
+    }
+}
+
+/// Measured per-unit costs in nanoseconds, as produced by the harness'
+/// `calibrate` command. The committed defaults (`calibration.json`, also
+/// `Calibration::default()`) were measured on the development host; rerun
+/// `harness calibrate` to adapt the planner to new hardware.
+///
+/// The profile is stored as flat JSON — one number per key — and parsed
+/// without any external dependency:
+///
+/// ```text
+/// {
+///   "list_cell_ns": 10.0,
+///   "tree_node_ns": 20.0,
+///   "ktree_node_ns": 7.0,
+///   "sweep_sort_ns": 4.0,
+///   "sweep_event_ns": 2.0
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Calibration {
+    /// ns per linked-list cell visit.
+    pub list_cell_ns: f64,
+    /// ns per aggregation-tree node visit.
+    pub tree_node_ns: f64,
+    /// ns per k-ordered-tree node visit.
+    pub ktree_node_ns: f64,
+    /// ns per endpoint event per log₂ e, in the sweep's sort.
+    pub sweep_sort_ns: f64,
+    /// ns per endpoint event in the sweep's merge scan.
+    pub sweep_event_ns: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            list_cell_ns: 10.0,
+            tree_node_ns: 20.0,
+            ktree_node_ns: 7.0,
+            sweep_sort_ns: 4.0,
+            sweep_event_ns: 2.0,
+        }
+    }
+}
+
+impl Calibration {
+    /// Parse a flat-JSON calibration profile. Unknown keys are rejected
+    /// (they signal a stale or foreign profile); missing keys keep their
+    /// defaults so older profiles stay loadable.
+    pub fn parse(text: &str) -> std::result::Result<Calibration, String> {
+        let body = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.trim_end().strip_suffix('}'))
+            .ok_or_else(|| "calibration profile must be a JSON object".to_owned())?;
+        let mut cal = Calibration::default();
+        for entry in body.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("malformed calibration entry: {entry:?}"))?;
+            let key = key.trim().trim_matches('"');
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("calibration value for {key:?} is not a number"))?;
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!("calibration value for {key:?} must be positive"));
+            }
+            match key {
+                "list_cell_ns" => cal.list_cell_ns = value,
+                "tree_node_ns" => cal.tree_node_ns = value,
+                "ktree_node_ns" => cal.ktree_node_ns = value,
+                "sweep_sort_ns" => cal.sweep_sort_ns = value,
+                "sweep_event_ns" => cal.sweep_event_ns = value,
+                other => return Err(format!("unknown calibration key {other:?}")),
+            }
+        }
+        Ok(cal)
+    }
+
+    /// Serialise back to the flat-JSON profile format.
+    pub fn emit(&self) -> String {
+        format!(
+            "{{\n  \"list_cell_ns\": {:.3},\n  \"tree_node_ns\": {:.3},\n  \
+             \"ktree_node_ns\": {:.3},\n  \"sweep_sort_ns\": {:.3},\n  \
+             \"sweep_event_ns\": {:.3}\n}}\n",
+            self.list_cell_ns,
+            self.tree_node_ns,
+            self.ktree_node_ns,
+            self.sweep_sort_ns,
+            self.sweep_event_ns
+        )
+    }
+
+    /// Load a profile from disk (e.g. the committed `calibration.json`).
+    pub fn load(path: &std::path::Path) -> std::result::Result<Calibration, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Calibration::parse(&text)
+    }
+}
+
+impl CostModel {
+    /// Build a cost model from measured per-unit nanosecond costs: the
+    /// aggregation-tree node visit becomes the unit (1.0) and every other
+    /// constant the measured ratio to it. The I/O, presort, memory, and
+    /// partition weights are policy rather than measurement and keep
+    /// their defaults.
+    pub fn calibrated(cal: &Calibration) -> CostModel {
+        let unit = cal.tree_node_ns.max(f64::MIN_POSITIVE);
         CostModel {
-            node_visit: 1.0,
+            list_cell_visit: cal.list_cell_ns / unit,
+            tree_node_visit: 1.0,
+            ktree_node_visit: cal.ktree_node_ns / unit,
+            sweep_sort_per_event: cal.sweep_sort_ns / unit,
+            sweep_event_visit: cal.sweep_event_ns / unit,
+            ordered_active_multiplier: 8.0,
             io_per_tuple: 50.0,
             sort_per_tuple: 2.0,
             per_state_byte: 0.0,
             partition_overhead: 5_000.0,
         }
     }
-}
 
-impl CostModel {
     /// The degree of parallelism that minimises `serial_cpu / p +
     /// p · partition_overhead` over `1 ≤ p ≤ max_partitions` — i.e. an
     /// even domain split is only worth its per-partition overhead when the
@@ -101,19 +254,23 @@ fn near_sorted(stats: &RelationStats) -> bool {
     )
 }
 
-/// Estimate the cost of one candidate.
+/// Estimate the cost of one candidate. `class` only affects the
+/// [`AlgorithmChoice::Sweep`] arm: `Ordered` aggregates pay the sorted
+/// multiset multiplier, and `Approximate` ones a prohibitive penalty
+/// (selection gates them out of the candidate set anyway).
 pub fn estimate(
     choice: AlgorithmChoice,
     stats: &RelationStats,
     model: &CostModel,
     state_model_bytes: usize,
+    class: SweepClass,
 ) -> CostEstimate {
     let n = stats.tuple_count.max(1) as f64;
     let cells = stats.unique_timestamps_or_default().max(1) as f64;
     let node_bytes = model_node_bytes(state_model_bytes);
     let scan_io = n * model.io_per_tuple;
 
-    let (cpu, io, state_nodes) = match choice {
+    let (cpu, io, state_bytes) = match choice {
         AlgorithmChoice::LinkedList => {
             // Result-size cap from the query, if declared.
             let effective_cells = stats
@@ -121,41 +278,57 @@ pub fn estimate(
                 .map_or(cells, |r| r as f64)
                 .max(1.0);
             (
-                n * effective_cells / 2.0 * model.node_visit,
+                n * effective_cells / 2.0 * model.list_cell_visit,
                 scan_io,
-                effective_cells as usize + 1,
+                (effective_cells as usize + 1) * node_bytes,
             )
         }
         AlgorithmChoice::AggregationTree => {
             let nodes = 2.0 * cells + 1.0;
             let cpu = if near_sorted(stats) {
                 // Linear tree: the i-th insert walks ~i nodes.
-                n * n / 2.0 * model.node_visit
+                n * n / 2.0 * model.tree_node_visit
             } else {
-                n * log2(nodes) * model.node_visit
+                n * log2(nodes) * model.tree_node_visit
             };
-            (cpu, scan_io, nodes as usize)
+            (cpu, scan_io, nodes as usize * node_bytes)
+        }
+        AlgorithmChoice::Sweep => {
+            let events = 2.0 * n;
+            let event_visit = match class {
+                SweepClass::Delta => model.sweep_event_visit,
+                SweepClass::Ordered => model.sweep_event_visit * model.ordered_active_multiplier,
+                // Never a real candidate (retraction would drift); keep the
+                // estimate finite so direct calls still sort cleanly.
+                SweepClass::Approximate => model.sweep_event_visit * 1e9,
+            };
+            let cpu = events * log2(events) * model.sweep_sort_per_event + events * event_visit;
+            // State is the buffered columnar runs themselves: two
+            // timestamps (one model pointer's worth) plus the value per
+            // tuple — the sweep holds no per-cell nodes.
+            let run_bytes = MODEL_POINTER_BYTES + state_model_bytes;
+            (cpu, scan_io, stats.tuple_count.max(1) * run_bytes)
         }
         AlgorithmChoice::KOrderedTree { k, presort } => {
             let window_nodes = (4 * (2 * k + 1) + 1) as f64 + stats.long_lived_fraction * n * 2.0;
-            let mut cpu = n * (log2(window_nodes) + 2.0) * model.node_visit;
+            let mut cpu = n * (log2(window_nodes) + 2.0) * model.ktree_node_visit;
             let mut io = scan_io;
             if presort {
                 cpu += n * log2(n) * model.sort_per_tuple;
                 io += scan_io; // write + re-read of the sorted run
             }
-            (cpu, io, window_nodes as usize)
+            (cpu, io, window_nodes as usize * node_bytes)
         }
     };
     CostEstimate {
         choice,
         cpu,
         io,
-        state_bytes: state_nodes * node_bytes,
+        state_bytes,
     }
 }
 
-/// Enumerate the sensible candidates for a relation.
+/// Enumerate the paper's sensible candidates for a relation.
 fn candidates(stats: &RelationStats) -> Vec<AlgorithmChoice> {
     let mut out = vec![
         AlgorithmChoice::LinkedList,
@@ -182,17 +355,24 @@ fn candidates(stats: &RelationStats) -> Vec<AlgorithmChoice> {
     out
 }
 
-/// Pick the cheapest candidate under the cost model, honouring the memory
-/// budget. Returns a [`Plan`] whose rationale records the scores.
-pub fn plan_by_cost(
+/// Rank `pool` under the cost model, honouring the memory budget, and
+/// wrap the winner in a [`Plan`] whose rationale records every score.
+fn rank(
+    pool: Vec<AlgorithmChoice>,
     stats: &RelationStats,
     config: &PlannerConfig,
     model: &CostModel,
     state_model_bytes: usize,
+    class: SweepClass,
 ) -> Plan {
-    let mut scored: Vec<CostEstimate> = candidates(stats)
+    let score = |choices: Vec<AlgorithmChoice>| -> Vec<CostEstimate> {
+        choices
+            .into_iter()
+            .map(|c| estimate(c, stats, model, state_model_bytes, class))
+            .collect()
+    };
+    let mut scored: Vec<CostEstimate> = score(pool.clone())
         .into_iter()
-        .map(|c| estimate(c, stats, model, state_model_bytes))
         .filter(|e| {
             config
                 .memory_budget_bytes
@@ -202,10 +382,7 @@ pub fn plan_by_cost(
     // The linked list always fits some budget; if everything got filtered,
     // fall back to the smallest-state candidate.
     if scored.is_empty() {
-        scored = candidates(stats)
-            .into_iter()
-            .map(|c| estimate(c, stats, model, state_model_bytes))
-            .collect();
+        scored = score(pool);
         scored.sort_by_key(|e| e.state_bytes);
         scored.truncate(1);
     }
@@ -248,6 +425,79 @@ pub fn plan_by_cost(
     }
 }
 
+/// Pick the cheapest of the *paper's* candidates under the cost model,
+/// honouring the memory budget. Returns a [`Plan`] whose rationale records
+/// the scores. The two planners agreeing across the paper's scenarios is a
+/// reproduction check; production selection (which also knows the
+/// endpoint-sweep kernel) is [`choose_algorithm`].
+pub fn plan_by_cost(
+    stats: &RelationStats,
+    config: &PlannerConfig,
+    model: &CostModel,
+    state_model_bytes: usize,
+) -> Plan {
+    rank(
+        candidates(stats),
+        stats,
+        config,
+        model,
+        state_model_bytes,
+        SweepClass::Delta,
+    )
+}
+
+/// Full cost-based algorithm selection: the paper's three algorithms plus
+/// the columnar endpoint-sweep kernel, chosen from the relation's size and
+/// sortedness and the aggregate's [`SweepClass`] (its retraction
+/// behaviour). `Approximate` aggregates — floating-point sums and
+/// averages, variance — never sweep, because retracting their active state
+/// drifts; everything else competes on calibrated cost.
+///
+/// ```
+/// use tempagg_agg::SweepClass;
+/// use tempagg_plan::{
+///     choose_algorithm, AlgorithmChoice, CostModel, OrderingKnowledge, PlannerConfig,
+///     RelationStats,
+/// };
+///
+/// let stats = RelationStats::unknown(100_000).with_ordering(OrderingKnowledge::Unordered);
+/// let plan = choose_algorithm(
+///     &stats,
+///     SweepClass::Delta,
+///     &PlannerConfig::default(),
+///     &CostModel::default(),
+///     4,
+/// );
+/// assert_eq!(plan.choice, AlgorithmChoice::Sweep);
+/// assert!(plan.to_string().starts_with("algorithm: endpoint-sweep"));
+/// ```
+pub fn choose_algorithm(
+    stats: &RelationStats,
+    class: SweepClass,
+    config: &PlannerConfig,
+    model: &CostModel,
+    state_model_bytes: usize,
+) -> Plan {
+    let mut pool = candidates(stats);
+    let sweep_eligible = class != SweepClass::Approximate;
+    if sweep_eligible {
+        pool.push(AlgorithmChoice::Sweep);
+    }
+    let mut plan = rank(pool, stats, config, model, state_model_bytes, class);
+    plan.rationale.push(match class {
+        SweepClass::Delta => "aggregate retracts exactly (delta class): sweep eligible".into(),
+        SweepClass::Ordered => {
+            "aggregate retracts via a sorted multiset (ordered class): sweep eligible at a \
+             multiplier"
+                .into()
+        }
+        SweepClass::Approximate => {
+            "aggregate does not retract exactly (approximate class): endpoint sweep excluded".into()
+        }
+    });
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +510,17 @@ mod tests {
 
     fn cost_choice(stats: &RelationStats) -> AlgorithmChoice {
         plan_by_cost(stats, &PlannerConfig::default(), &CostModel::default(), 4).choice
+    }
+
+    fn full_choice(stats: &RelationStats, class: SweepClass) -> AlgorithmChoice {
+        choose_algorithm(
+            stats,
+            class,
+            &PlannerConfig::default(),
+            &CostModel::default(),
+            4,
+        )
+        .choice
     }
 
     #[test]
@@ -363,6 +624,7 @@ mod tests {
             &s,
             &CostModel::default(),
             4,
+            SweepClass::Delta,
         );
         s.long_lived_fraction = 0.8;
         let heavy = estimate(
@@ -373,6 +635,7 @@ mod tests {
             &s,
             &CostModel::default(),
             4,
+            SweepClass::Delta,
         );
         assert!(heavy.state_bytes > 100 * lean.state_bytes);
     }
@@ -417,5 +680,146 @@ mod tests {
         let p = plan_by_cost(&s, &PlannerConfig::default(), &CostModel::default(), 4);
         assert!(p.rationale.len() >= 3);
         assert!(p.rationale[0].contains("total"));
+    }
+
+    #[test]
+    fn sweep_wins_large_unsorted_delta_aggregates() {
+        // The acceptance scenario: COUNT/SUM over a large unordered
+        // relation routes to the sweep under the calibrated defaults.
+        for n in [10_000usize, 100_000, 1_000_000] {
+            let s = stats(n, OrderingKnowledge::Unordered);
+            assert_eq!(
+                full_choice(&s, SweepClass::Delta),
+                AlgorithmChoice::Sweep,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_class_still_sweeps_when_unordered() {
+        // MIN/MAX pay the multiset multiplier but the tree's cold node
+        // visits still lose on large random input.
+        let s = stats(100_000, OrderingKnowledge::Unordered);
+        assert_eq!(full_choice(&s, SweepClass::Ordered), AlgorithmChoice::Sweep);
+    }
+
+    #[test]
+    fn k_ordered_streams_keep_the_ktree() {
+        // The other acceptance scenario: a k-ordered stream keeps the
+        // constant-window k-tree — no point buffering everything to sort
+        // what is already nearly sorted.
+        for n in [10_000usize, 100_000] {
+            let s = stats(n, OrderingKnowledge::KOrdered { k: 16 });
+            assert_eq!(
+                full_choice(&s, SweepClass::Delta),
+                AlgorithmChoice::KOrderedTree {
+                    k: 16,
+                    presort: false
+                },
+                "n = {n}"
+            );
+        }
+        let sorted = stats(100_000, OrderingKnowledge::Sorted);
+        assert_eq!(
+            full_choice(&sorted, SweepClass::Delta),
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: false
+            }
+        );
+    }
+
+    #[test]
+    fn approximate_aggregates_never_sweep() {
+        let s = stats(100_000, OrderingKnowledge::Unordered);
+        let p = choose_algorithm(
+            &s,
+            SweepClass::Approximate,
+            &PlannerConfig::default(),
+            &CostModel::default(),
+            8,
+        );
+        assert_eq!(p.choice, AlgorithmChoice::AggregationTree);
+        assert!(p
+            .rationale
+            .iter()
+            .any(|r| r.contains("endpoint sweep excluded")));
+    }
+
+    #[test]
+    fn tiny_results_beat_the_sweep() {
+        let s = stats(100_000, OrderingKnowledge::Unordered).with_expected_result_intervals(12);
+        assert_eq!(
+            full_choice(&s, SweepClass::Delta),
+            AlgorithmChoice::LinkedList
+        );
+    }
+
+    #[test]
+    fn chosen_plan_names_the_sweep() {
+        let s = stats(100_000, OrderingKnowledge::Unordered);
+        let p = choose_algorithm(
+            &s,
+            SweepClass::Delta,
+            &PlannerConfig::default(),
+            &CostModel::default(),
+            4,
+        );
+        let text = p.to_string();
+        assert!(
+            text.starts_with("algorithm: endpoint-sweep"),
+            "plan was:\n{text}"
+        );
+        assert!(p.rationale.iter().any(|r| r.contains("endpoint-sweep:")));
+        assert!(p.rationale.iter().any(|r| r.contains("delta class")));
+    }
+
+    #[test]
+    fn calibration_roundtrips_through_json() {
+        let cal = Calibration {
+            list_cell_ns: 12.5,
+            tree_node_ns: 21.0,
+            ktree_node_ns: 6.25,
+            sweep_sort_ns: 3.5,
+            sweep_event_ns: 1.75,
+        };
+        assert_eq!(Calibration::parse(&cal.emit()), Ok(cal));
+    }
+
+    #[test]
+    fn calibration_parse_rejects_malformed_profiles() {
+        assert!(Calibration::parse("not json").is_err());
+        assert!(Calibration::parse("{\"tree_node_ns\": \"fast\"}").is_err());
+        assert!(Calibration::parse("{\"tree_node_ns\": -3.0}").is_err());
+        assert!(Calibration::parse("{\"warp_factor\": 9.0}").is_err());
+        // Missing keys keep defaults.
+        let partial = Calibration::parse("{\"tree_node_ns\": 40.0}").unwrap();
+        assert_eq!(partial.tree_node_ns, 40.0);
+        assert_eq!(partial.list_cell_ns, Calibration::default().list_cell_ns);
+    }
+
+    #[test]
+    fn default_model_is_the_default_calibration() {
+        assert_eq!(
+            CostModel::default(),
+            CostModel::calibrated(&Calibration::default())
+        );
+        assert_eq!(CostModel::default().tree_node_visit, 1.0);
+    }
+
+    #[test]
+    fn calibration_shifts_selection() {
+        // A host where sorting is pathologically slow stops choosing the
+        // sweep — the whole point of calibrating.
+        let slow_sort = Calibration {
+            sweep_sort_ns: 2_000.0,
+            sweep_event_ns: 500.0,
+            ..Default::default()
+        };
+        let model = CostModel::calibrated(&slow_sort);
+        let s = stats(100_000, OrderingKnowledge::Unordered);
+        let p = choose_algorithm(&s, SweepClass::Delta, &PlannerConfig::default(), &model, 4);
+        assert_eq!(p.choice, AlgorithmChoice::AggregationTree);
     }
 }

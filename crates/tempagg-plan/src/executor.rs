@@ -13,10 +13,10 @@
 use crate::planner::{plan, AlgorithmChoice, Plan, PlannerConfig};
 use crate::stats::RelationStats;
 use std::time::{Duration, Instant};
-use tempagg_agg::Aggregate;
+use tempagg_agg::{Aggregate, SweepAggregate};
 use tempagg_algo::{
     AggregationTree, KOrderedAggregationTree, LinkedListAggregate, MemoryStats, PartitionReport,
-    PartitionedAggregator, TemporalAggregator,
+    PartitionedAggregator, SweepAggregator, TemporalAggregator,
 };
 use tempagg_core::{
     Chunk, Interval, Result, Series, TemporalRelation, Timestamp, Tuple, DEFAULT_CHUNK_CAPACITY,
@@ -106,6 +106,7 @@ fn partitioned_name(choice: AlgorithmChoice) -> &'static str {
     match choice {
         AlgorithmChoice::LinkedList => "partitioned linked-list",
         AlgorithmChoice::AggregationTree => "partitioned aggregation-tree",
+        AlgorithmChoice::Sweep => "partitioned endpoint-sweep",
         AlgorithmChoice::KOrderedTree { presort: true, .. } => "partitioned sort + k-ordered-tree",
         AlgorithmChoice::KOrderedTree { presort: false, .. } => "partitioned k-ordered-tree",
     }
@@ -148,7 +149,7 @@ pub fn execute<A, F>(
     domain: Interval,
 ) -> Result<(Series<A::Output>, ExecutionReport)>
 where
-    A: Aggregate + Clone + Send,
+    A: SweepAggregate + Clone + Send,
     A::State: Send,
     A::Input: Clone + Send + Sync,
     A::Output: PartialEq + Send,
@@ -170,6 +171,12 @@ where
             AlgorithmChoice::AggregationTree => {
                 let par = PartitionedAggregator::with_seams(domain, seams, |sub| {
                     AggregationTree::with_domain(agg.clone(), sub)
+                })?;
+                drive_partitioned(par, relation, &extract)?
+            }
+            AlgorithmChoice::Sweep => {
+                let par = PartitionedAggregator::with_seams(domain, seams, |sub| {
+                    SweepAggregator::with_domain(agg.clone(), sub)
                 })?;
                 drive_partitioned(par, relation, &extract)?
             }
@@ -205,6 +212,11 @@ where
             )?,
             AlgorithmChoice::AggregationTree => drive(
                 AggregationTree::with_domain(agg, domain),
+                relation,
+                &extract,
+            )?,
+            AlgorithmChoice::Sweep => drive(
+                SweepAggregator::with_domain(agg, domain),
                 relation,
                 &extract,
             )?,
@@ -244,7 +256,7 @@ pub fn evaluate_auto<A, F>(
     domain: Interval,
 ) -> Result<(Series<A::Output>, Plan, ExecutionReport)>
 where
-    A: Aggregate + Clone + Send,
+    A: SweepAggregate + Clone + Send,
     A::State: Send,
     A::Input: Clone + Send + Sync,
     A::Output: PartialEq + Send,
@@ -280,6 +292,7 @@ mod tests {
         let choices = [
             AlgorithmChoice::LinkedList,
             AlgorithmChoice::AggregationTree,
+            AlgorithmChoice::Sweep,
             AlgorithmChoice::KOrderedTree {
                 k: 4,
                 presort: false,
@@ -308,6 +321,7 @@ mod tests {
         let choices = [
             AlgorithmChoice::LinkedList,
             AlgorithmChoice::AggregationTree,
+            AlgorithmChoice::Sweep,
             AlgorithmChoice::KOrderedTree {
                 k: 1,
                 presort: true,

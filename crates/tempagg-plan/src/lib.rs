@@ -7,6 +7,13 @@
 //! sortedness (or a retroactively-bounded declaration), long-lived-tuple
 //! fraction, expected result size, and the memory-vs-I/O trade-off — then
 //! execute the chosen plan.
+//!
+//! Beyond the paper, [`choose_algorithm`] adds the columnar endpoint-sweep
+//! kernel as a fourth candidate, selected by a [`CostModel`] whose
+//! per-algorithm constants are *calibrated* from measured per-unit costs
+//! (a [`Calibration`] profile produced by the bench harness' `calibrate`
+//! command) and gated on the aggregate's retraction class
+//! ([`SweepClass`]).
 
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
@@ -16,11 +23,12 @@ mod executor;
 mod planner;
 mod stats;
 
-pub use cost::{estimate, plan_by_cost, CostEstimate, CostModel};
+pub use cost::{choose_algorithm, estimate, plan_by_cost, Calibration, CostEstimate, CostModel};
 pub use executor::{evaluate_auto, execute, ExecutionReport};
 pub use planner::{
     choose_parallelism, estimate_ktree_nodes, estimate_list_cells, estimate_tree_nodes, plan,
     AlgorithmChoice, Plan, PlannerConfig,
 };
 pub use stats::{OrderingKnowledge, RelationStats};
+pub use tempagg_agg::SweepClass;
 pub use tempagg_algo::PartitionReport;

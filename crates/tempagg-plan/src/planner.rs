@@ -13,6 +13,10 @@
 //! * otherwise (unordered): **aggregation tree** if its memory fits the
 //!   budget and memory is cheaper than the I/O of sorting, else **sort +
 //!   k-ordered tree with k = 1** (the paper's "simplest strategy").
+//!
+//! This rule set reproduces the paper's optimizer verbatim, so it never
+//! prescribes the (post-paper) endpoint-sweep kernel; the calibrated
+//! cost-based [`crate::choose_algorithm`] adds that fourth candidate.
 
 use crate::stats::{OrderingKnowledge, RelationStats};
 use std::fmt;
@@ -23,6 +27,11 @@ use tempagg_algo::memory::model_node_bytes;
 pub enum AlgorithmChoice {
     LinkedList,
     AggregationTree,
+    /// Columnar endpoint sweep: buffer the runs, sort the endpoint events
+    /// once, emit in a single merge scan. Requires a retractable
+    /// (`SweepAggregate`) aggregate; the rule-based Section 6.3 planner
+    /// never picks it — [`crate::choose_algorithm`] does, by cost.
+    Sweep,
     /// `presort`: sort the relation by time first (k is then 1).
     KOrderedTree {
         k: usize,
@@ -35,6 +44,7 @@ impl AlgorithmChoice {
         match self {
             AlgorithmChoice::LinkedList => "linked-list",
             AlgorithmChoice::AggregationTree => "aggregation-tree",
+            AlgorithmChoice::Sweep => "endpoint-sweep",
             AlgorithmChoice::KOrderedTree { presort: true, .. } => "sort + k-ordered-tree",
             AlgorithmChoice::KOrderedTree { presort: false, .. } => "k-ordered-tree",
         }

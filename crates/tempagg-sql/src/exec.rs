@@ -4,22 +4,26 @@
 //! scalar-aggregate strategy) over the same filtered tuple set; since every
 //! aggregate sees the same tuples, their constant intervals coincide and
 //! the series zip into rows losslessly. Instant-grouped queries go through
-//! the Section 6.3 planner; `GROUP BY SPAN n` uses the span-grouping
-//! bucket algorithm; `GROUP BY col` partitions first and evaluates per
-//! group (Section 4.1's "aggregation sets").
+//! calibrated cost-based selection ([`choose_algorithm`]), which extends
+//! the Section 6.3 optimizer with the columnar endpoint-sweep kernel,
+//! gated on the select list's weakest retraction class; `GROUP BY SPAN n`
+//! uses the span-grouping bucket algorithm; `GROUP BY col` partitions
+//! first and evaluates per group (Section 4.1's "aggregation sets").
 
 use crate::ast::{Query, TemporalGrouping};
 use crate::catalog::Catalog;
 use crate::parser::parse;
 use std::collections::BTreeMap;
 use std::fmt;
-use tempagg_agg::{Aggregate, DynAggregate, MultiDyn};
+use tempagg_agg::{Aggregate, DynAggregate, MultiDyn, SweepAggregate};
 use tempagg_algo::{SpanGrouper, TemporalAggregator};
 use tempagg_core::{
     Chunk, Interval, Result, Series, TempAggError, TemporalRelation, Tuple, Value,
     DEFAULT_CHUNK_CAPACITY,
 };
-use tempagg_plan::{execute as execute_plan, plan, Plan, PlannerConfig, RelationStats};
+use tempagg_plan::{
+    choose_algorithm, execute as execute_plan, CostModel, Plan, PlannerConfig, RelationStats,
+};
 
 /// One row of a query result: optional group key, a valid-time interval,
 /// and one value per aggregate in the select list.
@@ -235,7 +239,15 @@ pub fn execute_query(
                 .cloned()
                 .unwrap_or_else(|| TemporalRelation::new(schema.clone()));
             let stats = RelationStats::analyze(&representative);
-            let the_plan = plan(&stats, config, multi.state_model_bytes().max(4));
+            // Calibrated cost-based selection: the select list's weakest
+            // retraction class gates whether the endpoint sweep competes.
+            let the_plan = choose_algorithm(
+                &stats,
+                multi.sweep_class(),
+                config,
+                &CostModel::default(),
+                multi.state_model_bytes().max(4),
+            );
             if query.explain {
                 return Ok(QueryResult {
                     group_column: query.group_column.clone(),
@@ -361,12 +373,55 @@ fn append_series_rows(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tempagg_plan::AlgorithmChoice;
     use tempagg_workload::employed::{employed_relation, table1_expected};
+    use tempagg_workload::{generate, WorkloadConfig};
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
         c.register("Employed", employed_relation());
         c
+    }
+
+    #[test]
+    fn large_unordered_count_plans_the_sweep() {
+        let mut c = Catalog::new();
+        c.register("big", generate(&WorkloadConfig::random(20_000)));
+        let explained = execute_str(&c, "EXPLAIN SELECT COUNT(*) FROM big").unwrap();
+        let plan = explained.plan.as_ref().unwrap();
+        assert_eq!(plan.choice, AlgorithmChoice::Sweep);
+        assert!(explained.to_string().contains("algorithm: endpoint-sweep"));
+        // And the same query actually runs end-to-end through the sweep.
+        let result = execute_str(&c, "SELECT COUNT(*) FROM big").unwrap();
+        assert_eq!(result.plan.as_ref().unwrap().choice, AlgorithmChoice::Sweep);
+        assert!(!result.rows.is_empty());
+        let total: i64 = 20_000;
+        assert!(result
+            .rows
+            .iter()
+            .all(|r| (0..=total).contains(&r.values[0].as_i64().unwrap())));
+    }
+
+    #[test]
+    fn float_average_is_not_swept() {
+        // AVG over a float column retracts inexactly (Approximate class):
+        // the planner must keep it off the sweep.
+        let mut c = Catalog::new();
+        let schema = tempagg_core::Schema::of(&[("x", tempagg_core::ValueType::Float)]);
+        let mut r = TemporalRelation::new(schema);
+        for i in 0..128i64 {
+            r.push(
+                vec![Value::Float(i as f64 / 3.0)],
+                Interval::at((i * 7) % 97, (i * 7) % 97 + 10),
+            )
+            .unwrap();
+        }
+        c.register("floaty", r);
+        let explained = execute_str(&c, "EXPLAIN SELECT AVG(x) FROM floaty").unwrap();
+        assert_ne!(
+            explained.plan.as_ref().unwrap().choice,
+            AlgorithmChoice::Sweep
+        );
     }
 
     #[test]
@@ -548,8 +603,11 @@ mod tests {
 
     #[test]
     fn forced_parallel_config_returns_identical_rows() {
-        let c = catalog();
-        let sql = "SELECT COUNT(Name), SUM(salary) FROM Employed";
+        // Big enough that the cost model's overhead gate agrees the forced
+        // 3-way split pays off (tiny inputs stay serial whatever the ask).
+        let mut c = Catalog::new();
+        c.register("big", generate(&WorkloadConfig::random(20_000)));
+        let sql = "SELECT COUNT(Name), SUM(salary) FROM big";
         let serial = execute_str(&c, sql).unwrap();
         let config = PlannerConfig {
             parallelism: Some(3),

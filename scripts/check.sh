@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # The full correctness gate: format, clippy, build, tests,
-# invariant-validated tests, lint. Run from the workspace root. Any failing
+# invariant-validated tests, lint, bench smoke. Run from the workspace root. Any failing
 # step fails the gate; the cheap static checks run first so a style or
 # clippy failure is reported before the release build spends minutes.
 set -euo pipefail
@@ -23,5 +23,8 @@ cargo test -q --workspace --features validate
 
 echo "==> tempagg-lint"
 cargo run -q -p tempagg-lint
+
+echo "==> bench smoke (one-sample sweep matrix)"
+cargo bench -q -p tempagg-bench --bench algorithms -- --test
 
 echo "check.sh: all gates passed"

@@ -19,6 +19,10 @@
 //! * [`TwoScanAggregate`] — Tuma's prior two-scan approach (§4.1);
 //! * [`BalancedAggregationTree`] — the balanced variant from the paper's
 //!   future-work list (§7);
+//! * [`SweepAggregator`] — a columnar endpoint-sweep kernel (beyond the
+//!   paper): buffer, one unstable sort, one branch-light scan — chosen by
+//!   the calibrated cost model ([`choose_algorithm`]) for large unordered
+//!   inputs;
 //! * [`SpanGrouper`] / [`GroupedAggregate`] — span grouping and
 //!   `GROUP BY` value grouping (§2);
 //! * a cost-based algorithm selector implementing §6.3 ([`plan`],
@@ -98,12 +102,13 @@ pub mod sortedness {
 // Curated top-level re-exports.
 pub use tempagg_agg::{
     AggKind, Aggregate, Avg, BoolAnd, BoolOr, Count, CountDistinct, DynAggregate, Max, Min, StdDev,
-    Sum, Variance,
+    Sum, SweepAggregate, SweepClass, Variance,
 };
 pub use tempagg_algo::{
     run, run_with_stats, scoped_map, AggregationTree, BalancedAggregationTree, GroupedAggregate,
     KOrderedAggregationTree, LinkedListAggregate, MemoryStats, PagedAggregationTree,
-    PartitionReport, PartitionedAggregator, SpanGrouper, TemporalAggregator, TwoScanAggregate,
+    PartitionReport, PartitionedAggregator, SpanGrouper, SweepAggregator, TemporalAggregator,
+    TwoScanAggregate,
 };
 pub use tempagg_core::{
     BitemporalRelation, Calendar, Chunk, EventRelation, Interval, Result, Schema, Series,
@@ -111,8 +116,9 @@ pub use tempagg_core::{
     WindowAlignment, DEFAULT_CHUNK_CAPACITY,
 };
 pub use tempagg_plan::{
-    choose_parallelism, evaluate_auto, execute, plan, plan_by_cost, AlgorithmChoice, CostModel,
-    ExecutionReport, OrderingKnowledge, Plan, PlannerConfig, RelationStats,
+    choose_algorithm, choose_parallelism, evaluate_auto, execute, plan, plan_by_cost,
+    AlgorithmChoice, Calibration, CostModel, ExecutionReport, OrderingKnowledge, Plan,
+    PlannerConfig, RelationStats,
 };
 pub use tempagg_sql::{execute_str, Catalog, QueryResult};
 
@@ -123,7 +129,8 @@ pub mod prelude {
         BalancedAggregationTree, Catalog, Chunk, Count, GroupedAggregate, Interval,
         KOrderedAggregationTree, LinkedListAggregate, Max, MemoryStats, Min, OrderingKnowledge,
         PagedAggregationTree, PartitionedAggregator, PlannerConfig, RelationStats, Series,
-        SpanGrouper, Sum, TemporalAggregator, TemporalRelation, Timestamp, TwoScanAggregate, Value,
+        SpanGrouper, Sum, SweepAggregator, TemporalAggregator, TemporalRelation, Timestamp,
+        TwoScanAggregate, Value,
     };
 }
 

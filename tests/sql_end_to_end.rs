@@ -161,7 +161,9 @@ fn sql_planner_reacts_to_input_order() {
             presort: false
         }
     );
-    assert_eq!(p2.choice, AlgorithmChoice::AggregationTree);
+    // Unordered COUNT (delta retraction class) routes to the columnar
+    // endpoint sweep under the calibrated cost model.
+    assert_eq!(p2.choice, AlgorithmChoice::Sweep);
 }
 
 #[test]

@@ -1,0 +1,185 @@
+//! Oracle and property tests for the columnar endpoint-sweep kernel.
+//!
+//! The contract under test: [`SweepAggregator`] produces output
+//! byte-identical to the quadratic reference oracle for every aggregate and
+//! every input shape — random, sorted, reverse-sorted, duplicate-endpoint,
+//! touching-interval, and empty-domain — and a domain-partitioned sweep
+//! agrees with the serial sweep at every partition count. Run with
+//! `--features validate` to additionally assert the structural tiling
+//! invariant inside every `finish`.
+
+use temporal_aggregates::algo::oracle::oracle;
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::workload::rng::StdRng;
+use temporal_aggregates::{Calibration, SweepAggregate};
+
+const DOMAIN: Interval = Interval::TIMELINE;
+
+/// Drive the sweep over `tuples` inside `domain` and return its series.
+fn sweep<A>(agg: A, domain: Interval, tuples: &[(Interval, A::Input)]) -> Series<A::Output>
+where
+    A: SweepAggregate,
+    A::Input: Clone,
+{
+    let mut s = SweepAggregator::with_domain(agg, domain);
+    for (iv, v) in tuples {
+        if let Some(clipped) = iv.intersect(&domain) {
+            s.push(clipped, v.clone()).unwrap();
+        }
+    }
+    s.finish()
+}
+
+/// Assert sweep == oracle for all five of the paper's aggregates.
+fn assert_all_aggregates(tuples: &[(Interval, i64)], label: &str) {
+    let unit: Vec<(Interval, ())> = tuples.iter().map(|&(iv, _)| (iv, ())).collect();
+    assert_eq!(
+        sweep(Count, DOMAIN, &unit),
+        oracle(&Count, DOMAIN, &unit),
+        "COUNT diverged on {label}"
+    );
+    assert_eq!(
+        sweep(Sum::<i64>::new(), DOMAIN, tuples),
+        oracle(&Sum::<i64>::new(), DOMAIN, tuples),
+        "SUM diverged on {label}"
+    );
+    assert_eq!(
+        sweep(Min::<i64>::new(), DOMAIN, tuples),
+        oracle(&Min::<i64>::new(), DOMAIN, tuples),
+        "MIN diverged on {label}"
+    );
+    assert_eq!(
+        sweep(Max::<i64>::new(), DOMAIN, tuples),
+        oracle(&Max::<i64>::new(), DOMAIN, tuples),
+        "MAX diverged on {label}"
+    );
+    assert_eq!(
+        sweep(Avg::<i64>::new(), DOMAIN, tuples),
+        oracle(&Avg::<i64>::new(), DOMAIN, tuples),
+        "AVG diverged on {label}"
+    );
+}
+
+fn random_tuples(rng: &mut StdRng, n: usize, width: i64) -> Vec<(Interval, i64)> {
+    (0..n)
+        .map(|_| {
+            let start = rng.random_range(0..width);
+            let len = rng.random_range(0i64..width / 4);
+            (
+                Interval::at(start, (start + len).min(width)),
+                rng.random_range(-500i64..500),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_matches_oracle_on_seeded_random_inputs() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EE9 + case);
+        let tuples = random_tuples(&mut rng, 40, 400);
+        assert_all_aggregates(&tuples, &format!("random case {case}"));
+    }
+}
+
+#[test]
+fn sweep_matches_oracle_on_sorted_and_reverse_sorted_inputs() {
+    let mut rng = StdRng::seed_from_u64(0x50A7);
+    let mut tuples = random_tuples(&mut rng, 60, 600);
+    tuples.sort_unstable_by_key(|(iv, _)| (iv.start(), iv.end()));
+    assert_all_aggregates(&tuples, "fully sorted");
+    tuples.reverse();
+    assert_all_aggregates(&tuples, "reverse sorted");
+}
+
+#[test]
+fn sweep_matches_oracle_on_duplicate_endpoints() {
+    // Many tuples sharing the same start and/or end instants: the sweep's
+    // event sort sees long runs of equal keys.
+    let mut tuples: Vec<(Interval, i64)> = Vec::new();
+    for i in 0..12i64 {
+        tuples.push((Interval::at(100, 200), i));
+        tuples.push((Interval::at(100, 150 + i), 2 * i));
+        tuples.push((Interval::at(50 + i, 200), -i));
+    }
+    assert_all_aggregates(&tuples, "duplicate endpoints");
+}
+
+#[test]
+fn sweep_matches_oracle_on_touching_intervals() {
+    // Chains where one tuple's end meets the next tuple's start — the
+    // boundary between them must appear in the output exactly once.
+    let tuples: Vec<(Interval, i64)> = (0..20i64)
+        .map(|i| (Interval::at(i * 10, (i + 1) * 10 - 1), i))
+        .collect();
+    assert_all_aggregates(&tuples, "touching chain");
+    // And the meeting variant where end + 1 == next start of a later pair.
+    let pair = vec![
+        (Interval::at(0, 9), 1i64),
+        (Interval::at(10, 19), 2),
+        (Interval::at(9, 10), 3),
+    ];
+    assert_all_aggregates(&pair, "meeting pair");
+}
+
+#[test]
+fn sweep_handles_empty_domain_and_empty_input() {
+    // No tuples at all: one empty entry covering the whole domain.
+    let empty: Vec<(Interval, i64)> = Vec::new();
+    assert_all_aggregates(&empty, "no tuples");
+
+    // A bounded domain none of the tuples intersect: pushes are clipped
+    // away and the output is the identity over the domain.
+    let window = Interval::at(10_000, 20_000);
+    let outside = vec![(Interval::at(0, 100), 7i64)];
+    let got = sweep(Sum::<i64>::new(), window, &outside);
+    let want = oracle(&Sum::<i64>::new(), window, &Vec::<(Interval, i64)>::new());
+    assert_eq!(got, want, "empty-domain sweep");
+    assert_eq!(got.len(), 1);
+}
+
+#[test]
+fn partitioned_sweep_is_identical_to_serial_sweep() {
+    // The acceptance matrix: P ∈ {1, 2, 8}, sweep as the inner
+    // aggregator, byte-identical output — the same contract
+    // tests/parallel_pipeline.rs pins for the tree and the list.
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x9A57 + case);
+        let tuples = random_tuples(&mut rng, 48, 500);
+        let expected = sweep(Sum::<i64>::new(), DOMAIN, &tuples);
+        let hull = Interval::at(0, 500);
+        for partitions in [1usize, 2, 8] {
+            let seams = hull.even_seams(partitions);
+            let mut par = PartitionedAggregator::with_seams(DOMAIN, seams, |sub| {
+                SweepAggregator::with_domain(Sum::<i64>::new(), sub)
+            })
+            .unwrap();
+            let mut chunk: Chunk<i64> = Chunk::with_capacity(16);
+            for (iv, v) in &tuples {
+                if chunk.is_full() {
+                    par.push_batch(&chunk).unwrap();
+                    chunk.clear();
+                }
+                chunk.push(*iv, *v).unwrap();
+            }
+            if !chunk.is_empty() {
+                par.push_batch(&chunk).unwrap();
+            }
+            assert_eq!(
+                par.finish(),
+                expected,
+                "partitioned sweep (P = {partitions}) diverged on case {case}"
+            );
+        }
+    }
+}
+
+#[test]
+fn committed_calibration_profile_is_the_default() {
+    // The repo-root calibration.json is the cost model's documented
+    // "sane committed defaults"; keep file and code in lockstep so a
+    // loaded profile and `CostModel::default()` cannot silently diverge.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("calibration.json");
+    let loaded = Calibration::load(&path).expect("calibration.json parses");
+    assert_eq!(loaded, Calibration::default());
+}
