@@ -17,7 +17,7 @@ use crate::memory::{model_node_bytes, MemoryStats};
 use crate::traits::TemporalAggregator;
 use crate::tree::{ops, Arena, NodeId};
 use tempagg_agg::Aggregate;
-use tempagg_core::{Interval, Result, Series, TempAggError};
+use tempagg_core::{Interval, Result, SeriesSink, TempAggError};
 
 /// The aggregation tree algorithm.
 ///
@@ -200,19 +200,34 @@ impl<A: Aggregate> TemporalAggregator<A> for AggregationTree<A> {
         Ok(())
     }
 
-    fn finish(self) -> Series<A::Output> {
-        let series = ops::emit_series(&self.arena, &self.agg, self.root, self.domain);
+    fn finish_into(self, sink: &mut impl SeriesSink<A::Output>) {
         #[cfg(feature = "validate")]
-        if self.recorded.len() <= crate::validate::ORACLE_CAP {
-            crate::validate::assert_matches_replay(
-                &self.agg,
-                self.domain,
-                &self.recorded,
-                &series,
-                "aggregation-tree",
-            );
+        {
+            // Materialize so the replay oracle can inspect the whole
+            // series before anything reaches the sink.
+            let series = ops::emit_series(&self.arena, &self.agg, self.root, self.domain);
+            if self.recorded.len() <= crate::validate::ORACLE_CAP {
+                crate::validate::assert_matches_replay(
+                    &self.agg,
+                    self.domain,
+                    &self.recorded,
+                    &series,
+                    "aggregation-tree",
+                );
+            }
+            for e in series {
+                sink.accept(e.interval, e.value);
+            }
         }
-        series
+        #[cfg(not(feature = "validate"))]
+        ops::emit(
+            &self.arena,
+            &self.agg,
+            self.root,
+            self.domain,
+            self.agg.empty_state(),
+            sink,
+        );
     }
 
     fn memory(&self) -> MemoryStats {
@@ -229,6 +244,7 @@ impl<A: Aggregate> TemporalAggregator<A> for AggregationTree<A> {
 mod tests {
     use super::*;
     use tempagg_agg::{Avg, Count, Max, Min, Sum};
+    use tempagg_core::Series;
 
     /// The paper's `Employed` relation (Figure 1): (name, salary, valid).
     fn employed() -> Vec<(&'static str, i64, Interval)> {

@@ -16,7 +16,7 @@ use crate::traits::TemporalAggregator;
 use crate::tree::arena::Node;
 use crate::tree::{ops, Arena, NodeId};
 use tempagg_agg::Aggregate;
-use tempagg_core::{Interval, Result, Series, TempAggError, Timestamp};
+use tempagg_core::{Interval, Result, SeriesSink, TempAggError, Timestamp};
 
 /// The balanced aggregation tree (buffered; two passes over the input like
 /// the two-scan baseline, but with the aggregation tree's covering
@@ -103,7 +103,7 @@ impl<A: Aggregate> TemporalAggregator<A> for BalancedAggregationTree<A> {
         Ok(())
     }
 
-    fn finish(self) -> Series<A::Output> {
+    fn finish_into(self, sink: &mut impl SeriesSink<A::Output>) {
         // Pass 1: boundaries (each boundary is the first instant of a
         // constant interval).
         let mut boundaries: Vec<Timestamp> = Vec::with_capacity(2 * self.buffered.len() + 1);
@@ -130,15 +130,30 @@ impl<A: Aggregate> TemporalAggregator<A> for BalancedAggregationTree<A> {
                 .expect("pass 1 registered every endpoint as a boundary");
         }
 
-        let series = ops::emit_series(&arena, &self.agg, root, self.domain);
         #[cfg(feature = "validate")]
-        if self.buffered.len() <= crate::validate::ORACLE_CAP {
-            assert!(
-                series == crate::oracle::oracle(&self.agg, self.domain, &self.buffered),
-                "validate[balanced-aggregation-tree]: series disagrees with the oracle"
-            );
+        {
+            // Materialize so the oracle comparison can inspect the whole
+            // series before anything reaches the sink.
+            let series = ops::emit_series(&arena, &self.agg, root, self.domain);
+            if self.buffered.len() <= crate::validate::ORACLE_CAP {
+                assert!(
+                    series == crate::oracle::oracle(&self.agg, self.domain, &self.buffered),
+                    "validate[balanced-aggregation-tree]: series disagrees with the oracle"
+                );
+            }
+            for e in series {
+                sink.accept(e.interval, e.value);
+            }
         }
-        series
+        #[cfg(not(feature = "validate"))]
+        ops::emit(
+            &arena,
+            &self.agg,
+            root,
+            self.domain,
+            self.agg.empty_state(),
+            sink,
+        );
     }
 
     fn memory(&self) -> MemoryStats {

@@ -16,7 +16,7 @@ use crate::traits::TemporalAggregator;
 use crate::tree::{ops, Arena, NodeId};
 use std::collections::VecDeque;
 use tempagg_agg::Aggregate;
-use tempagg_core::{Interval, Result, Series, SeriesEntry, TempAggError, Timestamp};
+use tempagg_core::{Interval, Result, SeriesEntry, SeriesSink, TempAggError, Timestamp};
 
 /// The k-ordered aggregation tree algorithm.
 ///
@@ -28,25 +28,27 @@ use tempagg_core::{Interval, Result, Series, SeriesEntry, TempAggError, Timestam
 /// ```
 /// use tempagg_agg::Count;
 /// use tempagg_algo::{KOrderedAggregationTree, TemporalAggregator};
-/// use tempagg_core::Interval;
+/// use tempagg_core::{Interval, Series};
 ///
 /// let mut tree = KOrderedAggregationTree::new(Count, 1).unwrap();
-/// let mut streamed = 0;
+/// let mut streamed = Series::new();
 /// for i in 0..100 {
 ///     tree.push(Interval::at(i * 10, i * 10 + 14), ()).unwrap();
-///     streamed += tree.drain_ready().len();
+///     tree.emit_ready(&mut streamed); // GC output flows straight out
 ///     assert!(tree.node_count() < 32, "GC keeps the tree tiny");
 /// }
 /// let tail = tree.finish();
-/// assert!(streamed > 150 && tail.len() < 16); // nearly everything streamed
+/// assert!(streamed.len() > 150 && tail.len() < 16); // nearly everything streamed
 /// ```
 ///
-/// Results become available *incrementally*: [`KOrderedAggregationTree::drain_ready`]
-/// yields the constant intervals that garbage collection has already
-/// finalized, so downstream operators can consume them while the scan is
-/// still running. [`TemporalAggregator::finish`] returns the complete
-/// series (anything already drained is not repeated in the stream but is
-/// always part of `finish`'s bookkeeping — see `drain_ready`).
+/// Results become available *incrementally*:
+/// [`TemporalAggregator::emit_ready`] streams the constant intervals that
+/// garbage collection has already finalized into any
+/// [`SeriesSink`], so downstream operators can consume them while the
+/// scan is still running — with no per-drain allocation.
+/// [`TemporalAggregator::finish`] returns the complete series (anything
+/// already emitted is not repeated in the stream but is always part of
+/// `finish`'s bookkeeping — see `emit_ready`).
 #[derive(Clone, Debug)]
 pub struct KOrderedAggregationTree<A: Aggregate> {
     agg: A,
@@ -64,7 +66,7 @@ pub struct KOrderedAggregationTree<A: Aggregate> {
     ready: Vec<SeriesEntry<A::Output>>,
     tuples: usize,
     /// Start of the first constant interval not yet handed out by
-    /// `drain_ready`; every drained batch must tile exactly
+    /// `emit_ready`; every drained batch must tile exactly
     /// `[drained_through, frontier)`, so nothing is emitted twice or
     /// resurrected after garbage collection.
     #[cfg(feature = "validate")]
@@ -123,22 +125,20 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
     }
 
     /// Constant intervals finalized by garbage collection and not yet
-    /// drained. Draining is optional — results also surface via `finish`.
+    /// drained, as a freshly allocated `Vec`.
     ///
-    /// Under the `validate` feature every non-empty batch is checked to
-    /// tile `[previously drained, frontier)` exactly: batches are
-    /// contiguous, monotonically forward, and never repeat an already
-    /// drained constant interval.
+    /// Deprecated: this allocates a new `Vec` per call. Use
+    /// [`TemporalAggregator::emit_ready`] with a [`SeriesSink`], which
+    /// drains the internal buffer in place and lets results flow to a
+    /// bounded sink. This wrapper now routes through the sink API and
+    /// inherits its `validate`-feature checks.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a Vec per drain; use `TemporalAggregator::emit_ready` with a `SeriesSink`"
+    )]
     pub fn drain_ready(&mut self) -> Vec<SeriesEntry<A::Output>> {
-        let batch = std::mem::take(&mut self.ready);
-        #[cfg(feature = "validate")]
-        if !batch.is_empty() {
-            let window = Interval::new(self.drained_through, self.frontier.prev())
-                // lint: allow(no-unwrap): validate-only check; a malformed drain window is exactly the bug it reports
-                .expect("drained constant intervals precede the frontier");
-            crate::validate::assert_series_tiles(&batch, window, "k-ordered drain_ready");
-            self.drained_through = self.frontier;
-        }
+        let mut batch = Vec::with_capacity(self.ready.len());
+        self.emit_ready(&mut batch);
         batch
     }
 
@@ -273,23 +273,63 @@ impl<A: Aggregate> TemporalAggregator<A> for KOrderedAggregationTree<A> {
         Ok(())
     }
 
-    fn finish(mut self) -> Series<A::Output> {
-        ops::emit(
-            &self.arena,
-            &self.agg,
-            self.root,
-            self.live_range(),
-            self.agg.empty_state(),
-            &mut self.ready,
-        );
+    /// Streams the constant intervals that garbage collection has already
+    /// finalized — no intermediate `Vec` beyond the internal buffer, whose
+    /// capacity is reused across drains.
+    ///
+    /// Under the `validate` feature every non-empty batch is checked to
+    /// tile `[previously drained, frontier)` exactly: batches are
+    /// contiguous, monotonically forward, and never repeat an already
+    /// drained constant interval.
+    fn emit_ready(&mut self, sink: &mut impl SeriesSink<A::Output>) {
+        #[cfg(feature = "validate")]
+        if !self.ready.is_empty() {
+            let window = Interval::new(self.drained_through, self.frontier.prev())
+                // lint: allow(no-unwrap): validate-only check; a malformed drain window is exactly the bug it reports
+                .expect("drained constant intervals precede the frontier");
+            crate::validate::assert_series_tiles(&self.ready, window, "k-ordered emit_ready");
+            self.drained_through = self.frontier;
+        }
+        for e in self.ready.drain(..) {
+            sink.accept(e.interval, e.value);
+        }
+    }
+
+    fn finish_into(mut self, sink: &mut impl SeriesSink<A::Output>) {
         #[cfg(feature = "validate")]
         {
+            // Materialize the undrained tail so it can be checked to tile
+            // the remaining domain before anything reaches the sink.
+            ops::emit(
+                &self.arena,
+                &self.agg,
+                self.root,
+                self.live_range(),
+                self.agg.empty_state(),
+                &mut self.ready,
+            );
             let expected = Interval::new(self.drained_through, self.domain.end())
                 // lint: allow(no-unwrap): validate-only check; drained_through never passes the domain end
                 .expect("undrained tail is a well-formed interval");
             crate::validate::assert_series_tiles(&self.ready, expected, "k-ordered finish");
+            for e in self.ready.drain(..) {
+                sink.accept(e.interval, e.value);
+            }
         }
-        Series::from_entries(self.ready)
+        #[cfg(not(feature = "validate"))]
+        {
+            for e in self.ready.drain(..) {
+                sink.accept(e.interval, e.value);
+            }
+            ops::emit(
+                &self.arena,
+                &self.agg,
+                self.root,
+                self.live_range(),
+                self.agg.empty_state(),
+                sink,
+            );
+        }
     }
 
     fn memory(&self) -> MemoryStats {
@@ -308,6 +348,7 @@ mod tests {
     use crate::agg_tree::AggregationTree;
     use crate::oracle::oracle;
     use tempagg_agg::{Count, Sum};
+    use tempagg_core::Series;
 
     fn sorted_run(n: i64) -> Vec<(Interval, ())> {
         (0..n)
@@ -372,10 +413,10 @@ mod tests {
     fn streaming_drain_plus_finish_equals_batch() {
         let tuples = sorted_run(100);
         let mut t = KOrderedAggregationTree::new(Count, 1).unwrap();
-        let mut streamed = Vec::new();
+        let mut streamed: Vec<SeriesEntry<u64>> = Vec::new();
         for &(iv, ()) in &tuples {
             t.push(iv, ()).unwrap();
-            streamed.append(&mut t.drain_ready());
+            t.emit_ready(&mut streamed);
         }
         assert!(
             !streamed.is_empty(),
@@ -387,6 +428,40 @@ mod tests {
         all.extend(tail.into_entries());
         let expected = oracle(&Count, Interval::TIMELINE, &tuples);
         assert_eq!(Series::from_entries(all), expected);
+    }
+
+    #[test]
+    fn emit_ready_streams_straight_into_a_series() {
+        // The whole result can flow through one sink: emit_ready during
+        // the scan, finish_into for the tail, byte-identical to finish.
+        let tuples = sorted_run(100);
+        let mut t = KOrderedAggregationTree::new(Count, 1).unwrap();
+        let mut out = Series::new();
+        for &(iv, ()) in &tuples {
+            t.push(iv, ()).unwrap();
+            t.emit_ready(&mut out);
+        }
+        t.finish_into(&mut out);
+        let expected = oracle(&Count, Interval::TIMELINE, &tuples);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_drain_ready_matches_emit_ready() {
+        let tuples = sorted_run(60);
+        let mut a = KOrderedAggregationTree::new(Count, 1).unwrap();
+        let mut b = KOrderedAggregationTree::new(Count, 1).unwrap();
+        let mut via_vec = Vec::new();
+        let mut via_sink: Vec<SeriesEntry<u64>> = Vec::new();
+        for &(iv, ()) in &tuples {
+            a.push(iv, ()).unwrap();
+            b.push(iv, ()).unwrap();
+            via_vec.extend(a.drain_ready());
+            b.emit_ready(&mut via_sink);
+        }
+        assert_eq!(via_vec, via_sink);
+        assert_eq!(a.finish(), b.finish());
     }
 
     #[test]

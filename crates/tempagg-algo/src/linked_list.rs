@@ -17,7 +17,7 @@
 use crate::memory::{MemoryStats, MODEL_POINTER_BYTES};
 use crate::traits::TemporalAggregator;
 use tempagg_agg::Aggregate;
-use tempagg_core::{Interval, Result, Series, TempAggError};
+use tempagg_core::{Interval, Result, SeriesSink, TempAggError};
 
 /// One list element: a constant interval and its partial aggregate.
 #[derive(Clone, Debug)]
@@ -223,14 +223,11 @@ impl<A: Aggregate> TemporalAggregator<A> for LinkedListAggregate<A> {
         Ok(())
     }
 
-    fn finish(self) -> Series<A::Output> {
+    fn finish_into(self, sink: &mut impl SeriesSink<A::Output>) {
         let agg = self.agg;
-        Series::from_entries(
-            self.cells
-                .into_iter()
-                .map(|c| tempagg_core::SeriesEntry::new(c.interval, agg.finish(&c.state)))
-                .collect(),
-        )
+        for c in self.cells {
+            sink.accept(c.interval, agg.finish(&c.state));
+        }
     }
 
     fn memory(&self) -> MemoryStats {

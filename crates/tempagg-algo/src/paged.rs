@@ -23,7 +23,7 @@ use crate::agg_tree::AggregationTree;
 use crate::memory::{model_node_bytes, MemoryStats};
 use crate::traits::TemporalAggregator;
 use tempagg_agg::Aggregate;
-use tempagg_core::{Interval, Result, Series, SeriesEntry, TempAggError, Timestamp};
+use tempagg_core::{Interval, Result, Series, SeriesSink, StitchSink, TempAggError, Timestamp};
 
 /// The paged (memory-bounded) aggregation tree.
 ///
@@ -121,7 +121,8 @@ where
     /// tree memory over all regions (the `memory` method can only estimate
     /// before the regions have been processed).
     pub fn finish_with_stats(mut self) -> (Series<A::Output>, MemoryStats) {
-        let series = self.finish_regions();
+        let mut series = Series::new();
+        self.finish_regions_into(&mut series);
         let stats = MemoryStats {
             live_nodes: 0,
             peak_nodes: self.peak_tree_nodes.max(1),
@@ -131,13 +132,20 @@ where
         (series, stats)
     }
 
-    /// Process every region in time order, stitching across artificial
-    /// boundaries. Records the busiest region's peak in
-    /// `self.peak_tree_nodes`.
-    fn finish_regions(&mut self) -> Series<A::Output> {
-        let mut out: Vec<SeriesEntry<A::Output>> = Vec::new();
+    /// Process every region in time order, streaming the pieces through a
+    /// [`StitchSink`] that merges across artificial region boundaries (a
+    /// boundary is real when a tuple endpoint lands on it). Records the
+    /// busiest region's peak in `self.peak_tree_nodes`. Only one region's
+    /// tree is ever resident, and its output flows straight to the sink.
+    fn finish_regions_into(&mut self, sink: &mut impl SeriesSink<A::Output>) {
+        let mut stitch = StitchSink::new(&mut *sink);
         let mut peak = 0usize;
         for region in 0..self.buffers.len() {
+            if region > 0 {
+                let boundary_real =
+                    self.boundary_start_real[region] || self.boundary_end_real[region - 1];
+                stitch.seam(!boundary_real);
+            }
             let region_iv = self.region_interval(region);
             let mut tree = AggregationTree::with_domain(self.agg.clone(), region_iv);
             for (iv, value) in self.buffers[region].drain(..) {
@@ -146,28 +154,10 @@ where
                     .expect("clipped tuples fit their region");
             }
             peak = peak.max(tree.memory().peak_nodes);
-            let series = tree.finish();
-            let mut entries = series.into_entries().into_iter();
-            if let Some(first_entry) = entries.next() {
-                // Stitch across the artificial boundary unless a tuple
-                // endpoint makes it real.
-                let boundary_real = self.boundary_start_real[region]
-                    || (region > 0 && self.boundary_end_real[region - 1]);
-                match out.last_mut() {
-                    Some(prev) if !boundary_real && prev.interval.meets(&first_entry.interval) => {
-                        debug_assert!(
-                            prev.value == first_entry.value,
-                            "identical tuple sets must yield identical values"
-                        );
-                        prev.interval = prev.interval.hull(&first_entry.interval);
-                    }
-                    _ => out.push(first_entry),
-                }
-            }
-            out.extend(entries);
+            tree.finish_into(&mut stitch);
         }
         self.peak_tree_nodes = peak;
-        Series::from_entries(out)
+        stitch.finish();
     }
 }
 
@@ -214,8 +204,8 @@ where
         Ok(())
     }
 
-    fn finish(mut self) -> Series<A::Output> {
-        self.finish_regions()
+    fn finish_into(mut self, sink: &mut impl SeriesSink<A::Output>) {
+        self.finish_regions_into(sink);
     }
 
     fn memory(&self) -> MemoryStats {

@@ -31,7 +31,9 @@ use crate::memory::MemoryStats;
 use crate::traits::TemporalAggregator;
 use std::time::{Duration, Instant};
 use tempagg_agg::Aggregate;
-use tempagg_core::{Chunk, Interval, Result, Series, TempAggError, Timestamp};
+use tempagg_core::{
+    Chunk, Interval, Result, Series, SeriesSink, StitchSink, TempAggError, Timestamp,
+};
 
 /// Map `f` over `items` on up to `threads` scoped OS threads, preserving
 /// input order in the output.
@@ -112,7 +114,10 @@ struct Partition<G> {
 /// [`finish`](TemporalAggregator::finish) finishes the partitions in
 /// parallel and stitches the pieces seam-aware, producing output
 /// byte-identical to a serial run of the inner algorithm over the whole
-/// domain (see the module docs).
+/// domain (see the module docs);
+/// [`finish_into`](TemporalAggregator::finish_into) streams the
+/// partitions sequentially through a [`StitchSink`] instead, emitting the
+/// same entries at bounded resident memory.
 ///
 /// # Example
 ///
@@ -390,6 +395,34 @@ where
         #[cfg(feature = "validate")]
         crate::validate::assert_series_tiles(stitched.entries(), domain, "partitioned");
         stitched
+    }
+
+    /// Stream the partitions sequentially in domain order through a
+    /// [`StitchSink`], so seam-aware stitching happens inline at O(1)
+    /// extra resident memory — no per-partition `Series` is materialized.
+    /// The [`finish`](TemporalAggregator::finish) override above finishes
+    /// partitions in parallel instead; both emit identical entries.
+    fn finish_into(self, sink: &mut impl SeriesSink<A::Output>) {
+        #[cfg(feature = "validate")]
+        {
+            // The materialized path carries the whole-domain tiling check;
+            // reuse it, then forward.
+            for e in self.finish() {
+                sink.accept(e.interval, e.value);
+            }
+        }
+        #[cfg(not(feature = "validate"))]
+        {
+            let seam_real = self.seam_real;
+            let mut stitch = StitchSink::new(&mut *sink);
+            for (p, part) in self.parts.into_iter().enumerate() {
+                if p > 0 {
+                    stitch.seam(!seam_real[p - 1]);
+                }
+                part.inner.finish_into(&mut stitch);
+            }
+            stitch.finish();
+        }
     }
 
     fn memory(&self) -> MemoryStats {

@@ -13,7 +13,7 @@
 use crate::memory::{MemoryStats, MODEL_POINTER_BYTES};
 use crate::traits::TemporalAggregator;
 use tempagg_agg::Aggregate;
-use tempagg_core::{Interval, Result, Series, SeriesEntry, TempAggError};
+use tempagg_core::{Interval, Result, SeriesSink, TempAggError};
 
 /// Aggregation grouped by fixed-length spans of a bounded window.
 #[derive(Clone, Debug)]
@@ -106,11 +106,10 @@ impl<A: Aggregate> TemporalAggregator<A> for SpanGrouper<A> {
         Ok(())
     }
 
-    fn finish(self) -> Series<A::Output> {
-        let entries = (0..self.buckets.len())
-            .map(|i| SeriesEntry::new(self.bucket_interval(i), self.agg.finish(&self.buckets[i])))
-            .collect();
-        Series::from_entries(entries)
+    fn finish_into(self, sink: &mut impl SeriesSink<A::Output>) {
+        for i in 0..self.buckets.len() {
+            sink.accept(self.bucket_interval(i), self.agg.finish(&self.buckets[i]));
+        }
     }
 
     fn memory(&self) -> MemoryStats {

@@ -27,7 +27,9 @@
 use crate::memory::{MemoryStats, MODEL_POINTER_BYTES};
 use crate::traits::TemporalAggregator;
 use tempagg_agg::SweepAggregate;
-use tempagg_core::{Chunk, Interval, Result, Series, SeriesEntry, TempAggError, Timestamp};
+#[cfg(feature = "validate")]
+use tempagg_core::SeriesEntry;
+use tempagg_core::{Chunk, Interval, Result, SeriesSink, TempAggError, Timestamp};
 
 /// The columnar endpoint-sweep algorithm.
 ///
@@ -142,7 +144,7 @@ impl<A: SweepAggregate> TemporalAggregator<A> for SweepAggregator<A> {
         Ok(())
     }
 
-    fn finish(self) -> Series<A::Output> {
+    fn finish_into(self, sink: &mut impl SeriesSink<A::Output>) {
         let n = self.starts.len();
         let boundaries = self.boundaries();
 
@@ -154,6 +156,10 @@ impl<A: SweepAggregate> TemporalAggregator<A> for SweepAggregator<A> {
         let mut by_end: Vec<usize> = (0..n).collect();
         by_end.sort_unstable_by_key(|&i| self.ends[i]);
 
+        // Under `validate` the scan is materialized first so the tiling
+        // check can inspect it; otherwise every segment streams straight
+        // out of the endpoint scan.
+        #[cfg(feature = "validate")]
         let mut entries: Vec<SeriesEntry<A::Output>> = Vec::with_capacity(boundaries.len());
         let mut active = self.agg.active_empty();
         let (mut si, mut ei) = (0usize, 0usize);
@@ -176,11 +182,19 @@ impl<A: SweepAggregate> TemporalAggregator<A> for SweepAggregator<A> {
                 .map_or(self.domain.end(), |next| next.prev());
             // lint: allow(no-unwrap): boundaries are sorted and deduplicated, so start <= end by construction
             let segment = Interval::new(start, end).expect("boundaries are increasing");
-            entries.push(SeriesEntry::new(segment, self.agg.active_output(&active)));
+            let value = self.agg.active_output(&active);
+            #[cfg(feature = "validate")]
+            entries.push(SeriesEntry::new(segment, value));
+            #[cfg(not(feature = "validate"))]
+            sink.accept(segment, value);
         }
         #[cfg(feature = "validate")]
-        crate::validate::assert_series_tiles(&entries, self.domain, "endpoint-sweep");
-        Series::from_entries(entries)
+        {
+            crate::validate::assert_series_tiles(&entries, self.domain, "endpoint-sweep");
+            for e in entries {
+                sink.accept(e.interval, e.value);
+            }
+        }
     }
 
     fn memory(&self) -> MemoryStats {

@@ -2,7 +2,7 @@
 
 use crate::memory::MemoryStats;
 use tempagg_agg::Aggregate;
-use tempagg_core::{Chunk, Interval, Result, Series};
+use tempagg_core::{Chunk, Interval, Result, Series, SeriesSink};
 
 /// A single-pass temporal aggregation algorithm computing one aggregate
 /// grouped by instant.
@@ -50,7 +50,51 @@ pub trait TemporalAggregator<A: Aggregate> {
     }
 
     /// Complete the computation and emit the result series.
-    fn finish(self) -> Series<A::Output>;
+    ///
+    /// This is a thin wrapper over [`TemporalAggregator::finish_into`]
+    /// with a collecting [`Series`] sink. Implementors must override at
+    /// least one of `finish` / `finish_into` — the defaults delegate to
+    /// each other, so overriding neither recurses. Every algorithm in
+    /// this crate overrides `finish_into`.
+    fn finish(self) -> Series<A::Output>
+    where
+        Self: Sized,
+    {
+        let mut out = Series::new();
+        self.finish_into(&mut out);
+        out
+    }
+
+    /// Complete the computation, streaming the constant intervals of the
+    /// result into `sink` in time order.
+    ///
+    /// The streaming result path: a bounded sink (e.g.
+    /// [`tempagg_core::ChunkedSink`]) caps resident result memory where
+    /// [`TemporalAggregator::finish`] materializes everything. Emitted
+    /// entries are byte-identical to the materialized path. The default
+    /// delegates to `finish` — see the override note there.
+    fn finish_into(self, sink: &mut impl SeriesSink<A::Output>)
+    where
+        Self: Sized,
+    {
+        for e in self.finish() {
+            sink.accept(e.interval, e.value);
+        }
+    }
+
+    /// Drain any result entries that are already final into `sink`,
+    /// without consuming the aggregator.
+    ///
+    /// Most algorithms cannot finalize anything before end of input and
+    /// keep the default no-op. The k-ordered aggregation tree overrides
+    /// it: its garbage collection finalizes the leftmost constant
+    /// intervals while input is still arriving, so a caller alternating
+    /// `push_batch` / `emit_ready` sees O(k)-resident results on
+    /// k-ordered input. Entries emitted here are exactly the prefix that
+    /// [`TemporalAggregator::finish_into`] would otherwise emit first.
+    fn emit_ready(&mut self, sink: &mut impl SeriesSink<A::Output>) {
+        let _ = sink;
+    }
 
     /// Current/peak state-memory usage under the paper's model.
     fn memory(&self) -> MemoryStats;

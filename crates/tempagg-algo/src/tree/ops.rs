@@ -8,7 +8,9 @@
 
 use super::arena::{Arena, NodeId};
 use tempagg_agg::Aggregate;
-use tempagg_core::{Interval, Result, Series, SeriesEntry, TempAggError, Timestamp};
+#[cfg(any(test, feature = "validate"))]
+use tempagg_core::Series;
+use tempagg_core::{Interval, Result, SeriesSink, TempAggError, Timestamp};
 
 /// Insert a tuple's interval and value into the subtree rooted at `root`
 /// (which covers `range`), splitting leaves at the tuple's start and end
@@ -110,22 +112,23 @@ pub fn insert<A: Aggregate>(
 
 /// Depth-first, time-ordered emission of a subtree's constant intervals,
 /// accumulating partial states along each root→leaf path (Section 5.1's
-/// final step). Appends `(interval, finish(acc ⊕ path states ⊕ leaf state))`
-/// for every leaf.
+/// final step). Streams `(interval, finish(acc ⊕ path states ⊕ leaf state))`
+/// for every leaf into `out` — any [`SeriesSink`], so results can flow to
+/// a bounded sink without an intermediate `Vec`.
 pub fn emit<A: Aggregate>(
     arena: &Arena<A::State>,
     agg: &A,
     root: NodeId,
     range: Interval,
     acc: A::State,
-    out: &mut Vec<SeriesEntry<A::Output>>,
+    out: &mut impl SeriesSink<A::Output>,
 ) {
     let mut stack: Vec<(NodeId, Interval, A::State)> = vec![(root, range, acc)];
     while let Some((id, range, mut acc)) = stack.pop() {
         let node = arena.get(id);
         agg.merge(&mut acc, &node.state);
         if node.is_leaf() {
-            out.push(SeriesEntry::new(range, agg.finish(&acc)));
+            out.accept(range, agg.finish(&acc));
         } else {
             // LIFO: push right first so the left (earlier) half pops first.
             stack.push((
@@ -145,6 +148,7 @@ pub fn emit<A: Aggregate>(
 }
 
 /// Emit a whole tree as a [`Series`].
+#[cfg(any(test, feature = "validate"))]
 pub fn emit_series<A: Aggregate>(
     arena: &Arena<A::State>,
     agg: &A,

@@ -12,7 +12,7 @@
 use crate::memory::{MemoryStats, MODEL_POINTER_BYTES};
 use crate::traits::TemporalAggregator;
 use tempagg_agg::Aggregate;
-use tempagg_core::{Interval, Result, Series, SeriesEntry, TempAggError, Timestamp};
+use tempagg_core::{Interval, Result, SeriesSink, TempAggError, Timestamp};
 
 /// The two-scan (Tuma-style) algorithm.
 #[derive(Clone, Debug)]
@@ -77,7 +77,7 @@ impl<A: Aggregate> TemporalAggregator<A> for TwoScanAggregate<A> {
         Ok(())
     }
 
-    fn finish(mut self) -> Series<A::Output> {
+    fn finish_into(mut self, sink: &mut impl SeriesSink<A::Output>) {
         // Scan 1: the constant-interval boundaries.
         let mut boundaries: Vec<Timestamp> = Vec::with_capacity(2 * self.buffered.len() + 1);
         boundaries.push(self.domain.start());
@@ -123,12 +123,9 @@ impl<A: Aggregate> TemporalAggregator<A> for TwoScanAggregate<A> {
         }
 
         let agg = self.agg;
-        Series::from_entries(
-            cells
-                .into_iter()
-                .map(|(iv, state)| SeriesEntry::new(iv, agg.finish(&state)))
-                .collect(),
-        )
+        for (iv, state) in cells {
+            sink.accept(iv, agg.finish(&state));
+        }
     }
 
     fn memory(&self) -> MemoryStats {

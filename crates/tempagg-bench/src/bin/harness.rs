@@ -12,6 +12,7 @@
 //! harness fig9 --long-lived 80   # §6.2: memory with long-lived tuples
 //! harness ablation               # §7 future-work ablations
 //! harness pipeline               # serial vs domain-partitioned execution
+//! harness stream                 # streaming vs materialized result emission
 //! harness sweep                  # endpoint sweep vs list/tree/k-tree
 //! harness calibrate              # measure per-unit costs for the planner
 //!
@@ -22,12 +23,13 @@
 //! ```
 //!
 //! Every report line is printed and also saved to
-//! `target/harness_output.txt`; the `pipeline` experiment additionally
-//! emits machine-readable timings to `target/BENCH_pipeline.json`, the
-//! `sweep` experiment writes `BENCH_sweep.json` to the *repo root* (a
-//! tracked perf-trajectory artifact) as well as `target/`, and
-//! `calibrate` rewrites the repo root's committed `calibration.json`
-//! profile ([`tempagg_plan::Calibration`]) for the current host.
+//! `target/harness_output.txt`. Four commands refresh *tracked*
+//! perf-trajectory artifacts at the repo root (plus a `target/` copy):
+//! `pipeline` → `BENCH_pipeline.json`, `stream` → `BENCH_stream.json`,
+//! `sweep` → `BENCH_sweep.json`, and `calibrate` → the committed
+//! `calibration.json` profile ([`tempagg_plan::Calibration`]) for the
+//! current host. `--test` is the CI smoke mode: tiny inputs, assertions
+//! on, tracked artifacts left untouched.
 //!
 //! Absolute numbers will differ from the paper's 1995 SPARCstation, but the
 //! *shape* — who wins, by what factor, where crossovers sit — is the
@@ -50,6 +52,9 @@ struct Options {
     seeds: u64,
     k_pct: f64,
     long_lived_override: Option<u8>,
+    /// `--test`: tiny inputs, assertions on, no tracked artifacts
+    /// overwritten — the CI smoke mode.
+    smoke: bool,
 }
 
 impl Default for Options {
@@ -59,6 +64,7 @@ impl Default for Options {
             seeds: 3,
             k_pct: 0.08,
             long_lived_override: None,
+            smoke: false,
         }
     }
 }
@@ -110,9 +116,9 @@ fn target_dir() -> std::io::Result<PathBuf> {
     Ok(dir)
 }
 
-/// The repository root (for the *tracked* artifacts: `BENCH_sweep.json`
-/// and `calibration.json`), falling back to the working directory when the
-/// workspace no longer exists around the binary.
+/// The repository root (for the *tracked* artifacts: the `BENCH_*.json`
+/// trajectory files and `calibration.json`), falling back to the working
+/// directory when the workspace no longer exists around the binary.
 fn repo_root() -> PathBuf {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -161,6 +167,11 @@ fn main() {
                 options.max_tuples = 8_192;
                 options.seeds = 1;
             }
+            "--test" => {
+                options.smoke = true;
+                options.max_tuples = 4_096;
+                options.seeds = 1;
+            }
             cmd if command.is_none() && !cmd.starts_with('-') => {
                 command = Some(cmd.to_owned());
             }
@@ -180,6 +191,7 @@ fn main() {
         "ablation" => ablation(&options, &mut sink),
         "aggkinds" => aggregate_kinds(&options, &mut sink),
         "pipeline" => pipeline(&options, &mut sink),
+        "stream" => stream_bench(&options, &mut sink),
         "sweep" => sweep_bench(&options, &mut sink),
         "calibrate" => calibrate(&options, &mut sink),
         "all" => {
@@ -195,6 +207,7 @@ fn main() {
             ablation(&options, &mut sink);
             aggregate_kinds(&options, &mut sink);
             pipeline(&options, &mut sink);
+            stream_bench(&options, &mut sink);
             sweep_bench(&options, &mut sink);
             calibrate(&options, &mut sink);
         }
@@ -210,8 +223,9 @@ fn main() {
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: harness [table1|table2|fig6|fig7|fig8|fig9|ablation|aggkinds|pipeline|sweep|\
-         calibrate|all] [--max N] [--seeds N] [--kpct F] [--long-lived P] [--quick]"
+        "usage: harness [table1|table2|fig6|fig7|fig8|fig9|ablation|aggkinds|pipeline|stream|\
+         sweep|calibrate|all] [--max N] [--seeds N] [--kpct F] [--long-lived P] [--quick] \
+         [--test]"
     );
     std::process::exit(2)
 }
@@ -551,7 +565,8 @@ fn aggregate_kinds(options: &Options, sink: &mut Sink) {
 // ──────────────────────────── Pipeline ──────────────────────────────
 
 /// Serial vs domain-partitioned execution of the same algorithm over the
-/// same random relation, emitting `target/BENCH_pipeline.json`. Even on a
+/// same random relation, emitting `BENCH_pipeline.json` (repo root +
+/// `target/`; `--test` keeps the tracked artifact untouched). Even on a
 /// single core the partitioned linked list wins algorithmically: each
 /// partition walks a list of ~`cells / P` nodes instead of one list of
 /// `cells`, so total work drops from `Θ(n · cells)` towards
@@ -648,12 +663,169 @@ fn pipeline(options: &Options, sink: &mut Sink) {
          \"threads_available\": {threads},\n  \"results\": [\n{}\n  ]\n}}\n",
         json_results.join(",\n")
     );
-    match target_dir().and_then(|dir| {
-        let path = dir.join("BENCH_pipeline.json");
-        std::fs::write(&path, &json).map(|()| path)
-    }) {
-        Ok(path) => emit!(sink, "\n[pipeline timings written to {}]", path.display()),
-        Err(e) => emit!(sink, "\n[could not write BENCH_pipeline.json: {e}]"),
+    if options.smoke {
+        emit!(
+            sink,
+            "\n[--test: tracked BENCH_pipeline.json left untouched]"
+        );
+        return;
+    }
+    let root_path = repo_root().join("BENCH_pipeline.json");
+    match std::fs::write(&root_path, &json) {
+        Ok(()) => emit!(
+            sink,
+            "\n[pipeline timings written to {}]",
+            root_path.display()
+        ),
+        Err(e) => emit!(sink, "\n[could not write {}: {e}]", root_path.display()),
+    }
+    if let Ok(dir) = target_dir() {
+        let _ = std::fs::write(dir.join("BENCH_pipeline.json"), &json);
+    }
+}
+
+/// Streaming vs materialized result emission on k-ordered input: the
+/// k-ordered tree garbage-collects finished constant intervals as the scan
+/// advances, so draining them through a bounded [`ChunkedSink`] keeps the
+/// resident result at O(chunk) while the materialized `finish` holds all
+/// ~2n rows. Writes `BENCH_stream.json` (repo root + `target/`; `--test`
+/// keeps the tracked artifact untouched).
+fn stream_bench(options: &Options, sink: &mut Sink) {
+    use tempagg_agg::Count;
+    use tempagg_plan::{execute, execute_streaming, AlgorithmChoice, Plan};
+
+    let n = if options.smoke { 4_096 } else { 100_000 };
+    let k = 16usize;
+    let chunk_capacity = 256usize;
+    emit!(
+        sink,
+        "\n== Streaming emission: resident result entries, {n} k-ordered tuples (k = {k}) =="
+    );
+
+    let relation = generate(&WorkloadConfig::k_ordered(n, k, options.k_pct).with_seed(1));
+    let the_plan = Plan {
+        choice: AlgorithmChoice::KOrderedTree { k, presort: false },
+        parallelism: 1,
+        estimated_state_bytes: 0,
+        rationale: Vec::new(),
+    };
+
+    let (series, materialized) = execute(&the_plan, Count, &relation, |_| (), Interval::TIMELINE)
+        // lint: allow(no-unwrap): measurement must abort on a misconfigured scenario, not skew numbers with handling
+        .expect("k-ordered workload fits the timeline domain");
+
+    let mut streamed_rows = 0usize;
+    let streaming = execute_streaming(
+        &the_plan,
+        Count,
+        &relation,
+        |_| (),
+        Interval::TIMELINE,
+        chunk_capacity,
+        |chunk| streamed_rows += chunk.len(),
+    )
+    // lint: allow(no-unwrap): same relation and plan as the materialized run just above
+    .expect("streaming run matches the materialized configuration");
+    assert_eq!(
+        streamed_rows,
+        series.len(),
+        "streaming emitted a different row count than the materialized series"
+    );
+
+    let sweep_plan = Plan {
+        choice: AlgorithmChoice::Sweep,
+        ..the_plan.clone()
+    };
+    let mut sweep_rows = 0usize;
+    let sweep_streaming = execute_streaming(
+        &sweep_plan,
+        Count,
+        &relation,
+        |_| (),
+        Interval::TIMELINE,
+        chunk_capacity,
+        |chunk| sweep_rows += chunk.len(),
+    )
+    // lint: allow(no-unwrap): same relation as above; the sweep accepts any order
+    .expect("sweep accepts the same workload");
+    assert_eq!(sweep_rows, series.len(), "sweep row count diverged");
+
+    let ratio = materialized.peak_resident_result_entries as f64
+        / streaming.peak_resident_result_entries.max(1) as f64;
+    let rows = vec![
+        vec![
+            "materialized k-tree".to_owned(),
+            materialized.result_rows.to_string(),
+            materialized.peak_resident_result_entries.to_string(),
+            materialized.emitted_chunks.to_string(),
+            secs(materialized.elapsed),
+        ],
+        vec![
+            "streaming k-tree".to_owned(),
+            streaming.result_rows.to_string(),
+            streaming.peak_resident_result_entries.to_string(),
+            streaming.emitted_chunks.to_string(),
+            secs(streaming.elapsed),
+        ],
+        vec![
+            "streaming sweep".to_owned(),
+            sweep_streaming.result_rows.to_string(),
+            sweep_streaming.peak_resident_result_entries.to_string(),
+            sweep_streaming.emitted_chunks.to_string(),
+            secs(sweep_streaming.elapsed),
+        ],
+    ];
+    print_table(
+        sink,
+        &format!("resident result entries, chunk capacity {chunk_capacity} (ratio {ratio:.0}x)"),
+        &[
+            "mode".to_owned(),
+            "result rows".to_owned(),
+            "peak resident".to_owned(),
+            "chunks".to_owned(),
+            "seconds".to_owned(),
+        ],
+        &rows,
+    );
+    let floor = if options.smoke { 10.0 } else { 100.0 };
+    assert!(
+        ratio >= floor,
+        "streaming k-tree must cut resident results by at least {floor}x (got {ratio:.0}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"stream\",\n  \"tuples\": {n},\n  \"k\": {k},\n  \"chunk_capacity\": {chunk_capacity},\n  \"resident_ratio\": {ratio:.1},\n  \"results\": [\n{}\n  ]\n}}\n",
+        [
+            ("materialized-ktree", &materialized),
+            ("streaming-ktree", &streaming),
+            ("streaming-sweep", &sweep_streaming),
+        ]
+        .iter()
+        .map(|(mode, r)| format!(
+            "    {{\"mode\": \"{mode}\", \"result_rows\": {}, \"peak_resident_result_entries\": {}, \"emitted_chunks\": {}, \"seconds\": {:.6}}}",
+            r.result_rows,
+            r.peak_resident_result_entries,
+            r.emitted_chunks,
+            r.elapsed.as_secs_f64()
+        ))
+        .collect::<Vec<_>>()
+        .join(",\n")
+    );
+    if options.smoke {
+        emit!(sink, "\n[--test: tracked BENCH_stream.json left untouched]");
+    } else {
+        let root_path = repo_root().join("BENCH_stream.json");
+        match std::fs::write(&root_path, &json) {
+            Ok(()) => emit!(
+                sink,
+                "\n[stream residency written to {}]",
+                root_path.display()
+            ),
+            Err(e) => emit!(sink, "\n[could not write {}: {e}]", root_path.display()),
+        }
+    }
+    if let Ok(dir) = target_dir() {
+        let _ = std::fs::write(dir.join("BENCH_stream.json"), &json);
     }
 }
 
@@ -943,6 +1115,10 @@ fn sweep_bench(options: &Options, sink: &mut Sink) {
          \"results\": [\n{}\n  ]\n}}\n",
         json.join(",\n")
     );
+    if options.smoke {
+        emit!(sink, "\n[--test: tracked BENCH_sweep.json left untouched]");
+        return;
+    }
     let root_path = repo_root().join("BENCH_sweep.json");
     match std::fs::write(&root_path, &payload) {
         Ok(()) => emit!(sink, "\n[sweep timings written to {}]", root_path.display()),
@@ -1025,6 +1201,10 @@ fn calibrate(options: &Options, sink: &mut Sink) {
     };
     emit!(sink, "\n{}", cal.emit().trim_end());
 
+    if options.smoke {
+        emit!(sink, "\n[--test: tracked calibration.json left untouched]");
+        return;
+    }
     let path = repo_root().join("calibration.json");
     match std::fs::write(&path, cal.emit()) {
         Ok(()) => emit!(

@@ -11,6 +11,8 @@
 //!   interval-timestamped relational model;
 //! * [`Series`] — time-ordered aggregate results (constant intervals) with
 //!   TSQL2-style coalescing;
+//! * [`SeriesSink`] — streaming emission of those results at bounded
+//!   memory ([`ChunkedSink`], [`CountingSink`], [`StitchSink`]);
 //! * [`sortedness`] — the paper's *k-order* and *k-ordered-percentage*
 //!   metrics (Section 5.2, Table 2).
 
@@ -28,6 +30,7 @@ mod interval;
 mod relation;
 mod schema;
 mod series;
+mod sink;
 pub mod sortedness;
 mod timestamp;
 mod tuple;
@@ -42,6 +45,7 @@ pub use interval::Interval;
 pub use relation::TemporalRelation;
 pub use schema::{Column, Schema};
 pub use series::{Series, SeriesEntry};
+pub use sink::{ChunkedSink, CountingSink, SeriesSink, StitchSink};
 pub use timestamp::Timestamp;
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};

@@ -12,6 +12,8 @@
 //! * `no-as-cast` — no `as` casts in `tempagg-algo` / `tempagg-agg`
 //! * `no-raw-thread` — `std::thread` spawning only in
 //!   `tempagg-algo/src/parallel.rs`
+//! * `no-materialize-in-exec` — no argument-less `.finish()` in the
+//!   execution layers; results stream through `SeriesSink`
 //! * `forbid-unsafe` — `#![forbid(unsafe_code)]` in every crate root
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 I/O failure. Diagnostics are
@@ -71,6 +73,10 @@ fn main() -> ExitCode {
             is_crate_root: is_crate_root(file),
             is_thread_hub: crate_name == "tempagg-algo"
                 && file.ends_with(Path::new("src").join("parallel.rs")),
+            is_exec_path: (crate_name == "tempagg-plan"
+                && file.ends_with(Path::new("src").join("executor.rs")))
+                || (crate_name == "tempagg-sql"
+                    && file.ends_with(Path::new("src").join("exec.rs"))),
         };
         let tokens = lexer::lex(&src);
         for v in rules::check_file(ctx, &tokens) {

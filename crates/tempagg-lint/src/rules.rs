@@ -23,6 +23,12 @@
 //!   `tempagg-algo` / `tempagg-core` hot paths: a stable sort allocates a
 //!   merge buffer of half the slice; use `sort_unstable*` unless tie
 //!   order is semantic, and then justify with an allow comment.
+//! * `no-materialize-in-exec` — no argument-less `.finish()` calls in the
+//!   execution layers (`tempagg-plan/src/executor.rs`,
+//!   `tempagg-sql/src/exec.rs`): results must leave through the
+//!   `SeriesSink` streaming path (`finish_into` / `emit_ready`) so the
+//!   executor never holds a second materialized copy of the result.
+//!   Justify a deliberate exception with an allow comment.
 //! * `forbid-unsafe` — every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
 
@@ -46,6 +52,10 @@ pub struct FileContext<'a> {
     /// `true` only for `tempagg-algo/src/parallel.rs`, the one file
     /// allowed to touch `std::thread` directly (drives `no-raw-thread`).
     pub is_thread_hub: bool,
+    /// `true` for the execution layers (`tempagg-plan/src/executor.rs`,
+    /// `tempagg-sql/src/exec.rs`), where results must stream through a
+    /// `SeriesSink` (drives `no-materialize-in-exec`).
+    pub is_exec_path: bool,
 }
 
 /// Crates whose algorithms must not use `as` casts.
@@ -85,6 +95,9 @@ pub fn check_file(ctx: FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> 
     }
     if !ctx.is_thread_hub {
         no_raw_thread(&code, &in_test, &allows, &mut out);
+    }
+    if ctx.is_exec_path {
+        no_materialize_in_exec(&code, &in_test, &allows, &mut out);
     }
     if ctx.is_crate_root {
         forbid_unsafe(&code, &mut out);
@@ -390,6 +403,43 @@ fn no_stable_sort(
     }
 }
 
+fn no_materialize_in_exec(
+    code: &[&Token<'_>],
+    in_test: &[bool],
+    allows: &AllowComments,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = code[i];
+        if t.kind != TokenKind::Ident || t.text != "finish" {
+            continue;
+        }
+        // Only argument-less `.finish()` method calls materialize a whole
+        // series; `agg.finish(&state)` folds one state and stays legal,
+        // as do idents named `finish` in paths or definitions.
+        if i > 0
+            && code[i - 1].is_punct('.')
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('('))
+            && matches!(code.get(i + 2), Some(n) if n.is_punct(')'))
+        {
+            report(
+                allows,
+                out,
+                "no-materialize-in-exec",
+                t.line,
+                "`.finish()` in an execution layer materializes the whole result \
+                 series — stream through `finish_into` / `emit_ready` with a \
+                 `SeriesSink`, or justify with \
+                 `// lint: allow(no-materialize-in-exec): <why>`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 /// `thread::` members that create OS threads.
 const THREAD_SPAWNERS: &[&str] = &["spawn", "scope", "Builder"];
 
@@ -457,6 +507,7 @@ mod tests {
                 crate_name,
                 is_crate_root: is_root,
                 is_thread_hub: false,
+                is_exec_path: false,
             },
             &tokens,
         )
@@ -593,6 +644,7 @@ mod tests {
                 crate_name: "tempagg-algo",
                 is_crate_root: false,
                 is_thread_hub: true,
+                is_exec_path: false,
             },
             &tokens,
         );
@@ -659,5 +711,47 @@ mod tests {
         assert!(check("tempagg-core", true, "#![forbid(unsafe_code)]\npub mod x;").is_empty());
         // Non-root files do not need the attribute.
         assert!(check("tempagg-core", false, "pub fn f() {}").is_empty());
+    }
+
+    fn check_exec(src: &str) -> Vec<Violation> {
+        let tokens = lex(src);
+        check_file(
+            FileContext {
+                crate_name: "tempagg-plan",
+                is_crate_root: false,
+                is_thread_hub: false,
+                is_exec_path: true,
+            },
+            &tokens,
+        )
+    }
+
+    #[test]
+    fn materialize_in_exec_is_flagged() {
+        let vs = check_exec("fn f() { let s = aggregator.finish(); }");
+        assert_eq!(rules(&vs), vec!["no-materialize-in-exec"]);
+    }
+
+    #[test]
+    fn finish_with_arguments_is_legal_in_exec() {
+        // Folding one aggregate state is not a series materialization.
+        assert!(check_exec("fn f() { let v = agg.finish(&state); }").is_empty());
+        // And so are `finish_into`, path idents, and definitions.
+        assert!(check_exec("fn f(s: &mut S) { aggregator.finish_into(s); }").is_empty());
+        assert!(check_exec("fn finish() {}").is_empty());
+    }
+
+    #[test]
+    fn materialize_outside_exec_paths_is_legal() {
+        let src = "fn f() { let s = aggregator.finish(); }";
+        assert!(check("tempagg-plan", false, src).is_empty());
+    }
+
+    #[test]
+    fn materialize_in_exec_tests_and_allows_are_legal() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let s = a.finish(); } }";
+        assert!(check_exec(src).is_empty());
+        let src = "fn f() {\n    // lint: allow(no-materialize-in-exec): oracle comparison needs the whole series\n    let s = a.finish();\n}";
+        assert!(check_exec(src).is_empty());
     }
 }

@@ -24,7 +24,7 @@ mod planner;
 mod stats;
 
 pub use cost::{choose_algorithm, estimate, plan_by_cost, Calibration, CostEstimate, CostModel};
-pub use executor::{evaluate_auto, execute, ExecutionReport};
+pub use executor::{evaluate_auto, execute, execute_streaming, ExecutionReport};
 pub use planner::{
     choose_parallelism, estimate_ktree_nodes, estimate_list_cells, estimate_tree_nodes, plan,
     AlgorithmChoice, Plan, PlannerConfig,

@@ -18,11 +18,12 @@ use std::fmt;
 use tempagg_agg::{Aggregate, DynAggregate, MultiDyn, SweepAggregate};
 use tempagg_algo::{SpanGrouper, TemporalAggregator};
 use tempagg_core::{
-    Chunk, Interval, Result, Series, TempAggError, TemporalRelation, Tuple, Value,
-    DEFAULT_CHUNK_CAPACITY,
+    Chunk, ChunkedSink, Interval, Result, Schema, Series, SeriesEntry, TempAggError,
+    TemporalRelation, Tuple, Value, DEFAULT_CHUNK_CAPACITY,
 };
 use tempagg_plan::{
-    choose_algorithm, execute as execute_plan, CostModel, Plan, PlannerConfig, RelationStats,
+    choose_algorithm, execute as execute_plan, execute_streaming as execute_plan_streaming,
+    CostModel, Plan, PlannerConfig, RelationStats,
 };
 
 /// One row of a query result: optional group key, a valid-time interval,
@@ -119,12 +120,24 @@ pub fn execute_str(catalog: &Catalog, sql: &str) -> Result<QueryResult> {
     execute_query(catalog, &parse(sql)?, &PlannerConfig::default())
 }
 
-/// Execute a parsed query.
-pub fn execute_query(
-    catalog: &Catalog,
-    query: &Query,
-    config: &PlannerConfig,
-) -> Result<QueryResult> {
+/// The bound, filtered, grouped input shared by the materialized and
+/// streaming execution paths.
+struct BoundQuery {
+    schema: std::sync::Arc<Schema>,
+    bound_aggs: Vec<(DynAggregate, Option<usize>, String)>,
+    groups: Vec<(Option<Value>, TemporalRelation)>,
+    domain: Interval,
+}
+
+impl BoundQuery {
+    fn agg_labels(&self) -> Vec<String> {
+        self.bound_aggs.iter().map(|(_, _, l)| l.clone()).collect()
+    }
+}
+
+/// Bind names, filter on WHERE + VALID, and partition into aggregation
+/// sets: everything a query needs before any aggregate runs.
+fn bind_and_group(catalog: &Catalog, query: &Query) -> Result<BoundQuery> {
     let relation = catalog.get(&query.relation)?;
     let schema = relation.schema().clone();
 
@@ -184,6 +197,26 @@ pub fn execute_query(
             map.into_iter().map(|(k, v)| (Some(k), v)).collect()
         }
     };
+    Ok(BoundQuery {
+        schema,
+        bound_aggs,
+        groups,
+        domain,
+    })
+}
+
+/// Execute a parsed query.
+pub fn execute_query(
+    catalog: &Catalog,
+    query: &Query,
+    config: &PlannerConfig,
+) -> Result<QueryResult> {
+    let BoundQuery {
+        schema,
+        bound_aggs,
+        groups,
+        domain,
+    } = bind_and_group(catalog, query)?;
 
     // SNAPSHOT: scalar aggregates over each group's full tuple set
     // (Section 3 semantics) — no temporal grouping at all.
@@ -287,20 +320,7 @@ pub fn execute_query(
             }
             // Spans need a bounded window: the VALID clause, or the
             // relation's lifespan.
-            let window = match query.valid_window {
-                Some(w) if !w.end().is_forever() => w,
-                Some(_) | None => {
-                    let hull = groups
-                        .iter()
-                        .filter_map(|(_, r)| r.lifespan())
-                        .reduce(|a, b| a.hull(&b))
-                        .ok_or(TempAggError::InvalidSpan { length: len })?;
-                    if hull.end().is_forever() {
-                        return Err(TempAggError::InvalidSpan { length: len });
-                    }
-                    hull
-                }
-            };
+            let window = span_window(query.valid_window, &groups, len)?;
             let mut rows = Vec::new();
             for (key, group_rel) in &groups {
                 let mut grouper = SpanGrouper::new(multi.clone(), window, len)?;
@@ -319,7 +339,9 @@ pub fn execute_query(
                 }
                 // One row per span: fixed calendar partitions are not
                 // coalesced even when adjacent values repeat.
-                append_series_rows(key.clone(), grouper.finish(), false, &mut rows);
+                let mut series = Series::new();
+                grouper.finish_into(&mut series);
+                append_series_rows(key.clone(), series, false, &mut rows);
             }
             Ok(QueryResult {
                 group_column: query.group_column.clone(),
@@ -329,6 +351,265 @@ pub fn execute_query(
                 explain_only: false,
                 snapshot: false,
             })
+        }
+    }
+}
+
+/// What a streaming execution reports back: everything [`QueryResult`]
+/// carries except the rows themselves, which went to the caller's
+/// callback, plus the residency counters of the underlying sinks.
+#[derive(Clone, Debug)]
+pub struct StreamSummary {
+    /// Name of the grouping column, if the query had one.
+    pub group_column: Option<String>,
+    /// Display labels of the aggregates, e.g. `["COUNT(Name)"]`.
+    pub agg_labels: Vec<String>,
+    /// Rows pushed to the callback.
+    pub rows: usize,
+    /// The plan chosen for instant-grouped evaluation.
+    pub plan: Option<Plan>,
+    /// Most result entries resident in engine memory at once (max over
+    /// groups).
+    pub peak_resident_result_entries: usize,
+    /// Result chunks drained through the engine's sinks (summed over
+    /// groups).
+    pub emitted_chunks: usize,
+}
+
+/// Parse and execute a query, streaming result rows to `on_row` with
+/// default planner settings and chunk capacity.
+pub fn execute_streaming_str(
+    catalog: &Catalog,
+    sql: &str,
+    on_row: impl FnMut(ResultRow),
+) -> Result<StreamSummary> {
+    execute_streaming(
+        catalog,
+        &parse(sql)?,
+        &PlannerConfig::default(),
+        DEFAULT_CHUNK_CAPACITY,
+        on_row,
+    )
+}
+
+/// Cursor-style execution: result rows are pushed to `on_row` as the
+/// engine produces them, in (group, time) order — the same rows, in the
+/// same order, as [`execute_query`] collects into [`QueryResult::rows`].
+///
+/// The engine never materializes the result series: instant-grouped
+/// queries drain the executor's streaming mode chunk by chunk (at most
+/// `chunk_capacity` entries resident), span grouping drains its bucket
+/// array through a bounded sink, and coalescing happens inline on a
+/// one-row lookahead. The callback is push-based rather than a pull
+/// cursor so no background thread is needed to invert control.
+pub fn execute_streaming(
+    catalog: &Catalog,
+    query: &Query,
+    config: &PlannerConfig,
+    chunk_capacity: usize,
+    mut on_row: impl FnMut(ResultRow),
+) -> Result<StreamSummary> {
+    let bound = bind_and_group(catalog, query)?;
+    let agg_labels = bound.agg_labels();
+    let BoundQuery {
+        schema,
+        bound_aggs,
+        groups,
+        domain,
+    } = bound;
+    let mut rows = 0usize;
+    let mut peak_resident = 0usize;
+    let mut emitted_chunks = 0usize;
+
+    // SNAPSHOT: one scalar row per group, pushed as soon as computed.
+    if query.snapshot {
+        for (key, group_rel) in &groups {
+            let mut values = Vec::with_capacity(bound_aggs.len());
+            for (agg, idx, _) in &bound_aggs {
+                let extract = make_extractor(*idx);
+                let mut state = agg.empty_state();
+                for tuple in group_rel {
+                    agg.insert(&mut state, &extract(tuple));
+                }
+                values.push(agg.finish(&state));
+            }
+            on_row(ResultRow {
+                group: key.clone(),
+                valid: domain,
+                values,
+            });
+            rows += 1;
+            peak_resident = peak_resident.max(1);
+        }
+        return Ok(StreamSummary {
+            group_column: query.group_column.clone(),
+            agg_labels,
+            rows,
+            plan: None,
+            peak_resident_result_entries: peak_resident,
+            emitted_chunks,
+        });
+    }
+
+    let multi = MultiDyn::new(bound_aggs.iter().map(|(a, _, _)| *a).collect());
+    let extract_indices: Vec<Option<usize>> = bound_aggs.iter().map(|(_, idx, _)| *idx).collect();
+    let extract_all = |tuple: &Tuple| -> Vec<Value> {
+        extract_indices
+            .iter()
+            .map(|idx| make_extractor(*idx)(tuple))
+            .collect()
+    };
+
+    match query.temporal_grouping {
+        TemporalGrouping::Instant => {
+            let representative = groups
+                .iter()
+                .map(|(_, r)| r)
+                .max_by_key(|r| r.len())
+                .cloned()
+                .unwrap_or_else(|| TemporalRelation::new(schema.clone()));
+            let stats = RelationStats::analyze(&representative);
+            let the_plan = choose_algorithm(
+                &stats,
+                multi.sweep_class(),
+                config,
+                &CostModel::default(),
+                multi.state_model_bytes().max(4),
+            );
+            if query.explain {
+                return Ok(StreamSummary {
+                    group_column: query.group_column.clone(),
+                    agg_labels,
+                    rows: 0,
+                    plan: Some(the_plan),
+                    peak_resident_result_entries: 0,
+                    emitted_chunks: 0,
+                });
+            }
+            for (key, group_rel) in &groups {
+                // Coalesce on a one-row lookahead: a finished row leaves
+                // as soon as the next entry cannot extend it.
+                let mut pending: Option<ResultRow> = None;
+                let report = execute_plan_streaming(
+                    &the_plan,
+                    multi.clone(),
+                    group_rel,
+                    &extract_all,
+                    domain,
+                    chunk_capacity,
+                    |chunk: &[SeriesEntry<Vec<Value>>]| {
+                        for entry in chunk {
+                            match &mut pending {
+                                Some(prev)
+                                    if prev.valid.meets(&entry.interval)
+                                        && prev.values == entry.value =>
+                                {
+                                    prev.valid = prev.valid.hull(&entry.interval);
+                                }
+                                _ => {
+                                    if let Some(done) = pending.take() {
+                                        on_row(done);
+                                        rows += 1;
+                                    }
+                                    pending = Some(ResultRow {
+                                        group: key.clone(),
+                                        valid: entry.interval,
+                                        values: entry.value.clone(),
+                                    });
+                                }
+                            }
+                        }
+                    },
+                )?;
+                if let Some(done) = pending.take() {
+                    on_row(done);
+                    rows += 1;
+                }
+                peak_resident = peak_resident.max(report.peak_resident_result_entries);
+                emitted_chunks += report.emitted_chunks;
+            }
+            Ok(StreamSummary {
+                group_column: query.group_column.clone(),
+                agg_labels,
+                rows,
+                plan: Some(the_plan),
+                peak_resident_result_entries: peak_resident,
+                emitted_chunks,
+            })
+        }
+        TemporalGrouping::Span(len) => {
+            if query.explain {
+                return Ok(StreamSummary {
+                    group_column: query.group_column.clone(),
+                    agg_labels,
+                    rows: 0,
+                    plan: None,
+                    peak_resident_result_entries: 0,
+                    emitted_chunks: 0,
+                });
+            }
+            let window = span_window(query.valid_window, &groups, len)?;
+            for (key, group_rel) in &groups {
+                let mut grouper = SpanGrouper::new(multi.clone(), window, len)?;
+                let mut chunk: Chunk<Vec<Value>> = Chunk::with_capacity(DEFAULT_CHUNK_CAPACITY);
+                for tuple in group_rel {
+                    if chunk.is_full() {
+                        grouper.push_batch(&chunk)?;
+                        chunk.clear();
+                    }
+                    chunk.push(tuple.valid(), extract_all(tuple))?;
+                }
+                if !chunk.is_empty() {
+                    grouper.push_batch(&chunk)?;
+                }
+                // Spans are never coalesced: each bucket leaves as a row.
+                let mut sink =
+                    ChunkedSink::new(chunk_capacity, |c: &[SeriesEntry<Vec<Value>>]| {
+                        for entry in c {
+                            on_row(ResultRow {
+                                group: key.clone(),
+                                valid: entry.interval,
+                                values: entry.value.clone(),
+                            });
+                            rows += 1;
+                        }
+                    });
+                grouper.finish_into(&mut sink);
+                sink.flush();
+                peak_resident = peak_resident.max(sink.peak_resident());
+                emitted_chunks += sink.chunks_emitted();
+            }
+            Ok(StreamSummary {
+                group_column: query.group_column.clone(),
+                agg_labels,
+                rows,
+                plan: None,
+                peak_resident_result_entries: peak_resident,
+                emitted_chunks,
+            })
+        }
+    }
+}
+
+/// The bounded window span grouping buckets: the VALID clause when
+/// bounded, otherwise the hull of the groups' lifespans.
+fn span_window(
+    valid_window: Option<Interval>,
+    groups: &[(Option<Value>, TemporalRelation)],
+    len: i64,
+) -> Result<Interval> {
+    match valid_window {
+        Some(w) if !w.end().is_forever() => Ok(w),
+        Some(_) | None => {
+            let hull = groups
+                .iter()
+                .filter_map(|(_, r)| r.lifespan())
+                .reduce(|a, b| a.hull(&b))
+                .ok_or(TempAggError::InvalidSpan { length: len })?;
+            if hull.end().is_forever() {
+                return Err(TempAggError::InvalidSpan { length: len });
+            }
+            Ok(hull)
         }
     }
 }
@@ -729,6 +1010,66 @@ mod tests {
             "SELECT SNAPSHOT COUNT(*) FROM Employed GROUP BY SPAN 5"
         )
         .is_err());
+    }
+
+    #[test]
+    fn streaming_rows_match_materialized_for_query_shapes() {
+        let mut c = catalog();
+        c.register("big", generate(&WorkloadConfig::k_ordered(4096, 8, 0.05)));
+        let queries = [
+            "SELECT COUNT(Name) FROM Employed",
+            "SELECT COUNT(name), SUM(salary), AVG(salary) FROM Employed",
+            "SELECT COUNT(name) FROM Employed WHERE salary >= 40000",
+            "SELECT COUNT(name) FROM Employed GROUP BY name",
+            "SELECT COUNT(name) FROM Employed WHERE VALID OVERLAPS [0, 29] GROUP BY SPAN 10",
+            "SELECT SNAPSHOT AVG(salary), COUNT(*) FROM Employed",
+            "SELECT COUNT(*) FROM big",
+        ];
+        for sql in queries {
+            let materialized = execute_str(&c, sql).unwrap();
+            let mut streamed = Vec::new();
+            let summary = execute_streaming_str(&c, sql, |row| streamed.push(row)).unwrap();
+            assert_eq!(streamed, materialized.rows, "query: {sql}");
+            assert_eq!(summary.rows, materialized.rows.len(), "query: {sql}");
+            assert_eq!(summary.agg_labels, materialized.agg_labels);
+            assert_eq!(summary.group_column, materialized.group_column);
+        }
+    }
+
+    #[test]
+    fn streaming_is_chunk_bounded_on_ordered_input() {
+        let mut c = Catalog::new();
+        c.register("sorted", generate(&WorkloadConfig::sorted(8_192)));
+        let mut rows = 0usize;
+        let summary = execute_streaming(
+            &c,
+            &parse("SELECT COUNT(*) FROM sorted").unwrap(),
+            &PlannerConfig::default(),
+            128,
+            |_| rows += 1,
+        )
+        .unwrap();
+        assert_eq!(summary.rows, rows);
+        assert!(rows > 8_000, "rows {rows}");
+        assert!(summary.emitted_chunks > rows / 129, "streamed in chunks");
+        assert!(
+            summary.peak_resident_result_entries < rows / 4,
+            "peak {} must stay far below the {} materialized rows",
+            summary.peak_resident_result_entries,
+            rows
+        );
+    }
+
+    #[test]
+    fn streaming_explain_returns_plan_and_no_rows() {
+        let summary = execute_streaming_str(
+            &catalog(),
+            "EXPLAIN SELECT COUNT(Name) FROM Employed",
+            |_| panic!("explain must not produce rows"),
+        )
+        .unwrap();
+        assert_eq!(summary.rows, 0);
+        assert!(summary.plan.is_some());
     }
 
     #[test]

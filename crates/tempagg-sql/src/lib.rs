@@ -30,7 +30,10 @@ mod statement;
 mod token;
 
 pub use catalog::Catalog;
-pub use exec::{execute_query, execute_str, QueryResult, ResultRow};
+pub use exec::{
+    execute_query, execute_str, execute_streaming, execute_streaming_str, QueryResult, ResultRow,
+    StreamSummary,
+};
 pub use lexer::lex;
 pub use parser::{parse, parse_statement, parse_statement_with_calendar, parse_with_calendar};
 pub use statement::{execute_parsed_statement, execute_statement, StatementOutput, TupleTable};

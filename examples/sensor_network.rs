@@ -5,7 +5,7 @@
 //! but delivery lag reorders them by a bounded number of positions — a
 //! *retroactively bounded* stream, exactly the case Section 5.3's k-ordered
 //! aggregation tree handles without sorting and with a constant-size
-//! window. Results stream out of `drain_ready` while the scan runs.
+//! window. Results stream out of `emit_ready` while the scan runs.
 //!
 //! Run with: `cargo run --example sensor_network`
 
@@ -59,13 +59,16 @@ fn main() -> temporal_aggregates::Result<()> {
     let mut streamed_rows = 0usize;
     let mut hottest: Option<(Interval, f64)> = None;
     let mut peak_nodes = 0usize;
+    let mut batch = Vec::new();
 
     for tuple in &relation {
         let temp = tuple.value(temp_idx).as_f64().unwrap();
         tree.push(tuple.valid(), OrderedTemp(temp))?;
         peak_nodes = peak_nodes.max(tree.node_count());
-        // Results finalized by garbage collection stream out immediately.
-        for entry in tree.drain_ready() {
+        // Results finalized by garbage collection stream out immediately;
+        // the batch buffer's capacity is reused across drains.
+        tree.emit_ready(&mut batch);
+        for entry in batch.drain(..) {
             streamed_rows += 1;
             if let Some(OrderedTemp(t)) = entry.value {
                 if hottest.map_or(true, |(_, best)| t > best) {

@@ -27,4 +27,7 @@ cargo run -q -p tempagg-lint
 echo "==> bench smoke (one-sample sweep matrix)"
 cargo bench -q -p tempagg-bench --bench algorithms -- --test
 
+echo "==> harness stream smoke (bounded-residency assertion, tracked artifacts untouched)"
+cargo run -q --release -p tempagg-bench --bin harness -- stream --test
+
 echo "check.sh: all gates passed"

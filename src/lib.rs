@@ -111,26 +111,26 @@ pub use tempagg_algo::{
     TwoScanAggregate,
 };
 pub use tempagg_core::{
-    BitemporalRelation, Calendar, Chunk, EventRelation, Interval, Result, Schema, Series,
-    SeriesEntry, TempAggError, TemporalRelation, TimeUnit, Timestamp, Tuple, Value, ValueType,
-    WindowAlignment, DEFAULT_CHUNK_CAPACITY,
+    BitemporalRelation, Calendar, Chunk, ChunkedSink, CountingSink, EventRelation, Interval,
+    Result, Schema, Series, SeriesEntry, SeriesSink, StitchSink, TempAggError, TemporalRelation,
+    TimeUnit, Timestamp, Tuple, Value, ValueType, WindowAlignment, DEFAULT_CHUNK_CAPACITY,
 };
 pub use tempagg_plan::{
-    choose_algorithm, choose_parallelism, evaluate_auto, execute, plan, plan_by_cost,
-    AlgorithmChoice, Calibration, CostModel, ExecutionReport, OrderingKnowledge, Plan,
-    PlannerConfig, RelationStats,
+    choose_algorithm, choose_parallelism, evaluate_auto, execute, execute_streaming, plan,
+    plan_by_cost, AlgorithmChoice, Calibration, CostModel, ExecutionReport, OrderingKnowledge,
+    Plan, PlannerConfig, RelationStats,
 };
-pub use tempagg_sql::{execute_str, Catalog, QueryResult};
+pub use tempagg_sql::{execute_str, execute_streaming_str, Catalog, QueryResult, StreamSummary};
 
 /// Everything most programs need, in one import.
 pub mod prelude {
     pub use crate::{
         evaluate_auto, execute_str, plan, Aggregate, AggregationTree, AlgorithmChoice, Avg,
-        BalancedAggregationTree, Catalog, Chunk, Count, GroupedAggregate, Interval,
-        KOrderedAggregationTree, LinkedListAggregate, Max, MemoryStats, Min, OrderingKnowledge,
-        PagedAggregationTree, PartitionedAggregator, PlannerConfig, RelationStats, Series,
-        SpanGrouper, Sum, SweepAggregator, TemporalAggregator, TemporalRelation, Timestamp,
-        TwoScanAggregate, Value,
+        BalancedAggregationTree, Catalog, Chunk, ChunkedSink, Count, CountingSink,
+        GroupedAggregate, Interval, KOrderedAggregationTree, LinkedListAggregate, Max, MemoryStats,
+        Min, OrderingKnowledge, PagedAggregationTree, PartitionedAggregator, PlannerConfig,
+        RelationStats, Series, SeriesSink, SpanGrouper, StitchSink, Sum, SweepAggregator,
+        TemporalAggregator, TemporalRelation, Timestamp, TwoScanAggregate, Value,
     };
 }
 

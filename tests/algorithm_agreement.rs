@@ -221,7 +221,7 @@ fn ktree_streaming_equals_batch() {
         let mut streamed = Vec::new();
         for &(iv, ()) in &sorted {
             tree.push(iv, ()).unwrap();
-            streamed.extend(tree.drain_ready());
+            tree.emit_ready(&mut streamed);
         }
         streamed.extend(tree.finish().into_entries());
         assert_eq!(Series::from_entries(streamed), expected, "case {case}");

@@ -1,6 +1,6 @@
 //! Edge cases of the k-ordered aggregation tree's streaming contract:
 //! configuration errors, empty input, duplicate start times landing exactly
-//! on the gc threshold, and the guarantee that `drain_ready` and `finish`
+//! on the gc threshold, and the guarantee that `emit_ready` and `finish`
 //! between them emit every constant interval exactly once.
 
 use temporal_aggregates::algo::oracle::oracle;
@@ -18,7 +18,9 @@ fn k_zero_is_a_configuration_error() {
 #[test]
 fn empty_relation_emits_one_empty_interval_and_nothing_to_drain() {
     let mut tree = KOrderedAggregationTree::with_domain(Count, 1, Interval::at(10, 50)).unwrap();
-    assert!(tree.drain_ready().is_empty());
+    let mut none: Vec<SeriesEntry<u64>> = Vec::new();
+    tree.emit_ready(&mut none);
+    assert!(none.is_empty());
     assert_eq!(tree.ready_len(), 0);
     let series = tree.finish();
     assert_eq!(series.len(), 1);
@@ -72,7 +74,7 @@ fn drain_plus_finish_covers_the_domain_exactly_once() {
     let mut streamed: Vec<SeriesEntry<u64>> = Vec::new();
     for &(iv, ()) in &tuples {
         tree.push(iv, ()).unwrap();
-        streamed.extend(tree.drain_ready());
+        tree.emit_ready(&mut streamed);
     }
     assert!(!streamed.is_empty(), "gc should have finalized intervals");
     let tail = tree.finish();
@@ -113,7 +115,7 @@ fn draining_every_push_equals_never_draining() {
     let mut streamed = Vec::new();
     for &(iv, v) in &tuples {
         eager.push(iv, v).unwrap();
-        streamed.extend(eager.drain_ready());
+        eager.emit_ready(&mut streamed);
     }
     streamed.extend(eager.finish().into_entries());
 

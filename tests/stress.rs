@@ -69,16 +69,20 @@ fn streaming_sorted_run_is_memory_flat() {
     // concurrent tuples here), independent of n.
     let relation = generate(&WorkloadConfig::sorted(50_000).with_seed(80));
     let mut tree = KOrderedAggregationTree::new(Count, 1).unwrap();
-    let mut emitted = 0usize;
+    let mut emitted = CountingSink::new();
     let mut peak = 0usize;
     for (iv, ()) in count_stream(&relation) {
         tree.push(iv, ()).unwrap();
         peak = peak.max(tree.node_count());
-        emitted += tree.drain_ready().len();
+        tree.emit_ready(&mut emitted);
     }
     let tail = tree.finish();
     assert!(peak < 512, "peak live nodes {peak}");
-    assert!(emitted > 90_000, "streamed rows {emitted}");
+    assert!(
+        emitted.entries() > 90_000,
+        "streamed rows {}",
+        emitted.entries()
+    );
     assert!(tail.len() < 512, "tail rows {}", tail.len());
 }
 
