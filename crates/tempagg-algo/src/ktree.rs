@@ -174,6 +174,7 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
         // Parent of `cur` along the left spine, if any.
         let mut parent: Option<NodeId> = None;
         let mut cur = self.root;
+        // lint: hot-loop(ktree-gc) — the left-spine collection walk; per-node work must not allocate beyond the required state clones below
         loop {
             let node = self.arena.get(cur);
             if node.is_leaf() {
@@ -182,9 +183,11 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
             let (split, left, right) = (node.split, node.left, node.right);
             if split < threshold {
                 // Whole left subtree [frontier, split] is final.
+                // lint: allow(no-alloc-in-scan): the emit pass needs its own path-sum copy; O(|state|), amortized by the nodes reclaimed below
                 let mut emit_acc = acc.clone();
                 self.agg.merge(&mut emit_acc, &self.arena.get(cur).state);
                 let emitted_range = Interval::new(self.frontier, split).map_err(|_| {
+                    // lint: allow(no-alloc-in-scan): error-path only — formatting happens at most once, as gc aborts
                     TempAggError::internal(format!(
                         "gc frontier regressed: frontier {} passed collectable split {split}",
                         self.frontier
@@ -202,6 +205,7 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
                 // `cur` goes away: push its state down into the surviving
                 // right child so every path through that child still sums
                 // the same.
+                // lint: allow(no-alloc-in-scan): the pushed-down state must outlive the freed node; O(|state|) per reclaimed node
                 let cur_state = self.arena.get(cur).state.clone();
                 self.agg
                     .merge(&mut self.arena.get_mut(right).state, &cur_state);
@@ -215,6 +219,7 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
             } else {
                 // Descend left, keeping the node: its state applies to the
                 // left subtree too.
+                // lint: allow(no-alloc-in-scan): descending accumulates the path sum; the borrow of the arena forces a copy
                 let state = self.arena.get(cur).state.clone();
                 self.agg.merge(&mut acc, &state);
                 parent = Some(cur);

@@ -143,11 +143,14 @@ where
         for region in 0..self.buffers.len() {
             if region > 0 {
                 let boundary_real =
+                    // lint: allow(indexing): region < buffers.len() and the boundary tables share that length
                     self.boundary_start_real[region] || self.boundary_end_real[region - 1];
+                // lint: allow(seam-protocol): page edges are this aggregator's own partition seams — same audited marking as parallel.rs, byte-identity covered by paged tests
                 stitch.seam(!boundary_real);
             }
             let region_iv = self.region_interval(region);
             let mut tree = AggregationTree::with_domain(self.agg.clone(), region_iv);
+            // lint: allow(indexing): region ranges over 0..buffers.len()
             for (iv, value) in self.buffers[region].drain(..) {
                 tree.push(iv, value)
                     // lint: allow(no-unwrap): push only rejects out-of-domain tuples and every buffered tuple was clipped to this region
@@ -193,11 +196,14 @@ where
             // Record whether the tuple's own endpoints land on region
             // edges — those boundaries are real constant-interval breaks.
             if clipped.start() == interval.start() && clipped.start() == region_iv.start() {
+                // lint: allow(indexing): region_of clamps to the last region, so region < boundary_start_real.len()
                 self.boundary_start_real[region] = true;
             }
             if clipped.end() == interval.end() && clipped.end() == region_iv.end() {
+                // lint: allow(indexing): region_of clamps to the last region, so region < boundary_end_real.len()
                 self.boundary_end_real[region] = true;
             }
+            // lint: allow(indexing): region_of clamps to the last region, so region < buffers.len()
             self.buffers[region].push((clipped, value.clone()));
         }
         self.tuples += 1;

@@ -54,6 +54,7 @@ where
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let mut batches: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, item) in items.into_iter().enumerate() {
+        // lint: allow(indexing): i % threads < threads == batches.len() by construction
         batches[i % threads].push((i, item));
     }
     let f = &f;
@@ -72,6 +73,7 @@ where
         for handle in handles {
             // lint: allow(no-unwrap): a worker panic is already a crash; re-raising it here keeps the backtrace
             for (i, r) in handle.join().expect("scoped_map worker panicked") {
+                // lint: allow(indexing): i came from enumerate over items and slots was sized to items.len()
                 slots[i] = Some(r);
             }
         }
@@ -193,13 +195,10 @@ where
         seams: Vec<Timestamp>,
         mut factory: impl FnMut(Interval) -> G,
     ) -> Result<Self> {
-        for pair in seams.windows(2) {
-            if pair[0] >= pair[1] {
+        for (prev, next) in seams.iter().zip(seams.iter().skip(1)) {
+            if prev >= next {
                 return Err(TempAggError::InvalidPartitioning {
-                    detail: format!(
-                        "seams not strictly increasing: {} then {}",
-                        pair[0], pair[1]
-                    ),
+                    detail: format!("seams not strictly increasing: {prev} then {next}"),
                 });
             }
         }
@@ -417,6 +416,7 @@ where
             let mut stitch = StitchSink::new(&mut *sink);
             for (p, part) in self.parts.into_iter().enumerate() {
                 if p > 0 {
+                    // lint: allow(indexing): guarded by p > 0 and seam_real has parts.len() - 1 entries
                     stitch.seam(!seam_real[p - 1]);
                 }
                 part.inner.finish_into(&mut stitch);

@@ -107,8 +107,8 @@ impl<A: Aggregate> TemporalAggregator<A> for SpanGrouper<A> {
     }
 
     fn finish_into(self, sink: &mut impl SeriesSink<A::Output>) {
-        for i in 0..self.buckets.len() {
-            sink.accept(self.bucket_interval(i), self.agg.finish(&self.buckets[i]));
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            sink.accept(self.bucket_interval(i), self.agg.finish(bucket));
         }
     }
 

@@ -163,17 +163,22 @@ impl<A: SweepAggregate> TemporalAggregator<A> for SweepAggregator<A> {
         let mut entries: Vec<SeriesEntry<A::Output>> = Vec::with_capacity(boundaries.len());
         let mut active = self.agg.active_empty();
         let (mut si, mut ei) = (0usize, 0usize);
+        // lint: hot-loop(endpoint-scan) — the per-boundary admit/retract scan must stay allocation-free
         for (i, &start) in boundaries.iter().enumerate() {
             // A constant interval starting at `start` covers exactly the
             // tuples with tuple.start <= start <= tuple.end: admit newly
             // started runs, retract runs that ended before `start`.
+            // lint: allow(indexing): by_start is a permutation of 0..n and si < n is the loop guard
             while si < n && self.starts[by_start[si]] <= start {
                 self.agg
+                    // lint: allow(indexing): same permutation bound as the loop guard above
                     .active_insert(&mut active, &self.values[by_start[si]]);
                 si += 1;
             }
+            // lint: allow(indexing): by_end is a permutation of 0..n and ei < n is the loop guard
             while ei < n && self.ends[by_end[ei]] < start {
                 self.agg
+                    // lint: allow(indexing): same permutation bound as the loop guard above
                     .active_remove(&mut active, &self.values[by_end[ei]]);
                 ei += 1;
             }

@@ -124,6 +124,7 @@ impl<S> Arena<S> {
     pub fn free_subtree(&mut self, root: NodeId) {
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
+            // lint: allow(indexing): NodeIds are only minted by alloc and the arena never shrinks, so index() < nodes.len()
             let node = &self.nodes[id.index()];
             if !node.is_leaf() {
                 stack.push(node.left);

@@ -114,7 +114,7 @@ impl<A: Aggregate> TemporalAggregator<A> for TwoScanAggregate<A> {
         // selecting per interval, without the quadratic re-scans.)
         for (iv, value) in &self.buffered {
             let first = cells.partition_point(|(cell, _)| cell.end() < iv.start());
-            for (cell, state) in &mut cells[first..] {
+            for (cell, state) in cells.iter_mut().skip(first) {
                 if cell.start() > iv.end() {
                     break;
                 }

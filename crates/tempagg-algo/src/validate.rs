@@ -81,6 +81,7 @@ pub(crate) fn assert_matches_replay<A: Aggregate>(
         boundaries.len()
     );
     for (i, entry) in actual.entries().iter().enumerate() {
+        // lint: allow(indexing): i < boundaries.len() — the lengths are asserted equal above
         let start = boundaries[i];
         let end = boundaries.get(i + 1).map_or(domain.end(), |b| b.prev());
         assert!(
@@ -122,12 +123,13 @@ pub fn assert_series_tiles<T>(entries: &[SeriesEntry<T>], expected: Interval, al
         "validate[{algorithm}]: first constant interval {first} does not start at {expected}"
     );
     for (i, w) in entries.windows(2).enumerate() {
+        let [a, b] = w else { continue };
         assert!(
-            w[0].interval.meets(&w[1].interval),
+            a.interval.meets(&b.interval),
             "validate[{algorithm}]: constant intervals {} and {} (positions {i}, {}) \
              do not meet — the result has a gap or an overlap",
-            w[0].interval,
-            w[1].interval,
+            a.interval,
+            b.interval,
             i + 1
         );
     }
@@ -155,12 +157,13 @@ pub(crate) fn assert_exact_cover(tuple: Interval, covered: &mut Vec<Interval>, c
         covered[0]
     );
     for w in covered.windows(2) {
+        let [a, b] = w else { continue };
         assert!(
-            w[0].meets(&w[1]),
+            a.meets(b),
             "validate[{context}]: covering nodes {} and {} for {tuple} leave a gap \
              or double-count",
-            w[0],
-            w[1]
+            a,
+            b
         );
     }
     let last = covered[covered.len() - 1];

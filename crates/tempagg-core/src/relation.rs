@@ -119,7 +119,9 @@ impl TemporalRelation {
         assert_eq!(perm.len(), self.tuples.len(), "permutation length mismatch");
         let mut seen = vec![false; perm.len()];
         for &p in perm {
+            // lint: allow(indexing): short-circuit — seen[p] is only read after p < perm.len() holds
             assert!(p < perm.len() && !seen[p], "not a permutation");
+            // lint: allow(indexing): p < perm.len() was asserted on the line above
             seen[p] = true;
         }
         let old = std::mem::take(&mut self.tuples);

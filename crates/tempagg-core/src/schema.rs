@@ -43,7 +43,7 @@ impl Schema {
     /// Build a schema from columns; duplicate names are rejected.
     pub fn new(columns: Vec<Column>) -> Result<Arc<Schema>> {
         for (i, c) in columns.iter().enumerate() {
-            if columns[..i].iter().any(|p| p.name == c.name) {
+            if columns.iter().take(i).any(|p| p.name == c.name) {
                 return Err(TempAggError::SchemaMismatch {
                     detail: format!("duplicate column name `{}`", c.name),
                 });

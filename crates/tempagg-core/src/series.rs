@@ -153,7 +153,9 @@ impl<T> Series<T> {
         let mut out = Vec::new();
         let (mut i, mut j) = (0, 0);
         while i < self.entries.len() && j < other.entries.len() {
+            // lint: allow(indexing): i and j are bounded by the while condition
             let a = &self.entries[i];
+            // lint: allow(indexing): i and j are bounded by the while condition
             let b = &other.entries[j];
             if let Some(overlap) = a.interval.intersect(&b.interval) {
                 out.push(SeriesEntry::new(overlap, f(&a.value, &b.value)));

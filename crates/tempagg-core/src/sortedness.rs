@@ -38,6 +38,7 @@ pub fn sorted_positions(intervals: &[Interval]) -> Vec<usize> {
     idx.sort_by_key(|&i| (intervals[i].start(), intervals[i].end()));
     let mut pos = vec![0usize; intervals.len()];
     for (sorted_pos, &storage_pos) in idx.iter().enumerate() {
+        // lint: allow(indexing): idx is a permutation of 0..len, so storage_pos < pos.len()
         pos[storage_pos] = sorted_pos;
     }
     pos
@@ -73,6 +74,7 @@ pub fn displacement_histogram(intervals: &[Interval]) -> Vec<usize> {
     let max = disps.iter().copied().max().unwrap_or(0);
     let mut hist = vec![0usize; max + 1];
     for d in disps {
+        // lint: allow(indexing): d <= max and hist was sized to max + 1
         hist[d] += 1;
     }
     hist

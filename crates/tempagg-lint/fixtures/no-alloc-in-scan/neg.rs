@@ -1,0 +1,35 @@
+//@ crate: fixture
+//! Negative fixture for `no-alloc-in-scan`: hoisted buffers, unmarked
+//! loops, and justified allows all stay clean.
+
+pub fn scan_hoisted(boundaries: &[i64], scratch: &mut Vec<i64>) -> i64 {
+    let mut acc = 0;
+    scratch.clear();
+    // lint: hot-loop(fixture-scan) — the scratch buffer is hoisted above
+    for b in boundaries {
+        acc += *b;
+        scratch.push(*b);
+    }
+    acc
+}
+
+pub fn unmarked_loop_may_allocate(items: &[i64]) -> Vec<Vec<i64>> {
+    let mut rows = Vec::new();
+    for i in items {
+        rows.push(vec![*i]);
+    }
+    rows
+}
+
+pub fn justified_error_path(boundaries: &[i64]) -> Result<i64, String> {
+    let mut acc = 0;
+    // lint: hot-loop(fixture-scan) — error formatting below fires at most once
+    for b in boundaries {
+        if *b < 0 {
+            // lint: allow(no-alloc-in-scan): error path only — the scan aborts after formatting once
+            return Err(format!("negative boundary {b}"));
+        }
+        acc += *b;
+    }
+    Ok(acc)
+}

@@ -1,0 +1,15 @@
+//@ crate: fixture
+//! Positive fixture for `no-alloc-in-scan`: allocation inside a
+//! `lint: hot-loop` region.
+
+pub fn scan(boundaries: &[i64]) -> Vec<Vec<i64>> {
+    let mut out = Vec::new();
+    // lint: hot-loop(fixture-scan) — per-boundary work must stay allocation-free
+    for b in boundaries {
+        let scratch = Vec::new();
+        let row = vec![*b];
+        out.push(row.clone());
+        drop(scratch);
+    }
+    out
+}

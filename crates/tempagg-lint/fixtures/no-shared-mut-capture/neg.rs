@@ -1,0 +1,30 @@
+//@ crate: tempagg-algo
+//@ thread-hub
+//! Negative fixture for `no-shared-mut-capture`: workers that `move` over
+//! their own slot, or only mutate closure-local state, stay clean.
+
+pub fn fan_out_slots(chunks: &[Vec<u64>], slots: &mut [u64]) {
+    std::thread::scope(|s| {
+        for (chunk, slot) in chunks.iter().zip(slots.iter_mut()) {
+            s.spawn(move || {
+                accumulate(&mut slot, chunk);
+            });
+        }
+    });
+}
+
+pub fn fan_out_locals(chunks: &[Vec<u64>]) {
+    std::thread::scope(|s| {
+        for chunk in chunks {
+            s.spawn(|| {
+                let mut local = 0u64;
+                accumulate(&mut local, chunk);
+            });
+        }
+    });
+}
+
+pub fn plain_closure_is_fine(totals: &mut Vec<u64>) {
+    let mut bump = |v: u64| totals.push(v);
+    bump(1);
+}

@@ -1,0 +1,14 @@
+//@ crate: tempagg-algo
+//@ thread-hub
+//! Positive fixture for `no-shared-mut-capture`: a non-`move` closure
+//! handed to `spawn` takes `&mut` of state it does not bind.
+
+pub fn fan_out(chunks: &[Vec<u64>]) -> u64 {
+    let mut acc = 0u64;
+    std::thread::scope(|s| {
+        for chunk in chunks {
+            s.spawn(|| merge_into(&mut acc, chunk));
+        }
+    });
+    acc
+}

@@ -1,0 +1,19 @@
+//@ crate: tempagg-algo
+//! Negative fixture for `no-unchecked-index`: iterator rewrites, justified
+//! allows (the `indexing` alias), indexing outside loops, and non-hot-path
+//! crates all stay clean.
+
+pub fn sum_pairs(xs: &[i64], ys: &[i64]) -> i64 {
+    xs.iter().zip(ys).map(|(x, y)| x + y).sum()
+}
+
+pub fn justified(perm: &[usize], out: &mut [usize]) {
+    for (i, &p) in perm.iter().enumerate() {
+        // lint: allow(indexing): perm is a permutation of 0..len, so p < out.len()
+        out[p] = i;
+    }
+}
+
+pub fn outside_a_loop(xs: &[i64]) -> i64 {
+    xs[0]
+}

@@ -1,0 +1,22 @@
+//@ crate: tempagg-algo
+//! Positive fixture for `no-unchecked-index`: bracket indexing inside a
+//! loop in a hot-path crate (tempagg-algo / tempagg-core).
+
+pub fn sum_pairs(xs: &[i64], ys: &[i64]) -> i64 {
+    let mut total = 0;
+    for i in 0..xs.len() {
+        total += xs[i];
+        total += ys[i];
+    }
+    total
+}
+
+pub fn last_while(cells: &[u64]) -> u64 {
+    let mut i = 0;
+    let mut seen = 0;
+    while i < cells.len() {
+        seen = cells[i];
+        i += 1;
+    }
+    seen
+}

@@ -1,0 +1,14 @@
+//@ crate: tempagg-algo
+//@ seam-hub
+//! Negative fixture for `seam-protocol`: inside a seam hub (parallel.rs /
+//! executor.rs) seam marking is the audited stitch logic and stays clean.
+
+pub fn stitch(sink: &mut StitchSink, seam_real: &[bool]) {
+    for real in seam_real {
+        sink.seam(!real);
+    }
+}
+
+pub fn remark(parts: &mut Parts) {
+    mark_seams(parts);
+}

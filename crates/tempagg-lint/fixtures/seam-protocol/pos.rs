@@ -1,0 +1,15 @@
+//@ crate: fixture
+//! Positive fixture for `seam-protocol`: seam marking outside the audited
+//! stitch paths (this fixture is NOT a seam hub).
+
+pub struct Edges {
+    pub seam_real: Vec<bool>,
+}
+
+pub fn stitch_here(sink: &mut StitchSink) {
+    sink.seam(true);
+}
+
+pub fn remark(parts: &mut Parts) {
+    mark_seams(parts);
+}

@@ -1,0 +1,35 @@
+//@ crate: fixture
+//! Negative fixture for `sink-order`: cursor-derived emission, justified
+//! allows, and non-sink receivers all stay clean.
+
+pub fn emit_segments<S: SeriesSink>(sink: &mut S, boundaries: &[i64]) {
+    for (i, b) in boundaries.iter().enumerate() {
+        let segment = Interval::at(*b, *b);
+        sink.accept(segment, i);
+    }
+}
+
+pub fn emit_direct<S: SeriesSink>(sink: &mut S, spans: &[Interval]) {
+    for span in spans {
+        sink.accept(span, 1);
+    }
+}
+
+pub fn flush_tail<S: SeriesSink>(sink: &mut S, vals: &[i64]) {
+    let tail = Interval::at(90, 99);
+    for _v in vals {
+        // lint: allow(sink-order): the tail segment is re-emitted once per value by design of this fixture
+        sink.accept(tail, 1);
+    }
+}
+
+pub fn not_a_sink(buf: &mut Vec<i64>, vals: &[i64]) {
+    for v in vals {
+        buf.push(*v);
+    }
+}
+
+pub fn outside_a_loop<S: SeriesSink>(sink: &mut S) {
+    let whole = Interval::at(0, 100);
+    sink.accept(whole, 0);
+}

@@ -1,0 +1,27 @@
+//@ crate: fixture
+//! Positive fixture for `sink-order`: pushes on a sink inside loops whose
+//! induction is not provably the time cursor.
+
+pub fn emit_fixed<S: SeriesSink>(sink: &mut S, vals: &[i64]) {
+    let fixed = Interval::at(0, 1);
+    for _ in 0..vals.len() {
+        sink.accept(fixed, 7);
+    }
+}
+
+pub fn drain_fixed<S: SeriesSink>(sink: &mut S, n: usize) {
+    let span = Interval::at(10, 20);
+    let mut i = 0;
+    while i < n {
+        sink.push(span, 1);
+        i += 1;
+    }
+}
+
+pub fn let_bound_sink(parts: &[i64]) {
+    let out: VecSink = VecSink::new();
+    let whole = Interval::at(0, 100);
+    for _p in parts {
+        out.accept(whole, 0);
+    }
+}

@@ -1,34 +1,75 @@
-//! `tempagg-lint` — the workspace's own static-analysis pass.
+//! `tempagg-lint` CLI — a thin driver over the [`tempagg_lint`] library.
 //!
 //! Run as `cargo run -p tempagg-lint` from anywhere in the workspace (or
 //! pass an explicit root: `cargo run -p tempagg-lint -- path/to/tree`).
-//! Walks every crate's `src/` tree plus the root crate's `src/`, lexes each
-//! file with a hand-rolled lexer, and enforces the rules in [`rules`]:
+//! Walks every crate's `src/` tree plus the root crate's `src/`, lexes
+//! each file once, and runs both rule generations (token rules and the
+//! syntax-aware tree rules) — see the library docs for the rule list.
 //!
-//! * `no-unwrap` — no `.unwrap()` / `.expect()` / `panic!` family in
-//!   non-test library code
-//! * `no-raw-i64-arith` — raw timestamp arithmetic only inside
-//!   `tempagg-core`
-//! * `no-as-cast` — no `as` casts in `tempagg-algo` / `tempagg-agg`
-//! * `no-raw-thread` — `std::thread` spawning only in
-//!   `tempagg-algo/src/parallel.rs`
-//! * `no-materialize-in-exec` — no argument-less `.finish()` in the
-//!   execution layers; results stream through `SeriesSink`
-//! * `forbid-unsafe` — `#![forbid(unsafe_code)]` in every crate root
+//! ## Stable interface (consumed by CI and pre-commit hooks)
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 I/O failure. Diagnostics are
-//! `path:line: rule: message`, one per line, sorted by path.
+//! Flags:
+//!
+//! * `--json` — machine-readable output: a JSON array of
+//!   `{"file", "line", "rule", "message"}` objects on stdout, one object
+//!   per line (diff-friendly). The human summary still goes to stderr.
+//! * `--github` — GitHub Actions annotations
+//!   (`::error file=…,line=…,title=tempagg-lint(rule)::message`).
+//! * `--help` — usage.
+//!
+//! Exit codes (stable):
+//!
+//! * `0` — clean, no violations
+//! * `1` — one or more violations found
+//! * `2` — usage or I/O error (bad flag, unreadable file, no workspace)
+//!
+//! Diagnostics in the default text mode are `path:line: rule: message`,
+//! one per line, sorted by path.
 
 #![forbid(unsafe_code)]
-
-mod lexer;
-mod rules;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use tempagg_lint::{check_source, FileContext};
+
+const USAGE: &str = "usage: tempagg-lint [--json | --github] [ROOT]\n\
+                     \n\
+                     exit codes: 0 clean, 1 violations found, 2 usage/IO error";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
-    let root = match workspace_root() {
+    let mut format = Format::Text;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => format = Format::Json,
+            "--github" => format = Format::Github,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("tempagg-lint: unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => {
+                if root_arg.is_some() {
+                    eprintln!("tempagg-lint: more than one ROOT argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                root_arg = Some(PathBuf::from(path));
+            }
+        }
+    }
+
+    let root = match workspace_root(root_arg) {
         Ok(root) => root,
         Err(e) => {
             eprintln!("tempagg-lint: cannot locate workspace root: {e}");
@@ -58,6 +99,7 @@ fn main() -> ExitCode {
 
     let mut violations = 0usize;
     let mut scanned = 0usize;
+    let mut json_rows = Vec::new();
     for file in &files {
         let src = match std::fs::read_to_string(file) {
             Ok(src) => src,
@@ -67,23 +109,43 @@ fn main() -> ExitCode {
             }
         };
         scanned += 1;
-        let crate_name = crate_of(&root, &root_pkg, file);
-        let ctx = rules::FileContext {
-            crate_name,
-            is_crate_root: is_crate_root(file),
-            is_thread_hub: crate_name == "tempagg-algo"
-                && file.ends_with(Path::new("src").join("parallel.rs")),
-            is_exec_path: (crate_name == "tempagg-plan"
-                && file.ends_with(Path::new("src").join("executor.rs")))
-                || (crate_name == "tempagg-sql"
-                    && file.ends_with(Path::new("src").join("exec.rs"))),
-        };
-        let tokens = lexer::lex(&src);
-        for v in rules::check_file(ctx, &tokens) {
-            let rel = file.strip_prefix(&root).unwrap_or(file);
-            println!("{}:{}: {}: {}", rel.display(), v.line, v.rule, v.message);
+        let ctx = file_context(&root, &root_pkg, file);
+        let rel = file.strip_prefix(&root).unwrap_or(file);
+        for v in check_source(&ctx, &src) {
+            match format {
+                Format::Text => {
+                    println!("{}:{}: {}: {}", rel.display(), v.line, v.rule, v.message);
+                }
+                Format::Json => json_rows.push(format!(
+                    "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+                    json_string(&rel.display().to_string()),
+                    v.line,
+                    json_string(v.rule),
+                    json_string(&v.message)
+                )),
+                Format::Github => {
+                    // Annotation text must be single-line.
+                    let msg = v.message.replace('\n', " ");
+                    println!(
+                        "::error file={},line={},title=tempagg-lint({})::{}",
+                        rel.display(),
+                        v.line,
+                        v.rule,
+                        msg
+                    );
+                }
+            }
             violations += 1;
         }
+    }
+
+    if format == Format::Json {
+        println!("[");
+        for (i, row) in json_rows.iter().enumerate() {
+            let comma = if i + 1 < json_rows.len() { "," } else { "" };
+            println!("  {row}{comma}");
+        }
+        println!("]");
     }
 
     if violations > 0 {
@@ -98,11 +160,50 @@ fn main() -> ExitCode {
     }
 }
 
+/// The per-file rule context: crate name plus the special-path flags
+/// (thread hub, exec paths, seam/stitch hubs).
+fn file_context<'a>(root: &Path, root_pkg: &'a str, file: &'a Path) -> FileContext<'a> {
+    let crate_name = crate_of(root, root_pkg, file);
+    let is_thread_hub =
+        crate_name == "tempagg-algo" && file.ends_with(Path::new("src").join("parallel.rs"));
+    let is_executor =
+        crate_name == "tempagg-plan" && file.ends_with(Path::new("src").join("executor.rs"));
+    FileContext {
+        crate_name,
+        is_crate_root: is_crate_root(file),
+        is_thread_hub,
+        is_exec_path: is_executor
+            || (crate_name == "tempagg-sql" && file.ends_with(Path::new("src").join("exec.rs"))),
+        is_seam_hub: is_thread_hub || is_executor,
+    }
+}
+
+/// Minimal JSON string escaping (control chars, quotes, backslashes) — the
+/// lint stays dependency-free by policy.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// The workspace root: an explicit CLI argument, else two levels above this
 /// crate's manifest (`crates/tempagg-lint` → repo root).
-fn workspace_root() -> Result<PathBuf, String> {
-    if let Some(arg) = std::env::args().nth(1) {
-        let p = PathBuf::from(arg);
+fn workspace_root(arg: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(p) = arg {
         if !p.is_dir() {
             return Err(format!("{} is not a directory", p.display()));
         }

@@ -56,6 +56,11 @@ pub struct FileContext<'a> {
     /// `tempagg-sql/src/exec.rs`), where results must stream through a
     /// `SeriesSink` (drives `no-materialize-in-exec`).
     pub is_exec_path: bool,
+    /// `true` for the partition-stitching paths
+    /// (`tempagg-algo/src/parallel.rs`, `tempagg-plan/src/executor.rs`) —
+    /// the only files allowed to drive `StitchSink::seam` / seam-real
+    /// marking (drives `seam-protocol`).
+    pub is_seam_hub: bool,
 }
 
 /// Crates whose algorithms must not use `as` casts.
@@ -107,13 +112,15 @@ pub fn check_file(ctx: FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> 
 }
 
 /// `lint: allow` suppression comments, indexed by the lines they cover.
-struct AllowComments {
+/// Shared between the v1 token rules here and the v2 tree rules in
+/// [`crate::analysis`].
+pub(crate) struct AllowComments {
     /// (line, optional rule name, has-justification).
     entries: Vec<(u32, Option<String>, bool)>,
 }
 
 impl AllowComments {
-    fn collect(tokens: &[Token<'_>]) -> AllowComments {
+    pub(crate) fn collect(tokens: &[Token<'_>]) -> AllowComments {
         let mut entries = Vec::new();
         for t in tokens {
             if t.kind != TokenKind::Comment {
@@ -145,7 +152,7 @@ impl AllowComments {
 
     /// Is `line` suppressed for `rule` (same line or the line above)?
     /// Returns `Some(justified)` when an allow comment applies.
-    fn applies(&self, rule: &str, line: u32) -> Option<bool> {
+    pub(crate) fn applies(&self, rule: &str, line: u32) -> Option<bool> {
         self.entries
             .iter()
             .filter(|(l, r, _)| {
@@ -158,7 +165,7 @@ impl AllowComments {
 
 /// Push `violation` unless an allow comment suppresses it; an allow comment
 /// *without* a justification is itself reported.
-fn report(
+pub(crate) fn report(
     allows: &AllowComments,
     out: &mut Vec<Violation>,
     rule: &'static str,
@@ -184,7 +191,7 @@ fn report(
 
 /// Mark the token spans inside `#[cfg(test)]`-gated items. Returns one flag
 /// per code token.
-fn test_spans(code: &[&Token<'_>]) -> Vec<bool> {
+pub(crate) fn test_spans(code: &[&Token<'_>]) -> Vec<bool> {
     let mut mask = vec![false; code.len()];
     let mut i = 0;
     while i < code.len() {
@@ -508,6 +515,7 @@ mod tests {
                 is_crate_root: is_root,
                 is_thread_hub: false,
                 is_exec_path: false,
+                is_seam_hub: false,
             },
             &tokens,
         )
@@ -645,6 +653,7 @@ mod tests {
                 is_crate_root: false,
                 is_thread_hub: true,
                 is_exec_path: false,
+                is_seam_hub: false,
             },
             &tokens,
         );
@@ -721,6 +730,7 @@ mod tests {
                 is_crate_root: false,
                 is_thread_hub: false,
                 is_exec_path: true,
+                is_seam_hub: false,
             },
             &tokens,
         )

@@ -1,0 +1,142 @@
+//! Golden-file tests for the analyzer fixture corpus.
+//!
+//! Each rule directory under `fixtures/` holds a `pos.rs` (must trigger the
+//! rule), a `neg.rs` (must stay clean), and an `expected.txt` asserting the
+//! exact `(file, line, rule)` findings for the pair. Fixtures declare their
+//! [`FileContext`] with leading `//@` directives:
+//!
+//! ```text
+//! //@ crate: tempagg-algo     (default: "fixture")
+//! //@ crate-root
+//! //@ thread-hub
+//! //@ exec-path
+//! //@ seam-hub
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use tempagg_lint::{check_source, FileContext};
+
+/// The five tree rules shipped by `analysis.rs`, i.e. the fixture dirs.
+const RULES: &[&str] = &[
+    "sink-order",
+    "seam-protocol",
+    "no-shared-mut-capture",
+    "no-alloc-in-scan",
+    "no-unchecked-index",
+];
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+struct Directives {
+    crate_name: String,
+    is_crate_root: bool,
+    is_thread_hub: bool,
+    is_exec_path: bool,
+    is_seam_hub: bool,
+}
+
+fn parse_directives(src: &str) -> Directives {
+    let mut d = Directives {
+        crate_name: "fixture".to_string(),
+        is_crate_root: false,
+        is_thread_hub: false,
+        is_exec_path: false,
+        is_seam_hub: false,
+    };
+    for line in src.lines() {
+        let Some(rest) = line.strip_prefix("//@") else {
+            break; // directives must lead the file
+        };
+        match rest.trim() {
+            "crate-root" => d.is_crate_root = true,
+            "thread-hub" => d.is_thread_hub = true,
+            "exec-path" => d.is_exec_path = true,
+            "seam-hub" => d.is_seam_hub = true,
+            other => {
+                if let Some(name) = other.strip_prefix("crate:") {
+                    d.crate_name = name.trim().to_string();
+                } else {
+                    panic!("unknown fixture directive: {line}");
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Run the full analyzer (v1 token rules + v2 tree rules) over one fixture,
+/// returning `file:line rule` strings.
+fn findings(path: &Path) -> Vec<String> {
+    let src = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let d = parse_directives(&src);
+    let ctx = FileContext {
+        crate_name: &d.crate_name,
+        is_crate_root: d.is_crate_root,
+        is_thread_hub: d.is_thread_hub,
+        is_exec_path: d.is_exec_path,
+        is_seam_hub: d.is_seam_hub,
+    };
+    let file = path.file_name().unwrap().to_string_lossy().into_owned();
+    check_source(&ctx, &src)
+        .iter()
+        .map(|v| format!("{file}:{} {}", v.line, v.rule))
+        .collect()
+}
+
+#[test]
+fn fixtures_match_expected_findings() {
+    for rule in RULES {
+        let dir = fixture_root().join(rule);
+        let mut actual = findings(&dir.join("pos.rs"));
+        actual.extend(findings(&dir.join("neg.rs")));
+        let expected_path = dir.join("expected.txt");
+        let expected_text = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", expected_path.display()));
+        let expected: Vec<&str> = expected_text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        assert_eq!(
+            actual,
+            expected,
+            "findings for fixture `{rule}` diverge from expected.txt\n\
+             actual:\n  {}\nexpected:\n  {}",
+            actual.join("\n  "),
+            expected.join("\n  "),
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_positive_and_negative_coverage() {
+    for rule in RULES {
+        let dir = fixture_root().join(rule);
+        let pos = findings(&dir.join("pos.rs"));
+        assert!(
+            pos.iter().any(|f| f.ends_with(rule)),
+            "fixture `{rule}/pos.rs` triggers no `{rule}` finding: {pos:?}"
+        );
+        let neg = findings(&dir.join("neg.rs"));
+        assert!(
+            neg.is_empty(),
+            "fixture `{rule}/neg.rs` must be clean, found: {neg:?}"
+        );
+    }
+}
+
+#[test]
+fn positive_fixtures_trigger_only_their_own_rule() {
+    for rule in RULES {
+        let pos = findings(&fixture_root().join(rule).join("pos.rs"));
+        for f in &pos {
+            assert!(
+                f.ends_with(rule),
+                "fixture `{rule}/pos.rs` leaks a foreign finding: {f}"
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The analyzer must never panic (or stall) on real input: lex, parse, and
+//! fully analyze every `.rs` file in the workspace — sources, tests,
+//! benches, and the fixture corpus alike.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use tempagg_lint::{check_source, FileContext};
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn analyzer_survives_every_workspace_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    collect(&root, &mut files);
+    assert!(
+        files.len() >= 80,
+        "expected the full workspace, found only {} .rs files",
+        files.len()
+    );
+    // Worst-case context: enable every context-gated rule at once.
+    let ctx = FileContext {
+        crate_name: "tempagg-algo",
+        is_crate_root: true,
+        is_thread_hub: false,
+        is_exec_path: true,
+        is_seam_hub: false,
+    };
+    for f in &files {
+        let src = fs::read_to_string(f).unwrap_or_else(|e| panic!("read {}: {e}", f.display()));
+        // Findings are irrelevant here; completing without panicking is the test.
+        let _ = check_source(&ctx, &src);
+    }
+}

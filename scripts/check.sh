@@ -30,4 +30,27 @@ cargo bench -q -p tempagg-bench --bench algorithms -- --test
 echo "==> harness stream smoke (bounded-residency assertion, tracked artifacts untouched)"
 cargo run -q --release -p tempagg-bench --bin harness -- stream --test
 
+# Opt-in Miri smoke (MIRI=1 ./scripts/check.sh): interpret the tempagg-core
+# and tempagg-agg unit tests under the nightly Miri interpreter to catch UB
+# the type system cannot (the workspace is #![forbid(unsafe_code)], so this
+# guards the std/ptr invariants of code we *call*, and keeps the gate honest
+# if unsafe is ever justified in). Known-slow exclusions, skipped by name:
+#   * sortedness::tests::table2_row_* — 10k-tuple sort workloads; minutes
+#     under Miri's ~1000x interpretation overhead, no pointer tricks to find.
+# The bigger crates (tempagg-algo's tree/paged/parallel suites) are excluded
+# wholesale for the same reason — their logic is pure safe index arithmetic.
+if [[ "${MIRI:-0}" == "1" ]]; then
+    echo "==> cargo miri test (tempagg-core, tempagg-agg; nightly)"
+    if rustup run nightly cargo miri --version >/dev/null 2>&1; then
+        MIRIFLAGS="${MIRIFLAGS:--Zmiri-strict-provenance}" \
+            cargo +nightly miri test -p tempagg-core -p tempagg-agg -- \
+            --skip table2_row
+    else
+        echo "MIRI=1 requested but the nightly miri component is not installed" >&2
+        echo "(offline container?). Install with:" >&2
+        echo "    rustup toolchain install nightly --component miri" >&2
+        echo "Skipping the Miri smoke; all other gates passed." >&2
+    fi
+fi
+
 echo "check.sh: all gates passed"
