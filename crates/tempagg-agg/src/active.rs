@@ -46,6 +46,22 @@ pub enum SweepClass {
     Approximate,
 }
 
+impl SweepClass {
+    /// Whether an incremental cache may maintain this class by *patching*
+    /// per-run active states through [`SweepAggregate::active_insert`] /
+    /// [`SweepAggregate::active_remove`]: exact for [`Delta`] (O(1)
+    /// deltas) and [`Ordered`] (ordered-multiset membership), but not for
+    /// [`Approximate`], whose float retraction drifts — those caches must
+    /// recompute the dirty window from the base tuples instead.
+    ///
+    /// [`Delta`]: SweepClass::Delta
+    /// [`Ordered`]: SweepClass::Ordered
+    /// [`Approximate`]: SweepClass::Approximate
+    pub fn retractable(self) -> bool {
+        !matches!(self, SweepClass::Approximate)
+    }
+}
+
 /// An [`Aggregate`] that additionally supports a *retractable* running
 /// state, enabling O(n log n) endpoint-sweep evaluation.
 ///

@@ -11,7 +11,7 @@ use crate::variance::{Variance, VarianceState};
 use tempagg_core::{Result, TempAggError, Value, ValueType};
 
 /// The aggregate functions expressible in the SQL layer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AggKind {
     /// `COUNT(*)` — counts tuples, including NULL attribute values.
     CountStar,

@@ -124,24 +124,6 @@ impl<A: Aggregate> KOrderedAggregationTree<A> {
         self.arena.live()
     }
 
-    /// Constant intervals finalized by garbage collection and not yet
-    /// drained, as a freshly allocated `Vec`.
-    ///
-    /// Deprecated: this allocates a new `Vec` per call. Use
-    /// [`TemporalAggregator::emit_ready`] with a [`SeriesSink`], which
-    /// drains the internal buffer in place and lets results flow to a
-    /// bounded sink. This wrapper now routes through the sink API and
-    /// inherits its `validate`-feature checks.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates a Vec per drain; use `TemporalAggregator::emit_ready` with a `SeriesSink`"
-    )]
-    pub fn drain_ready(&mut self) -> Vec<SeriesEntry<A::Output>> {
-        let mut batch = Vec::with_capacity(self.ready.len());
-        self.emit_ready(&mut batch);
-        batch
-    }
-
     /// Number of finalized-but-undrained entries.
     pub fn ready_len(&self) -> usize {
         self.ready.len()
@@ -449,24 +431,6 @@ mod tests {
         t.finish_into(&mut out);
         let expected = oracle(&Count, Interval::TIMELINE, &tuples);
         assert_eq!(out, expected);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_drain_ready_matches_emit_ready() {
-        let tuples = sorted_run(60);
-        let mut a = KOrderedAggregationTree::new(Count, 1).unwrap();
-        let mut b = KOrderedAggregationTree::new(Count, 1).unwrap();
-        let mut via_vec = Vec::new();
-        let mut via_sink: Vec<SeriesEntry<u64>> = Vec::new();
-        for &(iv, ()) in &tuples {
-            a.push(iv, ()).unwrap();
-            b.push(iv, ()).unwrap();
-            via_vec.extend(a.drain_ready());
-            b.emit_ready(&mut via_sink);
-        }
-        assert_eq!(via_vec, via_sink);
-        assert_eq!(a.finish(), b.finish());
     }
 
     #[test]

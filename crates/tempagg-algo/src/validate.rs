@@ -23,7 +23,7 @@
 //!    exactly — the path-sum conservation the covering-insert optimisation
 //!    (Section 5.1) depends on.
 //! 3. **Streaming** — the k-ordered tree checks frontier monotonicity and
-//!    that `drain_ready` batches tile `[previously-drained, frontier)`
+//!    that `emit_ready` batches tile `[previously-drained, frontier)`
 //!    contiguously, so no constant interval is ever emitted twice or
 //!    resurrected after garbage collection (Section 5.3).
 //!

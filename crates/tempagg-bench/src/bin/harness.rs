@@ -14,6 +14,7 @@
 //! harness pipeline               # serial vs domain-partitioned execution
 //! harness stream                 # streaming vs materialized result emission
 //! harness sweep                  # endpoint sweep vs list/tree/k-tree
+//! harness ingest                 # incremental cache patching vs recompute
 //! harness calibrate              # measure per-unit costs for the planner
 //!
 //! options: --max <tuples>  (default 65536; the paper's 64K)
@@ -23,10 +24,11 @@
 //! ```
 //!
 //! Every report line is printed and also saved to
-//! `target/harness_output.txt`. Four commands refresh *tracked*
+//! `target/harness_output.txt`. Five commands refresh *tracked*
 //! perf-trajectory artifacts at the repo root (plus a `target/` copy):
 //! `pipeline` → `BENCH_pipeline.json`, `stream` → `BENCH_stream.json`,
-//! `sweep` → `BENCH_sweep.json`, and `calibrate` → the committed
+//! `sweep` → `BENCH_sweep.json`, `ingest` → `BENCH_ingest.json`, and
+//! `calibrate` → the committed
 //! `calibration.json` profile ([`tempagg_plan::Calibration`]) for the
 //! current host. `--test` is the CI smoke mode: tiny inputs, assertions
 //! on, tracked artifacts left untouched.
@@ -131,6 +133,16 @@ fn repo_root() -> PathBuf {
     }
 }
 
+/// Write a tracked artifact atomically: contents land in a sibling
+/// `.tmp` file first and are renamed into place, so an interrupted run
+/// (or a concurrent reader of the trajectory files) never observes a
+/// half-written JSON document.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command: Option<String> = None;
@@ -193,6 +205,7 @@ fn main() {
         "pipeline" => pipeline(&options, &mut sink),
         "stream" => stream_bench(&options, &mut sink),
         "sweep" => sweep_bench(&options, &mut sink),
+        "ingest" => ingest(&options, &mut sink),
         "calibrate" => calibrate(&options, &mut sink),
         "all" => {
             table1(&mut sink);
@@ -209,6 +222,7 @@ fn main() {
             pipeline(&options, &mut sink);
             stream_bench(&options, &mut sink);
             sweep_bench(&options, &mut sink);
+            ingest(&options, &mut sink);
             calibrate(&options, &mut sink);
         }
         other => usage(&format!("unknown command `{other}`")),
@@ -224,8 +238,8 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: harness [table1|table2|fig6|fig7|fig8|fig9|ablation|aggkinds|pipeline|stream|\
-         sweep|calibrate|all] [--max N] [--seeds N] [--kpct F] [--long-lived P] [--quick] \
-         [--test]"
+         sweep|ingest|calibrate|all] [--max N] [--seeds N] [--kpct F] [--long-lived P] \
+         [--quick] [--test]"
     );
     std::process::exit(2)
 }
@@ -671,7 +685,7 @@ fn pipeline(options: &Options, sink: &mut Sink) {
         return;
     }
     let root_path = repo_root().join("BENCH_pipeline.json");
-    match std::fs::write(&root_path, &json) {
+    match write_atomic(&root_path, &json) {
         Ok(()) => emit!(
             sink,
             "\n[pipeline timings written to {}]",
@@ -680,7 +694,7 @@ fn pipeline(options: &Options, sink: &mut Sink) {
         Err(e) => emit!(sink, "\n[could not write {}: {e}]", root_path.display()),
     }
     if let Ok(dir) = target_dir() {
-        let _ = std::fs::write(dir.join("BENCH_pipeline.json"), &json);
+        let _ = write_atomic(&dir.join("BENCH_pipeline.json"), &json);
     }
 }
 
@@ -815,7 +829,7 @@ fn stream_bench(options: &Options, sink: &mut Sink) {
         emit!(sink, "\n[--test: tracked BENCH_stream.json left untouched]");
     } else {
         let root_path = repo_root().join("BENCH_stream.json");
-        match std::fs::write(&root_path, &json) {
+        match write_atomic(&root_path, &json) {
             Ok(()) => emit!(
                 sink,
                 "\n[stream residency written to {}]",
@@ -825,7 +839,7 @@ fn stream_bench(options: &Options, sink: &mut Sink) {
         }
     }
     if let Ok(dir) = target_dir() {
-        let _ = std::fs::write(dir.join("BENCH_stream.json"), &json);
+        let _ = write_atomic(&dir.join("BENCH_stream.json"), &json);
     }
 }
 
@@ -1120,12 +1134,12 @@ fn sweep_bench(options: &Options, sink: &mut Sink) {
         return;
     }
     let root_path = repo_root().join("BENCH_sweep.json");
-    match std::fs::write(&root_path, &payload) {
+    match write_atomic(&root_path, &payload) {
         Ok(()) => emit!(sink, "\n[sweep timings written to {}]", root_path.display()),
         Err(e) => emit!(sink, "\n[could not write {}: {e}]", root_path.display()),
     }
     if let Ok(dir) = target_dir() {
-        let _ = std::fs::write(dir.join("BENCH_sweep.json"), &payload);
+        let _ = write_atomic(&dir.join("BENCH_sweep.json"), &payload);
     }
 }
 
@@ -1135,6 +1149,206 @@ fn sweep_bench(options: &Options, sink: &mut Sink) {
 /// rewrite the repo root's `calibration.json` profile. Each algorithm runs
 /// a workload whose unit count the model predicts in closed form; the
 /// measured wall-clock divided by that count is the per-unit cost.
+/// xorshift64: a tiny deterministic PRNG for the ingest mix — the harness
+/// must not depend on wall-clock entropy so reruns are reproducible.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Ingest: incremental aggregate maintenance on a mutable
+/// [`TemporalStore`] vs rebuilding the constant-interval series from
+/// scratch after every write, plus a 90/10 read/write mix served from
+/// MVCC snapshots. Writes `BENCH_ingest.json` (repo root + `target/`;
+/// `--test` keeps the tracked artifact untouched).
+fn ingest(options: &Options, sink: &mut Sink) {
+    use std::hint::black_box;
+    use tempagg_agg::{AggKind, DynAggregate};
+    use tempagg_core::{Value, ValueType};
+    use tempagg_store::TemporalStore;
+
+    let n = if options.smoke { 2_000 } else { 100_000 };
+    let patch_ops = if options.smoke { 64usize } else { 512 };
+    let recompute_iters = if options.smoke { 4usize } else { 16 };
+    let mixed_ops = if options.smoke { 1_000usize } else { 20_000 };
+    emit!(
+        sink,
+        "\n== Ingest: incremental cache patching vs full recompute, \
+         {n} random tuples =="
+    );
+
+    // lint: allow(no-unwrap): COUNT(*) over Int is a statically valid pairing
+    let count = DynAggregate::new(AggKind::CountStar, ValueType::Int).expect("COUNT(*) over Int");
+    // lint: allow(no-unwrap): SUM over Int is a statically valid pairing
+    let sum = DynAggregate::new(AggKind::Sum, ValueType::Int).expect("SUM over Int");
+    let aggs = [(count, None), (sum, Some(1usize))];
+
+    let config = WorkloadConfig::random(n).with_seed(7);
+    let lifespan = config.lifespan;
+    let relation = generate(&config);
+    let mut store = TemporalStore::new(relation);
+    for (agg, column) in aggs {
+        store.ensure_cache(agg, column);
+    }
+
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let random_row = |rng: &mut u64| {
+        let start = (xorshift(rng) % (lifespan as u64 - 1_000)) as i64;
+        let len = (xorshift(rng) % 1_000) as i64 + 1;
+        let salary = 20_000 + (xorshift(rng) % 80_001) as i64;
+        (
+            vec![Value::from("ingest"), Value::Int(salary)],
+            Interval::at(start, start + len),
+        )
+    };
+
+    // Patch path: single-tuple inserts against the warm store; every
+    // cached series is split/merged in place.
+    let started = Instant::now();
+    for _ in 0..patch_ops {
+        let (values, valid) = random_row(&mut rng);
+        store
+            .insert(values, valid)
+            // lint: allow(no-unwrap): generated rows match the workload schema and fit the timeline
+            .expect("generated row fits the store");
+    }
+    let patch_per_op = started.elapsed().as_secs_f64() / patch_ops as f64;
+
+    // Recompute path: after each insert, rebuild both series from scratch
+    // on a fresh store (construction untimed; only the builds are timed).
+    let mut rel2 = store.relation().clone();
+    let mut recompute_total = 0.0f64;
+    for _ in 0..recompute_iters {
+        let (values, valid) = random_row(&mut rng);
+        rel2.push(values, valid)
+            // lint: allow(no-unwrap): generated rows match the workload schema and fit the timeline
+            .expect("generated row fits the relation");
+        let fresh = TemporalStore::new(rel2.clone());
+        let started = Instant::now();
+        for (agg, column) in aggs {
+            fresh.ensure_cache(agg, column);
+        }
+        recompute_total += started.elapsed().as_secs_f64();
+        black_box(fresh.cache_stats());
+    }
+    let recompute_per_op = recompute_total / recompute_iters as f64;
+    let speedup = recompute_per_op / patch_per_op.max(f64::EPSILON);
+
+    // Correctness gate: the patched series must be byte-identical to a
+    // from-scratch rebuild over the same tuples.
+    let rebuilt = TemporalStore::new(store.relation().clone());
+    for (agg, column) in aggs {
+        assert_eq!(
+            store.snapshot_or_build(agg, column).entries(),
+            rebuilt.snapshot_or_build(agg, column).entries(),
+            "patched {} series diverged from a from-scratch rebuild",
+            agg.kind().name()
+        );
+    }
+    if !options.smoke {
+        assert!(
+            speedup >= 10.0,
+            "incremental patching must be >= 10x faster than full recompute \
+             (measured {speedup:.1}x)"
+        );
+    }
+
+    // Mixed 90/10 read/write: reads pin an MVCC snapshot of the COUNT(*)
+    // series, writes insert a fresh tuple and patch every cache.
+    let mut resident = 0usize;
+    let mut writes = 0usize;
+    let started = Instant::now();
+    for _ in 0..mixed_ops {
+        if xorshift(&mut rng) % 10 == 0 {
+            let (values, valid) = random_row(&mut rng);
+            store
+                .insert(values, valid)
+                // lint: allow(no-unwrap): generated rows match the workload schema and fit the timeline
+                .expect("generated row fits the store");
+            writes += 1;
+        } else {
+            let snapshot = store
+                .snapshot(AggKind::CountStar, None)
+                // lint: allow(no-unwrap): the COUNT(*) cache was warmed above and is never dropped
+                .expect("COUNT(*) cache is warm");
+            resident += black_box(snapshot.len());
+        }
+    }
+    let mixed_secs = started.elapsed().as_secs_f64();
+    let mixed_ops_per_sec = mixed_ops as f64 / mixed_secs.max(f64::EPSILON);
+    black_box(resident);
+
+    let stats = store.cache_stats();
+    let rows = vec![
+        vec![
+            "patch (per insert)".to_owned(),
+            format!("{:.3} µs", patch_per_op * 1e6),
+        ],
+        vec![
+            "recompute (per insert)".to_owned(),
+            format!("{:.3} µs", recompute_per_op * 1e6),
+        ],
+        vec!["patch speedup".to_owned(), format!("{speedup:.1}x")],
+        vec![
+            format!("mixed 90/10 ({mixed_ops} ops, {writes} writes)"),
+            format!("{mixed_ops_per_sec:.0} ops/s"),
+        ],
+    ];
+    print_table(
+        sink,
+        "incremental maintenance vs recompute (series verified identical)",
+        &["mode".to_owned(), "measured".to_owned()],
+        &rows,
+    );
+    emit!(
+        sink,
+        "[cache stats: {} caches, {} runs, {} patched runs, {} recomputed windows]",
+        stats.caches,
+        stats.runs,
+        stats.patched_runs,
+        stats.recomputed_windows
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"ingest\",\n  \"tuples\": {n},\n  \
+         \"patch_ops\": {patch_ops},\n  \"patch_seconds_per_op\": {patch_per_op:.9},\n  \
+         \"recompute_iterations\": {recompute_iters},\n  \
+         \"recompute_seconds_per_op\": {recompute_per_op:.9},\n  \
+         \"patch_speedup\": {speedup:.3},\n  \"mixed_ops\": {mixed_ops},\n  \
+         \"mixed_write_ops\": {writes},\n  \"mixed_read_pct\": 90,\n  \
+         \"mixed_ops_per_sec\": {mixed_ops_per_sec:.1},\n  \"cache_stats\": {{\n    \
+         \"caches\": {},\n    \"runs\": {},\n    \"patched_runs\": {},\n    \
+         \"recomputed_windows\": {},\n    \"live_versions\": {},\n    \
+         \"pinned_versions\": {}\n  }}\n}}\n",
+        stats.caches,
+        stats.runs,
+        stats.patched_runs,
+        stats.recomputed_windows,
+        stats.live_versions,
+        stats.pinned_versions
+    );
+    if options.smoke {
+        emit!(sink, "\n[--test: tracked BENCH_ingest.json left untouched]");
+        return;
+    }
+    let root_path = repo_root().join("BENCH_ingest.json");
+    match write_atomic(&root_path, &json) {
+        Ok(()) => emit!(
+            sink,
+            "\n[ingest timings written to {}]",
+            root_path.display()
+        ),
+        Err(e) => emit!(sink, "\n[could not write {}: {e}]", root_path.display()),
+    }
+    if let Ok(dir) = target_dir() {
+        let _ = write_atomic(&dir.join("BENCH_ingest.json"), &json);
+    }
+}
+
 fn calibrate(options: &Options, sink: &mut Sink) {
     use tempagg_plan::Calibration;
 
@@ -1206,7 +1420,7 @@ fn calibrate(options: &Options, sink: &mut Sink) {
         return;
     }
     let path = repo_root().join("calibration.json");
-    match std::fs::write(&path, cal.emit()) {
+    match write_atomic(&path, &cal.emit()) {
         Ok(()) => emit!(
             sink,
             "\n[calibration profile written to {}]",

@@ -13,6 +13,8 @@
 //!   TSQL2-style coalescing;
 //! * [`SeriesSink`] — streaming emission of those results at bounded
 //!   memory ([`ChunkedSink`], [`CountingSink`], [`StitchSink`]);
+//! * [`Epoch`], [`VersionedSeries`] — write-generation stamps and an MVCC
+//!   chain of immutable series snapshots for readers-during-writes;
 //! * [`sortedness`] — the paper's *k-order* and *k-ordered-percentage*
 //!   metrics (Section 5.2, Table 2).
 
@@ -23,6 +25,7 @@ pub mod algebra;
 mod bitemporal;
 mod chunk;
 pub mod coalesce;
+mod epoch;
 mod error;
 mod events;
 mod granularity;
@@ -35,9 +38,11 @@ pub mod sortedness;
 mod timestamp;
 mod tuple;
 mod value;
+mod version;
 
 pub use bitemporal::{BitemporalRelation, Version};
 pub use chunk::{Chunk, ChunkIter, DEFAULT_CHUNK_CAPACITY};
+pub use epoch::Epoch;
 pub use error::{Result, TempAggError};
 pub use events::{Event, EventRelation, WindowAlignment};
 pub use granularity::{Calendar, TimeUnit};
@@ -49,3 +54,4 @@ pub use sink::{ChunkedSink, CountingSink, SeriesSink, StitchSink};
 pub use timestamp::Timestamp;
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};
+pub use version::{SeriesVersion, VersionedSeries};

@@ -1,6 +1,6 @@
 //! In-memory temporal relations.
 
-use crate::error::Result;
+use crate::error::{Result, TempAggError};
 use crate::interval::Interval;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
@@ -52,6 +52,19 @@ impl TemporalRelation {
         self.schema.check(tuple.values())?;
         self.tuples.push(tuple);
         Ok(())
+    }
+
+    /// Replace the tuple at `index` in place after checking the new tuple
+    /// against the schema, returning the old tuple. O(1); used by the
+    /// mutable store's UPDATE path so a single-tuple update never rebuilds
+    /// the relation.
+    pub fn replace(&mut self, index: usize, tuple: Tuple) -> Result<Tuple> {
+        self.schema.check(tuple.values())?;
+        let slot = self
+            .tuples
+            .get_mut(index)
+            .ok_or_else(|| TempAggError::internal(format!("tuple index {index} out of bounds")))?;
+        Ok(std::mem::replace(slot, tuple))
     }
 
     pub fn len(&self) -> usize {

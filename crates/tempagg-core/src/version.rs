@@ -1,0 +1,156 @@
+//! A multi-version chain of immutable, epoch-stamped series snapshots.
+//!
+//! This is the MVCC primitive behind the mutable store's cached aggregate
+//! series (the `version_store` pattern): the *working* series lives
+//! elsewhere and is patched in place by writes; readers never see it.
+//! Instead, a reader asks for a snapshot at the current [`Epoch`] and
+//! receives an `Arc<Series<T>>` — an immutable version materialized at
+//! most once per epoch and shared by every reader of that epoch. Holding
+//! the `Arc` *pins* the version: concurrent writes publish newer versions
+//! but never mutate or free a pinned one, so cursors iterating a snapshot
+//! stay valid for as long as they keep it alive.
+//!
+//! Garbage collection is by reference count, not by explicit unpin
+//! bookkeeping: at each publish, superseded versions whose only owner is
+//! the chain itself (`Arc::strong_count == 1`) are dropped. The newest
+//! version is always retained as the fast path for the next same-epoch
+//! reader.
+
+use crate::epoch::Epoch;
+use crate::series::Series;
+use std::sync::Arc;
+
+/// One immutable published version of a series.
+#[derive(Clone, Debug)]
+pub struct SeriesVersion<T> {
+    /// The write epoch this version reflects.
+    pub epoch: Epoch,
+    /// The immutable series; shared with every reader pinning this epoch.
+    pub series: Arc<Series<T>>,
+}
+
+/// An epoch-ordered chain of published [`SeriesVersion`]s.
+#[derive(Clone, Debug, Default)]
+pub struct VersionedSeries<T> {
+    /// Ascending by epoch; the last entry is the newest published version.
+    versions: Vec<SeriesVersion<T>>,
+}
+
+impl<T> VersionedSeries<T> {
+    pub fn new() -> VersionedSeries<T> {
+        VersionedSeries {
+            versions: Vec::new(),
+        }
+    }
+
+    /// The newest published version, if any.
+    pub fn current(&self) -> Option<&SeriesVersion<T>> {
+        self.versions.last()
+    }
+
+    /// Publish an immutable snapshot for `epoch`, collecting unpinned
+    /// older versions, and return the shared handle.
+    ///
+    /// Epochs must be published in ascending order; publishing the same
+    /// epoch twice replaces the version (the previous one stays alive for
+    /// readers already pinning it).
+    pub fn publish(&mut self, epoch: Epoch, series: Series<T>) -> Arc<Series<T>> {
+        let shared = Arc::new(series);
+        self.versions.push(SeriesVersion {
+            epoch,
+            series: Arc::clone(&shared),
+        });
+        self.collect_garbage();
+        shared
+    }
+
+    /// Snapshot at `epoch`: reuse the current version when it is already
+    /// at that epoch, otherwise materialize (via `materialize`) and
+    /// publish a new one.
+    pub fn snapshot_at(
+        &mut self,
+        epoch: Epoch,
+        materialize: impl FnOnce() -> Series<T>,
+    ) -> Arc<Series<T>> {
+        match self.current() {
+            Some(version) if version.epoch == epoch => Arc::clone(&version.series),
+            _ => self.publish(epoch, materialize()),
+        }
+    }
+
+    /// Drop superseded versions no reader pins. The newest version is
+    /// always kept so the next current-epoch snapshot is an `Arc` clone.
+    pub fn collect_garbage(&mut self) {
+        let keep_from = self.versions.len().saturating_sub(1);
+        let mut index = 0;
+        self.versions.retain(|version| {
+            let keep = index >= keep_from || Arc::strong_count(&version.series) > 1;
+            index += 1;
+            keep
+        });
+    }
+
+    /// Number of versions currently retained (pinned plus newest).
+    pub fn live_versions(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Number of retained versions some reader still pins.
+    pub fn pinned_versions(&self) -> usize {
+        self.versions
+            .iter()
+            .filter(|v| Arc::strong_count(&v.series) > 1)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    fn series(value: i64) -> Series<i64> {
+        let mut s = Series::new();
+        s.push(Interval::TIMELINE, value);
+        s
+    }
+
+    #[test]
+    fn snapshot_reuses_current_epoch() {
+        let mut chain: VersionedSeries<i64> = VersionedSeries::new();
+        let a = chain.snapshot_at(Epoch::ZERO, || series(1));
+        let b = chain.snapshot_at(Epoch::ZERO, || unreachable!("already published"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(chain.live_versions(), 1);
+    }
+
+    #[test]
+    fn unpinned_versions_are_collected_pinned_survive() {
+        let mut chain: VersionedSeries<i64> = VersionedSeries::new();
+        let pinned = chain.snapshot_at(Epoch::ZERO, || series(1));
+        // Publish two newer epochs without pinning the middle one.
+        let e1 = Epoch::ZERO.next();
+        let middle = chain.snapshot_at(e1, || series(2));
+        drop(middle);
+        let e2 = e1.next();
+        let newest = chain.snapshot_at(e2, || series(3));
+        // Epoch 0 is pinned, epoch 1 was collected, epoch 2 is newest.
+        assert_eq!(chain.live_versions(), 2);
+        assert_eq!(chain.pinned_versions(), 2);
+        assert_eq!(pinned.value_at(crate::Timestamp::ORIGIN), Some(&1));
+        assert_eq!(newest.value_at(crate::Timestamp::ORIGIN), Some(&3));
+        drop(pinned);
+        chain.collect_garbage();
+        assert_eq!(chain.live_versions(), 1);
+    }
+
+    #[test]
+    fn newest_version_is_never_collected() {
+        let mut chain: VersionedSeries<i64> = VersionedSeries::new();
+        let snap = chain.snapshot_at(Epoch::ZERO, || series(7));
+        drop(snap);
+        chain.collect_garbage();
+        assert_eq!(chain.live_versions(), 1);
+        assert_eq!(chain.pinned_versions(), 0);
+    }
+}

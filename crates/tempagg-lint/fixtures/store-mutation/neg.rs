@@ -1,0 +1,25 @@
+//@ crate: tempagg-sql
+//! Negative fixture for `store-mutation`: writes routed through the
+//! store, justified scratch relations, and plain idents all stay clean.
+
+pub fn ingest_through_store(store: &mut TemporalStore, tuple: Tuple) -> Result<(), String> {
+    store.insert_tuple(tuple).map_err(|e| e.to_string())
+}
+
+pub fn delete_through_store(store: &mut TemporalStore) -> Result<usize, String> {
+    store
+        .delete_where(|t| t.valid().start() > cutoff())
+        .map_err(|e| e.to_string())
+}
+
+pub fn scratch_relation(schema: SchemaHandle, tuple: Tuple) -> Result<(), String> {
+    let mut scratch = TemporalRelation::new(schema);
+    // lint: allow(store-mutation): scratch per-query relation, not a cataloged store
+    scratch.push_tuple(tuple).map_err(|e| e.to_string())
+}
+
+pub fn idents_are_not_calls() {
+    let push_tuple = 1;
+    let sort_by_time = 2;
+    consume(push_tuple, sort_by_time);
+}

@@ -1,0 +1,15 @@
+//@ crate: tempagg-sql
+//! Positive fixture for `store-mutation`: direct `TemporalRelation`
+//! mutation in the SQL layer, bypassing the store's incremental cache
+//! maintenance and write epoch.
+
+pub fn ingest_behind_the_stores_back(
+    relation: &mut TemporalRelation,
+    tuple: Tuple,
+    perm: &[usize],
+) -> Result<(), String> {
+    relation.push_tuple(tuple).map_err(|e| e.to_string())?;
+    relation.sort_by_time();
+    relation.permute(perm);
+    Ok(())
+}

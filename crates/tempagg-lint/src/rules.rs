@@ -29,6 +29,12 @@
 //!   `SeriesSink` streaming path (`finish_into` / `emit_ready`) so the
 //!   executor never holds a second materialized copy of the result.
 //!   Justify a deliberate exception with an allow comment.
+//! * `store-mutation` — in `tempagg-sql`, no direct `TemporalRelation`
+//!   mutation (`.push_tuple(` / `.sort_by_time(` / `.permute(`): writes
+//!   must flow through `TemporalStore` (`insert` / `delete_where` /
+//!   `update_where`) so cached aggregate series and the write epoch stay
+//!   consistent. Scratch relations that never enter the catalog justify
+//!   with an allow comment.
 //! * `forbid-unsafe` — every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
 
@@ -78,6 +84,15 @@ const TIME_ARITH_CRATE: &str = "tempagg-core";
 /// Panicking macros covered by `no-unwrap`.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
+/// The crate whose relation writes must flow through `TemporalStore`.
+const STORE_CRATE: &str = "tempagg-sql";
+
+/// Mutating `TemporalRelation` methods that bypass the store's incremental
+/// cache maintenance (covered by `store-mutation`). `push` / `retain` /
+/// `replace` are deliberately absent — those names collide with `Vec` and
+/// `str` methods all over the crate.
+const STORE_BYPASS_MUTATORS: &[&str] = &["push_tuple", "sort_by_time", "permute"];
+
 /// Run every applicable rule over one file's tokens.
 pub fn check_file(ctx: FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -103,6 +118,9 @@ pub fn check_file(ctx: FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> 
     }
     if ctx.is_exec_path {
         no_materialize_in_exec(&code, &in_test, &allows, &mut out);
+    }
+    if ctx.crate_name == STORE_CRATE {
+        store_mutation(&code, &in_test, &allows, &mut out);
     }
     if ctx.is_crate_root {
         forbid_unsafe(&code, &mut out);
@@ -447,6 +465,44 @@ fn no_materialize_in_exec(
     }
 }
 
+fn store_mutation(
+    code: &[&Token<'_>],
+    in_test: &[bool],
+    allows: &AllowComments,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = code[i];
+        if t.kind != TokenKind::Ident || !STORE_BYPASS_MUTATORS.contains(&t.text) {
+            continue;
+        }
+        // `.push_tuple(` / `.sort_by_time(` / `.permute(` method calls
+        // only; idents with those names in paths or definitions stay
+        // legal.
+        if i > 0
+            && code[i - 1].is_punct('.')
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('('))
+        {
+            report(
+                allows,
+                out,
+                "store-mutation",
+                t.line,
+                format!(
+                    "`.{}(` mutates a relation behind the store's back — route SQL-layer \
+                     writes through TemporalStore (insert/delete_where/update_where) so \
+                     cached series and the write epoch stay consistent, or justify a \
+                     scratch relation with `// lint: allow(store-mutation): <why>`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
 /// `thread::` members that create OS threads.
 const THREAD_SPAWNERS: &[&str] = &["spawn", "scope", "Builder"];
 
@@ -720,6 +776,43 @@ mod tests {
         assert!(check("tempagg-core", true, "#![forbid(unsafe_code)]\npub mod x;").is_empty());
         // Non-root files do not need the attribute.
         assert!(check("tempagg-core", false, "pub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn store_mutation_flagged_in_sql_crate() {
+        for call in [
+            "relation.push_tuple(t)",
+            "relation.sort_by_time()",
+            "relation.permute(&perm)",
+        ] {
+            let vs = check("tempagg-sql", false, &format!("fn f() {{ {call}; }}"));
+            assert_eq!(rules(&vs), vec!["store-mutation"], "for `{call}`");
+            assert!(vs[0].message.contains("TemporalStore"), "for `{call}`");
+        }
+    }
+
+    #[test]
+    fn store_mutation_other_crates_and_non_calls_are_legal() {
+        // The rule only gates the SQL layer; everyone else owns their
+        // relations outright.
+        assert!(check("tempagg-plan", false, "fn f() { r.push_tuple(t); }").is_empty());
+        // Idents without a method call are not violations.
+        assert!(check(
+            "tempagg-sql",
+            false,
+            "fn f() { let push_tuple = 1; g(push_tuple); }"
+        )
+        .is_empty());
+        // Store-routed writes are the sanctioned path.
+        assert!(check("tempagg-sql", false, "fn f() { store.insert(v, iv); }").is_empty());
+    }
+
+    #[test]
+    fn store_mutation_allow_comment_and_tests_are_exempt() {
+        let src = "fn f() {\n    // lint: allow(store-mutation): scratch per-query relation, not a cataloged store\n    r.push_tuple(t);\n}";
+        assert!(check("tempagg-sql", false, src).is_empty());
+        let src = "#[cfg(test)]\nmod tests { fn t() { r.push_tuple(t); } }";
+        assert!(check("tempagg-sql", false, src).is_empty());
     }
 
     fn check_exec(src: &str) -> Vec<Violation> {

@@ -17,13 +17,15 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use tempagg_lint::{check_source, FileContext};
 
-/// The five tree rules shipped by `analysis.rs`, i.e. the fixture dirs.
+/// The fixture dirs: the five tree rules shipped by `analysis.rs` plus
+/// the crate-gated token rule `store-mutation` from `rules.rs`.
 const RULES: &[&str] = &[
     "sink-order",
     "seam-protocol",
     "no-shared-mut-capture",
     "no-alloc-in-scan",
     "no-unchecked-index",
+    "store-mutation",
 ];
 
 fn fixture_root() -> PathBuf {

@@ -319,6 +319,15 @@ pub fn estimate(
             }
             (cpu, io, window_nodes as usize * node_bytes)
         }
+        AlgorithmChoice::CachedSeries => match stats.cached_series {
+            // Serving reads the already-maintained runs: no relation scan,
+            // no algorithm state — just one pass over the cached series.
+            Some(info) => (info.runs.max(1) as f64 * model.sweep_event_visit, 0.0, 0),
+            // No cache exists; keep the estimate finite but prohibitive so
+            // direct calls still rank cleanly (selection never offers this
+            // candidate without a cache).
+            None => (n * model.tree_node_visit * 1e9, scan_io, 0),
+        },
     };
     CostEstimate {
         choice,
@@ -451,7 +460,11 @@ pub fn plan_by_cost(
 /// sortedness and the aggregate's [`SweepClass`] (its retraction
 /// behaviour). `Approximate` aggregates — floating-point sums and
 /// averages, variance — never sweep, because retracting their active state
-/// drifts; everything else competes on calibrated cost.
+/// drifts; everything else competes on calibrated cost. When
+/// [`RelationStats::cached_series`] reports a store-maintained cache of
+/// the queried aggregate, [`AlgorithmChoice::CachedSeries`] joins the
+/// pool — serving an MVCC snapshot costs one pass over the cached runs
+/// and zero I/O, so it wins whenever a cache exists.
 ///
 /// ```
 /// use tempagg_agg::SweepClass;
@@ -483,7 +496,17 @@ pub fn choose_algorithm(
     if sweep_eligible {
         pool.push(AlgorithmChoice::Sweep);
     }
+    if stats.cached_series.is_some() {
+        pool.push(AlgorithmChoice::CachedSeries);
+    }
     let mut plan = rank(pool, stats, config, model, state_model_bytes, class);
+    if let Some(info) = stats.cached_series {
+        plan.rationale.push(format!(
+            "store maintains this aggregate incrementally: {} cached runs at epoch {} can be \
+             served as an MVCC snapshot without scanning",
+            info.runs, info.epoch
+        ));
+    }
     plan.rationale.push(match class {
         SweepClass::Delta => "aggregate retracts exactly (delta class): sweep eligible".into(),
         SweepClass::Ordered => {
@@ -773,6 +796,45 @@ mod tests {
         );
         assert!(p.rationale.iter().any(|r| r.contains("endpoint-sweep:")));
         assert!(p.rationale.iter().any(|r| r.contains("delta class")));
+    }
+
+    #[test]
+    fn cached_series_wins_whenever_a_cache_exists() {
+        use crate::stats::CachedSeriesInfo;
+        // A maintained cache beats every scanning algorithm: zero I/O and
+        // one pass over the runs, against at least one full relation scan.
+        for n in [100usize, 10_000, 1_000_000] {
+            for ordering in [OrderingKnowledge::Unordered, OrderingKnowledge::Sorted] {
+                let s = stats(n, ordering).with_cached_series(CachedSeriesInfo {
+                    runs: 2 * n,
+                    epoch: 7,
+                });
+                let p = choose_algorithm(
+                    &s,
+                    SweepClass::Delta,
+                    &PlannerConfig::default(),
+                    &CostModel::default(),
+                    4,
+                );
+                assert_eq!(p.choice, AlgorithmChoice::CachedSeries, "n = {n}");
+                assert_eq!(p.parallelism, 1, "serving a snapshot never partitions");
+                assert!(p.rationale.iter().any(|r| r.contains("epoch 7")));
+            }
+        }
+    }
+
+    #[test]
+    fn no_cache_means_no_cached_series_candidate() {
+        let s = stats(100_000, OrderingKnowledge::Unordered);
+        let p = choose_algorithm(
+            &s,
+            SweepClass::Delta,
+            &PlannerConfig::default(),
+            &CostModel::default(),
+            4,
+        );
+        assert_ne!(p.choice, AlgorithmChoice::CachedSeries);
+        assert!(!p.rationale.iter().any(|r| r.contains("cached-series:")));
     }
 
     #[test]

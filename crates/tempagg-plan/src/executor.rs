@@ -19,9 +19,36 @@ use tempagg_algo::{
     PartitionedAggregator, SweepAggregator, TemporalAggregator,
 };
 use tempagg_core::{
-    Chunk, ChunkedSink, Interval, Result, Series, SeriesEntry, TemporalRelation, Timestamp, Tuple,
-    DEFAULT_CHUNK_CAPACITY,
+    Chunk, ChunkedSink, Interval, Result, Series, SeriesEntry, TempAggError, TemporalRelation,
+    Timestamp, Tuple, DEFAULT_CHUNK_CAPACITY,
 };
+
+/// The error every executor entry point returns for a
+/// [`AlgorithmChoice::CachedSeries`] plan: the executor scans relations,
+/// it does not hold store snapshots.
+fn cached_series_is_not_executable() -> TempAggError {
+    TempAggError::internal(
+        "cached-series plans are served from a store snapshot, not executed over the relation",
+    )
+}
+
+/// How the store's aggregate caches participated in answering a query.
+/// All zeros/false when the query ran an algorithm over the relation
+/// without store involvement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    /// The result was served from an MVCC snapshot of a cached series —
+    /// no relation scan ran at all.
+    pub served_from_cache: bool,
+    /// Constant-interval runs patched in place by incremental maintenance
+    /// since the store last reported.
+    pub patched_runs: u64,
+    /// Dirty-window sweep recomputes (the Approximate-class fallback).
+    pub recomputed_windows: u64,
+    /// Cached series discarded wholesale (schema changes, explicit
+    /// invalidation) rather than patched.
+    pub invalidations: u64,
+}
 
 /// What happened during execution, for reporting and regression checks.
 #[derive(Clone, Debug)]
@@ -51,6 +78,10 @@ pub struct ExecutionReport {
     /// Result chunks handed to the streaming consumer (0 when
     /// materialized).
     pub emitted_chunks: usize,
+    /// Store cache participation (all-default when no store was involved;
+    /// the store's query layer fills this in when it serves or maintains
+    /// caches around an execution).
+    pub cache: CacheReport,
 }
 
 /// Feed the whole relation through `push_batch` in bounded chunks.
@@ -122,6 +153,7 @@ fn partitioned_name(choice: AlgorithmChoice) -> &'static str {
         AlgorithmChoice::LinkedList => "partitioned linked-list",
         AlgorithmChoice::AggregationTree => "partitioned aggregation-tree",
         AlgorithmChoice::Sweep => "partitioned endpoint-sweep",
+        AlgorithmChoice::CachedSeries => "cached-series",
         AlgorithmChoice::KOrderedTree { presort: true, .. } => "partitioned sort + k-ordered-tree",
         AlgorithmChoice::KOrderedTree { presort: false, .. } => "partitioned k-ordered-tree",
     }
@@ -195,6 +227,7 @@ where
                 })?;
                 drive_partitioned(par, relation, &extract)?
             }
+            AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 // Probe once so an invalid k errors before partitions build.
                 KOrderedAggregationTree::with_domain(agg.clone(), k, domain)?;
@@ -235,6 +268,7 @@ where
                 relation,
                 &extract,
             )?,
+            AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 let aggregator = KOrderedAggregationTree::with_domain(agg, k, domain)?;
                 if presort {
@@ -260,6 +294,7 @@ where
         // Materialized execution holds the full series before returning.
         peak_resident_result_entries: series.len(),
         emitted_chunks: 0,
+        cache: CacheReport::default(),
     };
     Ok((series, report))
 }
@@ -398,6 +433,7 @@ where
                 })?;
                 drive_partitioned_streaming(par, relation, &extract, chunk_capacity, consumer)?
             }
+            AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 KOrderedAggregationTree::with_domain(agg.clone(), k, domain)?;
                 let par = PartitionedAggregator::with_seams(domain, seams, |sub| {
@@ -438,6 +474,7 @@ where
                 chunk_capacity,
                 consumer,
             )?,
+            AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 let aggregator = KOrderedAggregationTree::with_domain(agg, k, domain)?;
                 if presort {
@@ -462,6 +499,7 @@ where
         partitions,
         peak_resident_result_entries: stats.peak_resident,
         emitted_chunks: stats.chunks_emitted,
+        cache: CacheReport::default(),
     })
 }
 
@@ -765,6 +803,22 @@ mod tests {
             "peak {} should be chunk-bounded",
             report.peak_resident_result_entries
         );
+    }
+
+    #[test]
+    fn cached_series_plans_are_not_executable() {
+        let relation = employed_relation();
+        for parallelism in [1usize, 4] {
+            let p = Plan {
+                parallelism,
+                ..serial_plan(AlgorithmChoice::CachedSeries)
+            };
+            let err = execute(&p, Count, &relation, |_| (), Interval::TIMELINE);
+            assert!(err.is_err(), "parallelism {parallelism}");
+            let err =
+                execute_streaming(&p, Count, &relation, |_| (), Interval::TIMELINE, 64, |_| {});
+            assert!(err.is_err(), "streaming, parallelism {parallelism}");
+        }
     }
 
     #[test]

@@ -24,11 +24,11 @@ mod planner;
 mod stats;
 
 pub use cost::{choose_algorithm, estimate, plan_by_cost, Calibration, CostEstimate, CostModel};
-pub use executor::{evaluate_auto, execute, execute_streaming, ExecutionReport};
+pub use executor::{evaluate_auto, execute, execute_streaming, CacheReport, ExecutionReport};
 pub use planner::{
     choose_parallelism, estimate_ktree_nodes, estimate_list_cells, estimate_tree_nodes, plan,
     AlgorithmChoice, Plan, PlannerConfig,
 };
-pub use stats::{OrderingKnowledge, RelationStats};
+pub use stats::{CachedSeriesInfo, OrderingKnowledge, RelationStats};
 pub use tempagg_agg::SweepClass;
 pub use tempagg_algo::PartitionReport;

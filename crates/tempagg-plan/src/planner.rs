@@ -32,6 +32,13 @@ pub enum AlgorithmChoice {
     /// (`SweepAggregate`) aggregate; the rule-based Section 6.3 planner
     /// never picks it — [`crate::choose_algorithm`] does, by cost.
     Sweep,
+    /// Serve an MVCC snapshot of a store-maintained aggregate cache: no
+    /// relation scan at all, just one pass over the cached
+    /// constant-interval runs. Only a candidate when
+    /// [`RelationStats::cached_series`](crate::RelationStats) reports a
+    /// cache for the queried aggregate; the executor never runs this
+    /// choice itself — the store's query layer serves it.
+    CachedSeries,
     /// `presort`: sort the relation by time first (k is then 1).
     KOrderedTree {
         k: usize,
@@ -45,6 +52,7 @@ impl AlgorithmChoice {
             AlgorithmChoice::LinkedList => "linked-list",
             AlgorithmChoice::AggregationTree => "aggregation-tree",
             AlgorithmChoice::Sweep => "endpoint-sweep",
+            AlgorithmChoice::CachedSeries => "cached-series",
             AlgorithmChoice::KOrderedTree { presort: true, .. } => "sort + k-ordered-tree",
             AlgorithmChoice::KOrderedTree { presort: false, .. } => "k-ordered-tree",
         }

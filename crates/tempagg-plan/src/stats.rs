@@ -26,6 +26,19 @@ pub enum OrderingKnowledge {
     Unknown,
 }
 
+/// What the planner knows about a store-maintained aggregate cache for
+/// the queried aggregate: when present, the query can be answered from an
+/// MVCC snapshot of the cached constant-interval series without scanning
+/// the relation at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CachedSeriesInfo {
+    /// Constant-interval runs in the cached series (the cost of serving
+    /// is one pass over them).
+    pub runs: usize,
+    /// The store's write epoch the cache is current at.
+    pub epoch: u64,
+}
+
 /// Statistics describing one relation for planning purposes.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RelationStats {
@@ -45,6 +58,12 @@ pub struct RelationStats {
     /// restricts it (e.g. results wanted for a single year at day
     /// granularity). Small values favour the linked list (Section 6.3).
     pub expected_result_intervals: Option<usize>,
+    /// A store-maintained cache of this exact aggregate, when one exists.
+    /// [`choose_algorithm`](crate::choose_algorithm) then adds
+    /// [`AlgorithmChoice::CachedSeries`](crate::AlgorithmChoice) — serving
+    /// an MVCC snapshot for the cost of one pass over its runs — as a
+    /// candidate.
+    pub cached_series: Option<CachedSeriesInfo>,
 }
 
 impl RelationStats {
@@ -56,6 +75,7 @@ impl RelationStats {
             long_lived_fraction: 0.0,
             unique_timestamps: None,
             expected_result_intervals: None,
+            cached_series: None,
         }
     }
 
@@ -99,6 +119,7 @@ impl RelationStats {
             long_lived_fraction: long_lived,
             unique_timestamps: Some(ts.len()),
             expected_result_intervals: None,
+            cached_series: None,
         }
     }
 
@@ -116,6 +137,12 @@ impl RelationStats {
     /// Builder-style setter for ordering knowledge.
     pub fn with_ordering(mut self, ordering: OrderingKnowledge) -> RelationStats {
         self.ordering = ordering;
+        self
+    }
+
+    /// Builder-style setter for an available aggregate cache.
+    pub fn with_cached_series(mut self, info: CachedSeriesInfo) -> RelationStats {
+        self.cached_series = Some(info);
         self
     }
 }

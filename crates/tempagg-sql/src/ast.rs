@@ -112,6 +112,20 @@ pub enum Statement {
         relation: String,
         rows: Vec<(Vec<Value>, Interval)>,
     },
+    /// `DELETE FROM name [WHERE …]` — removes qualifying tuples and
+    /// incrementally patches any maintained aggregate caches.
+    Delete {
+        relation: String,
+        conditions: Vec<Condition>,
+        valid_window: Option<Interval>,
+    },
+    /// `UPDATE name SET col = lit, … [WHERE …]`.
+    Update {
+        relation: String,
+        assignments: Vec<(String, Value)>,
+        conditions: Vec<Condition>,
+        valid_window: Option<Interval>,
+    },
 }
 
 /// A parsed query.

@@ -1,12 +1,19 @@
 //! A tiny in-memory catalog of named temporal relations.
+//!
+//! Each relation is held inside a [`TemporalStore`], so DML statements
+//! (INSERT / DELETE / UPDATE) incrementally maintain any aggregate caches
+//! and bump the store's write epoch, while queries can serve MVCC
+//! snapshots of cached series instead of re-scanning.
 
 use std::collections::BTreeMap;
 use tempagg_core::{Result, TempAggError, TemporalRelation};
+use tempagg_store::TemporalStore;
 
-/// Named relations available to queries.
+/// Named relations available to queries, each wrapped in its mutable
+/// [`TemporalStore`].
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    relations: BTreeMap<String, TemporalRelation>,
+    stores: BTreeMap<String, TemporalStore>,
 }
 
 impl Catalog {
@@ -14,43 +21,53 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register (or replace) a relation under a name. Lookup is
-    /// case-insensitive, as SQL identifiers are.
+    /// Register (or replace) a relation under a name, wrapping it in a
+    /// fresh store. Lookup is case-insensitive, as SQL identifiers are.
     pub fn register(&mut self, name: impl Into<String>, relation: TemporalRelation) {
-        self.relations
-            .insert(name.into().to_ascii_lowercase(), relation);
+        self.register_store(name, TemporalStore::new(relation));
+    }
+
+    /// Register (or replace) an existing store under a name, keeping any
+    /// caches it has already built.
+    pub fn register_store(&mut self, name: impl Into<String>, store: TemporalStore) {
+        self.stores.insert(name.into().to_ascii_lowercase(), store);
     }
 
     /// Look up a relation.
     pub fn get(&self, name: &str) -> Result<&TemporalRelation> {
-        self.relations
+        self.store(name).map(TemporalStore::relation)
+    }
+
+    /// Look up a relation's store.
+    pub fn store(&self, name: &str) -> Result<&TemporalStore> {
+        self.stores
             .get(&name.to_ascii_lowercase())
             .ok_or_else(|| TempAggError::UnknownRelation { name: name.into() })
     }
 
-    /// Look up a relation mutably (for INSERT).
-    pub fn get_mut(&mut self, name: &str) -> Result<&mut TemporalRelation> {
-        self.relations
+    /// Look up a relation's store mutably (for INSERT / DELETE / UPDATE).
+    pub fn store_mut(&mut self, name: &str) -> Result<&mut TemporalStore> {
+        self.stores
             .get_mut(&name.to_ascii_lowercase())
             .ok_or_else(|| TempAggError::UnknownRelation { name: name.into() })
     }
 
-    /// Remove a relation, returning it if present.
-    pub fn deregister(&mut self, name: &str) -> Option<TemporalRelation> {
-        self.relations.remove(&name.to_ascii_lowercase())
+    /// Remove a relation, returning its store if present.
+    pub fn deregister(&mut self, name: &str) -> Option<TemporalStore> {
+        self.stores.remove(&name.to_ascii_lowercase())
     }
 
     /// Registered names, sorted.
     pub fn names(&self) -> Vec<&str> {
-        self.relations.keys().map(String::as_str).collect()
+        self.stores.keys().map(String::as_str).collect()
     }
 
     pub fn len(&self) -> usize {
-        self.relations.len()
+        self.stores.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.relations.is_empty()
+        self.stores.is_empty()
     }
 }
 
@@ -81,5 +98,15 @@ mod tests {
         assert!(c.deregister("R").is_some());
         assert!(c.deregister("r").is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stores_are_reachable_and_mutable() {
+        let mut c = Catalog::new();
+        c.register("r", employed_relation());
+        let before = c.store("r").unwrap().len();
+        let deleted = c.store_mut("r").unwrap().delete_where(|_| true).unwrap();
+        assert_eq!(deleted, before);
+        assert!(c.get("r").unwrap().is_empty());
     }
 }

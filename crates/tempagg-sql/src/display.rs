@@ -184,6 +184,29 @@ impl fmt::Display for Statement {
                 }
                 Ok(())
             }
+            Statement::Delete {
+                relation,
+                conditions,
+                valid_window,
+            } => {
+                write!(f, "DELETE FROM {relation}")?;
+                where_clause(conditions, valid_window, f)
+            }
+            Statement::Update {
+                relation,
+                assignments,
+                conditions,
+                valid_window,
+            } => {
+                write!(f, "UPDATE {relation} SET ")?;
+                for (i, (col, value)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{col} = {}", Literal(value))?;
+                }
+                where_clause(conditions, valid_window, f)
+            }
         }
     }
 }
@@ -226,6 +249,16 @@ mod tests {
         roundtrip("INSERT INTO t VALUES (1) VALID [0, 5], (2) VALID [6, 9]");
         roundtrip("SELECT * FROM staff");
         roundtrip("SELECT name, salary FROM staff WHERE salary > 40000");
+    }
+
+    #[test]
+    fn roundtrips_dml() {
+        roundtrip("DELETE FROM staff");
+        roundtrip("DELETE FROM staff WHERE salary < 30000 AND VALID OVERLAPS [0, 100]");
+        roundtrip("UPDATE staff SET salary = 45000 WHERE name = 'Kim'");
+        roundtrip(
+            "UPDATE staff SET salary = 45000, active = FALSE WHERE VALID OVERLAPS [5, FOREVER]",
+        );
     }
 
     #[test]

@@ -23,8 +23,9 @@ use tempagg_core::{
 };
 use tempagg_plan::{
     choose_algorithm, execute as execute_plan, execute_streaming as execute_plan_streaming,
-    CostModel, Plan, PlannerConfig, RelationStats,
+    CacheReport, CachedSeriesInfo, CostModel, Plan, PlannerConfig, RelationStats,
 };
+use tempagg_store::TemporalStore;
 
 /// One row of a query result: optional group key, a valid-time interval,
 /// and one value per aggregate in the select list.
@@ -53,6 +54,9 @@ pub struct QueryResult {
     /// `true` for `SELECT SNAPSHOT` queries: one scalar row (per group),
     /// no meaningful valid-time column.
     pub snapshot: bool,
+    /// Whether (and how) the store's aggregate caches answered this
+    /// query instead of a relation scan.
+    pub cache: CacheReport,
 }
 
 impl fmt::Display for QueryResult {
@@ -135,6 +139,23 @@ impl BoundQuery {
     }
 }
 
+/// Resolve and type-check the select list against a schema.
+fn bind_aggs(schema: &Schema, query: &Query) -> Result<Vec<(DynAggregate, Option<usize>, String)>> {
+    let mut bound_aggs: Vec<(DynAggregate, Option<usize>, String)> =
+        Vec::with_capacity(query.aggregates.len());
+    for agg in &query.aggregates {
+        let (idx, ty) = match &agg.column {
+            Some(col) => {
+                let i = schema.index_of_ignore_case(col)?;
+                (Some(i), schema.columns()[i].ty)
+            }
+            None => (None, tempagg_core::ValueType::Int),
+        };
+        bound_aggs.push((DynAggregate::new(agg.kind, ty)?, idx, agg.label()));
+    }
+    Ok(bound_aggs)
+}
+
 /// Bind names, filter on WHERE + VALID, and partition into aggregation
 /// sets: everything a query needs before any aggregate runs.
 fn bind_and_group(catalog: &Catalog, query: &Query) -> Result<BoundQuery> {
@@ -150,18 +171,7 @@ fn bind_and_group(catalog: &Catalog, query: &Query) -> Result<BoundQuery> {
             cond.value.clone(),
         ));
     }
-    let mut bound_aggs: Vec<(DynAggregate, Option<usize>, String)> =
-        Vec::with_capacity(query.aggregates.len());
-    for agg in &query.aggregates {
-        let (idx, ty) = match &agg.column {
-            Some(col) => {
-                let i = schema.index_of_ignore_case(col)?;
-                (Some(i), schema.columns()[i].ty)
-            }
-            None => (None, tempagg_core::ValueType::Int),
-        };
-        bound_aggs.push((DynAggregate::new(agg.kind, ty)?, idx, agg.label()));
-    }
+    let bound_aggs = bind_aggs(&schema, query)?;
     let group_idx = query
         .group_column
         .as_deref()
@@ -181,6 +191,7 @@ fn bind_and_group(catalog: &Catalog, query: &Query) -> Result<BoundQuery> {
         let Some(clipped) = tuple.valid().intersect(&domain) else {
             continue;
         };
+        // lint: allow(store-mutation): scratch per-query relation, not a cataloged store
         filtered.push_tuple(tuple.clone().with_valid(clipped))?;
     }
 
@@ -192,6 +203,7 @@ fn bind_and_group(catalog: &Catalog, query: &Query) -> Result<BoundQuery> {
             for tuple in &filtered {
                 map.entry(tuple.value(idx).clone())
                     .or_insert_with(|| TemporalRelation::new(schema.clone()))
+                    // lint: allow(store-mutation): scratch per-group relation, not a cataloged store
                     .push_tuple(tuple.clone())?;
             }
             map.into_iter().map(|(k, v)| (Some(k), v)).collect()
@@ -211,6 +223,15 @@ pub fn execute_query(
     query: &Query,
     config: &PlannerConfig,
 ) -> Result<QueryResult> {
+    // Serve from the store's aggregate caches when the query shape
+    // allows it and every selected aggregate is cached: an MVCC snapshot
+    // answers without scanning the relation. The first eligible
+    // execution takes the scan path below and warms the caches.
+    if cache_eligible(query) {
+        if let Some(served) = try_serve(catalog.store(&query.relation)?, query, config)? {
+            return Ok(served);
+        }
+    }
     let BoundQuery {
         schema,
         bound_aggs,
@@ -245,6 +266,7 @@ pub fn execute_query(
             plan: None,
             explain_only: false,
             snapshot: true,
+            cache: CacheReport::default(),
         });
     }
 
@@ -289,6 +311,7 @@ pub fn execute_query(
                     plan: Some(the_plan),
                     explain_only: true,
                     snapshot: false,
+                    cache: CacheReport::default(),
                 });
             }
 
@@ -298,6 +321,16 @@ pub fn execute_query(
                     execute_plan(&the_plan, multi.clone(), group_rel, &extract_all, domain)?;
                 append_series_rows(key.clone(), series, true, &mut rows);
             }
+            // This scan saw the whole relation unfiltered, so its result
+            // is exactly what a cache would hold: warm one per aggregate
+            // and let the next execution serve snapshots.
+            if cache_eligible(query) {
+                if let Ok(store) = catalog.store(&query.relation) {
+                    for (agg, idx, _) in &bound_aggs {
+                        store.ensure_cache(*agg, *idx);
+                    }
+                }
+            }
             Ok(QueryResult {
                 group_column: query.group_column.clone(),
                 agg_labels: bound_aggs.into_iter().map(|(_, _, l)| l).collect(),
@@ -305,6 +338,7 @@ pub fn execute_query(
                 plan: Some(the_plan),
                 explain_only: false,
                 snapshot: false,
+                cache: CacheReport::default(),
             })
         }
         TemporalGrouping::Span(len) => {
@@ -316,6 +350,7 @@ pub fn execute_query(
                     plan: None,
                     explain_only: true,
                     snapshot: false,
+                    cache: CacheReport::default(),
                 });
             }
             // Spans need a bounded window: the VALID clause, or the
@@ -350,9 +385,111 @@ pub fn execute_query(
                 plan: None,
                 explain_only: false,
                 snapshot: false,
+                cache: CacheReport::default(),
             })
         }
     }
+}
+
+/// Whether a query can be answered from store-maintained aggregate
+/// caches: instant grouping over the whole relation — no conditions,
+/// valid window, or value grouping to change what the caches cover —
+/// and an actual execution (EXPLAIN never builds or consults caches).
+fn cache_eligible(query: &Query) -> bool {
+    !query.explain
+        && !query.snapshot
+        && query.conditions.is_empty()
+        && query.valid_window.is_none()
+        && query.group_column.is_none()
+        && matches!(query.temporal_grouping, TemporalGrouping::Instant)
+}
+
+/// Zip per-aggregate snapshot series into one row series. Every cache of
+/// a store shares the same interval structure — runs derive from tuple
+/// intervals alone, never values — so the zip is index-wise. Any
+/// structural mismatch returns `None` and the caller falls back to a
+/// scan rather than risking a wrong answer.
+fn zip_snapshots(snapshots: &[std::sync::Arc<Series<Value>>]) -> Option<Series<Vec<Value>>> {
+    let first = snapshots.first()?;
+    let runs = first.len();
+    let mut zipped: Vec<SeriesEntry<Vec<Value>>> = first
+        .entries()
+        .iter()
+        .map(|e| SeriesEntry::new(e.interval, Vec::with_capacity(snapshots.len())))
+        .collect();
+    for series in snapshots {
+        if series.len() != runs {
+            return None;
+        }
+        for (slot, entry) in zipped.iter_mut().zip(series.entries()) {
+            if entry.interval != slot.interval {
+                return None;
+            }
+            slot.value.push(entry.value.clone());
+        }
+    }
+    Some(Series::from_entries(zipped))
+}
+
+/// Answer an eligible query from MVCC snapshots of the store's aggregate
+/// caches, or `None` when any selected aggregate is not cached yet.
+fn try_serve(
+    store: &TemporalStore,
+    query: &Query,
+    config: &PlannerConfig,
+) -> Result<Option<QueryResult>> {
+    let schema = store.schema().clone();
+    let bound_aggs = bind_aggs(&schema, query)?;
+    if !bound_aggs
+        .iter()
+        .all(|(agg, idx, _)| store.has_cache(agg.kind(), *idx))
+    {
+        return Ok(None);
+    }
+    let mut snapshots = Vec::with_capacity(bound_aggs.len());
+    for (agg, idx, _) in &bound_aggs {
+        match store.snapshot(agg.kind(), *idx) {
+            Some(snapshot) => snapshots.push(snapshot),
+            None => return Ok(None),
+        }
+    }
+    let Some(zipped) = zip_snapshots(&snapshots) else {
+        return Ok(None);
+    };
+
+    // Record the served plan through the ordinary cost-based chooser:
+    // with `cached_series` present the cached-series candidate wins, and
+    // the rationale explains why no scan ran.
+    let multi = MultiDyn::new(bound_aggs.iter().map(|(a, _, _)| *a).collect());
+    let stats = RelationStats::unknown(store.len()).with_cached_series(CachedSeriesInfo {
+        runs: zipped.len(),
+        epoch: store.epoch().get(),
+    });
+    let the_plan = choose_algorithm(
+        &stats,
+        multi.sweep_class(),
+        config,
+        &CostModel::default(),
+        multi.state_model_bytes().max(4),
+    );
+
+    let mut rows = Vec::new();
+    append_series_rows(None, zipped, true, &mut rows);
+    let cache_stats = store.cache_stats();
+    Ok(Some(QueryResult {
+        group_column: None,
+        agg_labels: bound_aggs.into_iter().map(|(_, _, l)| l).collect(),
+        rows,
+        plan: Some(the_plan),
+        explain_only: false,
+        snapshot: false,
+        cache: CacheReport {
+            served_from_cache: true,
+            patched_runs: cache_stats.patched_runs,
+            recomputed_windows: cache_stats.recomputed_windows,
+            invalidations: 0,
+        },
+    }))
 }
 
 /// What a streaming execution reports back: everything [`QueryResult`]
@@ -409,6 +546,24 @@ pub fn execute_streaming(
     chunk_capacity: usize,
     mut on_row: impl FnMut(ResultRow),
 ) -> Result<StreamSummary> {
+    // Served-from-cache results stream too: the snapshot is already
+    // materialized in the store, so rows just flow to the callback.
+    if cache_eligible(query) {
+        if let Some(served) = try_serve(catalog.store(&query.relation)?, query, config)? {
+            let rows = served.rows.len();
+            for row in served.rows {
+                on_row(row);
+            }
+            return Ok(StreamSummary {
+                group_column: None,
+                agg_labels: served.agg_labels,
+                rows,
+                plan: served.plan,
+                peak_resident_result_entries: rows,
+                emitted_chunks: 0,
+            });
+        }
+    }
     let bound = bind_and_group(catalog, query)?;
     let agg_labels = bound.agg_labels();
     let BoundQuery {
@@ -527,6 +682,14 @@ pub fn execute_streaming(
                 }
                 peak_resident = peak_resident.max(report.peak_resident_result_entries);
                 emitted_chunks += report.emitted_chunks;
+            }
+            // Warm the caches, exactly as the materialized path does.
+            if cache_eligible(query) {
+                if let Ok(store) = catalog.store(&query.relation) {
+                    for (agg, idx, _) in &bound_aggs {
+                        store.ensure_cache(*agg, *idx);
+                    }
+                }
             }
             Ok(StreamSummary {
                 group_column: query.group_column.clone(),
@@ -886,8 +1049,9 @@ mod tests {
     fn forced_parallel_config_returns_identical_rows() {
         // Big enough that the cost model's overhead gate agrees the forced
         // 3-way split pays off (tiny inputs stay serial whatever the ask).
+        let relation = generate(&WorkloadConfig::random(20_000));
         let mut c = Catalog::new();
-        c.register("big", generate(&WorkloadConfig::random(20_000)));
+        c.register("big", relation.clone());
         let sql = "SELECT COUNT(Name), SUM(salary) FROM big";
         let serial = execute_str(&c, sql).unwrap();
         let config = PlannerConfig {
@@ -895,7 +1059,11 @@ mod tests {
             parallel_min_tuples: 0,
             ..Default::default()
         };
-        let parallel = execute_query(&c, &parse(sql).unwrap(), &config).unwrap();
+        // A fresh catalog, so the serial run's warmed cache cannot serve
+        // this execution and the forced-parallel scan actually runs.
+        let mut c2 = Catalog::new();
+        c2.register("big", relation);
+        let parallel = execute_query(&c2, &parse(sql).unwrap(), &config).unwrap();
         assert_eq!(parallel.rows, serial.rows);
         let plan = parallel.plan.as_ref().unwrap();
         assert_eq!(plan.parallelism, 3);
@@ -1103,6 +1271,121 @@ mod tests {
         assert!(text.contains("COUNT(Name)"));
         assert!(text.contains("[18, 20]"));
         assert!(text.lines().count() >= 9, "table was:\n{text}");
+    }
+
+    #[test]
+    fn second_execution_serves_from_cache() {
+        let c = catalog();
+        let sql = "SELECT COUNT(Name) FROM Employed";
+        let first = execute_str(&c, sql).unwrap();
+        assert!(!first.cache.served_from_cache, "first run scans and warms");
+        let second = execute_str(&c, sql).unwrap();
+        assert!(second.cache.served_from_cache);
+        assert_eq!(
+            second.plan.as_ref().unwrap().choice,
+            AlgorithmChoice::CachedSeries
+        );
+        assert_eq!(second.rows, first.rows);
+        // The rationale names the cache.
+        assert!(second
+            .plan
+            .as_ref()
+            .unwrap()
+            .rationale
+            .iter()
+            .any(|line| line.contains("cached runs")));
+    }
+
+    #[test]
+    fn served_multi_aggregate_rows_zip_losslessly() {
+        let c = catalog();
+        let sql = "SELECT COUNT(name), SUM(salary), AVG(salary), MIN(salary), MAX(salary) \
+                   FROM Employed";
+        let scanned = execute_str(&c, sql).unwrap();
+        let served = execute_str(&c, sql).unwrap();
+        assert!(served.cache.served_from_cache);
+        assert_eq!(served.rows, scanned.rows);
+        assert_eq!(served.agg_labels, scanned.agg_labels);
+    }
+
+    #[test]
+    fn ineligible_query_shapes_never_serve() {
+        let c = catalog();
+        // Warm the COUNT(name) cache.
+        let warm = "SELECT COUNT(name) FROM Employed";
+        execute_str(&c, warm).unwrap();
+        assert!(execute_str(&c, warm).unwrap().cache.served_from_cache);
+        for sql in [
+            "SELECT COUNT(name) FROM Employed WHERE salary >= 40000",
+            "SELECT COUNT(name) FROM Employed WHERE VALID OVERLAPS [10, 19]",
+            "SELECT COUNT(name) FROM Employed GROUP BY name",
+            "SELECT COUNT(name) FROM Employed WHERE VALID OVERLAPS [0, 29] GROUP BY SPAN 10",
+            "SELECT SNAPSHOT COUNT(name) FROM Employed",
+            "EXPLAIN SELECT COUNT(name) FROM Employed",
+        ] {
+            let result = execute_str(&c, sql).unwrap();
+            assert!(!result.cache.served_from_cache, "query: {sql}");
+        }
+    }
+
+    #[test]
+    fn explain_never_builds_caches() {
+        let c = catalog();
+        execute_str(&c, "EXPLAIN SELECT COUNT(name) FROM Employed").unwrap();
+        // Still a scan on the first real execution.
+        let result = execute_str(&c, "SELECT COUNT(name) FROM Employed").unwrap();
+        assert!(!result.cache.served_from_cache);
+    }
+
+    #[test]
+    fn served_results_track_dml_through_the_store() {
+        use crate::statement::{execute_statement, StatementOutput};
+        let mut c = Catalog::new();
+        execute_statement(&mut c, "CREATE TABLE t (x INT)").unwrap();
+        execute_statement(
+            &mut c,
+            "INSERT INTO t VALUES (1) VALID [0, 9], (2) VALID [5, 14], (3) VALID [10, 19]",
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(x), SUM(x) FROM t";
+        execute_str(&c, sql).unwrap(); // warm
+        let before = execute_str(&c, sql).unwrap();
+        assert!(before.cache.served_from_cache);
+
+        // Mutate through the store; the caches are patched, not dropped.
+        match execute_statement(&mut c, "DELETE FROM t WHERE x = 2").unwrap() {
+            StatementOutput::Deleted { count, .. } => assert_eq!(count, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match execute_statement(&mut c, "UPDATE t SET x = 7 WHERE x = 3").unwrap() {
+            StatementOutput::Updated { count, .. } => assert_eq!(count, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let served = execute_str(&c, sql).unwrap();
+        assert!(served.cache.served_from_cache);
+        assert!(served.cache.patched_runs > 0);
+        // Byte-identical to a from-scratch scan of the mutated relation.
+        let mut fresh = Catalog::new();
+        fresh.register("t", c.store("t").unwrap().relation().clone());
+        let scanned = execute_str(&fresh, sql).unwrap();
+        assert!(!scanned.cache.served_from_cache);
+        assert_eq!(served.rows, scanned.rows);
+    }
+
+    #[test]
+    fn streaming_serves_from_cache_after_warmup() {
+        let c = catalog();
+        let sql = "SELECT COUNT(name), SUM(salary) FROM Employed";
+        let materialized = execute_str(&c, sql).unwrap(); // warms
+        let mut streamed = Vec::new();
+        let summary = execute_streaming_str(&c, sql, |row| streamed.push(row)).unwrap();
+        assert_eq!(
+            summary.plan.as_ref().unwrap().choice,
+            AlgorithmChoice::CachedSeries
+        );
+        assert_eq!(streamed, materialized.rows);
+        assert_eq!(summary.rows, materialized.rows.len());
     }
 
     #[test]

@@ -140,6 +140,8 @@ impl Parser {
         match self.peek() {
             Some(Token::Keyword(Keyword::Create)) => self.create_table(),
             Some(Token::Keyword(Keyword::Insert)) => self.insert(),
+            Some(Token::Keyword(Keyword::Delete)) => self.delete(),
+            Some(Token::Keyword(Keyword::Update)) => self.update(),
             _ => {
                 let explain = self.eat_keyword(Keyword::Explain);
                 self.expect_keyword(Keyword::Select)?;
@@ -267,6 +269,41 @@ impl Parser {
             }
         }
         Ok(Statement::Insert { relation, rows })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_keyword(Keyword::Delete)?;
+        self.expect_keyword(Keyword::From)?;
+        let relation = self.ident("relation name")?;
+        let (conditions, valid_window) = self.where_clause()?;
+        Ok(Statement::Delete {
+            relation,
+            conditions,
+            valid_window,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_keyword(Keyword::Update)?;
+        let relation = self.ident("relation name")?;
+        self.expect_keyword(Keyword::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.ident("column name in assignment")?;
+            self.expect_token(Token::Eq)?;
+            let value = self.literal()?;
+            assignments.push((column, value));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let (conditions, valid_window) = self.where_clause()?;
+        Ok(Statement::Update {
+            relation,
+            assignments,
+            conditions,
+            valid_window,
+        })
     }
 
     fn query_after_select(&mut self, explain: bool, snapshot: bool) -> Result<Query> {
@@ -500,6 +537,59 @@ mod tests {
         match err {
             TempAggError::Sql { column, .. } => assert!(column >= 38, "column = {column}"),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete_with_conditions() {
+        let s = parse_statement("DELETE FROM r WHERE x > 3 AND VALID OVERLAPS [0, 50]").unwrap();
+        match s {
+            Statement::Delete {
+                relation,
+                conditions,
+                valid_window,
+            } => {
+                assert_eq!(relation, "r");
+                assert_eq!(conditions.len(), 1);
+                assert_eq!(conditions[0].op, CompareOp::Gt);
+                assert_eq!(valid_window, Some(Interval::at(0, 50)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update_with_assignments() {
+        let s = parse_statement("UPDATE r SET salary = 40000, name = 'Kim' WHERE id = 7").unwrap();
+        match s {
+            Statement::Update {
+                relation,
+                assignments,
+                conditions,
+                valid_window,
+            } => {
+                assert_eq!(relation, "r");
+                assert_eq!(assignments.len(), 2);
+                assert_eq!(assignments[0], ("salary".into(), Value::Int(40000)));
+                assert_eq!(assignments[1], ("name".into(), Value::Str("Kim".into())));
+                assert_eq!(conditions.len(), 1);
+                assert!(valid_window.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_dml() {
+        for bad in [
+            "DELETE r",
+            "DELETE FROM",
+            "UPDATE r",
+            "UPDATE r SET",
+            "UPDATE r SET x",
+            "UPDATE r SET x = ",
+        ] {
+            assert!(parse_statement(bad).is_err(), "should reject: {bad}");
         }
     }
 

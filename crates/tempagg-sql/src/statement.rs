@@ -66,6 +66,10 @@ pub enum StatementOutput {
     Created { name: String },
     /// `INSERT` succeeded.
     Inserted { relation: String, count: usize },
+    /// `DELETE` succeeded; `count` tuples were removed.
+    Deleted { relation: String, count: usize },
+    /// `UPDATE` succeeded; `count` tuples were rewritten.
+    Updated { relation: String, count: usize },
 }
 
 impl fmt::Display for StatementOutput {
@@ -76,6 +80,12 @@ impl fmt::Display for StatementOutput {
             StatementOutput::Created { name } => writeln!(f, "created table {name}"),
             StatementOutput::Inserted { relation, count } => {
                 writeln!(f, "inserted {count} tuple(s) into {relation}")
+            }
+            StatementOutput::Deleted { relation, count } => {
+                writeln!(f, "deleted {count} tuple(s) from {relation}")
+            }
+            StatementOutput::Updated { relation, count } => {
+                writeln!(f, "updated {count} tuple(s) in {relation}")
             }
         }
     }
@@ -113,21 +123,88 @@ pub fn execute_parsed_statement(
             Ok(StatementOutput::Created { name: name.clone() })
         }
         Statement::Insert { relation, rows } => {
-            let rel = catalog.get_mut(relation)?;
+            let store = catalog.store_mut(relation)?;
             // Validate every row before mutating, so a failed INSERT is
             // atomic.
             for (values, _) in rows {
-                rel.schema().check(values)?;
+                store.schema().check(values)?;
             }
             for (values, valid) in rows {
-                rel.push(values.clone(), *valid)?;
+                store.insert(values.clone(), *valid)?;
             }
             Ok(StatementOutput::Inserted {
                 relation: relation.clone(),
                 count: rows.len(),
             })
         }
+        Statement::Delete {
+            relation,
+            conditions,
+            valid_window,
+        } => {
+            let store = catalog.store_mut(relation)?;
+            let bound = bind_conditions(store.schema(), conditions)?;
+            let window = *valid_window;
+            let count = store.delete_where(|tuple| tuple_matches(tuple, &bound, window))?;
+            Ok(StatementOutput::Deleted {
+                relation: relation.clone(),
+                count,
+            })
+        }
+        Statement::Update {
+            relation,
+            assignments,
+            conditions,
+            valid_window,
+        } => {
+            let store = catalog.store_mut(relation)?;
+            let schema = store.schema().clone();
+            let bound_assignments: Vec<(usize, Value)> = assignments
+                .iter()
+                .map(|(col, value)| Ok((schema.index_of_ignore_case(col)?, value.clone())))
+                .collect::<Result<_>>()?;
+            let bound = bind_conditions(&schema, conditions)?;
+            let window = *valid_window;
+            let count = store.update_where(
+                |tuple| tuple_matches(tuple, &bound, window),
+                &bound_assignments,
+            )?;
+            Ok(StatementOutput::Updated {
+                relation: relation.clone(),
+                count,
+            })
+        }
     }
+}
+
+/// Resolve condition column names to indexes against `schema`.
+fn bind_conditions(
+    schema: &Schema,
+    conditions: &[crate::ast::Condition],
+) -> Result<Vec<(usize, crate::ast::CompareOp, Value)>> {
+    conditions
+        .iter()
+        .map(|c| {
+            Ok((
+                schema.index_of_ignore_case(&c.column)?,
+                c.op,
+                c.value.clone(),
+            ))
+        })
+        .collect()
+}
+
+/// Whether a tuple satisfies every bound condition and overlaps the
+/// optional valid window.
+fn tuple_matches(
+    tuple: &tempagg_core::Tuple,
+    bound: &[(usize, crate::ast::CompareOp, Value)],
+    window: Option<Interval>,
+) -> bool {
+    bound
+        .iter()
+        .all(|(idx, op, value)| op.eval(tuple.value(*idx), value))
+        && window.map_or(true, |w| tuple.valid().overlaps(&w))
 }
 
 fn plain_select(catalog: &Catalog, select: &PlainSelect) -> Result<TupleTable> {
@@ -299,6 +376,60 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn delete_and_update_end_to_end() {
+        let mut c = catalog();
+        let out = execute_statement(
+            &mut c,
+            "UPDATE Employed SET salary = 50000 WHERE name = 'Karen'",
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            StatementOutput::Updated {
+                relation: "Employed".into(),
+                count: 1
+            }
+        );
+        assert!(out.to_string().contains("updated 1 tuple(s)"));
+
+        let out = execute_statement(&mut c, "DELETE FROM Employed WHERE name = 'Nathan'").unwrap();
+        assert_eq!(
+            out,
+            StatementOutput::Deleted {
+                relation: "Employed".into(),
+                count: 2
+            }
+        );
+        assert!(out.to_string().contains("deleted 2 tuple(s)"));
+
+        match execute_statement(&mut c, "SELECT * FROM Employed").unwrap() {
+            StatementOutput::Tuples(table) => {
+                assert_eq!(table.rows.len(), 2);
+                assert!(table
+                    .rows
+                    .iter()
+                    .any(|(v, _)| v[0] == Value::from("Karen") && v[1] == Value::Int(50_000)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Valid-window DELETE: only tuples overlapping the window go.
+        let out =
+            execute_statement(&mut c, "DELETE FROM Employed WHERE VALID OVERLAPS [0, 10]").unwrap();
+        assert_eq!(
+            out,
+            StatementOutput::Deleted {
+                relation: "Employed".into(),
+                count: 1 // Karen [8, 20]; Richard [18, ∞] stays
+            }
+        );
+
+        // Unknown columns error without mutating.
+        assert!(execute_statement(&mut c, "DELETE FROM Employed WHERE nope = 1").is_err());
+        assert!(execute_statement(&mut c, "UPDATE Employed SET nope = 1").is_err());
     }
 
     #[test]

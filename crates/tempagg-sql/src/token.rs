@@ -11,6 +11,9 @@ pub enum Keyword {
     Insert,
     Into,
     Values,
+    Delete,
+    Update,
+    Set,
     Distinct,
     Snapshot,
     Select,
@@ -38,6 +41,9 @@ impl Keyword {
             "INSERT" => Keyword::Insert,
             "INTO" => Keyword::Into,
             "VALUES" => Keyword::Values,
+            "DELETE" => Keyword::Delete,
+            "UPDATE" => Keyword::Update,
+            "SET" => Keyword::Set,
             "DISTINCT" => Keyword::Distinct,
             "SNAPSHOT" => Keyword::Snapshot,
             "SELECT" => Keyword::Select,

@@ -1,0 +1,280 @@
+//! # tempagg-store
+//!
+//! The mutable temporal store: live ingestion with incremental aggregate
+//! maintenance and MVCC snapshot reads.
+//!
+//! The paper computes aggregates over an immutable relation, so every
+//! query rebuilds from scratch. [`TemporalStore`] makes the relation
+//! updatable — `INSERT` / `DELETE` / `UPDATE` of interval tuples — and
+//! keeps a versioned cache of each queried aggregate's constant-interval
+//! [`Series`](tempagg_core::Series), patched *incrementally* under every
+//! write:
+//!
+//! * **Delta-class** aggregates (`COUNT`, integer `SUM`/`AVG`) retract
+//!   exactly by delta summation (Colley et al.): the write splits or
+//!   merges only the runs whose boundaries it contributes, then folds its
+//!   value into — or out of — the active state of the runs overlapping
+//!   the changed interval.
+//! * **Ordered-class** aggregates (`MIN`/`MAX`, `COUNT(DISTINCT)`) do the
+//!   same through the ordered multiset already inside
+//!   [`DynActive`](tempagg_agg::DynActive).
+//! * **Approximate-class** aggregates (float `SUM`/`AVG`, variance) drift
+//!   under float retraction, so their caches re-run the endpoint-sweep
+//!   kernel over just the dirty window — the hull of the runs overlapping
+//!   the change — never the full timeline.
+//!
+//! Readers get MVCC snapshots: epoch-stamped immutable series versions
+//! published through [`VersionedSeries`](tempagg_core::VersionedSeries),
+//! shared as `Arc`s, with superseded versions collected once no reader
+//! pins them. A cursor holding a snapshot stays valid across any number
+//! of concurrent writes, and the cached series is byte-identical to a
+//! from-scratch sweep over the relation at the snapshot's epoch.
+
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod store;
+
+pub use store::{CacheKey, StoreCacheStats, TemporalStore};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tempagg_agg::{AggKind, DynAggregate, SweepAggregate};
+    use tempagg_algo::{SweepAggregator, TemporalAggregator};
+    use tempagg_core::{Interval, Schema, Series, TemporalRelation, Timestamp, Value, ValueType};
+
+    fn schema() -> Arc<Schema> {
+        Schema::of(&[("name", ValueType::Str), ("salary", ValueType::Int)])
+    }
+
+    fn employed() -> TemporalRelation {
+        let mut r = TemporalRelation::new(schema());
+        r.push(
+            vec![Value::from("Richard"), Value::Int(40_000)],
+            Interval::from_start(18),
+        )
+        .unwrap();
+        r.push(
+            vec![Value::from("Karen"), Value::Int(45_000)],
+            Interval::at(8, 20),
+        )
+        .unwrap();
+        r.push(
+            vec![Value::from("Nathan"), Value::Int(42_000)],
+            Interval::at(7, 12),
+        )
+        .unwrap();
+        r.push(
+            vec![Value::from("Mike"), Value::Int(50_000)],
+            Interval::at(18, 21),
+        )
+        .unwrap();
+        r
+    }
+
+    /// A from-scratch sweep over the relation — the oracle every cached
+    /// series must match byte for byte.
+    fn recompute(
+        relation: &TemporalRelation,
+        agg: DynAggregate,
+        column: Option<usize>,
+    ) -> Series<Value> {
+        let mut sweep = SweepAggregator::new(agg);
+        for tuple in relation {
+            let value = match column {
+                Some(idx) => tuple.value(idx).clone(),
+                None => Value::Bool(true),
+            };
+            sweep.push(tuple.valid(), value).unwrap();
+        }
+        sweep.finish()
+    }
+
+    fn count_star() -> DynAggregate {
+        DynAggregate::new(AggKind::CountStar, ValueType::Int).unwrap()
+    }
+
+    fn agg(kind: AggKind) -> DynAggregate {
+        DynAggregate::new(kind, ValueType::Int).unwrap()
+    }
+
+    #[test]
+    fn built_cache_matches_sweep() {
+        let store = TemporalStore::new(employed());
+        for (kind, column) in [
+            (AggKind::CountStar, None),
+            (AggKind::Sum, Some(1)),
+            (AggKind::Min, Some(1)),
+            (AggKind::Max, Some(1)),
+            (AggKind::Avg, Some(1)),
+        ] {
+            let snap = store.snapshot_or_build(agg(kind), column);
+            assert_eq!(
+                *snap,
+                recompute(store.relation(), agg(kind), column),
+                "{kind:?} cache diverges from sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_patches_cached_series() {
+        let mut store = TemporalStore::new(employed());
+        store.ensure_cache(count_star(), None);
+        store.ensure_cache(agg(AggKind::Sum), Some(1));
+        store
+            .insert(
+                vec![Value::from("Suchen"), Value::Int(60_000)],
+                Interval::at(10, 25),
+            )
+            .unwrap();
+        for (kind, column) in [(AggKind::CountStar, None), (AggKind::Sum, Some(1))] {
+            let snap = store.snapshot(kind, column).unwrap();
+            assert_eq!(*snap, recompute(store.relation(), agg(kind), column));
+        }
+        assert!(store.cache_stats().patched_runs > 0);
+        assert_eq!(store.epoch().get(), 1);
+    }
+
+    #[test]
+    fn delete_retracts_and_merges_boundaries() {
+        let mut store = TemporalStore::new(employed());
+        store.ensure_cache(count_star(), None);
+        let runs_before = store.cache_stats().runs;
+        let deleted = store
+            .delete_where(|t| t.value(0) == &Value::from("Karen"))
+            .unwrap();
+        assert_eq!(deleted, 1);
+        // Karen's boundaries (8 and 21) had a single contributor each...
+        // 21 is shared with Mike's [18, 21] end? No: Mike's end boundary is
+        // 22. Karen contributed 8 and 21; both merge away.
+        assert!(store.cache_stats().runs < runs_before);
+        let snap = store.snapshot(AggKind::CountStar, None).unwrap();
+        assert_eq!(*snap, recompute(store.relation(), count_star(), None));
+    }
+
+    #[test]
+    fn update_patches_only_assigned_columns() {
+        let mut store = TemporalStore::new(employed());
+        store.ensure_cache(count_star(), None);
+        store.ensure_cache(agg(AggKind::Max), Some(1));
+        let updated = store
+            .update_where(
+                |t| t.value(0) == &Value::from("Nathan"),
+                &[(1, Value::Int(99_000))],
+            )
+            .unwrap();
+        assert_eq!(updated, 1);
+        let max = store.snapshot(AggKind::Max, Some(1)).unwrap();
+        assert_eq!(
+            *max,
+            recompute(store.relation(), agg(AggKind::Max), Some(1))
+        );
+        assert_eq!(
+            max.value_at(Timestamp::new(10)),
+            Some(&Value::Int(99_000)),
+            "the updated salary must surface as the new MAX"
+        );
+        let count = store.snapshot(AggKind::CountStar, None).unwrap();
+        assert_eq!(*count, recompute(store.relation(), count_star(), None));
+    }
+
+    #[test]
+    fn update_is_atomic_on_type_errors() {
+        let mut store = TemporalStore::new(employed());
+        let err = store.update_where(|_| true, &[(1, Value::from("oops"))]);
+        assert!(err.is_err());
+        assert_eq!(store.epoch().get(), 0);
+        assert_eq!(store.relation().tuples()[1].value(1), &Value::Int(45_000));
+    }
+
+    #[test]
+    fn approximate_class_recomputes_dirty_window() {
+        let schema = Schema::of(&[("x", ValueType::Float)]);
+        let mut relation = TemporalRelation::new(schema);
+        for i in 0..32i64 {
+            relation
+                .push(
+                    vec![Value::Float(f64::from(i32::try_from(i).unwrap()) / 3.0)],
+                    Interval::at(i * 5, i * 5 + 12),
+                )
+                .unwrap();
+        }
+        let mut store = TemporalStore::new(relation);
+        let avg = DynAggregate::new(AggKind::Avg, ValueType::Float).unwrap();
+        assert!(!avg.sweep_class().retractable());
+        store.ensure_cache(avg, Some(0));
+        store
+            .insert(vec![Value::Float(7.5)], Interval::at(40, 80))
+            .unwrap();
+        store
+            .delete_where(|t| t.valid().start() == Timestamp::new(0))
+            .unwrap();
+        let stats = store.cache_stats();
+        assert!(stats.recomputed_windows >= 2);
+        assert_eq!(stats.patched_runs, 0);
+        let snap = store.snapshot(AggKind::Avg, Some(0)).unwrap();
+        let oracle = recompute(store.relation(), avg, Some(0));
+        assert_eq!(snap.len(), oracle.len());
+        for (got, want) in snap.iter().zip(oracle.iter()) {
+            assert_eq!(got.interval, want.interval);
+            match (&got.value, &want.value) {
+                (Value::Float(a), Value::Float(b)) => {
+                    assert!((a - b).abs() < 1e-9, "AVG drifted: {a} vs {b}");
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_pin_versions_until_dropped() {
+        let mut store = TemporalStore::new(employed());
+        store.ensure_cache(count_star(), None);
+        let pinned = store.snapshot(AggKind::CountStar, None).unwrap();
+        let before = (*pinned).clone();
+        store
+            .insert(
+                vec![Value::from("Andrey"), Value::Int(30_000)],
+                Interval::at(0, 30),
+            )
+            .unwrap();
+        // The pinned snapshot is untouched by the write...
+        assert_eq!(*pinned, before);
+        // ...and the new epoch's snapshot reflects it.
+        let fresh = store.snapshot(AggKind::CountStar, None).unwrap();
+        assert_ne!(*fresh, before);
+        assert_eq!(*fresh, recompute(store.relation(), count_star(), None));
+        assert_eq!(store.cache_stats().live_versions, 2);
+        drop(pinned);
+        // Another write publishes and collects the unpinned old version.
+        store
+            .delete_where(|t| t.value(0) == &Value::from("Andrey"))
+            .unwrap();
+        let latest = store.snapshot(AggKind::CountStar, None).unwrap();
+        drop(latest);
+        assert_eq!(store.cache_stats().live_versions, 2);
+        assert_eq!(store.cache_stats().pinned_versions, 1);
+    }
+
+    #[test]
+    fn empty_store_has_one_empty_run() {
+        let store = TemporalStore::with_schema(schema());
+        let snap = store.snapshot_or_build(count_star(), None);
+        assert_eq!(*snap, recompute(store.relation(), count_star(), None));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.value_at(Timestamp::ORIGIN), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn snapshot_without_cache_is_none() {
+        let store = TemporalStore::new(employed());
+        assert!(store.snapshot(AggKind::CountStar, None).is_none());
+        assert!(!store.has_cache(AggKind::CountStar, None));
+        store.ensure_cache(count_star(), None);
+        assert!(store.has_cache(AggKind::CountStar, None));
+    }
+}

@@ -1,0 +1,279 @@
+//! The mutable temporal store: an updatable interval relation plus the
+//! versioned aggregate caches maintained under every write.
+
+use crate::cache::{extract, AggCache};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tempagg_agg::{AggKind, DynAggregate};
+use tempagg_core::{Epoch, Interval, Result, Schema, Series, TemporalRelation, Tuple, Value};
+
+/// Identifies one cached aggregate series: the aggregate kind plus the
+/// input column index (`None` for `COUNT(*)`-style aggregates without an
+/// input column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey {
+    pub kind: AggKind,
+    pub column: Option<usize>,
+}
+
+/// Aggregated maintenance counters across a store's caches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCacheStats {
+    /// Number of cached aggregate series.
+    pub caches: usize,
+    /// Total constant-interval runs across all working series.
+    pub runs: usize,
+    /// Runs patched in place by incremental maintenance.
+    pub patched_runs: u64,
+    /// Dirty-window sweep recomputes (Approximate-class fallback).
+    pub recomputed_windows: u64,
+    /// Published snapshot versions currently retained.
+    pub live_versions: usize,
+    /// Retained versions still pinned by a reader.
+    pub pinned_versions: usize,
+}
+
+/// An updatable interval relation with incrementally maintained aggregate
+/// caches and MVCC snapshot reads.
+///
+/// The store is the single writer of its relation: every mutation goes
+/// through [`insert`](TemporalStore::insert) /
+/// [`delete_where`](TemporalStore::delete_where) /
+/// [`update_where`](TemporalStore::update_where), which patch each cached
+/// series in the same commit and bump the write [`Epoch`]. Readers call
+/// [`snapshot`](TemporalStore::snapshot) and receive an immutable
+/// `Arc<Series<Value>>` pinned against concurrent writes — later writes
+/// publish new versions but never touch a pinned one.
+///
+/// Caches are created on demand (interior mutability), so read paths can
+/// warm the store through a shared reference.
+#[derive(Clone, Debug)]
+pub struct TemporalStore {
+    relation: TemporalRelation,
+    epoch: Epoch,
+    caches: RefCell<BTreeMap<CacheKey, AggCache>>,
+}
+
+impl TemporalStore {
+    /// Wrap an existing relation. The store becomes the relation's single
+    /// writer; mutate only through the store from here on.
+    pub fn new(relation: TemporalRelation) -> TemporalStore {
+        TemporalStore {
+            relation,
+            epoch: Epoch::ZERO,
+            caches: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// An empty store over `schema`.
+    pub fn with_schema(schema: Arc<Schema>) -> TemporalStore {
+        TemporalStore::new(TemporalRelation::new(schema))
+    }
+
+    /// Read access to the stored relation.
+    pub fn relation(&self) -> &TemporalRelation {
+        &self.relation
+    }
+
+    /// The stored relation's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.relation.schema()
+    }
+
+    /// The current write epoch (bumped once per committed mutation).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+
+    /// Consume the store, returning the relation.
+    pub fn into_relation(self) -> TemporalRelation {
+        self.relation
+    }
+
+    /// Insert one tuple, patching every cache.
+    pub fn insert(&mut self, values: Vec<Value>, valid: Interval) -> Result<()> {
+        self.relation.push(values, valid)?;
+        let Some(tuple) = self.relation.tuples().last().cloned() else {
+            return Ok(());
+        };
+        self.commit_insert(&tuple)
+    }
+
+    /// Insert an already-built tuple, patching every cache.
+    pub fn insert_tuple(&mut self, tuple: Tuple) -> Result<()> {
+        self.relation.push_tuple(tuple.clone())?;
+        self.commit_insert(&tuple)
+    }
+
+    fn commit_insert(&mut self, tuple: &Tuple) -> Result<()> {
+        let caches = self.caches.get_mut();
+        for cache in caches.values_mut() {
+            let value = extract(tuple, cache.column());
+            cache.apply_insert(tuple.valid(), &value, &self.relation)?;
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Delete every tuple satisfying `pred`, retracting each from every
+    /// cache. Returns the number of tuples deleted.
+    pub fn delete_where(&mut self, pred: impl FnMut(&Tuple) -> bool) -> Result<usize> {
+        let flags: Vec<bool> = self.relation.iter().map(pred).collect();
+        let removed: Vec<Tuple> = self
+            .relation
+            .iter()
+            .zip(&flags)
+            .filter(|(_, &flagged)| flagged)
+            .map(|(t, _)| t.clone())
+            .collect();
+        if removed.is_empty() {
+            return Ok(0);
+        }
+        let mut index = 0usize;
+        self.relation.retain(|_| {
+            let keep = !flags.get(index).copied().unwrap_or(false);
+            index += 1;
+            keep
+        });
+        let caches = self.caches.get_mut();
+        for cache in caches.values_mut() {
+            for tuple in &removed {
+                let value = extract(tuple, cache.column());
+                cache.apply_delete(tuple.valid(), &value, &self.relation)?;
+            }
+        }
+        self.bump();
+        Ok(removed.len())
+    }
+
+    /// Update every tuple satisfying `pred`: each `(column, value)`
+    /// assignment overwrites that attribute, valid time is unchanged.
+    /// Caches reading an assigned column see an exact retract-then-insert
+    /// of the changed value; all other caches (including `COUNT(*)`) are
+    /// untouched. The whole statement is validated before any tuple is
+    /// written, so a failed UPDATE mutates nothing.
+    pub fn update_where(
+        &mut self,
+        mut pred: impl FnMut(&Tuple) -> bool,
+        assignments: &[(usize, Value)],
+    ) -> Result<usize> {
+        let mut replacements: Vec<(usize, Tuple, Tuple)> = Vec::new();
+        for (index, old) in self.relation.iter().enumerate() {
+            if !pred(old) {
+                continue;
+            }
+            let mut values = old.values().to_vec();
+            for (column, value) in assignments {
+                let Some(slot) = values.get_mut(*column) else {
+                    continue;
+                };
+                *slot = value.clone();
+            }
+            self.relation.schema().check(&values)?;
+            let replacement = Tuple::new(values, old.valid());
+            replacements.push((index, old.clone(), replacement));
+        }
+        if replacements.is_empty() {
+            return Ok(0);
+        }
+        for (index, _, replacement) in &replacements {
+            let _previous = self.relation.replace(*index, replacement.clone())?;
+        }
+        let caches = self.caches.get_mut();
+        for cache in caches.values_mut() {
+            let Some(column) = cache.column() else {
+                continue;
+            };
+            if !assignments.iter().any(|(assigned, _)| *assigned == column) {
+                continue;
+            }
+            for (_, old, new) in &replacements {
+                cache.apply_delete(old.valid(), &extract(old, Some(column)), &self.relation)?;
+                cache.apply_insert(new.valid(), &extract(new, Some(column)), &self.relation)?;
+            }
+        }
+        self.bump();
+        Ok(replacements.len())
+    }
+
+    fn bump(&mut self) {
+        self.epoch = self.epoch.next();
+        #[cfg(feature = "validate")]
+        {
+            for cache in self.caches.get_mut().values() {
+                cache.validate_structure();
+            }
+        }
+    }
+
+    /// Build (if absent) the cache for `agg` over `column`.
+    pub fn ensure_cache(&self, agg: DynAggregate, column: Option<usize>) {
+        let mut caches = self.caches.borrow_mut();
+        caches
+            .entry(CacheKey {
+                kind: agg.kind(),
+                column,
+            })
+            .or_insert_with(|| AggCache::build(agg, column, &self.relation));
+    }
+
+    /// Whether a cache exists for `(kind, column)`.
+    pub fn has_cache(&self, kind: AggKind, column: Option<usize>) -> bool {
+        self.caches
+            .borrow()
+            .contains_key(&CacheKey { kind, column })
+    }
+
+    /// Snapshot the cached series for `(kind, column)` at the current
+    /// epoch, or `None` if that aggregate has no cache yet. The returned
+    /// `Arc` pins the version: concurrent writes publish new versions but
+    /// never mutate or free this one.
+    pub fn snapshot(&self, kind: AggKind, column: Option<usize>) -> Option<Arc<Series<Value>>> {
+        let mut caches = self.caches.borrow_mut();
+        let cache = caches.get_mut(&CacheKey { kind, column })?;
+        Some(cache.snapshot(self.epoch))
+    }
+
+    /// [`ensure_cache`](TemporalStore::ensure_cache) then
+    /// [`snapshot`](TemporalStore::snapshot), in one borrow.
+    pub fn snapshot_or_build(
+        &self,
+        agg: DynAggregate,
+        column: Option<usize>,
+    ) -> Arc<Series<Value>> {
+        let mut caches = self.caches.borrow_mut();
+        let cache = caches
+            .entry(CacheKey {
+                kind: agg.kind(),
+                column,
+            })
+            .or_insert_with(|| AggCache::build(agg, column, &self.relation));
+        cache.snapshot(self.epoch)
+    }
+
+    /// Aggregated maintenance counters across all caches.
+    pub fn cache_stats(&self) -> StoreCacheStats {
+        let caches = self.caches.borrow();
+        let mut stats = StoreCacheStats {
+            caches: caches.len(),
+            ..StoreCacheStats::default()
+        };
+        for cache in caches.values() {
+            stats.runs += cache.runs_len();
+            stats.patched_runs += cache.patched_runs();
+            stats.recomputed_windows += cache.recomputed_windows();
+            stats.live_versions += cache.live_versions();
+            stats.pinned_versions += cache.pinned_versions();
+        }
+        stats
+    }
+}

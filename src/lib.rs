@@ -89,6 +89,12 @@ pub mod sql {
     pub use tempagg_sql::*;
 }
 
+/// The mutable temporal store: DML, incrementally maintained aggregate
+/// caches, MVCC snapshot reads (DESIGN.md §13).
+pub mod store {
+    pub use tempagg_store::*;
+}
+
 /// The §6 workload generators and the paper's `Employed` example.
 pub mod workload {
     pub use tempagg_workload::*;
@@ -117,20 +123,25 @@ pub use tempagg_core::{
 };
 pub use tempagg_plan::{
     choose_algorithm, choose_parallelism, evaluate_auto, execute, execute_streaming, plan,
-    plan_by_cost, AlgorithmChoice, Calibration, CostModel, ExecutionReport, OrderingKnowledge,
-    Plan, PlannerConfig, RelationStats,
+    plan_by_cost, AlgorithmChoice, CacheReport, Calibration, CostModel, ExecutionReport,
+    OrderingKnowledge, Plan, PlannerConfig, RelationStats,
 };
-pub use tempagg_sql::{execute_str, execute_streaming_str, Catalog, QueryResult, StreamSummary};
+pub use tempagg_sql::{
+    execute_statement, execute_str, execute_streaming_str, Catalog, QueryResult, StatementOutput,
+    StreamSummary,
+};
+pub use tempagg_store::{StoreCacheStats, TemporalStore};
 
 /// Everything most programs need, in one import.
 pub mod prelude {
     pub use crate::{
-        evaluate_auto, execute_str, plan, Aggregate, AggregationTree, AlgorithmChoice, Avg,
-        BalancedAggregationTree, Catalog, Chunk, ChunkedSink, Count, CountingSink,
-        GroupedAggregate, Interval, KOrderedAggregationTree, LinkedListAggregate, Max, MemoryStats,
-        Min, OrderingKnowledge, PagedAggregationTree, PartitionedAggregator, PlannerConfig,
-        RelationStats, Series, SeriesSink, SpanGrouper, StitchSink, Sum, SweepAggregator,
-        TemporalAggregator, TemporalRelation, Timestamp, TwoScanAggregate, Value,
+        evaluate_auto, execute_statement, execute_str, plan, Aggregate, AggregationTree,
+        AlgorithmChoice, Avg, BalancedAggregationTree, Catalog, Chunk, ChunkedSink, Count,
+        CountingSink, GroupedAggregate, Interval, KOrderedAggregationTree, LinkedListAggregate,
+        Max, MemoryStats, Min, OrderingKnowledge, PagedAggregationTree, PartitionedAggregator,
+        PlannerConfig, RelationStats, Series, SeriesSink, SpanGrouper, StitchSink, Sum,
+        SweepAggregator, TemporalAggregator, TemporalRelation, TemporalStore, Timestamp,
+        TwoScanAggregate, Value,
     };
 }
 
