@@ -27,6 +27,7 @@ use crate::dynamic::{AggKind, DynAggregate};
 use crate::logic::{BoolAnd, BoolOr};
 use crate::min_max::{Max, Min};
 use crate::multi::MultiDyn;
+use crate::slot_extremes::SlotExtremes;
 use crate::sum::Sum;
 use crate::variance::{StdDev, Variance, VarianceState};
 use std::collections::BTreeMap;
@@ -91,6 +92,29 @@ pub trait SweepAggregate: Aggregate {
 
     /// Cost/exactness class for planner selection.
     fn sweep_class(&self) -> SweepClass;
+
+    /// Pre-size the active state for tuple slots `0..slots`, so the scan
+    /// loop that follows never allocates. Default: no-op (the delta
+    /// states are fixed-size scalars).
+    fn active_reserve(&self, _active: &mut Self::Active, _slots: usize) {}
+
+    /// [`active_insert`](Self::active_insert) with a stable *slot handle*
+    /// (the sweep's tuple index, baked into its sorted event records).
+    /// States that key their live set by slot — the gapless
+    /// [`SlotExtremes`](crate::SlotExtremes) of `MIN`/`MAX` — override
+    /// this for O(1) dense-array admits; everything else ignores the
+    /// handle and folds the value.
+    #[inline]
+    fn active_insert_slot(&self, active: &mut Self::Active, _slot: usize, value: &Self::Input) {
+        self.active_insert(active, value);
+    }
+
+    /// [`active_remove`](Self::active_remove) with the same slot handle
+    /// the value was admitted under.
+    #[inline]
+    fn active_remove_slot(&self, active: &mut Self::Active, _slot: usize, value: &Self::Input) {
+        self.active_remove(active, value);
+    }
 }
 
 impl SweepAggregate for Count {
@@ -215,29 +239,46 @@ impl<T> SweepAggregate for Min<T>
 where
     T: Ord + Clone + std::fmt::Debug + PartialEq + 'static,
 {
-    type Active = BTreeMap<T, u64>;
+    /// Gapless slot map with a cached minimum — O(1) admits/retracts by
+    /// tuple slot, allocation-free after `active_reserve` (see
+    /// [`SlotExtremes`]).
+    type Active = SlotExtremes<T>;
 
-    fn active_empty(&self) -> BTreeMap<T, u64> {
-        BTreeMap::new()
+    fn active_empty(&self) -> SlotExtremes<T> {
+        SlotExtremes::new(false)
     }
 
     #[inline]
-    fn active_insert(&self, active: &mut BTreeMap<T, u64>, value: &T) {
-        multiset_insert(active, value);
+    fn active_insert(&self, active: &mut SlotExtremes<T>, value: &T) {
+        active.insert_value(value);
     }
 
     #[inline]
-    fn active_remove(&self, active: &mut BTreeMap<T, u64>, value: &T) {
-        multiset_remove(active, value);
+    fn active_remove(&self, active: &mut SlotExtremes<T>, value: &T) {
+        active.remove_value(value);
     }
 
     #[inline]
-    fn active_output(&self, active: &BTreeMap<T, u64>) -> Option<T> {
-        active.keys().next().cloned()
+    fn active_output(&self, active: &SlotExtremes<T>) -> Option<T> {
+        active.best().cloned()
     }
 
     fn sweep_class(&self) -> SweepClass {
         SweepClass::Ordered
+    }
+
+    fn active_reserve(&self, active: &mut SlotExtremes<T>, slots: usize) {
+        active.reserve(slots);
+    }
+
+    #[inline]
+    fn active_insert_slot(&self, active: &mut SlotExtremes<T>, slot: usize, value: &T) {
+        active.insert_slot(slot, value);
+    }
+
+    #[inline]
+    fn active_remove_slot(&self, active: &mut SlotExtremes<T>, slot: usize, _value: &T) {
+        active.remove_slot(slot);
     }
 }
 
@@ -245,29 +286,44 @@ impl<T> SweepAggregate for Max<T>
 where
     T: Ord + Clone + std::fmt::Debug + PartialEq + 'static,
 {
-    type Active = BTreeMap<T, u64>;
+    /// Gapless slot map with a cached maximum (see [`SlotExtremes`]).
+    type Active = SlotExtremes<T>;
 
-    fn active_empty(&self) -> BTreeMap<T, u64> {
-        BTreeMap::new()
+    fn active_empty(&self) -> SlotExtremes<T> {
+        SlotExtremes::new(true)
     }
 
     #[inline]
-    fn active_insert(&self, active: &mut BTreeMap<T, u64>, value: &T) {
-        multiset_insert(active, value);
+    fn active_insert(&self, active: &mut SlotExtremes<T>, value: &T) {
+        active.insert_value(value);
     }
 
     #[inline]
-    fn active_remove(&self, active: &mut BTreeMap<T, u64>, value: &T) {
-        multiset_remove(active, value);
+    fn active_remove(&self, active: &mut SlotExtremes<T>, value: &T) {
+        active.remove_value(value);
     }
 
     #[inline]
-    fn active_output(&self, active: &BTreeMap<T, u64>) -> Option<T> {
-        active.keys().next_back().cloned()
+    fn active_output(&self, active: &SlotExtremes<T>) -> Option<T> {
+        active.best().cloned()
     }
 
     fn sweep_class(&self) -> SweepClass {
         SweepClass::Ordered
+    }
+
+    fn active_reserve(&self, active: &mut SlotExtremes<T>, slots: usize) {
+        active.reserve(slots);
+    }
+
+    #[inline]
+    fn active_insert_slot(&self, active: &mut SlotExtremes<T>, slot: usize, value: &T) {
+        active.insert_slot(slot, value);
+    }
+
+    #[inline]
+    fn active_remove_slot(&self, active: &mut SlotExtremes<T>, slot: usize, _value: &T) {
+        active.remove_slot(slot);
     }
 }
 

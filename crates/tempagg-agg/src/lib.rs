@@ -21,6 +21,7 @@ mod dynamic;
 mod logic;
 mod min_max;
 mod multi;
+mod slot_extremes;
 mod sum;
 mod variance;
 
@@ -33,5 +34,6 @@ pub use dynamic::{AggKind, DynAggregate, DynState};
 pub use logic::{BoolAnd, BoolOr};
 pub use min_max::{Max, Min};
 pub use multi::MultiDyn;
+pub use slot_extremes::SlotExtremes;
 pub use sum::Sum;
 pub use variance::{StdDev, Variance, VarianceKind, VarianceState};

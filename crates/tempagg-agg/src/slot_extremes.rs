@@ -1,0 +1,225 @@
+//! A gapless-slot active state for the `Ordered`-class extremum
+//! aggregates (`MIN`/`MAX`).
+//!
+//! The original sweep kept a `BTreeMap<T, u64>` multiset: every admit and
+//! retract pays a pointer-chasing tree descent, and the scan's memory
+//! traffic is dominated by cold node lines. [`SlotExtremes`] follows
+//! Piatov et al. (arXiv:2008.12665) instead: the live values sit in a
+//! dense [`GaplessSlots`] array addressed by the tuple index the sweep
+//! bakes into its event records, so admits and retracts are O(1) array
+//! writes with **no allocation** after
+//! [`SweepAggregate::active_reserve`](crate::SweepAggregate::active_reserve).
+//! The current extremum is cached as `(value, live copies)`; only when
+//! the *last* live copy of the extremum retracts does a flat rescan of
+//! the dense array run — a sequential sweep the prefetcher hides, though
+//! an adversarial strictly-monotone teardown costs O(a) per retract
+//! (worst case O(n·a) overall, vs. the multiset's uniform O(log a); on
+//! real workloads the rescans are rare and cheap).
+//!
+//! The value-based [`insert_value`](SlotExtremes::insert_value) /
+//! [`remove_value`](SlotExtremes::remove_value) pair serves callers that
+//! have no stable tuple index (the incremental store cache patches by
+//! value); a value removal linearly scans the dense array for one
+//! matching copy. Do not mix anonymous value inserts with caller-chosen
+//! slots in one state — anonymous inserts claim fresh slots above
+//! everything reserved so far.
+
+use std::fmt;
+use tempagg_core::GaplessSlots;
+
+/// Dense slot-map active state with a cached extremum.
+#[derive(Clone)]
+pub struct SlotExtremes<T> {
+    slots: GaplessSlots<T>,
+    /// `true` tracks the maximum, `false` the minimum.
+    max: bool,
+    /// The current extremum and how many live copies of it exist; `None`
+    /// when no tuple is live.
+    best: Option<(T, u64)>,
+}
+
+impl<T: Ord + Clone> SlotExtremes<T> {
+    /// An empty state tracking the minimum (`max = false`) or maximum.
+    pub fn new(max: bool) -> Self {
+        SlotExtremes {
+            slots: GaplessSlots::new(),
+            max,
+            best: None,
+        }
+    }
+
+    /// Pre-size for slots `0..slots` so the scan never allocates.
+    pub fn reserve(&mut self, slots: usize) {
+        self.slots.reserve_slots(slots);
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no value is live.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The current extremum, if any value is live.
+    pub fn best(&self) -> Option<&T> {
+        self.best.as_ref().map(|(v, _)| v)
+    }
+
+    /// Is `candidate` at least as extreme as `incumbent`?
+    #[inline]
+    fn no_worse(&self, candidate: &T, incumbent: &T) -> bool {
+        if self.max {
+            candidate >= incumbent
+        } else {
+            candidate <= incumbent
+        }
+    }
+
+    #[inline]
+    fn note_inserted(&mut self, value: &T) {
+        match &mut self.best {
+            Some((incumbent, copies)) => {
+                if value == incumbent {
+                    *copies += 1;
+                } else if self.max && value > incumbent || !self.max && value < incumbent {
+                    self.best = Some((value.clone(), 1));
+                }
+            }
+            None => self.best = Some((value.clone(), 1)),
+        }
+    }
+
+    /// Rescan the dense array for the new extremum — only runs when the
+    /// last live copy of the old extremum retracted.
+    fn rescan(&mut self) {
+        let mut best: Option<(T, u64)> = None;
+        for v in self.slots.values() {
+            match &mut best {
+                Some((incumbent, copies)) => {
+                    if v == incumbent {
+                        *copies += 1;
+                    } else if self.no_worse(v, incumbent) {
+                        best = Some((v.clone(), 1));
+                    }
+                }
+                None => best = Some((v.clone(), 1)),
+            }
+        }
+        self.best = best;
+    }
+
+    #[inline]
+    fn note_removed(&mut self, value: &T) {
+        if let Some((incumbent, copies)) = &mut self.best {
+            if value == incumbent {
+                *copies -= 1;
+                if *copies == 0 {
+                    self.rescan();
+                }
+            }
+        }
+    }
+
+    /// Make `slot` live with `value` (the sweep's admit path).
+    pub fn insert_slot(&mut self, slot: usize, value: &T) {
+        self.slots.insert(slot, value.clone());
+        self.note_inserted(value);
+    }
+
+    /// Retract `slot`'s value (the sweep's retract path). Unknown slots
+    /// are ignored.
+    pub fn remove_slot(&mut self, slot: usize) {
+        if let Some(gone) = self.slots.remove(slot) {
+            self.note_removed(&gone);
+        }
+    }
+
+    /// Insert a copy of `value` without a caller-chosen slot: a fresh
+    /// slot above everything live or reserved is claimed for it.
+    pub fn insert_value(&mut self, value: &T) {
+        let slot = self.slots.slot_capacity();
+        self.insert_slot(slot, value);
+    }
+
+    /// Remove one live copy of `value`, if any exists (multiset
+    /// semantics: absent values are a no-op). Linear in the live count.
+    pub fn remove_value(&mut self, value: &T) {
+        let found = self.slots.iter().find(|(_, v)| *v == value).map(|(s, _)| s);
+        if let Some(slot) = found {
+            self.remove_slot(slot);
+        }
+    }
+}
+
+impl<T: Ord + Clone + fmt::Debug> fmt::Debug for SlotExtremes<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotExtremes")
+            .field("max", &self.max)
+            .field("live", &self.slots)
+            .field("best", &self.best)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_minimum_through_slot_churn() {
+        let mut s: SlotExtremes<i64> = SlotExtremes::new(false);
+        s.reserve(4);
+        s.insert_slot(0, &5);
+        s.insert_slot(1, &3);
+        s.insert_slot(2, &9);
+        assert_eq!(s.best(), Some(&3));
+        s.remove_slot(1);
+        assert_eq!(s.best(), Some(&5));
+        s.remove_slot(0);
+        assert_eq!(s.best(), Some(&9));
+        s.remove_slot(2);
+        assert_eq!(s.best(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn duplicate_extrema_survive_single_removal() {
+        let mut s: SlotExtremes<i64> = SlotExtremes::new(true);
+        s.insert_slot(0, &7);
+        s.insert_slot(1, &7);
+        s.insert_slot(2, &2);
+        s.remove_slot(0);
+        assert_eq!(s.best(), Some(&7), "second copy of the max is still live");
+        s.remove_slot(1);
+        assert_eq!(s.best(), Some(&2));
+    }
+
+    #[test]
+    fn value_api_behaves_like_a_multiset() {
+        let mut s: SlotExtremes<i64> = SlotExtremes::new(false);
+        s.insert_value(&4);
+        s.insert_value(&4);
+        s.insert_value(&8);
+        s.remove_value(&4);
+        assert_eq!(s.best(), Some(&4));
+        s.remove_value(&4);
+        assert_eq!(s.best(), Some(&8));
+        // Removing an absent value is a no-op.
+        s.remove_value(&100);
+        assert_eq!(s.best(), Some(&8));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn unknown_slot_removal_is_ignored() {
+        let mut s: SlotExtremes<i64> = SlotExtremes::new(true);
+        s.insert_slot(3, &1);
+        s.remove_slot(99);
+        s.remove_slot(3);
+        s.remove_slot(3);
+        assert_eq!(s.best(), None);
+    }
+}

@@ -28,6 +28,7 @@
 mod agg_tree;
 mod balanced;
 mod group_by;
+mod join;
 mod ktree;
 mod linked_list;
 pub mod memory;
@@ -38,6 +39,7 @@ pub mod parallel;
 pub mod snapshot;
 mod span_group;
 mod sweep;
+mod sweep_v1;
 mod traits;
 mod tree;
 mod two_scan;
@@ -47,6 +49,7 @@ pub mod validate;
 pub use agg_tree::AggregationTree;
 pub use balanced::BalancedAggregationTree;
 pub use group_by::GroupedAggregate;
+pub use join::{JoinPair, JoinPredicate, SweepJoinOperator};
 pub use ktree::KOrderedAggregationTree;
 pub use linked_list::LinkedListAggregate;
 pub use memory::MemoryStats;
@@ -54,5 +57,6 @@ pub use paged::PagedAggregationTree;
 pub use parallel::{scoped_map, PartitionReport, PartitionedAggregator};
 pub use span_group::SpanGrouper;
 pub use sweep::SweepAggregator;
+pub use sweep_v1::SweepAggregatorV1;
 pub use traits::{run, run_with_stats, TemporalAggregator};
 pub use two_scan::TwoScanAggregate;

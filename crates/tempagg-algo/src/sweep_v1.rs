@@ -1,0 +1,240 @@
+//! The original (v1) columnar endpoint sweep, kept as a reference kernel.
+//!
+//! [`SweepAggregatorV1`] is the PR-3 implementation verbatim: two
+//! indirect permutation sorts (`by_start`, `by_end`) over the columnar
+//! runs plus an explicit sorted-and-deduplicated boundary vector, with a
+//! per-boundary admit/retract scan. The production
+//! [`SweepAggregator`](crate::sweep::SweepAggregator) (v2) replaces the
+//! three sorts with one direct sort of 16-byte
+//! [`EndpointEvent`](tempagg_core::EndpointEvent)s — radix-scattered into
+//! cache-sized runs and sorted per bucket — and the double-indirect scan
+//! with a single forward event replay over dense slot handles. v1 stays
+//! in the tree as the agreement oracle: the sweep-v2 test matrix and the
+//! `harness sweep` benchmark both assert byte-identical output against
+//! it, and its simpler structure is the specification of what the sweep
+//! must emit (one entry per boundary segment, never value-coalesced).
+
+use crate::memory::{MemoryStats, MODEL_POINTER_BYTES};
+use crate::traits::TemporalAggregator;
+use tempagg_agg::SweepAggregate;
+#[cfg(feature = "validate")]
+use tempagg_core::SeriesEntry;
+use tempagg_core::{Chunk, Interval, Result, SeriesSink, TempAggError, Timestamp};
+
+/// The v1 endpoint sweep: monolithic sorts, boundary vector, multiset
+/// active states. Reference kernel — prefer
+/// [`SweepAggregator`](crate::sweep::SweepAggregator).
+#[derive(Clone, Debug)]
+pub struct SweepAggregatorV1<A: SweepAggregate> {
+    agg: A,
+    domain: Interval,
+    starts: Vec<Timestamp>,
+    ends: Vec<Timestamp>,
+    values: Vec<A::Input>,
+}
+
+impl<A: SweepAggregate> SweepAggregatorV1<A> {
+    /// A sweep over the paper's time-line `[0, ∞]`.
+    pub fn new(agg: A) -> Self {
+        Self::with_domain(agg, Interval::TIMELINE)
+    }
+
+    /// A sweep over an explicit domain.
+    pub fn with_domain(agg: A, domain: Interval) -> Self {
+        SweepAggregatorV1 {
+            agg,
+            domain,
+            starts: Vec::new(),
+            ends: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Tuples buffered so far.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// `true` before the first insertion.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// The constant-interval boundaries induced by the buffered runs: the
+    /// domain start, every tuple start, and the instant after every tuple
+    /// end — sorted and deduplicated.
+    fn boundaries(&self) -> Vec<Timestamp> {
+        let mut boundaries = Vec::with_capacity(2 * self.starts.len() + 1);
+        boundaries.push(self.domain.start());
+        for &s in &self.starts {
+            if s > self.domain.start() {
+                boundaries.push(s);
+            }
+        }
+        for &e in &self.ends {
+            if e < self.domain.end() {
+                boundaries.push(e.next());
+            }
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        boundaries
+    }
+}
+
+impl<A: SweepAggregate> TemporalAggregator<A> for SweepAggregatorV1<A> {
+    fn algorithm(&self) -> &'static str {
+        "endpoint-sweep-v1"
+    }
+
+    fn domain(&self) -> Interval {
+        self.domain
+    }
+
+    fn push(&mut self, interval: Interval, value: A::Input) -> Result<()> {
+        if !self.domain.covers(&interval) {
+            return Err(TempAggError::OutOfDomain {
+                tuple: (interval.start(), interval.end()),
+                domain: (self.domain.start(), self.domain.end()),
+            });
+        }
+        self.starts.push(interval.start());
+        self.ends.push(interval.end());
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Batched insert: a straight column append, domain-checked as a
+    /// whole batch before any column is touched.
+    fn push_batch(&mut self, chunk: &Chunk<A::Input>) -> Result<()>
+    where
+        A::Input: Clone,
+    {
+        if let Some(outside) = chunk.first_outside(self.domain) {
+            return Err(TempAggError::OutOfDomain {
+                tuple: (outside.start(), outside.end()),
+                domain: (self.domain.start(), self.domain.end()),
+            });
+        }
+        chunk.append_columns_to(&mut self.starts, &mut self.ends, &mut self.values);
+        Ok(())
+    }
+
+    fn finish_into(self, sink: &mut impl SeriesSink<A::Output>) {
+        let n = self.starts.len();
+        let boundaries = self.boundaries();
+
+        // Two endpoint orders over the same runs, sorted once. Indirect
+        // sort keeps the value column untouched — only flat index arrays
+        // and `i64` keys move.
+        let mut by_start: Vec<usize> = (0..n).collect();
+        by_start.sort_unstable_by_key(|&i| self.starts[i]);
+        let mut by_end: Vec<usize> = (0..n).collect();
+        by_end.sort_unstable_by_key(|&i| self.ends[i]);
+
+        // Under `validate` the scan is materialized first so the tiling
+        // check can inspect it; otherwise every segment streams straight
+        // out of the endpoint scan.
+        #[cfg(feature = "validate")]
+        let mut entries: Vec<SeriesEntry<A::Output>> = Vec::with_capacity(boundaries.len());
+        let mut active = self.agg.active_empty();
+        let (mut si, mut ei) = (0usize, 0usize);
+        // lint: hot-loop(endpoint-scan-v1) — the per-boundary admit/retract scan must stay allocation-free
+        for (i, &start) in boundaries.iter().enumerate() {
+            // A constant interval starting at `start` covers exactly the
+            // tuples with tuple.start <= start <= tuple.end: admit newly
+            // started runs, retract runs that ended before `start`.
+            // lint: allow(indexing): by_start is a permutation of 0..n and si < n is the loop guard
+            while si < n && self.starts[by_start[si]] <= start {
+                self.agg
+                    // lint: allow(indexing): same permutation bound as the loop guard above
+                    .active_insert(&mut active, &self.values[by_start[si]]);
+                si += 1;
+            }
+            // lint: allow(indexing): by_end is a permutation of 0..n and ei < n is the loop guard
+            while ei < n && self.ends[by_end[ei]] < start {
+                self.agg
+                    // lint: allow(indexing): same permutation bound as the loop guard above
+                    .active_remove(&mut active, &self.values[by_end[ei]]);
+                ei += 1;
+            }
+            let end = boundaries
+                .get(i + 1)
+                .map_or(self.domain.end(), |next| next.prev());
+            // lint: allow(no-unwrap): boundaries are sorted and deduplicated, so start <= end by construction
+            let segment = Interval::new(start, end).expect("boundaries are increasing");
+            let value = self.agg.active_output(&active);
+            #[cfg(feature = "validate")]
+            entries.push(SeriesEntry::new(segment, value));
+            #[cfg(not(feature = "validate"))]
+            sink.accept(segment, value);
+        }
+        #[cfg(feature = "validate")]
+        {
+            crate::validate::assert_series_tiles(&entries, self.domain, "endpoint-sweep-v1");
+            for e in entries {
+                sink.accept(e.interval, e.value);
+            }
+        }
+    }
+
+    fn memory(&self) -> MemoryStats {
+        MemoryStats {
+            live_nodes: self.starts.len(),
+            peak_nodes: self.starts.len(),
+            // One buffered run: two timestamps plus the aggregate value
+            // under the paper's 4-byte-word model. No pointers — that is
+            // the point of the columnar layout.
+            node_model_bytes: MODEL_POINTER_BYTES + self.agg.state_model_bytes(),
+            node_actual_bytes: 2 * std::mem::size_of::<Timestamp>()
+                + std::mem::size_of::<A::Input>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempagg_agg::{Count, Min};
+
+    #[test]
+    fn v1_reproduces_table1() {
+        let mut s = SweepAggregatorV1::new(Count);
+        s.push(Interval::from_start(18), ()).unwrap();
+        s.push(Interval::at(8, 20), ()).unwrap();
+        s.push(Interval::at(7, 12), ()).unwrap();
+        s.push(Interval::at(18, 21), ()).unwrap();
+        assert_eq!(s.algorithm(), "endpoint-sweep-v1");
+        let rows: Vec<(Interval, u64)> = s.finish().iter().map(|e| (e.interval, e.value)).collect();
+        assert_eq!(
+            rows,
+            vec![
+                (Interval::at(0, 6), 0),
+                (Interval::at(7, 7), 1),
+                (Interval::at(8, 12), 2),
+                (Interval::at(13, 17), 1),
+                (Interval::at(18, 20), 3),
+                (Interval::at(21, 21), 2),
+                (Interval::from_start(22), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn v1_min_multiset_survives_duplicates() {
+        let mut s = SweepAggregatorV1::with_domain(Min::<i64>::new(), Interval::at(0, 30));
+        s.push(Interval::at(0, 10), 5).unwrap();
+        s.push(Interval::at(0, 20), 5).unwrap();
+        s.push(Interval::at(0, 30), 9).unwrap();
+        let rows: Vec<(Interval, Option<i64>)> =
+            s.finish().iter().map(|e| (e.interval, e.value)).collect();
+        assert_eq!(
+            rows,
+            vec![
+                (Interval::at(0, 10), Some(5)),
+                (Interval::at(11, 20), Some(5)),
+                (Interval::at(21, 30), Some(9)),
+            ]
+        );
+    }
+}

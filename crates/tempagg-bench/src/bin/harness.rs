@@ -13,7 +13,7 @@
 //! harness ablation               # §7 future-work ablations
 //! harness pipeline               # serial vs domain-partitioned execution
 //! harness stream                 # streaming vs materialized result emission
-//! harness sweep                  # endpoint sweep vs list/tree/k-tree
+//! harness sweep                  # parallel sweep v2 vs v1 + interval join
 //! harness ingest                 # incremental cache patching vs recompute
 //! harness calibrate              # measure per-unit costs for the planner
 //!
@@ -40,7 +40,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use tempagg_bench::{
-    count_tuples, median_over_seeds, run_agg, run_count, run_count_partitioned, secs, size_sweep,
+    count_tuples, median_over_seeds, run_count, run_count_partitioned, secs, size_sweep,
     AlgoConfig, RunMeasurement,
 };
 use tempagg_core::sortedness;
@@ -976,23 +976,55 @@ fn ablation(options: &Options, sink: &mut Sink) {
 
 // ─────────────────────────── Endpoint sweep ─────────────────────────
 
-/// The committed perf trajectory: the columnar endpoint sweep against the
-/// paper's algorithms, single-threaded, writing `BENCH_sweep.json` to the
-/// repo root (tracked) and to `target/`. The acceptance point is
-/// n = 100 000 random tuples, COUNT and SUM.
-fn sweep_bench(options: &Options, sink: &mut Sink) {
-    use tempagg_agg::Sum;
+/// Time one aggregator run (pushes + finish, matching [`run_agg`]),
+/// returning the measurement *and* the series so the caller can assert
+/// byte-identity between the v1 and v2 sweeps.
+fn timed_series<A, G>(
+    mut aggregator: G,
+    tuples: &[(Interval, A::Input)],
+) -> (RunMeasurement, tempagg_core::Series<A::Output>)
+where
+    A: tempagg_agg::SweepAggregate,
+    G: tempagg_algo::TemporalAggregator<A>,
+    A::Input: Clone,
+{
+    let started = Instant::now();
+    for (iv, v) in tuples {
+        aggregator
+            .push(*iv, v.clone())
+            // lint: allow(no-unwrap): measurement must abort on a misconfigured scenario, not skew timings with handling
+            .expect("benchmark tuples fit the timeline");
+    }
+    let memory = aggregator.memory();
+    let series = aggregator.finish();
+    let m = RunMeasurement {
+        elapsed: started.elapsed(),
+        memory,
+        result_rows: series.len(),
+    };
+    (m, series)
+}
 
-    // n = 1e5 is the tracked acceptance point; `--max` / `--quick`
+fn sweep_bench(options: &Options, sink: &mut Sink) {
+    use tempagg_agg::{Count, Sum};
+    use tempagg_algo::{
+        JoinPredicate, MemoryStats, SweepAggregator, SweepAggregatorV1, SweepJoinOperator,
+    };
+    use tempagg_core::CountingSink;
+
+    // n = 1e7 is the tracked acceptance point; `--max` / `--quick`
     // override it for exploratory runs.
     let n = if options.max_tuples == 65_536 {
-        100_000
+        10_000_000
     } else {
         options.max_tuples
     };
+    let threads_available =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     emit!(
         sink,
-        "\n== Endpoint sweep vs list / tree / k-tree: n = {n}, single-threaded =="
+        "\n== Sweep v2 (cache-partitioned parallel sort, gapless live set) \
+         vs sweep v1: n = {n}, host threads = {threads_available} =="
     );
 
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -1002,10 +1034,11 @@ fn sweep_bench(options: &Options, sink: &mut Sink) {
                   algo: String,
                   aggregate: &str,
                   k: &str,
+                  n_row: usize,
                   m: RunMeasurement|
      -> f64 {
         let elapsed = m.elapsed.as_secs_f64();
-        let ns_per_tuple = m.elapsed.as_nanos() as f64 / n as f64;
+        let ns_per_tuple = m.elapsed.as_nanos() as f64 / n_row as f64;
         rows.push(vec![
             algo.clone(),
             aggregate.to_owned(),
@@ -1016,7 +1049,7 @@ fn sweep_bench(options: &Options, sink: &mut Sink) {
             m.result_rows.to_string(),
         ]);
         json.push(format!(
-            "    {{\"algo\": \"{algo}\", \"aggregate\": \"{aggregate}\", \"n\": {n}, \
+            "    {{\"algo\": \"{algo}\", \"aggregate\": \"{aggregate}\", \"n\": {n_row}, \
              \"k\": \"{k}\", \"seconds\": {elapsed:.6}, \"ns_per_tuple\": {ns_per_tuple:.2}, \
              \"peak_model_bytes\": {}, \"result_rows\": {}}}",
             m.memory.peak_model_bytes(),
@@ -1025,7 +1058,14 @@ fn sweep_bench(options: &Options, sink: &mut Sink) {
         elapsed
     };
 
-    // Random input (the acceptance scenario), COUNT and SUM.
+    // Random input (the acceptance scenario), COUNT and SUM: the v1 sweep
+    // (three endpoint-column sorts, double-indirect merge scan) against
+    // the v2 sweep at P ∈ {1, 2, 4, 8}. Every v2 run must produce a
+    // byte-identical series to v1. Each configuration is timed `reps`
+    // times and the minimum kept — virtualized hosts show multi-second
+    // scheduling noise on identical work, and the minimum is the least
+    // contaminated estimate of the true cost.
+    let reps = if options.smoke { 1 } else { 3 };
     let relation = generate(&WorkloadConfig::random(n).with_seed(1));
     // lint: allow(no-unwrap): the workload generator always emits a salary column
     let salary_idx = relation.schema().index_of("salary").expect("salary column");
@@ -1035,80 +1075,146 @@ fn sweep_bench(options: &Options, sink: &mut Sink) {
         // lint: allow(no-unwrap): generated salaries are always integers
         .map(|t| (t.valid(), t.value(salary_idx).as_i64().expect("int salary")))
         .collect();
+    drop(relation);
     let mut speedups: Vec<String> = Vec::new();
-    for (aggregate, runner) in [
-        (
-            "COUNT",
-            Box::new(|c: AlgoConfig| run_count(c, &unit))
-                as Box<dyn Fn(AlgoConfig) -> RunMeasurement>,
-        ),
-        (
-            "SUM",
-            Box::new(|c: AlgoConfig| run_agg(c, Sum::<i64>::new(), &sums)),
-        ),
-    ] {
-        let sweep = runner(AlgoConfig::Sweep);
-        let sweep_secs = record(
-            &mut rows,
-            &mut json,
-            AlgoConfig::Sweep.label(),
-            aggregate,
-            "random",
-            sweep,
-        );
-        for config in [AlgoConfig::LinkedList, AlgoConfig::AggregationTree] {
-            let m = runner(config);
-            assert_eq!(
-                m.result_rows,
-                sweep.result_rows,
-                "{} and the sweep disagree on {aggregate} row counts",
-                config.label()
+
+    macro_rules! versus_v1 {
+        ($aggregate:literal, $agg:expr, $tuples:expr) => {{
+            let (mut v1, v1_series) = timed_series(SweepAggregatorV1::new($agg), $tuples);
+            for _ in 1..reps {
+                let (m, _) = timed_series(SweepAggregatorV1::new($agg), $tuples);
+                if m.elapsed < v1.elapsed {
+                    v1 = m;
+                }
+            }
+            let v1_secs = record(
+                &mut rows,
+                &mut json,
+                AlgoConfig::SweepV1.label(),
+                $aggregate,
+                "random",
+                n,
+                v1,
             );
-            let rival_secs = record(&mut rows, &mut json, config.label(), aggregate, "random", m);
-            speedups.push(format!(
-                "sweep vs {} ({aggregate}, random): {:.1}x",
-                config.label(),
-                rival_secs / sweep_secs.max(f64::EPSILON)
-            ));
-        }
+            let mut best = 0.0f64;
+            for threads in [1usize, 2, 4, 8] {
+                let mut fastest: Option<RunMeasurement> = None;
+                for _ in 0..reps {
+                    let (m, series) = timed_series(
+                        SweepAggregator::new($agg).with_parallelism(threads),
+                        $tuples,
+                    );
+                    assert!(
+                        series == v1_series,
+                        "sweep v2 P={threads} diverges from v1 on {}",
+                        $aggregate
+                    );
+                    if fastest.as_ref().map_or(true, |f| m.elapsed < f.elapsed) {
+                        fastest = Some(m);
+                    }
+                }
+                // lint: allow(no-unwrap): reps >= 1, so at least one measurement landed
+                let m = fastest.expect("at least one timed rep");
+                let v2_secs = record(
+                    &mut rows,
+                    &mut json,
+                    AlgoConfig::SweepParallel { threads }.label(),
+                    $aggregate,
+                    "random",
+                    n,
+                    m,
+                );
+                let speedup = v1_secs / v2_secs.max(f64::EPSILON);
+                best = best.max(speedup);
+                speedups.push(format!(
+                    "sweep v2 P={threads} vs v1 ({}, random): {speedup:.1}x (byte-identical)",
+                    $aggregate
+                ));
+            }
+            best
+        }};
     }
 
-    // Sorted and k-ordered input: the sweep against the streaming k-tree.
-    for (k_label, config, workload) in [
-        (
-            "0",
-            AlgoConfig::KTreeSorted,
-            WorkloadConfig {
-                tuples: n,
-                order: TupleOrder::Sorted,
-                seed: 1,
-                ..Default::default()
-            },
-        ),
-        (
-            "16",
-            AlgoConfig::KTree { k: 16 },
-            tempagg_bench::workload_for(AlgoConfig::KTree { k: 16 }, n, 0, options.k_pct, 1),
-        ),
-    ] {
-        let tuples = count_tuples(&workload);
-        let sweep = run_count(AlgoConfig::Sweep, &tuples);
-        record(
-            &mut rows,
-            &mut json,
-            AlgoConfig::Sweep.label(),
-            "COUNT",
-            k_label,
-            sweep,
+    let best_count = versus_v1!("COUNT", Count, &unit);
+    let best_sum = versus_v1!("SUM", Sum::<i64>::new(), &sums);
+
+    // Sweep-based interval join (OVERLAPS) through a CountingSink: join
+    // output may overlap, so only relaxed sinks apply. Full runs use a
+    // stretched lifespan to keep the pair count near the input size (a
+    // throughput row, not an output-explosion stress test); the smoke run
+    // keeps the domain dense and checks the count against a nested loop.
+    let (join_n, join_lifespan) = if options.smoke {
+        (400usize, 100_000i64)
+    } else {
+        (n / 10, 1_000_000_000i64)
+    };
+    let gen_side = |seed: u64| -> Vec<Interval> {
+        generate(
+            &WorkloadConfig::random(join_n)
+                .with_seed(seed)
+                .with_lifespan(join_lifespan),
+        )
+        .intervals()
+        .collect()
+    };
+    let (left, right) = (gen_side(2), gen_side(3));
+    let started = Instant::now();
+    let mut operator =
+        SweepJoinOperator::new(JoinPredicate::Overlaps).with_parallelism(threads_available.min(8));
+    for iv in &left {
+        // lint: allow(no-unwrap): generated intervals always fit the timeline
+        operator.push_left(*iv).expect("interval fits the timeline");
+    }
+    for iv in &right {
+        operator
+            .push_right(*iv)
+            // lint: allow(no-unwrap): generated intervals always fit the timeline
+            .expect("interval fits the timeline");
+    }
+    let mut counting = CountingSink::new();
+    operator.finish_into(&mut counting);
+    let join_elapsed = started.elapsed();
+    let pairs = counting.entries();
+    let join_secs = record(
+        &mut rows,
+        &mut json,
+        "Sweep Join (OVERLAPS)".into(),
+        "JOIN",
+        "random",
+        2 * join_n,
+        RunMeasurement {
+            elapsed: join_elapsed,
+            memory: MemoryStats::default(),
+            result_rows: pairs,
+        },
+    );
+    speedups.push(format!(
+        "join throughput: {:.2}M pairs/s ({pairs} pairs from {join_n} tuples/side)",
+        pairs as f64 / join_secs.max(f64::EPSILON) / 1e6
+    ));
+    if options.smoke {
+        let want = left
+            .iter()
+            .map(|l| {
+                right
+                    .iter()
+                    .filter(|r| JoinPredicate::Overlaps.matches(*l, **r))
+                    .count()
+            })
+            .sum::<usize>();
+        assert_eq!(
+            pairs, want,
+            "sweep join disagrees with the nested-loop oracle"
         );
-        let m = run_count(config, &tuples);
-        assert_eq!(m.result_rows, sweep.result_rows);
-        record(&mut rows, &mut json, config.label(), "COUNT", k_label, m);
+        emit!(
+            sink,
+            "[--test: sweep join agrees with the nested-loop oracle: {pairs} pairs]"
+        );
     }
 
     print_table(
         sink,
-        "endpoint sweep vs rivals (k = disorder bound; \"random\" = unordered)",
+        "sweep v2 vs v1 and the interval join (P = sort workers; \"random\" = unordered)",
         &[
             "algorithm".into(),
             "aggregate".into(),
@@ -1125,7 +1231,7 @@ fn sweep_bench(options: &Options, sink: &mut Sink) {
     }
 
     let payload = format!(
-        "{{\n  \"experiment\": \"sweep\",\n  \"n\": {n},\n  \"threads\": 1,\n  \
+        "{{\n  \"experiment\": \"sweep\",\n  \"n\": {n},\n  \"threads\": {threads_available},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         json.join(",\n")
     );
@@ -1133,6 +1239,13 @@ fn sweep_bench(options: &Options, sink: &mut Sink) {
         emit!(sink, "\n[--test: tracked BENCH_sweep.json left untouched]");
         return;
     }
+    // Acceptance gate for the tracked artifact: v2's one direct 16-byte
+    // event sort + gapless-slot scan must beat v1's three column sorts +
+    // double-indirect scan by ≥3x on both aggregates.
+    assert!(
+        best_count >= 3.0 && best_sum >= 3.0,
+        "sweep v2 must beat v1 by ≥3x (got COUNT {best_count:.1}x, SUM {best_sum:.1}x)"
+    );
     let root_path = repo_root().join("BENCH_sweep.json");
     match write_atomic(&root_path, &payload) {
         Ok(()) => emit!(sink, "\n[sweep timings written to {}]", root_path.display()),
@@ -1406,12 +1519,26 @@ fn calibrate(options: &Options, sink: &mut Sink) {
     let sweep_sort_ns = clamp_positive((t1 * e2 - t2 * e1) / (a1 * e2 - a2 * e1));
     let sweep_event_ns = clamp_positive((t2 - a2 * sweep_sort_ns) / e2);
 
+    // Parallel sort: the model prices the cache-partitioned path as
+    // e·log₂(e)·parallel_sort/p, so measure the sweep on two workers and
+    // back the per-unit constant out after removing the scan term. On a
+    // single-core host this lands near 2× `sweep_sort_ns` — the honest
+    // answer: splitting the sort buys nothing here.
+    let p = 2.0f64;
+    let tp = nanos(&median_over_seeds(
+        AlgoConfig::SweepParallel { threads: 2 },
+        |seed| WorkloadConfig::random(n2).with_seed(seed),
+        seeds,
+    ));
+    let parallel_sort_ns = clamp_positive((tp - e2 * sweep_event_ns) * p / a2);
+
     let cal = Calibration {
         list_cell_ns: clamp_positive(list_cell_ns),
         tree_node_ns: clamp_positive(tree_node_ns),
         ktree_node_ns: clamp_positive(ktree_node_ns),
         sweep_sort_ns,
         sweep_event_ns,
+        parallel_sort_ns,
     };
     emit!(sink, "\n{}", cal.emit().trim_end());
 

@@ -13,7 +13,8 @@ use std::time::{Duration, Instant};
 use tempagg_agg::{Count, SweepAggregate};
 use tempagg_algo::{
     AggregationTree, BalancedAggregationTree, KOrderedAggregationTree, LinkedListAggregate,
-    MemoryStats, PartitionedAggregator, SweepAggregator, TemporalAggregator, TwoScanAggregate,
+    MemoryStats, PartitionedAggregator, SweepAggregator, SweepAggregatorV1, TemporalAggregator,
+    TwoScanAggregate,
 };
 use tempagg_core::{Chunk, Interval, Timestamp, DEFAULT_CHUNK_CAPACITY};
 use tempagg_workload::{generate, TupleOrder, WorkloadConfig};
@@ -35,6 +36,12 @@ pub enum AlgoConfig {
     Balanced,
     /// Columnar endpoint sweep (beyond the paper).
     Sweep,
+    /// The v1 sweep kept as a comparison baseline: three endpoint-column
+    /// sorts and a double-indirect merge scan.
+    SweepV1,
+    /// The v2 sweep with its cache-partitioned endpoint sort on `threads`
+    /// workers.
+    SweepParallel { threads: usize },
 }
 
 impl AlgoConfig {
@@ -47,6 +54,8 @@ impl AlgoConfig {
             AlgoConfig::TwoScan => "Two-scan (Tuma)".into(),
             AlgoConfig::Balanced => "Balanced Tree".into(),
             AlgoConfig::Sweep => "Endpoint Sweep".into(),
+            AlgoConfig::SweepV1 => "Endpoint Sweep v1".into(),
+            AlgoConfig::SweepParallel { threads } => format!("Endpoint Sweep P={threads}"),
         }
     }
 }
@@ -67,7 +76,7 @@ pub struct RunMeasurement {
 pub fn run_agg<A>(config: AlgoConfig, agg: A, tuples: &[(Interval, A::Input)]) -> RunMeasurement
 where
     A: SweepAggregate,
-    A::Input: Clone,
+    A::Input: Clone + Send,
 {
     fn drive<A: SweepAggregate, G: TemporalAggregator<A>>(
         mut aggregator: G,
@@ -107,6 +116,10 @@ where
         AlgoConfig::TwoScan => drive(TwoScanAggregate::new(agg), tuples),
         AlgoConfig::Balanced => drive(BalancedAggregationTree::new(agg), tuples),
         AlgoConfig::Sweep => drive(SweepAggregator::new(agg), tuples),
+        AlgoConfig::SweepV1 => drive(SweepAggregatorV1::new(agg), tuples),
+        AlgoConfig::SweepParallel { threads } => {
+            drive(SweepAggregator::new(agg).with_parallelism(threads), tuples)
+        }
     }
 }
 
@@ -284,6 +297,8 @@ mod tests {
             AlgoConfig::TwoScan,
             AlgoConfig::Balanced,
             AlgoConfig::Sweep,
+            AlgoConfig::SweepV1,
+            AlgoConfig::SweepParallel { threads: 4 },
         ] {
             let m = run_count(config, &tuples);
             assert!(m.result_rows > 100, "{config:?} rows {}", m.result_rows);
@@ -307,6 +322,8 @@ mod tests {
             AlgoConfig::TwoScan,
             AlgoConfig::Balanced,
             AlgoConfig::Sweep,
+            AlgoConfig::SweepV1,
+            AlgoConfig::SweepParallel { threads: 8 },
         ]
         .iter()
         .map(|&c| run_count(c, &tuples).result_rows)
@@ -351,6 +368,11 @@ mod tests {
         assert_eq!(AlgoConfig::KTree { k: 40 }.label(), "Ktree K=40");
         assert_eq!(AlgoConfig::KTreeSorted.label(), "Ktree sorted K=1");
         assert_eq!(AlgoConfig::Sweep.label(), "Endpoint Sweep");
+        assert_eq!(AlgoConfig::SweepV1.label(), "Endpoint Sweep v1");
+        assert_eq!(
+            AlgoConfig::SweepParallel { threads: 8 }.label(),
+            "Endpoint Sweep P=8"
+        );
     }
 
     #[test]

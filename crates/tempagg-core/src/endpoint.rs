@@ -1,0 +1,308 @@
+//! Endpoint events for sweep kernels: a 16-byte totally-ordered record
+//! plus a cache-conscious radix scatter.
+//!
+//! The sweep algorithms (aggregation and interval join, in
+//! `tempagg-algo`) reduce every tuple to two *endpoint events*: an
+//! **admit** at the tuple's start instant and a **retract** at the
+//! instant after its end. Sorting the events once and replaying them in
+//! order reconstructs the active-tuple set at every boundary. Piatov et
+//! al. (arXiv:2008.12665) show the sort is the dominant cost at scale
+//! and that partitioning the events into cache-sized runs before sorting
+//! removes most of it; [`scatter_by_time`] is that partitioning step.
+//!
+//! [`EndpointEvent`] packs the event kind and a caller-chosen *tag*
+//! (tuple index, or `index × 2 + side` for a two-relation join) into one
+//! `u64` payload, with the kind in the **high** bit so that at equal
+//! times every retract sorts before every admit. That ordering is what
+//! makes a closed-interval join exact: a tuple ending at `t−1` retracts
+//! at `t` and must leave the live set before a tuple admitted at `t`
+//! looks for partners. The derived `Ord` on `(time, payload)` is total —
+//! tags are unique per event — so any partition of the event array sorts
+//! to the same global sequence regardless of thread or bucket count.
+
+use crate::timestamp::Timestamp;
+
+/// High bit of the payload: set for admits, clear for retracts, so that
+/// retracts order first at equal timestamps.
+const ADMIT_BIT: u64 = 1 << 63;
+
+/// One endpoint of one tuple: 16 bytes, `Copy`, totally ordered by
+/// `(time, payload)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EndpointEvent {
+    /// The instant at which the event takes effect. Admits carry the
+    /// tuple's start; retracts carry `end.next()` (the first instant the
+    /// tuple no longer covers).
+    pub time: Timestamp,
+    /// Kind bit (high) plus the caller's tag (low 63 bits).
+    pub payload: u64,
+}
+
+impl EndpointEvent {
+    /// An admit event: the tuple tagged `tag` becomes active at `time`.
+    #[inline]
+    pub const fn admit(time: Timestamp, tag: u64) -> Self {
+        EndpointEvent {
+            time,
+            payload: tag | ADMIT_BIT,
+        }
+    }
+
+    /// A retract event: the tuple tagged `tag` stops being active at
+    /// `time` (i.e. its interval ended at `time.prev()`).
+    #[inline]
+    pub const fn retract(time: Timestamp, tag: u64) -> Self {
+        EndpointEvent { time, payload: tag }
+    }
+
+    /// Just the payload word of an admit (kind bit + tag) — for dense
+    /// scatters that encode the event time positionally and store bare
+    /// payload words instead of whole events.
+    #[inline]
+    pub const fn admit_payload(tag: u64) -> u64 {
+        tag | ADMIT_BIT
+    }
+
+    /// Just the payload word of a retract.
+    #[inline]
+    pub const fn retract_payload(tag: u64) -> u64 {
+        tag
+    }
+
+    /// The kind bit of a bare payload word.
+    #[inline]
+    pub const fn payload_is_admit(payload: u64) -> bool {
+        payload & ADMIT_BIT != 0
+    }
+
+    /// The tag of a bare payload word.
+    #[inline]
+    pub const fn payload_tag(payload: u64) -> u64 {
+        payload & !ADMIT_BIT
+    }
+
+    /// The caller's tag, with the kind bit stripped.
+    #[inline]
+    pub const fn tag(self) -> u64 {
+        self.payload & !ADMIT_BIT
+    }
+
+    /// `true` for admits, `false` for retracts.
+    #[inline]
+    pub const fn is_admit(self) -> bool {
+        self.payload & ADMIT_BIT != 0
+    }
+}
+
+/// Number of events targeted per bucket by [`scatter_by_time`]:
+/// 16 Ki events × 16 bytes = 256 KiB, sized to sort within L2.
+const TARGET_RUN: usize = 16 * 1024;
+
+/// Hard ceiling on bucket count (bounds the histogram and offset table).
+const MAX_BUCKETS: usize = 4096;
+
+/// The bucket layout of a cache-partitioned event sort: disjoint,
+/// ascending time ranges of width `2^shift` starting at `lo`.
+///
+/// [`TimeBuckets::layout`] picks the widths so at most
+/// `min(max_buckets, MAX_BUCKETS)` buckets exist and each holds roughly
+/// [`TARGET_RUN`] events under a uniform time distribution. Because the
+/// ranges are disjoint and ascending, sorting each bucket independently
+/// and concatenating yields a globally sorted array — no merge pass.
+/// [`scatter_by_time`] uses this layout for plain event arrays; the
+/// sweep kernel reuses it to scatter value-carrying event pairs without
+/// materializing an intermediate event array at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeBuckets {
+    lo: i64,
+    shift: u32,
+    buckets: usize,
+}
+
+impl TimeBuckets {
+    /// Lay out buckets for `len` events whose times span `[lo, hi]`
+    /// (both inclusive, `lo <= hi`).
+    pub fn layout(lo: Timestamp, hi: Timestamp, len: usize, max_buckets: usize) -> Self {
+        // The span can overflow i64 (ORIGIN..FOREVER is the whole
+        // line), so the shift search runs in i128.
+        let span = i128::from(hi.get()) - i128::from(lo.get());
+        let want = max_buckets
+            .clamp(1, MAX_BUCKETS)
+            .min(len.div_ceil(TARGET_RUN).max(1));
+        let mut shift = 0u32;
+        while (span >> shift) + 1 > want as i128 {
+            shift += 1;
+        }
+        let buckets = usize::try_from((span >> shift) + 1).unwrap_or(1);
+        TimeBuckets {
+            lo: lo.get(),
+            shift,
+            buckets,
+        }
+    }
+
+    /// Number of buckets laid out (always at least one).
+    pub fn count(&self) -> usize {
+        self.buckets
+    }
+
+    /// The bucket holding time `t`. `t` must lie within the `[lo, hi]`
+    /// range the layout was built from.
+    #[inline]
+    pub fn bucket_of(&self, t: Timestamp) -> usize {
+        ((i128::from(t.get()) - i128::from(self.lo)) >> self.shift) as usize
+    }
+}
+
+/// Partition `events` into buckets of disjoint, ascending time ranges —
+/// the radix step of a cache-partitioned sort.
+///
+/// The bucket of an event is `(time − min_time) >> shift` with `shift`
+/// chosen so at most `min(max_buckets, MAX_BUCKETS)` buckets exist and
+/// each holds roughly [`TARGET_RUN`] events under a uniform time
+/// distribution. Because bucket ranges are disjoint and ascending,
+/// sorting each bucket independently and concatenating yields a globally
+/// sorted array — no merge pass. The scatter itself is one counting pass
+/// plus one sequential write pass (stable within buckets, though
+/// stability is irrelevant: the event order is total).
+///
+/// Returns the scattered copy and the bucket offsets
+/// (`offsets.len() == buckets + 1`; bucket `b` is
+/// `scattered[offsets[b]..offsets[b + 1]]`). Empty input returns an
+/// empty array and the single offset `[0]`.
+pub fn scatter_by_time(
+    events: &[EndpointEvent],
+    max_buckets: usize,
+) -> (Vec<EndpointEvent>, Vec<usize>) {
+    if events.is_empty() {
+        return (Vec::new(), vec![0]);
+    }
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for e in events {
+        lo = lo.min(e.time.get());
+        hi = hi.max(e.time.get());
+    }
+    let layout = TimeBuckets::layout(Timestamp(lo), Timestamp(hi), events.len(), max_buckets);
+    let buckets = layout.count();
+
+    // Counting pass.
+    let mut counts = vec![0usize; buckets];
+    for e in events {
+        let b = layout.bucket_of(e.time);
+        // lint: allow(indexing): b < buckets by construction of the layout shift
+        counts[b] += 1;
+    }
+    // Exclusive prefix sums become both the write cursors and (rebuilt
+    // below) the returned offsets.
+    let mut offsets = Vec::with_capacity(buckets + 1);
+    let mut total = 0usize;
+    for &c in &counts {
+        offsets.push(total);
+        total += c;
+    }
+    offsets.push(total);
+
+    // Scatter pass: one sequential read, bucket-local sequential writes.
+    let mut cursors = offsets.clone();
+    cursors.pop();
+    let mut out = vec![EndpointEvent::retract(Timestamp::ORIGIN, 0); events.len()];
+    for e in events {
+        let b = layout.bucket_of(e.time);
+        // lint: allow(indexing): b < buckets and cursors[b] < offsets[b + 1] ≤ len by the counting pass
+        out[cursors[b]] = *e;
+        // lint: allow(indexing): same bucket bound as above
+        cursors[b] += 1;
+    }
+    (out, offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrips_kind_and_tag() {
+        let a = EndpointEvent::admit(Timestamp(5), 42);
+        let r = EndpointEvent::retract(Timestamp(5), 42);
+        assert!(a.is_admit());
+        assert!(!r.is_admit());
+        assert_eq!(a.tag(), 42);
+        assert_eq!(r.tag(), 42);
+        assert_ne!(a, r);
+    }
+
+    #[test]
+    fn retracts_sort_before_admits_at_equal_times() {
+        let mut events = [
+            EndpointEvent::admit(Timestamp(10), 0),
+            EndpointEvent::retract(Timestamp(10), 1),
+            EndpointEvent::admit(Timestamp(9), 7),
+        ];
+        events.sort_unstable();
+        assert_eq!(events[0], EndpointEvent::admit(Timestamp(9), 7));
+        assert!(!events[1].is_admit(), "retract first at the shared instant");
+        assert!(events[2].is_admit());
+    }
+
+    #[test]
+    fn scatter_preserves_multiset_and_orders_buckets() {
+        let mut events = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..10_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let t = Timestamp((state % 1_000_000) as i64);
+            events.push(if i % 2 == 0 {
+                EndpointEvent::admit(t, i)
+            } else {
+                EndpointEvent::retract(t, i)
+            });
+        }
+        let (mut scattered, offsets) = scatter_by_time(&events, 64);
+        assert_eq!(scattered.len(), events.len());
+        assert_eq!(*offsets.last().unwrap(), events.len());
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        // Bucket ranges are disjoint and ascending: sorting each bucket
+        // independently must equal one global sort.
+        for w in offsets.windows(2) {
+            scattered[w[0]..w[1]].sort_unstable();
+        }
+        let mut global = events.clone();
+        global.sort_unstable();
+        assert_eq!(scattered, global);
+    }
+
+    #[test]
+    fn scatter_survives_extreme_spans() {
+        // ORIGIN..FOREVER spans more than i64 — the i128 path.
+        let events = vec![
+            EndpointEvent::admit(Timestamp::MIN, 0),
+            EndpointEvent::admit(Timestamp::ORIGIN, 1),
+            EndpointEvent::retract(Timestamp::FOREVER, 2),
+        ];
+        let (scattered, offsets) = scatter_by_time(&events, 8);
+        assert_eq!(scattered.len(), 3);
+        assert_eq!(*offsets.last().unwrap(), 3);
+        let mut sorted: Vec<_> = scattered;
+        sorted.sort_unstable();
+        assert_eq!(sorted[0].time, Timestamp::MIN);
+        assert_eq!(sorted[2].time, Timestamp::FOREVER);
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_uniform_inputs() {
+        let (out, offsets) = scatter_by_time(&[], 16);
+        assert!(out.is_empty());
+        assert_eq!(offsets, vec![0]);
+
+        // All events at one instant collapse to a single bucket.
+        let same: Vec<_> = (0..100)
+            .map(|i| EndpointEvent::admit(Timestamp(7), i))
+            .collect();
+        let (out, offsets) = scatter_by_time(&same, 16);
+        assert_eq!(out, same);
+        assert_eq!(offsets, vec![0, 100]);
+    }
+}

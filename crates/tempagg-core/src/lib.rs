@@ -25,6 +25,7 @@ pub mod algebra;
 mod bitemporal;
 mod chunk;
 pub mod coalesce;
+mod endpoint;
 mod epoch;
 mod error;
 mod events;
@@ -34,6 +35,7 @@ mod relation;
 mod schema;
 mod series;
 mod sink;
+mod slots;
 pub mod sortedness;
 mod timestamp;
 mod tuple;
@@ -42,6 +44,7 @@ mod version;
 
 pub use bitemporal::{BitemporalRelation, Version};
 pub use chunk::{Chunk, ChunkIter, DEFAULT_CHUNK_CAPACITY};
+pub use endpoint::{scatter_by_time, EndpointEvent, TimeBuckets};
 pub use epoch::Epoch;
 pub use error::{Result, TempAggError};
 pub use events::{Event, EventRelation, WindowAlignment};
@@ -51,6 +54,7 @@ pub use relation::TemporalRelation;
 pub use schema::{Column, Schema};
 pub use series::{Series, SeriesEntry};
 pub use sink::{ChunkedSink, CountingSink, SeriesSink, StitchSink};
+pub use slots::GaplessSlots;
 pub use timestamp::Timestamp;
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};

@@ -1,0 +1,229 @@
+//! A gapless dense slot map for sweep live sets.
+//!
+//! The sweep kernels keep an *active set* — the tuples whose intervals
+//! cover the current scan position. Piatov et al. (arXiv:2008.12665)
+//! observe that the classic pointer-based structures (balanced trees,
+//! open-addressed hash maps with tombstones) dominate the scan cost once
+//! the sort is partitioned, and replace them with a **gapless** map: the
+//! live values sit in one dense array, removal swap-removes the last
+//! element into the hole, and a slot-indexed position table keeps
+//! externally stable handles. Iterating the live set is then a linear
+//! walk over contiguous memory with no vacancy tests, and insert/remove
+//! are O(1) with no allocation after [`GaplessSlots::reserve_slots`].
+//!
+//! Slots are caller-chosen small integers (the sweep uses the tuple
+//! index, baked into the event records at sort time), so the position
+//! table is a flat `Vec<usize>` rather than a hash table.
+
+use std::fmt;
+
+/// Sentinel in the slot→position table for "slot not live".
+const VACANT: usize = usize::MAX;
+
+/// A dense, swap-remove slot map: `O(1)` insert/remove by slot handle,
+/// gapless iteration over live values.
+#[derive(Clone)]
+pub struct GaplessSlots<T> {
+    /// The live values, dense — no holes, no tombstones.
+    values: Vec<T>,
+    /// `owners[pos]` is the slot that owns `values[pos]`.
+    owners: Vec<usize>,
+    /// `slot_pos[slot]` is the dense position of that slot's value, or
+    /// [`VACANT`].
+    slot_pos: Vec<usize>,
+}
+
+impl<T> Default for GaplessSlots<T> {
+    fn default() -> Self {
+        GaplessSlots::new()
+    }
+}
+
+impl<T> GaplessSlots<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        GaplessSlots {
+            values: Vec::new(),
+            owners: Vec::new(),
+            slot_pos: Vec::new(),
+        }
+    }
+
+    /// Pre-size the map for slots `0..slots` and up to `slots` live
+    /// values, so the scan loop never allocates.
+    pub fn reserve_slots(&mut self, slots: usize) {
+        if self.slot_pos.len() < slots {
+            self.slot_pos.resize(slots, VACANT);
+        }
+        self.values.reserve(slots.saturating_sub(self.values.len()));
+        self.owners.reserve(slots.saturating_sub(self.owners.len()));
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no value is live.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// One past the highest slot ever reserved or inserted.
+    pub fn slot_capacity(&self) -> usize {
+        self.slot_pos.len()
+    }
+
+    /// Make `slot` live with `value`. If the slot was already live its
+    /// value is replaced in place; otherwise the value is appended to
+    /// the dense array.
+    pub fn insert(&mut self, slot: usize, value: T) {
+        if slot >= self.slot_pos.len() {
+            self.slot_pos.resize(slot + 1, VACANT);
+        }
+        let pos = self.slot_pos[slot];
+        if pos != VACANT {
+            if let Some(v) = self.values.get_mut(pos) {
+                *v = value;
+            }
+            return;
+        }
+        self.slot_pos[slot] = self.values.len();
+        self.values.push(value);
+        self.owners.push(slot);
+    }
+
+    /// Remove `slot`'s value, if live: the dense array's last value is
+    /// swapped into the hole and its owner's position backpatched.
+    pub fn remove(&mut self, slot: usize) -> Option<T> {
+        let pos = *self.slot_pos.get(slot)?;
+        if pos == VACANT {
+            return None;
+        }
+        self.slot_pos[slot] = VACANT;
+        let value = self.values.swap_remove(pos);
+        self.owners.swap_remove(pos);
+        if let Some(&moved) = self.owners.get(pos) {
+            self.slot_pos[moved] = pos;
+        }
+        Some(value)
+    }
+
+    /// The value live at `slot`, if any.
+    pub fn get(&self, slot: usize) -> Option<&T> {
+        let pos = *self.slot_pos.get(slot)?;
+        if pos == VACANT {
+            return None;
+        }
+        self.values.get(pos)
+    }
+
+    /// The dense live values, in arbitrary (swap-remove) order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Iterate `(slot, &value)` over the live set, in dense order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.owners.iter().copied().zip(self.values.iter())
+    }
+
+    /// Drop every live value; reserved slot capacity is kept.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.owners.clear();
+        for p in &mut self.slot_pos {
+            *p = VACANT;
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for GaplessSlots<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s: GaplessSlots<&str> = GaplessSlots::new();
+        s.insert(3, "c");
+        s.insert(0, "a");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(3), Some(&"c"));
+        assert_eq!(s.get(1), None);
+        assert_eq!(s.remove(3), Some("c"));
+        assert_eq!(s.remove(3), None);
+        assert_eq!(s.get(0), Some(&"a"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_backpatches_the_moved_owner() {
+        let mut s: GaplessSlots<i32> = GaplessSlots::new();
+        s.insert(0, 10);
+        s.insert(1, 11);
+        s.insert(2, 12);
+        // Removing the first dense entry moves slot 2's value into its
+        // position; slot 2 must stay addressable.
+        assert_eq!(s.remove(0), Some(10));
+        assert_eq!(s.get(2), Some(&12));
+        assert_eq!(s.get(1), Some(&11));
+        assert_eq!(s.values().len(), 2);
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut s: GaplessSlots<i32> = GaplessSlots::new();
+        s.insert(5, 1);
+        s.insert(5, 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(5), Some(&2));
+    }
+
+    #[test]
+    fn reserve_then_churn_does_not_grow_slot_table() {
+        let mut s: GaplessSlots<u64> = GaplessSlots::new();
+        s.reserve_slots(64);
+        assert_eq!(s.slot_capacity(), 64);
+        for i in 0..64 {
+            s.insert(i, i as u64);
+        }
+        for i in (0..64).step_by(2) {
+            assert_eq!(s.remove(i), Some(i as u64));
+        }
+        assert_eq!(s.len(), 32);
+        assert_eq!(s.slot_capacity(), 64);
+        // Every surviving odd slot still resolves.
+        for i in (1..64).step_by(2) {
+            assert_eq!(s.get(i), Some(&(i as u64)));
+        }
+    }
+
+    #[test]
+    fn iter_pairs_owners_with_values() {
+        let mut s: GaplessSlots<char> = GaplessSlots::new();
+        s.insert(2, 'b');
+        s.insert(7, 'x');
+        s.remove(2);
+        let pairs: Vec<(usize, char)> = s.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(pairs, vec![(7, 'x')]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s: GaplessSlots<i32> = GaplessSlots::new();
+        s.reserve_slots(8);
+        s.insert(1, 1);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.slot_capacity(), 8);
+        assert_eq!(s.get(1), None);
+        s.insert(1, 2);
+        assert_eq!(s.get(1), Some(&2));
+    }
+}

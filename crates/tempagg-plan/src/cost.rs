@@ -54,6 +54,11 @@ pub struct CostModel {
     /// Sort cost per endpoint event per `log₂ e` (the sweep's dominant
     /// term: one `sort_unstable` over `e = 2n` events).
     pub sweep_sort_per_event: f64,
+    /// Sort cost per endpoint event per `log₂ e` when the sweep takes its
+    /// cache-partitioned path (radix scatter into time-bucketed runs,
+    /// per-run `sort_unstable` across workers). The whole term divides by
+    /// the degree of parallelism; see [`Calibration::parallel_sort_ns`].
+    pub parallel_sort_per_event: f64,
     /// Cost of applying one endpoint event in the sweep's merge scan
     /// (delta add/subtract for `SweepClass::Delta` aggregates).
     pub sweep_event_visit: f64,
@@ -95,7 +100,8 @@ impl Default for CostModel {
 ///   "tree_node_ns": 20.0,
 ///   "ktree_node_ns": 7.0,
 ///   "sweep_sort_ns": 4.0,
-///   "sweep_event_ns": 2.0
+///   "sweep_event_ns": 2.0,
+///   "parallel_sort_ns": 2.0
 /// }
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -110,6 +116,9 @@ pub struct Calibration {
     pub sweep_sort_ns: f64,
     /// ns per endpoint event in the sweep's merge scan.
     pub sweep_event_ns: f64,
+    /// ns per endpoint event per log₂ e on the sweep's cache-partitioned
+    /// sort path (before dividing by the worker count).
+    pub parallel_sort_ns: f64,
 }
 
 impl Default for Calibration {
@@ -120,6 +129,7 @@ impl Default for Calibration {
             ktree_node_ns: 7.0,
             sweep_sort_ns: 4.0,
             sweep_event_ns: 2.0,
+            parallel_sort_ns: 2.0,
         }
     }
 }
@@ -157,6 +167,7 @@ impl Calibration {
                 "ktree_node_ns" => cal.ktree_node_ns = value,
                 "sweep_sort_ns" => cal.sweep_sort_ns = value,
                 "sweep_event_ns" => cal.sweep_event_ns = value,
+                "parallel_sort_ns" => cal.parallel_sort_ns = value,
                 other => return Err(format!("unknown calibration key {other:?}")),
             }
         }
@@ -168,12 +179,13 @@ impl Calibration {
         format!(
             "{{\n  \"list_cell_ns\": {:.3},\n  \"tree_node_ns\": {:.3},\n  \
              \"ktree_node_ns\": {:.3},\n  \"sweep_sort_ns\": {:.3},\n  \
-             \"sweep_event_ns\": {:.3}\n}}\n",
+             \"sweep_event_ns\": {:.3},\n  \"parallel_sort_ns\": {:.3}\n}}\n",
             self.list_cell_ns,
             self.tree_node_ns,
             self.ktree_node_ns,
             self.sweep_sort_ns,
-            self.sweep_event_ns
+            self.sweep_event_ns,
+            self.parallel_sort_ns
         )
     }
 
@@ -198,6 +210,7 @@ impl CostModel {
             tree_node_visit: 1.0,
             ktree_node_visit: cal.ktree_node_ns / unit,
             sweep_sort_per_event: cal.sweep_sort_ns / unit,
+            parallel_sort_per_event: cal.parallel_sort_ns / unit,
             sweep_event_visit: cal.sweep_event_ns / unit,
             ordered_active_multiplier: 8.0,
             io_per_tuple: 50.0,
@@ -309,6 +322,17 @@ pub fn estimate(
             let run_bytes = MODEL_POINTER_BYTES + state_model_bytes;
             (cpu, scan_io, stats.tuple_count.max(1) * run_bytes)
         }
+        AlgorithmChoice::SweepJoin => {
+            // Both relations' endpoints co-sorted into one event array
+            // (`stats` carries the combined tuple count); each admit then
+            // enumerates the other side's live set, which behaves like the
+            // ordered-class active set rather than a delta update.
+            let events = 2.0 * n;
+            let cpu = events * log2(events) * model.sweep_sort_per_event
+                + events * model.sweep_event_visit * model.ordered_active_multiplier;
+            let run_bytes = MODEL_POINTER_BYTES + state_model_bytes;
+            (cpu, scan_io, stats.tuple_count.max(1) * run_bytes)
+        }
         AlgorithmChoice::KOrderedTree { k, presort } => {
             let window_nodes = (4 * (2 * k + 1) + 1) as f64 + stats.long_lived_fraction * n * 2.0;
             let mut cpu = n * (log2(window_nodes) + 2.0) * model.ktree_node_visit;
@@ -364,8 +388,58 @@ fn candidates(stats: &RelationStats) -> Vec<AlgorithmChoice> {
     out
 }
 
+/// Re-cost a serial estimate at the cheapest achievable degree of
+/// parallelism `≤ max_p`, returning the adjusted estimate and the chosen
+/// worker count. Non-sweep candidates parallelise through the partitioned
+/// pipeline (`cpu/p + p·overhead`, [`CostModel::choose_parallelism`]). The
+/// sweeps are special-cased: their dominant sort term runs partitioned
+/// in-kernel (radix scatter + per-bucket `sort_unstable`, costed at
+/// [`CostModel::parallel_sort_per_event`]) and divides by `p`, while the
+/// merge scan stays serial. Serving a cached snapshot never partitions.
+fn parallelise(
+    est: CostEstimate,
+    stats: &RelationStats,
+    model: &CostModel,
+    max_p: usize,
+) -> (CostEstimate, usize) {
+    if max_p <= 1 {
+        return (est, 1);
+    }
+    match est.choice {
+        AlgorithmChoice::CachedSeries => (est, 1),
+        AlgorithmChoice::Sweep | AlgorithmChoice::SweepJoin => {
+            let n = stats.tuple_count.max(1) as f64;
+            let events = 2.0 * n;
+            let serial_sort = events * log2(events) * model.sweep_sort_per_event;
+            let scan = est.cpu - serial_sort;
+            let mut best = (est.cpu, 1usize);
+            for p in 2..=max_p {
+                let sort = events * log2(events) * model.parallel_sort_per_event / p as f64;
+                let cost = scan + sort + p as f64 * model.partition_overhead;
+                if cost < best.0 {
+                    best = (cost, p);
+                }
+            }
+            let (cpu, parallelism) = best;
+            (CostEstimate { cpu, ..est }, parallelism)
+        }
+        _ => {
+            let p = model.choose_parallelism(est.cpu, max_p);
+            if p <= 1 {
+                return (est, 1);
+            }
+            let cpu = est.cpu / p as f64 + p as f64 * model.partition_overhead;
+            (CostEstimate { cpu, ..est }, p)
+        }
+    }
+}
+
 /// Rank `pool` under the cost model, honouring the memory budget, and
 /// wrap the winner in a [`Plan`] whose rationale records every score.
+/// Each candidate is costed at its own best achievable degree of
+/// parallelism (the fix for the sweep being costed as serial: with
+/// workers available, its sort term divides by `p` *before* ranking, so
+/// a parallel sweep can beat a serially-cheaper tree).
 fn rank(
     pool: Vec<AlgorithmChoice>,
     stats: &RelationStats,
@@ -374,15 +448,21 @@ fn rank(
     state_model_bytes: usize,
     class: SweepClass,
 ) -> Plan {
-    let score = |choices: Vec<AlgorithmChoice>| -> Vec<CostEstimate> {
+    // The configured (or machine) worker count is an upper bound; the
+    // overhead model decides, per candidate, how much of it pays off.
+    let max_p = crate::planner::choose_parallelism(stats, config);
+    let score = |choices: Vec<AlgorithmChoice>| -> Vec<(CostEstimate, usize)> {
         choices
             .into_iter()
-            .map(|c| estimate(c, stats, model, state_model_bytes, class))
+            .map(|c| {
+                let serial = estimate(c, stats, model, state_model_bytes, class);
+                parallelise(serial, stats, model, max_p)
+            })
             .collect()
     };
-    let mut scored: Vec<CostEstimate> = score(pool.clone())
+    let mut scored: Vec<(CostEstimate, usize)> = score(pool.clone())
         .into_iter()
-        .filter(|e| {
+        .filter(|(e, _)| {
             config
                 .memory_budget_bytes
                 .map_or(true, |budget| e.state_bytes <= budget)
@@ -392,37 +472,37 @@ fn rank(
     // fall back to the smallest-state candidate.
     if scored.is_empty() {
         scored = score(pool);
-        scored.sort_by_key(|e| e.state_bytes);
+        scored.sort_by_key(|(e, _)| e.state_bytes);
         scored.truncate(1);
     }
-    scored.sort_by(|a, b| {
+    scored.sort_by(|(a, _), (b, _)| {
         a.total(model)
             .partial_cmp(&b.total(model))
             // lint: allow(no-unwrap): cost formulas are sums and products of finite non-negative terms, never NaN
             .expect("costs are finite")
     });
-    let best = scored[0].clone();
+    let (best, parallelism) = scored[0].clone();
     let mut rationale: Vec<String> = scored
         .iter()
-        .map(|e| {
+        .map(|(e, p)| {
             format!(
-                "{}: cpu {:.0}, io {:.0}, state {} B, total {:.0}",
+                "{}: cpu {:.0}, io {:.0}, state {} B, total {:.0}{}",
                 e.choice.name(),
                 e.cpu,
                 e.io,
                 e.state_bytes,
-                e.total(model)
+                e.total(model),
+                if *p > 1 {
+                    format!(" (at p = {p})")
+                } else {
+                    String::new()
+                }
             )
         })
         .collect();
-    // Degree of parallelism: the configured (or machine) worker count is
-    // an upper bound; the overhead model decides how much of it pays off.
-    let max_p = crate::planner::choose_parallelism(stats, config);
-    let parallelism = model.choose_parallelism(best.cpu, max_p);
     if parallelism > 1 {
         rationale.push(format!(
-            "splitting the domain {parallelism} ways trades {:.0} cpu for {:.0} partition overhead",
-            best.cpu - best.cpu / parallelism as f64,
+            "splitting the work {parallelism} ways pays its {:.0} partition overhead",
             parallelism as f64 * model.partition_overhead
         ));
     }
@@ -519,6 +599,54 @@ pub fn choose_algorithm(
         }
     });
     plan
+}
+
+/// Price a sweep-based interval join of two relations. The sweep join is
+/// currently the only join operator, so this prescribes rather than
+/// chooses: it costs co-sorting `2·(nₗ + nᵣ)` endpoint events at the
+/// achievable parallelism plus the serial live-set enumeration scan, and
+/// its rationale feeds the SQL layer's `EXPLAIN`.
+pub fn plan_join(
+    left: &RelationStats,
+    right: &RelationStats,
+    config: &PlannerConfig,
+    model: &CostModel,
+) -> Plan {
+    let combined = RelationStats::unknown(left.tuple_count + right.tuple_count);
+    let max_p = crate::planner::choose_parallelism(&combined, config);
+    let serial = estimate(
+        AlgorithmChoice::SweepJoin,
+        &combined,
+        model,
+        MODEL_POINTER_BYTES,
+        SweepClass::Delta,
+    );
+    let (est, parallelism) = parallelise(serial, &combined, model, max_p);
+    let mut rationale = vec![
+        format!(
+            "co-sorts {} endpoint events from both sides into one sweep",
+            2 * combined.tuple_count
+        ),
+        format!(
+            "{}: cpu {:.0}, io {:.0}, state {} B, total {:.0}",
+            est.choice.name(),
+            est.cpu,
+            est.io,
+            est.state_bytes,
+            est.total(model)
+        ),
+    ];
+    if parallelism > 1 {
+        rationale.push(format!(
+            "endpoint sort runs {parallelism}-way partitioned; the join scan stays serial"
+        ));
+    }
+    Plan {
+        choice: AlgorithmChoice::SweepJoin,
+        parallelism,
+        estimated_state_bytes: est.state_bytes,
+        rationale,
+    }
 }
 
 #[cfg(test)]
@@ -838,6 +966,86 @@ mod tests {
     }
 
     #[test]
+    fn parallelism_rescues_the_sweep() {
+        // The satellite fix: the sweep's sort term is costed at the
+        // partitioned per-unit rate divided by the achievable parallelism
+        // *before* ranking. A host whose monolithic sort is slow but whose
+        // partitioned sort is fast keeps the tree serially and flips to
+        // the sweep once workers are configured.
+        let cal = Calibration {
+            sweep_sort_ns: 2_000.0,
+            parallel_sort_ns: 2.0,
+            ..Default::default()
+        };
+        let model = CostModel::calibrated(&cal);
+        let s = stats(100_000, OrderingKnowledge::Unordered);
+        let serial = PlannerConfig {
+            parallelism: Some(1),
+            ..Default::default()
+        };
+        assert_eq!(
+            choose_algorithm(&s, SweepClass::Delta, &serial, &model, 4).choice,
+            AlgorithmChoice::AggregationTree
+        );
+        let wide = PlannerConfig {
+            parallelism: Some(8),
+            parallel_min_tuples: 0,
+            ..Default::default()
+        };
+        let p = choose_algorithm(&s, SweepClass::Delta, &wide, &model, 4);
+        assert_eq!(p.choice, AlgorithmChoice::Sweep);
+        assert!(p.parallelism > 1, "plan was:\n{p}");
+    }
+
+    #[test]
+    fn sweep_join_is_estimable_and_named() {
+        assert_eq!(AlgorithmChoice::SweepJoin.name(), "sweep-join");
+        let s = stats(10_000, OrderingKnowledge::Unordered);
+        let e = estimate(
+            AlgorithmChoice::SweepJoin,
+            &s,
+            &CostModel::default(),
+            4,
+            SweepClass::Delta,
+        );
+        assert!(e.cpu.is_finite() && e.cpu > 0.0);
+        // Live-set enumeration makes the join scan dearer than the
+        // single-relation sweep's delta scan.
+        let sweep = estimate(
+            AlgorithmChoice::Sweep,
+            &s,
+            &CostModel::default(),
+            4,
+            SweepClass::Delta,
+        );
+        assert!(e.cpu > sweep.cpu);
+    }
+
+    #[test]
+    fn plan_join_prescribes_the_sweep_join() {
+        let left = RelationStats::unknown(60_000);
+        let right = RelationStats::unknown(40_000);
+        let p = plan_join(
+            &left,
+            &right,
+            &PlannerConfig::default(),
+            &CostModel::default(),
+        );
+        assert_eq!(p.choice, AlgorithmChoice::SweepJoin);
+        assert!(p.to_string().starts_with("algorithm: sweep-join"));
+        assert!(p.rationale.iter().any(|r| r.contains("200000")));
+        // Forced-parallel plans say so; forced-serial ones stay quiet.
+        let wide = PlannerConfig {
+            parallelism: Some(8),
+            parallel_min_tuples: 0,
+            ..Default::default()
+        };
+        let pp = plan_join(&left, &right, &wide, &CostModel::default());
+        assert!(pp.parallelism > 1);
+        assert!(pp.rationale.iter().any(|r| r.contains("partitioned")));
+    }
+
+    #[test]
     fn calibration_roundtrips_through_json() {
         let cal = Calibration {
             list_cell_ns: 12.5,
@@ -845,6 +1053,7 @@ mod tests {
             ktree_node_ns: 6.25,
             sweep_sort_ns: 3.5,
             sweep_event_ns: 1.75,
+            parallel_sort_ns: 1.5,
         };
         assert_eq!(Calibration::parse(&cal.emit()), Ok(cal));
     }
@@ -877,6 +1086,7 @@ mod tests {
         let slow_sort = Calibration {
             sweep_sort_ns: 2_000.0,
             sweep_event_ns: 500.0,
+            parallel_sort_ns: 2_000.0,
             ..Default::default()
         };
         let model = CostModel::calibrated(&slow_sort);

@@ -32,6 +32,16 @@ fn cached_series_is_not_executable() -> TempAggError {
     )
 }
 
+/// The error for a [`AlgorithmChoice::SweepJoin`] plan reaching the
+/// single-relation executor: joins take two relations and run through
+/// [`tempagg_algo::SweepJoinOperator`] in the SQL layer.
+fn sweep_join_is_not_executable() -> TempAggError {
+    TempAggError::internal(
+        "sweep-join plans take two relations and run through the join operator, not the \
+         single-relation executor",
+    )
+}
+
 /// How the store's aggregate caches participated in answering a query.
 /// All zeros/false when the query ran an algorithm over the relation
 /// without store involvement.
@@ -154,6 +164,7 @@ fn partitioned_name(choice: AlgorithmChoice) -> &'static str {
         AlgorithmChoice::AggregationTree => "partitioned aggregation-tree",
         AlgorithmChoice::Sweep => "partitioned endpoint-sweep",
         AlgorithmChoice::CachedSeries => "cached-series",
+        AlgorithmChoice::SweepJoin => "sweep-join",
         AlgorithmChoice::KOrderedTree { presort: true, .. } => "partitioned sort + k-ordered-tree",
         AlgorithmChoice::KOrderedTree { presort: false, .. } => "partitioned k-ordered-tree",
     }
@@ -228,6 +239,7 @@ where
                 drive_partitioned(par, relation, &extract)?
             }
             AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
+            AlgorithmChoice::SweepJoin => return Err(sweep_join_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 // Probe once so an invalid k errors before partitions build.
                 KOrderedAggregationTree::with_domain(agg.clone(), k, domain)?;
@@ -269,6 +281,7 @@ where
                 &extract,
             )?,
             AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
+            AlgorithmChoice::SweepJoin => return Err(sweep_join_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 let aggregator = KOrderedAggregationTree::with_domain(agg, k, domain)?;
                 if presort {
@@ -434,6 +447,7 @@ where
                 drive_partitioned_streaming(par, relation, &extract, chunk_capacity, consumer)?
             }
             AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
+            AlgorithmChoice::SweepJoin => return Err(sweep_join_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 KOrderedAggregationTree::with_domain(agg.clone(), k, domain)?;
                 let par = PartitionedAggregator::with_seams(domain, seams, |sub| {
@@ -475,6 +489,7 @@ where
                 consumer,
             )?,
             AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
+            AlgorithmChoice::SweepJoin => return Err(sweep_join_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 let aggregator = KOrderedAggregationTree::with_domain(agg, k, domain)?;
                 if presort {
@@ -812,6 +827,22 @@ mod tests {
             let p = Plan {
                 parallelism,
                 ..serial_plan(AlgorithmChoice::CachedSeries)
+            };
+            let err = execute(&p, Count, &relation, |_| (), Interval::TIMELINE);
+            assert!(err.is_err(), "parallelism {parallelism}");
+            let err =
+                execute_streaming(&p, Count, &relation, |_| (), Interval::TIMELINE, 64, |_| {});
+            assert!(err.is_err(), "streaming, parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn sweep_join_plans_are_not_executable() {
+        let relation = employed_relation();
+        for parallelism in [1usize, 4] {
+            let p = Plan {
+                parallelism,
+                ..serial_plan(AlgorithmChoice::SweepJoin)
             };
             let err = execute(&p, Count, &relation, |_| (), Interval::TIMELINE);
             assert!(err.is_err(), "parallelism {parallelism}");

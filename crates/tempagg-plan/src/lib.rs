@@ -23,7 +23,9 @@ mod executor;
 mod planner;
 mod stats;
 
-pub use cost::{choose_algorithm, estimate, plan_by_cost, Calibration, CostEstimate, CostModel};
+pub use cost::{
+    choose_algorithm, estimate, plan_by_cost, plan_join, Calibration, CostEstimate, CostModel,
+};
 pub use executor::{evaluate_auto, execute, execute_streaming, CacheReport, ExecutionReport};
 pub use planner::{
     choose_parallelism, estimate_ktree_nodes, estimate_list_cells, estimate_tree_nodes, plan,

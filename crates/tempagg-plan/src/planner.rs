@@ -39,6 +39,12 @@ pub enum AlgorithmChoice {
     /// cache for the queried aggregate; the executor never runs this
     /// choice itself — the store's query layer serves it.
     CachedSeries,
+    /// Sweep-based interval join: co-sort both relations' endpoint events
+    /// and enumerate the other side's live set at each admit (`JOIN ...
+    /// ON OVERLAPS` and the Allen predicates). Only produced by
+    /// [`crate::plan_join`] — joins have no competing operator yet — and
+    /// executed by the SQL layer, never by the single-relation executor.
+    SweepJoin,
     /// `presort`: sort the relation by time first (k is then 1).
     KOrderedTree {
         k: usize,
@@ -53,6 +59,7 @@ impl AlgorithmChoice {
             AlgorithmChoice::AggregationTree => "aggregation-tree",
             AlgorithmChoice::Sweep => "endpoint-sweep",
             AlgorithmChoice::CachedSeries => "cached-series",
+            AlgorithmChoice::SweepJoin => "sweep-join",
             AlgorithmChoice::KOrderedTree { presort: true, .. } => "sort + k-ordered-tree",
             AlgorithmChoice::KOrderedTree { presort: false, .. } => "k-ordered-tree",
         }

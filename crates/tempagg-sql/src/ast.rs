@@ -10,6 +10,9 @@
 //! condition  := ident cmp literal
 //!             | VALID OVERLAPS '[' int ',' (int | FOREVER) ']'
 //! group_item := ident | INSTANT | SPAN int
+//! join       := [EXPLAIN] SELECT '*' FROM ident [alias]
+//!               JOIN ident [alias] ON join_pred [';']
+//! join_pred  := OVERLAPS | CONTAINS | DURING | MEETS
 //! ```
 //!
 //! Temporal grouping by instant is the TSQL2 default and needs no syntax;
@@ -17,6 +20,7 @@
 //! grouping on top of the temporal grouping.
 
 use tempagg_agg::AggKind;
+use tempagg_algo::JoinPredicate;
 use tempagg_core::{Interval, Value, ValueType};
 
 /// One aggregate in the select list.
@@ -95,6 +99,39 @@ pub struct PlainSelect {
     pub valid_window: Option<Interval>,
 }
 
+/// An interval join:
+/// `SELECT * FROM l [a] JOIN r [b] ON OVERLAPS|CONTAINS|DURING|MEETS`,
+/// pairing tuples of the two relations whose valid times satisfy the
+/// predicate. Every result row carries the left tuple's attributes, then
+/// the right's, with valid time the **intersection** of the two
+/// intervals. Runs on the sweep-based
+/// [`SweepJoinOperator`](tempagg_algo::SweepJoinOperator).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinSelect {
+    /// `EXPLAIN SELECT …`: plan only, do not execute.
+    pub explain: bool,
+    pub left: String,
+    /// Tuple variable qualifying the left side's output columns.
+    pub left_alias: Option<String>,
+    pub right: String,
+    /// Tuple variable qualifying the right side's output columns.
+    pub right_alias: Option<String>,
+    pub predicate: JoinPredicate,
+}
+
+impl JoinSelect {
+    /// Column qualifier for the left side: the alias if given, else the
+    /// relation name.
+    pub fn left_qualifier(&self) -> &str {
+        self.left_alias.as_deref().unwrap_or(&self.left)
+    }
+
+    /// Column qualifier for the right side.
+    pub fn right_qualifier(&self) -> &str {
+        self.right_alias.as_deref().unwrap_or(&self.right)
+    }
+}
+
 /// A complete SQL statement.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Statement {
@@ -102,6 +139,8 @@ pub enum Statement {
     Query(Query),
     /// A plain tuple selection.
     Select(PlainSelect),
+    /// A sweep-based interval join of two relations.
+    Join(JoinSelect),
     /// `CREATE TABLE name (col TYPE, …)` — valid time is implicit.
     CreateTable {
         name: String,

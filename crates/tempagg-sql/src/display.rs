@@ -4,7 +4,9 @@
 //! the round-trip tests enforce — which makes the AST printable for
 //! logging, plan caching keys, and the REPL's error reporting.
 
-use crate::ast::{CompareOp, Condition, PlainSelect, Query, Statement, TemporalGrouping};
+use crate::ast::{
+    CompareOp, Condition, JoinSelect, PlainSelect, Query, Statement, TemporalGrouping,
+};
 use std::fmt;
 use tempagg_core::{Interval, Value, ValueType};
 
@@ -142,6 +144,23 @@ impl fmt::Display for PlainSelect {
     }
 }
 
+impl fmt::Display for JoinSelect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.explain {
+            write!(f, "EXPLAIN ")?;
+        }
+        write!(f, "SELECT * FROM {}", self.left)?;
+        if let Some(alias) = &self.left_alias {
+            write!(f, " {alias}")?;
+        }
+        write!(f, " JOIN {}", self.right)?;
+        if let Some(alias) = &self.right_alias {
+            write!(f, " {alias}")?;
+        }
+        write!(f, " ON {}", self.predicate.name())
+    }
+}
+
 fn type_name(ty: ValueType) -> &'static str {
     match ty {
         ValueType::Int => "INT",
@@ -156,6 +175,7 @@ impl fmt::Display for Statement {
         match self {
             Statement::Query(q) => write!(f, "{q}"),
             Statement::Select(s) => write!(f, "{s}"),
+            Statement::Join(j) => write!(f, "{j}"),
             Statement::CreateTable { name, columns } => {
                 write!(f, "CREATE TABLE {name} (")?;
                 for (i, (col, ty)) in columns.iter().enumerate() {
@@ -249,6 +269,14 @@ mod tests {
         roundtrip("INSERT INTO t VALUES (1) VALID [0, 5], (2) VALID [6, 9]");
         roundtrip("SELECT * FROM staff");
         roundtrip("SELECT name, salary FROM staff WHERE salary > 40000");
+    }
+
+    #[test]
+    fn roundtrips_joins() {
+        roundtrip("SELECT * FROM a JOIN b ON OVERLAPS");
+        roundtrip("SELECT * FROM Employed E JOIN Projects P ON DURING");
+        roundtrip("EXPLAIN SELECT * FROM a x JOIN b ON CONTAINS");
+        roundtrip("SELECT * FROM a JOIN b y ON MEETS");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub use exec::{
 pub use lexer::lex;
 pub use parser::{parse, parse_statement, parse_statement_with_calendar, parse_with_calendar};
 pub use statement::{execute_parsed_statement, execute_statement, StatementOutput, TupleTable};
+pub use tempagg_algo::JoinPredicate;
 pub use tempagg_plan::CacheReport;
 pub use tempagg_store::TemporalStore;
 pub use token::{Keyword, Spanned, Token};

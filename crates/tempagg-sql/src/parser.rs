@@ -1,9 +1,12 @@
 //! Recursive-descent parser for the mini-TSQL2 dialect.
 
-use crate::ast::{AggExpr, CompareOp, Condition, PlainSelect, Query, Statement, TemporalGrouping};
+use crate::ast::{
+    AggExpr, CompareOp, Condition, JoinSelect, PlainSelect, Query, Statement, TemporalGrouping,
+};
 use crate::lexer::lex;
 use crate::token::{Keyword, Spanned, Token};
 use tempagg_agg::AggKind;
+use tempagg_algo::JoinPredicate;
 use tempagg_core::{
     Calendar, Interval, Result, TempAggError, TimeUnit, Timestamp, Value, ValueType,
 };
@@ -157,12 +160,8 @@ impl Parser {
                     Ok(Statement::Query(
                         self.query_after_select(explain, snapshot)?,
                     ))
-                } else if explain {
-                    Err(self.error_at("EXPLAIN applies to aggregate queries only"))
-                } else if snapshot {
-                    Err(self.error_at("SNAPSHOT applies to aggregate queries only"))
                 } else {
-                    self.plain_select_after_select().map(Statement::Select)
+                    self.select_or_join_after_select(explain, snapshot)
                 }
             }
         }
@@ -199,7 +198,9 @@ impl Parser {
         Ok((conditions, valid_window))
     }
 
-    fn plain_select_after_select(&mut self) -> Result<PlainSelect> {
+    /// A non-aggregate selection: either a plain tuple SELECT or, when a
+    /// `JOIN` follows the first relation, a sweep-based interval join.
+    fn select_or_join_after_select(&mut self, explain: bool, snapshot: bool) -> Result<Statement> {
         let columns = if self.eat(&Token::Star) {
             None
         } else {
@@ -210,14 +211,60 @@ impl Parser {
             Some(cols)
         };
         let (relation, alias) = self.parse_from()?;
+        if self.peek() == Some(&Token::Keyword(Keyword::Join)) {
+            if snapshot {
+                return Err(self.error_at("SNAPSHOT applies to aggregate queries only"));
+            }
+            if columns.is_some() {
+                return Err(
+                    self.error_at("join queries project `*` (both sides' columns, qualified)")
+                );
+            }
+            self.expect_keyword(Keyword::Join)?;
+            let right = self.ident("relation name")?;
+            let right_alias = match self.peek() {
+                Some(Token::Ident(_)) => Some(self.ident("alias")?),
+                _ => None,
+            };
+            self.expect_keyword(Keyword::On)?;
+            let predicate = self.join_predicate()?;
+            return Ok(Statement::Join(JoinSelect {
+                explain,
+                left: relation,
+                left_alias: alias,
+                right,
+                right_alias,
+                predicate,
+            }));
+        }
+        if explain {
+            return Err(self.error_at("EXPLAIN applies to aggregate queries and joins only"));
+        }
+        if snapshot {
+            return Err(self.error_at("SNAPSHOT applies to aggregate queries only"));
+        }
         let (conditions, valid_window) = self.where_clause()?;
-        Ok(PlainSelect {
+        Ok(Statement::Select(PlainSelect {
             columns,
             relation,
             alias,
             conditions,
             valid_window,
-        })
+        }))
+    }
+
+    /// `OVERLAPS | CONTAINS | DURING | MEETS` after `ON`.
+    fn join_predicate(&mut self) -> Result<JoinPredicate> {
+        match self.bump() {
+            Some(Token::Keyword(Keyword::Overlaps)) => Ok(JoinPredicate::Overlaps),
+            Some(Token::Keyword(Keyword::Contains)) => Ok(JoinPredicate::Contains),
+            Some(Token::Keyword(Keyword::During)) => Ok(JoinPredicate::During),
+            Some(Token::Keyword(Keyword::Meets)) => Ok(JoinPredicate::Meets),
+            other => {
+                self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                Err(self.error_at("expected OVERLAPS, CONTAINS, DURING, or MEETS"))
+            }
+        }
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -588,6 +635,45 @@ mod tests {
             "UPDATE r SET",
             "UPDATE r SET x",
             "UPDATE r SET x = ",
+        ] {
+            assert!(parse_statement(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_interval_joins() {
+        let s = parse_statement("SELECT * FROM a x JOIN b y ON DURING").unwrap();
+        match s {
+            Statement::Join(j) => {
+                assert_eq!(j.left, "a");
+                assert_eq!(j.left_alias.as_deref(), Some("x"));
+                assert_eq!(j.right, "b");
+                assert_eq!(j.right_alias.as_deref(), Some("y"));
+                assert_eq!(j.predicate, JoinPredicate::During);
+                assert!(!j.explain);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("EXPLAIN SELECT * FROM a JOIN b ON OVERLAPS").unwrap(),
+            Statement::Join(j) if j.explain && j.predicate == JoinPredicate::Overlaps
+        ));
+        assert!(matches!(
+            parse_statement("select * from a join b on meets;").unwrap(),
+            Statement::Join(j) if j.predicate == JoinPredicate::Meets
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_joins() {
+        for bad in [
+            "SELECT * FROM a JOIN",
+            "SELECT * FROM a JOIN b",
+            "SELECT * FROM a JOIN b ON",
+            "SELECT * FROM a JOIN b ON BEFORE",
+            "SELECT x FROM a JOIN b ON OVERLAPS",
+            "SELECT SNAPSHOT * FROM a JOIN b ON OVERLAPS",
+            "SELECT * FROM a JOIN b ON OVERLAPS WHERE x = 1",
         ] {
             assert!(parse_statement(bad).is_err(), "should reject: {bad}");
         }

@@ -1,13 +1,15 @@
-//! Execution of non-aggregate statements: CREATE TABLE, INSERT, and plain
-//! SELECT. Aggregate queries delegate to [`crate::execute_query`].
+//! Execution of non-aggregate statements: CREATE TABLE, INSERT, plain
+//! SELECT, and interval joins. Aggregate queries delegate to
+//! [`crate::execute_query`].
 
-use crate::ast::{PlainSelect, Statement};
+use crate::ast::{JoinSelect, PlainSelect, Statement};
 use crate::catalog::Catalog;
 use crate::exec::{execute_query, QueryResult};
 use crate::parser::parse_statement;
 use std::fmt;
-use tempagg_core::{Interval, Result, Schema, TempAggError, Value};
-use tempagg_plan::PlannerConfig;
+use tempagg_algo::SweepJoinOperator;
+use tempagg_core::{Interval, Result, Schema, TempAggError, Tuple, Value};
+use tempagg_plan::{plan_join, CacheReport, CostModel, PlannerConfig, RelationStats};
 
 /// A plain-SELECT result: projected attribute values plus valid time.
 #[derive(Clone, Debug, PartialEq)]
@@ -105,6 +107,7 @@ pub fn execute_parsed_statement(
     match statement {
         Statement::Query(query) => execute_query(catalog, query, config).map(StatementOutput::Rows),
         Statement::Select(select) => plain_select(catalog, select).map(StatementOutput::Tuples),
+        Statement::Join(join) => interval_join(catalog, join, config),
         Statement::CreateTable { name, columns } => {
             if catalog.get(name).is_ok() {
                 return Err(TempAggError::Sql {
@@ -205,6 +208,73 @@ fn tuple_matches(
         .iter()
         .all(|(idx, op, value)| op.eval(tuple.value(*idx), value))
         && window.map_or(true, |w| tuple.valid().overlaps(&w))
+}
+
+/// Execute (or EXPLAIN) an interval join on the sweep-based
+/// [`SweepJoinOperator`]: co-sort both relations' endpoint events —
+/// `p`-way partitioned when [`plan_join`] prescribes it — and enumerate
+/// co-live pairs. Result columns are both sides' attributes qualified by
+/// alias (or relation name); each row's valid time is the intersection of
+/// the joined tuples' intervals.
+fn interval_join(
+    catalog: &Catalog,
+    join: &JoinSelect,
+    config: &PlannerConfig,
+) -> Result<StatementOutput> {
+    let left = catalog.get(&join.left)?;
+    let right = catalog.get(&join.right)?;
+    let plan = plan_join(
+        &RelationStats::analyze(left),
+        &RelationStats::analyze(right),
+        config,
+        &CostModel::default(),
+    );
+    if join.explain {
+        return Ok(StatementOutput::Rows(QueryResult {
+            group_column: None,
+            agg_labels: Vec::new(),
+            rows: Vec::new(),
+            plan: Some(plan),
+            explain_only: true,
+            snapshot: false,
+            cache: CacheReport::default(),
+        }));
+    }
+
+    let mut columns = Vec::with_capacity(left.schema().len() + right.schema().len());
+    for (qualifier, schema) in [
+        (join.left_qualifier(), left.schema()),
+        (join.right_qualifier(), right.schema()),
+    ] {
+        columns.extend(
+            schema
+                .columns()
+                .iter()
+                .map(|c| format!("{qualifier}.{}", c.name)),
+        );
+    }
+
+    let mut operator =
+        SweepJoinOperator::new(join.predicate).with_parallelism(plan.parallelism.max(1));
+    let left_tuples: Vec<&Tuple> = left.into_iter().collect();
+    let right_tuples: Vec<&Tuple> = right.into_iter().collect();
+    for tuple in &left_tuples {
+        operator.push_left(tuple.valid())?;
+    }
+    for tuple in &right_tuples {
+        operator.push_right(tuple.valid())?;
+    }
+    let rows = operator
+        .finish()
+        .into_iter()
+        .map(|entry| {
+            let mut values = Vec::with_capacity(left.schema().len() + right.schema().len());
+            values.extend(left_tuples[entry.value.left].values().iter().cloned());
+            values.extend(right_tuples[entry.value.right].values().iter().cloned());
+            (values, entry.interval)
+        })
+        .collect();
+    Ok(StatementOutput::Tuples(TupleTable { columns, rows }))
 }
 
 fn plain_select(catalog: &Catalog, select: &PlainSelect) -> Result<TupleTable> {
@@ -430,6 +500,113 @@ mod tests {
         // Unknown columns error without mutating.
         assert!(execute_statement(&mut c, "DELETE FROM Employed WHERE nope = 1").is_err());
         assert!(execute_statement(&mut c, "UPDATE Employed SET nope = 1").is_err());
+    }
+
+    /// Register the paper's Employed relation plus a small projects
+    /// relation whose intervals exercise every join predicate.
+    fn join_catalog() -> Catalog {
+        let mut c = catalog();
+        execute_statement(&mut c, "CREATE TABLE projects (title STRING)").unwrap();
+        execute_statement(
+            &mut c,
+            "INSERT INTO projects VALUES ('apollo') VALID [5, 12], \
+             ('zeus') VALID [10, 30], ('ares') VALID [20, 25], \
+             ('hermes') VALID [40, FOREVER]",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn interval_join_agrees_with_a_nested_loop() {
+        use tempagg_algo::JoinPredicate;
+        let mut c = join_catalog();
+        for predicate in [
+            JoinPredicate::Overlaps,
+            JoinPredicate::Contains,
+            JoinPredicate::During,
+            JoinPredicate::Meets,
+        ] {
+            // Oracle: test every ordered (left, right) pair directly.
+            let want: Vec<String> = {
+                let left = c.get("Employed").unwrap();
+                let right = c.get("projects").unwrap();
+                let mut rows = Vec::new();
+                for l in left {
+                    for r in right {
+                        if predicate.matches(l.valid(), r.valid()) {
+                            if let Some(overlap) = l.valid().intersect(&r.valid()) {
+                                let mut values = l.values().to_vec();
+                                values.extend(r.values().iter().cloned());
+                                rows.push(format!("{values:?} @ {overlap}"));
+                            }
+                        }
+                    }
+                }
+                rows.sort();
+                rows
+            };
+            assert!(!want.is_empty(), "{predicate:?} oracle found nothing");
+
+            let sql = format!(
+                "SELECT * FROM Employed E JOIN projects P ON {}",
+                predicate.name()
+            );
+            let table = match execute_statement(&mut c, &sql).unwrap() {
+                StatementOutput::Tuples(table) => table,
+                other => panic!("expected tuples, got {other:?}"),
+            };
+            assert_eq!(table.columns, vec!["E.name", "E.salary", "P.title"]);
+            let mut got: Vec<String> = table
+                .rows
+                .iter()
+                .map(|(values, valid)| format!("{values:?} @ {valid}"))
+                .collect();
+            got.sort();
+            assert_eq!(got, want, "{sql}");
+        }
+    }
+
+    #[test]
+    fn join_qualifiers_default_to_relation_names() {
+        let mut c = join_catalog();
+        match execute_statement(&mut c, "SELECT * FROM Employed JOIN projects ON OVERLAPS") {
+            Ok(StatementOutput::Tuples(table)) => {
+                assert_eq!(
+                    table.columns,
+                    vec!["Employed.name", "Employed.salary", "projects.title"]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_join_reports_the_sweep_join_plan() {
+        let mut c = join_catalog();
+        let out = execute_statement(
+            &mut c,
+            "EXPLAIN SELECT * FROM Employed JOIN projects ON OVERLAPS",
+        )
+        .unwrap();
+        match &out {
+            StatementOutput::Rows(result) => {
+                assert!(result.explain_only);
+                assert!(result.rows.is_empty());
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+        let text = out.to_string();
+        assert!(text.contains("sweep-join"), "{text}");
+    }
+
+    #[test]
+    fn join_errors_bubble_up() {
+        let mut c = join_catalog();
+        assert!(
+            execute_statement(&mut c, "SELECT * FROM Employed JOIN missing ON OVERLAPS").is_err()
+        );
+        assert!(execute_statement(&mut c, "SELECT * FROM missing JOIN projects ON MEETS").is_err());
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub enum Keyword {
     Snapshot,
     Select,
     From,
+    Join,
+    On,
     Where,
     Group,
     By,
@@ -26,6 +28,9 @@ pub enum Keyword {
     Span,
     Valid,
     Overlaps,
+    Contains,
+    During,
+    Meets,
     Forever,
     True,
     False,
@@ -48,6 +53,8 @@ impl Keyword {
             "SNAPSHOT" => Keyword::Snapshot,
             "SELECT" => Keyword::Select,
             "FROM" => Keyword::From,
+            "JOIN" => Keyword::Join,
+            "ON" => Keyword::On,
             "WHERE" => Keyword::Where,
             "GROUP" => Keyword::Group,
             "BY" => Keyword::By,
@@ -56,6 +63,9 @@ impl Keyword {
             "SPAN" => Keyword::Span,
             "VALID" => Keyword::Valid,
             "OVERLAPS" => Keyword::Overlaps,
+            "CONTAINS" => Keyword::Contains,
+            "DURING" => Keyword::During,
+            "MEETS" => Keyword::Meets,
             "FOREVER" => Keyword::Forever,
             "TRUE" => Keyword::True,
             "FALSE" => Keyword::False,

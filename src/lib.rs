@@ -112,9 +112,9 @@ pub use tempagg_agg::{
 };
 pub use tempagg_algo::{
     run, run_with_stats, scoped_map, AggregationTree, BalancedAggregationTree, GroupedAggregate,
-    KOrderedAggregationTree, LinkedListAggregate, MemoryStats, PagedAggregationTree,
-    PartitionReport, PartitionedAggregator, SpanGrouper, SweepAggregator, TemporalAggregator,
-    TwoScanAggregate,
+    JoinPair, JoinPredicate, KOrderedAggregationTree, LinkedListAggregate, MemoryStats,
+    PagedAggregationTree, PartitionReport, PartitionedAggregator, SpanGrouper, SweepAggregator,
+    SweepAggregatorV1, SweepJoinOperator, TemporalAggregator, TwoScanAggregate,
 };
 pub use tempagg_core::{
     BitemporalRelation, Calendar, Chunk, ChunkedSink, CountingSink, EventRelation, Interval,

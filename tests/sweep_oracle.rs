@@ -1,17 +1,22 @@
 //! Oracle and property tests for the columnar endpoint-sweep kernel.
 //!
-//! The contract under test: [`SweepAggregator`] produces output
-//! byte-identical to the quadratic reference oracle for every aggregate and
-//! every input shape — random, sorted, reverse-sorted, duplicate-endpoint,
-//! touching-interval, and empty-domain — and a domain-partitioned sweep
-//! agrees with the serial sweep at every partition count. Run with
+//! The contract under test: the v2 [`SweepAggregator`] at every
+//! parallelism P ∈ {1, 2, 8} produces output byte-identical to the v1
+//! sweep ([`SweepAggregatorV1`]) and to the quadratic reference oracle
+//! for every aggregate and every input shape — random, sorted,
+//! reverse-sorted, duplicate-endpoint, touching-interval, dense-instant,
+//! and empty-domain — a domain-partitioned sweep agrees with the serial
+//! sweep at every partition count, and the sweep-based interval join
+//! agrees with a nested loop for every predicate. Run with
 //! `--features validate` to additionally assert the structural tiling
 //! invariant inside every `finish`.
 
 use temporal_aggregates::algo::oracle::oracle;
 use temporal_aggregates::prelude::*;
 use temporal_aggregates::workload::rng::StdRng;
-use temporal_aggregates::{Calibration, SweepAggregate};
+use temporal_aggregates::{
+    Calibration, JoinPredicate, SweepAggregate, SweepAggregatorV1, SweepJoinOperator,
+};
 
 const DOMAIN: Interval = Interval::TIMELINE;
 
@@ -19,7 +24,7 @@ const DOMAIN: Interval = Interval::TIMELINE;
 fn sweep<A>(agg: A, domain: Interval, tuples: &[(Interval, A::Input)]) -> Series<A::Output>
 where
     A: SweepAggregate,
-    A::Input: Clone,
+    A::Input: Clone + Send,
 {
     let mut s = SweepAggregator::with_domain(agg, domain);
     for (iv, v) in tuples {
@@ -30,34 +35,43 @@ where
     s.finish()
 }
 
-/// Assert sweep == oracle for all five of the paper's aggregates.
+/// Assert v2 sweep (P ∈ {1, 2, 8}) == v1 sweep == the quadratic oracle
+/// for all five of the paper's aggregates.
 fn assert_all_aggregates(tuples: &[(Interval, i64)], label: &str) {
+    fn family<A>(agg: A, tuples: &[(Interval, A::Input)], label: &str, what: &str)
+    where
+        A: SweepAggregate + Clone,
+        A::Input: Clone + Send,
+        A::Output: std::fmt::Debug + PartialEq,
+    {
+        let want = oracle(&agg, DOMAIN, tuples);
+        let mut v1 = SweepAggregatorV1::with_domain(agg.clone(), DOMAIN);
+        for (iv, v) in tuples {
+            v1.push(*iv, v.clone()).unwrap();
+        }
+        assert_eq!(
+            v1.finish(),
+            want,
+            "v1 sweep diverged from the oracle: {what} on {label}"
+        );
+        for p in [1usize, 2, 8] {
+            let mut v2 = SweepAggregator::with_domain(agg.clone(), DOMAIN).with_parallelism(p);
+            for (iv, v) in tuples {
+                v2.push(*iv, v.clone()).unwrap();
+            }
+            assert_eq!(
+                v2.finish(),
+                want,
+                "v2 sweep (P = {p}) diverged: {what} on {label}"
+            );
+        }
+    }
     let unit: Vec<(Interval, ())> = tuples.iter().map(|&(iv, _)| (iv, ())).collect();
-    assert_eq!(
-        sweep(Count, DOMAIN, &unit),
-        oracle(&Count, DOMAIN, &unit),
-        "COUNT diverged on {label}"
-    );
-    assert_eq!(
-        sweep(Sum::<i64>::new(), DOMAIN, tuples),
-        oracle(&Sum::<i64>::new(), DOMAIN, tuples),
-        "SUM diverged on {label}"
-    );
-    assert_eq!(
-        sweep(Min::<i64>::new(), DOMAIN, tuples),
-        oracle(&Min::<i64>::new(), DOMAIN, tuples),
-        "MIN diverged on {label}"
-    );
-    assert_eq!(
-        sweep(Max::<i64>::new(), DOMAIN, tuples),
-        oracle(&Max::<i64>::new(), DOMAIN, tuples),
-        "MAX diverged on {label}"
-    );
-    assert_eq!(
-        sweep(Avg::<i64>::new(), DOMAIN, tuples),
-        oracle(&Avg::<i64>::new(), DOMAIN, tuples),
-        "AVG diverged on {label}"
-    );
+    family(Count, &unit, label, "COUNT");
+    family(Sum::<i64>::new(), tuples, label, "SUM");
+    family(Min::<i64>::new(), tuples, label, "MIN");
+    family(Max::<i64>::new(), tuples, label, "MAX");
+    family(Avg::<i64>::new(), tuples, label, "AVG");
 }
 
 fn random_tuples(rng: &mut StdRng, n: usize, width: i64) -> Vec<(Interval, i64)> {
@@ -123,6 +137,18 @@ fn sweep_matches_oracle_on_touching_intervals() {
 }
 
 #[test]
+fn sweep_matches_oracle_on_dense_instants() {
+    // More events than distinct instants: the v2 lowering takes its
+    // per-instant counting scatter (time positional, no comparison
+    // sort). The sparser shapes elsewhere in this file take the
+    // bucketed comparison sort; both regimes must replay to the same
+    // series.
+    let mut rng = StdRng::seed_from_u64(0xDE45E);
+    let tuples = random_tuples(&mut rng, 300, 60);
+    assert_all_aggregates(&tuples, "dense instants");
+}
+
+#[test]
 fn sweep_handles_empty_domain_and_empty_input() {
     // No tuples at all: one empty entry covering the whole domain.
     let empty: Vec<(Interval, i64)> = Vec::new();
@@ -172,6 +198,78 @@ fn partitioned_sweep_is_identical_to_serial_sweep() {
             );
         }
     }
+}
+
+#[test]
+fn sweep_join_agrees_with_a_nested_loop_for_every_predicate() {
+    // The sweep-based interval join must enumerate exactly the pairs a
+    // quadratic nested loop finds, for each Allen-style predicate and at
+    // every sort parallelism.
+    let mut rng = StdRng::seed_from_u64(0x901A);
+    let mut gen_side = |n: usize| -> Vec<Interval> {
+        (0..n)
+            .map(|_| {
+                let start = rng.random_range(0..500i64);
+                let len = rng.random_range(0i64..80);
+                Interval::at(start, start + len)
+            })
+            .collect()
+    };
+    let (left, right) = (gen_side(120), gen_side(150));
+    for predicate in [
+        JoinPredicate::Overlaps,
+        JoinPredicate::Contains,
+        JoinPredicate::During,
+        JoinPredicate::Meets,
+    ] {
+        let mut want: Vec<(usize, usize)> = Vec::new();
+        for (li, l) in left.iter().enumerate() {
+            for (ri, r) in right.iter().enumerate() {
+                if predicate.matches(*l, *r) {
+                    want.push((li, ri));
+                }
+            }
+        }
+        assert!(!want.is_empty(), "degenerate case: no {predicate:?} pairs");
+        for p in [1usize, 2, 8] {
+            let mut op = SweepJoinOperator::new(predicate).with_parallelism(p);
+            for iv in &left {
+                op.push_left(*iv).unwrap();
+            }
+            for iv in &right {
+                op.push_right(*iv).unwrap();
+            }
+            let mut got: Vec<(usize, usize)> = op
+                .finish()
+                .into_iter()
+                .map(|e| (e.value.left, e.value.right))
+                .collect();
+            got.sort_unstable();
+            assert_eq!(
+                got, want,
+                "{predicate:?} join (P = {p}) disagrees with the nested loop"
+            );
+        }
+    }
+}
+
+/// The README interval-join snippet, verbatim: keep the documented
+/// example compiling and producing exactly the output it claims.
+#[test]
+fn readme_join_snippet_compiles_and_matches() {
+    let mut join = SweepJoinOperator::new(JoinPredicate::Overlaps).with_parallelism(4);
+    join.push_left(Interval::at(0, 10)).unwrap(); // L0
+    join.push_left(Interval::at(20, 30)).unwrap(); // L1
+    join.push_right(Interval::at(5, 25)).unwrap(); // R0
+    let mut lines = Vec::new();
+    for entry in join.finish() {
+        lines.push(format!(
+            "L{} × R{} over {}",
+            entry.value.left, entry.value.right, entry.interval
+        ));
+    }
+    lines.sort();
+    assert_eq!(lines, vec!["L0 × R0 over [5, 10]", "L1 × R0 over [20, 25]"]);
 }
 
 #[test]
