@@ -36,6 +36,7 @@ pub mod moving;
 pub mod oracle;
 mod paged;
 pub mod parallel;
+pub mod scan;
 pub mod snapshot;
 mod span_group;
 mod sweep;
@@ -55,6 +56,7 @@ pub use linked_list::LinkedListAggregate;
 pub use memory::MemoryStats;
 pub use paged::PagedAggregationTree;
 pub use parallel::{scoped_map, PartitionReport, PartitionedAggregator};
+pub use scan::{feed, feed_streaming, page_seams, run_paged_partitioned};
 pub use span_group::SpanGrouper;
 pub use sweep::SweepAggregator;
 pub use sweep_v1::SweepAggregatorV1;

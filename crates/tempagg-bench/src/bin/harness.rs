@@ -15,6 +15,7 @@
 //! harness stream                 # streaming vs materialized result emission
 //! harness sweep                  # parallel sweep v2 vs v1 + interval join
 //! harness ingest                 # incremental cache patching vs recompute
+//! harness paged                  # out-of-core paged scans + fence pruning
 //! harness calibrate              # measure per-unit costs for the planner
 //!
 //! options: --max <tuples>  (default 65536; the paper's 64K)
@@ -24,11 +25,11 @@
 //! ```
 //!
 //! Every report line is printed and also saved to
-//! `target/harness_output.txt`. Five commands refresh *tracked*
+//! `target/harness_output.txt`. Six commands refresh *tracked*
 //! perf-trajectory artifacts at the repo root (plus a `target/` copy):
 //! `pipeline` → `BENCH_pipeline.json`, `stream` → `BENCH_stream.json`,
-//! `sweep` → `BENCH_sweep.json`, `ingest` → `BENCH_ingest.json`, and
-//! `calibrate` → the committed
+//! `sweep` → `BENCH_sweep.json`, `ingest` → `BENCH_ingest.json`,
+//! `paged` → `BENCH_paged.json`, and `calibrate` → the committed
 //! `calibration.json` profile ([`tempagg_plan::Calibration`]) for the
 //! current host. `--test` is the CI smoke mode: tiny inputs, assertions
 //! on, tracked artifacts left untouched.
@@ -133,14 +134,12 @@ fn repo_root() -> PathBuf {
     }
 }
 
-/// Write a tracked artifact atomically: contents land in a sibling
-/// `.tmp` file first and are renamed into place, so an interrupted run
-/// (or a concurrent reader of the trajectory files) never observes a
-/// half-written JSON document.
-fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+/// Write a tracked artifact atomically through the pager's shared
+/// temp-file + rename helper — the same code path the data files use —
+/// so an interrupted run (or a concurrent reader of the trajectory
+/// files) never observes a half-written JSON document.
+fn write_atomic(path: &Path, contents: &str) -> tempagg_core::Result<()> {
+    tempagg_core::pager::write_atomic(path, contents.as_bytes())
 }
 
 fn main() {
@@ -206,6 +205,7 @@ fn main() {
         "stream" => stream_bench(&options, &mut sink),
         "sweep" => sweep_bench(&options, &mut sink),
         "ingest" => ingest(&options, &mut sink),
+        "paged" => paged(&options, &mut sink),
         "calibrate" => calibrate(&options, &mut sink),
         "all" => {
             table1(&mut sink);
@@ -223,6 +223,7 @@ fn main() {
             stream_bench(&options, &mut sink);
             sweep_bench(&options, &mut sink);
             ingest(&options, &mut sink);
+            paged(&options, &mut sink);
             calibrate(&options, &mut sink);
         }
         other => usage(&format!("unknown command `{other}`")),
@@ -238,7 +239,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: harness [table1|table2|fig6|fig7|fig8|fig9|ablation|aggkinds|pipeline|stream|\
-         sweep|ingest|calibrate|all] [--max N] [--seeds N] [--kpct F] [--long-lived P] \
+         sweep|ingest|paged|calibrate|all] [--max N] [--seeds N] [--kpct F] [--long-lived P] \
          [--quick] [--test]"
     );
     std::process::exit(2)
@@ -1256,6 +1257,232 @@ fn sweep_bench(options: &Options, sink: &mut Sink) {
     }
 }
 
+// ─────────────────────────── Out-of-core ────────────────────────────
+
+/// Out-of-core paged evaluation. Writes a sorted relation much larger
+/// than a fixed resident-tuple budget to the paged columnar format, then
+/// aggregates it three ways:
+/// * all-in-RAM sweep over the resident relation (the oracle),
+/// * streaming k-ordered tree over the fence-pruned paged scan — one
+///   decoded page plus one chunk of input tuples resident at a time,
+/// * page-partitioned runs (P ∈ {2, 8}) over the same file.
+///
+/// All three must agree exactly. A narrow-window query then measures the
+/// fence-pruning payoff against a forced full scan. Writes
+/// `BENCH_paged.json` (repo root + `target/`; `--test` keeps the tracked
+/// artifact untouched).
+fn paged(options: &Options, sink: &mut Sink) {
+    use tempagg_agg::Count;
+    use tempagg_algo::{
+        feed, feed_streaming, run_paged_partitioned, KOrderedAggregationTree, SweepAggregator,
+        TemporalAggregator,
+    };
+    use tempagg_core::pager::{self, PageCursor, PagedReader, PagedWriteOptions};
+    use tempagg_core::{Series, DEFAULT_CHUNK_CAPACITY};
+
+    emit!(
+        sink,
+        "\n== Out-of-core: fence-pruned paged scans under a resident-tuple budget =="
+    );
+
+    let n = if options.smoke {
+        options.max_tuples
+    } else {
+        options.max_tuples.max(1_048_576)
+    };
+
+    let relation = generate(&WorkloadConfig::sorted(n).with_seed(11));
+    let mut path = std::env::temp_dir();
+    path.push(format!("tempagg-harness-paged-{}.tapg", std::process::id()));
+    let write_started = Instant::now();
+    let stats = pager::write_relation(&relation, &path, &PagedWriteOptions::default())
+        // lint: allow(no-unwrap): an unwritable temp dir must abort the benchmark, not skew it
+        .expect("paged write to the temp dir");
+    let write_secs = write_started.elapsed().as_secs_f64();
+    // lint: allow(no-unwrap): reopening the file just written; failure is a harness bug
+    let reader = PagedReader::open(&path).expect("reopen the paged file");
+    // lint: allow(no-unwrap): the generator always emits at least one tuple
+    let domain = reader.lifespan().expect("non-empty relation");
+    emit!(
+        sink,
+        "file: {} tuples, {} pages of {} B ({} B total), sorted = {} ({write_secs:.3}s write)",
+        stats.tuples,
+        stats.pages,
+        reader.page_size(),
+        stats.file_bytes,
+        stats.sorted
+    );
+
+    // Resident-input budget. The paged pipeline holds one decoded page
+    // plus one in-flight chunk of tuples, nothing else; non-smoke runs
+    // pin the budget at n/16 so the file is provably 16× bigger than
+    // what is ever resident. Smoke inputs are smaller than a chunk, so
+    // the budget there is just "page + chunk with headroom".
+    let max_page_tuples = reader
+        .fences()
+        .iter()
+        .map(|fence| fence.tuples as usize)
+        .max()
+        .unwrap_or(0);
+    let budget_tuples = if options.smoke {
+        DEFAULT_CHUNK_CAPACITY + 2 * max_page_tuples
+    } else {
+        n / 16
+    };
+
+    // Oracle: the all-in-RAM sweep over the resident relation.
+    let ram_started = Instant::now();
+    let mut sweep = SweepAggregator::with_domain(Count, domain);
+    for interval in relation.intervals() {
+        // lint: allow(no-unwrap): generator output always lies on the unbounded timeline
+        sweep.push(interval, ()).expect("tuple fits the timeline");
+    }
+    let oracle = sweep.finish();
+    let ram_secs = ram_started.elapsed().as_secs_f64();
+
+    // Streaming paged run: k-ordered tree (k = 1 — the file is sorted)
+    // fed from the fence-pruned cursor, results drained as they finalise.
+    let paged_started = Instant::now();
+    // lint: allow(no-unwrap): the reader's lifespan is bounded by construction
+    let mut tree = KOrderedAggregationTree::with_domain(Count, 1, domain).expect("bounded domain");
+    let mut source = PageCursor::new(&reader, domain).units();
+    let mut streamed = Series::new();
+    // lint: allow(no-unwrap): a decode error on the file just written must abort loudly
+    feed_streaming(&mut tree, &mut source, &mut streamed).expect("paged streaming scan");
+    tree.finish_into(&mut streamed);
+    let paged_secs = paged_started.elapsed().as_secs_f64();
+    let scan = source.stats();
+    let peak_resident = scan.peak_page_tuples + DEFAULT_CHUNK_CAPACITY;
+
+    assert_eq!(
+        streamed, oracle,
+        "paged streaming result must be byte-identical to the in-RAM sweep"
+    );
+    assert!(
+        peak_resident <= budget_tuples,
+        "resident input tuples {peak_resident} exceed the budget {budget_tuples}"
+    );
+    if !options.smoke {
+        assert!(
+            n >= 8 * budget_tuples,
+            "the file must be ≥ 8× the resident budget (n = {n}, budget = {budget_tuples})"
+        );
+    }
+    emit!(
+        sink,
+        "full scan: in-RAM sweep {ram_secs:.3}s vs paged stream {paged_secs:.3}s — identical \
+         {} rows; peak resident input = {} page tuples + {DEFAULT_CHUNK_CAPACITY} chunk = \
+         {peak_resident} tuples (budget {budget_tuples})",
+        oracle.len(),
+        scan.peak_page_tuples
+    );
+
+    // Page-partitioned runs must stitch to the same series.
+    for partitions in [2usize, 8] {
+        let stitched =
+            run_paged_partitioned(&reader, domain, partitions, PageCursor::units, |sub| {
+                SweepAggregator::with_domain(Count, sub)
+            })
+            // lint: allow(no-unwrap): identity check; a scan error must abort, not be handled
+            .expect("partitioned paged run");
+        assert_eq!(
+            stitched, oracle,
+            "P = {partitions} must stitch to the oracle"
+        );
+    }
+    emit!(
+        sink,
+        "page-partitioned runs (P = 2, 8) stitch to the identical series"
+    );
+
+    // Narrow-window query: 10% of the domain, centred. Fence pruning
+    // should skip ~90% of this sorted file's pages.
+    let span = domain.duration();
+    let w_start = domain
+        .start()
+        .get()
+        .saturating_add(span.saturating_mul(45) / 100);
+    let w_end = w_start.saturating_add((span / 10).max(1));
+    // lint: allow(no-unwrap): saturating arithmetic keeps start <= end by construction
+    let window = Interval::new(w_start, w_end).expect("narrow window is well-formed");
+
+    let reps = usize::try_from(options.seeds.max(1)).unwrap_or(1);
+    let timed = |full: bool| {
+        let mut times = Vec::with_capacity(reps);
+        let mut pages_read = 0usize;
+        let mut result = Series::new();
+        for _ in 0..reps {
+            let cursor = if full {
+                PageCursor::full_scan(&reader, window)
+            } else {
+                PageCursor::new(&reader, window)
+            };
+            let started = Instant::now();
+            let mut agg = SweepAggregator::with_domain(Count, window);
+            let mut source = cursor.units();
+            // lint: allow(no-unwrap): a decode error mid-measurement must abort, not skew the median
+            feed(&mut agg, &mut source).expect("windowed paged scan");
+            result = agg.finish();
+            times.push(started.elapsed().as_secs_f64());
+            pages_read = source.stats().pages_read;
+        }
+        times.sort_by(f64::total_cmp);
+        (times[times.len() / 2], pages_read, result)
+    };
+    let (full_secs, full_pages, full_series) = timed(true);
+    let (pruned_secs, pruned_pages, pruned_series) = timed(false);
+    assert_eq!(
+        pruned_series, full_series,
+        "fence pruning must not change the answer"
+    );
+    let speedup = full_secs / pruned_secs.max(1e-9);
+    let window_pct = 100.0 * window.duration() as f64 / span.max(1) as f64;
+    emit!(
+        sink,
+        "window {window_pct:.1}% of domain: full scan reads {full_pages} pages in \
+         {full_secs:.4}s; fence-pruned reads {pruned_pages} pages in {pruned_secs:.4}s — \
+         {speedup:.1}x"
+    );
+    emit!(
+        sink,
+        "(warm-cache caveat: the file was just written, so both scans hit the OS page cache; \
+         the ratio measures decode + filter work saved, not disk seeks)"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"paged\",\n  \"tuples\": {n},\n  \"pages\": {},\n  \
+         \"page_bytes\": {},\n  \"file_bytes\": {},\n  \"budget_tuples\": {budget_tuples},\n  \
+         \"peak_resident_tuples\": {peak_resident},\n  \"write_secs\": {write_secs:.6},\n  \
+         \"ram_sweep_secs\": {ram_secs:.6},\n  \"paged_stream_secs\": {paged_secs:.6},\n  \
+         \"window_pct\": {window_pct:.2},\n  \"full_scan_pages\": {full_pages},\n  \
+         \"pruned_scan_pages\": {pruned_pages},\n  \"full_scan_secs\": {full_secs:.6},\n  \
+         \"pruned_scan_secs\": {pruned_secs:.6},\n  \"prune_speedup\": {speedup:.2},\n  \
+         \"identical_to_in_ram\": true\n}}\n",
+        stats.pages,
+        reader.page_size(),
+        stats.file_bytes
+    );
+    let _ = pager::remove_file(&path);
+    if options.smoke {
+        emit!(sink, "\n[--test: tracked BENCH_paged.json left untouched]");
+        return;
+    }
+    // Acceptance gate for the tracked artifact: a window covering ≤10%
+    // of the domain must beat the forced full scan by ≥5x.
+    assert!(
+        speedup >= 5.0,
+        "fence pruning must win ≥5x on a ≤10% window (got {speedup:.1}x)"
+    );
+    let root_path = repo_root().join("BENCH_paged.json");
+    match write_atomic(&root_path, &json) {
+        Ok(()) => emit!(sink, "\n[paged timings written to {}]", root_path.display()),
+        Err(e) => emit!(sink, "\n[could not write {}: {e}]", root_path.display()),
+    }
+    if let Ok(dir) = target_dir() {
+        let _ = write_atomic(&dir.join("BENCH_paged.json"), &json);
+    }
+}
+
 // ──────────────────────────── Calibration ───────────────────────────
 
 /// Measure the cost model's per-unit nanosecond constants on this host and
@@ -1532,6 +1759,19 @@ fn calibrate(options: &Options, sink: &mut Sink) {
     ));
     let parallel_sort_ns = clamp_positive((tp - e2 * sweep_event_ns) * p / a2);
 
+    // Page read: per-page fetch + decode cost of the paged columnar
+    // format, measured by sequentially scanning a freshly written file.
+    let page_read_ns = match measure_page_read(seeds) {
+        Ok(ns) => ns,
+        Err(e) => {
+            emit!(
+                sink,
+                "[page-read measurement failed ({e}); keeping the default]"
+            );
+            Calibration::default().page_read_ns
+        }
+    };
+
     let cal = Calibration {
         list_cell_ns: clamp_positive(list_cell_ns),
         tree_node_ns: clamp_positive(tree_node_ns),
@@ -1539,6 +1779,7 @@ fn calibrate(options: &Options, sink: &mut Sink) {
         sweep_sort_ns,
         sweep_event_ns,
         parallel_sort_ns,
+        page_read_ns: clamp_positive(page_read_ns),
     };
     emit!(sink, "\n{}", cal.emit().trim_end());
 
@@ -1555,6 +1796,34 @@ fn calibrate(options: &Options, sink: &mut Sink) {
         ),
         Err(e) => emit!(sink, "\n[could not write {}: {e}]", path.display()),
     }
+}
+
+/// Measure the pager's per-page read + decode cost: write a relation to
+/// the temp directory, sequentially decode every page `seeds` times, and
+/// take the best (least-interrupted) pass in ns per page.
+fn measure_page_read(seeds: u64) -> tempagg_core::Result<f64> {
+    use tempagg_core::pager::{self, PagedReader, PagedWriteOptions};
+    let relation = generate(&WorkloadConfig::sorted(32_768).with_seed(1));
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "tempagg-calibrate-pages-{}.tapg",
+        std::process::id()
+    ));
+    pager::write_relation(&relation, &path, &PagedWriteOptions::default())?;
+    let reader = PagedReader::open(&path)?;
+    let pages = reader.page_count().max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..seeds.max(1) {
+        let started = Instant::now();
+        let mut decoded = 0usize;
+        for index in 0..reader.page_count() {
+            decoded += reader.read_page(index, None)?.len();
+        }
+        assert_eq!(decoded, relation.len(), "every tuple decodes exactly once");
+        best = best.min(started.elapsed().as_nanos() as f64 / pages as f64);
+    }
+    pager::remove_file(&path)?;
+    Ok(best)
 }
 
 /// Timer noise (or a degenerate 2×2 solve) can push a measured per-unit

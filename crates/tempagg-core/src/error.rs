@@ -55,12 +55,24 @@ pub enum TempAggError {
     /// checks in library code can surface corruption as a `Result` instead
     /// of panicking mid-scan.
     Internal { detail: String },
+    /// Persistent storage failed: an I/O error, or a paged relation file
+    /// that is truncated, corrupt, or of an unsupported version. Every
+    /// short read and checksum mismatch in the pager surfaces as this
+    /// variant — never as a panic.
+    Storage { detail: String },
 }
 
 impl TempAggError {
     /// Shorthand for [`TempAggError::Internal`].
     pub fn internal(detail: impl Into<String>) -> TempAggError {
         TempAggError::Internal {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`TempAggError::Storage`].
+    pub fn storage(detail: impl Into<String>) -> TempAggError {
+        TempAggError::Storage {
             detail: detail.into(),
         }
     }
@@ -122,6 +134,9 @@ impl fmt::Display for TempAggError {
             TempAggError::Internal { detail } => {
                 write!(f, "internal invariant violated (this is a bug): {detail}")
             }
+            TempAggError::Storage { detail } => {
+                write!(f, "storage error: {detail}")
+            }
         }
     }
 }
@@ -159,6 +174,10 @@ mod tests {
         let e = TempAggError::internal("frontier regressed");
         assert!(e.to_string().contains("bug"));
         assert!(e.to_string().contains("frontier regressed"));
+
+        let e = TempAggError::storage("page 3 checksum mismatch");
+        assert!(e.to_string().contains("storage error"));
+        assert!(e.to_string().contains("page 3 checksum mismatch"));
     }
 
     #[test]

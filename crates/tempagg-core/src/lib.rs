@@ -16,7 +16,10 @@
 //! * [`Epoch`], [`VersionedSeries`] — write-generation stamps and an MVCC
 //!   chain of immutable series snapshots for readers-during-writes;
 //! * [`sortedness`] — the paper's *k-order* and *k-ordered-percentage*
-//!   metrics (Section 5.2, Table 2).
+//!   metrics (Section 5.2, Table 2);
+//! * [`pager`] — the persistent paged columnar file format and the
+//!   [`TupleSource`]/[`pager::PageCursor`] out-of-core scan abstraction;
+//!   the workspace's only doorway to the file system.
 
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
@@ -31,6 +34,7 @@ mod error;
 mod events;
 mod granularity;
 mod interval;
+pub mod pager;
 mod relation;
 mod schema;
 mod series;
@@ -50,6 +54,7 @@ pub use error::{Result, TempAggError};
 pub use events::{Event, EventRelation, WindowAlignment};
 pub use granularity::{Calendar, TimeUnit};
 pub use interval::Interval;
+pub use pager::TupleSource;
 pub use relation::TemporalRelation;
 pub use schema::{Column, Schema};
 pub use series::{Series, SeriesEntry};

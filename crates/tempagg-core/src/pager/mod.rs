@@ -1,0 +1,109 @@
+//! Out-of-core paged columnar storage for interval relations.
+//!
+//! This module is the workspace's single doorway to the file system: the
+//! `no-io-outside-pager` lint confines `std::fs`/`std::io` to this
+//! directory (plus the workload and bench crates), so every persistent
+//! byte flows through one audited, checksummed path.
+//!
+//! Layers, bottom up:
+//!
+//! - [`format`] — the pure byte codec for the on-disk layout (DESIGN.md
+//!   §15): a checksummed 64-byte header, a schema block, fixed-size
+//!   columnar pages, and a footer of per-page min-start/max-end fences
+//!   plus persisted aggregate caches.
+//! - [`file`] — [`write_relation`] (atomic temp-file + rename) and
+//!   [`PagedReader`] (metadata resident, pages fetched on demand).
+//! - [`cursor`] — the [`TupleSource`] scan abstraction: fence-pruned
+//!   [`PageCursor`] walks feeding [`Chunk`](crate::Chunk) batches to any
+//!   aggregator, with [`SliceSource`] giving resident data the same
+//!   interface.
+//!
+//! The free functions below ([`write_atomic`], [`read_to_string`],
+//! [`exists`], [`remove_file`]) are the shared filesystem helpers the rest
+//! of the workspace uses for data files *and* tracked artifacts (BENCH
+//! JSON, calibration profiles), all speaking `Result<_, TempAggError>`
+//! instead of `std::io::Result`.
+
+pub mod cursor;
+pub mod file;
+pub mod format;
+
+pub use cursor::{IntColumnSource, PageCursor, ScanStats, SliceSource, TupleSource, UnitSource};
+pub use file::{write_relation, PagedReader, PagedWriteOptions, PagedWriteStats};
+pub use format::{
+    DecodedPage, FileHeader, PageFence, PersistedSeries, DEFAULT_PAGE_BYTES, FORMAT_VERSION, MAGIC,
+    MIN_PAGE_BYTES,
+};
+
+use crate::error::{Result, TempAggError};
+use std::path::Path;
+
+fn io_err(path: &Path, what: &str, err: &std::io::Error) -> TempAggError {
+    TempAggError::storage(format!("{}: {what}: {err}", path.display()))
+}
+
+/// Atomically replace `path` with `contents`: write to a `.tmp` sibling,
+/// then rename over the target. Readers never observe a torn file; a crash
+/// mid-write leaves at worst a stray temp file. Used for both paged data
+/// files and tracked artifacts (benchmark JSON, calibration profiles).
+pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<()> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = Path::new(&tmp_name);
+    std::fs::write(tmp, contents).map_err(|e| io_err(tmp, "write failed", &e))?;
+    std::fs::rename(tmp, path).map_err(|e| io_err(path, "rename failed", &e))
+}
+
+/// Read a whole UTF-8 file (calibration profiles, committed artifacts).
+pub fn read_to_string(path: &Path) -> Result<String> {
+    std::fs::read_to_string(path).map_err(|e| io_err(path, "read failed", &e))
+}
+
+/// Whether `path` exists (permission errors read as absent).
+#[must_use]
+pub fn exists(path: &Path) -> bool {
+    path.exists()
+}
+
+/// Delete a file, tolerating it already being gone.
+pub fn remove_file(path: &Path) -> Result<()> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(io_err(path, "remove failed", &e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tempagg-pagermod-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let path = temp_path("atomic.txt");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(read_to_string(&path).unwrap(), "second");
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(!exists(Path::new(&tmp_name)));
+        remove_file(&path).unwrap();
+        assert!(!exists(&path));
+        // Removing twice is fine.
+        remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_is_storage_error() {
+        let err = read_to_string(Path::new("/nonexistent/tempagg-nope")).unwrap_err();
+        assert!(matches!(err, TempAggError::Storage { .. }));
+    }
+}

@@ -1,0 +1,7 @@
+//@ crate: tempagg-store
+// A cache flush that writes bytes straight to disk, bypassing the pager's
+// checksummed page format and atomic temp-file + rename discipline.
+
+fn flush_cache(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}

@@ -691,6 +691,7 @@ mod tests {
             is_thread_hub: false,
             is_exec_path: false,
             is_seam_hub: false,
+            is_pager: false,
         }
     }
 

@@ -6,8 +6,8 @@
 //!    literals, lifetimes, and comments with line numbers.
 //! 2. [`rules`] — the v1 *token* rules (`no-unwrap`, `no-raw-i64-arith`,
 //!    `no-as-cast`, `no-stable-sort`, `no-raw-thread`,
-//!    `no-materialize-in-exec`, `store-mutation`, `forbid-unsafe`)
-//!    evaluated directly over the token stream.
+//!    `no-materialize-in-exec`, `store-mutation`, `no-io-outside-pager`,
+//!    `forbid-unsafe`) evaluated directly over the token stream.
 //! 3. [`parser`] + [`analysis`] — the v2 *tree* rules: a dependency-free
 //!    recursive-descent parser builds a lightweight item/block/expression
 //!    tree, and a scope-aware walker with a symbol table runs the

@@ -168,6 +168,10 @@ fn file_context<'a>(root: &Path, root_pkg: &'a str, file: &'a Path) -> FileConte
         crate_name == "tempagg-algo" && file.ends_with(Path::new("src").join("parallel.rs"));
     let is_executor =
         crate_name == "tempagg-plan" && file.ends_with(Path::new("src").join("executor.rs"));
+    let is_pager = crate_name == "tempagg-core"
+        && file
+            .ancestors()
+            .any(|p| p.ends_with(Path::new("src").join("pager")));
     FileContext {
         crate_name,
         is_crate_root: is_crate_root(file),
@@ -175,6 +179,7 @@ fn file_context<'a>(root: &Path, root_pkg: &'a str, file: &'a Path) -> FileConte
         is_exec_path: is_executor
             || (crate_name == "tempagg-sql" && file.ends_with(Path::new("src").join("exec.rs"))),
         is_seam_hub: is_thread_hub || is_executor,
+        is_pager,
     }
 }
 

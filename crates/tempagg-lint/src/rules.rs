@@ -35,6 +35,12 @@
 //!   `update_where`) so cached aggregate series and the write epoch stay
 //!   consistent. Scratch relations that never enter the catalog justify
 //!   with an allow comment.
+//! * `no-io-outside-pager` — `std::fs` / `std::io` only inside
+//!   `tempagg-core/src/pager/`: every byte that reaches disk must go
+//!   through the pager's checksummed page format and atomic temp-file +
+//!   rename writer, so corruption surfaces as `TempAggError::Storage` in
+//!   exactly one audited place. The workload/bench/lint harness crates
+//!   and the root facade are exempt — they are drivers, not the library.
 //! * `forbid-unsafe` — every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
 
@@ -67,6 +73,10 @@ pub struct FileContext<'a> {
     /// the only files allowed to drive `StitchSink::seam` / seam-real
     /// marking (drives `seam-protocol`).
     pub is_seam_hub: bool,
+    /// `true` for files under `tempagg-core/src/pager/`, the one module
+    /// allowed to touch `std::fs` / `std::io` directly (drives
+    /// `no-io-outside-pager`).
+    pub is_pager: bool,
 }
 
 /// Crates whose algorithms must not use `as` casts.
@@ -92,6 +102,19 @@ const STORE_CRATE: &str = "tempagg-sql";
 /// `replace` are deliberately absent — those names collide with `Vec` and
 /// `str` methods all over the crate.
 const STORE_BYPASS_MUTATORS: &[&str] = &["push_tuple", "sort_by_time", "permute"];
+
+/// Crates whose disk access must flow through the pager (covered by
+/// `no-io-outside-pager`). The workload/bench/lint harness crates and the
+/// root facade stay free to do their own file plumbing — they drive the
+/// library rather than implement it.
+const NO_IO_CRATES: &[&str] = &[
+    "tempagg-core",
+    "tempagg-agg",
+    "tempagg-algo",
+    "tempagg-plan",
+    "tempagg-sql",
+    "tempagg-store",
+];
 
 /// Run every applicable rule over one file's tokens.
 pub fn check_file(ctx: FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> {
@@ -121,6 +144,9 @@ pub fn check_file(ctx: FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> 
     }
     if ctx.crate_name == STORE_CRATE {
         store_mutation(&code, &in_test, &allows, &mut out);
+    }
+    if NO_IO_CRATES.contains(&ctx.crate_name) && !ctx.is_pager {
+        no_io_outside_pager(&code, &in_test, &allows, &mut out);
     }
     if ctx.is_crate_root {
         forbid_unsafe(&code, &mut out);
@@ -538,6 +564,44 @@ fn no_raw_thread(
     }
 }
 
+/// `std` modules that reach the filesystem / raw byte streams.
+const IO_MODULES: &[&str] = &["fs", "io"];
+
+fn no_io_outside_pager(
+    code: &[&Token<'_>],
+    in_test: &[bool],
+    allows: &AllowComments,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        // `std :: fs` / `std :: io` path reads (`::` lexes as two `:`
+        // puncts) — covers both `use std::fs;` imports and inline paths
+        // like `std::fs::write(...)` or `std::io::Result` in signatures.
+        let is_io_path = code[i].is_ident("std")
+            && matches!(code.get(i + 1), Some(t) if t.is_punct(':'))
+            && matches!(code.get(i + 2), Some(t) if t.is_punct(':'))
+            && matches!(code.get(i + 3), Some(t) if t.kind == TokenKind::Ident
+                && IO_MODULES.contains(&t.text));
+        if is_io_path {
+            report(
+                allows,
+                out,
+                "no-io-outside-pager",
+                code[i].line,
+                "raw std::fs/std::io outside tempagg-core/src/pager — route disk \
+                 access through the pager (write_atomic / write_relation / \
+                 PagedReader) so every byte crosses the checksummed format in one \
+                 audited place, or justify with \
+                 `// lint: allow(no-io-outside-pager): <why>`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 fn forbid_unsafe(code: &[&Token<'_>], out: &mut Vec<Violation>) {
     let found = code.windows(8).any(|w| {
         w[0].is_punct('#')
@@ -572,6 +636,7 @@ mod tests {
                 is_thread_hub: false,
                 is_exec_path: false,
                 is_seam_hub: false,
+                is_pager: false,
             },
             &tokens,
         )
@@ -710,6 +775,7 @@ mod tests {
                 is_thread_hub: true,
                 is_exec_path: false,
                 is_seam_hub: false,
+                is_pager: false,
             },
             &tokens,
         );
@@ -815,6 +881,59 @@ mod tests {
         assert!(check("tempagg-sql", false, src).is_empty());
     }
 
+    #[test]
+    fn io_outside_pager_is_flagged_in_library_crates() {
+        for src in [
+            "use std::fs;",
+            "fn f() { std::fs::write(p, b); }",
+            "fn f() -> std::io::Result<()> { g() }",
+        ] {
+            for krate in ["tempagg-core", "tempagg-store", "tempagg-sql"] {
+                let vs = check(krate, false, src);
+                assert_eq!(
+                    rules(&vs),
+                    vec!["no-io-outside-pager"],
+                    "for `{src}` in {krate}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pager_files_and_harness_crates_may_do_io() {
+        // The pager module itself is the sanctioned home of raw I/O.
+        let tokens = lex("use std::fs;\nfn f() { std::fs::rename(a, b); }");
+        let vs = check_file(
+            FileContext {
+                crate_name: "tempagg-core",
+                is_crate_root: false,
+                is_thread_hub: false,
+                is_exec_path: false,
+                is_seam_hub: false,
+                is_pager: true,
+            },
+            &tokens,
+        );
+        assert!(vs.is_empty());
+        // Harness crates and the root facade drive the library and keep
+        // their own file plumbing.
+        for krate in ["tempagg-workload", "tempagg-bench", "temporal-aggregates"] {
+            let vs = check(krate, false, "fn f() { std::fs::read(p); }");
+            assert!(vs.is_empty(), "{krate}: {vs:?}");
+        }
+    }
+
+    #[test]
+    fn io_in_tests_and_justified_allows_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let _ = std::fs::remove_file(p); } }";
+        assert!(check("tempagg-store", false, src).is_empty());
+        let src = "fn f() {\n    // lint: allow(no-io-outside-pager): size probe only, no bytes decoded\n    let m = std::fs::metadata(p);\n}";
+        assert!(check("tempagg-store", false, src).is_empty());
+        // Pager re-exports are the sanctioned path and carry no std:: prefix.
+        let src = "fn f() { pager::write_atomic(path, bytes) }";
+        assert!(check("tempagg-store", false, src).is_empty());
+    }
+
     fn check_exec(src: &str) -> Vec<Violation> {
         let tokens = lex(src);
         check_file(
@@ -824,6 +943,7 @@ mod tests {
                 is_thread_hub: false,
                 is_exec_path: true,
                 is_seam_hub: false,
+                is_pager: false,
             },
             &tokens,
         )

@@ -11,6 +11,7 @@
 //! //@ thread-hub
 //! //@ exec-path
 //! //@ seam-hub
+//! //@ pager
 //! ```
 
 use std::fs;
@@ -18,7 +19,8 @@ use std::path::{Path, PathBuf};
 use tempagg_lint::{check_source, FileContext};
 
 /// The fixture dirs: the five tree rules shipped by `analysis.rs` plus
-/// the crate-gated token rule `store-mutation` from `rules.rs`.
+/// the crate-gated token rules `store-mutation` and `no-io-outside-pager`
+/// from `rules.rs`.
 const RULES: &[&str] = &[
     "sink-order",
     "seam-protocol",
@@ -26,6 +28,7 @@ const RULES: &[&str] = &[
     "no-alloc-in-scan",
     "no-unchecked-index",
     "store-mutation",
+    "no-io-outside-pager",
 ];
 
 fn fixture_root() -> PathBuf {
@@ -38,6 +41,7 @@ struct Directives {
     is_thread_hub: bool,
     is_exec_path: bool,
     is_seam_hub: bool,
+    is_pager: bool,
 }
 
 fn parse_directives(src: &str) -> Directives {
@@ -47,6 +51,7 @@ fn parse_directives(src: &str) -> Directives {
         is_thread_hub: false,
         is_exec_path: false,
         is_seam_hub: false,
+        is_pager: false,
     };
     for line in src.lines() {
         let Some(rest) = line.strip_prefix("//@") else {
@@ -57,6 +62,7 @@ fn parse_directives(src: &str) -> Directives {
             "thread-hub" => d.is_thread_hub = true,
             "exec-path" => d.is_exec_path = true,
             "seam-hub" => d.is_seam_hub = true,
+            "pager" => d.is_pager = true,
             other => {
                 if let Some(name) = other.strip_prefix("crate:") {
                     d.crate_name = name.trim().to_string();
@@ -80,6 +86,7 @@ fn findings(path: &Path) -> Vec<String> {
         is_thread_hub: d.is_thread_hub,
         is_exec_path: d.is_exec_path,
         is_seam_hub: d.is_seam_hub,
+        is_pager: d.is_pager,
     };
     let file = path.file_name().unwrap().to_string_lossy().into_owned();
     check_source(&ctx, &src)

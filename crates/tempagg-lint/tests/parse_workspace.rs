@@ -43,6 +43,7 @@ fn analyzer_survives_every_workspace_file() {
         is_thread_hub: false,
         is_exec_path: true,
         is_seam_hub: false,
+        is_pager: false,
     };
     for f in &files {
         let src = fs::read_to_string(f).unwrap_or_else(|e| panic!("read {}: {e}", f.display()));

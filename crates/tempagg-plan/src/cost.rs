@@ -66,8 +66,15 @@ pub struct CostModel {
     /// `SweepClass::Ordered` aggregates, whose active set is a sorted
     /// multiset rather than a running delta.
     pub ordered_active_multiplier: f64,
-    /// Cost of reading one tuple from storage, per scan.
+    /// Cost of reading one tuple from storage, per scan (the legacy
+    /// per-tuple I/O charge, used when nothing is known about the
+    /// relation's page layout).
     pub io_per_tuple: f64,
+    /// Cost of reading one page from a paged backing file. When
+    /// [`RelationStats::pages`] is known, scans are charged per page
+    /// actually read (fence pruning shrinks that count) instead of per
+    /// tuple.
+    pub page_read: f64,
     /// CPU cost multiplier for comparison-sorting one *tuple* in a
     /// presort (× log₂ n; tuples are wider than the sweep's bare events).
     pub sort_per_tuple: f64,
@@ -119,6 +126,9 @@ pub struct Calibration {
     /// ns per endpoint event per log₂ e on the sweep's cache-partitioned
     /// sort path (before dividing by the worker count).
     pub parallel_sort_ns: f64,
+    /// ns to read and decode one page of a paged relation file
+    /// (positioned read + checksum + columnar decode).
+    pub page_read_ns: f64,
 }
 
 impl Default for Calibration {
@@ -130,6 +140,7 @@ impl Default for Calibration {
             sweep_sort_ns: 4.0,
             sweep_event_ns: 2.0,
             parallel_sort_ns: 2.0,
+            page_read_ns: 4000.0,
         }
     }
 }
@@ -168,6 +179,7 @@ impl Calibration {
                 "sweep_sort_ns" => cal.sweep_sort_ns = value,
                 "sweep_event_ns" => cal.sweep_event_ns = value,
                 "parallel_sort_ns" => cal.parallel_sort_ns = value,
+                "page_read_ns" => cal.page_read_ns = value,
                 other => return Err(format!("unknown calibration key {other:?}")),
             }
         }
@@ -179,20 +191,21 @@ impl Calibration {
         format!(
             "{{\n  \"list_cell_ns\": {:.3},\n  \"tree_node_ns\": {:.3},\n  \
              \"ktree_node_ns\": {:.3},\n  \"sweep_sort_ns\": {:.3},\n  \
-             \"sweep_event_ns\": {:.3},\n  \"parallel_sort_ns\": {:.3}\n}}\n",
+             \"sweep_event_ns\": {:.3},\n  \"parallel_sort_ns\": {:.3},\n  \
+             \"page_read_ns\": {:.3}\n}}\n",
             self.list_cell_ns,
             self.tree_node_ns,
             self.ktree_node_ns,
             self.sweep_sort_ns,
             self.sweep_event_ns,
-            self.parallel_sort_ns
+            self.parallel_sort_ns,
+            self.page_read_ns
         )
     }
 
     /// Load a profile from disk (e.g. the committed `calibration.json`).
     pub fn load(path: &std::path::Path) -> std::result::Result<Calibration, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let text = tempagg_core::pager::read_to_string(path).map_err(|e| e.to_string())?;
         Calibration::parse(&text)
     }
 }
@@ -214,6 +227,7 @@ impl CostModel {
             sweep_event_visit: cal.sweep_event_ns / unit,
             ordered_active_multiplier: 8.0,
             io_per_tuple: 50.0,
+            page_read: cal.page_read_ns / unit,
             sort_per_tuple: 2.0,
             per_state_byte: 0.0,
             partition_overhead: 5_000.0,
@@ -281,7 +295,15 @@ pub fn estimate(
     let n = stats.tuple_count.max(1) as f64;
     let cells = stats.unique_timestamps_or_default().max(1) as f64;
     let node_bytes = model_node_bytes(state_model_bytes);
-    let scan_io = n * model.io_per_tuple;
+    // One relation scan: per page actually read when the page layout is
+    // known (fence pruning shrinks that count), per tuple otherwise.
+    let scan_io = match stats.pages {
+        Some(pages) => {
+            let read = stats.pages_in_window.unwrap_or(pages).min(pages);
+            read.max(1) as f64 * model.page_read
+        }
+        None => n * model.io_per_tuple,
+    };
 
     let (cpu, io, state_bytes) = match choice {
         AlgorithmChoice::LinkedList => {
@@ -505,6 +527,14 @@ fn rank(
             "splitting the work {parallelism} ways pays its {:.0} partition overhead",
             parallelism as f64 * model.partition_overhead
         ));
+    }
+    if let Some(pages) = stats.pages {
+        rationale.push(match stats.pages_in_window {
+            Some(read) if read < pages => {
+                format!("reads {read} of {pages} pages (fence-pruned)")
+            }
+            _ => format!("reads all {pages} pages (no fence pruning applies)"),
+        });
     }
     Plan {
         choice: best.choice,
@@ -1054,8 +1084,93 @@ mod tests {
             sweep_sort_ns: 3.5,
             sweep_event_ns: 1.75,
             parallel_sort_ns: 1.5,
+            page_read_ns: 3_200.0,
         };
         assert_eq!(Calibration::parse(&cal.emit()), Ok(cal));
+    }
+
+    #[test]
+    fn page_stats_switch_io_to_per_page() {
+        let model = CostModel::default();
+        let in_ram = stats(100_000, OrderingKnowledge::Unordered);
+        let paged = in_ram.with_pages(256, None);
+        let ram_est = estimate(
+            AlgorithmChoice::Sweep,
+            &in_ram,
+            &model,
+            4,
+            SweepClass::Delta,
+        );
+        let paged_est = estimate(AlgorithmChoice::Sweep, &paged, &model, 4, SweepClass::Delta);
+        assert_eq!(ram_est.io, 100_000.0 * model.io_per_tuple);
+        assert_eq!(paged_est.io, 256.0 * model.page_read);
+        // 256 page reads are far cheaper than 100k per-tuple charges.
+        assert!(paged_est.io < ram_est.io);
+    }
+
+    #[test]
+    fn fence_pruning_lowers_the_io_estimate() {
+        let model = CostModel::default();
+        let full = stats(100_000, OrderingKnowledge::Sorted).with_pages(256, None);
+        let pruned = stats(100_000, OrderingKnowledge::Sorted).with_pages(256, Some(16));
+        let full_est = estimate(
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: false,
+            },
+            &full,
+            &model,
+            4,
+            SweepClass::Delta,
+        );
+        let pruned_est = estimate(
+            AlgorithmChoice::KOrderedTree {
+                k: 1,
+                presort: false,
+            },
+            &pruned,
+            &model,
+            4,
+            SweepClass::Delta,
+        );
+        assert_eq!(pruned_est.io, 16.0 * model.page_read);
+        assert_eq!(full_est.io, 256.0 * model.page_read);
+        assert!(pruned_est.io < full_est.io);
+        // with_pages clamps a nonsense in-window count to the page count.
+        let clamped = stats(10, OrderingKnowledge::Sorted).with_pages(4, Some(99));
+        assert_eq!(clamped.pages_in_window, Some(4));
+    }
+
+    #[test]
+    fn explain_reports_fence_pruned_page_reads() {
+        let s = stats(100_000, OrderingKnowledge::Unordered).with_pages(256, Some(16));
+        let p = choose_algorithm(
+            &s,
+            SweepClass::Delta,
+            &PlannerConfig::default(),
+            &CostModel::default(),
+            4,
+        );
+        assert!(
+            p.rationale
+                .iter()
+                .any(|r| r.contains("reads 16 of 256 pages (fence-pruned)")),
+            "plan was:\n{p}"
+        );
+        let unpruned = stats(100_000, OrderingKnowledge::Unordered).with_pages(256, None);
+        let p = choose_algorithm(
+            &unpruned,
+            SweepClass::Delta,
+            &PlannerConfig::default(),
+            &CostModel::default(),
+            4,
+        );
+        assert!(
+            p.rationale
+                .iter()
+                .any(|r| r.contains("reads all 256 pages")),
+            "plan was:\n{p}"
+        );
     }
 
     #[test]

@@ -64,6 +64,14 @@ pub struct RelationStats {
     /// an MVCC snapshot for the cost of one pass over its runs — as a
     /// candidate.
     pub cached_series: Option<CachedSeriesInfo>,
+    /// Total pages in the relation's paged backing file, when the
+    /// relation lives out of core. Switches I/O costing from per-tuple to
+    /// per-page ([`Calibration::page_read_ns`](crate::Calibration)).
+    pub pages: Option<usize>,
+    /// Pages whose fences overlap the query window — what a fence-pruned
+    /// scan actually reads. `None` means no pruning knowledge (cost the
+    /// full page count).
+    pub pages_in_window: Option<usize>,
 }
 
 impl RelationStats {
@@ -76,6 +84,8 @@ impl RelationStats {
             unique_timestamps: None,
             expected_result_intervals: None,
             cached_series: None,
+            pages: None,
+            pages_in_window: None,
         }
     }
 
@@ -120,6 +130,8 @@ impl RelationStats {
             unique_timestamps: Some(ts.len()),
             expected_result_intervals: None,
             cached_series: None,
+            pages: None,
+            pages_in_window: None,
         }
     }
 
@@ -143,6 +155,15 @@ impl RelationStats {
     /// Builder-style setter for an available aggregate cache.
     pub fn with_cached_series(mut self, info: CachedSeriesInfo) -> RelationStats {
         self.cached_series = Some(info);
+        self
+    }
+
+    /// Builder-style setter for paged-storage knowledge: the file's total
+    /// page count and, when a fence-pruned scan has been planned, how many
+    /// of those pages the query window actually touches.
+    pub fn with_pages(mut self, pages: usize, pages_in_window: Option<usize>) -> RelationStats {
+        self.pages = Some(pages);
+        self.pages_in_window = pages_in_window.map(|p| p.min(pages));
         self
     }
 }

@@ -141,10 +141,14 @@ pub enum Statement {
     Select(PlainSelect),
     /// A sweep-based interval join of two relations.
     Join(JoinSelect),
-    /// `CREATE TABLE name (col TYPE, …)` — valid time is implicit.
+    /// `CREATE TABLE name (col TYPE, …) [PERSIST TO 'path']` — valid time
+    /// is implicit. With `PERSIST TO`, the relation is backed by a paged
+    /// columnar file: opened from it when it exists, created (and written
+    /// through on every DML statement) otherwise.
     CreateTable {
         name: String,
         columns: Vec<(String, ValueType)>,
+        persist: Option<String>,
     },
     /// `INSERT INTO name VALUES (v, …) VALID [a, b], …`.
     Insert {

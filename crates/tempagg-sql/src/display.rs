@@ -176,7 +176,11 @@ impl fmt::Display for Statement {
             Statement::Query(q) => write!(f, "{q}"),
             Statement::Select(s) => write!(f, "{s}"),
             Statement::Join(j) => write!(f, "{j}"),
-            Statement::CreateTable { name, columns } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                persist,
+            } => {
                 write!(f, "CREATE TABLE {name} (")?;
                 for (i, (col, ty)) in columns.iter().enumerate() {
                     if i > 0 {
@@ -184,7 +188,11 @@ impl fmt::Display for Statement {
                     }
                     write!(f, "{col} {}", type_name(*ty))?;
                 }
-                write!(f, ")")
+                write!(f, ")")?;
+                if let Some(path) = persist {
+                    write!(f, " PERSIST TO '{path}'")?;
+                }
+                Ok(())
             }
             Statement::Insert { relation, rows } => {
                 write!(f, "INSERT INTO {relation} VALUES ")?;

@@ -292,7 +292,23 @@ impl Parser {
             }
         }
         self.expect_token(Token::RParen)?;
-        Ok(Statement::CreateTable { name, columns })
+        let persist = if self.eat_keyword(Keyword::Persist) {
+            self.expect_keyword(Keyword::To)?;
+            match self.bump() {
+                Some(Token::Str(path)) => Some(path),
+                other => {
+                    self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                    return Err(self.error_at("expected a quoted file path after PERSIST TO"));
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            persist,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement> {

@@ -108,7 +108,11 @@ pub fn execute_parsed_statement(
         Statement::Query(query) => execute_query(catalog, query, config).map(StatementOutput::Rows),
         Statement::Select(select) => plain_select(catalog, select).map(StatementOutput::Tuples),
         Statement::Join(join) => interval_join(catalog, join, config),
-        Statement::CreateTable { name, columns } => {
+        Statement::CreateTable {
+            name,
+            columns,
+            persist,
+        } => {
             if catalog.get(name).is_ok() {
                 return Err(TempAggError::Sql {
                     line: 1,
@@ -122,7 +126,34 @@ pub fn execute_parsed_statement(
                     .map(|(n, t)| tempagg_core::Column::new(n.clone(), *t))
                     .collect(),
             )?;
-            catalog.register(name.clone(), tempagg_core::TemporalRelation::new(schema));
+            match persist {
+                Some(path) => {
+                    let path = std::path::Path::new(path);
+                    let store = if tempagg_core::pager::exists(path) {
+                        let store = tempagg_store::TemporalStore::open(path)?;
+                        if store.schema().as_ref() != schema.as_ref() {
+                            return Err(TempAggError::Sql {
+                                line: 1,
+                                column: 1,
+                                detail: format!(
+                                    "`{}` holds a relation with a different schema than the \
+                                     CREATE TABLE declares",
+                                    path.display()
+                                ),
+                            });
+                        }
+                        store
+                    } else {
+                        let mut store = tempagg_store::TemporalStore::with_schema(schema);
+                        store.persist_to(path.to_path_buf())?;
+                        store
+                    };
+                    catalog.register_store(name.clone(), store);
+                }
+                None => {
+                    catalog.register(name.clone(), tempagg_core::TemporalRelation::new(schema));
+                }
+            }
             Ok(StatementOutput::Created { name: name.clone() })
         }
         Statement::Insert { relation, rows } => {
@@ -135,6 +166,7 @@ pub fn execute_parsed_statement(
             for (values, valid) in rows {
                 store.insert(values.clone(), *valid)?;
             }
+            write_through(store)?;
             Ok(StatementOutput::Inserted {
                 relation: relation.clone(),
                 count: rows.len(),
@@ -149,6 +181,7 @@ pub fn execute_parsed_statement(
             let bound = bind_conditions(store.schema(), conditions)?;
             let window = *valid_window;
             let count = store.delete_where(|tuple| tuple_matches(tuple, &bound, window))?;
+            write_through(store)?;
             Ok(StatementOutput::Deleted {
                 relation: relation.clone(),
                 count,
@@ -172,12 +205,22 @@ pub fn execute_parsed_statement(
                 |tuple| tuple_matches(tuple, &bound, window),
                 &bound_assignments,
             )?;
+            write_through(store)?;
             Ok(StatementOutput::Updated {
                 relation: relation.clone(),
                 count,
             })
         }
     }
+}
+
+/// Flush a store created with `PERSIST TO` after a DML statement; a
+/// memory-only store is left alone.
+fn write_through(store: &mut tempagg_store::TemporalStore) -> Result<()> {
+    if store.backing().is_some() {
+        store.flush()?;
+    }
+    Ok(())
 }
 
 /// Resolve condition column names to indexes against `schema`.
@@ -387,6 +430,64 @@ mod tests {
             StatementOutput::Rows(result) => assert!(!result.rows.is_empty()),
             other => panic!("expected rows, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn persist_to_survives_a_fresh_catalog() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tempagg-sql-persist-{}.tapg", std::process::id()));
+        let create = format!(
+            "CREATE TABLE staff (name STRING, salary INT) PERSIST TO '{}'",
+            path.display()
+        );
+
+        let mut c = Catalog::new();
+        execute_statement(&mut c, &create).unwrap();
+        execute_statement(
+            &mut c,
+            "INSERT INTO staff VALUES ('Richard', 40000) VALID [18, FOREVER], \
+             ('Karen', 45000) VALID [8, 20]",
+        )
+        .unwrap();
+        // Warm an aggregate cache so it persists through the footer too.
+        execute_statement(&mut c, "SELECT COUNT(name) FROM staff").unwrap();
+        execute_statement(&mut c, "DELETE FROM staff WHERE salary < 45000").unwrap();
+        drop(c);
+
+        // A brand-new catalog re-opens the table from the paged file.
+        let mut fresh = Catalog::new();
+        execute_statement(&mut fresh, &create).unwrap();
+        match execute_statement(&mut fresh, "SELECT * FROM staff").unwrap() {
+            StatementOutput::Tuples(table) => {
+                assert_eq!(table.rows.len(), 1);
+                assert_eq!(table.rows[0].0[0], Value::from("Karen"));
+            }
+            other => panic!("expected tuples, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persist_to_rejects_a_mismatched_schema() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tempagg-sql-mismatch-{}.tapg", std::process::id()));
+        let mut c = Catalog::new();
+        execute_statement(
+            &mut c,
+            &format!("CREATE TABLE a (x INT) PERSIST TO '{}'", path.display()),
+        )
+        .unwrap();
+        let mut fresh = Catalog::new();
+        let err = execute_statement(
+            &mut fresh,
+            &format!(
+                "CREATE TABLE a (x INT, y FLOAT) PERSIST TO '{}'",
+                path.display()
+            ),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("different schema"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub enum Keyword {
     True,
     False,
     Null,
+    Persist,
+    To,
 }
 
 impl Keyword {
@@ -70,6 +72,8 @@ impl Keyword {
             "TRUE" => Keyword::True,
             "FALSE" => Keyword::False,
             "NULL" => Keyword::Null,
+            "PERSIST" => Keyword::Persist,
+            "TO" => Keyword::To,
             _ => return None,
         })
     }

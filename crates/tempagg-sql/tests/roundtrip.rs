@@ -191,6 +191,11 @@ fn statement(rng: &mut StdRng) -> Statement {
                 break Statement::CreateTable {
                     name: ident(rng),
                     columns,
+                    persist: if rng.random_range(0usize..3) == 0 {
+                        Some(format!("{}.tapg", ident(rng)))
+                    } else {
+                        None
+                    },
                 };
             }
         },

@@ -277,4 +277,160 @@ mod tests {
         store.ensure_cache(count_star(), None);
         assert!(store.has_cache(AggKind::CountStar, None));
     }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tempagg-store-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn persist_roundtrip_restores_relation_and_caches() {
+        let path = temp_path("roundtrip.tapg");
+        let mut store = TemporalStore::new(employed());
+        store.ensure_cache(count_star(), None);
+        store.ensure_cache(agg(AggKind::Sum), Some(1));
+        let stats = store.persist_to(&path).unwrap();
+        assert_eq!(stats.tuples, 4);
+        assert!(!store.is_dirty());
+
+        let reopened = TemporalStore::open(&path).unwrap();
+        assert_eq!(reopened.relation(), store.relation());
+        assert!(!reopened.is_dirty());
+        assert!(reopened.has_cache(AggKind::CountStar, None));
+        assert!(reopened.has_cache(AggKind::Sum, Some(1)));
+        // Served from the restored footer series, not a live rebuild.
+        assert_eq!(reopened.cache_stats().caches, 0);
+        for (kind, column) in [(AggKind::CountStar, None), (AggKind::Sum, Some(1))] {
+            let snap = reopened.snapshot(kind, column).unwrap();
+            assert_eq!(*snap, recompute(reopened.relation(), agg(kind), column));
+        }
+        // snapshot_or_build also prefers the restored series.
+        let snap = reopened.snapshot_or_build(count_star(), None);
+        assert_eq!(*snap, recompute(reopened.relation(), count_star(), None));
+        assert_eq!(reopened.cache_stats().caches, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mutation_after_open_promotes_restored_caches() {
+        let path = temp_path("promote.tapg");
+        let mut store = TemporalStore::new(employed());
+        store.ensure_cache(count_star(), None);
+        store.ensure_cache(agg(AggKind::Sum), Some(1));
+        store.persist_to(&path).unwrap();
+
+        let mut reopened = TemporalStore::open(&path).unwrap();
+        reopened
+            .insert(
+                vec![Value::from("Suchen"), Value::Int(60_000)],
+                Interval::at(10, 25),
+            )
+            .unwrap();
+        assert!(reopened.is_dirty());
+        assert!(!reopened.dirty_pages().is_empty());
+        // Both restored series are now live, incrementally-patched caches.
+        assert_eq!(reopened.cache_stats().caches, 2);
+        for (kind, column) in [(AggKind::CountStar, None), (AggKind::Sum, Some(1))] {
+            let snap = reopened.snapshot(kind, column).unwrap();
+            assert_eq!(
+                *snap,
+                recompute(reopened.relation(), agg(kind), column),
+                "{kind:?} diverged after promote + patch"
+            );
+        }
+        // Deletes and updates promote too, and stay oracle-identical.
+        reopened
+            .delete_where(|t| t.value(0) == &Value::from("Karen"))
+            .unwrap();
+        reopened
+            .update_where(
+                |t| t.value(0) == &Value::from("Nathan"),
+                &[(1, Value::Int(70_000))],
+            )
+            .unwrap();
+        for (kind, column) in [(AggKind::CountStar, None), (AggKind::Sum, Some(1))] {
+            let snap = reopened.snapshot(kind, column).unwrap();
+            assert_eq!(*snap, recompute(reopened.relation(), agg(kind), column));
+        }
+        // Flushing persists the promoted caches; a fresh open restores them.
+        reopened.flush().unwrap().unwrap();
+        let third = TemporalStore::open(&path).unwrap();
+        assert_eq!(third.relation(), reopened.relation());
+        let snap = third.snapshot(AggKind::Sum, Some(1)).unwrap();
+        assert_eq!(
+            *snap,
+            recompute(third.relation(), agg(AggKind::Sum), Some(1))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_is_noop_when_clean() {
+        let path = temp_path("clean.tapg");
+        let mut store = TemporalStore::new(employed());
+        store.persist_to(&path).unwrap();
+        assert!(store.flush().unwrap().is_none());
+        let mut reopened = TemporalStore::open(&path).unwrap();
+        assert!(reopened.flush().unwrap().is_none());
+        reopened
+            .insert(vec![Value::from("Eve"), Value::Int(1)], Interval::at(0, 5))
+            .unwrap();
+        assert!(reopened.flush().unwrap().is_some());
+        assert!(!reopened.is_dirty());
+        assert!(reopened.dirty_pages().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_without_backing_errors() {
+        let mut store = TemporalStore::new(employed());
+        assert!(store.backing().is_none());
+        let err = store.flush().unwrap_err();
+        assert!(err.to_string().contains("no backing file"), "{err}");
+    }
+
+    #[test]
+    fn open_rejects_unknown_cache_label() {
+        use tempagg_core::pager::{write_relation, PagedWriteOptions, PersistedSeries};
+        let path = temp_path("badlabel.tapg");
+        write_relation(
+            &employed(),
+            &path,
+            &PagedWriteOptions {
+                caches: vec![PersistedSeries {
+                    label: "MEDIAN".to_string(),
+                    column: Some(1),
+                    entries: Vec::new(),
+                }],
+                ..PagedWriteOptions::default()
+            },
+        )
+        .unwrap();
+        let err = TemporalStore::open(&path).unwrap_err();
+        assert!(err.to_string().contains("MEDIAN"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_out_of_range_cache_column() {
+        use tempagg_core::pager::{write_relation, PagedWriteOptions, PersistedSeries};
+        let path = temp_path("badcol.tapg");
+        write_relation(
+            &employed(),
+            &path,
+            &PagedWriteOptions {
+                caches: vec![PersistedSeries {
+                    label: "SUM".to_string(),
+                    column: Some(9),
+                    entries: Vec::new(),
+                }],
+                ..PagedWriteOptions::default()
+            },
+        )
+        .unwrap();
+        let err = TemporalStore::open(&path).unwrap_err();
+        assert!(err.to_string().contains("column 9"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
 }

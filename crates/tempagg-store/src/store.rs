@@ -3,10 +3,17 @@
 
 use crate::cache::{extract, AggCache};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tempagg_agg::{AggKind, DynAggregate};
-use tempagg_core::{Epoch, Interval, Result, Schema, Series, TemporalRelation, Tuple, Value};
+use tempagg_core::pager::{
+    self, PagedReader, PagedWriteOptions, PagedWriteStats, PersistedSeries, DEFAULT_PAGE_BYTES,
+};
+use tempagg_core::{
+    Epoch, Interval, Result, Schema, Series, TempAggError, TemporalRelation, Tuple, Value,
+    ValueType,
+};
 
 /// Identifies one cached aggregate series: the aggregate kind plus the
 /// input column index (`None` for `COUNT(*)`-style aggregates without an
@@ -53,6 +60,22 @@ pub struct TemporalStore {
     relation: TemporalRelation,
     epoch: Epoch,
     caches: RefCell<BTreeMap<CacheKey, AggCache>>,
+    /// Aggregate series restored from a paged file's footer, served
+    /// read-only until the first mutation promotes them to live caches.
+    restored: RefCell<BTreeMap<CacheKey, Arc<Series<Value>>>>,
+    /// The paged file this store persists to, if any.
+    backing: Option<PathBuf>,
+    /// Page size used by [`flush`](TemporalStore::flush).
+    page_size: u32,
+    /// Cumulative tuple counts per page as of the last open/flush —
+    /// the baseline for attributing mutations to pages.
+    page_prefix: Vec<u64>,
+    /// Pages touched since the last flush (best-effort attribution
+    /// against the baseline; index `page_prefix.len()` is the virtual
+    /// trailing page appended-to by inserts).
+    dirty_pages: BTreeSet<usize>,
+    /// Any mutation since the last open/flush.
+    dirty: bool,
 }
 
 impl TemporalStore {
@@ -63,12 +86,187 @@ impl TemporalStore {
             relation,
             epoch: Epoch::ZERO,
             caches: RefCell::new(BTreeMap::new()),
+            restored: RefCell::new(BTreeMap::new()),
+            backing: None,
+            page_size: DEFAULT_PAGE_BYTES,
+            page_prefix: Vec::new(),
+            dirty_pages: BTreeSet::new(),
+            dirty: true,
         }
     }
 
     /// An empty store over `schema`.
     pub fn with_schema(schema: Arc<Schema>) -> TemporalStore {
         TemporalStore::new(TemporalRelation::new(schema))
+    }
+
+    /// Open a store from a paged relation file written by
+    /// [`flush`](TemporalStore::flush).
+    ///
+    /// The relation is materialised from the file's pages; aggregate
+    /// series persisted in the footer are restored and served read-only
+    /// from [`snapshot`](TemporalStore::snapshot) /
+    /// [`snapshot_or_build`](TemporalStore::snapshot_or_build) — the first
+    /// mutation promotes them to live, incrementally-maintained caches
+    /// rebuilt over the relation.
+    pub fn open(path: &Path) -> Result<TemporalStore> {
+        let mut reader = PagedReader::open(path)?;
+        let relation = reader.read_relation()?;
+        let page_size = reader.page_size();
+        let mut prefix = Vec::with_capacity(reader.page_count());
+        let mut total = 0u64;
+        for fence in reader.fences() {
+            total += u64::from(fence.tuples);
+            prefix.push(total);
+        }
+        let persisted = reader.take_caches();
+        let schema = relation.schema().clone();
+        let mut restored = BTreeMap::new();
+        for series in persisted {
+            let key = key_for_persisted(&schema, &series)?;
+            restored.insert(key, Arc::new(Series::from_entries(series.entries)));
+        }
+        Ok(TemporalStore {
+            relation,
+            epoch: Epoch::ZERO,
+            caches: RefCell::new(BTreeMap::new()),
+            restored: RefCell::new(restored),
+            backing: Some(path.to_path_buf()),
+            page_size,
+            page_prefix: prefix,
+            dirty_pages: BTreeSet::new(),
+            dirty: false,
+        })
+    }
+
+    /// The paged file this store persists to, if any.
+    pub fn backing(&self) -> Option<&Path> {
+        self.backing.as_deref()
+    }
+
+    /// Whether any mutation happened since the last open/flush.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Pages touched since the last flush, attributed against the
+    /// baseline layout of the last open/flush (best-effort: index drift
+    /// from earlier deletes may over-mark, never the reverse — the page
+    /// index `page_prefix.len()` stands for the virtual trailing page
+    /// inserts append to). Empty when clean.
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        self.dirty_pages.iter().copied().collect()
+    }
+
+    /// Attach `path` as the backing file and flush immediately.
+    pub fn persist_to(&mut self, path: impl Into<PathBuf>) -> Result<PagedWriteStats> {
+        self.backing = Some(path.into());
+        self.dirty = true;
+        self.flush()
+            // lint: allow(no-unwrap): dirty was just set, so flush always writes
+            .map(|stats| stats.expect("forced flush writes"))
+    }
+
+    /// Write the relation and every cached aggregate series to the
+    /// backing file (atomic temp-file + rename). A clean store is a no-op
+    /// returning `Ok(None)`. Errors if no backing file is attached.
+    ///
+    /// The write is a full rewrite of the file — dirty-page tracking
+    /// decides *whether* to write, not which bytes (honest trade-off: the
+    /// format packs pages greedily, so one mid-file mutation can shift
+    /// every later page anyway).
+    pub fn flush(&mut self) -> Result<Option<PagedWriteStats>> {
+        let Some(path) = self.backing.clone() else {
+            return Err(TempAggError::storage(
+                "store has no backing file; use persist_to or open",
+            ));
+        };
+        if !self.dirty {
+            return Ok(None);
+        }
+        let caches = self.collect_persisted();
+        let stats = pager::write_relation(
+            &self.relation,
+            &path,
+            &PagedWriteOptions {
+                page_size: self.page_size,
+                caches,
+            },
+        )?;
+        let ranges = pager::format::plan_pages(
+            self.relation.schema(),
+            self.relation.tuples(),
+            self.page_size,
+        )?;
+        let mut total = 0u64;
+        self.page_prefix.clear();
+        for range in &ranges {
+            total += range.len() as u64;
+            self.page_prefix.push(total);
+        }
+        self.dirty_pages.clear();
+        self.dirty = false;
+        Ok(Some(stats))
+    }
+
+    /// Snapshot every cache (live and restored) into the value-erased
+    /// form the paged footer stores.
+    fn collect_persisted(&mut self) -> Vec<PersistedSeries> {
+        let epoch = self.epoch;
+        let mut out: Vec<PersistedSeries> = Vec::new();
+        let caches = self.caches.get_mut();
+        for (key, cache) in caches.iter_mut() {
+            let snap = cache.snapshot(epoch);
+            out.push(PersistedSeries {
+                label: key.kind.name().to_string(),
+                column: key.column.and_then(|c| u32::try_from(c).ok()),
+                entries: snap.entries().to_vec(),
+            });
+        }
+        for (key, series) in self.restored.get_mut().iter() {
+            if caches.contains_key(key) {
+                continue;
+            }
+            out.push(PersistedSeries {
+                label: key.kind.name().to_string(),
+                column: key.column.and_then(|c| u32::try_from(c).ok()),
+                entries: series.entries().to_vec(),
+            });
+        }
+        out
+    }
+
+    /// Promote footer-restored series to live caches before a mutation:
+    /// the live cache is rebuilt from the (pre-mutation) relation, so the
+    /// mutation's patch applies to real, retractable state.
+    fn promote_restored(&mut self) {
+        let restored = std::mem::take(self.restored.get_mut());
+        if restored.is_empty() {
+            return;
+        }
+        let schema = self.relation.schema().clone();
+        let caches = self.caches.get_mut();
+        for key in restored.into_keys() {
+            if caches.contains_key(&key) {
+                continue;
+            }
+            let Ok(agg) = dyn_for(&schema, key) else {
+                continue;
+            };
+            caches.insert(key, AggCache::build(agg, key.column, &self.relation));
+        }
+    }
+
+    /// Baseline page containing tuple `index` (see
+    /// [`dirty_pages`](TemporalStore::dirty_pages)).
+    fn page_of(&self, index: usize) -> usize {
+        self.page_prefix.partition_point(|c| *c <= index as u64)
+    }
+
+    fn mark_tuple_dirty(&mut self, index: usize) {
+        let page = self.page_of(index);
+        self.dirty_pages.insert(page);
+        self.dirty = true;
     }
 
     /// Read access to the stored relation.
@@ -101,7 +299,9 @@ impl TemporalStore {
 
     /// Insert one tuple, patching every cache.
     pub fn insert(&mut self, values: Vec<Value>, valid: Interval) -> Result<()> {
+        self.promote_restored();
         self.relation.push(values, valid)?;
+        self.mark_tuple_dirty(self.relation.len().saturating_sub(1));
         let Some(tuple) = self.relation.tuples().last().cloned() else {
             return Ok(());
         };
@@ -110,7 +310,9 @@ impl TemporalStore {
 
     /// Insert an already-built tuple, patching every cache.
     pub fn insert_tuple(&mut self, tuple: Tuple) -> Result<()> {
+        self.promote_restored();
         self.relation.push_tuple(tuple.clone())?;
+        self.mark_tuple_dirty(self.relation.len().saturating_sub(1));
         self.commit_insert(&tuple)
     }
 
@@ -127,6 +329,7 @@ impl TemporalStore {
     /// Delete every tuple satisfying `pred`, retracting each from every
     /// cache. Returns the number of tuples deleted.
     pub fn delete_where(&mut self, pred: impl FnMut(&Tuple) -> bool) -> Result<usize> {
+        self.promote_restored();
         let flags: Vec<bool> = self.relation.iter().map(pred).collect();
         let removed: Vec<Tuple> = self
             .relation
@@ -137,6 +340,11 @@ impl TemporalStore {
             .collect();
         if removed.is_empty() {
             return Ok(0);
+        }
+        for (index, &flagged) in flags.iter().enumerate() {
+            if flagged {
+                self.mark_tuple_dirty(index);
+            }
         }
         let mut index = 0usize;
         self.relation.retain(|_| {
@@ -166,6 +374,7 @@ impl TemporalStore {
         mut pred: impl FnMut(&Tuple) -> bool,
         assignments: &[(usize, Value)],
     ) -> Result<usize> {
+        self.promote_restored();
         let mut replacements: Vec<(usize, Tuple, Tuple)> = Vec::new();
         for (index, old) in self.relation.iter().enumerate() {
             if !pred(old) {
@@ -187,6 +396,10 @@ impl TemporalStore {
         }
         for (index, _, replacement) in &replacements {
             let _previous = self.relation.replace(*index, replacement.clone())?;
+        }
+        let touched: Vec<usize> = replacements.iter().map(|(index, _, _)| *index).collect();
+        for index in touched {
+            self.mark_tuple_dirty(index);
         }
         let caches = self.caches.get_mut();
         for cache in caches.values_mut() {
@@ -215,32 +428,46 @@ impl TemporalStore {
         }
     }
 
-    /// Build (if absent) the cache for `agg` over `column`.
+    /// Build (if absent) the cache for `agg` over `column`. A series
+    /// restored from a paged file counts as present — it is served
+    /// read-only until the first mutation promotes it.
     pub fn ensure_cache(&self, agg: DynAggregate, column: Option<usize>) {
+        let key = CacheKey {
+            kind: agg.kind(),
+            column,
+        };
+        if self.restored.borrow().contains_key(&key) {
+            return;
+        }
         let mut caches = self.caches.borrow_mut();
         caches
-            .entry(CacheKey {
-                kind: agg.kind(),
-                column,
-            })
+            .entry(key)
             .or_insert_with(|| AggCache::build(agg, column, &self.relation));
     }
 
-    /// Whether a cache exists for `(kind, column)`.
+    /// Whether a cache (live or restored from a paged file) exists for
+    /// `(kind, column)`.
     pub fn has_cache(&self, kind: AggKind, column: Option<usize>) -> bool {
-        self.caches
-            .borrow()
-            .contains_key(&CacheKey { kind, column })
+        let key = CacheKey { kind, column };
+        self.caches.borrow().contains_key(&key) || self.restored.borrow().contains_key(&key)
     }
 
     /// Snapshot the cached series for `(kind, column)` at the current
     /// epoch, or `None` if that aggregate has no cache yet. The returned
     /// `Arc` pins the version: concurrent writes publish new versions but
-    /// never mutate or free this one.
+    /// never mutate or free this one. Series restored from a paged file
+    /// are served as-is (they were snapshotted at flush time and the
+    /// relation has not changed since — any mutation promotes them to
+    /// live caches first).
     pub fn snapshot(&self, kind: AggKind, column: Option<usize>) -> Option<Arc<Series<Value>>> {
-        let mut caches = self.caches.borrow_mut();
-        let cache = caches.get_mut(&CacheKey { kind, column })?;
-        Some(cache.snapshot(self.epoch))
+        let key = CacheKey { kind, column };
+        {
+            let mut caches = self.caches.borrow_mut();
+            if let Some(cache) = caches.get_mut(&key) {
+                return Some(cache.snapshot(self.epoch));
+            }
+        }
+        self.restored.borrow().get(&key).cloned()
     }
 
     /// [`ensure_cache`](TemporalStore::ensure_cache) then
@@ -250,12 +477,16 @@ impl TemporalStore {
         agg: DynAggregate,
         column: Option<usize>,
     ) -> Arc<Series<Value>> {
+        let key = CacheKey {
+            kind: agg.kind(),
+            column,
+        };
+        if let Some(series) = self.restored.borrow().get(&key) {
+            return series.clone();
+        }
         let mut caches = self.caches.borrow_mut();
         let cache = caches
-            .entry(CacheKey {
-                kind: agg.kind(),
-                column,
-            })
+            .entry(key)
             .or_insert_with(|| AggCache::build(agg, column, &self.relation));
         cache.snapshot(self.epoch)
     }
@@ -276,4 +507,70 @@ impl TemporalStore {
         }
         stats
     }
+}
+
+/// Every aggregate kind, for label round-tripping.
+const ALL_KINDS: [AggKind; 9] = [
+    AggKind::CountStar,
+    AggKind::Count,
+    AggKind::CountDistinct,
+    AggKind::Sum,
+    AggKind::Min,
+    AggKind::Max,
+    AggKind::Avg,
+    AggKind::Variance,
+    AggKind::StdDev,
+];
+
+/// Map a persisted footer label (written as [`AggKind::name`]) back to its
+/// kind. `AggKind::parse` is *not* the inverse of `name` (it speaks SQL
+/// keywords, not display labels like `COUNT(*)`), hence this table lookup.
+fn kind_for_label(label: &str) -> Option<AggKind> {
+    ALL_KINDS.into_iter().find(|kind| kind.name() == label)
+}
+
+/// Rebuild a live aggregate for `key`, deriving the input type from the
+/// schema column (columnless aggregates like `COUNT(*)` never read their
+/// input, so any type works; `Int` by convention).
+fn dyn_for(schema: &Schema, key: CacheKey) -> Result<DynAggregate> {
+    let input = match key.column {
+        Some(index) => schema
+            .columns()
+            .get(index)
+            .map(|column| column.ty)
+            .ok_or_else(|| {
+                TempAggError::storage(format!(
+                    "persisted cache references column {index}, but the schema has {} columns",
+                    schema.len()
+                ))
+            })?,
+        None => ValueType::Int,
+    };
+    DynAggregate::new(key.kind, input)
+}
+
+/// Decode a footer cache entry into the key it was stored under,
+/// validating the label and column against the file's own schema.
+fn key_for_persisted(schema: &Schema, series: &PersistedSeries) -> Result<CacheKey> {
+    let kind = kind_for_label(&series.label).ok_or_else(|| {
+        TempAggError::storage(format!(
+            "unknown persisted aggregate label {:?}",
+            series.label
+        ))
+    })?;
+    let column = match series.column {
+        Some(raw) => {
+            let index = raw as usize;
+            if index >= schema.len() {
+                return Err(TempAggError::storage(format!(
+                    "persisted cache {:?} references column {index}, but the schema has {} columns",
+                    series.label,
+                    schema.len()
+                )));
+            }
+            Some(index)
+        }
+        None => None,
+    };
+    Ok(CacheKey { kind, column })
 }

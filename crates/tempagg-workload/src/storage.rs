@@ -1,126 +1,79 @@
-//! Fixed-width paged storage for temporal relations.
+//! Workload-facing paged storage for temporal relations.
 //!
-//! The paper's measurements assume 128-byte tuples scanned sequentially
+//! The paper's measurements assume fixed-size pages scanned sequentially
 //! from disk, and its Section 7 proposes an I/O-free fix for the
 //! aggregation tree's sorted-input worst case: *"the relation's pages
 //! [are] randomized when they are read … performed on each group of pages
 //! read into memory, and therefore would not affect the I/O time."*
 //!
-//! This module provides that substrate: a binary page file of 128-byte
-//! records (name, salary, start, end, inert padding — the paper's layout),
-//! a sequential scanner, and a scanner that shuffles records *within each
-//! group of pages* as they are read, leaving the I/O order untouched.
-//!
-//! The format is deliberately simple (little-endian, fixed-width, no
-//! compression); it models the paper's storage, not a production heap
-//! file.
+//! This module used to carry its own 128-byte fixed-record codec; it now
+//! rides the workspace's real paged columnar format
+//! ([`tempagg_core::pager`]) — checksummed header, fence-indexed pages,
+//! atomic writes — and keeps only the workload-specific pieces: a
+//! tuple-at-a-time sequential [`Scan`], and [`scan_with_page_shuffle`],
+//! which shuffles tuples *within each group of pages* as they are read,
+//! leaving the I/O order untouched.
 
 use crate::rng::{SliceRandom, StdRng};
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::collections::VecDeque;
 use std::path::Path;
-use tempagg_core::{Interval, TemporalRelation, Tuple, Value};
+use tempagg_core::pager::{DecodedPage, PagedReader, PagedWriteOptions, PagedWriteStats};
+use tempagg_core::{pager, Result, TemporalRelation, Tuple, Value};
 
-/// Bytes per stored tuple — the paper's 128-byte records.
-pub const RECORD_BYTES: usize = 128;
-/// Bytes per page (64 records).
-pub const PAGE_BYTES: usize = 8_192;
-/// Records per page.
-pub const RECORDS_PER_PAGE: usize = PAGE_BYTES / RECORD_BYTES;
+/// Bytes per page — the core pager's default page size.
+pub const PAGE_BYTES: usize = pager::DEFAULT_PAGE_BYTES as usize;
 
-const NAME_BYTES: usize = 16; // 1 length byte + up to 15 name bytes
-const MAGIC: &[u8; 8] = b"TAGGREL1";
-
-/// Write a `(name, salary)` relation to a page file.
-///
-/// The schema must have a string column named `name` and an integer column
-/// named `salary` (the workload generator's layout). Names longer than 15
-/// bytes are truncated — like the paper's 6-byte `name` field, the format
-/// is fixed-width.
-pub fn write_relation(relation: &TemporalRelation, path: &Path) -> io::Result<()> {
-    let name_idx = relation
-        .schema()
-        .index_of("name")
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-    let salary_idx = relation
-        .schema()
-        .index_of("salary")
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-
-    let mut out = BufWriter::new(File::create(path)?);
-    out.write_all(MAGIC)?;
-    out.write_all(&(relation.len() as u64).to_le_bytes())?;
-
-    let mut record = [0u8; RECORD_BYTES];
-    for tuple in relation {
-        record.fill(0);
-        let name = tuple.value(name_idx).as_str().unwrap_or("");
-        let bytes = name.as_bytes();
-        let len = bytes.len().min(NAME_BYTES - 1);
-        record[0] = len as u8;
-        record[1..1 + len].copy_from_slice(&bytes[..len]);
-        let salary = tuple.value(salary_idx).as_i64().unwrap_or(0);
-        record[NAME_BYTES..NAME_BYTES + 8].copy_from_slice(&salary.to_le_bytes());
-        record[NAME_BYTES + 8..NAME_BYTES + 16]
-            .copy_from_slice(&tuple.valid().start().get().to_le_bytes());
-        record[NAME_BYTES + 16..NAME_BYTES + 24]
-            .copy_from_slice(&tuple.valid().end().get().to_le_bytes());
-        out.write_all(&record)?;
-    }
-    out.flush()
+/// Write a relation to a paged columnar file (any schema; atomic
+/// temp-file + rename).
+pub fn write_relation(relation: &TemporalRelation, path: &Path) -> Result<PagedWriteStats> {
+    pager::write_relation(relation, path, &PagedWriteOptions::default())
 }
 
-fn decode(record: &[u8; RECORD_BYTES]) -> io::Result<Tuple> {
-    let len = record[0] as usize;
-    if len >= NAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "corrupt record: name length out of range",
-        ));
-    }
-    let name = std::str::from_utf8(&record[1..1 + len])
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
-        .to_owned();
-    let read_i64 = |offset: usize| {
-        let mut buf = [0u8; 8];
-        buf.copy_from_slice(&record[offset..offset + 8]);
-        i64::from_le_bytes(buf)
-    };
-    let salary = read_i64(NAME_BYTES);
-    let start = read_i64(NAME_BYTES + 8);
-    let end = read_i64(NAME_BYTES + 16);
-    let valid = Interval::new(start, end)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    Ok(Tuple::new(
-        vec![Value::Str(name), Value::Int(salary)],
-        valid,
-    ))
+/// Read a whole paged file back into a relation (sequential order); the
+/// schema comes from the file itself.
+pub fn read_relation(path: &Path) -> Result<TemporalRelation> {
+    PagedReader::open(path)?.read_relation()
 }
 
-/// A sequential scanner over a page file.
+/// Materialise a decoded columnar page into row-major tuples.
+fn page_tuples(page: &DecodedPage) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(page.len());
+    for (row, interval) in page.intervals.iter().enumerate() {
+        let values: Vec<Value> = page
+            .columns
+            .iter()
+            .map(|column| {
+                column
+                    .as_ref()
+                    .and_then(|values| values.get(row).cloned())
+                    .unwrap_or(Value::Null)
+            })
+            .collect();
+        out.push(Tuple::new(values, *interval));
+    }
+    out
+}
+
+/// A sequential tuple scanner over a paged file: one page resident at a
+/// time, tuples yielded in storage order.
 #[derive(Debug)]
 pub struct Scan {
-    reader: BufReader<File>,
+    reader: PagedReader,
+    next_page: usize,
+    buffer: VecDeque<Tuple>,
     remaining: u64,
 }
 
 impl Scan {
-    /// Open a page file for scanning.
-    pub fn open(path: &Path) -> io::Result<Scan> {
-        let mut reader = BufReader::with_capacity(PAGE_BYTES, File::open(path)?);
-        let mut magic = [0u8; 8];
-        reader.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a temporal-aggregates page file",
-            ));
-        }
-        let mut count = [0u8; 8];
-        reader.read_exact(&mut count)?;
+    /// Open a paged file for scanning.
+    pub fn open(path: &Path) -> Result<Scan> {
+        let reader = PagedReader::open(path)?;
+        let remaining = reader.tuple_count();
         Ok(Scan {
             reader,
-            remaining: u64::from_le_bytes(count),
+            next_page: 0,
+            buffer: VecDeque::new(),
+            remaining,
         })
     }
 
@@ -128,26 +81,46 @@ impl Scan {
     pub fn remaining(&self) -> u64 {
         self.remaining
     }
-}
 
-impl Iterator for Scan {
-    type Item = io::Result<Tuple>;
-
-    fn next(&mut self) -> Option<io::Result<Tuple>> {
-        if self.remaining == 0 {
-            return None;
-        }
-        let mut record = [0u8; RECORD_BYTES];
-        if let Err(e) = self.reader.read_exact(&mut record) {
-            self.remaining = 0;
-            return Some(Err(e));
-        }
-        self.remaining -= 1;
-        Some(decode(&record))
+    /// Tuples stored on each on-disk page, in page order (from the
+    /// footer's fences — no page reads needed).
+    pub fn page_tuple_counts(&self) -> Vec<usize> {
+        self.reader
+            .fences()
+            .iter()
+            .map(|fence| fence.tuples as usize)
+            .collect()
     }
 }
 
-/// Scan a page file, shuffling records *within each group of
+impl Iterator for Scan {
+    type Item = Result<Tuple>;
+
+    fn next(&mut self) -> Option<Result<Tuple>> {
+        loop {
+            if let Some(tuple) = self.buffer.pop_front() {
+                self.remaining = self.remaining.saturating_sub(1);
+                return Some(Ok(tuple));
+            }
+            if self.next_page >= self.reader.page_count() {
+                return None;
+            }
+            match self.reader.read_page(self.next_page, None) {
+                Ok(page) => {
+                    self.next_page += 1;
+                    self.buffer.extend(page_tuples(&page));
+                }
+                Err(e) => {
+                    self.next_page = self.reader.page_count();
+                    self.remaining = 0;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Scan a paged file, shuffling tuples *within each group of
 /// `group_pages` pages* as they arrive — the paper's Section 7
 /// randomization, which defeats the aggregation tree's sorted-input worst
 /// case without changing which pages are read when.
@@ -158,20 +131,28 @@ pub fn scan_with_page_shuffle(
     path: &Path,
     group_pages: usize,
     seed: u64,
-) -> io::Result<impl Iterator<Item = io::Result<Tuple>>> {
+) -> Result<impl Iterator<Item = Result<Tuple>>> {
     let scan = Scan::open(path)?;
-    let group_records = group_pages.max(1) * RECORDS_PER_PAGE;
+    let counts = scan.page_tuple_counts();
+    let mut group_sizes = counts
+        .chunks(group_pages.max(1))
+        .map(|group| group.iter().sum::<usize>())
+        .collect::<Vec<usize>>()
+        .into_iter();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut source = scan.peekable();
+    let mut source = scan;
 
-    let iter = std::iter::from_fn(move || -> Option<Vec<io::Result<Tuple>>> {
-        source.peek()?;
-        let mut group: Vec<io::Result<Tuple>> = Vec::with_capacity(group_records);
-        for _ in 0..group_records {
+    let iter = std::iter::from_fn(move || -> Option<Vec<Result<Tuple>>> {
+        let target = group_sizes.next()?;
+        let mut group: Vec<Result<Tuple>> = Vec::with_capacity(target);
+        for _ in 0..target {
             match source.next() {
                 Some(item) => group.push(item),
                 None => break,
             }
+        }
+        if group.is_empty() {
+            return None;
         }
         group.shuffle(&mut rng);
         Some(group)
@@ -180,23 +161,12 @@ pub fn scan_with_page_shuffle(
     Ok(iter)
 }
 
-/// Read a whole page file back into a relation (sequential order).
-pub fn read_relation(path: &Path) -> io::Result<TemporalRelation> {
-    let schema = crate::workload_schema(false);
-    let mut relation = TemporalRelation::new(schema);
-    for tuple in Scan::open(path)? {
-        relation
-            .push_tuple(tuple?)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    }
-    Ok(relation)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{generate, WorkloadConfig};
     use std::path::PathBuf;
+    use tempagg_core::Interval;
 
     fn temp_path(tag: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -218,6 +188,7 @@ mod tests {
         let _cleanup = Cleanup(path.clone());
         write_relation(&relation, &path).unwrap();
         let back = read_relation(&path).unwrap();
+        assert_eq!(back.schema(), relation.schema());
         assert_eq!(back.len(), relation.len());
         for (a, b) in relation.iter().zip(back.iter()) {
             assert_eq!(a.valid(), b.valid());
@@ -227,13 +198,17 @@ mod tests {
     }
 
     #[test]
-    fn file_size_matches_the_papers_record_model() {
+    fn file_layout_is_page_aligned() {
         let relation = generate(&WorkloadConfig::random(100));
         let path = temp_path("size");
         let _cleanup = Cleanup(path.clone());
-        write_relation(&relation, &path).unwrap();
+        let stats = write_relation(&relation, &path).unwrap();
+        assert_eq!(stats.tuples, 100);
+        assert!(stats.pages >= 1);
         let len = std::fs::metadata(&path).unwrap().len() as usize;
-        assert_eq!(len, 16 + 100 * RECORD_BYTES); // header + records
+        assert_eq!(len as u64, stats.file_bytes);
+        // Header + schema, then pages at fixed stride, then the footer.
+        assert!(len > stats.pages * PAGE_BYTES);
     }
 
     #[test]
@@ -251,10 +226,13 @@ mod tests {
 
     #[test]
     fn page_shuffle_preserves_multiset_and_locality() {
-        let relation = generate(&WorkloadConfig::sorted(RECORDS_PER_PAGE * 4));
+        let relation = generate(&WorkloadConfig::sorted(2_000));
         let path = temp_path("shuffle");
         let _cleanup = Cleanup(path.clone());
         write_relation(&relation, &path).unwrap();
+
+        let counts = Scan::open(&path).unwrap().page_tuple_counts();
+        assert!(counts.len() > 2, "need several pages to test locality");
 
         let shuffled: Vec<Tuple> = scan_with_page_shuffle(&path, 1, 7)
             .unwrap()
@@ -273,17 +251,20 @@ mod tests {
         let order: Vec<_> = shuffled.iter().map(tempagg_core::Tuple::valid).collect();
         assert!(!tempagg_core::sortedness::is_time_ordered(&order));
 
-        // ...while each record stays within its page group (I/O order is
-        // untouched): every tuple from group g keeps a start time in
-        // group g's range of the sorted input.
+        // ...while each tuple stays within its page group (I/O order is
+        // untouched): every tuple from group g keeps its interval inside
+        // group g's slice of the sorted input.
         let originals: Vec<_> = relation.intervals().collect();
-        for (i, tuple) in shuffled.iter().enumerate() {
-            let group = i / RECORDS_PER_PAGE;
-            let range = &originals[group * RECORDS_PER_PAGE..(group + 1) * RECORDS_PER_PAGE];
-            assert!(
-                range.contains(&tuple.valid()),
-                "record {i} escaped its page group"
-            );
+        let mut offset = 0usize;
+        for count in counts {
+            let range = &originals[offset..offset + count];
+            for tuple in &shuffled[offset..offset + count] {
+                assert!(
+                    range.contains(&tuple.valid()),
+                    "a tuple escaped its page group"
+                );
+            }
+            offset += count;
         }
     }
 

@@ -1,11 +1,11 @@
 //! Limited-memory and on-disk evaluation — the paper's Section 5.1 / 7
 //! sketches, end to end.
 //!
-//! 1. Writes a *sorted* relation to a 128-byte-record page file (the
-//!    paper's storage layout).
+//! 1. Writes a *sorted* relation to a paged columnar file (checksummed
+//!    header, fence-indexed fixed-size pages).
 //! 2. Scans it three ways into an aggregation tree:
 //!    * sequentially (sorted input — the tree's O(n²) worst case);
-//!    * with records shuffled *within each page group* as they are read —
+//!    * with tuples shuffled *within each page group* as they are read —
 //!      "randomize the pages when they are read to avoid linearizing the
 //!      aggregation tree … would not affect the I/O time";
 //!    * through the region-paged tree, which bounds peak tree memory.
@@ -16,17 +16,18 @@ use std::time::Instant;
 use temporal_aggregates::prelude::*;
 use temporal_aggregates::workload::{generate, storage, WorkloadConfig};
 
-fn main() -> std::io::Result<()> {
+fn main() -> tempagg_core::Result<()> {
     let n = 16_384;
     let relation = generate(&WorkloadConfig::sorted(n));
     let mut path = std::env::temp_dir();
     path.push(format!("tempagg-out-of-core-{}.rel", std::process::id()));
-    storage::write_relation(&relation, &path)?;
+    let stats = storage::write_relation(&relation, &path)?;
     println!(
-        "wrote {} tuples ({} bytes, {}-byte records) to {}",
-        n,
-        std::fs::metadata(&path)?.len(),
-        storage::RECORD_BYTES,
+        "wrote {} tuples ({} bytes, {} pages of {} B) to {}",
+        stats.tuples,
+        stats.file_bytes,
+        stats.pages,
+        storage::PAGE_BYTES,
         path.display()
     );
 
@@ -86,6 +87,6 @@ fn main() -> std::io::Result<()> {
         "\nSame results, three cost profiles: the shuffle fixes the sorted-input \
          blow-up without touching I/O order, and paging caps tree memory."
     );
-    std::fs::remove_file(&path)?;
+    tempagg_core::pager::remove_file(&path)?;
     Ok(())
 }

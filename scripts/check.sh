@@ -36,6 +36,9 @@ cargo run -q --release -p tempagg-bench --bin harness -- ingest --test
 echo "==> harness sweep smoke (v2-vs-v1 byte identity + join throughput, tracked artifacts untouched)"
 cargo run -q --release -p tempagg-bench --bin harness -- sweep --test
 
+echo "==> harness paged smoke (paged-vs-RAM identity + resident budget, tracked artifacts untouched)"
+cargo run -q --release -p tempagg-bench --bin harness -- paged --test
+
 # Opt-in Miri smoke (MIRI=1 ./scripts/check.sh): interpret the tempagg-core
 # and tempagg-agg unit tests under the nightly Miri interpreter to catch UB
 # the type system cannot (the workspace is #![forbid(unsafe_code)], so this

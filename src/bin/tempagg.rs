@@ -163,11 +163,10 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     }
     config.validate()?;
     let relation = generate(&config);
-    storage::write_relation(&relation, Path::new(out)).map_err(|e| e.to_string())?;
+    let stats = storage::write_relation(&relation, Path::new(out)).map_err(|e| e.to_string())?;
     emit_line(format_args!(
-        "wrote {} tuples ({} bytes) to {out}",
-        relation.len(),
-        16 + relation.len() * storage::RECORD_BYTES
+        "wrote {} tuples ({} bytes, {} pages) to {out}",
+        stats.tuples, stats.file_bytes, stats.pages
     ));
     Ok(())
 }

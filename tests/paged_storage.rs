@@ -1,0 +1,345 @@
+//! End-to-end contract of the out-of-core paged storage layer:
+//!
+//! * paged scans are *byte-identical* to in-RAM evaluation across every
+//!   sweepable aggregate, input shape, and partition count;
+//! * fence pruning is conservative — it never skips a page holding a
+//!   tuple that overlaps the query window;
+//! * corrupt files (truncations, bit flips) surface as [`TempAggError`]s,
+//!   never panics — with or without `--features validate`;
+//! * the README's persistence walkthrough works exactly as printed, and
+//!   `CREATE TABLE … PERSIST TO` survives a process boundary (modelled as
+//!   a fresh [`Catalog`]).
+//!
+//! Randomized cases come from the workspace's deterministic [`StdRng`],
+//! seeded per test.
+
+use std::path::PathBuf;
+use tempagg_agg::SweepAggregate;
+use temporal_aggregates::algo::{run_paged_partitioned, SweepAggregator, TemporalAggregator};
+use temporal_aggregates::core::pager::{
+    self, PageCursor, PagedReader, PagedWriteOptions, TupleSource,
+};
+use temporal_aggregates::prelude::*;
+use temporal_aggregates::sql::execute_statement;
+use temporal_aggregates::workload::rng::StdRng;
+use temporal_aggregates::workload::{generate, WorkloadConfig};
+use temporal_aggregates::{AggKind, DynAggregate, TempAggError, ValueType, DEFAULT_CHUNK_CAPACITY};
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tempagg-paged-it-{}-{name}", std::process::id()));
+    p
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Write `relation` with a small page size so even modest inputs span
+/// many pages, and reopen it.
+fn written(relation: &TemporalRelation, name: &str) -> (Cleanup, PagedReader) {
+    let path = temp_path(name);
+    pager::write_relation(
+        relation,
+        &path,
+        &PagedWriteOptions {
+            page_size: 512,
+            caches: Vec::new(),
+        },
+    )
+    .unwrap();
+    let reader = PagedReader::open(&path).unwrap();
+    (Cleanup(path), reader)
+}
+
+/// The three input shapes of the identity matrix.
+fn shapes(n: usize) -> Vec<(&'static str, TemporalRelation)> {
+    vec![
+        ("sorted", generate(&WorkloadConfig::sorted(n).with_seed(3))),
+        ("random", generate(&WorkloadConfig::random(n).with_seed(4))),
+        (
+            "long-lived",
+            generate(
+                &WorkloadConfig::random(n)
+                    .with_seed(5)
+                    .with_long_lived_pct(80),
+            ),
+        ),
+    ]
+}
+
+/// In-RAM oracle: a serial sweep over window-clipped `(interval, value)`
+/// pairs.
+fn ram_sweep<A, V>(
+    agg: A,
+    window: Interval,
+    items: impl Iterator<Item = (Interval, V)>,
+) -> Series<A::Output>
+where
+    A: SweepAggregate<Input = V>,
+    V: Clone + Send,
+{
+    let mut sweep = SweepAggregator::with_domain(agg, window);
+    for (interval, value) in items {
+        if let Some(clipped) = interval.intersect(&window) {
+            sweep.push(clipped, value).unwrap();
+        }
+    }
+    sweep.finish()
+}
+
+/// One cell of the matrix for a column-valued aggregate over `salary`
+/// (column 1 of the workload schema).
+fn assert_int_identity<A>(
+    reader: &PagedReader,
+    relation: &TemporalRelation,
+    window: Interval,
+    partitions: usize,
+    agg: A,
+    label: &str,
+) where
+    A: SweepAggregate<Input = i64> + Clone + Send,
+    A::Output: PartialEq + std::fmt::Debug + Send,
+{
+    let paged = run_paged_partitioned(
+        reader,
+        window,
+        partitions,
+        |cursor| cursor.int_column(1),
+        |sub| SweepAggregator::with_domain(agg.clone(), sub),
+    )
+    .unwrap();
+    let oracle = ram_sweep(
+        agg,
+        window,
+        relation
+            .iter()
+            .map(|t| (t.valid(), t.value(1).as_i64().unwrap())),
+    );
+    assert_eq!(paged, oracle, "{label} (P = {partitions})");
+}
+
+/// Tentpole acceptance: every sweepable aggregate × input shape ×
+/// partition count produces output byte-identical to the all-in-RAM
+/// sweep, both over the full lifespan and over a narrow interior window.
+#[test]
+fn paged_matches_ram_for_all_aggregates_shapes_and_partitions() {
+    for (shape, relation) in shapes(2_000) {
+        let (_cleanup, reader) = written(&relation, &format!("matrix-{shape}.tapg"));
+        let lifespan = reader.lifespan().unwrap();
+        let narrow = {
+            let span = lifespan.duration();
+            let start = lifespan.start().get() + span * 2 / 5;
+            Interval::new(start, start + span / 10).unwrap()
+        };
+        for window in [lifespan, narrow] {
+            for partitions in [1usize, 2, 8] {
+                let label = format!("{shape} over {window}");
+                // COUNT(*) — unit input through `PageCursor::units`.
+                let paged =
+                    run_paged_partitioned(&reader, window, partitions, PageCursor::units, |sub| {
+                        SweepAggregator::with_domain(Count, sub)
+                    })
+                    .unwrap();
+                let oracle = ram_sweep(Count, window, relation.intervals().map(|iv| (iv, ())));
+                assert_eq!(paged, oracle, "COUNT {label} (P = {partitions})");
+
+                // The four column aggregates over `salary`.
+                assert_int_identity(
+                    &reader,
+                    &relation,
+                    window,
+                    partitions,
+                    Sum::<i64>::new(),
+                    &format!("SUM {label}"),
+                );
+                assert_int_identity(
+                    &reader,
+                    &relation,
+                    window,
+                    partitions,
+                    Min::<i64>::new(),
+                    &format!("MIN {label}"),
+                );
+                assert_int_identity(
+                    &reader,
+                    &relation,
+                    window,
+                    partitions,
+                    Max::<i64>::new(),
+                    &format!("MAX {label}"),
+                );
+                assert_int_identity(
+                    &reader,
+                    &relation,
+                    window,
+                    partitions,
+                    Avg::<i64>::new(),
+                    &format!("AVG {label}"),
+                );
+            }
+        }
+    }
+}
+
+/// Fence pruning is *conservative*: for randomized windows, every page
+/// that actually stores a tuple overlapping the window must survive
+/// pruning. (Completeness — pruned scans equal full scans — rides along.)
+#[test]
+fn fence_pruning_never_skips_a_qualifying_page() {
+    let relation = generate(&WorkloadConfig::random(3_000).with_seed(9));
+    let (_cleanup, reader) = written(&relation, "prune-oracle.tapg");
+    let lifespan = reader.lifespan().unwrap();
+    assert!(reader.page_count() > 8, "need many pages for a real test");
+
+    let mut rng = StdRng::seed_from_u64(0xFE2CE);
+    for case in 0..64 {
+        let a = rng.random_range(lifespan.start().get()..=lifespan.end().get());
+        let b = rng.random_range(lifespan.start().get()..=lifespan.end().get());
+        let window = Interval::new(a.min(b), a.max(b)).unwrap();
+        let kept = reader.pages_overlapping(&window);
+
+        for index in 0..reader.page_count() {
+            let page = reader.read_page(index, Some(&[])).unwrap();
+            let qualifies = page
+                .intervals
+                .iter()
+                .any(|iv| iv.intersect(&window).is_some());
+            if qualifies {
+                assert!(
+                    kept.contains(&index),
+                    "case {case}: page {index} holds a tuple overlapping {window} but was pruned"
+                );
+            }
+        }
+
+        // And the pruned scan's output equals the forced full scan's.
+        let drain = |mut cursor_source: pager::UnitSource<'_>| {
+            let mut chunk: Chunk<()> = Chunk::with_capacity(DEFAULT_CHUNK_CAPACITY);
+            let mut out = Vec::new();
+            while cursor_source.next_chunk(&mut chunk).unwrap() {
+                out.extend(chunk.iter().map(|(iv, _)| iv));
+                chunk.clear();
+            }
+            out
+        };
+        let pruned = drain(PageCursor::new(&reader, window).units());
+        let full = drain(PageCursor::full_scan(&reader, window).units());
+        assert_eq!(pruned, full, "case {case}: pruning changed the scan output");
+    }
+}
+
+/// Every mutation of a valid file must yield `TempAggError`s (or a clean
+/// read), never a panic — the corruption matrix. Runs identically under
+/// `--features validate`.
+#[test]
+fn corrupt_files_error_instead_of_panicking() {
+    let relation = generate(&WorkloadConfig::random(400).with_seed(13));
+    let path = temp_path("corrupt-src.tapg");
+    let _cleanup = Cleanup(path.clone());
+    pager::write_relation(&relation, &path, &PagedWriteOptions::default()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let mutant_path = temp_path("corrupt-mut.tapg");
+    let _mutant_cleanup = Cleanup(mutant_path.clone());
+
+    // Exercise the full read surface; any Err is acceptable, panics are not.
+    let exercise = |path: &std::path::Path| {
+        let reader = match PagedReader::open(path) {
+            Ok(reader) => reader,
+            Err(_) => return,
+        };
+        for index in 0..reader.page_count() {
+            let _ = reader.read_page(index, None);
+        }
+        let _ = reader.read_relation();
+        let _ = TemporalStore::open(path);
+    };
+
+    // Truncations: empty, mid-header, header-only, mid-page, one byte short.
+    for cut in [0usize, 7, 63, 64, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&mutant_path, &bytes[..cut]).unwrap();
+        exercise(&mutant_path);
+        assert!(
+            PagedReader::open(&mutant_path)
+                .and_then(|r| r.read_relation())
+                .is_err(),
+            "truncation to {cut} bytes must not read back cleanly"
+        );
+    }
+
+    // Single bit flips swept across the file, plus a garbage magic.
+    let stride = (bytes.len() / 64).max(1);
+    for offset in (0..bytes.len()).step_by(stride) {
+        let mut mutant = bytes.clone();
+        mutant[offset] ^= 0x40;
+        std::fs::write(&mutant_path, &mutant).unwrap();
+        exercise(&mutant_path);
+    }
+    std::fs::write(&mutant_path, b"definitely not a paged file").unwrap();
+    assert!(matches!(
+        PagedReader::open(&mutant_path),
+        Err(TempAggError::Storage { .. })
+    ));
+}
+
+/// The README's "Persistence" walkthrough, statement for statement — if
+/// this test fails, the README is lying.
+#[test]
+fn readme_persistence_example_works_as_printed() {
+    let path = temp_path("readme.tapg");
+    let _cleanup = Cleanup(path.clone());
+    let file = path.display().to_string();
+
+    let mut catalog = Catalog::new();
+    execute_statement(
+        &mut catalog,
+        &format!("CREATE TABLE staff (name STRING, salary INT) PERSIST TO '{file}'"),
+    )
+    .unwrap();
+    execute_statement(
+        &mut catalog,
+        "INSERT INTO staff VALUES ('Richard', 40000) VALID [5, 15], \
+         ('Karen', 50000) VALID [10, 20]",
+    )
+    .unwrap();
+    let first = execute_str(&catalog, "SELECT COUNT(*) FROM staff").unwrap();
+    assert!(!first.rows.is_empty());
+
+    // A later session (fresh catalog) reopens the same file — data and
+    // cached aggregate series come back from disk.
+    let mut later = Catalog::new();
+    execute_statement(
+        &mut later,
+        &format!("CREATE TABLE staff (name STRING, salary INT) PERSIST TO '{file}'"),
+    )
+    .unwrap();
+    let reopened = execute_str(&later, "SELECT COUNT(*) FROM staff").unwrap();
+    assert_eq!(first.rows, reopened.rows);
+}
+
+/// Store-level roundtrip: mutations + flush persist both tuples and
+/// cached aggregate series; reopening serves the caches without a
+/// rebuild.
+#[test]
+fn store_flush_and_open_roundtrip_preserves_caches() {
+    let path = temp_path("store-roundtrip.tapg");
+    let _cleanup = Cleanup(path.clone());
+
+    let relation = generate(&WorkloadConfig::random(300).with_seed(21));
+    let mut store = TemporalStore::new(relation);
+    let count_star = || DynAggregate::new(AggKind::CountStar, ValueType::Int).unwrap();
+    let before = store.snapshot_or_build(count_star(), None);
+    store.persist_to(&path).unwrap();
+
+    let reopened = TemporalStore::open(&path).unwrap();
+    assert_eq!(
+        reopened.cache_stats().caches,
+        0,
+        "served from disk, not rebuilt"
+    );
+    let after = reopened.snapshot(AggKind::CountStar, None).unwrap();
+    assert_eq!(*before, *after);
+}
