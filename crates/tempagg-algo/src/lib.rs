@@ -46,6 +46,7 @@ mod tree;
 mod two_scan;
 #[cfg(feature = "validate")]
 pub mod validate;
+pub mod windex;
 
 pub use agg_tree::AggregationTree;
 pub use balanced::BalancedAggregationTree;
@@ -62,3 +63,7 @@ pub use sweep::SweepAggregator;
 pub use sweep_v1::SweepAggregatorV1;
 pub use traits::{run, run_with_stats, TemporalAggregator};
 pub use two_scan::TwoScanAggregate;
+pub use windex::{
+    scan_window, top_k, GroupProbe, IndexMode, IndexNode, RunSource, TopKOutcome, WindowAggregate,
+    WindowIndex,
+};

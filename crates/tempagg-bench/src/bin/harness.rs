@@ -16,6 +16,7 @@
 //! harness sweep                  # parallel sweep v2 vs v1 + interval join
 //! harness ingest                 # incremental cache patching vs recompute
 //! harness paged                  # out-of-core paged scans + fence pruning
+//! harness windowq                # window-index probes + TOP-k vs scans
 //! harness calibrate              # measure per-unit costs for the planner
 //!
 //! options: --max <tuples>  (default 65536; the paper's 64K)
@@ -25,11 +26,12 @@
 //! ```
 //!
 //! Every report line is printed and also saved to
-//! `target/harness_output.txt`. Six commands refresh *tracked*
+//! `target/harness_output.txt`. Seven commands refresh *tracked*
 //! perf-trajectory artifacts at the repo root (plus a `target/` copy):
 //! `pipeline` → `BENCH_pipeline.json`, `stream` → `BENCH_stream.json`,
 //! `sweep` → `BENCH_sweep.json`, `ingest` → `BENCH_ingest.json`,
-//! `paged` → `BENCH_paged.json`, and `calibrate` → the committed
+//! `paged` → `BENCH_paged.json`, `windowq` → `BENCH_windowq.json`,
+//! and `calibrate` → the committed
 //! `calibration.json` profile ([`tempagg_plan::Calibration`]) for the
 //! current host. `--test` is the CI smoke mode: tiny inputs, assertions
 //! on, tracked artifacts left untouched.
@@ -206,6 +208,7 @@ fn main() {
         "sweep" => sweep_bench(&options, &mut sink),
         "ingest" => ingest(&options, &mut sink),
         "paged" => paged(&options, &mut sink),
+        "windowq" => windowq(&options, &mut sink),
         "calibrate" => calibrate(&options, &mut sink),
         "all" => {
             table1(&mut sink);
@@ -224,6 +227,7 @@ fn main() {
             sweep_bench(&options, &mut sink);
             ingest(&options, &mut sink);
             paged(&options, &mut sink);
+            windowq(&options, &mut sink);
             calibrate(&options, &mut sink);
         }
         other => usage(&format!("unknown command `{other}`")),
@@ -239,7 +243,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: harness [table1|table2|fig6|fig7|fig8|fig9|ablation|aggkinds|pipeline|stream|\
-         sweep|ingest|paged|calibrate|all] [--max N] [--seeds N] [--kpct F] [--long-lived P] \
+         sweep|ingest|paged|windowq|calibrate|all] [--max N] [--seeds N] [--kpct F] [--long-lived P] \
          [--quick] [--test]"
     );
     std::process::exit(2)
@@ -1689,6 +1693,354 @@ fn ingest(options: &Options, sink: &mut Sink) {
     }
 }
 
+/// Window queries: `O(log n)` segment-tree probes vs a linear window
+/// scan over the same cached series, plus grouped TOP-k ranking vs
+/// scanning every group. Every probe is asserted byte-identical to the
+/// scan oracle, rep by rep. Writes `BENCH_windowq.json` (repo root +
+/// `target/`; `--test` keeps the tracked artifact untouched).
+fn windowq(options: &Options, sink: &mut Sink) {
+    use std::hint::black_box;
+    use tempagg_agg::{AggKind, DynAggregate};
+    use tempagg_algo::{scan_window, IndexMode, RunSource, WindowIndex};
+    use tempagg_core::{Schema, Series, TemporalRelation, Tuple, Value, ValueType};
+    use tempagg_store::{sweep_values, TemporalStore};
+
+    /// The no-index strawman: a run store with no ordering metadata, so
+    /// every query walks every run. [`Series`]'s own `RunSource` impl
+    /// binary-searches to the window instead — that clipped scan is the
+    /// byte-identity oracle and is reported separately, unasserted.
+    struct FullScan<'a>(&'a Series<Value>);
+    impl RunSource for FullScan<'_> {
+        fn for_each_run_in(&self, window: Interval, f: &mut dyn FnMut(Interval, &Value)) {
+            for entry in self.0.entries() {
+                if let Some(clipped) = entry.interval.intersect(&window) {
+                    f(clipped, &entry.value);
+                }
+            }
+        }
+    }
+
+    let n = if options.smoke { 20_000 } else { 750_000 };
+    let probe_reps = if options.smoke { 2_000u64 } else { 20_000 };
+    let scan_reps = if options.smoke { 5u64 } else { 50 };
+    let groups = if options.smoke { 100usize } else { 1_000 };
+    let per_group = if options.smoke { 20usize } else { 200 };
+    let topk_reps = if options.smoke { 10u64 } else { 200 };
+    let sweep_reps = if options.smoke { 2u64 } else { 20 };
+    let k = 10usize;
+
+    emit!(
+        sink,
+        "\n== Window queries: segment-tree probes vs linear scans, \
+         {n} random tuples =="
+    );
+
+    // ---- Arbitrary-window probes over one big cached series ----------
+    // A 4M-instant lifespan keeps boundary collisions rare, so 750K
+    // tuples really produce the targeted ~1e6 distinct runs.
+    let config = if options.smoke {
+        WorkloadConfig::random(n).with_seed(11)
+    } else {
+        WorkloadConfig::random(n)
+            .with_seed(11)
+            .with_lifespan(4_000_000)
+    };
+    let lifespan = config.lifespan;
+    let width = lifespan / 100; // the 1%-width window of EXPERIMENTS.md
+    let store = TemporalStore::new(generate(&config));
+    // lint: allow(no-unwrap): COUNT(*) over Int is a statically valid pairing
+    let count = DynAggregate::new(AggKind::CountStar, ValueType::Int).expect("COUNT(*) over Int");
+    let series = store.snapshot_or_build(count, None);
+    let runs = series.len();
+    let index = WindowIndex::build(IndexMode::Integral, &series);
+    let seed = 0x5EED_CAFEu64;
+    let window_at = |rng: &mut u64| {
+        let start = (xorshift(rng) % (lifespan - width) as u64) as i64;
+        Interval::at(start, start + width)
+    };
+
+    // Probes, timed alone; both scan baselines replay the same windows.
+    let mut rng = seed;
+    let mut acc = 0i128;
+    let started = Instant::now();
+    for _ in 0..probe_reps {
+        acc += index.probe(window_at(&mut rng), &*series).integral;
+    }
+    let probe_ns = started.elapsed().as_nanos() as f64 / probe_reps as f64;
+    black_box(acc);
+
+    let mut rng = seed;
+    let mut acc = 0i128;
+    let started = Instant::now();
+    for _ in 0..scan_reps {
+        acc += scan_window(&FullScan(&series), window_at(&mut rng)).integral;
+    }
+    let linear_ns = started.elapsed().as_nanos() as f64 / scan_reps as f64;
+    black_box(acc);
+
+    let mut rng = seed;
+    let mut acc = 0i128;
+    let started = Instant::now();
+    for _ in 0..probe_reps {
+        acc += scan_window(&*series, window_at(&mut rng)).integral;
+    }
+    let clipped_ns = started.elapsed().as_nanos() as f64 / probe_reps as f64;
+    black_box(acc);
+
+    // Byte-identity, every probe rep: the descent must reproduce the
+    // clipped scan oracle exactly over the very same windows. The first
+    // rep also ties the oracles together against the full linear pass.
+    let mut rng = seed;
+    for rep in 0..probe_reps {
+        let window = window_at(&mut rng);
+        let probed = index.probe(window, &*series);
+        assert_eq!(
+            probed,
+            scan_window(&*series, window),
+            "probe diverged from the scan oracle at rep {rep} over {window}"
+        );
+        if rep == 0 {
+            assert_eq!(
+                probed,
+                scan_window(&FullScan(&series), window),
+                "clipped and linear scans disagree over {window}"
+            );
+        }
+    }
+    let probe_speedup = linear_ns / probe_ns.max(f64::EPSILON);
+    let clipped_speedup = clipped_ns / probe_ns.max(f64::EPSILON);
+    if !options.smoke {
+        assert!(
+            probe_speedup >= 100.0,
+            "index probes must be >= 100x over the linear scan at 1%-width \
+             windows (measured {probe_speedup:.1}x over {runs} runs)"
+        );
+    }
+
+    // ---- TOP-k ranking across a grouped relation ---------------------
+    // Per-group value scales are skewed (uniform 1..=1000) and tuples are
+    // long-lived, so each group's SUM series is roughly flat: the root
+    // bound `max · duration` sits close to the true windowed integral and
+    // the shared bound heap can actually prune cold groups. With i.i.d.
+    // groups every bound looks alike and top-k degrades to probing all
+    // groups — EXPERIMENTS.md spells out that dependence on skew.
+    let schema = Schema::of(&[("g", ValueType::Int), ("v", ValueType::Int)]);
+    let mut grouped = TemporalRelation::new(schema.clone());
+    let mut rng = 0xFACE_FEEDu64;
+    for g in 0..groups {
+        let scale = (xorshift(&mut rng) % 1_000) as i64 + 1;
+        for _ in 0..per_group {
+            let start = (xorshift(&mut rng) % (lifespan as u64 * 9 / 10)) as i64;
+            let len = lifespan / 20 + (xorshift(&mut rng) % (lifespan as u64 / 10)) as i64;
+            let v = scale + (xorshift(&mut rng) % 10) as i64;
+            grouped
+                .push(
+                    vec![Value::Int(g as i64), Value::Int(v)],
+                    Interval::at(start, start + len),
+                )
+                // lint: allow(no-unwrap): generated rows match the schema built above
+                .expect("generated row fits the schema");
+        }
+    }
+    let grouped_store = TemporalStore::new(grouped.clone());
+    // lint: allow(no-unwrap): SUM over Int is a statically valid pairing
+    let sum = DynAggregate::new(AggKind::Sum, ValueType::Int).expect("SUM over Int");
+
+    // The relation partitioned by group, and (separately) the per-group
+    // series those partitions sweep into. The asserted baseline re-sweeps
+    // every group per query — the engine's real fallback when no grouped
+    // index exists. The pre-swept series feed the softer "warm clipped
+    // scan" comparison, reported but not asserted: it only exists once
+    // this PR's grouped cache exists.
+    let mut partitions: Vec<Vec<&Tuple>> = vec![Vec::new(); groups];
+    for tuple in &grouped {
+        // lint: allow(no-unwrap): column 0 is Int(g) by construction above
+        let g = tuple.value(0).as_i64().expect("g is an integer") as usize;
+        // lint: allow(indexing): g < groups by construction above
+        partitions[g].push(tuple);
+    }
+    let warm: Vec<(Value, Series<Value>)> = partitions
+        .iter()
+        .enumerate()
+        .map(|(g, tuples)| (Value::Int(g as i64), sweep_values(&sum, Some(1), tuples)))
+        .collect();
+    let rank = |mut ranked: Vec<(Value, tempagg_algo::WindowAggregate)>| {
+        ranked.sort_by_key(|entry| std::cmp::Reverse(entry.1.integral));
+        ranked.truncate(k);
+        ranked
+    };
+    let sweep_top_k = |window: Interval| {
+        rank(
+            partitions
+                .iter()
+                .enumerate()
+                .map(|(g, tuples)| {
+                    let series = sweep_values(&sum, Some(1), tuples);
+                    (Value::Int(g as i64), scan_window(&series, window))
+                })
+                .collect(),
+        )
+    };
+    let warm_top_k = |window: Interval| {
+        rank(
+            warm.iter()
+                .map(|(g, series)| (g.clone(), scan_window(series, window)))
+                .collect(),
+        )
+    };
+
+    // Warm the grouped indexes (untimed, counted as the one-time miss),
+    // then time repeated rankings and verify each against the baselines.
+    let seed_topk = 0xBEAD_5EEDu64;
+    let mut rng = seed_topk;
+    let warm_window = window_at(&mut rng);
+    grouped_store
+        .top_k_by_window(AggKind::Sum, Some(1), 0, warm_window, k)
+        // lint: allow(no-unwrap): SUM(v) BY g over the schema built above is indexable
+        .expect("grouped ranking over an indexable aggregate");
+
+    let mut rng = seed_topk;
+    let mut bound_probes = 0u64;
+    let started = Instant::now();
+    for _ in 0..topk_reps {
+        let (ranked, probes) = grouped_store
+            .top_k_by_window(AggKind::Sum, Some(1), 0, window_at(&mut rng), k)
+            // lint: allow(no-unwrap): same aggregate/window family as the warm call
+            .expect("grouped ranking over an indexable aggregate");
+        bound_probes += probes;
+        black_box(ranked.len());
+    }
+    let indexed_ns = started.elapsed().as_nanos() as f64 / topk_reps as f64;
+
+    let mut rng = seed_topk;
+    let started = Instant::now();
+    for _ in 0..sweep_reps {
+        black_box(sweep_top_k(window_at(&mut rng)).len());
+    }
+    let sweep_ns = started.elapsed().as_nanos() as f64 / sweep_reps as f64;
+
+    let mut rng = seed_topk;
+    let started = Instant::now();
+    for _ in 0..topk_reps {
+        black_box(warm_top_k(window_at(&mut rng)).len());
+    }
+    let warm_ns = started.elapsed().as_nanos() as f64 / topk_reps as f64;
+
+    let mut rng = seed_topk;
+    for rep in 0..topk_reps {
+        let window = window_at(&mut rng);
+        let (ranked, _) = grouped_store
+            .top_k_by_window(AggKind::Sum, Some(1), 0, window, k)
+            // lint: allow(no-unwrap): same aggregate/window family as the warm call
+            .expect("grouped ranking over an indexable aggregate");
+        assert_eq!(
+            ranked,
+            warm_top_k(window),
+            "grouped ranking diverged from the warm-scan oracle at \
+             rep {rep} over {window}"
+        );
+        if rep == 0 {
+            assert_eq!(
+                ranked,
+                sweep_top_k(window),
+                "grouped ranking diverged from the sweep oracle over {window}"
+            );
+        }
+    }
+    let topk_speedup = sweep_ns / indexed_ns.max(f64::EPSILON);
+    let warm_ratio = warm_ns / indexed_ns.max(f64::EPSILON);
+    if !options.smoke {
+        assert!(
+            topk_speedup >= 10.0,
+            "grouped ranking must be >= 10x over sweeping and scanning \
+             every group (measured {topk_speedup:.1}x at {groups} groups)"
+        );
+    }
+
+    let descents = bound_probes as f64 / topk_reps as f64;
+    let rows = vec![
+        vec![
+            format!("index probe ({runs} runs, 1% window)"),
+            format!("{:.3} µs", probe_ns / 1e3),
+        ],
+        vec![
+            "linear scan (all runs)".to_owned(),
+            format!("{:.3} µs", linear_ns / 1e3),
+        ],
+        vec![
+            "clipped scan (binary-searched)".to_owned(),
+            format!("{:.3} µs", clipped_ns / 1e3),
+        ],
+        vec![
+            "probe speedup vs linear / clipped".to_owned(),
+            format!("{probe_speedup:.1}x / {clipped_speedup:.1}x"),
+        ],
+        vec![
+            format!("TOP-{k} of {groups} groups, indexed"),
+            format!("{:.3} µs", indexed_ns / 1e3),
+        ],
+        vec![
+            "sweep + scan every group (fallback)".to_owned(),
+            format!("{:.3} µs", sweep_ns / 1e3),
+        ],
+        vec![
+            "warm clipped scan, every group".to_owned(),
+            format!("{:.3} µs", warm_ns / 1e3),
+        ],
+        vec![
+            "TOP-k speedup vs fallback / warm".to_owned(),
+            format!("{topk_speedup:.1}x / {warm_ratio:.1}x"),
+        ],
+        vec![
+            "exact descents per ranking".to_owned(),
+            format!("{descents:.1} of {groups}"),
+        ],
+    ];
+    print_table(
+        sink,
+        "window probes and TOP-k ranking (probes verified byte-identical, every rep)",
+        &["mode".to_owned(), "measured".to_owned()],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"windowq\",\n  \"tuples\": {n},\n  \
+         \"series_runs\": {runs},\n  \"window_width_pct\": 1,\n  \
+         \"probe_reps\": {probe_reps},\n  \"probe_ns_per_query\": {probe_ns:.1},\n  \
+         \"linear_scan_ns_per_query\": {linear_ns:.1},\n  \
+         \"clipped_scan_ns_per_query\": {clipped_ns:.1},\n  \
+         \"probe_speedup_vs_linear\": {probe_speedup:.1},\n  \
+         \"probe_speedup_vs_clipped\": {clipped_speedup:.1},\n  \
+         \"topk\": {{\n    \"groups\": {groups},\n    \"tuples_per_group\": {per_group},\n    \
+         \"k\": {k},\n    \"reps\": {topk_reps},\n    \
+         \"indexed_ns_per_query\": {indexed_ns:.1},\n    \
+         \"sweep_fallback_ns_per_query\": {sweep_ns:.1},\n    \
+         \"warm_clipped_ns_per_query\": {warm_ns:.1},\n    \
+         \"speedup_vs_fallback\": {topk_speedup:.1},\n    \
+         \"speedup_vs_warm_clipped\": {warm_ratio:.1},\n    \
+         \"exact_descents_per_query\": {descents:.2}\n  }}\n}}\n"
+    );
+    if options.smoke {
+        emit!(
+            sink,
+            "\n[--test: tracked BENCH_windowq.json left untouched]"
+        );
+        return;
+    }
+    let root_path = repo_root().join("BENCH_windowq.json");
+    match write_atomic(&root_path, &json) {
+        Ok(()) => emit!(
+            sink,
+            "\n[window-query timings written to {}]",
+            root_path.display()
+        ),
+        Err(e) => emit!(sink, "\n[could not write {}: {e}]", root_path.display()),
+    }
+    if let Ok(dir) = target_dir() {
+        let _ = write_atomic(&dir.join("BENCH_windowq.json"), &json);
+    }
+}
+
 fn calibrate(options: &Options, sink: &mut Sink) {
     use tempagg_plan::Calibration;
 
@@ -1772,6 +2124,11 @@ fn calibrate(options: &Options, sink: &mut Sink) {
         }
     };
 
+    // Window-index probe: ns per node folded during a descent, backed
+    // out of many random-window probes of a warm index over a large
+    // cached series (each probe folds ≈ 2·log₂(leaves) nodes).
+    let index_probe_ns = measure_index_probe();
+
     let cal = Calibration {
         list_cell_ns: clamp_positive(list_cell_ns),
         tree_node_ns: clamp_positive(tree_node_ns),
@@ -1780,6 +2137,7 @@ fn calibrate(options: &Options, sink: &mut Sink) {
         sweep_event_ns,
         parallel_sort_ns,
         page_read_ns: clamp_positive(page_read_ns),
+        index_probe_ns: clamp_positive(index_probe_ns),
     };
     emit!(sink, "\n{}", cal.emit().trim_end());
 
@@ -1796,6 +2154,42 @@ fn calibrate(options: &Options, sink: &mut Sink) {
         ),
         Err(e) => emit!(sink, "\n[could not write {}: {e}]", path.display()),
     }
+}
+
+/// Measure the window index's per-node fold cost: build a `COUNT(*)`
+/// index over a large cached series, probe random 1%-width windows, and
+/// divide the per-probe time by the ≈ 2·log₂(leaves) nodes a descent
+/// folds.
+fn measure_index_probe() -> f64 {
+    use std::hint::black_box;
+    use tempagg_agg::{AggKind, DynAggregate};
+    use tempagg_algo::{IndexMode, WindowIndex};
+    use tempagg_core::ValueType;
+    use tempagg_store::TemporalStore;
+
+    let config = WorkloadConfig::random(32_768).with_seed(3);
+    let lifespan = config.lifespan;
+    let store = TemporalStore::new(generate(&config));
+    // lint: allow(no-unwrap): COUNT(*) over Int is a statically valid pairing
+    let agg = DynAggregate::new(AggKind::CountStar, ValueType::Int).expect("COUNT(*) over Int");
+    let series = store.snapshot_or_build(agg, None);
+    let index = WindowIndex::build(IndexMode::Integral, &series);
+    let folds_per_probe = 2.0 * (index.leaf_count().max(2) as f64).log2();
+
+    let width = lifespan / 100;
+    let probes = 20_000u64;
+    let mut rng = 0x00DD_BA11_u64;
+    let mut acc = 0i128;
+    let started = Instant::now();
+    for _ in 0..probes {
+        let start = (xorshift(&mut rng) % (lifespan - width) as u64) as i64;
+        acc += index
+            .probe(Interval::at(start, start + width), &*series)
+            .integral;
+    }
+    let per_probe = started.elapsed().as_nanos() as f64 / probes as f64;
+    black_box(acc);
+    per_probe / folds_per_probe
 }
 
 /// Measure the pager's per-page read + decode cost: write a relation to

@@ -85,6 +85,10 @@ pub struct CostModel {
     /// parallel pipeline: worker setup, tuple clipping, and seam
     /// stitching. Gates [`CostModel::choose_parallelism`].
     pub partition_overhead: f64,
+    /// Cost of touching one window-index node during a probe's
+    /// partial-overlap descent (a window probe folds ≤ `2 log₂ runs` of
+    /// them). Calibrated from [`Calibration::index_probe_ns`].
+    pub index_probe_visit: f64,
 }
 
 impl Default for CostModel {
@@ -129,6 +133,8 @@ pub struct Calibration {
     /// ns to read and decode one page of a paged relation file
     /// (positioned read + checksum + columnar decode).
     pub page_read_ns: f64,
+    /// ns per window-index node folded during a probe descent.
+    pub index_probe_ns: f64,
 }
 
 impl Default for Calibration {
@@ -141,6 +147,7 @@ impl Default for Calibration {
             sweep_event_ns: 2.0,
             parallel_sort_ns: 2.0,
             page_read_ns: 4000.0,
+            index_probe_ns: 25.0,
         }
     }
 }
@@ -180,6 +187,7 @@ impl Calibration {
                 "sweep_event_ns" => cal.sweep_event_ns = value,
                 "parallel_sort_ns" => cal.parallel_sort_ns = value,
                 "page_read_ns" => cal.page_read_ns = value,
+                "index_probe_ns" => cal.index_probe_ns = value,
                 other => return Err(format!("unknown calibration key {other:?}")),
             }
         }
@@ -192,14 +200,15 @@ impl Calibration {
             "{{\n  \"list_cell_ns\": {:.3},\n  \"tree_node_ns\": {:.3},\n  \
              \"ktree_node_ns\": {:.3},\n  \"sweep_sort_ns\": {:.3},\n  \
              \"sweep_event_ns\": {:.3},\n  \"parallel_sort_ns\": {:.3},\n  \
-             \"page_read_ns\": {:.3}\n}}\n",
+             \"page_read_ns\": {:.3},\n  \"index_probe_ns\": {:.3}\n}}\n",
             self.list_cell_ns,
             self.tree_node_ns,
             self.ktree_node_ns,
             self.sweep_sort_ns,
             self.sweep_event_ns,
             self.parallel_sort_ns,
-            self.page_read_ns
+            self.page_read_ns,
+            self.index_probe_ns
         )
     }
 
@@ -231,6 +240,7 @@ impl CostModel {
             sort_per_tuple: 2.0,
             per_state_byte: 0.0,
             partition_overhead: 5_000.0,
+            index_probe_visit: cal.index_probe_ns / unit,
         }
     }
 
@@ -374,6 +384,19 @@ pub fn estimate(
             // candidate without a cache).
             None => (n * model.tree_node_visit * 1e9, scan_io, 0),
         },
+        AlgorithmChoice::IndexProbe => match stats.cached_series {
+            // A window probe resolves two edge leaves and folds at most
+            // 2 log₂ runs interior nodes of the cached series' index: no
+            // relation scan, no per-query state (the index lives in the
+            // store with the cache it shadows).
+            Some(info) => {
+                let descents = 2.0 * log2(info.runs.max(1) as f64);
+                (descents * model.index_probe_visit, 0.0, 0)
+            }
+            // No cache means no index to probe; prohibitive, like
+            // CachedSeries without a cache.
+            None => (n * model.tree_node_visit * 1e9, scan_io, 0),
+        },
     };
     CostEstimate {
         choice,
@@ -428,7 +451,7 @@ fn parallelise(
         return (est, 1);
     }
     match est.choice {
-        AlgorithmChoice::CachedSeries => (est, 1),
+        AlgorithmChoice::CachedSeries | AlgorithmChoice::IndexProbe => (est, 1),
         AlgorithmChoice::Sweep | AlgorithmChoice::SweepJoin => {
             let n = stats.tuple_count.max(1) as f64;
             let events = 2.0 * n;
@@ -629,6 +652,51 @@ pub fn choose_algorithm(
         }
     });
     plan
+}
+
+/// Algorithm selection for *window* queries (`... OVER [t1, t2)`): when a
+/// warm cache exists and the aggregate is indexable (exact integer
+/// combine — the delta `COUNT`/`SUM` family and the ordered `MIN`/`MAX`;
+/// `Approximate` aggregates are not, because tree-order float summation
+/// would not be byte-identical to a scan), the store's segment-tree
+/// window index competes with a linear pass over the cached series and
+/// wins once the series has enough runs for `O(log n)` to beat `O(n)`.
+/// Without a warm cache (or for unindexable aggregates) selection falls
+/// back to [`choose_algorithm`] — fence-pruned paged scan, sweep, or a
+/// tree — to compute the series that a linear window scan then reduces.
+pub fn choose_window_algorithm(
+    stats: &RelationStats,
+    class: SweepClass,
+    indexable: bool,
+    config: &PlannerConfig,
+    model: &CostModel,
+    state_model_bytes: usize,
+) -> Plan {
+    if stats.cached_series.is_some() && indexable {
+        let pool = vec![AlgorithmChoice::IndexProbe, AlgorithmChoice::CachedSeries];
+        let mut plan = rank(pool, stats, config, model, state_model_bytes, class);
+        if let Some(info) = stats.cached_series {
+            plan.rationale.push(format!(
+                "window query over a warm cache: the segment-tree index answers in \
+                 ≤ 2·log₂({}) node folds instead of a {}-run linear scan",
+                info.runs.max(1),
+                info.runs
+            ));
+        }
+        plan
+    } else {
+        let mut plan = choose_algorithm(stats, class, config, model, state_model_bytes);
+        plan.rationale.push(if stats.cached_series.is_none() {
+            "window query with no warm cache: compute the series first, then reduce the \
+             window linearly"
+                .into()
+        } else {
+            "window query on an unindexable aggregate (inexact float combine): linear window \
+             reduction over the cached series"
+                .into()
+        });
+        plan
+    }
 }
 
 /// Price a sweep-based interval join of two relations. The sweep join is
@@ -1085,6 +1153,7 @@ mod tests {
             sweep_event_ns: 1.75,
             parallel_sort_ns: 1.5,
             page_read_ns: 3_200.0,
+            index_probe_ns: 31.0,
         };
         assert_eq!(Calibration::parse(&cal.emit()), Ok(cal));
     }
@@ -1192,6 +1261,128 @@ mod tests {
             CostModel::calibrated(&Calibration::default())
         );
         assert_eq!(CostModel::default().tree_node_visit, 1.0);
+    }
+
+    #[test]
+    fn window_queries_probe_the_index_over_a_warm_cache() {
+        use crate::stats::CachedSeriesInfo;
+        // Any realistically-sized cached series makes the O(log n) probe
+        // beat the linear pass over its runs.
+        for runs in [1_000usize, 100_000, 2_000_000] {
+            let s = stats(runs, OrderingKnowledge::Unordered)
+                .with_cached_series(CachedSeriesInfo { runs, epoch: 3 });
+            let p = choose_window_algorithm(
+                &s,
+                SweepClass::Delta,
+                true,
+                &PlannerConfig::default(),
+                &CostModel::default(),
+                4,
+            );
+            assert_eq!(p.choice, AlgorithmChoice::IndexProbe, "runs = {runs}");
+            assert_eq!(p.parallelism, 1, "probes never partition");
+            assert!(
+                p.rationale.iter().any(|r| r.contains("segment-tree index")),
+                "plan was:\n{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_caches_window_scan_linearly() {
+        use crate::stats::CachedSeriesInfo;
+        // With a handful of runs the linear pass undercuts two descents.
+        let s = stats(8, OrderingKnowledge::Unordered)
+            .with_cached_series(CachedSeriesInfo { runs: 8, epoch: 1 });
+        let p = choose_window_algorithm(
+            &s,
+            SweepClass::Delta,
+            true,
+            &PlannerConfig::default(),
+            &CostModel::default(),
+            4,
+        );
+        assert_eq!(p.choice, AlgorithmChoice::CachedSeries);
+    }
+
+    #[test]
+    fn window_queries_without_a_cache_fall_back() {
+        let s = stats(100_000, OrderingKnowledge::Unordered);
+        let p = choose_window_algorithm(
+            &s,
+            SweepClass::Delta,
+            true,
+            &PlannerConfig::default(),
+            &CostModel::default(),
+            4,
+        );
+        assert_ne!(p.choice, AlgorithmChoice::IndexProbe);
+        assert!(
+            p.rationale.iter().any(|r| r.contains("no warm cache")),
+            "plan was:\n{p}"
+        );
+    }
+
+    #[test]
+    fn unindexable_aggregates_window_scan_the_cache() {
+        use crate::stats::CachedSeriesInfo;
+        // AVG/float-SUM/variance: the cache serves, but linearly.
+        let s = stats(100_000, OrderingKnowledge::Unordered).with_cached_series(CachedSeriesInfo {
+            runs: 100_000,
+            epoch: 2,
+        });
+        let p = choose_window_algorithm(
+            &s,
+            SweepClass::Approximate,
+            false,
+            &PlannerConfig::default(),
+            &CostModel::default(),
+            4,
+        );
+        assert_eq!(p.choice, AlgorithmChoice::CachedSeries);
+        assert!(
+            p.rationale.iter().any(|r| r.contains("unindexable")),
+            "plan was:\n{p}"
+        );
+    }
+
+    #[test]
+    fn index_probe_is_named_and_estimable() {
+        use crate::stats::CachedSeriesInfo;
+        assert_eq!(AlgorithmChoice::IndexProbe.name(), "index-probe");
+        let s =
+            stats(1_000_000, OrderingKnowledge::Unordered).with_cached_series(CachedSeriesInfo {
+                runs: 1_000_000,
+                epoch: 1,
+            });
+        let model = CostModel::default();
+        let probe = estimate(
+            AlgorithmChoice::IndexProbe,
+            &s,
+            &model,
+            4,
+            SweepClass::Delta,
+        );
+        let linear = estimate(
+            AlgorithmChoice::CachedSeries,
+            &s,
+            &model,
+            4,
+            SweepClass::Delta,
+        );
+        assert!(probe.cpu.is_finite() && probe.cpu > 0.0);
+        assert!(probe.cpu * 100.0 < linear.cpu, "log n must crush n");
+        assert_eq!(probe.io, 0.0);
+        // Without a cache the arm is prohibitive, like CachedSeries.
+        let bare = stats(1_000_000, OrderingKnowledge::Unordered);
+        let no_cache = estimate(
+            AlgorithmChoice::IndexProbe,
+            &bare,
+            &model,
+            4,
+            SweepClass::Delta,
+        );
+        assert!(no_cache.cpu > 1e12);
     }
 
     #[test]

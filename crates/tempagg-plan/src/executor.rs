@@ -42,6 +42,16 @@ fn sweep_join_is_not_executable() -> TempAggError {
     )
 }
 
+/// The error for a [`AlgorithmChoice::IndexProbe`] plan reaching the
+/// executor: window probes run against the store's segment-tree index,
+/// not over the relation.
+fn index_probe_is_not_executable() -> TempAggError {
+    TempAggError::internal(
+        "index-probe plans are answered by the store's window index, not executed over the \
+         relation",
+    )
+}
+
 /// How the store's aggregate caches participated in answering a query.
 /// All zeros/false when the query ran an algorithm over the relation
 /// without store involvement.
@@ -58,6 +68,13 @@ pub struct CacheReport {
     /// Cached series discarded wholesale (schema changes, explicit
     /// invalidation) rather than patched.
     pub invalidations: u64,
+    /// Window probes answered by an already-warm segment-tree index.
+    pub index_hits: u64,
+    /// Window queries that had to build (or rebuild) an index first.
+    pub index_misses: u64,
+    /// Individual `O(log n)` index probes performed (a top-k query issues
+    /// one per unpruned group; pruned groups never probe).
+    pub index_probes: u64,
 }
 
 /// What happened during execution, for reporting and regression checks.
@@ -165,6 +182,7 @@ fn partitioned_name(choice: AlgorithmChoice) -> &'static str {
         AlgorithmChoice::Sweep => "partitioned endpoint-sweep",
         AlgorithmChoice::CachedSeries => "cached-series",
         AlgorithmChoice::SweepJoin => "sweep-join",
+        AlgorithmChoice::IndexProbe => "index-probe",
         AlgorithmChoice::KOrderedTree { presort: true, .. } => "partitioned sort + k-ordered-tree",
         AlgorithmChoice::KOrderedTree { presort: false, .. } => "partitioned k-ordered-tree",
     }
@@ -240,6 +258,7 @@ where
             }
             AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
             AlgorithmChoice::SweepJoin => return Err(sweep_join_is_not_executable()),
+            AlgorithmChoice::IndexProbe => return Err(index_probe_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 // Probe once so an invalid k errors before partitions build.
                 KOrderedAggregationTree::with_domain(agg.clone(), k, domain)?;
@@ -282,6 +301,7 @@ where
             )?,
             AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
             AlgorithmChoice::SweepJoin => return Err(sweep_join_is_not_executable()),
+            AlgorithmChoice::IndexProbe => return Err(index_probe_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 let aggregator = KOrderedAggregationTree::with_domain(agg, k, domain)?;
                 if presort {
@@ -448,6 +468,7 @@ where
             }
             AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
             AlgorithmChoice::SweepJoin => return Err(sweep_join_is_not_executable()),
+            AlgorithmChoice::IndexProbe => return Err(index_probe_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 KOrderedAggregationTree::with_domain(agg.clone(), k, domain)?;
                 let par = PartitionedAggregator::with_seams(domain, seams, |sub| {
@@ -490,6 +511,7 @@ where
             )?,
             AlgorithmChoice::CachedSeries => return Err(cached_series_is_not_executable()),
             AlgorithmChoice::SweepJoin => return Err(sweep_join_is_not_executable()),
+            AlgorithmChoice::IndexProbe => return Err(index_probe_is_not_executable()),
             AlgorithmChoice::KOrderedTree { k, presort } => {
                 let aggregator = KOrderedAggregationTree::with_domain(agg, k, domain)?;
                 if presort {

@@ -24,7 +24,8 @@ mod planner;
 mod stats;
 
 pub use cost::{
-    choose_algorithm, estimate, plan_by_cost, plan_join, Calibration, CostEstimate, CostModel,
+    choose_algorithm, choose_window_algorithm, estimate, plan_by_cost, plan_join, Calibration,
+    CostEstimate, CostModel,
 };
 pub use executor::{evaluate_auto, execute, execute_streaming, CacheReport, ExecutionReport};
 pub use planner::{

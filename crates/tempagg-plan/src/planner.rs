@@ -45,6 +45,14 @@ pub enum AlgorithmChoice {
     /// [`crate::plan_join`] — joins have no competing operator yet — and
     /// executed by the SQL layer, never by the single-relation executor.
     SweepJoin,
+    /// Probe the store's implicit segment-tree window index over the
+    /// cached series: `O(log runs)` per windowed aggregate instead of a
+    /// linear pass. Only a candidate for *window* queries
+    /// ([`crate::choose_window_algorithm`]) when
+    /// [`RelationStats::cached_series`](crate::RelationStats) reports a
+    /// warm cache; the executor never runs this choice itself — the
+    /// store's query layer serves it.
+    IndexProbe,
     /// `presort`: sort the relation by time first (k is then 1).
     KOrderedTree {
         k: usize,
@@ -60,6 +68,7 @@ impl AlgorithmChoice {
             AlgorithmChoice::Sweep => "endpoint-sweep",
             AlgorithmChoice::CachedSeries => "cached-series",
             AlgorithmChoice::SweepJoin => "sweep-join",
+            AlgorithmChoice::IndexProbe => "index-probe",
             AlgorithmChoice::KOrderedTree { presort: true, .. } => "sort + k-ordered-tree",
             AlgorithmChoice::KOrderedTree { presort: false, .. } => "k-ordered-tree",
         }

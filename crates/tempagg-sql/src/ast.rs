@@ -189,6 +189,14 @@ pub struct Query {
     /// Value-grouping column, if any.
     pub group_column: Option<String>,
     pub temporal_grouping: TemporalGrouping,
+    /// `… OVER [a, b)` window: collapse the aggregate's history over this
+    /// window into a single duration-weighted scalar (served by the
+    /// segment-tree window index when the aggregate is indexable).
+    pub window: Option<Interval>,
+    /// `SELECT TOP k BY agg(col) OVER [a, b) … GROUP BY g`: rank groups by
+    /// their windowed aggregate and keep the k best. `aggregates[0]` is the
+    /// ranking aggregate; `group_column` is the grouping column.
+    pub top_k: Option<usize>,
 }
 
 #[cfg(test)]

@@ -101,11 +101,18 @@ impl fmt::Display for Query {
         if self.snapshot {
             write!(f, "SNAPSHOT ")?;
         }
+        if let Some(k) = self.top_k {
+            write!(f, "TOP {k} BY ")?;
+        }
         for (i, agg) in self.aggregates.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{}", agg.label())?;
+        }
+        if let Some(window) = &self.window {
+            write!(f, " OVER ")?;
+            interval_literal(window, f)?;
         }
         write!(f, " FROM {}", self.relation)?;
         if let Some(alias) = &self.alias {

@@ -15,17 +15,18 @@ use crate::catalog::Catalog;
 use crate::parser::parse;
 use std::collections::BTreeMap;
 use std::fmt;
-use tempagg_agg::{Aggregate, DynAggregate, MultiDyn, SweepAggregate};
-use tempagg_algo::{SpanGrouper, TemporalAggregator};
+use tempagg_agg::{AggKind, Aggregate, DynAggregate, MultiDyn, SweepAggregate};
+use tempagg_algo::{scan_window, SpanGrouper, TemporalAggregator, WindowAggregate};
 use tempagg_core::{
     Chunk, ChunkedSink, Interval, Result, Schema, Series, SeriesEntry, TempAggError,
     TemporalRelation, Tuple, Value, DEFAULT_CHUNK_CAPACITY,
 };
 use tempagg_plan::{
-    choose_algorithm, execute as execute_plan, execute_streaming as execute_plan_streaming,
-    CacheReport, CachedSeriesInfo, CostModel, Plan, PlannerConfig, RelationStats,
+    choose_algorithm, choose_window_algorithm, execute as execute_plan,
+    execute_streaming as execute_plan_streaming, AlgorithmChoice, CacheReport, CachedSeriesInfo,
+    CostModel, Plan, PlannerConfig, RelationStats,
 };
-use tempagg_store::TemporalStore;
+use tempagg_store::{index_mode_for, IndexMode, TemporalStore};
 
 /// One row of a query result: optional group key, a valid-time interval,
 /// and one value per aggregate in the select list.
@@ -223,6 +224,14 @@ pub fn execute_query(
     query: &Query,
     config: &PlannerConfig,
 ) -> Result<QueryResult> {
+    // `TOP k BY … OVER` and plain `OVER` windows collapse history into
+    // scalar rows; they have their own index-served paths.
+    if query.top_k.is_some() {
+        return execute_top_k(catalog, query, config);
+    }
+    if let Some(window) = query.window {
+        return execute_window(catalog, query, window, config);
+    }
     // Serve from the store's aggregate caches when the query shape
     // allows it and every selected aggregate is cached: an MVCC snapshot
     // answers without scanning the relation. The first eligible
@@ -401,6 +410,8 @@ fn cache_eligible(query: &Query) -> bool {
         && query.conditions.is_empty()
         && query.valid_window.is_none()
         && query.group_column.is_none()
+        && query.window.is_none()
+        && query.top_k.is_none()
         && matches!(query.temporal_grouping, TemporalGrouping::Instant)
 }
 
@@ -487,9 +498,355 @@ fn try_serve(
             served_from_cache: true,
             patched_runs: cache_stats.patched_runs,
             recomputed_windows: cache_stats.recomputed_windows,
-            invalidations: 0,
+            ..CacheReport::default()
         },
     }))
+}
+
+/// The scalar a window query reports for an index-served aggregate:
+/// Delta kinds report the time integral `Σ value·duration` (e.g.
+/// person-instants for `COUNT`), the ordered extremes report the
+/// window's `MIN`/`MAX`.
+fn window_value(agg: &DynAggregate, wa: &WindowAggregate) -> Value {
+    match index_mode_for(agg) {
+        Some(IndexMode::Extremes) if agg.kind() == AggKind::Min => wa.min.clone(),
+        Some(IndexMode::Extremes) => wa.max.clone(),
+        _ => wa.integral_value(),
+    }
+}
+
+/// The key `TOP k BY` ranks groups with — identical to the bound the
+/// grouped index prunes on: the integral for Delta kinds, the window
+/// maximum for the extremes (so `TOP k BY MIN` ranks groups by their
+/// best instantaneous minimum).
+fn rank_value(agg: &DynAggregate, wa: &WindowAggregate) -> Value {
+    match index_mode_for(agg) {
+        Some(IndexMode::Extremes) => wa.max.clone(),
+        _ => wa.integral_value(),
+    }
+}
+
+/// Reduce one aggregate's series over a window linearly. Exact kinds go
+/// through the index's scan oracle so the linear and indexed paths agree
+/// byte-for-byte; inexact float kinds compute the duration-weighted
+/// combine in `f64` (`Σ value·duration` for `SUM`, the weighted mean for
+/// the `AVG` family).
+fn window_scalar(agg: &DynAggregate, series: &Series<Value>, window: Interval) -> Value {
+    if index_mode_for(agg).is_some() {
+        return window_value(agg, &scan_window(series, window));
+    }
+    let mut weighted = 0.0f64;
+    let mut covered = 0.0f64;
+    for entry in series.entries() {
+        let Some(clip) = entry.interval.intersect(&window) else {
+            continue;
+        };
+        let Some(v) = entry.value.as_f64() else {
+            continue;
+        };
+        let d = clip.duration() as f64;
+        weighted += v * d;
+        covered += d;
+    }
+    match agg.kind() {
+        AggKind::Sum => Value::Float(weighted),
+        _ if covered == 0.0 => Value::Null,
+        _ => Value::Float(weighted / covered),
+    }
+}
+
+/// Project one column of a product-aggregate series for window reduction.
+fn column_series(series: &Series<Vec<Value>>, j: usize) -> Series<Value> {
+    Series::from_entries(
+        series
+            .entries()
+            .iter()
+            // lint: allow(indexing): j < width by construction of the product aggregate
+            .map(|e| SeriesEntry::new(e.interval, e.value[j].clone()))
+            .collect(),
+    )
+}
+
+/// Execute `SELECT aggs OVER [a, b] FROM r`: collapse each aggregate's
+/// history over the window into one scalar row. Clean shapes over a
+/// store go through the `O(log n)` segment-tree window index (built and
+/// cached on first probe); WHERE / VALID shapes and inexact float
+/// aggregates compute the series and reduce the window linearly.
+fn execute_window(
+    catalog: &Catalog,
+    query: &Query,
+    window: Interval,
+    config: &PlannerConfig,
+) -> Result<QueryResult> {
+    let relation = catalog.get(&query.relation)?;
+    let schema = relation.schema().clone();
+    let bound_aggs = bind_aggs(&schema, query)?;
+    let agg_labels: Vec<String> = bound_aggs.iter().map(|(_, _, l)| l.clone()).collect();
+    let multi = MultiDyn::new(bound_aggs.iter().map(|(a, _, _)| *a).collect());
+    let state_bytes = multi.state_model_bytes().max(4);
+    let clean_shape = query.conditions.is_empty() && query.valid_window.is_none();
+    let store = catalog.store(&query.relation).ok();
+    let indexable = bound_aggs
+        .iter()
+        .all(|(agg, _, _)| index_mode_for(agg).is_some());
+
+    // When the shape is clean and a store backs the relation, the cached
+    // aggregate series (warm, or buildable on first probe) is a
+    // candidate; otherwise plan a scan over the filtered tuples.
+    let the_plan = match store {
+        Some(s) if clean_shape => {
+            let runs = bound_aggs
+                .first()
+                .and_then(|(a, i, _)| s.snapshot(a.kind(), *i))
+                .map_or_else(|| s.len().max(1), |snap| snap.len());
+            let stats = RelationStats::unknown(s.len()).with_cached_series(CachedSeriesInfo {
+                runs,
+                epoch: s.epoch().get(),
+            });
+            choose_window_algorithm(
+                &stats,
+                multi.sweep_class(),
+                indexable,
+                config,
+                &CostModel::default(),
+                state_bytes,
+            )
+        }
+        _ => choose_window_algorithm(
+            &RelationStats::analyze(relation),
+            multi.sweep_class(),
+            false,
+            config,
+            &CostModel::default(),
+            state_bytes,
+        ),
+    };
+    if query.explain {
+        return Ok(QueryResult {
+            group_column: None,
+            agg_labels,
+            rows: Vec::new(),
+            plan: Some(the_plan),
+            explain_only: true,
+            snapshot: false,
+            cache: CacheReport::default(),
+        });
+    }
+
+    let mut cache = CacheReport::default();
+    let mut values = Vec::with_capacity(bound_aggs.len());
+    match the_plan.choice {
+        AlgorithmChoice::IndexProbe => {
+            let Some(s) = store else {
+                return Err(TempAggError::internal(
+                    "index-probe plans require a store-backed relation",
+                ));
+            };
+            let before = s.windex_stats();
+            for (agg, idx, _) in &bound_aggs {
+                let probed = s.window_probe(agg.kind(), *idx, window)?;
+                values.push(window_value(agg, &probed));
+            }
+            let after = s.windex_stats();
+            cache = CacheReport {
+                served_from_cache: true,
+                index_hits: after.hits - before.hits,
+                index_misses: after.misses - before.misses,
+                index_probes: after.probes - before.probes,
+                ..CacheReport::default()
+            };
+        }
+        AlgorithmChoice::CachedSeries => {
+            let Some(s) = store else {
+                return Err(TempAggError::internal(
+                    "cached-series plans require a store-backed relation",
+                ));
+            };
+            for (agg, idx, _) in &bound_aggs {
+                let series = s.snapshot_or_build(*agg, *idx);
+                values.push(window_scalar(agg, &series, window));
+            }
+            cache = CacheReport {
+                served_from_cache: true,
+                ..CacheReport::default()
+            };
+        }
+        _ => {
+            let bound = bind_and_group(catalog, query)?;
+            let extract_indices: Vec<Option<usize>> =
+                bound.bound_aggs.iter().map(|(_, idx, _)| *idx).collect();
+            let extract_all = |tuple: &Tuple| -> Vec<Value> {
+                extract_indices
+                    .iter()
+                    .map(|idx| make_extractor(*idx)(tuple))
+                    .collect()
+            };
+            // OVER queries never value-group, so there is exactly one
+            // aggregation set.
+            let (_, rel) = &bound.groups[0];
+            let (series, _report) =
+                execute_plan(&the_plan, multi.clone(), rel, &extract_all, bound.domain)?;
+            for (j, (agg, _, _)) in bound.bound_aggs.iter().enumerate() {
+                values.push(window_scalar(agg, &column_series(&series, j), window));
+            }
+        }
+    }
+    Ok(QueryResult {
+        group_column: None,
+        agg_labels,
+        rows: vec![ResultRow {
+            group: None,
+            valid: window,
+            values,
+        }],
+        plan: Some(the_plan),
+        explain_only: false,
+        snapshot: false,
+        cache,
+    })
+}
+
+/// Execute `SELECT TOP k BY agg(col) OVER [a, b] FROM r GROUP BY g`:
+/// rank the distinct grouping values by their windowed aggregate and
+/// keep the k best. Clean shapes over a store go through one window
+/// index per group with a shared bound heap (most groups are pruned by
+/// their `O(1)` root bound); WHERE / VALID shapes and inexact float
+/// aggregates sweep every group and rank linearly.
+fn execute_top_k(catalog: &Catalog, query: &Query, config: &PlannerConfig) -> Result<QueryResult> {
+    let (Some(k), Some(window), Some(group_col)) =
+        (query.top_k, query.window, query.group_column.as_deref())
+    else {
+        return Err(TempAggError::internal(
+            "TOP-k queries carry OVER and GROUP BY by construction",
+        ));
+    };
+    let relation = catalog.get(&query.relation)?;
+    let schema = relation.schema().clone();
+    let bound_aggs = bind_aggs(&schema, query)?;
+    let (agg, column, label) = bound_aggs[0].clone();
+    let agg_labels = vec![label];
+    let group_idx = schema.index_of_ignore_case(group_col)?;
+    let clean_shape = query.conditions.is_empty() && query.valid_window.is_none();
+    let store = catalog.store(&query.relation).ok();
+    let indexable = index_mode_for(&agg).is_some();
+    let multi = MultiDyn::new(vec![agg]);
+    let state_bytes = multi.state_model_bytes().max(4);
+
+    let use_index = clean_shape && indexable && store.is_some();
+    let the_plan = match store {
+        Some(s) if use_index => {
+            let stats = RelationStats::unknown(s.len()).with_cached_series(CachedSeriesInfo {
+                runs: s.len().max(1),
+                epoch: s.epoch().get(),
+            });
+            choose_window_algorithm(
+                &stats,
+                multi.sweep_class(),
+                true,
+                config,
+                &CostModel::default(),
+                state_bytes,
+            )
+        }
+        _ => choose_window_algorithm(
+            &RelationStats::analyze(relation),
+            multi.sweep_class(),
+            false,
+            config,
+            &CostModel::default(),
+            state_bytes,
+        ),
+    };
+    if query.explain {
+        return Ok(QueryResult {
+            group_column: query.group_column.clone(),
+            agg_labels,
+            rows: Vec::new(),
+            plan: Some(the_plan),
+            explain_only: true,
+            snapshot: false,
+            cache: CacheReport::default(),
+        });
+    }
+
+    if use_index {
+        let Some(s) = store else {
+            return Err(TempAggError::internal(
+                "grouped index ranking requires a store-backed relation",
+            ));
+        };
+        let before = s.windex_stats();
+        let (ranked, _probes) = s.top_k_by_window(agg.kind(), column, group_idx, window, k)?;
+        let after = s.windex_stats();
+        let rows = ranked
+            .into_iter()
+            .map(|(gval, wa)| ResultRow {
+                group: Some(gval),
+                valid: window,
+                values: vec![rank_value(&agg, &wa)],
+            })
+            .collect();
+        return Ok(QueryResult {
+            group_column: query.group_column.clone(),
+            agg_labels,
+            rows,
+            plan: Some(the_plan),
+            explain_only: false,
+            snapshot: false,
+            cache: CacheReport {
+                served_from_cache: true,
+                index_hits: after.hits - before.hits,
+                index_misses: after.misses - before.misses,
+                index_probes: after.probes - before.probes,
+                ..CacheReport::default()
+            },
+        });
+    }
+
+    // Linear fallback: sweep every group, reduce each window, rank by
+    // the same key the grouped index prunes on.
+    let bound = bind_and_group(catalog, query)?;
+    let extract_indices: Vec<Option<usize>> =
+        bound.bound_aggs.iter().map(|(_, idx, _)| *idx).collect();
+    let extract_all = |tuple: &Tuple| -> Vec<Value> {
+        extract_indices
+            .iter()
+            .map(|idx| make_extractor(*idx)(tuple))
+            .collect()
+    };
+    let mut scored: Vec<(Value, Value)> = Vec::with_capacity(bound.groups.len());
+    for (key, rel) in &bound.groups {
+        let (series, _report) =
+            execute_plan(&the_plan, multi.clone(), rel, &extract_all, bound.domain)?;
+        let projected = column_series(&series, 0);
+        let scalar = if indexable {
+            rank_value(&agg, &scan_window(&projected, window))
+        } else {
+            window_scalar(&agg, &projected, window)
+        };
+        scored.push((key.clone().unwrap_or(Value::Null), scalar));
+    }
+    // Stable sort: ties keep the ascending group order, matching the
+    // grouped index's lowest-group-first tie-break.
+    scored.sort_by(|a, b| b.1.cmp(&a.1));
+    scored.truncate(k);
+    let rows = scored
+        .into_iter()
+        .map(|(group, value)| ResultRow {
+            group: Some(group),
+            valid: window,
+            values: vec![value],
+        })
+        .collect();
+    Ok(QueryResult {
+        group_column: query.group_column.clone(),
+        agg_labels,
+        rows,
+        plan: Some(the_plan),
+        explain_only: false,
+        snapshot: false,
+        cache: CacheReport::default(),
+    })
 }
 
 /// What a streaming execution reports back: everything [`QueryResult`]
@@ -546,6 +903,23 @@ pub fn execute_streaming(
     chunk_capacity: usize,
     mut on_row: impl FnMut(ResultRow),
 ) -> Result<StreamSummary> {
+    // Window and TOP-k results are at most k scalar rows: materialize
+    // through the ordinary path and flow them to the callback.
+    if query.top_k.is_some() || query.window.is_some() {
+        let served = execute_query(catalog, query, config)?;
+        let rows = served.rows.len();
+        for row in served.rows {
+            on_row(row);
+        }
+        return Ok(StreamSummary {
+            group_column: served.group_column,
+            agg_labels: served.agg_labels,
+            rows,
+            plan: served.plan,
+            peak_resident_result_entries: rows,
+            emitted_chunks: 0,
+        });
+    }
     // Served-from-cache results stream too: the snapshot is already
     // materialized in the store, so rows just flow to the callback.
     if cache_eligible(query) {
@@ -1371,6 +1745,150 @@ mod tests {
         let scanned = execute_str(&fresh, sql).unwrap();
         assert!(!scanned.cache.served_from_cache);
         assert_eq!(served.rows, scanned.rows);
+    }
+
+    #[test]
+    fn window_queries_reduce_known_series() {
+        use crate::statement::execute_statement;
+        let mut c = Catalog::new();
+        execute_statement(&mut c, "CREATE TABLE t (x INT)").unwrap();
+        execute_statement(
+            &mut c,
+            "INSERT INTO t VALUES (1) VALID [0, 9], (2) VALID [5, 14], (3) VALID [10, 19]",
+        )
+        .unwrap();
+        // Series: [0,4]→{1}, [5,9]→{1,2}, [10,14]→{2,3}, [15,19]→{3}.
+        // Over [5, 15): COUNT integral 2·5+2·5, SUM integral 3·5+5·5,
+        // MIN 1, MAX 3.
+        let r = execute_str(
+            &c,
+            "SELECT COUNT(*), SUM(x), MIN(x), MAX(x) OVER [5, 15) FROM t",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].valid, Interval::at(5, 14));
+        assert_eq!(
+            r.rows[0].values,
+            vec![Value::Int(20), Value::Int(40), Value::Int(1), Value::Int(3)]
+        );
+        // The WHERE-shaped fallback scans the filtered tuples and must
+        // agree exactly.
+        let scanned = execute_str(
+            &c,
+            "SELECT COUNT(*), SUM(x), MIN(x), MAX(x) OVER [5, 15) FROM t WHERE x > 0",
+        )
+        .unwrap();
+        assert!(!scanned.cache.served_from_cache);
+        assert_eq!(scanned.rows, r.rows);
+    }
+
+    #[test]
+    fn float_window_aggregates_reduce_by_duration_weight() {
+        use crate::statement::execute_statement;
+        let mut c = Catalog::new();
+        execute_statement(&mut c, "CREATE TABLE t (x INT)").unwrap();
+        execute_statement(
+            &mut c,
+            "INSERT INTO t VALUES (1) VALID [0, 9], (2) VALID [5, 14], (3) VALID [10, 19]",
+        )
+        .unwrap();
+        // AVG series: [5,9]→1.5, [10,14]→2.5; the duration-weighted mean
+        // over [5, 15) is 2.0.
+        let r = execute_str(&c, "SELECT AVG(x) OVER [5, 15) FROM t").unwrap();
+        assert_eq!(r.rows[0].values, vec![Value::Float(2.0)]);
+    }
+
+    #[test]
+    fn window_queries_probe_the_index_over_a_warm_cache() {
+        let mut c = Catalog::new();
+        c.register("big", generate(&WorkloadConfig::random(4096)));
+        // Warm the cache with an ordinary instant-grouped query.
+        execute_str(&c, "SELECT SUM(salary) FROM big").unwrap();
+        let sql = "SELECT SUM(salary) OVER [100000, 110000) FROM big";
+        let explained = execute_str(&c, &format!("EXPLAIN {sql}")).unwrap();
+        assert_eq!(
+            explained.plan.as_ref().unwrap().choice,
+            AlgorithmChoice::IndexProbe
+        );
+        // First probe builds the index (a miss); the second hits it.
+        let probed = execute_str(&c, sql).unwrap();
+        assert!(probed.cache.served_from_cache);
+        assert_eq!(probed.cache.index_misses, 1);
+        assert_eq!(probed.cache.index_probes, 1);
+        let again = execute_str(&c, sql).unwrap();
+        assert_eq!(again.cache.index_hits, 1);
+        assert_eq!(again.cache.index_misses, 0);
+        assert_eq!(again.rows, probed.rows);
+        // The probe is byte-identical to the linear fallback scan.
+        let scanned = execute_str(
+            &c,
+            "SELECT SUM(salary) OVER [100000, 110000) FROM big WHERE salary > 0",
+        )
+        .unwrap();
+        assert!(!scanned.cache.served_from_cache);
+        assert_eq!(scanned.rows[0].values, probed.rows[0].values);
+    }
+
+    #[test]
+    fn top_k_ranks_groups_and_tracks_dml() {
+        use crate::statement::execute_statement;
+        let mut c = Catalog::new();
+        execute_statement(&mut c, "CREATE TABLE m (g INT, v INT)").unwrap();
+        execute_statement(
+            &mut c,
+            "INSERT INTO m VALUES (1, 10) VALID [0, 9], (2, 6) VALID [0, 19], \
+             (3, 1) VALID [0, 4]",
+        )
+        .unwrap();
+        let sql = "SELECT TOP 2 BY SUM(v) OVER [0, 20) FROM m GROUP BY g";
+        let top = execute_str(&c, sql).unwrap();
+        assert!(top.cache.served_from_cache);
+        assert_eq!(top.cache.index_misses, 1);
+        assert_eq!(top.group_column.as_deref(), Some("g"));
+        assert_eq!(top.rows.len(), 2);
+        // g=2 integrates 6·20 = 120, g=1 integrates 10·10 = 100.
+        assert_eq!(top.rows[0].group, Some(Value::Int(2)));
+        assert_eq!(top.rows[0].values, vec![Value::Int(120)]);
+        assert_eq!(top.rows[1].group, Some(Value::Int(1)));
+        assert_eq!(top.rows[1].values, vec![Value::Int(100)]);
+        // The WHERE-shaped fallback ranks every group linearly with the
+        // same key and must agree.
+        let scanned = execute_str(
+            &c,
+            "SELECT TOP 2 BY SUM(v) OVER [0, 20) FROM m WHERE v > 0 GROUP BY g",
+        )
+        .unwrap();
+        assert!(!scanned.cache.served_from_cache);
+        assert_eq!(scanned.rows, top.rows);
+        // DML invalidates the grouped indexes: a big insert re-ranks.
+        execute_statement(&mut c, "INSERT INTO m VALUES (3, 50) VALID [0, 19]").unwrap();
+        let reranked = execute_str(&c, sql).unwrap();
+        // g=3 now integrates 51·5 + 50·15 = 1005.
+        assert_eq!(reranked.rows[0].group, Some(Value::Int(3)));
+        assert_eq!(reranked.rows[0].values, vec![Value::Int(1005)]);
+        assert_eq!(reranked.rows[1].group, Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn window_and_top_k_queries_stream() {
+        use crate::statement::execute_statement;
+        let mut c = Catalog::new();
+        execute_statement(&mut c, "CREATE TABLE t (g INT, x INT)").unwrap();
+        execute_statement(
+            &mut c,
+            "INSERT INTO t VALUES (1, 4) VALID [0, 9], (2, 7) VALID [5, 14]",
+        )
+        .unwrap();
+        for sql in [
+            "SELECT SUM(x) OVER [0, 15) FROM t",
+            "SELECT TOP 1 BY SUM(x) OVER [0, 15) FROM t GROUP BY g",
+        ] {
+            let materialized = execute_str(&c, sql).unwrap();
+            let mut streamed = Vec::new();
+            let summary = execute_streaming_str(&c, sql, |row| streamed.push(row)).unwrap();
+            assert_eq!(streamed, materialized.rows, "{sql}");
+            assert_eq!(summary.rows, materialized.rows.len());
+        }
     }
 
     #[test]

@@ -152,6 +152,11 @@ impl Parser {
                 let snapshot = self.eat_keyword(Keyword::Snapshot);
                 // Aggregate select lists start with `name(`; everything
                 // else (`*` or bare columns) is a plain selection.
+                if self.peek() == Some(&Token::Keyword(Keyword::Top)) {
+                    return Ok(Statement::Query(
+                        self.top_k_after_select(explain, snapshot)?,
+                    ));
+                }
                 let is_aggregate = matches!(
                     (self.peek(), self.tokens.get(self.pos + 1).map(|s| &s.token)),
                     (Some(Token::Ident(_)), Some(Token::LParen))
@@ -369,11 +374,54 @@ impl Parser {
         })
     }
 
+    /// `SELECT TOP k BY agg(col) OVER [a, b) FROM rel [WHERE …] GROUP BY g`
+    /// — rank groups by their windowed aggregate, keep the k best.
+    fn top_k_after_select(&mut self, explain: bool, snapshot: bool) -> Result<Query> {
+        if snapshot {
+            return Err(self.error_at("SNAPSHOT does not combine with TOP-k ranking"));
+        }
+        self.expect_keyword(Keyword::Top)?;
+        let k = self.int("ranking depth after TOP")?;
+        if k < 1 {
+            self.pos = self.pos.saturating_sub(1);
+            return Err(self.error_at("TOP requires a depth of at least 1"));
+        }
+        self.expect_keyword(Keyword::By)?;
+        let agg = self.agg_expr()?;
+        self.expect_keyword(Keyword::Over)?;
+        let window = self.over_window()?;
+        let (relation, alias) = self.parse_from()?;
+        let (conditions, valid_window) = self.where_clause()?;
+        if !self.eat_keyword(Keyword::Group) {
+            return Err(self.error_at("TOP-k queries rank groups: add GROUP BY <column>"));
+        }
+        self.expect_keyword(Keyword::By)?;
+        let group_column = self.ident("grouping column")?;
+        Ok(Query {
+            explain,
+            snapshot: false,
+            aggregates: vec![agg],
+            relation,
+            alias,
+            conditions,
+            valid_window,
+            group_column: Some(group_column),
+            temporal_grouping: TemporalGrouping::Instant,
+            window: Some(window),
+            top_k: Some(k as usize),
+        })
+    }
+
     fn query_after_select(&mut self, explain: bool, snapshot: bool) -> Result<Query> {
         let mut aggregates = vec![self.agg_expr()?];
         while self.eat(&Token::Comma) {
             aggregates.push(self.agg_expr()?);
         }
+        let window = if self.eat_keyword(Keyword::Over) {
+            Some(self.over_window()?)
+        } else {
+            None
+        };
         let (relation, alias) = self.parse_from()?;
         let (conditions, valid_window) = self.where_clause()?;
 
@@ -413,6 +461,19 @@ impl Parser {
         if snapshot && !matches!(temporal_grouping, TemporalGrouping::Instant) {
             return Err(self.error_at("SNAPSHOT queries cannot use SPAN grouping"));
         }
+        if window.is_some() {
+            if snapshot {
+                return Err(self.error_at("SNAPSHOT does not combine with OVER windows"));
+            }
+            if group_column.is_some() {
+                return Err(self.error_at(
+                    "OVER windows do not combine with GROUP BY; use SELECT TOP k BY … to rank groups",
+                ));
+            }
+            if !matches!(temporal_grouping, TemporalGrouping::Instant) {
+                return Err(self.error_at("OVER windows do not combine with SPAN grouping"));
+            }
+        }
         Ok(Query {
             explain,
             snapshot,
@@ -423,6 +484,8 @@ impl Parser {
             valid_window,
             group_column,
             temporal_grouping,
+            window,
+            top_k: None,
         })
     }
 
@@ -511,6 +574,41 @@ impl Parser {
         self.expect_token(Token::RBracket)?;
         Interval::new(start, end)
     }
+
+    /// Window literal after `OVER`: `[ start , end )` is half-open (the end
+    /// instant is excluded, as in the familiar SQL window notation) while
+    /// `[ start , end ]` keeps the repo's closed-interval convention.
+    /// `FOREVER` is unbounded either way.
+    fn over_window(&mut self) -> Result<Interval> {
+        self.expect_token(Token::LBracket)?;
+        let start = self.int("window start")?;
+        self.expect_token(Token::Comma)?;
+        let end = if self.eat_keyword(Keyword::Forever) {
+            if !self.eat(&Token::RBracket) && !self.eat(&Token::RParen) {
+                return Err(self.error_at("expected `]` or `)` to close the window"));
+            }
+            Timestamp::FOREVER
+        } else {
+            let end = self.int("window end or FOREVER")?;
+            match self.bump() {
+                Some(Token::RBracket) => Timestamp::new(end),
+                Some(Token::RParen) => {
+                    if end <= start {
+                        self.pos = self.pos.saturating_sub(1);
+                        return Err(
+                            self.error_at(format!("half-open window [{start}, {end}) is empty"))
+                        );
+                    }
+                    Timestamp::new(end).prev()
+                }
+                other => {
+                    self.pos = self.pos.saturating_sub(usize::from(other.is_some()));
+                    return Err(self.error_at("expected `]` or `)` to close the window"));
+                }
+            }
+        };
+        Interval::new(start, end)
+    }
 }
 
 #[cfg(test)]
@@ -567,6 +665,61 @@ mod tests {
     fn parses_forever_window() {
         let q = parse("SELECT COUNT(x) FROM r WHERE VALID OVERLAPS [18, FOREVER]").unwrap();
         assert_eq!(q.valid_window, Some(Interval::from_start(18)));
+    }
+
+    #[test]
+    fn parses_over_windows_half_open_and_closed() {
+        let q = parse("SELECT SUM(x) OVER [10, 20) FROM r").unwrap();
+        assert_eq!(q.window, Some(Interval::at(10, 19)));
+        assert!(q.top_k.is_none());
+        let q = parse("SELECT COUNT(*), MAX(x) OVER [10, 20] FROM r").unwrap();
+        assert_eq!(q.window, Some(Interval::at(10, 20)));
+        assert_eq!(q.aggregates.len(), 2);
+        let q = parse("EXPLAIN SELECT MIN(x) OVER [0, FOREVER) FROM r").unwrap();
+        assert!(q.explain);
+        assert_eq!(q.window, Some(Interval::TIMELINE));
+    }
+
+    #[test]
+    fn parses_top_k_ranking_queries() {
+        let q = parse("SELECT TOP 3 BY SUM(v) OVER [5, 30) FROM readings GROUP BY sensor").unwrap();
+        assert_eq!(q.top_k, Some(3));
+        assert_eq!(q.window, Some(Interval::at(5, 29)));
+        assert_eq!(q.aggregates[0].kind, AggKind::Sum);
+        assert_eq!(q.group_column.as_deref(), Some("sensor"));
+        let q =
+            parse("EXPLAIN SELECT TOP 1 BY COUNT(*) OVER [0, 100] FROM r WHERE v > 2 GROUP BY g")
+                .unwrap();
+        assert!(q.explain);
+        assert_eq!(q.conditions.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_window_queries() {
+        for bad in [
+            "SELECT SUM(x) OVER [10, 10) FROM r",
+            "SELECT SUM(x) OVER [10, 20 FROM r",
+            "SELECT SNAPSHOT SUM(x) OVER [0, 10] FROM r",
+            "SELECT SUM(x) OVER [0, 10] FROM r GROUP BY g",
+            "SELECT SUM(x) OVER [0, 10] FROM r GROUP BY SPAN 5",
+            "SELECT TOP 0 BY SUM(x) OVER [0, 10] FROM r GROUP BY g",
+            "SELECT TOP 2 BY SUM(x) OVER [0, 10] FROM r",
+            "SELECT TOP 2 BY SUM(x) FROM r GROUP BY g",
+            "SELECT SNAPSHOT TOP 2 BY SUM(x) OVER [0, 10] FROM r GROUP BY g",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn window_queries_round_trip_through_display() {
+        for src in [
+            "SELECT SUM(x) OVER [10, 19] FROM r",
+            "SELECT TOP 3 BY SUM(v) OVER [5, 29] FROM readings GROUP BY sensor",
+        ] {
+            let q = parse(src).unwrap();
+            assert_eq!(parse(&q.to_string()).unwrap(), q, "round-trip: {src}");
+        }
     }
 
     #[test]

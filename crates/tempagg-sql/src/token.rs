@@ -37,6 +37,8 @@ pub enum Keyword {
     Null,
     Persist,
     To,
+    Top,
+    Over,
 }
 
 impl Keyword {
@@ -74,6 +76,8 @@ impl Keyword {
             "NULL" => Keyword::Null,
             "PERSIST" => Keyword::Persist,
             "TO" => Keyword::To,
+            "TOP" => Keyword::Top,
+            "OVER" => Keyword::Over,
             _ => return None,
         })
     }

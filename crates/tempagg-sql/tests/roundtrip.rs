@@ -147,16 +147,36 @@ fn query(rng: &mut StdRng) -> Query {
     let tg = temporal_grouping(rng);
     // SNAPSHOT forbids SPAN grouping; keep generated queries valid.
     let snapshot = rng.random_bool(0.5) && tg == TemporalGrouping::Instant;
+    let group_column = maybe(rng, ident);
+    // OVER windows and TOP-k ranking have their own shape constraints;
+    // generate them only for shapes the parser accepts.
+    let windowable = !snapshot && tg == TemporalGrouping::Instant;
+    let top_k = (windowable && group_column.is_some() && rng.random_bool(0.4))
+        .then(|| rng.random_range(1usize..10));
+    let window = if top_k.is_some() {
+        Some(interval(rng))
+    } else if windowable && group_column.is_none() {
+        maybe(rng, interval)
+    } else {
+        None
+    };
+    let aggregates = if top_k.is_some() {
+        vec![agg_expr(rng)]
+    } else {
+        vec_of(rng, 1, 4, agg_expr)
+    };
     Query {
         explain: rng.random_bool(0.5),
         snapshot,
-        aggregates: vec_of(rng, 1, 4, agg_expr),
+        aggregates,
         relation: ident(rng),
         alias: maybe(rng, ident),
         conditions: vec_of(rng, 0, 3, condition),
         valid_window: maybe(rng, interval),
-        group_column: maybe(rng, ident),
+        group_column,
         temporal_grouping: tg,
+        window,
+        top_k,
     }
 }
 

@@ -50,6 +50,65 @@ pub(crate) fn extract(tuple: &Tuple, column: Option<usize>) -> Value {
     }
 }
 
+/// Sweep an arbitrary tuple subset (e.g. one group of a `TOP k BY`
+/// ranking query) into its constant-interval aggregate series, using the
+/// same dyn-level admit/retract endpoint scan as [`AggCache::build`] so
+/// the result is byte-identical to what a full cache over just those
+/// tuples would publish.
+pub fn sweep_values(agg: &DynAggregate, column: Option<usize>, tuples: &[&Tuple]) -> Series<Value> {
+    let origin = Interval::TIMELINE.start();
+    let mut boundaries: std::collections::BTreeSet<Timestamp> = std::collections::BTreeSet::new();
+    for tuple in tuples {
+        let iv = tuple.valid();
+        if iv.start() > origin {
+            boundaries.insert(iv.start());
+        }
+        if !iv.end().is_forever() {
+            boundaries.insert(iv.end().next());
+        }
+    }
+
+    let n = tuples.len();
+    let mut by_start: Vec<usize> = (0..n).collect();
+    // lint: allow(indexing): by_start/by_end are permutations of 0..n
+    by_start.sort_unstable_by_key(|&i| tuples[i].valid().start());
+    let mut by_end: Vec<usize> = (0..n).collect();
+    // lint: allow(indexing): by_start/by_end are permutations of 0..n
+    by_end.sort_unstable_by_key(|&i| tuples[i].valid().end());
+
+    let mut cuts: Vec<Timestamp> = Vec::with_capacity(boundaries.len() + 1);
+    cuts.push(origin);
+    cuts.extend(boundaries.iter().copied());
+
+    let mut entries = Vec::with_capacity(cuts.len());
+    let mut active = agg.active_empty();
+    let (mut si, mut ei) = (0usize, 0usize);
+    for (i, &start) in cuts.iter().enumerate() {
+        // lint: allow(indexing): permutation of 0..n, si < n is the loop guard
+        while si < n && tuples[by_start[si]].valid().start() <= start {
+            // lint: allow(indexing): same permutation bound as the loop guard above
+            agg.active_insert(&mut active, &extract(tuples[by_start[si]], column));
+            si += 1;
+        }
+        // lint: allow(indexing): permutation of 0..n, ei < n is the loop guard
+        while ei < n && tuples[by_end[ei]].valid().end() < start {
+            // lint: allow(indexing): same permutation bound as the loop guard above
+            agg.active_remove(&mut active, &extract(tuples[by_end[ei]], column));
+            ei += 1;
+        }
+        let end = cuts
+            .get(i + 1)
+            .map_or(Interval::TIMELINE.end(), |next| next.prev());
+        // lint: allow(no-unwrap): cuts are sorted and deduplicated, so start <= end by construction
+        let interval = Interval::new(start, end).expect("cuts are increasing");
+        entries.push(SeriesEntry {
+            interval,
+            value: agg.active_output(&active),
+        });
+    }
+    Series::from_entries(entries)
+}
+
 /// One constant-interval run of the working series.
 #[derive(Clone, Debug)]
 struct Run {
@@ -194,6 +253,24 @@ impl AggCache {
             .runs
             .partition_point(|r| r.interval.start() <= iv.end());
         lo..hi
+    }
+
+    /// Visit every run overlapping `window`, in time order, clipped to
+    /// the window — the [`tempagg_algo::RunSource`] contract, reading the
+    /// working series directly so the window index can probe and refresh
+    /// without materialising a snapshot.
+    pub(crate) fn for_each_run_in(&self, window: Interval, f: &mut dyn FnMut(Interval, &Value)) {
+        let range = self.run_range(window);
+        for run in self
+            .runs
+            .iter()
+            .skip(range.start)
+            .take(range.end.saturating_sub(range.start))
+        {
+            if let Some(clipped) = run.interval.intersect(&window) {
+                f(clipped, &run.value);
+            }
+        }
     }
 
     /// The interior boundaries a tuple interval contributes.

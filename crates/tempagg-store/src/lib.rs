@@ -36,7 +36,9 @@
 mod cache;
 mod store;
 
-pub use store::{CacheKey, StoreCacheStats, TemporalStore};
+pub use cache::sweep_values;
+pub use store::{index_mode_for, CacheKey, StoreCacheStats, TemporalStore, WindowIndexStats};
+pub use tempagg_algo::{IndexMode, WindowAggregate};
 
 #[cfg(test)]
 mod tests {
@@ -409,6 +411,244 @@ mod tests {
         .unwrap();
         let err = TemporalStore::open(&path).unwrap_err();
         assert!(err.to_string().contains("MEDIAN"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Linear-scan window oracle over the cached series the store would
+    /// publish — what every index probe must match byte for byte.
+    fn window_oracle(
+        store: &TemporalStore,
+        kind: AggKind,
+        column: Option<usize>,
+        window: Interval,
+    ) -> WindowAggregate {
+        let snap = store.snapshot_or_build(agg(kind), column);
+        tempagg_algo::scan_window(&*snap, window)
+    }
+
+    #[test]
+    fn window_probe_matches_scan_oracle() {
+        let store = TemporalStore::new(employed());
+        let windows = [
+            Interval::at(0, 5),
+            Interval::at(8, 20),
+            Interval::at(10, 12),
+            Interval::at(19, 40),
+            Interval::TIMELINE,
+        ];
+        for (kind, column) in [
+            (AggKind::CountStar, None),
+            (AggKind::Sum, Some(1)),
+            (AggKind::Min, Some(1)),
+            (AggKind::Max, Some(1)),
+        ] {
+            for window in windows {
+                let got = store.window_probe(kind, column, window).unwrap();
+                assert_eq!(
+                    got,
+                    window_oracle(&store, kind, column, window),
+                    "{kind:?} over {window:?} diverged from the scan oracle"
+                );
+            }
+        }
+        let stats = store.windex_stats();
+        assert_eq!(stats.misses, 4, "one build per aggregate");
+        assert_eq!(stats.hits, 16, "every later probe reuses the warm index");
+    }
+
+    #[test]
+    fn non_indexable_aggregates_refuse_window_probes() {
+        let store = TemporalStore::new(employed());
+        let err = store
+            .window_probe(AggKind::Avg, Some(1), Interval::at(0, 10))
+            .unwrap_err();
+        assert!(err.to_string().contains("not window-indexable"), "{err}");
+        assert!(store.window_indexable(AggKind::Sum, Some(1)));
+        assert!(!store.window_indexable(AggKind::Avg, Some(1)));
+    }
+
+    #[test]
+    fn dml_refreshes_window_indexes_in_place() {
+        let mut store = TemporalStore::new(employed());
+        let window = Interval::at(5, 22);
+        store.window_probe(AggKind::Sum, Some(1), window).unwrap();
+        store.window_probe(AggKind::Max, Some(1), window).unwrap();
+        store
+            .insert(
+                vec![Value::from("Suchen"), Value::Int(60_000)],
+                Interval::at(10, 25),
+            )
+            .unwrap();
+        store
+            .update_where(
+                |t| t.value(0) == &Value::from("Nathan"),
+                &[(1, Value::Int(99_000))],
+            )
+            .unwrap();
+        store
+            .delete_where(|t| t.value(0) == &Value::from("Karen"))
+            .unwrap();
+        // The indexes survived every write as refreshes, not drops...
+        assert!(store.has_window_index(AggKind::Sum, Some(1)));
+        assert!(store.has_window_index(AggKind::Max, Some(1)));
+        let misses_before = store.windex_stats().misses;
+        // ...and still answer byte-identically to a fresh linear scan.
+        for kind in [AggKind::Sum, AggKind::Max] {
+            for window in [window, Interval::at(0, 9), Interval::at(24, 60)] {
+                let got = store.window_probe(kind, Some(1), window).unwrap();
+                assert_eq!(
+                    got,
+                    window_oracle(&store, kind, Some(1), window),
+                    "{kind:?} over {window:?} diverged after DML refresh"
+                );
+            }
+        }
+        assert_eq!(store.windex_stats().misses, misses_before);
+    }
+
+    #[test]
+    fn extreme_instants_point_at_the_series_extreme() {
+        let store = TemporalStore::new(employed());
+        let snap = store.snapshot_or_build(agg(AggKind::Sum), Some(1));
+        let window = Interval::at(0, 30);
+        let (at, value) = store
+            .window_extreme_instant(AggKind::Sum, Some(1), window, true)
+            .unwrap()
+            .unwrap();
+        assert_eq!(snap.value_at(at), Some(&value));
+        // No instant in the window carries a larger SUM.
+        for entry in snap.entries() {
+            if entry.interval.overlaps(&window) && !entry.value.is_null() {
+                assert!(entry.value.total_cmp(&value).is_le());
+            }
+        }
+        let (at_min, min_value) = store
+            .window_extreme_instant(AggKind::Sum, Some(1), window, false)
+            .unwrap()
+            .unwrap();
+        assert_eq!(snap.value_at(at_min), Some(&min_value));
+        assert!(min_value.total_cmp(&value).is_le());
+    }
+
+    #[test]
+    fn top_k_ranks_groups_by_windowed_aggregate() {
+        let schema = Schema::of(&[("g", ValueType::Int), ("v", ValueType::Int)]);
+        let mut relation = TemporalRelation::new(schema.clone());
+        for g in 0..6i64 {
+            for j in 0..4i64 {
+                relation
+                    .push(
+                        vec![Value::Int(g), Value::Int(10 * g + j)],
+                        Interval::at(g * 3 + j, g * 3 + j + 20),
+                    )
+                    .unwrap();
+            }
+        }
+        let store = TemporalStore::new(relation.clone());
+        let window = Interval::at(5, 30);
+        let (ranked, probes) = store
+            .top_k_by_window(AggKind::Sum, Some(1), 0, window, 3)
+            .unwrap();
+        assert_eq!(ranked.len(), 3);
+        assert!(probes > 0);
+        // Exhaustive oracle: sweep each group separately and scan.
+        let mut oracle: Vec<(Value, i128)> = (0..6i64)
+            .map(|g| {
+                let mut sub = TemporalRelation::new(schema.clone());
+                for t in relation.iter().filter(|t| t.value(0) == &Value::Int(g)) {
+                    sub.push(t.values().to_vec(), t.valid()).unwrap();
+                }
+                let series = recompute(&sub, agg(AggKind::Sum), Some(1));
+                let scanned = tempagg_algo::scan_window(&series, window);
+                (Value::Int(g), scanned.integral)
+            })
+            .collect();
+        oracle.sort_by_key(|entry| std::cmp::Reverse(entry.1));
+        for (got, want) in ranked.iter().zip(&oracle) {
+            assert_eq!(got.0, want.0, "ranking order diverged from exhaustive");
+            assert_eq!(got.1.integral, want.1);
+        }
+        // A repeat ranking reuses the grouped indexes (a hit, no rebuild).
+        let misses = store.windex_stats().misses;
+        store
+            .top_k_by_window(AggKind::Sum, Some(1), 0, window, 3)
+            .unwrap();
+        assert_eq!(store.windex_stats().misses, misses);
+    }
+
+    #[test]
+    fn windex_persists_through_the_footer() {
+        let path = temp_path("windex.tapg");
+        let mut store = TemporalStore::new(employed());
+        let window = Interval::at(6, 21);
+        let want = store.window_probe(AggKind::Sum, Some(1), window).unwrap();
+        store.window_probe(AggKind::Min, Some(1), window).unwrap();
+        store.persist_to(&path).unwrap();
+
+        let reopened = TemporalStore::open(&path).unwrap();
+        // Restored warm: the first probe is a hit, with no live cache built.
+        assert!(reopened.has_window_index(AggKind::Sum, Some(1)));
+        assert!(reopened.has_window_index(AggKind::Min, Some(1)));
+        let got = reopened
+            .window_probe(AggKind::Sum, Some(1), window)
+            .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(reopened.cache_stats().caches, 0);
+        let stats = reopened.windex_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        // Oracle agreement for a window the original never probed.
+        let fresh = Interval::at(0, 11);
+        assert_eq!(
+            reopened.window_probe(AggKind::Min, Some(1), fresh).unwrap(),
+            window_oracle(&reopened, AggKind::Min, Some(1), fresh),
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_windex_blocks_degrade_to_rebuild() {
+        use tempagg_core::pager::{write_relation, PagedWriteOptions, PersistedSeries};
+        let path = temp_path("badwindex.tapg");
+        let relation = employed();
+        let cache = {
+            let store = TemporalStore::new(relation.clone());
+            store.snapshot_or_build(agg(AggKind::Sum), Some(1))
+        };
+        write_relation(
+            &relation,
+            &path,
+            &PagedWriteOptions {
+                caches: vec![
+                    PersistedSeries {
+                        label: "SUM".to_string(),
+                        column: Some(1),
+                        entries: cache.entries().to_vec(),
+                    },
+                    // A meta block with no sum/min/max parts: incomplete.
+                    PersistedSeries {
+                        label: "windex:meta:SUM".to_string(),
+                        column: Some(1),
+                        entries: vec![tempagg_core::SeriesEntry {
+                            interval: Interval::at(0, 0),
+                            value: Value::from("v1 integral 4 9999"),
+                        }],
+                    },
+                ],
+                ..PagedWriteOptions::default()
+            },
+        )
+        .unwrap();
+        let reopened = TemporalStore::open(&path).unwrap();
+        assert!(!reopened.has_window_index(AggKind::Sum, Some(1)));
+        // The probe rebuilds from the restored series and stays exact.
+        let window = Interval::at(6, 21);
+        assert_eq!(
+            reopened
+                .window_probe(AggKind::Sum, Some(1), window)
+                .unwrap(),
+            window_oracle(&reopened, AggKind::Sum, Some(1), window),
+        );
+        assert_eq!(reopened.windex_stats().misses, 1);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,18 +1,19 @@
 //! The mutable temporal store: an updatable interval relation plus the
 //! versioned aggregate caches maintained under every write.
 
-use crate::cache::{extract, AggCache};
+use crate::cache::{extract, sweep_values, AggCache};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use tempagg_agg::{AggKind, DynAggregate};
+use tempagg_agg::{AggKind, DynAggregate, SweepAggregate, SweepClass};
+use tempagg_algo::{GroupProbe, IndexMode, IndexNode, RunSource, WindowAggregate, WindowIndex};
 use tempagg_core::pager::{
     self, PagedReader, PagedWriteOptions, PagedWriteStats, PersistedSeries, DEFAULT_PAGE_BYTES,
 };
 use tempagg_core::{
-    Epoch, Interval, Result, Schema, Series, TempAggError, TemporalRelation, Tuple, Value,
-    ValueType,
+    Epoch, Interval, Result, Schema, Series, SeriesEntry, TempAggError, TemporalRelation,
+    Timestamp, Tuple, Value, ValueType,
 };
 
 /// Identifies one cached aggregate series: the aggregate kind plus the
@@ -39,6 +40,54 @@ pub struct StoreCacheStats {
     pub live_versions: usize,
     /// Retained versions still pinned by a reader.
     pub pinned_versions: usize,
+}
+
+/// Usage counters for the store's window indexes: how often window probes
+/// found a warm index (`hits`) versus building one on demand (`misses`),
+/// and the total logarithmic probes served. Cumulative over the store's
+/// lifetime — per-query callers report the delta across their query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowIndexStats {
+    /// Window probes served by an already-built index.
+    pub hits: u64,
+    /// Window probes that had to build (or restore-miss) the index first.
+    pub misses: u64,
+    /// Total index probes answered (including the per-group probes and
+    /// bound evaluations of `TOP k` ranking queries).
+    pub probes: u64,
+}
+
+/// The per-group window indexes behind one `TOP k BY agg(col) OVER w`
+/// shape: for each distinct grouping value, the group's aggregate series
+/// and the window index built over it. Ordered by grouping value.
+#[derive(Clone, Debug)]
+struct GroupedIndexes {
+    groups: Vec<(Value, Arc<Series<Value>>, WindowIndex)>,
+}
+
+/// [`RunSource`] over a live cache's working series: the window index
+/// probes and refreshes straight off the maintained runs, with no
+/// snapshot materialisation on the hot path.
+struct CacheRuns<'a>(&'a AggCache);
+
+impl RunSource for CacheRuns<'_> {
+    fn for_each_run_in(&self, window: Interval, f: &mut dyn FnMut(Interval, &Value)) {
+        self.0.for_each_run_in(window, f);
+    }
+}
+
+/// The index mode a cached aggregate supports, or `None` when it cannot
+/// be indexed at all: float combines (`SUM`/`AVG` over floats, variance
+/// family) are inexact under reassociation, and the tree folds values in
+/// segment order rather than sweep order — indexing them would break the
+/// byte-identity contract with a linear scan of the cached series.
+pub fn index_mode_for(agg: &DynAggregate) -> Option<IndexMode> {
+    match agg.kind() {
+        AggKind::CountStar | AggKind::Count | AggKind::CountDistinct => Some(IndexMode::Integral),
+        AggKind::Sum if agg.sweep_class() != SweepClass::Approximate => Some(IndexMode::Integral),
+        AggKind::Min | AggKind::Max => Some(IndexMode::Extremes),
+        _ => None,
+    }
 }
 
 /// An updatable interval relation with incrementally maintained aggregate
@@ -76,6 +125,17 @@ pub struct TemporalStore {
     dirty_pages: BTreeSet<usize>,
     /// Any mutation since the last open/flush.
     dirty: bool,
+    /// Warm segment-tree window indexes, one per indexable cached
+    /// aggregate: built lazily on the first window probe (or restored
+    /// from the paged footer) and patched along root-to-leaf paths under
+    /// every write.
+    windex: RefCell<BTreeMap<CacheKey, WindowIndex>>,
+    /// Per-group window indexes for `TOP k BY` ranking probes, keyed by
+    /// the ranked aggregate plus the grouping column. Rebuilt lazily
+    /// after any write (group membership can change arbitrarily).
+    grouped: RefCell<BTreeMap<(CacheKey, usize), GroupedIndexes>>,
+    /// Cumulative window-index usage counters.
+    windex_stats: RefCell<WindowIndexStats>,
 }
 
 impl TemporalStore {
@@ -92,6 +152,9 @@ impl TemporalStore {
             page_prefix: Vec::new(),
             dirty_pages: BTreeSet::new(),
             dirty: true,
+            windex: RefCell::new(BTreeMap::new()),
+            grouped: RefCell::new(BTreeMap::new()),
+            windex_stats: RefCell::new(WindowIndexStats::default()),
         }
     }
 
@@ -122,10 +185,16 @@ impl TemporalStore {
         let persisted = reader.take_caches();
         let schema = relation.schema().clone();
         let mut restored = BTreeMap::new();
+        let mut windex_parts = Vec::new();
         for series in persisted {
+            if series.label.starts_with(WINDEX_LABEL_PREFIX) {
+                windex_parts.push(series);
+                continue;
+            }
             let key = key_for_persisted(&schema, &series)?;
             restored.insert(key, Arc::new(Series::from_entries(series.entries)));
         }
+        let windex = assemble_windex(&schema, windex_parts, &restored);
         Ok(TemporalStore {
             relation,
             epoch: Epoch::ZERO,
@@ -136,6 +205,9 @@ impl TemporalStore {
             page_prefix: prefix,
             dirty_pages: BTreeSet::new(),
             dirty: false,
+            windex: RefCell::new(windex),
+            grouped: RefCell::new(BTreeMap::new()),
+            windex_stats: RefCell::new(WindowIndexStats::default()),
         })
     }
 
@@ -233,6 +305,9 @@ impl TemporalStore {
                 entries: series.entries().to_vec(),
             });
         }
+        for (key, index) in self.windex.get_mut().iter() {
+            out.extend(persist_windex(*key, index));
+        }
         out
     }
 
@@ -322,6 +397,7 @@ impl TemporalStore {
             let value = extract(tuple, cache.column());
             cache.apply_insert(tuple.valid(), &value, &self.relation)?;
         }
+        self.refresh_indexes(&[tuple.valid()]);
         self.bump();
         Ok(())
     }
@@ -359,6 +435,8 @@ impl TemporalStore {
                 cache.apply_delete(tuple.valid(), &value, &self.relation)?;
             }
         }
+        let dirty: Vec<Interval> = removed.iter().map(Tuple::valid).collect();
+        self.refresh_indexes(&dirty);
         self.bump();
         Ok(removed.len())
     }
@@ -414,6 +492,8 @@ impl TemporalStore {
                 cache.apply_insert(new.valid(), &extract(new, Some(column)), &self.relation)?;
             }
         }
+        let dirty: Vec<Interval> = replacements.iter().map(|(_, _, new)| new.valid()).collect();
+        self.refresh_indexes(&dirty);
         self.bump();
         Ok(replacements.len())
     }
@@ -426,6 +506,288 @@ impl TemporalStore {
                 cache.validate_structure();
             }
         }
+    }
+
+    /// Patch every warm window index for the changed intervals: each
+    /// dirty interval recomputes the leaves it overlaps from the
+    /// already-patched cache runs, then refolds only the root-to-leaf
+    /// ancestor paths — O(runs-in-dirty + log n) per index, never a
+    /// rebuild. Grouped `TOP k` indexes are invalidated instead (a write
+    /// can move tuples between groups arbitrarily) and rebuilt lazily on
+    /// the next ranking probe.
+    fn refresh_indexes(&mut self, dirty: &[Interval]) {
+        self.grouped.get_mut().clear();
+        let caches = self.caches.get_mut();
+        let windex = self.windex.get_mut();
+        windex.retain(|key, _| caches.contains_key(key));
+        for (key, index) in windex.iter_mut() {
+            let Some(cache) = caches.get(key) else {
+                continue;
+            };
+            let source = CacheRuns(cache);
+            for iv in dirty {
+                index.refresh(*iv, &source);
+            }
+            #[cfg(feature = "validate")]
+            validate_refreshed(index, cache, dirty);
+        }
+    }
+
+    /// Whether a window probe for `(kind, column)` can be served by a
+    /// segment-tree index (the aggregate combines exactly) — the
+    /// planner's eligibility input for its `IndexProbe` algorithm choice.
+    pub fn window_indexable(&self, kind: AggKind, column: Option<usize>) -> bool {
+        dyn_for(self.relation.schema(), CacheKey { kind, column })
+            .ok()
+            .and_then(|agg| index_mode_for(&agg))
+            .is_some()
+    }
+
+    /// Whether a warm window index currently exists for `(kind, column)`.
+    pub fn has_window_index(&self, kind: AggKind, column: Option<usize>) -> bool {
+        self.windex
+            .borrow()
+            .contains_key(&CacheKey { kind, column })
+    }
+
+    /// Cumulative window-index usage counters (per-query callers report
+    /// the delta across their query).
+    pub fn windex_stats(&self) -> WindowIndexStats {
+        *self.windex_stats.borrow()
+    }
+
+    /// Resolve `(kind, column)` to its cache key, aggregate, and index
+    /// mode, rejecting non-indexable aggregates.
+    fn indexable(
+        &self,
+        kind: AggKind,
+        column: Option<usize>,
+    ) -> Result<(CacheKey, DynAggregate, IndexMode)> {
+        let key = CacheKey { kind, column };
+        let agg = dyn_for(self.relation.schema(), key)?;
+        let mode = index_mode_for(&agg).ok_or_else(|| TempAggError::TypeError {
+            detail: format!(
+                "{} is not window-indexable: its combine is inexact under \
+                 reassociation, so the index would break byte-identity with \
+                 a linear scan",
+                kind.name()
+            ),
+        })?;
+        Ok((key, agg, mode))
+    }
+
+    /// Build the window index for `key` if absent (warming the aggregate
+    /// cache first if needed). Returns whether the index was already
+    /// warm.
+    fn ensure_windex(&self, key: CacheKey, agg: DynAggregate, mode: IndexMode) -> bool {
+        if self.windex.borrow().contains_key(&key) {
+            return true;
+        }
+        let series = self.snapshot_or_build(agg, key.column);
+        let index = WindowIndex::build(mode, &series);
+        self.windex.borrow_mut().insert(key, index);
+        false
+    }
+
+    /// Answer `kind(column)` over `window` through the window index in
+    /// O(log n) node folds, building the index from the cached series on
+    /// first use (a *miss*; later probes are *hits* and never touch the
+    /// series linearly).
+    ///
+    /// The result carries the duration-weighted combine for Delta-class
+    /// aggregates (time integral `Σ value·duration` plus covered
+    /// duration) and the extreme values for `MIN`/`MAX` — byte-identical
+    /// to a linear [`tempagg_algo::scan_window`] over the same cached
+    /// runs, which `--features validate` asserts on every probe.
+    pub fn window_probe(
+        &self,
+        kind: AggKind,
+        column: Option<usize>,
+        window: Interval,
+    ) -> Result<WindowAggregate> {
+        let (key, agg, mode) = self.indexable(kind, column)?;
+        let hit = self.ensure_windex(key, agg, mode);
+        {
+            let mut stats = self.windex_stats.borrow_mut();
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            stats.probes += 1;
+        }
+        let windex = self.windex.borrow();
+        // lint: allow(no-unwrap): ensure_windex built the index above
+        let index = windex.get(&key).expect("ensure_windex built the index");
+        let caches = self.caches.borrow();
+        if let Some(cache) = caches.get(&key) {
+            let source = CacheRuns(cache);
+            let out = index.probe(window, &source);
+            #[cfg(feature = "validate")]
+            assert_eq!(
+                out,
+                tempagg_algo::scan_window(&source, window),
+                "window index probe diverged from the linear scan oracle"
+            );
+            Ok(out)
+        } else {
+            let restored = self.restored.borrow();
+            let series = restored
+                .get(&key)
+                // lint: allow(no-unwrap): an index exists only over a live cache or restored series
+                .expect("a window index implies a cache or restored series");
+            let out = index.probe(window, &**series);
+            #[cfg(feature = "validate")]
+            assert_eq!(
+                out,
+                tempagg_algo::scan_window(&**series, window),
+                "window index probe diverged from the linear scan oracle"
+            );
+            Ok(out)
+        }
+    }
+
+    /// The earliest instant in `window` where the cached series attains
+    /// its extreme (maximum when `want_max`, else minimum) — answered by
+    /// max-augmented branch-and-bound descent, `None` when the window
+    /// holds only NULLs.
+    pub fn window_extreme_instant(
+        &self,
+        kind: AggKind,
+        column: Option<usize>,
+        window: Interval,
+        want_max: bool,
+    ) -> Result<Option<(Timestamp, Value)>> {
+        let (key, agg, mode) = self.indexable(kind, column)?;
+        let hit = self.ensure_windex(key, agg, mode);
+        {
+            let mut stats = self.windex_stats.borrow_mut();
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            stats.probes += 1;
+        }
+        let windex = self.windex.borrow();
+        // lint: allow(no-unwrap): ensure_windex built the index above
+        let index = windex.get(&key).expect("ensure_windex built the index");
+        let caches = self.caches.borrow();
+        if let Some(cache) = caches.get(&key) {
+            Ok(index.extreme_instant(window, want_max, &CacheRuns(cache)))
+        } else {
+            let restored = self.restored.borrow();
+            let series = restored
+                .get(&key)
+                // lint: allow(no-unwrap): an index exists only over a live cache or restored series
+                .expect("a window index implies a cache or restored series");
+            Ok(index.extreme_instant(window, want_max, &**series))
+        }
+    }
+
+    /// Rank the distinct values of `group_column` by `kind(column)` over
+    /// `window` and return the top `k` with their window aggregates,
+    /// plus the number of index probes spent.
+    ///
+    /// One window index per group, probed against a shared bound heap:
+    /// each group first contributes a cheap O(1) upper bound from its
+    /// index root, and only groups whose bound can still reach the
+    /// current top-k are resolved exactly — most groups are pruned
+    /// without a full descent.
+    pub fn top_k_by_window(
+        &self,
+        kind: AggKind,
+        column: Option<usize>,
+        group_column: usize,
+        window: Interval,
+        k: usize,
+    ) -> Result<(Vec<(Value, WindowAggregate)>, u64)> {
+        let (key, agg, mode) = self.indexable(kind, column)?;
+        if group_column >= self.relation.schema().len() {
+            return Err(TempAggError::storage(format!(
+                "ranking group column {group_column} is out of range for a \
+                 schema with {} columns",
+                self.relation.schema().len()
+            )));
+        }
+        let gkey = (key, group_column);
+        let hit = self.grouped.borrow().contains_key(&gkey);
+        if !hit {
+            let built = self.build_grouped(&agg, column, group_column, mode);
+            self.grouped.borrow_mut().insert(gkey, built);
+        }
+        let grouped = self.grouped.borrow();
+        // lint: allow(no-unwrap): inserted above when absent
+        let entry = grouped.get(&gkey).expect("grouped indexes built above");
+        let probes: Vec<GroupProbe<'_>> = entry
+            .groups
+            .iter()
+            .map(|(_, series, index)| GroupProbe {
+                index,
+                source: &**series,
+            })
+            .collect();
+        let outcome = tempagg_algo::top_k(&probes, window, k);
+        {
+            let mut stats = self.windex_stats.borrow_mut();
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            stats.probes += outcome.probes;
+        }
+        let ranked = outcome
+            .ranked
+            .into_iter()
+            .filter_map(|(group, aggregate)| {
+                entry
+                    .groups
+                    .get(group)
+                    .map(|(value, _, _)| (value.clone(), aggregate))
+            })
+            .collect();
+        Ok((ranked, outcome.probes))
+    }
+
+    /// Partition the relation by `group_column` and build one aggregate
+    /// series plus window index per distinct grouping value.
+    fn build_grouped(
+        &self,
+        agg: &DynAggregate,
+        column: Option<usize>,
+        group_column: usize,
+        mode: IndexMode,
+    ) -> GroupedIndexes {
+        let tuples = self.relation.tuples();
+        let mut order: Vec<usize> = (0..tuples.len()).collect();
+        order.sort_by(|&a, &b| {
+            // lint: allow(indexing): order is a permutation of 0..len
+            tuples[a]
+                .value(group_column)
+                .total_cmp(tuples[b].value(group_column))
+                .then(a.cmp(&b))
+        });
+        let mut groups = Vec::new();
+        let mut at = 0usize;
+        while at < order.len() {
+            // lint: allow(indexing): at < order.len() is the loop guard over a permutation
+            let value = tuples[order[at]].value(group_column).clone();
+            let mut members: Vec<&Tuple> = Vec::new();
+            while let Some(&index) = order.get(at) {
+                // lint: allow(indexing): order holds valid tuple indices by construction
+                let tuple = &tuples[index];
+                if tuple.value(group_column).total_cmp(&value).is_ne() {
+                    break;
+                }
+                members.push(tuple);
+                at += 1;
+            }
+            let series = sweep_values(agg, column, &members);
+            let index = WindowIndex::build(mode, &series);
+            groups.push((value, Arc::new(series), index));
+        }
+        GroupedIndexes { groups }
     }
 
     /// Build (if absent) the cache for `agg` over `column`. A series
@@ -547,6 +909,212 @@ fn dyn_for(schema: &Schema, key: CacheKey) -> Result<DynAggregate> {
         None => ValueType::Int,
     };
     DynAggregate::new(key.kind, input)
+}
+
+/// Label prefix for window-index footer blocks: `windex:<part>:<agg>`,
+/// where `<part>` is `meta`, `sum`, `min`, or `max`. Intercepted before
+/// [`key_for_persisted`] so the aggregate-label validation never sees
+/// them.
+const WINDEX_LABEL_PREFIX: &str = "windex:";
+
+/// Encode one window index as footer blocks: a `meta` header series
+/// (version, mode, leaf count, extent end) plus three per-leaf series —
+/// the integral/covered pair (as text; the values are `i128`, wider than
+/// [`Value::Int`]), the min values, and the max values. Each part is a
+/// well-formed constant-interval series over the leaf cuts, so the
+/// footer format needs no new entry types.
+fn persist_windex(key: CacheKey, index: &WindowIndex) -> Vec<PersistedSeries> {
+    let column = key.column.and_then(|c| u32::try_from(c).ok());
+    let label = |part: &str| format!("{WINDEX_LABEL_PREFIX}{part}:{}", key.kind.name());
+    let starts = index.leaf_starts();
+    let mut intervals = Vec::with_capacity(starts.len());
+    for (i, &start) in starts.iter().enumerate() {
+        let end = starts
+            .get(i + 1)
+            .map_or(index.extent_end(), |next| next.prev());
+        // lint: allow(no-unwrap): leaf starts are strictly increasing by construction
+        intervals.push(Interval::new(start, end).expect("leaf cuts are increasing"));
+    }
+    let mut sums = Vec::with_capacity(intervals.len());
+    let mut mins = Vec::with_capacity(intervals.len());
+    let mut maxs = Vec::with_capacity(intervals.len());
+    for (interval, node) in intervals.iter().copied().zip(index.leaf_nodes()) {
+        sums.push(SeriesEntry {
+            interval,
+            value: Value::Str(format!("{} {}", node.integral, node.covered)),
+        });
+        mins.push(SeriesEntry {
+            interval,
+            value: node.min_value.clone(),
+        });
+        maxs.push(SeriesEntry {
+            interval,
+            value: node.max_value.clone(),
+        });
+    }
+    vec![
+        PersistedSeries {
+            label: label("meta"),
+            column,
+            entries: vec![SeriesEntry {
+                interval: Interval::at(0, 0),
+                value: Value::Str(format!(
+                    "v1 {} {} {}",
+                    index.mode().name(),
+                    index.leaf_count(),
+                    index.extent_end().get()
+                )),
+            }],
+        },
+        PersistedSeries {
+            label: label("sum"),
+            column,
+            entries: sums,
+        },
+        PersistedSeries {
+            label: label("min"),
+            column,
+            entries: mins,
+        },
+        PersistedSeries {
+            label: label("max"),
+            column,
+            entries: maxs,
+        },
+    ]
+}
+
+/// The four footer blocks of one persisted window index, collected by
+/// key before decoding.
+#[derive(Default)]
+struct WindexParts {
+    meta: Option<Vec<SeriesEntry<Value>>>,
+    sums: Option<Vec<SeriesEntry<Value>>>,
+    mins: Option<Vec<SeriesEntry<Value>>>,
+    maxs: Option<Vec<SeriesEntry<Value>>>,
+}
+
+/// Decode one collected part set back into a window index. `None` on any
+/// malformed or inconsistent part — restoration is strictly best-effort.
+fn decode_windex(parts: WindexParts) -> Option<WindowIndex> {
+    let meta = parts.meta?;
+    let sums = parts.sums?;
+    let mins = parts.mins?;
+    let maxs = parts.maxs?;
+    let header = match &meta.first()?.value {
+        Value::Str(text) => text.clone(),
+        _ => return None,
+    };
+    let mut fields = header.split_whitespace();
+    if fields.next() != Some("v1") {
+        return None;
+    }
+    let mode = fields.next().and_then(IndexMode::parse)?;
+    let leaves = fields.next().and_then(|t| t.parse::<usize>().ok())?;
+    let end = fields.next().and_then(|t| t.parse::<i64>().ok())?;
+    if sums.len() != leaves || mins.len() != leaves || maxs.len() != leaves {
+        return None;
+    }
+    let mut starts = Vec::with_capacity(leaves);
+    let mut nodes = Vec::with_capacity(leaves);
+    for ((sum, min), max) in sums.iter().zip(&mins).zip(&maxs) {
+        starts.push(sum.interval.start());
+        let Value::Str(text) = &sum.value else {
+            return None;
+        };
+        let mut numbers = text.split_whitespace();
+        let integral = numbers.next().and_then(|t| t.parse::<i128>().ok())?;
+        let covered = numbers.next().and_then(|t| t.parse::<i128>().ok())?;
+        nodes.push(IndexNode {
+            integral,
+            covered,
+            min_value: min.value.clone(),
+            max_value: max.value.clone(),
+        });
+    }
+    WindowIndex::from_leaves(mode, starts, Timestamp::new(end), nodes).ok()
+}
+
+/// Reassemble the window indexes persisted in a paged footer. Any
+/// malformed, incomplete, or orphaned (no restored series to probe
+/// against) part set is skipped silently: the store degrades to
+/// rebuilding that index from the restored series on the first probe,
+/// never to an open error.
+fn assemble_windex(
+    schema: &Schema,
+    parts: Vec<PersistedSeries>,
+    restored: &BTreeMap<CacheKey, Arc<Series<Value>>>,
+) -> BTreeMap<CacheKey, WindowIndex> {
+    let mut by_key: BTreeMap<CacheKey, WindexParts> = BTreeMap::new();
+    for series in parts {
+        let Some(rest) = series.label.strip_prefix(WINDEX_LABEL_PREFIX) else {
+            continue;
+        };
+        let Some((part, label)) = rest.split_once(':') else {
+            continue;
+        };
+        let Some(kind) = kind_for_label(label) else {
+            continue;
+        };
+        let column = match series.column {
+            Some(raw) if (raw as usize) < schema.len() => Some(raw as usize),
+            Some(_) => continue,
+            None => None,
+        };
+        let slot = by_key.entry(CacheKey { kind, column }).or_default();
+        match part {
+            "meta" => slot.meta = Some(series.entries),
+            "sum" => slot.sums = Some(series.entries),
+            "min" => slot.mins = Some(series.entries),
+            "max" => slot.maxs = Some(series.entries),
+            _ => {}
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (key, parts) in by_key {
+        if !restored.contains_key(&key) {
+            continue;
+        }
+        if let Some(index) = decode_windex(parts) {
+            out.insert(key, index);
+        }
+    }
+    out
+}
+
+/// `--features validate`: after a root-to-leaf refresh, rebuild the
+/// index from scratch over the patched cache runs and assert the two
+/// answer the full timeline plus windows around every dirty interval
+/// byte-identically. The refreshed index keeps its original leaf cuts
+/// while the rebuilt one re-cuts at current run boundaries, so this
+/// compares probe *results*, never node layouts.
+#[cfg(feature = "validate")]
+fn validate_refreshed(index: &WindowIndex, cache: &AggCache, dirty: &[Interval]) {
+    let mut entries = Vec::new();
+    cache.for_each_run_in(Interval::TIMELINE, &mut |interval, value| {
+        entries.push(SeriesEntry {
+            interval,
+            value: value.clone(),
+        });
+    });
+    let fresh = WindowIndex::build(index.mode(), &Series::from_entries(entries));
+    let source = CacheRuns(cache);
+    let mut windows = vec![Interval::TIMELINE];
+    for iv in dirty {
+        windows.push(*iv);
+        let lo = Timestamp::new(iv.start().get().saturating_sub(16).max(0));
+        let hi = Timestamp::new(iv.end().get().saturating_add(16));
+        if let Ok(widened) = Interval::new(lo, hi) {
+            windows.push(widened);
+        }
+    }
+    for window in windows {
+        assert_eq!(
+            index.probe(window, &source),
+            fresh.probe(window, &source),
+            "refreshed window index diverged from a rebuilt one"
+        );
+    }
 }
 
 /// Decode a footer cache entry into the key it was stored under,

@@ -39,6 +39,9 @@ cargo run -q --release -p tempagg-bench --bin harness -- sweep --test
 echo "==> harness paged smoke (paged-vs-RAM identity + resident budget, tracked artifacts untouched)"
 cargo run -q --release -p tempagg-bench --bin harness -- paged --test
 
+echo "==> harness windowq smoke (probe-vs-scan byte identity + TOP-k oracle, tracked artifacts untouched)"
+cargo run -q --release -p tempagg-bench --bin harness -- windowq --test
+
 # Opt-in Miri smoke (MIRI=1 ./scripts/check.sh): interpret the tempagg-core
 # and tempagg-agg unit tests under the nightly Miri interpreter to catch UB
 # the type system cannot (the workspace is #![forbid(unsafe_code)], so this
